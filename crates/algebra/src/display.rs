@@ -1,0 +1,206 @@
+//! Precedence-aware pretty printing of path expressions.
+//!
+//! The printer emits exactly the syntax accepted by [`crate::parser`], so
+//! `parse(print(e)) == e` (round-trip property-tested in the crate tests).
+
+use sgq_common::EdgeLabelId;
+
+use crate::ast::PathExpr;
+
+/// Provides edge-label names for printing.
+pub trait LabelNames {
+    /// The display name of `le`.
+    fn edge_label_display(&self, le: EdgeLabelId) -> String;
+}
+
+impl LabelNames for sgq_graph::GraphSchema {
+    fn edge_label_display(&self, le: EdgeLabelId) -> String {
+        self.edge_label_name(le).to_string()
+    }
+}
+
+impl LabelNames for sgq_graph::GraphDatabase {
+    fn edge_label_display(&self, le: EdgeLabelId) -> String {
+        self.edge_label_name(le).to_string()
+    }
+}
+
+impl LabelNames for sgq_common::Interner {
+    fn edge_label_display(&self, le: EdgeLabelId) -> String {
+        self.try_resolve(le.raw())
+            .map(str::to_string)
+            .unwrap_or_else(|| le.to_string())
+    }
+}
+
+/// Binding strength used to decide parenthesisation.
+fn precedence(e: &PathExpr) -> u8 {
+    match e {
+        PathExpr::Union(..) => 0,
+        PathExpr::Conj(..) => 1,
+        PathExpr::Concat(..) => 2,
+        PathExpr::BranchL(..) => 3,
+        PathExpr::Plus(..) | PathExpr::BranchR(..) => 4,
+        PathExpr::Label(_) | PathExpr::Reverse(_) => 5,
+    }
+}
+
+/// Renders `expr` using `names` for edge labels.
+pub fn path_to_string(expr: &PathExpr, names: &dyn LabelNames) -> String {
+    let mut out = String::new();
+    write_expr(expr, names, &mut out);
+    out
+}
+
+fn write_child(child: &PathExpr, min_prec: u8, names: &dyn LabelNames, out: &mut String) {
+    if precedence(child) < min_prec {
+        out.push('(');
+        write_expr(child, names, out);
+        out.push(')');
+    } else {
+        write_expr(child, names, out);
+    }
+}
+
+fn write_expr(e: &PathExpr, names: &dyn LabelNames, out: &mut String) {
+    match e {
+        PathExpr::Label(l) => out.push_str(&names.edge_label_display(*l)),
+        PathExpr::Reverse(l) => {
+            out.push('-');
+            out.push_str(&names.edge_label_display(*l));
+        }
+        PathExpr::Concat(a, b) => {
+            write_child(a, 2, names, out);
+            out.push('/');
+            // The right child of a concatenation must bind at least as
+            // tightly as an item; a nested concat on the right needs parens
+            // to round-trip associativity.
+            write_child(b, 3, names, out);
+        }
+        PathExpr::Union(a, b) => {
+            write_child(a, 0, names, out);
+            out.push_str(" | ");
+            write_child(b, 1, names, out);
+        }
+        PathExpr::Conj(a, b) => {
+            write_child(a, 1, names, out);
+            out.push_str(" & ");
+            write_child(b, 2, names, out);
+        }
+        PathExpr::BranchR(a, b) => {
+            write_child(a, 4, names, out);
+            out.push('[');
+            write_expr(b, names, out);
+            out.push(']');
+        }
+        PathExpr::BranchL(a, b) => {
+            out.push('[');
+            write_expr(a, names, out);
+            out.push(']');
+            write_child(b, 3, names, out);
+        }
+        PathExpr::Plus(a) => {
+            write_child(a, 4, names, out);
+            out.push('+');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn roundtrip(s: &str) {
+        let schema = fig1_yago_schema();
+        let e = parse_path(s, &schema).unwrap();
+        let printed = path_to_string(&e, &schema);
+        let reparsed = parse_path(&printed, &schema).unwrap();
+        assert_eq!(e, reparsed, "print `{printed}` of `{s}` did not round-trip");
+    }
+
+    #[test]
+    fn simple_forms() {
+        let schema = fig1_yago_schema();
+        let e = parse_path("livesIn/isLocatedIn+", &schema).unwrap();
+        assert_eq!(path_to_string(&e, &schema), "livesIn/isLocatedIn+");
+        let e = parse_path("-owns", &schema).unwrap();
+        assert_eq!(path_to_string(&e, &schema), "-owns");
+    }
+
+    #[test]
+    fn parenthesisation() {
+        let schema = fig1_yago_schema();
+        // (a | b)+ needs parens
+        let e = PathExpr::plus(parse_path("owns | livesIn", &schema).unwrap());
+        assert_eq!(path_to_string(&e, &schema), "(owns | livesIn)+");
+    }
+
+    #[test]
+    fn roundtrips() {
+        for s in [
+            "owns",
+            "-owns",
+            "owns/livesIn",
+            "owns/livesIn/isLocatedIn",
+            "(owns/livesIn)/isLocatedIn",
+            "owns/(livesIn/isLocatedIn)",
+            "owns | livesIn & dealsWith",
+            "(owns | livesIn) & dealsWith",
+            "owns[isMarriedTo]",
+            "[owns]livesIn",
+            "[owns](livesIn/isLocatedIn)",
+            "([owns]livesIn)/isLocatedIn",
+            "owns[isMarriedTo[livesIn]]",
+            "isLocatedIn++",
+            "(livesIn/isLocatedIn)+",
+            "[owns[isMarriedTo]]livesIn+",
+            "-isLocatedIn/owns | (livesIn & livesIn)+",
+        ] {
+            roundtrip(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::PathExpr;
+    use crate::parser::parse_path;
+    use proptest::prelude::*;
+    use sgq_common::EdgeLabelId;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn arb_expr() -> impl Strategy<Value = PathExpr> {
+        // five edge labels exist in the Fig. 1 schema (ids 0..5)
+        let leaf = prop_oneof![
+            (0u32..5).prop_map(|i| PathExpr::Label(EdgeLabelId::new(i))),
+            (0u32..5).prop_map(|i| PathExpr::Reverse(EdgeLabelId::new(i))),
+        ];
+        leaf.prop_recursive(4, 24, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::concat(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::union(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::conj(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::branch_r(a, b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::branch_l(a, b)),
+                inner.clone().prop_map(PathExpr::plus),
+            ]
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// print ∘ parse is the identity on arbitrary expressions.
+        #[test]
+        fn print_parse_roundtrip(expr in arb_expr()) {
+            let schema = fig1_yago_schema();
+            let printed = path_to_string(&expr, &schema);
+            let reparsed = parse_path(&printed, &schema)
+                .unwrap_or_else(|e| panic!("printed form `{printed}` failed to parse: {e}"));
+            prop_assert_eq!(expr, reparsed, "round-trip failed via `{}`", printed);
+        }
+    }
+}

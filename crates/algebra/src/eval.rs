@@ -1,0 +1,208 @@
+//! Reference set semantics of path expressions (the paper's Fig. 5).
+//!
+//! This evaluator favours clarity over speed: it materialises each
+//! sub-expression as a canonical sorted pair set. Both production engines
+//! (`sgq-engine`, `sgq-ra`) are tested against it.
+
+use sgq_common::{sorted, FxHashMap, NodeId};
+use sgq_graph::GraphDatabase;
+
+use crate::ast::PathExpr;
+
+/// A canonical (sorted, deduplicated) set of `(source, target)` node pairs.
+pub type PairSet = Vec<(NodeId, NodeId)>;
+
+/// Evaluates `JϕKD`: all node pairs connected by a path matching `expr`.
+pub fn eval_path(db: &GraphDatabase, expr: &PathExpr) -> PairSet {
+    match expr {
+        PathExpr::Label(le) => db.edges(*le).to_vec(),
+        PathExpr::Reverse(le) => db.relation(*le).by_tgt.clone(),
+        PathExpr::Concat(a, b) => compose(&eval_path(db, a), &eval_path(db, b)),
+        PathExpr::Union(a, b) => sorted::union(&eval_path(db, a), &eval_path(db, b)),
+        PathExpr::Conj(a, b) => sorted::intersect(&eval_path(db, a), &eval_path(db, b)),
+        PathExpr::BranchR(a, b) => {
+            // {(n,m) ∈ JaK | ∃z (m,z) ∈ JbK}
+            let a = eval_path(db, a);
+            let b = eval_path(db, b);
+            let sources = source_set(&b);
+            a.into_iter()
+                .filter(|&(_, m)| sorted::contains(&sources, &m))
+                .collect()
+        }
+        PathExpr::BranchL(a, b) => {
+            // {(n,m) ∈ JbK | ∃z (n,z) ∈ JaK}
+            let a = eval_path(db, a);
+            let b = eval_path(db, b);
+            let sources = source_set(&a);
+            b.into_iter()
+                .filter(|&(n, _)| sorted::contains(&sources, &n))
+                .collect()
+        }
+        PathExpr::Plus(a) => transitive_closure(&eval_path(db, a)),
+    }
+}
+
+/// Relational composition `{(n,m) | ∃z (n,z) ∈ a ∧ (z,m) ∈ b}`.
+pub fn compose(a: &PairSet, b: &PairSet) -> PairSet {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    // Index b by source.
+    let mut by_src: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    for &(s, t) in b {
+        by_src.entry(s).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for &(n, z) in a {
+        if let Some(ms) = by_src.get(&z) {
+            for &m in ms {
+                out.push((n, m));
+            }
+        }
+    }
+    sorted::normalize(&mut out);
+    out
+}
+
+/// Semi-naive transitive closure of a pair set.
+pub fn transitive_closure(base: &PairSet) -> PairSet {
+    let mut acc = base.clone();
+    let mut delta = base.clone();
+    while !delta.is_empty() {
+        let step = compose(&delta, base);
+        let fresh = sorted::difference(&step, &acc);
+        acc = sorted::union(&acc, &fresh);
+        delta = fresh;
+    }
+    acc
+}
+
+/// The sorted set of sources of a pair set.
+pub fn source_set(pairs: &PairSet) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = pairs.iter().map(|&(s, _)| s).collect();
+    sorted::normalize(&mut v);
+    v
+}
+
+/// The sorted set of targets of a pair set.
+pub fn target_set(pairs: &PairSet) -> Vec<NodeId> {
+    let mut v: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+    sorted::normalize(&mut v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+    use sgq_graph::database::fig2_yago_database;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn eval(db: &GraphDatabase, s: &str) -> PairSet {
+        eval_path(db, &parse_path(s, db).unwrap())
+    }
+
+    #[test]
+    fn single_label() {
+        let db = fig2_yago_database();
+        assert_eq!(eval(&db, "owns"), vec![(n(1), n(0))]);
+        assert_eq!(
+            eval(&db, "isMarriedTo"),
+            vec![(n(1), n(2)), (n(2), n(1))]
+        );
+    }
+
+    #[test]
+    fn reverse() {
+        let db = fig2_yago_database();
+        assert_eq!(eval(&db, "-owns"), vec![(n(0), n(1))]);
+    }
+
+    #[test]
+    fn concat() {
+        let db = fig2_yago_database();
+        // owns/isLocatedIn: John owns n1 located in Montbonnot (n6 -> id 5)
+        assert_eq!(eval(&db, "owns/isLocatedIn"), vec![(n(1), n(5))]);
+    }
+
+    #[test]
+    fn transitive_closure_fig2() {
+        let db = fig2_yago_database();
+        // isLocatedIn edges: n1->n6, n6->n5, n4->n5, n5->n7 (0-based: 0->5, 5->4, 3->4, 4->6)
+        let tc = eval(&db, "isLocatedIn+");
+        assert_eq!(
+            tc,
+            vec![
+                (n(0), n(4)),
+                (n(0), n(5)),
+                (n(0), n(6)),
+                (n(3), n(4)),
+                (n(3), n(6)),
+                (n(4), n(6)),
+                (n(5), n(4)),
+                (n(5), n(6)),
+            ]
+        );
+    }
+
+    #[test]
+    fn example4_pattern_relation() {
+        let db = fig2_yago_database();
+        // livesIn/isLocatedIn+ reaches regions and countries
+        let r = eval(&db, "livesIn/isLocatedIn+");
+        // John (n2=id1) lives in Elerslie (id3) -> Grenoble (id4) -> France (id6)
+        // Shradha (n3=id2) lives in Montbonnot (id5) -> Grenoble -> France
+        assert_eq!(
+            r,
+            vec![(n(1), n(4)), (n(1), n(6)), (n(2), n(4)), (n(2), n(6))]
+        );
+    }
+
+    #[test]
+    fn example6_branching() {
+        let db = fig2_yago_database();
+        // [owns]([isMarriedTo]livesIn) returns {(n2, n4)} = {(id1, id3)} (Example 6)
+        let r = eval(&db, "[owns]([isMarriedTo]livesIn)");
+        assert_eq!(r, vec![(n(1), n(3))]);
+    }
+
+    #[test]
+    fn union_and_conj() {
+        let db = fig2_yago_database();
+        let u = eval(&db, "owns | livesIn");
+        assert_eq!(u.len(), 3);
+        let c = eval(&db, "isMarriedTo & isMarriedTo");
+        assert_eq!(c, eval(&db, "isMarriedTo"));
+        let empty = eval(&db, "owns & livesIn");
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn branch_right() {
+        let db = fig2_yago_database();
+        // livesIn[isLocatedIn]: people living somewhere that is located in something
+        let r = eval(&db, "livesIn[isLocatedIn]");
+        assert_eq!(r, vec![(n(1), n(3)), (n(2), n(5))]);
+    }
+
+    #[test]
+    fn plus_of_cycle_terminates() {
+        let db = fig2_yago_database();
+        // isMarriedTo+ on the 2-cycle n2<->n3: closure adds self-loops
+        let r = eval(&db, "isMarriedTo+");
+        assert_eq!(
+            r,
+            vec![(n(1), n(1)), (n(1), n(2)), (n(2), n(1)), (n(2), n(2))]
+        );
+    }
+
+    #[test]
+    fn helper_sets() {
+        let pairs = vec![(n(1), n(3)), (n(2), n(3)), (n(2), n(5))];
+        assert_eq!(source_set(&pairs), vec![n(1), n(2)]);
+        assert_eq!(target_set(&pairs), vec![n(3), n(5)]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Tarski's algebra path expressions (the paper's Fig. 3 grammar).
+//!
+//! * [`ast`] — the path-expression AST plus structural helpers,
+//! * [`parser`] — a text syntax (`livesIn/isLocatedIn+`, `-hasCreator`,
+//!   `a[b]`, `[a]b`, `a&b`, `a|b`, `knows{1,3}` bounded-repeat sugar),
+//! * [`display`] — precedence-aware pretty printing,
+//! * [`eval`] — the reference set semantics of Fig. 5 over a
+//!   [`sgq_graph::GraphDatabase`], used as ground truth by both engines'
+//!   test suites.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod eval;
+pub mod parser;
+
+pub use ast::PathExpr;
+pub use display::path_to_string;
+pub use eval::{eval_path, PairSet};
+pub use parser::{parse_path, LabelResolver};

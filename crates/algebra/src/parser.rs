@@ -1,0 +1,361 @@
+//! Text syntax for path expressions.
+//!
+//! ```text
+//! union   := conj   (('|' | '∪') conj)*
+//! conj    := concat (('&' | '∩') concat)*
+//! concat  := item   ('/' item)*
+//! item    := '[' union ']' item            -- branch (left)
+//!          | postfix
+//! postfix := atom ('+' | '[' union ']' | '{' INT (',' INT)? '}')*
+//! atom    := '(' union ')' | '-' IDENT | IDENT
+//! ```
+//!
+//! `{lo,hi}` is the bounded-repetition sugar used by the LDBC queries of
+//! Tab. 4 (`knows1..3` is written `knows{1,3}`); it expands into a union of
+//! concatenations before any further processing.
+
+use sgq_common::{EdgeLabelId, Result, SgqError};
+use sgq_graph::{GraphDatabase, GraphSchema};
+
+use crate::ast::PathExpr;
+
+/// Resolves edge-label names to ids during parsing.
+pub trait LabelResolver {
+    /// Returns the id for `name`, or `None` if unknown.
+    fn resolve_edge_label(&self, name: &str) -> Option<EdgeLabelId>;
+}
+
+impl LabelResolver for GraphSchema {
+    fn resolve_edge_label(&self, name: &str) -> Option<EdgeLabelId> {
+        self.edge_label(name)
+    }
+}
+
+impl LabelResolver for GraphDatabase {
+    fn resolve_edge_label(&self, name: &str) -> Option<EdgeLabelId> {
+        self.edge_label_id(name)
+    }
+}
+
+impl LabelResolver for sgq_common::Interner {
+    fn resolve_edge_label(&self, name: &str) -> Option<EdgeLabelId> {
+        self.get(name).map(EdgeLabelId::new)
+    }
+}
+
+/// Parses a path expression, resolving labels through `resolver`.
+pub fn parse_path(input: &str, resolver: &dyn LabelResolver) -> Result<PathExpr> {
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+        resolver,
+    };
+    p.skip_ws();
+    let expr = p.union()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(SgqError::parse(
+            format!("unexpected trailing input `{}`", &input[p.pos..]),
+            p.pos,
+        ));
+    }
+    Ok(expr)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    resolver: &'a dyn LabelResolver,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.input[self.pos..].chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            self.skip_ws();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(SgqError::parse(format!("expected `{c}`"), self.pos))
+        }
+    }
+
+    fn union(&mut self) -> Result<PathExpr> {
+        let mut lhs = self.conj()?;
+        while self.eat('|') || self.eat('∪') {
+            let rhs = self.conj()?;
+            lhs = PathExpr::union(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn conj(&mut self) -> Result<PathExpr> {
+        let mut lhs = self.concat()?;
+        while self.eat('&') || self.eat('∩') {
+            let rhs = self.concat()?;
+            lhs = PathExpr::conj(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn concat(&mut self) -> Result<PathExpr> {
+        let mut lhs = self.item()?;
+        while self.eat('/') {
+            let rhs = self.item()?;
+            lhs = PathExpr::concat(lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn item(&mut self) -> Result<PathExpr> {
+        if self.peek() == Some('[') {
+            // branch (left): [ϕ1]ϕ2
+            self.expect('[')?;
+            let test = self.union()?;
+            self.expect(']')?;
+            let rest = self.item()?;
+            return Ok(PathExpr::branch_l(test, rest));
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<PathExpr> {
+        let mut expr = self.atom()?;
+        loop {
+            if self.eat('+') {
+                expr = PathExpr::plus(expr);
+            } else if self.peek() == Some('[') {
+                self.expect('[')?;
+                let test = self.union()?;
+                self.expect(']')?;
+                expr = PathExpr::branch_r(expr, test);
+            } else if self.peek() == Some('{') {
+                self.expect('{')?;
+                let lo = self.integer()?;
+                let hi = if self.eat(',') { self.integer()? } else { lo };
+                self.expect('}')?;
+                if lo == 0 || lo > hi {
+                    return Err(SgqError::parse(
+                        format!("invalid repetition bounds {{{lo},{hi}}}"),
+                        self.pos,
+                    ));
+                }
+                expr = PathExpr::repeat(expr, lo, hi);
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<PathExpr> {
+        if self.eat('(') {
+            let inner = self.union()?;
+            self.expect(')')?;
+            return Ok(inner);
+        }
+        if self.eat('-') {
+            let name = self.ident()?;
+            let id = self.lookup(&name)?;
+            return Ok(PathExpr::Reverse(id));
+        }
+        let name = self.ident()?;
+        let id = self.lookup(&name)?;
+        Ok(PathExpr::Label(id))
+    }
+
+    fn lookup(&self, name: &str) -> Result<EdgeLabelId> {
+        self.resolver.resolve_edge_label(name).ok_or_else(|| {
+            SgqError::parse(format!("unknown edge label `{name}`"), self.pos)
+        })
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && (self.bytes[self.pos].is_ascii_alphanumeric() || self.bytes[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SgqError::parse("expected an edge label", start));
+        }
+        let s = self.input[start..self.pos].to_string();
+        self.skip_ws();
+        Ok(s)
+    }
+
+    fn integer(&mut self) -> Result<usize> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(SgqError::parse("expected an integer", start));
+        }
+        let n = self.input[start..self.pos]
+            .parse::<usize>()
+            .map_err(|e| SgqError::parse(e.to_string(), start))?;
+        self.skip_ws();
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn parse(s: &str) -> PathExpr {
+        parse_path(s, &fig1_yago_schema()).unwrap()
+    }
+
+    fn id(schema: &GraphSchema, name: &str) -> EdgeLabelId {
+        schema.edge_label(name).unwrap()
+    }
+
+    #[test]
+    fn single_label_and_reverse() {
+        let s = fig1_yago_schema();
+        assert_eq!(parse("owns"), PathExpr::Label(id(&s, "owns")));
+        assert_eq!(parse("-owns"), PathExpr::Reverse(id(&s, "owns")));
+    }
+
+    #[test]
+    fn concatenation_and_plus() {
+        let s = fig1_yago_schema();
+        let e = parse("livesIn/isLocatedIn+");
+        assert_eq!(
+            e,
+            PathExpr::concat(
+                PathExpr::Label(id(&s, "livesIn")),
+                PathExpr::plus(PathExpr::Label(id(&s, "isLocatedIn")))
+            )
+        );
+    }
+
+    #[test]
+    fn branches_left_and_right() {
+        let s = fig1_yago_schema();
+        // right branch: owns[isMarriedTo]
+        let r = parse("owns[isMarriedTo]");
+        assert_eq!(
+            r,
+            PathExpr::branch_r(
+                PathExpr::Label(id(&s, "owns")),
+                PathExpr::Label(id(&s, "isMarriedTo"))
+            )
+        );
+        // left branch: [owns]livesIn
+        let l = parse("[owns]livesIn");
+        assert_eq!(
+            l,
+            PathExpr::branch_l(
+                PathExpr::Label(id(&s, "owns")),
+                PathExpr::Label(id(&s, "livesIn"))
+            )
+        );
+    }
+
+    #[test]
+    fn example6_nested_branches() {
+        // ϕ1 = [owns]([isMarriedTo]livesIn)
+        let e = parse("[owns]([isMarriedTo]livesIn)");
+        let s = fig1_yago_schema();
+        assert_eq!(
+            e,
+            PathExpr::branch_l(
+                PathExpr::Label(id(&s, "owns")),
+                PathExpr::branch_l(
+                    PathExpr::Label(id(&s, "isMarriedTo")),
+                    PathExpr::Label(id(&s, "livesIn"))
+                )
+            )
+        );
+    }
+
+    #[test]
+    fn union_conj_precedence() {
+        let s = fig1_yago_schema();
+        // a/b & c | d parses as ((a/b) & c) | d
+        let e = parse("owns/isLocatedIn & livesIn | dealsWith");
+        assert_eq!(
+            e,
+            PathExpr::union(
+                PathExpr::conj(
+                    PathExpr::concat(
+                        PathExpr::Label(id(&s, "owns")),
+                        PathExpr::Label(id(&s, "isLocatedIn"))
+                    ),
+                    PathExpr::Label(id(&s, "livesIn"))
+                ),
+                PathExpr::Label(id(&s, "dealsWith"))
+            )
+        );
+    }
+
+    #[test]
+    fn unicode_operators() {
+        assert_eq!(parse("owns ∪ livesIn"), parse("owns | livesIn"));
+        assert_eq!(parse("owns ∩ livesIn"), parse("owns & livesIn"));
+    }
+
+    #[test]
+    fn repetition_sugar() {
+        let e = parse("isMarriedTo{1,3}");
+        assert_eq!(e.union_components().len(), 3);
+        let exact = parse("isMarriedTo{2}");
+        assert_eq!(exact.union_components().len(), 1);
+        assert_eq!(exact.size(), 3);
+    }
+
+    #[test]
+    fn double_plus_parses() {
+        let e = parse("isLocatedIn++");
+        assert_eq!(
+            e,
+            PathExpr::plus(PathExpr::plus(PathExpr::Label(
+                fig1_yago_schema().edge_label("isLocatedIn").unwrap()
+            )))
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let s = fig1_yago_schema();
+        assert!(parse_path("unknownLabel", &s).is_err());
+        assert!(parse_path("owns/", &s).is_err());
+        assert!(parse_path("(owns", &s).is_err());
+        assert!(parse_path("owns]", &s).is_err());
+        assert!(parse_path("owns{0,2}", &s).is_err());
+        assert!(parse_path("owns{3,2}", &s).is_err());
+        assert!(parse_path("", &s).is_err());
+    }
+
+    #[test]
+    fn interner_resolver_interns_nothing() {
+        let mut i = sgq_common::Interner::new();
+        i.intern("knows");
+        let e = parse_path("knows+", &i).unwrap();
+        assert!(e.is_recursive());
+        assert!(parse_path("likes", &i).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Fig. 14 bench: the same chain-shaped queries on the graph backend
+//! (Neo4j stand-in) and the relational backend (PostgreSQL stand-in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_harness::runner::{run_query, Approach, Backend, RunConfig, Session};
+
+fn bench(c: &mut Criterion) {
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.3));
+    let session = Session::new(&schema, &db);
+    let config = RunConfig {
+        timeout_ms: 10_000,
+        repetitions: 1,
+        ..Default::default()
+    };
+    let queries = ldbc::queries(&schema).expect("catalog parses");
+    let mut group = c.benchmark_group("fig14_backends");
+    group.sample_size(10);
+    for q in queries.iter().filter(|q| {
+        sgq_translate::cypher_expressible(&q.ucqt())
+            && matches!(q.name, "IC2" | "IC11" | "IS2" | "BI9")
+    }) {
+        for (backend, tag) in [(Backend::Graph, "G"), (Backend::Relational, "P")] {
+            for (approach, atag) in [(Approach::Baseline, "B"), (Approach::Schema, "S")] {
+                group.bench_with_input(
+                    BenchmarkId::new(q.name, format!("{tag}{atag}")),
+                    &(backend, approach),
+                    |b, &(backend, approach)| {
+                        b.iter(|| run_query(&session, &q.expr, approach, backend, &config))
+                    },
+                );
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the relational substrate: hash join, semi-join and
+//! the semi-naive transitive-closure fixpoint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_ra::exec::{execute, ExecContext};
+use sgq_ra::term::{closure_fixpoint, RaTerm};
+use sgq_ra::RelStore;
+
+fn bench(c: &mut Criterion) {
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.3));
+    let store = RelStore::load(&db);
+    let knows = schema.edge_label("knows").unwrap();
+    let is_located_in = schema.edge_label("isLocatedIn").unwrap();
+    let is_part_of = schema.edge_label("isPartOf").unwrap();
+    let city = schema.node_label("City").unwrap();
+
+    let scan = |label, src: &str, tgt: &str| RaTerm::EdgeScan {
+        label,
+        src: src.into(),
+        tgt: tgt.into(),
+    };
+
+    let mut group = c.benchmark_group("ra_operators");
+    group.bench_function("hash_join_knows_isLocatedIn", |b| {
+        let t = RaTerm::join(scan(knows, "x", "y"), scan(is_located_in, "y", "z"));
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute(&t, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("semijoin_isLocatedIn_city", |b| {
+        let t = RaTerm::semijoin(
+            scan(is_located_in, "x", "y"),
+            RaTerm::NodeScan {
+                labels: vec![city],
+                col: "y".into(),
+            },
+        );
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute(&t, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("fixpoint_isPartOf_closure", |b| {
+        let t = closure_fixpoint("X", scan(is_part_of, "x", "y"), "x", "y", "m");
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute(&t, &store, &mut ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

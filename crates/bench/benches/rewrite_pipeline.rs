@@ -1,0 +1,32 @@
+//! Rewriter-cost bench: how long the schema-based rewrite itself takes
+//! (the paper's optimisation must be cheap relative to execution).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_core::pipeline::{rewrite_path, RewriteOptions};
+use sgq_datasets::{ldbc, yago};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_pipeline");
+    let lschema = ldbc::schema();
+    for q in ldbc::queries(&lschema).expect("catalog parses") {
+        if !matches!(q.name, "IC1" | "IC13" | "Y1" | "BI11") {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("ldbc", q.name), &q.expr, |b, expr| {
+            b.iter(|| rewrite_path(&lschema, expr, RewriteOptions::default()))
+        });
+    }
+    let yschema = yago::schema();
+    for q in yago::queries(&yschema).expect("catalog parses") {
+        if !matches!(q.name, "Y1" | "Y6" | "Y9") {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::new("yago", q.name), &q.expr, |b, expr| {
+            b.iter(|| rewrite_path(&yschema, expr, RewriteOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

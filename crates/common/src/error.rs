@@ -1,0 +1,88 @@
+//! The shared error type.
+
+use std::fmt;
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, SgqError>;
+
+/// Errors produced anywhere in the schema-graph-query stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgqError {
+    /// A query/path-expression parse error, with position information.
+    Parse {
+        /// Human-readable description.
+        message: String,
+        /// Byte offset in the input where the error was detected.
+        position: usize,
+    },
+    /// The schema itself is malformed (dangling ids, duplicate labels...).
+    Schema(String),
+    /// A database violates its schema (Def. 3 consistency).
+    Consistency(String),
+    /// A query is ill-formed (unknown label, unbound head variable...).
+    Query(String),
+    /// A query is not expressible in a restricted target language
+    /// (e.g. UCQT features beyond Cypher's UC2RPQ fragment, §4).
+    NotExpressible(String),
+    /// An execution-time failure (e.g. fixpoint budget exhausted).
+    Execution(String),
+    /// A query run exceeded the harness timeout (§5.1.5).
+    Timeout {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl fmt::Display for SgqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SgqError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            SgqError::Schema(m) => write!(f, "schema error: {m}"),
+            SgqError::Consistency(m) => write!(f, "schema-database consistency violation: {m}"),
+            SgqError::Query(m) => write!(f, "query error: {m}"),
+            SgqError::NotExpressible(m) => write!(f, "not expressible in target language: {m}"),
+            SgqError::Execution(m) => write!(f, "execution error: {m}"),
+            SgqError::Timeout { limit_ms } => write!(f, "query timed out after {limit_ms} ms"),
+        }
+    }
+}
+
+impl std::error::Error for SgqError {}
+
+impl SgqError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(message: impl Into<String>, position: usize) -> Self {
+        SgqError::Parse {
+            message: message.into(),
+            position,
+        }
+    }
+
+    /// Whether this error is a timeout (used by the feasibility harness).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, SgqError::Timeout { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = SgqError::parse("unexpected token", 5);
+        assert_eq!(e.to_string(), "parse error at byte 5: unexpected token");
+        assert_eq!(
+            SgqError::Timeout { limit_ms: 100 }.to_string(),
+            "query timed out after 100 ms"
+        );
+    }
+
+    #[test]
+    fn timeout_predicate() {
+        assert!(SgqError::Timeout { limit_ms: 1 }.is_timeout());
+        assert!(!SgqError::Schema("x".into()).is_timeout());
+    }
+}

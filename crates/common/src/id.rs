@@ -1,0 +1,119 @@
+//! Compact `u32` newtype identifiers.
+//!
+//! Every entity in the system — nodes, edges, labels, property keys, query
+//! variables — is referred to by a 4-byte id. This keeps hot structures
+//! small (Rust Performance Book, "Type Sizes") and makes hashing cheap.
+
+/// Defines a `u32` newtype id with the standard conversions.
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Constructs the id from a raw index.
+            #[inline]
+            pub const fn new(raw: u32) -> Self {
+                Self(raw)
+            }
+
+            /// Raw `u32` value.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// Value as a `usize` index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(raw: usize) -> Self {
+                debug_assert!(raw <= u32::MAX as usize);
+                Self(raw as u32)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of a node in a graph database (or schema).
+    NodeId,
+    "n"
+);
+define_id!(
+    /// Identifier of an edge in a graph database (or schema).
+    EdgeId,
+    "e"
+);
+define_id!(
+    /// Identifier of an interned node label (`PERSON`, `CITY`, ...).
+    NodeLabelId,
+    "ln"
+);
+define_id!(
+    /// Identifier of an interned edge label (`knows`, `isLocatedIn`, ...).
+    EdgeLabelId,
+    "le"
+);
+define_id!(
+    /// Identifier of an interned property key (`name`, `age`, ...).
+    KeyId,
+    "k"
+);
+define_id!(
+    /// Identifier of a query variable.
+    VarId,
+    "?x"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let n = NodeId::new(7);
+        assert_eq!(n.raw(), 7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7u32), n);
+        assert_eq!(NodeId::from(7usize), n);
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(EdgeLabelId::new(1).to_string(), "le1");
+        assert_eq!(VarId::new(0).to_string(), "?x0");
+    }
+
+    #[test]
+    fn ordering_follows_raw() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::new(5), NodeId::new(5));
+    }
+}

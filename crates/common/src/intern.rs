@@ -1,0 +1,114 @@
+//! A simple string interner.
+//!
+//! Labels and property keys are interned once at schema-construction time;
+//! afterwards all comparisons are `u32` comparisons. The interner is owned by
+//! the schema (or database) and is not global, so independent schemas never
+//! share id spaces by accident.
+
+use crate::hash::FxHashMap;
+
+/// Interns strings, handing out dense `u32` ids in insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    index: FxHashMap<Box<str>, u32>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or fresh).
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id of `name` without interning.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Resolves an id, returning `None` for foreign ids.
+    pub fn try_resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| &**s)
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names.iter().enumerate().map(|(i, s)| (i as u32, &**s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("PERSON");
+        let b = i.intern("PERSON");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), 0);
+        assert_eq!(i.intern("b"), 1);
+        assert_eq!(i.intern("c"), 2);
+        assert_eq!(i.resolve(1), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        i.intern("x");
+        assert_eq!(i.get("x"), Some(0));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn try_resolve_handles_foreign_ids() {
+        let i = Interner::new();
+        assert_eq!(i.try_resolve(3), None);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let v: Vec<_> = i.iter().collect();
+        assert_eq!(v, vec![(0, "a"), (1, "b")]);
+    }
+}

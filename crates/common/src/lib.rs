@@ -1,0 +1,22 @@
+//! Common foundations shared by every `schema-graph-query` crate.
+//!
+//! This crate deliberately has no dependencies: it provides
+//!
+//! * compact `u32` newtype identifiers ([`id`]),
+//! * an FxHash-style fast hasher and map/set aliases ([`hash`]),
+//! * a string interner ([`intern`]),
+//! * sorted-vector set algebra used by the engines ([`sorted`]),
+//! * the shared error type ([`error`]).
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hash;
+pub mod id;
+pub mod intern;
+pub mod sorted;
+
+pub use error::{Result, SgqError};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use id::{EdgeId, EdgeLabelId, KeyId, NodeId, NodeLabelId, VarId};
+pub use intern::Interner;

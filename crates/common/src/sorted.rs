@@ -1,0 +1,222 @@
+//! Set algebra over sorted, deduplicated vectors.
+//!
+//! Both engines use `Vec<(NodeId, NodeId)>`-style sorted pair sets as their
+//! common relation currency; this module provides the merge-based union /
+//! intersection / difference primitives and the normalisation helper they
+//! rely on.
+
+/// Sorts and deduplicates `v` in place, making it a canonical set.
+pub fn normalize<T: Ord>(v: &mut Vec<T>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+/// Returns whether `v` is sorted strictly ascending (i.e. a canonical set).
+pub fn is_normalized<T: Ord>(v: &[T]) -> bool {
+    v.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Merge-union of two canonical sets.
+pub fn union<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    debug_assert!(is_normalized(a) && is_normalized(b));
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Merge-intersection of two canonical sets.
+///
+/// Uses galloping (exponential) search when one side is much smaller, which
+/// matters when intersecting a tiny label filter with a large edge relation.
+pub fn intersect<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    debug_assert!(is_normalized(a) && is_normalized(b));
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return Vec::new();
+    }
+    // Galloping pays off when the size ratio is large.
+    if large.len() / small.len().max(1) >= 16 {
+        let mut out = Vec::with_capacity(small.len());
+        let mut lo = 0usize;
+        for x in small {
+            match gallop(&large[lo..], x) {
+                Ok(pos) => {
+                    out.push(x.clone());
+                    lo += pos + 1;
+                }
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                break;
+            }
+        }
+        return out;
+    }
+    let mut out = Vec::with_capacity(small.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i].clone());
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Merge-difference `a \ b` of two canonical sets.
+pub fn difference<T: Ord + Clone>(a: &[T], b: &[T]) -> Vec<T> {
+    debug_assert!(is_normalized(a) && is_normalized(b));
+    let mut out = Vec::with_capacity(a.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i].clone());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out
+}
+
+/// Binary membership test on a canonical set.
+pub fn contains<T: Ord>(a: &[T], x: &T) -> bool {
+    a.binary_search(x).is_ok()
+}
+
+/// Exponential ("galloping") search for `x` in sorted slice `s`.
+///
+/// Returns `Ok(pos)` if found, `Err(insertion_pos)` otherwise — the same
+/// contract as `slice::binary_search`.
+fn gallop<T: Ord>(s: &[T], x: &T) -> Result<usize, usize> {
+    let mut hi = 1usize;
+    while hi < s.len() && &s[hi] < x {
+        hi *= 2;
+    }
+    let lo = hi / 2;
+    // The probe at `hi` satisfies s[hi] >= x (or is out of bounds), so the
+    // match may sit exactly at index `hi`: the search window must include
+    // it.
+    let hi = (hi + 1).min(s.len());
+    match s[lo..hi].binary_search(x) {
+        Ok(p) => Ok(lo + p),
+        Err(p) => Err(lo + p),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut v = vec![3, 1, 2, 3, 1];
+        normalize(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+        assert!(is_normalized(&v));
+    }
+
+    #[test]
+    fn union_basic() {
+        assert_eq!(union(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union::<i32>(&[], &[]), Vec::<i32>::new());
+        assert_eq!(union(&[1], &[]), vec![1]);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect::<i32>(&[1, 2], &[]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn intersect_galloping_path() {
+        let large: Vec<u32> = (0..10_000).map(|x| x * 2).collect();
+        let small = vec![3u32, 400, 401, 9998];
+        assert_eq!(intersect(&small, &large), vec![400, 9998]);
+        assert_eq!(intersect(&large, &small), vec![400, 9998]);
+    }
+
+    #[test]
+    fn gallop_finds_match_at_probe_boundary() {
+        // Regression: a match sitting exactly at the doubling probe index
+        // (1, 2, 4, ...) must be found. Found by the Theorem 1 proptest.
+        assert_eq!(intersect(&[5], &[1, 5]), vec![5]);
+        let large: Vec<u32> = (0..1000).collect();
+        for x in [1u32, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            assert_eq!(intersect(&[x], &large), vec![x], "boundary {x}");
+        }
+    }
+
+    #[test]
+    fn intersect_exhaustive_against_naive() {
+        // Cross-check the galloping path against the merge path on dense
+        // ratio patterns.
+        let large: Vec<u32> = (0..500).map(|x| x * 3).collect();
+        for start in 0..20u32 {
+            let small: Vec<u32> = (start..start + 4).map(|x| x * 7).collect();
+            let naive: Vec<u32> = small
+                .iter()
+                .copied()
+                .filter(|x| large.binary_search(x).is_ok())
+                .collect();
+            assert_eq!(intersect(&small, &large), naive, "start {start}");
+        }
+    }
+
+    #[test]
+    fn difference_basic() {
+        assert_eq!(difference(&[1, 2, 3, 4], &[2, 4]), vec![1, 3]);
+        assert_eq!(difference(&[1, 2], &[1, 2]), Vec::<i32>::new());
+        assert_eq!(difference::<i32>(&[], &[1]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn contains_basic() {
+        assert!(contains(&[1, 4, 9], &4));
+        assert!(!contains(&[1, 4, 9], &5));
+    }
+
+    #[test]
+    fn set_laws_on_samples() {
+        let a = vec![1, 2, 5, 9, 12];
+        let b = vec![2, 3, 9, 10];
+        let u = union(&a, &b);
+        let i = intersect(&a, &b);
+        // |A ∪ B| + |A ∩ B| == |A| + |B|
+        assert_eq!(u.len() + i.len(), a.len() + b.len());
+        // A \ B and A ∩ B partition A
+        let d = difference(&a, &b);
+        assert_eq!(union(&d, &i), a);
+    }
+}

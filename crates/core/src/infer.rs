@@ -1,0 +1,370 @@
+//! The type-inference system `⊢S ϕ : t` of Fig. 8.
+//!
+//! [`infer_triples`] computes `TS(ϕ) = {t | ⊢S ϕ : t}` — the set of all
+//! graph schema triples compatible with `ϕ` — by structural induction,
+//! delegating transitive closures to [`crate::plc`].
+//!
+//! The inference rules:
+//!
+//! ```text
+//! TBASIC    (ln, le, l'n) ∈ Tb(S)            ⟹ ⊢ le : (ln, le, l'n)
+//! TMINUS    ⊢ ϕ : (ln, ψ, l'n)               ⟹ ⊢ -ϕ : (l'n, -ψ, ln)
+//! TCONCAT   ⊢ ϕ1:(ln,ψ1,l'n), ⊢ ϕ2:(l'n,ψ2,l''n)
+//!                                            ⟹ ⊢ ϕ1/ϕ2 : (ln, ψ1/l'n ψ2, l''n)
+//! TUNION    ⊢ ϕi : t                         ⟹ ⊢ ϕ1 ∪ ϕ2 : t
+//! TCONJ     ⊢ ϕ1:(ln,ψ1,l'n), ⊢ ϕ2:(ln,ψ2,l'n)
+//!                                            ⟹ ⊢ ϕ1 ∩ ϕ2 : (ln, ψ1∩ψ2, l'n)
+//! TBRANCHR  ⊢ ϕ1:(ln,ψ1,l'n), ⊢ ϕ2:(l'n,ψ2,l''n)
+//!                                            ⟹ ⊢ ϕ1[ϕ2] : (ln, ψ1[ψ2], l'n)
+//! TBRANCHL  ⊢ ϕ1:(ln,ψ1,l'n), ⊢ ϕ2:(ln,ψ2,l''n)
+//!                                            ⟹ ⊢ [ϕ1]ϕ2 : (ln, [ψ1]ψ2, l''n)
+//! TPLUS     t ∈ PlC(ϕ, TS(ϕ))               ⟹ ⊢ ϕ+ : t
+//! ```
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{Result, SgqError};
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::AnnotatedPath;
+
+use crate::plc::{plc, PlcOptions};
+use crate::triple::Triple;
+
+/// Budgets and switches for the inference.
+#[derive(Debug, Clone, Copy)]
+pub struct InferOptions {
+    /// Passed through to [`plc`].
+    pub plc: PlcOptions,
+    /// Maximum size of any intermediate `TS(ϕ)`; exceeding it aborts the
+    /// rewrite (the pipeline then reverts to the baseline query).
+    pub max_triples: usize,
+}
+
+impl Default for InferOptions {
+    fn default() -> Self {
+        InferOptions {
+            plc: PlcOptions::default(),
+            max_triples: 4096,
+        }
+    }
+}
+
+/// Computes `TS(ϕ)` under `schema`.
+pub fn infer_triples(
+    schema: &GraphSchema,
+    expr: &PathExpr,
+    opts: InferOptions,
+) -> Result<Vec<Triple>> {
+    let mut out = infer_rec(schema, expr, &opts)?;
+    dedup(&mut out);
+    Ok(out)
+}
+
+fn check_budget(set: &[Triple], opts: &InferOptions) -> Result<()> {
+    if set.len() > opts.max_triples {
+        return Err(SgqError::Execution(format!(
+            "type inference exceeded the triple budget ({} > {})",
+            set.len(),
+            opts.max_triples
+        )));
+    }
+    Ok(())
+}
+
+fn dedup(v: &mut Vec<Triple>) {
+    v.sort_unstable_by(|a, b| {
+        (a.src, &a.psi, a.tgt, &a.plus_paths).cmp(&(b.src, &b.psi, b.tgt, &b.plus_paths))
+    });
+    v.dedup();
+}
+
+fn infer_rec(schema: &GraphSchema, expr: &PathExpr, opts: &InferOptions) -> Result<Vec<Triple>> {
+    let mut out = match expr {
+        // TBASIC
+        PathExpr::Label(le) => schema
+            .triples_for_edge_label(*le)
+            .iter()
+            .map(|&(s, t)| Triple::new(s, AnnotatedPath::plain(PathExpr::Label(*le)), t))
+            .collect(),
+        // TMINUS (reverse flips endpoints)
+        PathExpr::Reverse(le) => schema
+            .triples_for_edge_label(*le)
+            .iter()
+            .map(|&(s, t)| Triple::new(t, AnnotatedPath::plain(PathExpr::Reverse(*le)), s))
+            .collect(),
+        // TCONCAT
+        PathExpr::Concat(a, b) => {
+            let ta = infer_rec(schema, a, opts)?;
+            let tb = infer_rec(schema, b, opts)?;
+            let mut out = Vec::new();
+            for t1 in &ta {
+                for t2 in &tb {
+                    if t1.tgt == t2.src {
+                        let mut paths = t1.plus_paths.clone();
+                        paths.extend_from_slice(&t2.plus_paths);
+                        out.push(Triple::with_paths(
+                            t1.src,
+                            AnnotatedPath::concat(
+                                t1.psi.clone(),
+                                Some(vec![t1.tgt]),
+                                t2.psi.clone(),
+                            ),
+                            t2.tgt,
+                            paths,
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        // TUNION (left and right)
+        PathExpr::Union(a, b) => {
+            let mut out = infer_rec(schema, a, opts)?;
+            out.extend(infer_rec(schema, b, opts)?);
+            out
+        }
+        // TCONJ: both endpoints must agree
+        PathExpr::Conj(a, b) => {
+            let ta = infer_rec(schema, a, opts)?;
+            let tb = infer_rec(schema, b, opts)?;
+            let mut out = Vec::new();
+            for t1 in &ta {
+                for t2 in &tb {
+                    if t1.src == t2.src && t1.tgt == t2.tgt {
+                        let mut paths = t1.plus_paths.clone();
+                        paths.extend_from_slice(&t2.plus_paths);
+                        out.push(Triple::with_paths(
+                            t1.src,
+                            AnnotatedPath::conj(t1.psi.clone(), t2.psi.clone()),
+                            t1.tgt,
+                            paths,
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        // TBRANCHR: result endpoints come from ϕ1
+        PathExpr::BranchR(a, b) => {
+            let ta = infer_rec(schema, a, opts)?;
+            let tb = infer_rec(schema, b, opts)?;
+            let mut out = Vec::new();
+            for t1 in &ta {
+                for t2 in &tb {
+                    if t1.tgt == t2.src {
+                        let mut paths = t1.plus_paths.clone();
+                        paths.extend_from_slice(&t2.plus_paths);
+                        out.push(Triple::with_paths(
+                            t1.src,
+                            AnnotatedPath::branch_r(t1.psi.clone(), t2.psi.clone()),
+                            t1.tgt,
+                            paths,
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        // TBRANCHL: result endpoints are (sc(ϕ2) = sc(ϕ1), tr(ϕ2))
+        PathExpr::BranchL(a, b) => {
+            let ta = infer_rec(schema, a, opts)?;
+            let tb = infer_rec(schema, b, opts)?;
+            let mut out = Vec::new();
+            for t1 in &ta {
+                for t2 in &tb {
+                    if t1.src == t2.src {
+                        let mut paths = t1.plus_paths.clone();
+                        paths.extend_from_slice(&t2.plus_paths);
+                        out.push(Triple::with_paths(
+                            t2.src,
+                            AnnotatedPath::branch_l(t1.psi.clone(), t2.psi.clone()),
+                            t2.tgt,
+                            paths,
+                        ));
+                    }
+                }
+            }
+            out
+        }
+        // TPLUS
+        PathExpr::Plus(a) => {
+            let mut ta = infer_rec(schema, a, opts)?;
+            dedup(&mut ta);
+            plc(a, &ta, opts.plc)
+        }
+    };
+    dedup(&mut out);
+    check_budget(&out, opts)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+    use sgq_query::cqt::annotated_to_string;
+
+    fn infer(s: &str) -> Vec<Triple> {
+        let schema = fig1_yago_schema();
+        let e = parse_path(s, &schema).unwrap();
+        infer_triples(&schema, &e, InferOptions::default()).unwrap()
+    }
+
+    fn rendered(s: &str) -> Vec<String> {
+        let schema = fig1_yago_schema();
+        infer(s).iter().map(|t| t.display(&schema)).collect()
+    }
+
+    #[test]
+    fn tbasic_single_label() {
+        let r = rendered("owns");
+        assert_eq!(r, vec!["(PERSON, owns, PROPERTY)"]);
+    }
+
+    #[test]
+    fn tbasic_overloaded_label() {
+        let r = rendered("isLocatedIn");
+        assert_eq!(r.len(), 3);
+        assert!(r.contains(&"(PROPERTY, isLocatedIn, CITY)".to_string()));
+        assert!(r.contains(&"(CITY, isLocatedIn, REGION)".to_string()));
+        assert!(r.contains(&"(REGION, isLocatedIn, COUNTRY)".to_string()));
+    }
+
+    #[test]
+    fn tminus_flips() {
+        let r = rendered("-owns");
+        assert_eq!(r, vec!["(PROPERTY, -owns, PERSON)"]);
+    }
+
+    #[test]
+    fn tconcat_joins_on_middle_label() {
+        // owns/isLocatedIn: only PROPERTY matches the middle
+        let r = rendered("owns/isLocatedIn");
+        assert_eq!(
+            r,
+            vec!["(PERSON, owns/{PROPERTY}isLocatedIn, CITY)"]
+        );
+    }
+
+    #[test]
+    fn tconcat_empty_when_incompatible() {
+        // livesIn ends at CITY; owns starts at PERSON — no chain
+        assert!(infer("livesIn/owns").is_empty());
+    }
+
+    #[test]
+    fn tunion_unions() {
+        let r = infer("owns | livesIn");
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn tconj_requires_both_endpoints() {
+        let r = rendered("isMarriedTo & isMarriedTo");
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("PERSON"));
+        assert!(infer("owns & livesIn").is_empty());
+    }
+
+    #[test]
+    fn tbranch_r_keeps_phi1_endpoints() {
+        // livesIn[isLocatedIn]: CITY has an outgoing isLocatedIn
+        let r = rendered("livesIn[isLocatedIn]");
+        assert_eq!(r, vec!["(PERSON, livesIn[isLocatedIn], CITY)"]);
+    }
+
+    #[test]
+    fn tbranch_l_takes_phi2_endpoints() {
+        let r = rendered("[owns]livesIn");
+        assert_eq!(r, vec!["(PERSON, [owns]livesIn, CITY)"]);
+    }
+
+    #[test]
+    fn table1_isl_plus() {
+        // Table 1 row 2: TS(isL+) has 6 triples
+        let schema = fig1_yago_schema();
+        let r = infer("isLocatedIn+");
+        assert_eq!(r.len(), 6);
+        let rendered: Vec<String> = r.iter().map(|t| t.display(&schema)).collect();
+        for expected in [
+            "(PROPERTY, isLocatedIn, CITY)",
+            "(CITY, isLocatedIn, REGION)",
+            "(REGION, isLocatedIn, COUNTRY)",
+            "(PROPERTY, isLocatedIn/{CITY}isLocatedIn, REGION)",
+            "(CITY, isLocatedIn/{REGION}isLocatedIn, COUNTRY)",
+            "(PROPERTY, isLocatedIn/{CITY}isLocatedIn/{REGION}isLocatedIn, COUNTRY)",
+        ] {
+            assert!(
+                rendered.contains(&expected.to_string()),
+                "missing {expected} in {rendered:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_dw_plus() {
+        let r = rendered("dealsWith+");
+        assert_eq!(r, vec!["(COUNTRY, dealsWith+, COUNTRY)"]);
+    }
+
+    #[test]
+    fn table1_lvin_isl_plus() {
+        // Table 1 row 4: two triples
+        let r = rendered("livesIn/isLocatedIn+");
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&"(PERSON, livesIn/{CITY}isLocatedIn, REGION)".to_string()));
+        assert!(r
+            .contains(&"(PERSON, livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn, COUNTRY)".to_string()));
+    }
+
+    #[test]
+    fn table1_full_phi4() {
+        // Table 1 row 5: exactly one triple
+        let schema = fig1_yago_schema();
+        let r = infer("livesIn/isLocatedIn+/dealsWith+");
+        assert_eq!(r.len(), 1);
+        let s = r[0].display(&schema);
+        assert_eq!(
+            s,
+            "(PERSON, livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn/{COUNTRY}dealsWith+, COUNTRY)"
+        );
+        // The closure of isLocatedIn was replaced by one fixed path of length 2.
+        assert_eq!(r[0].plus_paths, vec![2]);
+    }
+
+    #[test]
+    fn unknown_label_gives_empty() {
+        // a label with no schema edge yields the empty triple set
+        let mut b = sgq_graph::GraphSchema::builder();
+        b.node("X", &[]);
+        b.edge("X", "r", "X");
+        let schema = b.build().unwrap();
+        let mut interner = sgq_common::Interner::new();
+        interner.intern("r");
+        interner.intern("ghost");
+        let e = parse_path("ghost", &interner).unwrap();
+        let r = infer_triples(&schema, &e, InferOptions::default()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let schema = fig1_yago_schema();
+        let e = parse_path("isLocatedIn+", &schema).unwrap();
+        let opts = InferOptions {
+            max_triples: 2,
+            ..Default::default()
+        };
+        assert!(infer_triples(&schema, &e, opts).is_err());
+    }
+
+    #[test]
+    fn annotated_display_sanity() {
+        let schema = fig1_yago_schema();
+        let r = infer("owns/isLocatedIn");
+        assert_eq!(
+            annotated_to_string(&r[0].psi, &schema),
+            "owns/{PROPERTY}isLocatedIn"
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! The paper's primary contribution: **schema-based query rewriting**.
+//!
+//! Pipeline (§3, Fig. 10's Rewriter module):
+//!
+//! 1. [`simplify`] — preliminary path simplification, rules R1–R5 (Fig. 6),
+//! 2. [`infer`] — the type-inference system `⊢S ϕ : t` (Fig. 8) computing
+//!    the compatible-triple set `TS(ϕ)`,
+//! 3. [`plc`] — the `PlC` algorithm for transitive closure (Def. 8),
+//! 4. [`merge`] — triple merging `MS(ϕ)` (Def. 9),
+//! 5. [`redundant`] — redundant-annotation removal (§3.2.2),
+//! 6. [`translate`] — annotated expressions back to CQTs (`Q`, Fig. 9) and
+//!    the schema-enriched query `RS(ϕ)` (Def. 11),
+//! 7. [`pipeline`] — the end-to-end rewriter with revert detection (§5.2)
+//!    and ablation switches.
+
+#![warn(missing_docs)]
+
+pub mod infer;
+pub mod merge;
+pub mod pipeline;
+pub mod plc;
+pub mod redundant;
+pub mod simplify;
+pub mod translate;
+pub mod triple;
+
+pub use infer::infer_triples;
+pub use merge::{merge_triples, MergedTriple};
+pub use pipeline::{rewrite_path, rewrite_ucqt, RewriteOptions, RewriteOutcome, RewriteReport};
+pub use plc::PlusStats;
+pub use redundant::RedundancyRule;
+pub use simplify::simplify;
+pub use translate::{schema_enriched_query, schema_enriched_query_with};
+pub use triple::Triple;

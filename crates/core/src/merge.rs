@@ -1,0 +1,202 @@
+//! Triple merging: Definition 9.
+//!
+//! Triples of `TS(ϕ)` sharing the same *underlying* path expression differ
+//! only in their annotations; evaluating them separately and unioning
+//! afterwards would duplicate work. [`merge_triples`] partitions `TS(ϕ)` by
+//! underlying expression (and annotation *shape*) and merges each group
+//! into a single [`MergedTriple`] whose annotations are label sets.
+
+use std::collections::BTreeMap;
+
+use sgq_algebra::ast::PathExpr;
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::{AnnotatedPath, LabelSet};
+use sgq_query::cqt::annotated_to_string;
+
+use crate::triple::Triple;
+
+/// The merged triple `M(T) = (L1, Ψ, L2)` of Definition 9.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergedTriple {
+    /// Allowed source labels (`None` once proven redundant, §3.2.2).
+    pub src_labels: Option<LabelSet>,
+    /// The merged annotated path expression.
+    pub psi: AnnotatedPath,
+    /// Allowed target labels (`None` once proven redundant).
+    pub tgt_labels: Option<LabelSet>,
+    /// Fixed-length plus-expansion lengths carried through from the group
+    /// (Table 6 statistics).
+    pub plus_paths: Vec<u16>,
+}
+
+impl MergedTriple {
+    /// Renders in the paper's `(L1, Ψ, L2)` notation.
+    pub fn display(&self, schema: &GraphSchema) -> String {
+        let side = |ls: &Option<LabelSet>| match ls {
+            None => "∅".to_string(),
+            Some(ls) => {
+                let names: Vec<&str> =
+                    ls.iter().map(|&l| schema.node_label_name(l)).collect();
+                format!("{{{}}}", names.join(","))
+            }
+        };
+        format!(
+            "({}, {}, {})",
+            side(&self.src_labels),
+            annotated_to_string(&self.psi, schema),
+            side(&self.tgt_labels)
+        )
+    }
+}
+
+/// Shape fingerprint: the annotated expression with every label set
+/// replaced by a placeholder, so that `Some`/`None` positions (but not
+/// their contents) distinguish groups.
+fn shape(psi: &AnnotatedPath) -> AnnotatedPath {
+    match psi {
+        AnnotatedPath::Plain(e) => AnnotatedPath::Plain(e.clone()),
+        AnnotatedPath::Concat(a, ann, b) => AnnotatedPath::concat(
+            shape(a),
+            ann.as_ref().map(|_| Vec::new()),
+            shape(b),
+        ),
+        AnnotatedPath::BranchR(a, b) => AnnotatedPath::branch_r(shape(a), shape(b)),
+        AnnotatedPath::BranchL(a, b) => AnnotatedPath::branch_l(shape(a), shape(b)),
+        AnnotatedPath::Conj(a, b) => AnnotatedPath::conj(shape(a), shape(b)),
+    }
+}
+
+/// Computes `MS(ϕ)`: partitions `triples` by underlying expression and
+/// merges each group (Definition 9).
+pub fn merge_triples(triples: &[Triple]) -> Vec<MergedTriple> {
+    let mut groups: BTreeMap<(PathExpr, AnnotatedPath), Vec<&Triple>> = BTreeMap::new();
+    for t in triples {
+        groups
+            .entry((t.psi.strip(), shape(&t.psi)))
+            .or_default()
+            .push(t);
+    }
+    let mut out = Vec::with_capacity(groups.len());
+    for (_, group) in groups {
+        let mut src: LabelSet = group.iter().map(|t| t.src).collect();
+        let mut tgt: LabelSet = group.iter().map(|t| t.tgt).collect();
+        sgq_common::sorted::normalize(&mut src);
+        sgq_common::sorted::normalize(&mut tgt);
+        let mut psi = group[0].psi.clone();
+        for t in &group[1..] {
+            psi = psi
+                .merge_with(&t.psi)
+                .expect("triples in a merge group share their annotation shape");
+        }
+        out.push(MergedTriple {
+            src_labels: Some(src),
+            psi,
+            tgt_labels: Some(tgt),
+            plus_paths: group[0].plus_paths.clone(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_triples, InferOptions};
+    use sgq_algebra::parser::parse_path;
+    use sgq_common::NodeLabelId;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn merged(s: &str) -> Vec<MergedTriple> {
+        let schema = fig1_yago_schema();
+        let e = parse_path(s, &schema).unwrap();
+        let t = infer_triples(&schema, &e, InferOptions::default()).unwrap();
+        merge_triples(&t)
+    }
+
+    #[test]
+    fn single_triple_groups_alone() {
+        let schema = fig1_yago_schema();
+        let m = merged("owns");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].display(&schema), "({PERSON}, owns, {PROPERTY})");
+    }
+
+    #[test]
+    fn overloaded_label_merges_into_one() {
+        // isLocatedIn: 3 triples, same underlying expression -> 1 merged
+        let schema = fig1_yago_schema();
+        let m = merged("isLocatedIn");
+        assert_eq!(m.len(), 1);
+        assert_eq!(
+            m[0].display(&schema),
+            "({CITY,PROPERTY,REGION}, isLocatedIn, {CITY,REGION,COUNTRY})"
+        );
+    }
+
+    #[test]
+    fn plus_expansion_groups_by_length() {
+        // TS(isLocatedIn+) has 6 triples over 3 underlying expressions
+        // (lengths 1, 2 and 3) -> 3 merged triples.
+        let m = merged("isLocatedIn+");
+        assert_eq!(m.len(), 3);
+        let mut lens: Vec<usize> = m.iter().map(|t| t.plus_paths[0] as usize).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn example11_merge() {
+        // Two hand-built triples with the same underlying a+/b/d
+        let schema = fig1_yago_schema();
+        let a_plus = AnnotatedPath::plain(parse_path("isMarriedTo+", &schema).unwrap());
+        let b = AnnotatedPath::plain(parse_path("owns", &schema).unwrap());
+        let d = AnnotatedPath::plain(parse_path("livesIn", &schema).unwrap());
+        let mk = |ann1: u32, ann2: u32, src: u32, tgt: u32| {
+            Triple::new(
+                NodeLabelId::new(src),
+                AnnotatedPath::concat(
+                    AnnotatedPath::concat(
+                        a_plus.clone(),
+                        Some(vec![NodeLabelId::new(ann1)]),
+                        b.clone(),
+                    ),
+                    Some(vec![NodeLabelId::new(ann2)]),
+                    d.clone(),
+                ),
+                NodeLabelId::new(tgt),
+            )
+        };
+        let t1 = mk(10, 12, 0, 3);
+        let t2 = mk(11, 13, 0, 4);
+        let m = merge_triples(&[t1, t2]);
+        assert_eq!(m.len(), 1);
+        let mt = &m[0];
+        assert_eq!(mt.src_labels.as_deref(), Some(&[NodeLabelId::new(0)][..]));
+        assert_eq!(
+            mt.tgt_labels.as_deref(),
+            Some(&[NodeLabelId::new(3), NodeLabelId::new(4)][..])
+        );
+        match &mt.psi {
+            AnnotatedPath::Concat(inner, ann2, _) => {
+                assert_eq!(
+                    ann2.as_deref(),
+                    Some(&[NodeLabelId::new(12), NodeLabelId::new(13)][..])
+                );
+                match inner.as_ref() {
+                    AnnotatedPath::Concat(_, ann1, _) => assert_eq!(
+                        ann1.as_deref(),
+                        Some(&[NodeLabelId::new(10), NodeLabelId::new(11)][..])
+                    ),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn union_splits_groups() {
+        let m = merged("owns | livesIn");
+        assert_eq!(m.len(), 2);
+    }
+}

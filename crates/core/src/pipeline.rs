@@ -1,0 +1,693 @@
+//! The end-to-end rewriter (the paper's Fig. 10 "Rewriter" module):
+//! PPS → SQ-Rewriter → SQ-Merge, with revert detection (§5.2) and the
+//! ablation switches exercised by the benchmark suite.
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{FxHashMap, Result, VarId};
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::{AnnotatedPath, LabelSet};
+use sgq_query::cqt::{Cqt, LabelAtom, Relation, Ucqt};
+use sgq_query::vars::VarGen;
+
+use crate::infer::{infer_triples, InferOptions};
+use crate::merge::{merge_triples, MergedTriple};
+use crate::plc::{PlcOptions, PlusStats};
+use crate::redundant::{remove_redundant_with, RedundancyRule};
+use crate::simplify::simplify;
+use crate::translate::q_translate;
+
+/// Switches and budgets for the rewrite pipeline. The boolean switches are
+/// the ablation axes benchmarked by `sgq-bench/benches/ablation.rs`.
+#[derive(Debug, Clone, Copy)]
+pub struct RewriteOptions {
+    /// Apply the preliminary path simplification R1–R5 (Fig. 6).
+    pub simplify: bool,
+    /// Allow `PlC` to replace closures with fixed-length paths (Def. 8).
+    pub tc_elimination: bool,
+    /// Keep node-label annotations / atoms (the semi-join sources).
+    pub annotations: bool,
+    /// Which redundant annotations to remove (§3.2.2).
+    pub redundancy: RedundancyRule,
+    /// Budget: maximum `|TS(ϕ)|` before reverting.
+    pub max_triples: usize,
+    /// Budget: maximum simple paths enumerated by `PlC`.
+    pub max_paths: usize,
+    /// Budget: maximum disjuncts in the rewritten union before reverting.
+    pub max_disjuncts: usize,
+}
+
+impl Default for RewriteOptions {
+    fn default() -> Self {
+        RewriteOptions {
+            simplify: true,
+            tc_elimination: true,
+            annotations: true,
+            redundancy: RedundancyRule::default(),
+            max_triples: 4096,
+            max_paths: 4096,
+            max_disjuncts: 128,
+        }
+    }
+}
+
+impl RewriteOptions {
+    fn infer_opts(&self) -> InferOptions {
+        InferOptions {
+            plc: PlcOptions {
+                tc_elimination: self.tc_elimination,
+                max_paths: self.max_paths,
+            },
+            max_triples: self.max_triples,
+        }
+    }
+}
+
+/// What the rewriter produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RewriteOutcome {
+    /// A genuinely schema-enriched query.
+    Enriched(Ucqt),
+    /// The rewrite reverted to the (simplified) original query — the
+    /// schema offered nothing (§5.2); engines run the baseline plan.
+    Reverted(Ucqt),
+    /// The schema proves the query returns no results on any conforming
+    /// database.
+    Empty,
+}
+
+impl RewriteOutcome {
+    /// The query to execute, if any.
+    pub fn query(&self) -> Option<&Ucqt> {
+        match self {
+            RewriteOutcome::Enriched(q) | RewriteOutcome::Reverted(q) => Some(q),
+            RewriteOutcome::Empty => None,
+        }
+    }
+
+    /// Whether the rewrite reverted.
+    pub fn is_reverted(&self) -> bool {
+        matches!(self, RewriteOutcome::Reverted(_))
+    }
+}
+
+/// Diagnostics produced alongside the rewrite (Tab. 6 statistics, §5.2
+/// revert accounting).
+#[derive(Debug, Clone, Default)]
+pub struct RewriteReport {
+    /// Aggregated fixed-length-path statistics over the final query.
+    pub plus_stats: PlusStats,
+    /// Whether the original query was recursive.
+    pub was_recursive: bool,
+    /// Whether the final query still contains a transitive closure.
+    pub still_recursive: bool,
+    /// Number of disjuncts in the final query.
+    pub disjuncts: usize,
+    /// Number of label atoms in the final query.
+    pub atoms: usize,
+    /// Why the rewrite reverted, when it did.
+    pub revert_reason: Option<String>,
+}
+
+impl RewriteReport {
+    /// Transitive closure fully eliminated (Tab. 6 accounting).
+    pub fn closure_eliminated(&self) -> bool {
+        self.was_recursive && !self.still_recursive
+    }
+}
+
+/// Result of [`rewrite_ucqt`] / [`rewrite_path`].
+#[derive(Debug, Clone)]
+pub struct Rewritten {
+    /// The produced query (or revert/empty marker).
+    pub outcome: RewriteOutcome,
+    /// Diagnostics.
+    pub report: RewriteReport,
+}
+
+/// Rewrites a bare path query `{(α, β) | (α, ϕ, β)}`.
+pub fn rewrite_path(schema: &GraphSchema, phi: &PathExpr, opts: RewriteOptions) -> Rewritten {
+    rewrite_ucqt(schema, &Ucqt::path_query(phi.clone()), opts)
+}
+
+/// Rewrites an arbitrary UCQT: every relation of every disjunct is
+/// simplified, type-inferred, merged and re-translated; the per-relation
+/// alternatives are distributed into a union of CQTs.
+pub fn rewrite_ucqt(schema: &GraphSchema, query: &Ucqt, opts: RewriteOptions) -> Rewritten {
+    let baseline = simplify_query(query, opts.simplify);
+    let was_recursive = query.kind() == sgq_query::cqt::QueryKind::Recursive;
+
+    match try_rewrite(schema, &baseline, opts) {
+        Ok(Some((enriched, stats))) => {
+            if enriched.disjuncts.is_empty() {
+                let report = RewriteReport {
+                    plus_stats: stats,
+                    was_recursive,
+                    still_recursive: false,
+                    disjuncts: 0,
+                    atoms: 0,
+                    revert_reason: None,
+                };
+                return Rewritten {
+                    outcome: RewriteOutcome::Empty,
+                    report,
+                };
+            }
+            let trivial = is_trivial_rewrite(&enriched, &baseline);
+            let still_recursive =
+                enriched.kind() == sgq_query::cqt::QueryKind::Recursive;
+            let atoms = enriched.disjuncts.iter().map(|c| c.atoms.len()).sum();
+            let report = RewriteReport {
+                plus_stats: stats,
+                was_recursive,
+                still_recursive,
+                disjuncts: enriched.disjuncts.len(),
+                atoms,
+                revert_reason: trivial.then(|| "no exploitable schema information".into()),
+            };
+            let outcome = if trivial {
+                RewriteOutcome::Reverted(baseline)
+            } else {
+                RewriteOutcome::Enriched(enriched)
+            };
+            Rewritten { outcome, report }
+        }
+        Ok(None) | Err(_) => {
+            // Budget exceeded (or inference failed): revert, never degrade.
+            let reason = "rewrite budget exceeded".to_string();
+            let report = RewriteReport {
+                plus_stats: PlusStats::default(),
+                was_recursive,
+                still_recursive: was_recursive,
+                disjuncts: baseline.disjuncts.len(),
+                atoms: 0,
+                revert_reason: Some(reason),
+            };
+            Rewritten {
+                outcome: RewriteOutcome::Reverted(baseline),
+                report,
+            }
+        }
+    }
+}
+
+/// Simplifies every relation of the query with R1–R5.
+fn simplify_query(query: &Ucqt, enabled: bool) -> Ucqt {
+    if !enabled {
+        return query.clone();
+    }
+    let mut out = query.clone();
+    for c in &mut out.disjuncts {
+        for r in &mut c.relations {
+            r.path = AnnotatedPath::Plain(simplify(&r.path.strip()));
+        }
+    }
+    out
+}
+
+/// Core rewrite: returns `Ok(None)` when a budget was exceeded.
+fn try_rewrite(
+    schema: &GraphSchema,
+    baseline: &Ucqt,
+    opts: RewriteOptions,
+) -> Result<Option<(Ucqt, PlusStats)>> {
+    let mut disjuncts_out: Vec<Cqt> = Vec::new();
+    let mut stats = PlusStats::default();
+
+    for cqt in &baseline.disjuncts {
+        // Per-relation merged alternatives.
+        let mut per_relation: Vec<Vec<MergedTriple>> = Vec::with_capacity(cqt.relations.len());
+        for rel in &cqt.relations {
+            let phi = rel.path.strip();
+            let triples = infer_triples(schema, &phi, opts.infer_opts())?;
+            let mut merged: Vec<MergedTriple> = merge_triples(&triples)
+                .iter()
+                .map(|m| remove_redundant_with(schema, m, opts.redundancy))
+                .collect();
+            if !opts.annotations {
+                merged = merged.into_iter().map(strip_annotations).collect();
+            }
+            for m in &merged {
+                stats.path_lengths.extend_from_slice(&m.plus_paths);
+                if m.psi.is_recursive() {
+                    stats.closure_kept = true;
+                }
+            }
+            per_relation.push(merged);
+        }
+
+        // Distribute: cartesian product of per-relation alternatives.
+        if per_relation.iter().any(Vec::is_empty) {
+            // Some relation is unsatisfiable: the whole disjunct is empty.
+            continue;
+        }
+        let combos: usize = per_relation.iter().map(Vec::len).product();
+        if combos + disjuncts_out.len() > opts.max_disjuncts {
+            return Ok(None);
+        }
+        let mut indices = vec![0usize; per_relation.len()];
+        loop {
+            if let Some(new_cqt) = build_combo(cqt, &per_relation, &indices) {
+                disjuncts_out.push(new_cqt);
+            }
+            if !advance(&mut indices, &per_relation) {
+                break;
+            }
+        }
+    }
+    stats.path_lengths.sort_unstable();
+
+    let enriched = Ucqt {
+        head: baseline.head.clone(),
+        disjuncts: disjuncts_out,
+    };
+    Ok(Some((enriched, stats)))
+}
+
+/// Advances a mixed-radix counter over the per-relation alternatives;
+/// returns `false` once all combinations have been visited.
+fn advance(indices: &mut [usize], radix: &[Vec<MergedTriple>]) -> bool {
+    for i in (0..indices.len()).rev() {
+        indices[i] += 1;
+        if indices[i] < radix[i].len() {
+            return true;
+        }
+        indices[i] = 0;
+    }
+    false
+}
+
+/// Builds one distributed disjunct: translates each relation's chosen
+/// merged triple, merges label atoms per variable (intersections), and
+/// drops the combination when some variable's label set becomes empty.
+fn build_combo(original: &Cqt, per_relation: &[Vec<MergedTriple>], indices: &[usize]) -> Option<Cqt> {
+    let mut vars = VarGen::above(original.vars());
+    let mut relations: Vec<Relation> = Vec::new();
+    let mut constraints: FxHashMap<VarId, LabelSet> = FxHashMap::default();
+    let add_constraint = |map: &mut FxHashMap<VarId, LabelSet>, var: VarId, labels: &LabelSet| {
+        match map.entry(var) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged = sgq_common::sorted::intersect(e.get(), labels);
+                e.insert(merged);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(labels.clone());
+            }
+        }
+    };
+
+    // Original atoms first.
+    for atom in &original.atoms {
+        add_constraint(&mut constraints, atom.var, &atom.labels);
+    }
+
+    for (rel_idx, rel) in original.relations.iter().enumerate() {
+        let triple = &per_relation[rel_idx][indices[rel_idx]];
+        let mut atoms = Vec::new();
+        q_translate(
+            &triple.psi,
+            rel.src,
+            rel.tgt,
+            &mut vars,
+            &mut relations,
+            &mut atoms,
+        );
+        for atom in atoms {
+            add_constraint(&mut constraints, atom.var, &atom.labels);
+        }
+        if let Some(labels) = &triple.src_labels {
+            add_constraint(&mut constraints, rel.src, labels);
+        }
+        if let Some(labels) = &triple.tgt_labels {
+            add_constraint(&mut constraints, rel.tgt, labels);
+        }
+    }
+
+    // Unsatisfiable label constraint: drop this combination.
+    if constraints.values().any(|l| l.is_empty()) {
+        return None;
+    }
+    let mut atoms: Vec<LabelAtom> = constraints
+        .into_iter()
+        .map(|(var, labels)| LabelAtom { var, labels })
+        .collect();
+    atoms.sort_unstable_by_key(|a| a.var);
+    Some(Cqt {
+        head: original.head.clone(),
+        atoms,
+        relations,
+    })
+}
+
+/// Drops all annotations and endpoint constraints (the "no annotations"
+/// ablation) while keeping the structural rewrite (TC expansions).
+fn strip_annotations(m: MergedTriple) -> MergedTriple {
+    MergedTriple {
+        src_labels: None,
+        psi: AnnotatedPath::Plain(m.psi.strip()),
+        tgt_labels: None,
+        plus_paths: m.plus_paths,
+    }
+}
+
+/// Revert detection (§5.2): the rewrite is trivial when no schema
+/// information survives and the relations are (modulo union splitting and
+/// distribution — the paper's "query factorization") those of the
+/// baseline.
+fn is_trivial_rewrite(enriched: &Ucqt, baseline: &Ucqt) -> bool {
+    if enriched.has_schema_info() {
+        return false;
+    }
+    if enriched == baseline {
+        return true;
+    }
+    match (enriched.as_single_path(), baseline.as_single_path()) {
+        (Some(e), Some(b)) => {
+            let (Some(mut ec), Some(mut bc)) = (distribute_unions(&e), distribute_unions(&b))
+            else {
+                return false;
+            };
+            ec.sort_unstable();
+            bc.sort_unstable();
+            ec == bc
+        }
+        _ => false,
+    }
+}
+
+/// Union-normal form: distributes `∪` through concatenation, conjunction
+/// and branching (but not through `+`), returning the union-free
+/// components. `None` when the expansion exceeds a safety cap.
+fn distribute_unions(expr: &PathExpr) -> Option<Vec<PathExpr>> {
+    const CAP: usize = 256;
+    let cross = |xs: Vec<PathExpr>,
+                 ys: Vec<PathExpr>,
+                 f: fn(PathExpr, PathExpr) -> PathExpr|
+     -> Option<Vec<PathExpr>> {
+        if xs.len().saturating_mul(ys.len()) > CAP {
+            return None;
+        }
+        let mut out = Vec::with_capacity(xs.len() * ys.len());
+        for x in &xs {
+            for y in &ys {
+                out.push(f(x.clone(), y.clone()));
+            }
+        }
+        Some(out)
+    };
+    match expr {
+        PathExpr::Label(_) | PathExpr::Reverse(_) | PathExpr::Plus(_) => {
+            Some(vec![expr.clone()])
+        }
+        PathExpr::Union(a, b) => {
+            let mut out = distribute_unions(a)?;
+            out.extend(distribute_unions(b)?);
+            (out.len() <= CAP).then_some(out)
+        }
+        PathExpr::Concat(a, b) => {
+            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::concat)
+        }
+        PathExpr::Conj(a, b) => {
+            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::conj)
+        }
+        PathExpr::BranchR(a, b) => {
+            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::branch_r)
+        }
+        PathExpr::BranchL(a, b) => {
+            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::branch_l)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn pe(s: &str) -> PathExpr {
+        parse_path(s, &fig1_yago_schema()).unwrap()
+    }
+
+    #[test]
+    fn phi4_is_enriched_and_closure_partially_eliminated() {
+        let schema = fig1_yago_schema();
+        // Example 13 uses the either-side redundancy rule: exactly one
+        // surviving atom, η(γ) ∈ {REGION}.
+        let opts = RewriteOptions {
+            redundancy: RedundancyRule::EitherSide,
+            ..Default::default()
+        };
+        let r = rewrite_path(&schema, &pe("livesIn/isLocatedIn+/dealsWith+"), opts);
+        match &r.outcome {
+            RewriteOutcome::Enriched(q) => {
+                assert_eq!(q.disjuncts.len(), 1);
+                assert_eq!(r.report.atoms, 1);
+            }
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+        assert!(r.report.was_recursive);
+        assert!(r.report.still_recursive, "dealsWith+ survives");
+        assert_eq!(r.report.plus_stats.path_lengths, vec![2]);
+        // The default (both-sides) rule keeps the pre-filtering
+        // annotations as well — more atoms, same semantics.
+        let r2 = rewrite_path(
+            &schema,
+            &pe("livesIn/isLocatedIn+/dealsWith+"),
+            RewriteOptions::default(),
+        );
+        match &r2.outcome {
+            RewriteOutcome::Enriched(q) => {
+                assert_eq!(q.disjuncts.len(), 1);
+                assert!(r2.report.atoms >= 1);
+            }
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn isolated_closure_is_fully_eliminated() {
+        let schema = fig1_yago_schema();
+        let r = rewrite_path(&schema, &pe("isLocatedIn+"), RewriteOptions::default());
+        match &r.outcome {
+            RewriteOutcome::Enriched(q) => assert_eq!(q.disjuncts.len(), 3),
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+        assert!(r.report.closure_eliminated());
+    }
+
+    #[test]
+    fn dealswith_plus_reverts() {
+        // dealsWith+ has a cyclic label graph and single-label endpoints:
+        // the schema offers nothing.
+        let schema = fig1_yago_schema();
+        let r = rewrite_path(&schema, &pe("dealsWith+"), RewriteOptions::default());
+        assert!(r.outcome.is_reverted(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn single_label_reverts() {
+        let schema = fig1_yago_schema();
+        let r = rewrite_path(&schema, &pe("owns"), RewriteOptions::default());
+        assert!(r.outcome.is_reverted());
+        assert!(r.report.revert_reason.is_some());
+    }
+
+    #[test]
+    fn unsatisfiable_is_empty() {
+        let schema = fig1_yago_schema();
+        let r = rewrite_path(&schema, &pe("livesIn/owns"), RewriteOptions::default());
+        assert_eq!(r.outcome, RewriteOutcome::Empty);
+    }
+
+    #[test]
+    fn budget_exhaustion_reverts() {
+        let schema = fig1_yago_schema();
+        let opts = RewriteOptions {
+            max_triples: 1,
+            ..Default::default()
+        };
+        let r = rewrite_path(&schema, &pe("isLocatedIn+"), opts);
+        assert!(r.outcome.is_reverted());
+        assert_eq!(
+            r.report.revert_reason.as_deref(),
+            Some("rewrite budget exceeded")
+        );
+    }
+
+    #[test]
+    fn ablation_no_tc_elimination_keeps_closure() {
+        let schema = fig1_yago_schema();
+        let opts = RewriteOptions {
+            tc_elimination: false,
+            ..Default::default()
+        };
+        // isLocatedIn+ alone reverts (the closure covers everything), but
+        // livesIn/isLocatedIn+ keeps an informative target-label atom.
+        let r = rewrite_path(&schema, &pe("isLocatedIn+"), opts);
+        assert!(r.outcome.is_reverted(), "{:?}", r.outcome);
+        let r = rewrite_path(&schema, &pe("livesIn/isLocatedIn+"), opts);
+        match &r.outcome {
+            RewriteOutcome::Enriched(q) => {
+                assert!(q.kind() == sgq_query::cqt::QueryKind::Recursive);
+                assert!(q.has_schema_info());
+            }
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ablation_no_annotations_keeps_expansion() {
+        let schema = fig1_yago_schema();
+        let opts = RewriteOptions {
+            annotations: false,
+            ..Default::default()
+        };
+        let r = rewrite_path(&schema, &pe("isLocatedIn+"), opts);
+        match &r.outcome {
+            RewriteOutcome::Enriched(q) => {
+                assert!(!q.has_schema_info());
+                assert_eq!(q.disjuncts.len(), 3);
+                assert!(q.kind() == sgq_query::cqt::QueryKind::NonRecursive);
+            }
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_relation_cqt_rewrites() {
+        // C1 = {Y | (Y, livesIn/isLocatedIn+, M) ∧ (Y, owns, Z)}
+        let schema = fig1_yago_schema();
+        let y = VarId::new(0);
+        let z = VarId::new(1);
+        let m = VarId::new(2);
+        let c1 = Cqt {
+            head: vec![y],
+            atoms: vec![],
+            relations: vec![
+                Relation::plain(y, pe("livesIn/isLocatedIn+"), m),
+                Relation::plain(y, pe("owns"), z),
+            ],
+        };
+        let q = Ucqt::single(c1);
+        let r = rewrite_ucqt(&schema, &q, RewriteOptions::default());
+        match &r.outcome {
+            RewriteOutcome::Enriched(out) => {
+                // livesIn/isLocatedIn+ has 2 merged triples; owns has 1
+                assert_eq!(out.disjuncts.len(), 2);
+                for d in &out.disjuncts {
+                    assert_eq!(d.head, vec![y]);
+                    d.validate().unwrap();
+                }
+            }
+            other => panic!("expected enrichment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounded_repetition_reverts() {
+        // isMarriedTo{1,2} offers nothing (single-label endpoints), and the
+        // union split alone must not count as enrichment (§5.2: IC9-style).
+        let schema = fig1_yago_schema();
+        let r = rewrite_path(&schema, &pe("isMarriedTo{1,2}"), RewriteOptions::default());
+        assert!(r.outcome.is_reverted(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn rewrite_preserves_semantics_on_fig2() {
+        use sgq_graph::database::fig2_yago_database;
+        let schema = fig1_yago_schema();
+        let db = fig2_yago_database();
+        for s in [
+            "livesIn/isLocatedIn+/dealsWith+",
+            "isLocatedIn+",
+            "owns/isLocatedIn",
+            "livesIn/isLocatedIn+",
+            "[owns]([isMarriedTo]livesIn)",
+            "owns | livesIn",
+            "isMarriedTo+",
+            "-isLocatedIn/-livesIn",
+        ] {
+            let phi = pe(s);
+            let baseline = sgq_algebra::eval::eval_path(&db, &phi);
+            let r = rewrite_path(&schema, &phi, RewriteOptions::default());
+            let rewritten_pairs = match &r.outcome {
+                RewriteOutcome::Empty => Vec::new(),
+                RewriteOutcome::Reverted(q) | RewriteOutcome::Enriched(q) => {
+                    eval_ucqt_reference(&db, q)
+                }
+            };
+            assert_eq!(baseline, rewritten_pairs, "semantics changed for {s}");
+        }
+    }
+
+    /// Tiny reference UCQT evaluator (binary head) used only by tests:
+    /// joins relations nested-loop style over the reference path semantics.
+    fn eval_ucqt_reference(
+        db: &sgq_graph::GraphDatabase,
+        q: &Ucqt,
+    ) -> Vec<(sgq_common::NodeId, sgq_common::NodeId)> {
+        use sgq_common::NodeId;
+        let mut out: Vec<(NodeId, NodeId)> = Vec::new();
+        for c in &q.disjuncts {
+            // materialise each relation
+            let rels: Vec<(VarId, Vec<(NodeId, NodeId)>, VarId)> = c
+                .relations
+                .iter()
+                .map(|r| {
+                    (
+                        r.src,
+                        sgq_query::annotated::eval_annotated(db, &r.path),
+                        r.tgt,
+                    )
+                })
+                .collect();
+            // brute-force join via recursive assignment
+            let mut bindings: FxHashMap<VarId, NodeId> = FxHashMap::default();
+            join(db, c, &rels, 0, &mut bindings, &mut out);
+        }
+        sgq_common::sorted::normalize(&mut out);
+        out
+    }
+
+    fn join(
+        db: &sgq_graph::GraphDatabase,
+        c: &Cqt,
+        rels: &[(VarId, Vec<(sgq_common::NodeId, sgq_common::NodeId)>, VarId)],
+        i: usize,
+        bindings: &mut FxHashMap<VarId, sgq_common::NodeId>,
+        out: &mut Vec<(sgq_common::NodeId, sgq_common::NodeId)>,
+    ) {
+        if i == rels.len() {
+            for atom in &c.atoms {
+                if let Some(n) = bindings.get(&atom.var) {
+                    if !atom.labels.contains(&db.node_label(*n)) {
+                        return;
+                    }
+                }
+            }
+            out.push((bindings[&c.head[0]], bindings[&c.head[1]]));
+            return;
+        }
+        let (src, pairs, tgt) = &rels[i];
+        for &(s, t) in pairs {
+            if src == tgt && s != t {
+                continue;
+            }
+            let s_ok = bindings.get(src).is_none_or(|&b| b == s);
+            let t_ok = bindings.get(tgt).is_none_or(|&b| b == t);
+            if s_ok && t_ok {
+                let s_new = !bindings.contains_key(src);
+                let t_new = !bindings.contains_key(tgt);
+                bindings.insert(*src, s);
+                bindings.insert(*tgt, t);
+                join(db, c, rels, i + 1, bindings, out);
+                if s_new {
+                    bindings.remove(src);
+                }
+                if t_new {
+                    bindings.remove(tgt);
+                }
+            }
+        }
+    }
+}

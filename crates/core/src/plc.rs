@@ -1,0 +1,438 @@
+//! The `PlC` (plus-compatibility) algorithm: Definition 8.
+//!
+//! Given the compatible-triple set `T = TS(ϕ)`, `PlC(ϕ, T)` decides, per
+//! endpoint pair, whether the transitive closure `ϕ+` can be replaced by a
+//! finite set of fixed-length annotated concatenations:
+//!
+//! 1. build the directed multigraph `G` whose vertices are node labels and
+//!    whose edges are the triples of `T`;
+//! 2. compute `K`, the vertices lying on a cycle;
+//! 3. for every simple path `p` from `A` to `B` in `G` (plus the trivial
+//!    path at every `A ∈ K`): if `p` touches `K`, emit `(A, ϕ+, B)`;
+//!    otherwise emit the concatenation of `p`'s triples, annotated with the
+//!    intermediate labels.
+//!
+//! When the label graph is acyclic this *eliminates the transitive closure
+//! entirely* — the paper's headline optimisation (16 of 18 YAGO queries,
+//! Tab. 6).
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{FxHashMap, FxHashSet, NodeLabelId};
+use sgq_query::annotated::AnnotatedPath;
+
+use crate::triple::Triple;
+
+/// Statistics about the fixed-length paths generated while eliminating a
+/// transitive closure (feeds the paper's Table 6).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlusStats {
+    /// Lengths (in schema-triple steps) of each generated fixed-length path.
+    pub path_lengths: Vec<u16>,
+    /// Whether some `(A, ϕ+, B)` triple had to be kept (closure survives).
+    pub closure_kept: bool,
+}
+
+impl PlusStats {
+    /// Number of generated fixed-length paths (`#Paths` in Tab. 6).
+    pub fn count(&self) -> usize {
+        self.path_lengths.len()
+    }
+
+    /// Minimum path length.
+    pub fn min(&self) -> Option<u16> {
+        self.path_lengths.iter().copied().min()
+    }
+
+    /// Maximum path length.
+    pub fn max(&self) -> Option<u16> {
+        self.path_lengths.iter().copied().max()
+    }
+
+    /// Average path length.
+    pub fn avg(&self) -> Option<f64> {
+        if self.path_lengths.is_empty() {
+            None
+        } else {
+            Some(self.path_lengths.iter().map(|&l| l as f64).sum::<f64>() / self.count() as f64)
+        }
+    }
+}
+
+/// Tuning knobs for `PlC`.
+#[derive(Debug, Clone, Copy)]
+pub struct PlcOptions {
+    /// When `false`, skip path enumeration entirely and keep `ϕ+` for every
+    /// reachable endpoint pair (the "no TC elimination" ablation).
+    pub tc_elimination: bool,
+    /// Upper bound on enumerated simple paths before falling back to the
+    /// reachability-only result (guards against dense label graphs).
+    pub max_paths: usize,
+}
+
+impl Default for PlcOptions {
+    fn default() -> Self {
+        PlcOptions {
+            tc_elimination: true,
+            max_paths: 4096,
+        }
+    }
+}
+
+/// Computes `PlC(ϕ, T)` (Definition 8).
+pub fn plc(phi: &PathExpr, triples: &[Triple], opts: PlcOptions) -> Vec<Triple> {
+    let graph = LabelGraph::new(triples);
+    if !opts.tc_elimination {
+        return reachability_closure(phi, &graph);
+    }
+    let k = graph.cyclic_vertices();
+
+    let mut result: FxHashSet<Triple> = FxHashSet::default();
+    // Trivial paths: every vertex on a cycle yields (A, ϕ+, A).
+    for &a in &k {
+        result.insert(Triple::new(
+            a,
+            AnnotatedPath::plain(PathExpr::plus(phi.clone())),
+            a,
+        ));
+    }
+
+    // Enumerate simple paths (no repeated vertices) from every vertex.
+    let mut budget = opts.max_paths;
+    for &start in graph.vertices() {
+        let mut visited: FxHashSet<NodeLabelId> = FxHashSet::default();
+        visited.insert(start);
+        let mut stack: Vec<usize> = Vec::new();
+        if !dfs(
+            &graph, &k, phi, start, &mut visited, &mut stack, &mut result, &mut budget,
+        ) {
+            // Budget exhausted: fall back to the sound, complete,
+            // non-eliminating result.
+            return reachability_closure(phi, &graph);
+        }
+    }
+    let mut v: Vec<Triple> = result.into_iter().collect();
+    v.sort_unstable_by(|a, b| (a.src, &a.psi, a.tgt).cmp(&(b.src, &b.psi, b.tgt)));
+    v
+}
+
+/// Extracts the Table 6 statistics from a `PlC` result.
+pub fn plus_stats(result: &[Triple], phi: &PathExpr) -> PlusStats {
+    let plus_form = AnnotatedPath::plain(PathExpr::plus(phi.clone()));
+    let mut stats = PlusStats::default();
+    for t in result {
+        if t.psi == plus_form {
+            stats.closure_kept = true;
+        } else {
+            // The outermost expansion is recorded as the *last* entry the
+            // construction pushed; every entry is still a generated path.
+            stats
+                .path_lengths
+                .push(*t.plus_paths.last().unwrap_or(&1));
+        }
+    }
+    stats.path_lengths.sort_unstable();
+    stats
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    graph: &LabelGraph<'_>,
+    k: &FxHashSet<NodeLabelId>,
+    phi: &PathExpr,
+    current: NodeLabelId,
+    visited: &mut FxHashSet<NodeLabelId>,
+    stack: &mut Vec<usize>,
+    result: &mut FxHashSet<Triple>,
+    budget: &mut usize,
+) -> bool {
+    for &edge_idx in graph.out_edges(current) {
+        let triple = &graph.triples[edge_idx];
+        let next = triple.tgt;
+        if visited.contains(&next) {
+            continue;
+        }
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        stack.push(edge_idx);
+        emit_path(graph, k, phi, stack, result);
+        visited.insert(next);
+        if !dfs(graph, k, phi, next, visited, stack, result, budget) {
+            return false;
+        }
+        visited.remove(&next);
+        stack.pop();
+    }
+    true
+}
+
+/// Emits the triple for the current path `stack` (a sequence of edges).
+fn emit_path(
+    graph: &LabelGraph<'_>,
+    k: &FxHashSet<NodeLabelId>,
+    phi: &PathExpr,
+    stack: &[usize],
+    result: &mut FxHashSet<Triple>,
+) {
+    let first = &graph.triples[stack[0]];
+    let last = &graph.triples[*stack.last().unwrap()];
+    let (a, b) = (first.src, last.tgt);
+    let touches_k = k.contains(&a)
+        || stack.iter().any(|&i| k.contains(&graph.triples[i].tgt));
+    if touches_k {
+        result.insert(Triple::new(
+            a,
+            AnnotatedPath::plain(PathExpr::plus(phi.clone())),
+            b,
+        ));
+        return;
+    }
+    // Concatenate the path's expressions, annotating each junction with the
+    // intermediate node label (left-associated).
+    let mut psi = first.psi.clone();
+    let mut plus_paths: Vec<u16> = first.plus_paths.clone();
+    for window in stack.windows(2) {
+        let junction = graph.triples[window[0]].tgt;
+        let next = &graph.triples[window[1]];
+        psi = AnnotatedPath::concat(psi, Some(vec![junction]), next.psi.clone());
+        plus_paths.extend_from_slice(&next.plus_paths);
+    }
+    plus_paths.push(stack.len() as u16);
+    result.insert(Triple::with_paths(a, psi, b, plus_paths));
+}
+
+/// Fallback / ablation result: `(A, ϕ+, B)` for every pair connected by a
+/// non-empty path in `G` — sound and complete but with no elimination.
+fn reachability_closure(phi: &PathExpr, graph: &LabelGraph<'_>) -> Vec<Triple> {
+    let plus = PathExpr::plus(phi.clone());
+    let mut pairs: Vec<(NodeLabelId, NodeLabelId)> = graph
+        .triples
+        .iter()
+        .map(|t| (t.src, t.tgt))
+        .collect();
+    sgq_common::sorted::normalize(&mut pairs);
+    let closed = sgq_algebra::eval::transitive_closure(
+        &pairs
+            .iter()
+            .map(|&(a, b)| (sgq_common::NodeId::new(a.raw()), sgq_common::NodeId::new(b.raw())))
+            .collect::<Vec<_>>(),
+    );
+    closed
+        .into_iter()
+        .map(|(a, b)| {
+            Triple::new(
+                NodeLabelId::new(a.raw()),
+                AnnotatedPath::plain(plus.clone()),
+                NodeLabelId::new(b.raw()),
+            )
+        })
+        .collect()
+}
+
+/// The multigraph `G` of Definition 8.
+struct LabelGraph<'a> {
+    triples: &'a [Triple],
+    vertices: Vec<NodeLabelId>,
+    out: FxHashMap<NodeLabelId, Vec<usize>>,
+}
+
+impl<'a> LabelGraph<'a> {
+    fn new(triples: &'a [Triple]) -> Self {
+        let mut vertices: Vec<NodeLabelId> = triples
+            .iter()
+            .flat_map(|t| [t.src, t.tgt])
+            .collect();
+        sgq_common::sorted::normalize(&mut vertices);
+        let mut out: FxHashMap<NodeLabelId, Vec<usize>> = FxHashMap::default();
+        for (i, t) in triples.iter().enumerate() {
+            out.entry(t.src).or_default().push(i);
+        }
+        LabelGraph {
+            triples,
+            vertices,
+            out,
+        }
+    }
+
+    fn vertices(&self) -> &[NodeLabelId] {
+        &self.vertices
+    }
+
+    fn out_edges(&self, v: NodeLabelId) -> &[usize] {
+        self.out.get(&v).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// `K`: vertices that lie on a cycle (reach themselves via a non-empty
+    /// path).
+    fn cyclic_vertices(&self) -> FxHashSet<NodeLabelId> {
+        // Floyd–Warshall-style reachability on the (small) label graph.
+        let n = self.vertices.len();
+        let index: FxHashMap<NodeLabelId, usize> = self
+            .vertices
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect();
+        let mut reach = vec![false; n * n];
+        for t in self.triples {
+            reach[index[&t.src] * n + index[&t.tgt]] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i * n + k] {
+                    for j in 0..n {
+                        if reach[k * n + j] {
+                            reach[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        self.vertices
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| reach[i * n + i])
+            .map(|(_, &v)| v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+    use sgq_graph::GraphSchema;
+
+    fn basic_triples(schema: &GraphSchema, label: &str) -> Vec<Triple> {
+        let le = schema.edge_label(label).unwrap();
+        schema
+            .triples_for_edge_label(le)
+            .iter()
+            .map(|&(s, t)| {
+                Triple::new(
+                    s,
+                    AnnotatedPath::plain(PathExpr::Label(le)),
+                    t,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dealswith_keeps_closure() {
+        // Example 10: TS(dealsWith+) = {(COUNTRY, dealsWith+, COUNTRY)}
+        let schema = fig1_yago_schema();
+        let phi = parse_path("dealsWith", &schema).unwrap();
+        let t = basic_triples(&schema, "dealsWith");
+        let r = plc(&phi, &t, PlcOptions::default());
+        assert_eq!(r.len(), 1);
+        let country = schema.node_label("COUNTRY").unwrap();
+        assert_eq!(r[0].src, country);
+        assert_eq!(r[0].tgt, country);
+        assert_eq!(
+            r[0].psi,
+            AnnotatedPath::plain(PathExpr::plus(phi.clone()))
+        );
+        let stats = plus_stats(&r, &phi);
+        assert!(stats.closure_kept);
+        assert_eq!(stats.count(), 0);
+    }
+
+    #[test]
+    fn islocatedin_eliminates_closure_with_six_paths() {
+        // Example 10: TS(isLocatedIn+) contains 6 triples (6 non-empty
+        // paths of the acyclic 4-vertex chain).
+        let schema = fig1_yago_schema();
+        let phi = parse_path("isLocatedIn", &schema).unwrap();
+        let t = basic_triples(&schema, "isLocatedIn");
+        let r = plc(&phi, &t, PlcOptions::default());
+        assert_eq!(r.len(), 6);
+        let stats = plus_stats(&r, &phi);
+        assert!(!stats.closure_kept);
+        assert_eq!(stats.count(), 6);
+        assert_eq!(stats.min(), Some(1));
+        assert_eq!(stats.max(), Some(3));
+        // lengths: 1,1,1,2,2,3
+        assert_eq!(stats.path_lengths, vec![1, 1, 1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn ablation_reachability_only() {
+        let schema = fig1_yago_schema();
+        let phi = parse_path("isLocatedIn", &schema).unwrap();
+        let t = basic_triples(&schema, "isLocatedIn");
+        let r = plc(
+            &phi,
+            &t,
+            PlcOptions {
+                tc_elimination: false,
+                max_paths: 4096,
+            },
+        );
+        // 6 reachable pairs, all keeping ϕ+
+        assert_eq!(r.len(), 6);
+        let plus_form = AnnotatedPath::plain(PathExpr::plus(phi.clone()));
+        assert!(r.iter().all(|t| t.psi == plus_form));
+    }
+
+    #[test]
+    fn budget_falls_back_to_reachability() {
+        let schema = fig1_yago_schema();
+        let phi = parse_path("isLocatedIn", &schema).unwrap();
+        let t = basic_triples(&schema, "isLocatedIn");
+        let r = plc(
+            &phi,
+            &t,
+            PlcOptions {
+                tc_elimination: true,
+                max_paths: 2,
+            },
+        );
+        let plus_form = AnnotatedPath::plain(PathExpr::plus(phi.clone()));
+        assert!(r.iter().all(|t| t.psi == plus_form));
+    }
+
+    #[test]
+    fn mixed_cycle_and_chain() {
+        // Graph: A -> B -> C and B -> B (self-loop). Paths through B keep
+        // the closure; nothing avoids B here except... nothing: every edge
+        // touches B. All results keep ϕ+.
+        let mut b = GraphSchema::builder();
+        b.edge("A", "r", "B");
+        b.edge("B", "r", "B");
+        b.edge("B", "r", "C");
+        let schema = b.build().unwrap();
+        let phi = parse_path("r", &schema).unwrap();
+        let t = basic_triples(&schema, "r");
+        let r = plc(&phi, &t, PlcOptions::default());
+        let plus_form = AnnotatedPath::plain(PathExpr::plus(phi.clone()));
+        assert!(r.iter().all(|t| t.psi == plus_form), "{r:?}");
+        // pairs: (A,B),(A,C),(B,B),(B,C) — and A->B->B->C etc. collapse
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_paths() {
+        // Two distinct schema edges A -r-> B and A -s-> B; PlC over the
+        // union's triples yields two length-1 paths.
+        let mut b = GraphSchema::builder();
+        b.edge("A", "r", "B");
+        b.edge("A", "s", "B");
+        let schema = b.build().unwrap();
+        let r_le = schema.edge_label("r").unwrap();
+        let s_le = schema.edge_label("s").unwrap();
+        let a = schema.node_label("A").unwrap();
+        let bb = schema.node_label("B").unwrap();
+        let phi = PathExpr::union(PathExpr::Label(r_le), PathExpr::Label(s_le));
+        let triples = vec![
+            Triple::new(a, AnnotatedPath::plain(PathExpr::Label(r_le)), bb),
+            Triple::new(a, AnnotatedPath::plain(PathExpr::Label(s_le)), bb),
+        ];
+        let r = plc(&phi, &triples, PlcOptions::default());
+        assert_eq!(r.len(), 2);
+        let stats = plus_stats(&r, &phi);
+        assert_eq!(stats.path_lengths, vec![1, 1]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Redundant-annotation removal (§3.2.2) and canonicalisation.
+//!
+//! An annotation is *redundant* when the schema already guarantees it: if
+//! every label that can occur at an annotated position (in any database
+//! conforming to the schema) is contained in the annotation's label set,
+//! the filter can never remove anything and would only cost an extra
+//! semi-join. We remove such annotations, then *canonicalise* the
+//! expression: annotation-free regions collapse back into plain path
+//! expressions and concatenation spines are re-segmented at the surviving
+//! annotations — which is how Example 13's
+//! `(∅, lvIn/isL/{REG}isL/dw+, ∅)` turns into the two-relation CQT
+//! `(α, lvIn/isL, γ) ∧ (γ, isL/dw+, β) ∧ η(γ) ∈ {REG}`.
+//!
+//! Label-set computations here are *over-approximations* of the labels
+//! that can occur, which makes removal sound: we only drop a filter when
+//! even the over-approximation is covered.
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::sorted;
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::{AnnotatedPath, LabelSet};
+
+use crate::merge::MergedTriple;
+
+/// When is an annotation *redundant* (§3.2.2)?
+///
+/// The paper is ambiguous: Example 13 removes an annotation as soon as one
+/// adjacent side implies it (`EitherSide`), while the plans of Fig. 15–17
+/// and the §5.2 revert counts only make sense if annotations survive as
+/// long as they can pre-filter *some* join side (`BothSides`). We default
+/// to `BothSides` — it reproduces the paper's measured system behaviour —
+/// and keep `EitherSide` for Example 13 fidelity (see DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RedundancyRule {
+    /// Remove when *both* adjacent sides already imply the label set: the
+    /// filter can prune neither join side, so it is pure overhead.
+    #[default]
+    BothSides,
+    /// Remove when either adjacent side implies the label set
+    /// (Example 13's behaviour).
+    EitherSide,
+    /// Never remove (the `redundant_removal: false` ablation).
+    Never,
+}
+
+/// Over-approximated `(source labels, target labels)` of a plain path
+/// expression under `schema`.
+pub fn plain_endpoints(schema: &GraphSchema, e: &PathExpr) -> (LabelSet, LabelSet) {
+    match e {
+        PathExpr::Label(le) => (schema.source_labels(*le), schema.target_labels(*le)),
+        PathExpr::Reverse(le) => (schema.target_labels(*le), schema.source_labels(*le)),
+        PathExpr::Concat(a, b) => {
+            let (src, _) = plain_endpoints(schema, a);
+            let (_, tgt) = plain_endpoints(schema, b);
+            (src, tgt)
+        }
+        PathExpr::Union(a, b) => {
+            let (sa, ta) = plain_endpoints(schema, a);
+            let (sb, tb) = plain_endpoints(schema, b);
+            (sorted::union(&sa, &sb), sorted::union(&ta, &tb))
+        }
+        PathExpr::Conj(a, b) => {
+            let (sa, ta) = plain_endpoints(schema, a);
+            let (sb, tb) = plain_endpoints(schema, b);
+            (sorted::intersect(&sa, &sb), sorted::intersect(&ta, &tb))
+        }
+        PathExpr::BranchR(a, b) => {
+            let (sa, ta) = plain_endpoints(schema, a);
+            let (sb, _) = plain_endpoints(schema, b);
+            (sa, sorted::intersect(&ta, &sb))
+        }
+        PathExpr::BranchL(a, b) => {
+            let (sa, _) = plain_endpoints(schema, a);
+            let (sb, tb) = plain_endpoints(schema, b);
+            (sorted::intersect(&sa, &sb), tb)
+        }
+        PathExpr::Plus(a) => plain_endpoints(schema, a),
+    }
+}
+
+/// Over-approximated endpoints of an annotated path expression.
+pub fn annotated_endpoints(schema: &GraphSchema, psi: &AnnotatedPath) -> (LabelSet, LabelSet) {
+    match psi {
+        AnnotatedPath::Plain(e) => plain_endpoints(schema, e),
+        AnnotatedPath::Concat(a, _, b) => {
+            let (src, _) = annotated_endpoints(schema, a);
+            let (_, tgt) = annotated_endpoints(schema, b);
+            (src, tgt)
+        }
+        AnnotatedPath::BranchR(a, b) => {
+            let (sa, ta) = annotated_endpoints(schema, a);
+            let (sb, _) = annotated_endpoints(schema, b);
+            (sa, sorted::intersect(&ta, &sb))
+        }
+        AnnotatedPath::BranchL(a, b) => {
+            let (sa, _) = annotated_endpoints(schema, a);
+            let (sb, tb) = annotated_endpoints(schema, b);
+            (sorted::intersect(&sa, &sb), tb)
+        }
+        AnnotatedPath::Conj(a, b) => {
+            let (sa, ta) = annotated_endpoints(schema, a);
+            let (sb, tb) = annotated_endpoints(schema, b);
+            (sorted::intersect(&sa, &sb), sorted::intersect(&ta, &tb))
+        }
+    }
+}
+
+/// Removes redundant annotations from `psi` (§3.2.2) under `rule`.
+fn remove_in_expr(schema: &GraphSchema, psi: &AnnotatedPath, rule: RedundancyRule) -> AnnotatedPath {
+    match psi {
+        AnnotatedPath::Plain(e) => AnnotatedPath::Plain(e.clone()),
+        AnnotatedPath::Concat(a, ann, b) => {
+            let a2 = remove_in_expr(schema, a, rule);
+            let b2 = remove_in_expr(schema, b, rule);
+            let ann2 = match ann {
+                None => None,
+                Some(labels) => {
+                    let (_, a_tgts) = annotated_endpoints(schema, &a2);
+                    let (b_srcs, _) = annotated_endpoints(schema, &b2);
+                    let implied_left = sorted::difference(&a_tgts, labels).is_empty();
+                    let implied_right = sorted::difference(&b_srcs, labels).is_empty();
+                    let redundant = match rule {
+                        RedundancyRule::EitherSide => implied_left || implied_right,
+                        RedundancyRule::BothSides => implied_left && implied_right,
+                        RedundancyRule::Never => false,
+                    };
+                    if redundant {
+                        None
+                    } else {
+                        Some(labels.clone())
+                    }
+                }
+            };
+            AnnotatedPath::concat(a2, ann2, b2)
+        }
+        AnnotatedPath::BranchR(a, b) => AnnotatedPath::branch_r(
+            remove_in_expr(schema, a, rule),
+            remove_in_expr(schema, b, rule),
+        ),
+        AnnotatedPath::BranchL(a, b) => AnnotatedPath::branch_l(
+            remove_in_expr(schema, a, rule),
+            remove_in_expr(schema, b, rule),
+        ),
+        AnnotatedPath::Conj(a, b) => AnnotatedPath::conj(
+            remove_in_expr(schema, a, rule),
+            remove_in_expr(schema, b, rule),
+        ),
+    }
+}
+
+/// Removes redundant annotations (internal positions and endpoints) and
+/// canonicalises the expression, using the default [`RedundancyRule`].
+pub fn remove_redundant(schema: &GraphSchema, triple: &MergedTriple) -> MergedTriple {
+    remove_redundant_with(schema, triple, RedundancyRule::default())
+}
+
+/// [`remove_redundant`] with an explicit rule.
+pub fn remove_redundant_with(
+    schema: &GraphSchema,
+    triple: &MergedTriple,
+    rule: RedundancyRule,
+) -> MergedTriple {
+    let psi = remove_in_expr(schema, &triple.psi, rule);
+    // Endpoint constraints never pre-filter another join side within the
+    // triple itself, so the schema-implied check applies under every rule
+    // except `Never`.
+    let (src_possible, tgt_possible) = annotated_endpoints(schema, &psi);
+    let keep_all = rule == RedundancyRule::Never;
+    let src_labels = triple.src_labels.clone().filter(|labels| {
+        keep_all || !sorted::difference(&src_possible, labels).is_empty()
+    });
+    let tgt_labels = triple.tgt_labels.clone().filter(|labels| {
+        keep_all || !sorted::difference(&tgt_possible, labels).is_empty()
+    });
+    MergedTriple {
+        src_labels,
+        psi: canonicalize(&psi),
+        tgt_labels,
+        plus_paths: triple.plus_paths.clone(),
+    }
+}
+
+/// Canonicalises an annotated expression:
+///
+/// * subtrees with no annotations collapse into [`AnnotatedPath::Plain`],
+/// * concatenation spines are flattened and re-segmented so that maximal
+///   annotation-free runs become single plain expressions.
+pub fn canonicalize(psi: &AnnotatedPath) -> AnnotatedPath {
+    if !psi.has_annotations() {
+        return AnnotatedPath::Plain(psi.strip());
+    }
+    match psi {
+        AnnotatedPath::Plain(e) => AnnotatedPath::Plain(e.clone()),
+        AnnotatedPath::Concat(..) => {
+            // Flatten the spine: parts p0 .. pn with annotations a0 .. a(n-1).
+            let mut parts: Vec<AnnotatedPath> = Vec::new();
+            let mut anns: Vec<Option<LabelSet>> = Vec::new();
+            flatten(psi, &mut parts, &mut anns);
+            let parts: Vec<AnnotatedPath> = parts.iter().map(canonicalize).collect();
+            // Coalesce: merge adjacent plain parts joined by `None`.
+            let mut out_parts: Vec<AnnotatedPath> = vec![parts[0].clone()];
+            let mut out_anns: Vec<Option<LabelSet>> = Vec::new();
+            for (i, part) in parts.iter().enumerate().skip(1) {
+                let ann = anns[i - 1].clone();
+                let last = out_parts.last_mut().expect("non-empty");
+                match (&ann, &last, part) {
+                    (None, AnnotatedPath::Plain(l), AnnotatedPath::Plain(r)) => {
+                        *last = AnnotatedPath::Plain(PathExpr::concat(l.clone(), r.clone()));
+                    }
+                    _ => {
+                        out_anns.push(ann);
+                        out_parts.push(part.clone());
+                    }
+                }
+            }
+            // Rebuild left-associated.
+            let mut iter = out_parts.into_iter();
+            let mut acc = iter.next().expect("non-empty");
+            for (part, ann) in iter.zip(out_anns) {
+                acc = AnnotatedPath::concat(acc, ann, part);
+            }
+            acc
+        }
+        AnnotatedPath::BranchR(a, b) => AnnotatedPath::branch_r(canonicalize(a), canonicalize(b)),
+        AnnotatedPath::BranchL(a, b) => AnnotatedPath::branch_l(canonicalize(a), canonicalize(b)),
+        AnnotatedPath::Conj(a, b) => AnnotatedPath::conj(canonicalize(a), canonicalize(b)),
+    }
+}
+
+/// Flattens a concatenation spine into parts and the annotations between
+/// them.
+fn flatten(psi: &AnnotatedPath, parts: &mut Vec<AnnotatedPath>, anns: &mut Vec<Option<LabelSet>>) {
+    match psi {
+        AnnotatedPath::Concat(a, ann, b) => {
+            flatten(a, parts, anns);
+            anns.push(ann.clone());
+            flatten(b, parts, anns);
+        }
+        other => parts.push(other.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer::{infer_triples, InferOptions};
+    use crate::merge::merge_triples;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn pipeline(s: &str, rule: RedundancyRule) -> Vec<MergedTriple> {
+        let schema = fig1_yago_schema();
+        let e = parse_path(s, &schema).unwrap();
+        let t = infer_triples(&schema, &e, InferOptions::default()).unwrap();
+        merge_triples(&t)
+            .iter()
+            .map(|m| remove_redundant_with(&schema, m, rule))
+            .collect()
+    }
+
+    #[test]
+    fn endpoints_of_plain_exprs() {
+        let schema = fig1_yago_schema();
+        let e = parse_path("livesIn", &schema).unwrap();
+        let (src, tgt) = plain_endpoints(&schema, &e);
+        assert_eq!(src, vec![schema.node_label("PERSON").unwrap()]);
+        assert_eq!(tgt, vec![schema.node_label("CITY").unwrap()]);
+        let e = parse_path("isLocatedIn+", &schema).unwrap();
+        let (src, tgt) = plain_endpoints(&schema, &e);
+        assert_eq!(src.len(), 3);
+        assert_eq!(tgt.len(), 3);
+    }
+
+    #[test]
+    fn example13_final_triple() {
+        // ϕ4 = livesIn/isLocatedIn+/dealsWith+ reduces to
+        // (∅, lvIn/isL/{REG}isL/dw+, ∅)
+        let schema = fig1_yago_schema();
+        let m = pipeline("livesIn/isLocatedIn+/dealsWith+", RedundancyRule::EitherSide);
+        assert_eq!(m.len(), 1);
+        let t = &m[0];
+        assert_eq!(t.src_labels, None, "PERSON endpoint is schema-implied");
+        assert_eq!(t.tgt_labels, None, "COUNTRY endpoint is schema-implied");
+        assert_eq!(
+            t.display(&schema),
+            "(∅, livesIn/isLocatedIn/{REGION}isLocatedIn/dealsWith+, ∅)"
+        );
+    }
+
+    #[test]
+    fn fully_redundant_reverts_to_plain() {
+        // owns/isLocatedIn: the PROPERTY annotation is implied by the schema
+        let schema = fig1_yago_schema();
+        let m = pipeline("owns/isLocatedIn", RedundancyRule::EitherSide);
+        assert_eq!(m.len(), 1);
+        let t = &m[0];
+        assert_eq!(t.src_labels, None);
+        // target CITY is implied by owns/isLocatedIn? targets(isLocatedIn)
+        // = {CITY,REGION,COUNTRY}, constraint {CITY} excludes -> kept
+        assert!(t.tgt_labels.is_some());
+        assert_eq!(
+            t.psi,
+            AnnotatedPath::Plain(parse_path("owns/isLocatedIn", &schema).unwrap())
+        );
+    }
+
+    #[test]
+    fn canonicalize_collapses_plain_runs() {
+        let schema = fig1_yago_schema();
+        let a = AnnotatedPath::plain(parse_path("livesIn", &schema).unwrap());
+        let b = AnnotatedPath::plain(parse_path("isLocatedIn", &schema).unwrap());
+        let c = AnnotatedPath::plain(parse_path("isLocatedIn", &schema).unwrap());
+        let d = AnnotatedPath::plain(parse_path("dealsWith+", &schema).unwrap());
+        let region = schema.node_label("REGION").unwrap();
+        // ((a/None b)/{REG} c)/None d  →  Plain(a/b) /{REG} Plain(c/d)
+        let spine = AnnotatedPath::concat(
+            AnnotatedPath::concat(
+                AnnotatedPath::concat(a, None, b),
+                Some(vec![region]),
+                c,
+            ),
+            None,
+            d,
+        );
+        let canon = canonicalize(&spine);
+        match &canon {
+            AnnotatedPath::Concat(left, ann, right) => {
+                assert_eq!(ann.as_deref(), Some(&[region][..]));
+                assert_eq!(
+                    left.as_ref(),
+                    &AnnotatedPath::Plain(parse_path("livesIn/isLocatedIn", &schema).unwrap())
+                );
+                assert_eq!(
+                    right.as_ref(),
+                    &AnnotatedPath::Plain(parse_path("isLocatedIn/dealsWith+", &schema).unwrap())
+                );
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn canonicalize_is_semantics_preserving() {
+        use sgq_graph::database::fig2_yago_database;
+        use sgq_query::annotated::eval_annotated;
+        let schema = fig1_yago_schema();
+        let db = fig2_yago_database();
+        for s in ["livesIn/isLocatedIn+/dealsWith+", "owns/isLocatedIn", "isLocatedIn+"] {
+            let e = parse_path(s, &schema).unwrap();
+            let triples =
+                infer_triples(&schema, &e, InferOptions::default()).unwrap();
+            for m in merge_triples(&triples) {
+                for rule in [
+                    RedundancyRule::BothSides,
+                    RedundancyRule::EitherSide,
+                    RedundancyRule::Never,
+                ] {
+                    let removed = remove_redundant_with(&schema, &m, rule);
+                    assert_eq!(
+                        eval_annotated(&db, &m.psi),
+                        eval_annotated(&db, &removed.psi),
+                        "redundancy removal ({rule:?}) changed semantics for {s}"
+                    );
+                }
+            }
+        }
+    }
+}

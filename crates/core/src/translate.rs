@@ -1,0 +1,252 @@
+//! From merged triples back to CQTs: the function `Q(α, β, ψ)` of Fig. 9,
+//! the per-triple query `C(t)` (Def. 10) and the schema-enriched query
+//! `RS(ϕ)` (Def. 11).
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{Result, VarId};
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::AnnotatedPath;
+use sgq_query::cqt::{Cqt, LabelAtom, Relation, Ucqt};
+use sgq_query::vars::VarGen;
+
+use crate::infer::{infer_triples, InferOptions};
+use crate::merge::{merge_triples, MergedTriple};
+use crate::redundant::{remove_redundant_with, RedundancyRule};
+
+/// The recursive translation `Q(α, β, ψ)` of Fig. 9. Appends the produced
+/// relations and label atoms to `relations` / `atoms`, allocating fresh
+/// variables from `vars`.
+pub fn q_translate(
+    psi: &AnnotatedPath,
+    alpha: VarId,
+    beta: VarId,
+    vars: &mut VarGen,
+    relations: &mut Vec<Relation>,
+    atoms: &mut Vec<LabelAtom>,
+) {
+    match psi {
+        // Q(α, β, ϕ) = (∅, ∅, {(α, ϕ, β)})
+        AnnotatedPath::Plain(e) => relations.push(Relation::plain(alpha, e.clone(), beta)),
+        // Q(α, β, ψ1 /L ψ2): fresh γ, η(γ) ∈ L
+        AnnotatedPath::Concat(a, ann, b) => {
+            let gamma = vars.fresh();
+            q_translate(a, alpha, gamma, vars, relations, atoms);
+            q_translate(b, gamma, beta, vars, relations, atoms);
+            if let Some(labels) = ann {
+                atoms.push(LabelAtom {
+                    var: gamma,
+                    labels: labels.clone(),
+                });
+            }
+        }
+        // Q(α, β, ψ1[ψ2]): fresh γ, test hangs off β
+        AnnotatedPath::BranchR(a, b) => {
+            let gamma = vars.fresh();
+            q_translate(a, alpha, beta, vars, relations, atoms);
+            q_translate(b, beta, gamma, vars, relations, atoms);
+        }
+        // Q(α, β, [ψ1]ψ2): fresh γ, test hangs off α
+        AnnotatedPath::BranchL(a, b) => {
+            let gamma = vars.fresh();
+            q_translate(a, alpha, gamma, vars, relations, atoms);
+            q_translate(b, alpha, beta, vars, relations, atoms);
+        }
+        // Q(α, β, ψ1 ∩ ψ2): both sides share the endpoints
+        AnnotatedPath::Conj(a, b) => {
+            q_translate(a, alpha, beta, vars, relations, atoms);
+            q_translate(b, alpha, beta, vars, relations, atoms);
+        }
+    }
+}
+
+/// The CQT `C(t)` associated with a merged triple (Def. 10): head `{α, β}`
+/// plus the endpoint atoms `η(α) ∈ L1`, `η(β) ∈ L2` when constrained.
+pub fn triple_to_cqt(t: &MergedTriple, alpha: VarId, beta: VarId, vars: &mut VarGen) -> Cqt {
+    let mut relations = Vec::new();
+    let mut atoms = Vec::new();
+    q_translate(&t.psi, alpha, beta, vars, &mut relations, &mut atoms);
+    if let Some(labels) = &t.src_labels {
+        atoms.push(LabelAtom {
+            var: alpha,
+            labels: labels.clone(),
+        });
+    }
+    if let Some(labels) = &t.tgt_labels {
+        atoms.push(LabelAtom {
+            var: beta,
+            labels: labels.clone(),
+        });
+    }
+    Cqt {
+        head: vec![alpha, beta],
+        atoms,
+        relations,
+    }
+}
+
+/// The schema-enriched query `RS(ϕ)` of Definition 11: one CQT per merged
+/// triple, unioned. Returns `Ok(None)` when `TS(ϕ)` is empty (the query is
+/// unsatisfiable on every database conforming to the schema).
+pub fn schema_enriched_query(
+    schema: &GraphSchema,
+    phi: &PathExpr,
+    opts: InferOptions,
+) -> Result<Option<Ucqt>> {
+    schema_enriched_query_with(schema, phi, opts, RedundancyRule::EitherSide)
+}
+
+/// [`schema_enriched_query`] with an explicit redundancy rule.
+pub fn schema_enriched_query_with(
+    schema: &GraphSchema,
+    phi: &PathExpr,
+    opts: InferOptions,
+    rule: RedundancyRule,
+) -> Result<Option<Ucqt>> {
+    let simplified = crate::simplify::simplify(phi);
+    let triples = infer_triples(schema, &simplified, opts)?;
+    if triples.is_empty() {
+        return Ok(None);
+    }
+    let merged: Vec<MergedTriple> = merge_triples(&triples)
+        .iter()
+        .map(|m| remove_redundant_with(schema, m, rule))
+        .collect();
+    let alpha = VarId::new(0);
+    let beta = VarId::new(1);
+    let disjuncts: Vec<Cqt> = merged
+        .iter()
+        .map(|t| {
+            let mut vars = VarGen::above([alpha, beta]);
+            triple_to_cqt(t, alpha, beta, &mut vars)
+        })
+        .collect();
+    Ok(Some(Ucqt {
+        head: vec![alpha, beta],
+        disjuncts,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+    use sgq_query::cqt::ucqt_to_string;
+
+    #[test]
+    fn example13_rewritten_query() {
+        // RS(ϕ4) = {α, β | ∃γ (α, lvIn/isL, γ) ∧ (γ, isL/dw+, β) ∧ η(γ) ∈ {REG}}
+        let schema = fig1_yago_schema();
+        let phi = parse_path("livesIn/isLocatedIn+/dealsWith+", &schema).unwrap();
+        let q = schema_enriched_query(&schema, &phi, InferOptions::default())
+            .unwrap()
+            .expect("satisfiable");
+        assert_eq!(q.disjuncts.len(), 1);
+        let c = &q.disjuncts[0];
+        assert_eq!(c.relations.len(), 2);
+        assert_eq!(c.atoms.len(), 1);
+        let gamma = c.atoms[0].var;
+        assert_eq!(
+            c.atoms[0].labels,
+            vec![schema.node_label("REGION").unwrap()]
+        );
+        // (α, livesIn/isLocatedIn, γ)
+        assert_eq!(c.relations[0].src, VarId::new(0));
+        assert_eq!(c.relations[0].tgt, gamma);
+        assert_eq!(
+            c.relations[0].path.strip(),
+            parse_path("livesIn/isLocatedIn", &schema).unwrap()
+        );
+        // (γ, isLocatedIn/dealsWith+, β)
+        assert_eq!(c.relations[1].src, gamma);
+        assert_eq!(c.relations[1].tgt, VarId::new(1));
+        assert_eq!(
+            c.relations[1].path.strip(),
+            parse_path("isLocatedIn/dealsWith+", &schema).unwrap()
+        );
+        // No closure of isLocatedIn survives anywhere.
+        assert!(!c.relations[0].path.is_recursive());
+        assert!(c.relations[1].path.is_recursive(), "dealsWith+ remains");
+    }
+
+    #[test]
+    fn unsatisfiable_query_is_detected() {
+        // livesIn/owns can never match under the Fig. 1 schema
+        let schema = fig1_yago_schema();
+        let phi = parse_path("livesIn/owns", &schema).unwrap();
+        let q = schema_enriched_query(&schema, &phi, InferOptions::default()).unwrap();
+        assert!(q.is_none());
+    }
+
+    #[test]
+    fn plus_expansion_becomes_union() {
+        let schema = fig1_yago_schema();
+        let phi = parse_path("isLocatedIn+", &schema).unwrap();
+        let q = schema_enriched_query(&schema, &phi, InferOptions::default())
+            .unwrap()
+            .unwrap();
+        // lengths 1, 2, 3 -> three disjuncts, none recursive
+        assert_eq!(q.disjuncts.len(), 3);
+        assert!(q
+            .disjuncts
+            .iter()
+            .all(|c| c.relations.iter().all(|r| !r.path.is_recursive())));
+        let s = ucqt_to_string(&q, &schema);
+        assert!(s.contains("∪"), "{s}");
+    }
+
+    #[test]
+    fn branch_translation_creates_dangling_test_var() {
+        let schema = fig1_yago_schema();
+        let person = schema.node_label("PERSON").unwrap();
+        // ψ = owns[isMarriedTo] with an annotation forcing the split
+        let psi = AnnotatedPath::branch_r(
+            AnnotatedPath::concat(
+                AnnotatedPath::plain(parse_path("owns", &schema).unwrap()),
+                Some(vec![person]),
+                AnnotatedPath::plain(parse_path("-owns", &schema).unwrap()),
+            ),
+            AnnotatedPath::plain(parse_path("isMarriedTo", &schema).unwrap()),
+        );
+        let mut vars = VarGen::above([VarId::new(0), VarId::new(1)]);
+        let mut relations = Vec::new();
+        let mut atoms = Vec::new();
+        q_translate(
+            &psi,
+            VarId::new(0),
+            VarId::new(1),
+            &mut vars,
+            &mut relations,
+            &mut atoms,
+        );
+        // owns -> γ2, -owns γ2 -> β, isMarriedTo β -> γ1
+        assert_eq!(relations.len(), 3);
+        assert_eq!(atoms.len(), 1);
+        // the test relation starts at β
+        assert_eq!(relations[2].src, VarId::new(1));
+    }
+
+    #[test]
+    fn conj_translation_shares_endpoints() {
+        let schema = fig1_yago_schema();
+        let psi = AnnotatedPath::conj(
+            AnnotatedPath::plain(parse_path("isMarriedTo", &schema).unwrap()),
+            AnnotatedPath::plain(parse_path("isMarriedTo/isMarriedTo", &schema).unwrap()),
+        );
+        let mut vars = VarGen::above([VarId::new(0), VarId::new(1)]);
+        let mut relations = Vec::new();
+        let mut atoms = Vec::new();
+        q_translate(
+            &psi,
+            VarId::new(0),
+            VarId::new(1),
+            &mut vars,
+            &mut relations,
+            &mut atoms,
+        );
+        assert_eq!(relations.len(), 2);
+        assert!(relations
+            .iter()
+            .all(|r| r.src == VarId::new(0) && r.tgt == VarId::new(1)));
+    }
+}

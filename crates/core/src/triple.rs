@@ -1,0 +1,97 @@
+//! Graph schema triples (Definitions 5 and 6).
+//!
+//! A [`Triple`] `(ln, ψ, l'n)` pairs an annotated path expression with the
+//! node labels of its endpoints. [`Triple::plus_paths`] records, for the
+//! Table 6 statistics, the lengths of the fixed-length expansions that
+//! replaced transitive closures inside `ψ`.
+
+use sgq_common::NodeLabelId;
+use sgq_graph::GraphSchema;
+use sgq_query::annotated::AnnotatedPath;
+use sgq_query::cqt::annotated_to_string;
+
+/// A graph schema triple `(sc(t), eT(t), tr(t))` (Definition 6).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Source node label `sc(t)`.
+    pub src: NodeLabelId,
+    /// Annotated path expression `eT(t)`.
+    pub psi: AnnotatedPath,
+    /// Target node label `tr(t)`.
+    pub tgt: NodeLabelId,
+    /// Lengths (in schema-triple steps) of the fixed-length paths that
+    /// replaced `ϕ+` sub-terms inside `psi`, sorted. Empty when no closure
+    /// was eliminated.
+    pub plus_paths: Vec<u16>,
+}
+
+impl Triple {
+    /// A triple with no eliminated closures.
+    pub fn new(src: NodeLabelId, psi: AnnotatedPath, tgt: NodeLabelId) -> Self {
+        Triple {
+            src,
+            psi,
+            tgt,
+            plus_paths: Vec::new(),
+        }
+    }
+
+    /// A triple carrying plus-elimination statistics.
+    pub fn with_paths(
+        src: NodeLabelId,
+        psi: AnnotatedPath,
+        tgt: NodeLabelId,
+        mut plus_paths: Vec<u16>,
+    ) -> Self {
+        plus_paths.sort_unstable();
+        Triple {
+            src,
+            psi,
+            tgt,
+            plus_paths,
+        }
+    }
+
+    /// Renders the triple in the paper's `(ln, ψ, l'n)` notation.
+    pub fn display(&self, schema: &GraphSchema) -> String {
+        format!(
+            "({}, {}, {})",
+            schema.node_label_name(self.src),
+            annotated_to_string(&self.psi, schema),
+            schema.node_label_name(self.tgt)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let schema = fig1_yago_schema();
+        let person = schema.node_label("PERSON").unwrap();
+        let property = schema.node_label("PROPERTY").unwrap();
+        let t = Triple::new(
+            person,
+            AnnotatedPath::plain(parse_path("owns", &schema).unwrap()),
+            property,
+        );
+        assert_eq!(t.display(&schema), "(PERSON, owns, PROPERTY)");
+    }
+
+    #[test]
+    fn with_paths_sorts() {
+        let schema = fig1_yago_schema();
+        let person = schema.node_label("PERSON").unwrap();
+        let t = Triple::with_paths(
+            person,
+            AnnotatedPath::plain(parse_path("owns", &schema).unwrap()),
+            person,
+            vec![3, 1, 2],
+        );
+        assert_eq!(t.plus_paths, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,102 @@
+//! Query-catalog types.
+
+use sgq_algebra::ast::PathExpr;
+use sgq_algebra::parser::parse_path;
+use sgq_common::Result;
+use sgq_graph::GraphSchema;
+use sgq_query::cqt::{QueryKind, Ucqt};
+
+/// Which benchmark family a query was taken from (Tab. 4's labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryOrigin {
+    /// LDBC interactive complex reads (`IC*`).
+    InteractiveComplex,
+    /// LDBC interactive short reads (`IS*`).
+    InteractiveShort,
+    /// LDBC business intelligence (`BI*`).
+    BusinessIntelligence,
+    /// Large-scale subgraph query benchmark (`LSQB*`).
+    Lsqb,
+    /// YAGO-style queries proposed by the paper (`Y*`).
+    YagoStyle,
+}
+
+impl std::fmt::Display for QueryOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryOrigin::InteractiveComplex => write!(f, "IC"),
+            QueryOrigin::InteractiveShort => write!(f, "IS"),
+            QueryOrigin::BusinessIntelligence => write!(f, "BI"),
+            QueryOrigin::Lsqb => write!(f, "LSQB"),
+            QueryOrigin::YagoStyle => write!(f, "Y"),
+        }
+    }
+}
+
+/// One catalog entry: a named path query.
+#[derive(Debug, Clone)]
+pub struct CatalogQuery {
+    /// Query label as in Tab. 4 (e.g. `IC13`).
+    pub name: &'static str,
+    /// Origin family.
+    pub origin: QueryOrigin,
+    /// The path expression in this crate's text syntax.
+    pub text: &'static str,
+    /// Parsed expression.
+    pub expr: PathExpr,
+}
+
+impl CatalogQuery {
+    /// Parses a catalog entry against `schema`.
+    pub fn parse(
+        name: &'static str,
+        origin: QueryOrigin,
+        text: &'static str,
+        schema: &GraphSchema,
+    ) -> Result<Self> {
+        let expr = parse_path(text, schema)?;
+        Ok(CatalogQuery {
+            name,
+            origin,
+            text,
+            expr,
+        })
+    }
+
+    /// The binary UCQT `{(α, β) | (α, ϕ, β)}` for this entry.
+    pub fn ucqt(&self) -> Ucqt {
+        Ucqt::path_query(self.expr.clone())
+    }
+
+    /// Recursive (RQ) or non-recursive (NQ), per §2.4.2.
+    pub fn kind(&self) -> QueryKind {
+        if self.expr.is_recursive() {
+            QueryKind::Recursive
+        } else {
+            QueryKind::NonRecursive
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    #[test]
+    fn parse_and_classify() {
+        let schema = fig1_yago_schema();
+        let q = CatalogQuery::parse("T1", QueryOrigin::YagoStyle, "livesIn/isLocatedIn+", &schema)
+            .unwrap();
+        assert_eq!(q.kind(), QueryKind::Recursive);
+        assert!(q.ucqt().validate().is_ok());
+        let q = CatalogQuery::parse("T2", QueryOrigin::Lsqb, "owns", &schema).unwrap();
+        assert_eq!(q.kind(), QueryKind::NonRecursive);
+    }
+
+    #[test]
+    fn origin_display() {
+        assert_eq!(QueryOrigin::InteractiveComplex.to_string(), "IC");
+        assert_eq!(QueryOrigin::YagoStyle.to_string(), "Y");
+    }
+}

@@ -1,0 +1,410 @@
+//! The LDBC-SNB-like property graph (§5.1.1) and the 30 queries of Tab. 4.
+//!
+//! The official SNB CSV dumps are multi-gigabyte downloads; per the
+//! substitution policy we generate a scale-factor-parameterised synthetic
+//! social network with the same schema digraph: a `knows` small-world
+//! graph, `replyOf` reply trees, an `isSubclassOf` tag taxonomy, an
+//! `isPartOf` place hierarchy, organisations and forums. Entity counts
+//! scale linearly with the scale factor like SNB's do, so the feasibility
+//! behaviour (Tab. 5) reproduces in shape.
+//!
+//! Node labels: the paper's Tab. 3 counts 8 node relations — `Place` and
+//! `Organisation` are single tables with a type column in LDBC. Our type
+//! inference needs the subtypes distinct, so the schema uses `City`,
+//! `Country`, `Continent`, `Company` and `University` as separate labels;
+//! [`crate::stats`] groups them back for the Tab. 3 display.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgq_common::{NodeId, Result};
+use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
+
+use crate::catalog::{CatalogQuery, QueryOrigin};
+
+/// The scale factors used in the paper's Tab. 3/5.
+pub const SCALE_FACTORS: [f64; 6] = [0.1, 0.3, 1.0, 3.0, 10.0, 30.0];
+
+/// Size knobs for the LDBC generator.
+#[derive(Debug, Clone, Copy)]
+pub struct LdbcConfig {
+    /// Scale factor (entity counts scale linearly).
+    pub scale_factor: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Persons at scale factor 1.0.
+    pub persons_per_sf: usize,
+}
+
+impl LdbcConfig {
+    /// The configuration for scale factor `sf`.
+    pub fn at_scale(sf: f64) -> Self {
+        LdbcConfig {
+            scale_factor: sf,
+            seed: 0x1dbc_5eed,
+            persons_per_sf: 500,
+        }
+    }
+
+    fn persons(&self) -> usize {
+        ((self.persons_per_sf as f64 * self.scale_factor) as usize).max(30)
+    }
+}
+
+/// The LDBC-SNB schema: 11 node labels (8 paper-style node relations, see
+/// module docs) and 15 edge labels.
+pub fn schema() -> GraphSchema {
+    let mut b = GraphSchema::builder();
+    b.node(
+        "Person",
+        &[("name", DataType::String), ("birthday", DataType::Date)],
+    );
+    b.node("Forum", &[("title", DataType::String)]);
+    b.node("Post", &[("content", DataType::String)]);
+    b.node("Comment", &[("content", DataType::String)]);
+    b.node("Tag", &[("name", DataType::String)]);
+    b.node("TagClass", &[("name", DataType::String)]);
+    b.node("City", &[("name", DataType::String)]);
+    b.node("Country", &[("name", DataType::String)]);
+    b.node("Continent", &[("name", DataType::String)]);
+    b.node("Company", &[("name", DataType::String)]);
+    b.node("University", &[("name", DataType::String)]);
+
+    b.edge("Person", "knows", "Person");
+    b.edge("Person", "likes", "Post");
+    b.edge("Person", "likes", "Comment");
+    b.edge("Post", "hasCreator", "Person");
+    b.edge("Comment", "hasCreator", "Person");
+    b.edge("Comment", "replyOf", "Post");
+    b.edge("Comment", "replyOf", "Comment");
+    b.edge("Forum", "containerOf", "Post");
+    b.edge("Forum", "hasMember", "Person");
+    b.edge("Forum", "hasModerator", "Person");
+    b.edge("Post", "hasTag", "Tag");
+    b.edge("Comment", "hasTag", "Tag");
+    b.edge("Forum", "hasTag", "Tag");
+    b.edge("Person", "hasInterest", "Tag");
+    b.edge("Tag", "hasType", "TagClass");
+    b.edge("TagClass", "isSubclassOf", "TagClass");
+    b.edge("Person", "isLocatedIn", "City");
+    b.edge("Company", "isLocatedIn", "Country");
+    b.edge("University", "isLocatedIn", "City");
+    b.edge("Post", "isLocatedIn", "Country");
+    b.edge("Comment", "isLocatedIn", "Country");
+    b.edge("City", "isPartOf", "Country");
+    b.edge("Country", "isPartOf", "Continent");
+    b.edge("Person", "workAt", "Company");
+    b.edge("Person", "studyAt", "University");
+    b.build().expect("LDBC schema is well-formed")
+}
+
+/// Generates a conforming LDBC-SNB-like database at the given scale.
+pub fn generate(config: LdbcConfig) -> (GraphSchema, GraphDatabase) {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphDatabase::builder(&schema);
+
+    let persons_n = config.persons();
+    let forums_n = (persons_n / 2).max(4);
+    let posts_n = persons_n * 3;
+    let comments_n = persons_n * 6;
+    let tags_n = ((30.0 + 20.0 * config.scale_factor) as usize).clamp(20, 400);
+    let tagclasses_n = 20;
+    let cities_n = 60;
+    let countries_n = 20;
+    let continents_n = 6;
+    let companies_n = 40;
+    let universities_n = 30;
+
+    let name_key = b.intern_key("name");
+    let title_key = b.intern_key("title");
+    let content_key = b.intern_key("content");
+    let birthday_key = b.intern_key("birthday");
+
+    let person_l = b.intern_node_label("Person");
+    let forum_l = b.intern_node_label("Forum");
+    let post_l = b.intern_node_label("Post");
+    let comment_l = b.intern_node_label("Comment");
+    let tag_l = b.intern_node_label("Tag");
+    let tagclass_l = b.intern_node_label("TagClass");
+    let city_l = b.intern_node_label("City");
+    let country_l = b.intern_node_label("Country");
+    let continent_l = b.intern_node_label("Continent");
+    let company_l = b.intern_node_label("Company");
+    let university_l = b.intern_node_label("University");
+
+    let persons: Vec<NodeId> = (0..persons_n)
+        .map(|i| {
+            b.node_with_label_id(
+                person_l,
+                vec![
+                    (name_key, Value::str(format!("person{i}"))),
+                    (birthday_key, Value::Date(7000 + (i as i64 % 15000))),
+                ],
+            )
+        })
+        .collect();
+    let mk = |label, count: usize, key, prefix: &str, b: &mut sgq_graph::DatabaseBuilder| {
+        (0..count)
+            .map(|i| {
+                b.node_with_label_id(label, vec![(key, Value::str(format!("{prefix}{i}")))])
+            })
+            .collect::<Vec<NodeId>>()
+    };
+    let forums = mk(forum_l, forums_n, title_key, "forum", &mut b);
+    let posts = mk(post_l, posts_n, content_key, "post", &mut b);
+    let comments = mk(comment_l, comments_n, content_key, "comment", &mut b);
+    let tags = mk(tag_l, tags_n, name_key, "tag", &mut b);
+    let tagclasses = mk(tagclass_l, tagclasses_n, name_key, "tagclass", &mut b);
+    let cities = mk(city_l, cities_n, name_key, "city", &mut b);
+    let countries = mk(country_l, countries_n, name_key, "country", &mut b);
+    let continents = mk(continent_l, continents_n, name_key, "continent", &mut b);
+    let companies = mk(company_l, companies_n, name_key, "company", &mut b);
+    let universities = mk(university_l, universities_n, name_key, "university", &mut b);
+
+    let knows = b.intern_edge_label("knows");
+    let likes = b.intern_edge_label("likes");
+    let has_creator = b.intern_edge_label("hasCreator");
+    let reply_of = b.intern_edge_label("replyOf");
+    let container_of = b.intern_edge_label("containerOf");
+    let has_member = b.intern_edge_label("hasMember");
+    let has_moderator = b.intern_edge_label("hasModerator");
+    let has_tag = b.intern_edge_label("hasTag");
+    let has_interest = b.intern_edge_label("hasInterest");
+    let has_type = b.intern_edge_label("hasType");
+    let is_subclass_of = b.intern_edge_label("isSubclassOf");
+    let is_located_in = b.intern_edge_label("isLocatedIn");
+    let is_part_of = b.intern_edge_label("isPartOf");
+    let work_at = b.intern_edge_label("workAt");
+    let study_at = b.intern_edge_label("studyAt");
+
+    let pick = |rng: &mut StdRng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
+    // Zipf-ish skew towards low indexes (hub creators / popular tags).
+    let skewed = |rng: &mut StdRng, v: &[NodeId]| {
+        let r: f64 = rng.gen::<f64>();
+        v[((r * r) * v.len() as f64) as usize]
+    };
+
+    // Place hierarchy (acyclic).
+    for &c in &cities {
+        b.edge_with_label_id(c, is_part_of, pick(&mut rng, &countries));
+    }
+    for &c in &countries {
+        b.edge_with_label_id(c, is_part_of, pick(&mut rng, &continents));
+    }
+    for &c in &companies {
+        b.edge_with_label_id(c, is_located_in, pick(&mut rng, &countries));
+    }
+    for &u in &universities {
+        b.edge_with_label_id(u, is_located_in, pick(&mut rng, &cities));
+    }
+    // Tag taxonomy (tree in the data, self-loop in the schema).
+    for (i, &tc) in tagclasses.iter().enumerate().skip(1) {
+        b.edge_with_label_id(tc, is_subclass_of, tagclasses[rng.gen_range(0..i)]);
+    }
+    for &t in &tags {
+        b.edge_with_label_id(t, has_type, pick(&mut rng, &tagclasses));
+    }
+    // People: a symmetric small-world knows graph with locality.
+    for (i, &p) in persons.iter().enumerate() {
+        b.edge_with_label_id(p, is_located_in, pick(&mut rng, &cities));
+        let degree = rng.gen_range(3..9);
+        for _ in 0..degree {
+            let span = (persons_n / 8).max(2);
+            let j = (i + rng.gen_range(1..span)) % persons_n;
+            b.edge_with_label_id(p, knows, persons[j]);
+            b.edge_with_label_id(persons[j], knows, p);
+        }
+        for _ in 0..4 {
+            b.edge_with_label_id(p, has_interest, skewed(&mut rng, &tags));
+        }
+        for _ in 0..5 {
+            if rng.gen_bool(0.6) {
+                b.edge_with_label_id(p, likes, pick(&mut rng, &posts));
+            } else {
+                b.edge_with_label_id(p, likes, pick(&mut rng, &comments));
+            }
+        }
+        if rng.gen_bool(0.4) {
+            b.edge_with_label_id(p, work_at, pick(&mut rng, &companies));
+        }
+        if rng.gen_bool(0.5) {
+            b.edge_with_label_id(p, study_at, pick(&mut rng, &universities));
+        }
+    }
+    // Forums.
+    for &f in &forums {
+        b.edge_with_label_id(f, has_moderator, pick(&mut rng, &persons));
+        for _ in 0..10 {
+            b.edge_with_label_id(f, has_member, pick(&mut rng, &persons));
+        }
+        for _ in 0..2 {
+            b.edge_with_label_id(f, has_tag, skewed(&mut rng, &tags));
+        }
+    }
+    // Posts.
+    for &p in &posts {
+        b.edge_with_label_id(p, has_creator, skewed(&mut rng, &persons));
+        b.edge_with_label_id(p, is_located_in, pick(&mut rng, &countries));
+        b.edge_with_label_id(pick(&mut rng, &forums), container_of, p);
+        for _ in 0..2 {
+            b.edge_with_label_id(p, has_tag, skewed(&mut rng, &tags));
+        }
+    }
+    // Comments: reply trees (acyclic data).
+    for (i, &c) in comments.iter().enumerate() {
+        b.edge_with_label_id(c, has_creator, skewed(&mut rng, &persons));
+        b.edge_with_label_id(c, is_located_in, pick(&mut rng, &countries));
+        b.edge_with_label_id(c, has_tag, skewed(&mut rng, &tags));
+        if i == 0 || rng.gen_bool(0.6) {
+            b.edge_with_label_id(c, reply_of, pick(&mut rng, &posts));
+        } else {
+            b.edge_with_label_id(c, reply_of, comments[rng.gen_range(0..i)]);
+        }
+    }
+
+    let db = b.build().expect("generator produces well-formed edges");
+    (schema, db)
+}
+
+/// The 30 LDBC queries of Tab. 4, verbatim (bounded repetitions `knows1..3`
+/// written with this crate's `knows{1,3}` sugar).
+pub fn queries(schema: &GraphSchema) -> Result<Vec<CatalogQuery>> {
+    use QueryOrigin::*;
+    let defs: [(&'static str, QueryOrigin, &'static str); 30] = [
+        ("IC1", InteractiveComplex, "knows{1,3}/(isLocatedIn | (workAt|studyAt)/isLocatedIn)"),
+        ("IC2", InteractiveComplex, "knows/-hasCreator"),
+        ("IC6", InteractiveComplex, "knows{1,2}/(-hasCreator[hasTag])[hasTag]"),
+        ("IC7", InteractiveComplex, "(-hasCreator/-likes) | ((-hasCreator/-likes) & knows)"),
+        ("IC8", InteractiveComplex, "-hasCreator/-replyOf/hasCreator"),
+        ("IC9", InteractiveComplex, "knows{1,2}/-hasCreator"),
+        ("IC11", InteractiveComplex, "knows{1,2}/workAt/isLocatedIn"),
+        ("IC12", InteractiveComplex, "knows/-hasCreator/replyOf/hasTag/hasType/isSubclassOf+"),
+        ("IC13", InteractiveComplex, "knows+"),
+        ("IC14", InteractiveComplex, "(knows & (-hasCreator/replyOf/hasCreator))+"),
+        ("Y1", YagoStyle, "knows+/studyAt/isLocatedIn+/isPartOf+"),
+        ("Y2", YagoStyle, "likes/hasCreator/knows+/isLocatedIn+"),
+        ("Y3", YagoStyle, "likes/replyOf+/isLocatedIn+/isPartOf+"),
+        ("Y4", YagoStyle, "hasMember/(studyAt|workAt)/isLocatedIn+/isPartOf+"),
+        ("Y5", YagoStyle, "-hasMember/([containerOf]hasTag)/hasType/isSubclassOf+"),
+        ("Y6", YagoStyle, "replyOf+/isLocatedIn+/isPartOf+"),
+        ("Y7", YagoStyle, "hasModerator/hasInterest/hasType/isSubclassOf+"),
+        ("Y8", YagoStyle, "([containerOf/hasCreator]hasMember)/isLocatedIn/isPartOf+"),
+        ("IS2", InteractiveShort, "-hasCreator/replyOf+/hasCreator"),
+        ("IS6", InteractiveShort, "replyOf+/-containerOf/hasMember"),
+        ("IS7", InteractiveShort, "(-hasCreator/replyOf/hasCreator) | ((-hasCreator/replyOf/hasCreator) & knows)"),
+        ("BI11", BusinessIntelligence, "(([isLocatedIn/isPartOf]knows)[isLocatedIn/isPartOf]) & (knows/([isLocatedIn/isPartOf]knows))"),
+        ("BI10", BusinessIntelligence, "(knows+[isLocatedIn/isPartOf])/(-hasCreator[hasTag])/hasTag/hasType"),
+        ("BI3", BusinessIntelligence, "-isPartOf/-isLocatedIn/-hasModerator/containerOf/-replyOf+/hasTag/hasType"),
+        ("BI9", BusinessIntelligence, "replyOf+/hasCreator"),
+        ("BI20", BusinessIntelligence, "(knows & (studyAt/-studyAt))+"),
+        ("LSQB1", Lsqb, "-isPartOf/-isLocatedIn/-hasMember/containerOf/-replyOf+/hasTag/hasType"),
+        ("LSQB4", Lsqb, "((likes[hasTag])[-replyOf])/hasCreator"),
+        ("LSQB5", Lsqb, "-hasTag/-replyOf/hasTag"),
+        ("LSQB6", Lsqb, "knows/knows/hasInterest"),
+    ];
+    defs.iter()
+        .map(|&(name, origin, text)| CatalogQuery::parse(name, origin, text, schema))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_core::pipeline::{rewrite_path, RewriteOptions};
+    use sgq_graph::check_consistency;
+    use sgq_query::cqt::QueryKind;
+
+    #[test]
+    fn generated_database_conforms() {
+        let (schema, db) = generate(LdbcConfig::at_scale(0.1));
+        let report = check_consistency(&schema, &db);
+        assert!(
+            report.is_consistent(),
+            "{:?}",
+            &report.violations[..3.min(report.violations.len())]
+        );
+    }
+
+    #[test]
+    fn scale_factor_scales_linearly() {
+        let (_, small) = generate(LdbcConfig::at_scale(0.3));
+        let (_, large) = generate(LdbcConfig::at_scale(3.0));
+        let ratio = large.node_count() as f64 / small.node_count() as f64;
+        assert!(ratio > 5.0, "nodes should grow ~10x, got {ratio:.1}x");
+        assert!(large.edge_count() > small.edge_count() * 5);
+    }
+
+    #[test]
+    fn table4_has_12_nq_and_18_rq() {
+        // Tab. 4: 12 non-recursive and 18 recursive queries.
+        let schema = schema();
+        let qs = queries(&schema).unwrap();
+        assert_eq!(qs.len(), 30);
+        let rq = qs.iter().filter(|q| q.kind() == QueryKind::Recursive).count();
+        let nq = qs.iter().filter(|q| q.kind() == QueryKind::NonRecursive).count();
+        assert_eq!(rq, 18, "Tab. 4 has 18 RQ");
+        assert_eq!(nq, 12, "Tab. 4 has 12 NQ");
+    }
+
+    #[test]
+    fn all_queries_are_satisfiable_under_the_schema() {
+        // The rewrite never proves a Tab. 4 query empty.
+        let schema = schema();
+        for q in queries(&schema).unwrap() {
+            let r = rewrite_path(&schema, &q.expr, RewriteOptions::default());
+            assert!(
+                !matches!(r.outcome, sgq_core::pipeline::RewriteOutcome::Empty),
+                "{} must be satisfiable",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn revert_set_matches_paper_section_5_2() {
+        // §5.2: ten queries return to their initial path expressions:
+        // IC2, IC6, IC7, IC9, IC13, Y7, BI11, BI9, BI20, LSQB6.
+        // Our pipeline additionally reverts IC14 and LSQB4 (their only
+        // annotations are implied on both sides); see EXPERIMENTS.md.
+        let schema = schema();
+        let mut reverted: Vec<&str> = Vec::new();
+        for q in queries(&schema).unwrap() {
+            let r = rewrite_path(&schema, &q.expr, RewriteOptions::default());
+            if r.outcome.is_reverted() {
+                reverted.push(q.name);
+            }
+        }
+        for expected in ["IC2", "IC6", "IC7", "IC9", "IC13", "Y7", "BI11", "BI9", "BI20", "LSQB6"] {
+            assert!(
+                reverted.contains(&expected),
+                "{expected} should revert; reverted = {reverted:?}"
+            );
+        }
+        for must_enrich in ["IC1", "IC11", "IC12", "IS2", "Y1", "Y3", "Y6", "BI10", "BI3"] {
+            assert!(
+                !reverted.contains(&must_enrich),
+                "{must_enrich} should be enriched; reverted = {reverted:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tc_elimination_touches_the_ispartof_queries() {
+        // §5.4: "the transitive closure operation can only be removed in 5
+        // out of the 30 LDBC queries" — exactly the isPartOf+ ones.
+        let schema = schema();
+        let mut with_elimination: Vec<&str> = Vec::new();
+        for q in queries(&schema).unwrap() {
+            let r = rewrite_path(&schema, &q.expr, RewriteOptions::default());
+            if !r.outcome.is_reverted() && !r.report.plus_stats.path_lengths.is_empty() {
+                with_elimination.push(q.name);
+            }
+        }
+        for expected in ["Y1", "Y3", "Y4", "Y6", "Y8"] {
+            assert!(
+                with_elimination.contains(&expected),
+                "{expected} eliminates isPartOf+/isLocatedIn+; got {with_elimination:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Synthetic datasets and query catalogs for the paper's evaluation (§5.1).
+//!
+//! * [`yago`] — a YAGO-like knowledge graph: the paper's Fig. 1 schema
+//!   extended with the taxonomy/organisation labels needed by the 18
+//!   recursive YAGO queries, plus a seeded generator,
+//! * [`ldbc`] — an LDBC-SNB-like property graph with scale factors
+//!   (§5.1.1, Tab. 3) and the full 30-query catalog of Tab. 4,
+//! * [`catalog`] — query-catalog types shared by both datasets,
+//! * [`stats`] — the Tab. 3 dataset-characteristics summary.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod ldbc;
+pub mod stats;
+pub mod yago;
+
+pub use catalog::{CatalogQuery, QueryOrigin};
+pub use stats::DatasetStats;

@@ -1,0 +1,333 @@
+//! The YAGO-like knowledge graph (§5.1.1).
+//!
+//! The real YAGO2s dump is a 26 GB proprietary download; per the
+//! substitution policy (DESIGN.md) we generate a synthetic knowledge graph
+//! that conforms to the paper's YAGO schema — Fig. 1 extended with the
+//! organisation/taxonomy labels its 18 recursive queries need. What the
+//! optimisation depends on is preserved exactly: the *acyclic*
+//! `isLocatedIn` hierarchy (PROPERTY → CITY → REGION → COUNTRY), the
+//! *cyclic* `dealsWith` and `influences` relations, and edge labels whose
+//! relative sizes differ by orders of magnitude.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sgq_common::{NodeId, Result};
+use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
+
+use crate::catalog::{CatalogQuery, QueryOrigin};
+
+/// Size knobs for the YAGO generator.
+#[derive(Debug, Clone, Copy)]
+pub struct YagoConfig {
+    /// Number of PERSON nodes.
+    pub persons: usize,
+    /// Number of PROPERTY nodes.
+    pub properties: usize,
+    /// Number of CITY nodes.
+    pub cities: usize,
+    /// Number of REGION nodes.
+    pub regions: usize,
+    /// Number of COUNTRY nodes.
+    pub countries: usize,
+    /// Number of ORGANISATION nodes.
+    pub organisations: usize,
+    /// Number of CLASS nodes (taxonomy).
+    pub classes: usize,
+    /// RNG seed (generation is deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for YagoConfig {
+    fn default() -> Self {
+        YagoConfig {
+            persons: 4000,
+            properties: 2500,
+            cities: 400,
+            regions: 60,
+            countries: 24,
+            organisations: 200,
+            classes: 48,
+            seed: 0xa60_5eed,
+        }
+    }
+}
+
+impl YagoConfig {
+    /// A miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        YagoConfig {
+            persons: 60,
+            properties: 40,
+            cities: 12,
+            regions: 5,
+            countries: 3,
+            organisations: 8,
+            classes: 6,
+            seed: 42,
+        }
+    }
+
+    /// Scales every entity count by `factor`.
+    pub fn scaled(factor: f64) -> Self {
+        let d = YagoConfig::default();
+        let s = |n: usize| ((n as f64 * factor).ceil() as usize).max(3);
+        YagoConfig {
+            persons: s(d.persons),
+            properties: s(d.properties),
+            cities: s(d.cities),
+            regions: s(d.regions),
+            countries: s(d.countries),
+            organisations: s(d.organisations),
+            classes: s(d.classes),
+            seed: d.seed,
+        }
+    }
+}
+
+/// The extended YAGO schema: 7 node labels (the paper's Tab. 3 reports 7
+/// node relations for YAGO) and 12 edge labels.
+pub fn schema() -> GraphSchema {
+    let mut b = GraphSchema::builder();
+    b.node(
+        "PERSON",
+        &[("name", DataType::String), ("age", DataType::Int)],
+    );
+    b.node("CITY", &[("name", DataType::String)]);
+    b.node(
+        "PROPERTY",
+        &[("address", DataType::String), ("name", DataType::String)],
+    );
+    b.node("REGION", &[("name", DataType::String)]);
+    b.node("COUNTRY", &[("name", DataType::String)]);
+    b.node("ORGANISATION", &[("name", DataType::String)]);
+    b.node("CLASS", &[("name", DataType::String)]);
+    // Fig. 1 edges
+    b.edge("PERSON", "isMarriedTo", "PERSON");
+    b.edge("PERSON", "livesIn", "CITY");
+    b.edge("PERSON", "owns", "PROPERTY");
+    b.edge("PROPERTY", "isLocatedIn", "CITY");
+    b.edge("CITY", "isLocatedIn", "REGION");
+    b.edge("REGION", "isLocatedIn", "COUNTRY");
+    b.edge("COUNTRY", "dealsWith", "COUNTRY");
+    // Extension for the recursive query set
+    b.edge("ORGANISATION", "isLocatedIn", "CITY");
+    b.edge("PERSON", "isCitizenOf", "COUNTRY");
+    b.edge("PERSON", "worksAt", "ORGANISATION");
+    b.edge("PERSON", "graduatedFrom", "ORGANISATION");
+    b.edge("PERSON", "influences", "PERSON");
+    b.edge("PERSON", "hasType", "CLASS");
+    b.edge("PROPERTY", "hasType", "CLASS");
+    b.edge("ORGANISATION", "hasType", "CLASS");
+    b.edge("CLASS", "isSubClassOf", "CLASS");
+    b.build().expect("YAGO schema is well-formed")
+}
+
+/// Generates a conforming YAGO-like database.
+pub fn generate(config: YagoConfig) -> (GraphSchema, GraphDatabase) {
+    let schema = schema();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = GraphDatabase::builder(&schema);
+
+    let name_key = b.intern_key("name");
+    let person_l = b.intern_node_label("PERSON");
+    let city_l = b.intern_node_label("CITY");
+    let property_l = b.intern_node_label("PROPERTY");
+    let region_l = b.intern_node_label("REGION");
+    let country_l = b.intern_node_label("COUNTRY");
+    let organisation_l = b.intern_node_label("ORGANISATION");
+    let class_l = b.intern_node_label("CLASS");
+
+    let mk = |label, count: usize, prefix: &str, b: &mut sgq_graph::DatabaseBuilder| {
+        (0..count)
+            .map(|i| {
+                b.node_with_label_id(
+                    label,
+                    vec![(name_key, Value::str(format!("{prefix}{i}")))],
+                )
+            })
+            .collect::<Vec<NodeId>>()
+    };
+    let persons = mk(person_l, config.persons, "person", &mut b);
+    let cities = mk(city_l, config.cities, "city", &mut b);
+    let properties = mk(property_l, config.properties, "property", &mut b);
+    let regions = mk(region_l, config.regions, "region", &mut b);
+    let countries = mk(country_l, config.countries, "country", &mut b);
+    let organisations = mk(organisation_l, config.organisations, "org", &mut b);
+    let classes = mk(class_l, config.classes, "class", &mut b);
+
+    let is_married_to = b.intern_edge_label("isMarriedTo");
+    let lives_in = b.intern_edge_label("livesIn");
+    let owns = b.intern_edge_label("owns");
+    let is_located_in = b.intern_edge_label("isLocatedIn");
+    let deals_with = b.intern_edge_label("dealsWith");
+    let is_citizen_of = b.intern_edge_label("isCitizenOf");
+    let works_at = b.intern_edge_label("worksAt");
+    let graduated_from = b.intern_edge_label("graduatedFrom");
+    let influences = b.intern_edge_label("influences");
+    let has_type = b.intern_edge_label("hasType");
+    let is_sub_class_of = b.intern_edge_label("isSubClassOf");
+
+    let pick = |rng: &mut StdRng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
+
+    // The place hierarchy (acyclic): property -> city -> region -> country.
+    for &p in &properties {
+        b.edge_with_label_id(p, is_located_in, pick(&mut rng, &cities));
+    }
+    for &c in &cities {
+        b.edge_with_label_id(c, is_located_in, pick(&mut rng, &regions));
+    }
+    for &r in &regions {
+        b.edge_with_label_id(r, is_located_in, pick(&mut rng, &countries));
+    }
+    for &o in &organisations {
+        b.edge_with_label_id(o, is_located_in, pick(&mut rng, &cities));
+    }
+    // dealsWith: a cyclic international-trade graph.
+    for &c in &countries {
+        for _ in 0..3 {
+            let other = pick(&mut rng, &countries);
+            if other != c {
+                b.edge_with_label_id(c, deals_with, other);
+            }
+        }
+    }
+    // The taxonomy: a tree under the root class (data is acyclic although
+    // the schema allows cycles — exactly YAGO's situation).
+    for (i, &cl) in classes.iter().enumerate().skip(1) {
+        let parent = classes[rng.gen_range(0..i)];
+        b.edge_with_label_id(cl, is_sub_class_of, parent);
+    }
+    // People.
+    for (i, &p) in persons.iter().enumerate() {
+        b.edge_with_label_id(p, lives_in, pick(&mut rng, &cities));
+        b.edge_with_label_id(p, is_citizen_of, pick(&mut rng, &countries));
+        if rng.gen_bool(0.4) {
+            // marriages are symmetric
+            let spouse = pick(&mut rng, &persons);
+            if spouse != p {
+                b.edge_with_label_id(p, is_married_to, spouse);
+                b.edge_with_label_id(spouse, is_married_to, p);
+            }
+        }
+        if rng.gen_bool(0.5) {
+            b.edge_with_label_id(p, owns, pick(&mut rng, &properties));
+        }
+        if rng.gen_bool(0.6) {
+            b.edge_with_label_id(p, works_at, pick(&mut rng, &organisations));
+        }
+        if rng.gen_bool(0.3) {
+            b.edge_with_label_id(p, graduated_from, pick(&mut rng, &organisations));
+        }
+        // influences: a sparse, cyclic social graph with locality
+        for _ in 0..2 {
+            let span = (config.persons / 10).max(2);
+            let j = (i + rng.gen_range(1..span)) % config.persons;
+            b.edge_with_label_id(p, influences, persons[j]);
+        }
+        if rng.gen_bool(0.7) {
+            b.edge_with_label_id(p, has_type, pick(&mut rng, &classes));
+        }
+    }
+    for &pr in &properties {
+        if rng.gen_bool(0.5) {
+            b.edge_with_label_id(pr, has_type, pick(&mut rng, &classes));
+        }
+    }
+    for &o in &organisations {
+        b.edge_with_label_id(o, has_type, pick(&mut rng, &classes));
+    }
+
+    let db = b.build().expect("generator produces well-formed edges");
+    (schema, db)
+}
+
+/// The 18 recursive YAGO queries (§5.1.3: all RQ; 16 allow transitive
+/// closure elimination; Y7 reverts, matching the paper's "query 7").
+pub fn queries(schema: &GraphSchema) -> Result<Vec<CatalogQuery>> {
+    let defs: [(&'static str, &'static str); 18] = [
+        ("Y1", "livesIn/isLocatedIn+/dealsWith+"),
+        ("Y2", "owns/isLocatedIn+"),
+        ("Y3", "livesIn/isLocatedIn+"),
+        ("Y4", "worksAt/isLocatedIn+"),
+        ("Y5", "owns/isLocatedIn+/dealsWith+"),
+        ("Y6", "isLocatedIn+"),
+        ("Y7", "influences+"),
+        ("Y8", "isMarriedTo/livesIn/isLocatedIn+"),
+        ("Y9", "(owns | worksAt)/isLocatedIn+"),
+        ("Y10", "-owns/livesIn/isLocatedIn+"),
+        ("Y11", "worksAt/isLocatedIn+/dealsWith+"),
+        ("Y12", "isMarriedTo+/livesIn/isLocatedIn+"),
+        ("Y13", "graduatedFrom/isLocatedIn+"),
+        ("Y14", "[isMarriedTo]owns/isLocatedIn+"),
+        ("Y15", "[worksAt]livesIn/isLocatedIn+"),
+        ("Y16", "dealsWith+/-isLocatedIn"),
+        ("Y17", "(livesIn/isLocatedIn+) & isCitizenOf"),
+        ("Y18", "owns/isLocatedIn+[dealsWith]"),
+    ];
+    defs.iter()
+        .map(|&(name, text)| CatalogQuery::parse(name, QueryOrigin::YagoStyle, text, schema))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_core::pipeline::{rewrite_path, RewriteOptions};
+    use sgq_graph::check_consistency;
+    use sgq_query::cqt::QueryKind;
+
+    #[test]
+    fn generated_database_conforms() {
+        let (schema, db) = generate(YagoConfig::tiny());
+        let report = check_consistency(&schema, &db);
+        assert!(report.is_consistent(), "{:?}", &report.violations[..3.min(report.violations.len())]);
+        assert!(db.node_count() > 100);
+        assert!(db.edge_count() > 100);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (_, db1) = generate(YagoConfig::tiny());
+        let (_, db2) = generate(YagoConfig::tiny());
+        assert_eq!(db1.node_count(), db2.node_count());
+        assert_eq!(db1.edge_count(), db2.edge_count());
+    }
+
+    #[test]
+    fn all_18_queries_parse_and_are_recursive() {
+        let schema = schema();
+        let qs = queries(&schema).unwrap();
+        assert_eq!(qs.len(), 18);
+        for q in &qs {
+            assert_eq!(q.kind(), QueryKind::Recursive, "{} must be RQ", q.name);
+        }
+    }
+
+    #[test]
+    fn rewrite_profile_matches_paper() {
+        // §5.2: exactly one query reverts; Tab. 6: 16 of 18 queries get
+        // fixed-length replacements for a transitive closure.
+        let schema = schema();
+        let qs = queries(&schema).unwrap();
+        let mut reverted = Vec::new();
+        let mut eliminated = 0usize;
+        for q in &qs {
+            let r = rewrite_path(&schema, &q.expr, RewriteOptions::default());
+            if r.outcome.is_reverted() {
+                reverted.push(q.name);
+            } else if !r.report.plus_stats.path_lengths.is_empty() {
+                eliminated += 1;
+            }
+        }
+        assert_eq!(reverted, vec!["Y7"], "only Y7 reverts (the paper's query 7)");
+        assert_eq!(eliminated, 16, "16 of 18 queries replace a closure (Tab. 6)");
+    }
+
+    #[test]
+    fn schema_has_paper_shape() {
+        let s = schema();
+        assert_eq!(s.node_count(), 7, "Tab. 3: YAGO has 7 node relations");
+        let isl = s.edge_label("isLocatedIn").unwrap();
+        assert_eq!(s.triples_for_edge_label(isl).len(), 4);
+    }
+}

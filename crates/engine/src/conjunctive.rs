@@ -1,0 +1,367 @@
+//! A binding-table executor for CQTs.
+//!
+//! Relations are evaluated one at a time into pair sets (with seed
+//! pushdown from already-bound variables and node-label atoms) and joined
+//! into a growing binding table. Join order is greedy: among the relations
+//! sharing a bound variable, the one with the smallest cardinality estimate
+//! goes first — a deliberately simple version of what Neo4j's planner does
+//! with graph patterns.
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{sorted, FxHashMap, FxHashSet, NodeId, Result, SgqError, VarId};
+use sgq_graph::GraphDatabase;
+use sgq_query::annotated::LabelSet;
+use sgq_query::cqt::Cqt;
+
+use crate::patheval::{eval_seeded, EvalCounters, Seeds};
+
+/// Result rows over the head variables (sorted, deduplicated).
+pub type Rows = Vec<Vec<NodeId>>;
+
+/// Executes one CQT against the database.
+pub fn run_cqt(db: &GraphDatabase, cqt: &Cqt, counters: &EvalCounters) -> Result<Rows> {
+    cqt.validate()?;
+    // Per-variable label constraints (intersected).
+    let mut constraints: FxHashMap<VarId, LabelSet> = FxHashMap::default();
+    for atom in &cqt.atoms {
+        match constraints.entry(atom.var) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let merged = sorted::intersect(e.get(), &atom.labels);
+                e.insert(merged);
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(atom.labels.clone());
+            }
+        }
+    }
+    if constraints.values().any(|l| l.is_empty()) {
+        return Ok(Vec::new());
+    }
+    // Candidate node sets for constrained variables.
+    let candidates: FxHashMap<VarId, Vec<NodeId>> = constraints
+        .iter()
+        .map(|(&v, labels)| {
+            let mut nodes: Vec<NodeId> = labels
+                .iter()
+                .flat_map(|&l| db.nodes_with_label(l).iter().copied())
+                .collect();
+            sorted::normalize(&mut nodes);
+            (v, nodes)
+        })
+        .collect();
+
+    let mut remaining: Vec<usize> = (0..cqt.relations.len()).collect();
+    let mut schema: Vec<VarId> = Vec::new();
+    let mut rows: Rows = vec![Vec::new()]; // the unit table: one empty row
+
+    while !remaining.is_empty() {
+        let bound: FxHashSet<VarId> = schema.iter().copied().collect();
+        // Greedy pick: prefer relations sharing a bound variable.
+        let pick_pos = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &idx)| {
+                let r = &cqt.relations[idx];
+                let shares =
+                    bound.contains(&r.src) || bound.contains(&r.tgt) || schema.is_empty();
+                (!shares, estimate(db, &r.path.strip()))
+            })
+            .map(|(pos, _)| pos)
+            .expect("remaining is non-empty");
+        let idx = remaining.swap_remove(pick_pos);
+        let rel = &cqt.relations[idx];
+        let expr = rel.path.strip();
+
+        // Seeds: bound column values take precedence over atom candidates.
+        let src_seed = seed_for(rel.src, &schema, &rows, &candidates);
+        let tgt_seed = seed_for(rel.tgt, &schema, &rows, &candidates);
+        let pairs = eval_seeded(
+            db,
+            &expr,
+            Seeds {
+                sources: src_seed.as_deref(),
+                targets: tgt_seed.as_deref(),
+            },
+            counters,
+        )?;
+        // Atom filters not already pushed as seeds.
+        let pairs: Vec<(NodeId, NodeId)> = pairs
+            .into_iter()
+            .filter(|&(s, t)| {
+                label_ok(db, &constraints, rel.src, s) && label_ok(db, &constraints, rel.tgt, t)
+            })
+            .filter(|&(s, t)| rel.src != rel.tgt || s == t)
+            .collect();
+
+        rows = join(&schema, rows, rel.src, rel.tgt, &pairs);
+        if !schema.contains(&rel.src) {
+            schema.push(rel.src);
+        }
+        if rel.tgt != rel.src && !schema.contains(&rel.tgt) {
+            schema.push(rel.tgt);
+        }
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Project onto the head.
+    let positions: Vec<usize> = cqt
+        .head
+        .iter()
+        .map(|h| {
+            schema
+                .iter()
+                .position(|v| v == h)
+                .ok_or_else(|| SgqError::Query(format!("head variable {h} never bound")))
+        })
+        .collect::<Result<_>>()?;
+    let mut out: Rows = rows
+        .into_iter()
+        .map(|row| positions.iter().map(|&p| row[p]).collect())
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// Seed values for a variable: bound column values, else atom candidates.
+fn seed_for(
+    var: VarId,
+    schema: &[VarId],
+    rows: &Rows,
+    candidates: &FxHashMap<VarId, Vec<NodeId>>,
+) -> Option<Vec<NodeId>> {
+    if let Some(pos) = schema.iter().position(|&v| v == var) {
+        let mut vals: Vec<NodeId> = rows.iter().map(|r| r[pos]).collect();
+        sorted::normalize(&mut vals);
+        return Some(vals);
+    }
+    candidates.get(&var).cloned()
+}
+
+#[inline]
+fn label_ok(
+    db: &GraphDatabase,
+    constraints: &FxHashMap<VarId, LabelSet>,
+    var: VarId,
+    n: NodeId,
+) -> bool {
+    match constraints.get(&var) {
+        None => true,
+        Some(labels) => sorted::contains(labels, &db.node_label(n)),
+    }
+}
+
+/// Joins the binding table with a pair set on whichever of `src`/`tgt` are
+/// already bound.
+fn join(schema: &[VarId], rows: Rows, src: VarId, tgt: VarId, pairs: &[(NodeId, NodeId)]) -> Rows {
+    let src_pos = schema.iter().position(|&v| v == src);
+    let tgt_pos = schema.iter().position(|&v| v == tgt);
+    let mut out: Rows = Vec::new();
+    match (src_pos, tgt_pos) {
+        (None, None) => {
+            // Cartesian extension (first relation, or disconnected pattern).
+            for row in &rows {
+                for &(s, t) in pairs {
+                    let mut r = row.clone();
+                    r.push(s);
+                    if tgt != src {
+                        r.push(t);
+                    }
+                    out.push(r);
+                }
+            }
+        }
+        (Some(sp), None) => {
+            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+            for &(s, t) in pairs {
+                index.entry(s).or_default().push(t);
+            }
+            for row in &rows {
+                if let Some(ts) = index.get(&row[sp]) {
+                    for &t in ts {
+                        let mut r = row.clone();
+                        r.push(t);
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        (None, Some(tp)) => {
+            let mut index: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+            for &(s, t) in pairs {
+                index.entry(t).or_default().push(s);
+            }
+            for row in &rows {
+                if let Some(ss) = index.get(&row[tp]) {
+                    for &s in ss {
+                        let mut r = row.clone();
+                        r.push(s);
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        (Some(sp), Some(tp)) => {
+            let set: FxHashSet<(NodeId, NodeId)> = pairs.iter().copied().collect();
+            out = rows
+                .into_iter()
+                .filter(|row| set.contains(&(row[sp], row[tp])))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            return out;
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// A crude cardinality estimate used only for join ordering: the smallest
+/// edge-label relation mentioned in the expression, inflated for closures.
+fn estimate(db: &GraphDatabase, expr: &PathExpr) -> usize {
+    let labels = expr.edge_labels();
+    let base = labels
+        .iter()
+        .map(|&le| db.edges(le).len())
+        .min()
+        .unwrap_or(0);
+    if expr.is_recursive() {
+        base.saturating_mul(4)
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::database::fig2_yago_database;
+    use sgq_query::cqt::{LabelAtom, Relation, Ucqt};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn single_relation_matches_path_eval() {
+        let db = fig2_yago_database();
+        let e = parse_path("livesIn/isLocatedIn+", &db).unwrap();
+        let q = Ucqt::path_query(e.clone());
+        let counters = EvalCounters::default();
+        let rows = run_cqt(&db, &q.disjuncts[0], &counters).unwrap();
+        let pairs: Vec<(NodeId, NodeId)> =
+            rows.iter().map(|r| (r[0], r[1])).collect();
+        assert_eq!(pairs, sgq_algebra::eval::eval_path(&db, &e));
+    }
+
+    #[test]
+    fn example5_c1() {
+        // C1 = {Y | (Y, livesIn/isLocatedIn+, M) ∧ (Y, owns, Z)}: only
+        // John (n2 = id 1) owns a property.
+        let db = fig2_yago_database();
+        let y = VarId::new(0);
+        let z = VarId::new(1);
+        let m = VarId::new(2);
+        let c1 = Cqt {
+            head: vec![y],
+            atoms: vec![],
+            relations: vec![
+                Relation::plain(y, parse_path("livesIn/isLocatedIn+", &db).unwrap(), m),
+                Relation::plain(y, parse_path("owns", &db).unwrap(), z),
+            ],
+        };
+        let counters = EvalCounters::default();
+        let rows = run_cqt(&db, &c1, &counters).unwrap();
+        assert_eq!(rows, vec![vec![n(1)]]);
+    }
+
+    #[test]
+    fn label_atoms_filter() {
+        let db = fig2_yago_database();
+        let a = VarId::new(0);
+        let b = VarId::new(1);
+        let region = db.node_label_id("REGION").unwrap();
+        // (a, isLocatedIn, b) with η(b) ∈ {REGION}: only CITY->REGION edges
+        let c = Cqt {
+            head: vec![a, b],
+            atoms: vec![LabelAtom {
+                var: b,
+                labels: vec![region],
+            }],
+            relations: vec![Relation::plain(a, parse_path("isLocatedIn", &db).unwrap(), b)],
+        };
+        let counters = EvalCounters::default();
+        let rows = run_cqt(&db, &c, &counters).unwrap();
+        assert_eq!(rows, vec![vec![n(3), n(4)], vec![n(5), n(4)]]);
+    }
+
+    #[test]
+    fn unsatisfiable_atom_returns_empty() {
+        let db = fig2_yago_database();
+        let a = VarId::new(0);
+        let b = VarId::new(1);
+        let person = db.node_label_id("PERSON").unwrap();
+        let city = db.node_label_id("CITY").unwrap();
+        let c = Cqt {
+            head: vec![a, b],
+            atoms: vec![
+                LabelAtom {
+                    var: b,
+                    labels: vec![person],
+                },
+                LabelAtom {
+                    var: b,
+                    labels: vec![city],
+                },
+            ],
+            relations: vec![Relation::plain(a, parse_path("livesIn", &db).unwrap(), b)],
+        };
+        let counters = EvalCounters::default();
+        assert!(run_cqt(&db, &c, &counters).unwrap().is_empty());
+    }
+
+    #[test]
+    fn self_loop_variable() {
+        // (x, isMarriedTo+, x): both John and Shradha reach themselves.
+        let db = fig2_yago_database();
+        let x = VarId::new(0);
+        let c = Cqt {
+            head: vec![x],
+            atoms: vec![],
+            relations: vec![Relation::plain(
+                x,
+                parse_path("isMarriedTo+", &db).unwrap(),
+                x,
+            )],
+        };
+        let counters = EvalCounters::default();
+        let rows = run_cqt(&db, &c, &counters).unwrap();
+        assert_eq!(rows, vec![vec![n(1)], vec![n(2)]]);
+    }
+
+    #[test]
+    fn triangle_pattern() {
+        // (x, owns, y) ∧ (x, livesIn, z) ∧ (y, isLocatedIn, z):
+        // John owns n1 located in Montbonnot, but John lives in Elerslie —
+        // no match.
+        let db = fig2_yago_database();
+        let x = VarId::new(0);
+        let y = VarId::new(1);
+        let z = VarId::new(2);
+        let c = Cqt {
+            head: vec![x],
+            atoms: vec![],
+            relations: vec![
+                Relation::plain(x, parse_path("owns", &db).unwrap(), y),
+                Relation::plain(x, parse_path("livesIn", &db).unwrap(), z),
+                Relation::plain(y, parse_path("isLocatedIn", &db).unwrap(), z),
+            ],
+        };
+        let counters = EvalCounters::default();
+        assert!(run_cqt(&db, &c, &counters).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! The property-graph query engine (the paper's GDBMS backend substitute).
+//!
+//! Evaluates UCQT queries directly over a [`sgq_graph::GraphDatabase`]:
+//!
+//! * [`patheval`] — seeded pair-set evaluation of path expressions over
+//!   CSR adjacency, with semi-naive / frontier-BFS transitive closure,
+//! * [`conjunctive`] — a binding-table executor for CQTs (greedy join
+//!   ordering, semi-join pushdown of label atoms and bound variables),
+//! * [`backend`] — the public [`GraphEngine`] facade used by the harness.
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod backend;
+pub mod conjunctive;
+pub mod patheval;
+
+pub use aggregate::{aggregate, grouped_count, Aggregate};
+pub use backend::{GraphEngine, Rows};
+pub use patheval::{eval_seeded, EvalCounters, Seeds};

@@ -1,0 +1,581 @@
+//! Seeded pair-set evaluation of path expressions.
+//!
+//! The evaluator improves on the reference semantics (`sgq_algebra::eval`)
+//! in two ways that matter for the paper's experiments:
+//!
+//! * **Seed pushdown** — when the conjunctive executor already knows the
+//!   candidate source (or target) nodes of a relation, evaluation is
+//!   restricted to them: base labels expand seeds through CSR adjacency,
+//!   and transitive closures run a frontier BFS from the seeds instead of
+//!   materialising the full closure. This is the graph-side analogue of
+//!   µ-RA's "push joins into fixpoints".
+//! * **Counters** — every materialised pair is counted, so tests and
+//!   benches can demonstrate the intermediate-result reduction that the
+//!   schema-based rewrite buys (the paper's Fig. 17 narrative).
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use sgq_algebra::ast::PathExpr;
+use sgq_algebra::eval::PairSet;
+use sgq_common::{sorted, FxHashMap, FxHashSet, NodeId, Result, SgqError};
+use sgq_graph::GraphDatabase;
+
+/// Optional restriction on the endpoints of an evaluation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Seeds<'a> {
+    /// Sorted candidate source nodes (`None` = unrestricted).
+    pub sources: Option<&'a [NodeId]>,
+    /// Sorted candidate target nodes (`None` = unrestricted).
+    pub targets: Option<&'a [NodeId]>,
+}
+
+impl<'a> Seeds<'a> {
+    /// No restriction.
+    pub fn none() -> Self {
+        Seeds::default()
+    }
+
+    /// Restrict sources only.
+    pub fn from_sources(sources: &'a [NodeId]) -> Self {
+        Seeds {
+            sources: Some(sources),
+            targets: None,
+        }
+    }
+}
+
+/// Work counters (and the cooperative deadline) threaded through every
+/// evaluation.
+#[derive(Debug, Default)]
+pub struct EvalCounters {
+    /// Pairs materialised across all operators.
+    pub pairs: Cell<usize>,
+    /// Semi-naive closure iterations run.
+    pub tc_rounds: Cell<usize>,
+    /// Cooperative deadline: long-running loops poll it and abort with
+    /// [`SgqError::Timeout`] once passed (the paper's §5.1.5 protocol).
+    pub deadline: Option<Instant>,
+    /// Timeout value reported in errors, in milliseconds.
+    pub limit_ms: u64,
+    /// Abort once this many pairs have been materialised (0 = unlimited);
+    /// keeps infeasible closures from exhausting memory before the
+    /// deadline fires.
+    pub max_pairs: usize,
+}
+
+impl EvalCounters {
+    /// Counters with a deadline `limit_ms` from now.
+    pub fn with_timeout(limit_ms: u64) -> Self {
+        EvalCounters {
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(limit_ms)),
+            limit_ms,
+            ..Default::default()
+        }
+    }
+
+    fn add_pairs(&self, n: usize) {
+        self.pairs.set(self.pairs.get() + n);
+    }
+
+    fn add_round(&self) {
+        self.tc_rounds.set(self.tc_rounds.get() + 1);
+    }
+
+    /// Polls the deadline and the pair budget.
+    pub fn check(&self) -> Result<()> {
+        if self.max_pairs > 0 && self.pairs.get() > self.max_pairs {
+            return Err(SgqError::Execution(format!(
+                "pair budget exhausted ({} pairs)",
+                self.pairs.get()
+            )));
+        }
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(SgqError::Timeout {
+                limit_ms: self.limit_ms,
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Evaluates `expr` over `db`, restricted to `seeds`.
+///
+/// The result is canonical (sorted, deduplicated) and exact: restricting by
+/// `seeds` never adds pairs, it only avoids computing pairs whose endpoints
+/// fall outside the restriction.
+pub fn eval_seeded(
+    db: &GraphDatabase,
+    expr: &PathExpr,
+    seeds: Seeds<'_>,
+    counters: &EvalCounters,
+) -> Result<PairSet> {
+    counters.check()?;
+    let out = match expr {
+        PathExpr::Label(le) => match (seeds.sources, seeds.targets) {
+            (Some(srcs), _) => {
+                let mut v: Vec<(NodeId, NodeId)> = Vec::new();
+                for &s in srcs {
+                    for &t in db.out_neighbors(s, *le) {
+                        if within(seeds.targets, t) {
+                            v.push((s, t));
+                        }
+                    }
+                }
+                v
+            }
+            (None, Some(tgts)) => {
+                let mut v: Vec<(NodeId, NodeId)> = Vec::new();
+                for &t in tgts {
+                    for &s in db.in_neighbors(t, *le) {
+                        v.push((s, t));
+                    }
+                }
+                sorted::normalize(&mut v);
+                v
+            }
+            (None, None) => db.edges(*le).to_vec(),
+        },
+        PathExpr::Reverse(le) => {
+            // J-leK = reversed pairs; sources of -le are targets of le.
+            let inner = eval_seeded(
+                db,
+                &PathExpr::Label(*le),
+                Seeds {
+                    sources: seeds.targets,
+                    targets: seeds.sources,
+                },
+                counters,
+            )?;
+            let mut v: Vec<(NodeId, NodeId)> = inner.iter().map(|&(s, t)| (t, s)).collect();
+            sorted::normalize(&mut v);
+            v
+        }
+        PathExpr::Concat(a, b) => {
+            let left = eval_seeded(
+                db,
+                a,
+                Seeds {
+                    sources: seeds.sources,
+                    targets: None,
+                },
+                counters,
+            )?;
+            let mids = sgq_algebra::eval::target_set(&left);
+            let right = eval_seeded(
+                db,
+                b,
+                Seeds {
+                    sources: Some(&mids),
+                    targets: seeds.targets,
+                },
+                counters,
+            )?;
+            compose(&left, &right, counters)?
+        }
+        PathExpr::Union(a, b) => sorted::union(
+            &eval_seeded(db, a, seeds, counters)?,
+            &eval_seeded(db, b, seeds, counters)?,
+        ),
+        PathExpr::Conj(a, b) => {
+            let left = eval_seeded(db, a, seeds, counters)?;
+            // evaluate the right side restricted to the left's endpoints
+            let srcs = sgq_algebra::eval::source_set(&left);
+            let tgts = sgq_algebra::eval::target_set(&left);
+            let right = eval_seeded(
+                db,
+                b,
+                Seeds {
+                    sources: Some(&srcs),
+                    targets: Some(&tgts),
+                },
+                counters,
+            )?;
+            sorted::intersect(&left, &right)
+        }
+        PathExpr::BranchR(a, b) => {
+            let left = eval_seeded(db, a, seeds, counters)?;
+            let tgts = sgq_algebra::eval::target_set(&left);
+            let right = eval_seeded(db, b, Seeds::from_sources(&tgts), counters)?;
+            let witnesses = sgq_algebra::eval::source_set(&right);
+            left.into_iter()
+                .filter(|&(_, m)| sorted::contains(&witnesses, &m))
+                .collect()
+        }
+        PathExpr::BranchL(a, b) => {
+            let right = eval_seeded(db, b, seeds, counters)?;
+            let srcs = sgq_algebra::eval::source_set(&right);
+            let left = eval_seeded(db, a, Seeds::from_sources(&srcs), counters)?;
+            let witnesses = sgq_algebra::eval::source_set(&left);
+            right
+                .into_iter()
+                .filter(|&(n, _)| sorted::contains(&witnesses, &n))
+                .collect()
+        }
+        PathExpr::Plus(a) => transitive_closure_seeded(db, a, seeds, counters)?,
+    };
+    counters.add_pairs(out.len());
+    Ok(out)
+}
+
+#[inline]
+fn within(filter: Option<&[NodeId]>, n: NodeId) -> bool {
+    filter.is_none_or(|f| sorted::contains(f, &n))
+}
+
+/// Hash-join composition of two canonical pair sets.
+fn compose(a: &PairSet, b: &PairSet, counters: &EvalCounters) -> Result<PairSet> {
+    if a.is_empty() || b.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut by_src: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+    for &(s, t) in b {
+        by_src.entry(s).or_default().push(t);
+    }
+    let mut out = Vec::new();
+    for (i, &(n, z)) in a.iter().enumerate() {
+        if i % 65536 == 0 {
+            counters.check()?;
+        }
+        if let Some(ms) = by_src.get(&z) {
+            for &m in ms {
+                out.push((n, m));
+            }
+        }
+    }
+    sorted::normalize(&mut out);
+    Ok(out)
+}
+
+/// Transitive closure with seed pushdown.
+///
+/// * With source seeds: frontier BFS — only reachability *from the seeds*
+///   is computed.
+/// * With target seeds only: the same, on the reversed step relation.
+/// * Unrestricted: classic semi-naive iteration.
+fn transitive_closure_seeded(
+    db: &GraphDatabase,
+    inner: &PathExpr,
+    seeds: Seeds<'_>,
+    counters: &EvalCounters,
+) -> Result<PairSet> {
+    match (seeds.sources, seeds.targets) {
+        (Some(srcs), _) => {
+            let out = bfs_closure(db, inner, srcs, Direction::Forward, counters)?;
+            Ok(match seeds.targets {
+                None => out,
+                Some(tgts) => out
+                    .into_iter()
+                    .filter(|&(_, t)| sorted::contains(tgts, &t))
+                    .collect(),
+            })
+        }
+        (None, Some(tgts)) => {
+            let rev = bfs_closure(db, inner, tgts, Direction::Backward, counters)?;
+            let mut out: Vec<(NodeId, NodeId)> = rev.iter().map(|&(t, s)| (s, t)).collect();
+            sorted::normalize(&mut out);
+            Ok(out)
+        }
+        (None, None) => {
+            let base = eval_seeded(db, inner, Seeds::none(), counters)?;
+            let mut acc = base.clone();
+            let mut delta = base.clone();
+            while !delta.is_empty() {
+                counters.add_round();
+                counters.check()?;
+                let step = compose(&delta, &base, counters)?;
+                counters.add_pairs(step.len());
+                let fresh = sorted::difference(&step, &acc);
+                acc = sorted::union(&acc, &fresh);
+                delta = fresh;
+            }
+            Ok(acc)
+        }
+    }
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// Frontier BFS from `starts`: pairs `(start, reached)` for every node
+/// reachable through one or more `inner`-steps.
+///
+/// For single-label steps the CSR is walked directly; otherwise the step
+/// relation is materialised once and indexed.
+fn bfs_closure(
+    db: &GraphDatabase,
+    inner: &PathExpr,
+    starts: &[NodeId],
+    dir: Direction,
+    counters: &EvalCounters,
+) -> Result<PairSet> {
+    // Fast path: inner is a single (possibly reversed) label.
+    let step_index: Option<FxHashMap<NodeId, Vec<NodeId>>> = match inner {
+        PathExpr::Label(_) | PathExpr::Reverse(_) => None,
+        _ => {
+            let base = eval_seeded(db, inner, Seeds::none(), counters)?;
+            let mut map: FxHashMap<NodeId, Vec<NodeId>> = FxHashMap::default();
+            for &(s, t) in &base {
+                match dir {
+                    Direction::Forward => map.entry(s).or_default().push(t),
+                    Direction::Backward => map.entry(t).or_default().push(s),
+                }
+            }
+            Some(map)
+        }
+    };
+    let step = |n: NodeId, out: &mut Vec<NodeId>| match (&step_index, inner) {
+        (Some(map), _) => {
+            if let Some(ts) = map.get(&n) {
+                out.extend_from_slice(ts);
+            }
+        }
+        (None, PathExpr::Label(le)) => match dir {
+            Direction::Forward => out.extend_from_slice(db.out_neighbors(n, *le)),
+            Direction::Backward => out.extend_from_slice(db.in_neighbors(n, *le)),
+        },
+        (None, PathExpr::Reverse(le)) => match dir {
+            Direction::Forward => out.extend_from_slice(db.in_neighbors(n, *le)),
+            Direction::Backward => out.extend_from_slice(db.out_neighbors(n, *le)),
+        },
+        _ => unreachable!("step_index covers composite expressions"),
+    };
+
+    let mut out: PairSet = Vec::new();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    let mut next: Vec<NodeId> = Vec::new();
+    let mut seen: FxHashSet<NodeId> = FxHashSet::default();
+    for &s in starts {
+        seen.clear();
+        frontier.clear();
+        frontier.push(s);
+        while !frontier.is_empty() {
+            counters.add_round();
+            counters.check()?;
+            next.clear();
+            for &n in &frontier {
+                step(n, &mut next);
+            }
+            frontier.clear();
+            for &t in &next {
+                if seen.insert(t) {
+                    out.push((s, t));
+                    frontier.push(t);
+                }
+            }
+            counters.add_pairs(frontier.len());
+        }
+    }
+    sorted::normalize(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::eval::eval_path;
+    use sgq_algebra::parser::parse_path;
+    use sgq_graph::database::fig2_yago_database;
+
+    fn check(db: &GraphDatabase, s: &str) {
+        let e = parse_path(s, db).unwrap();
+        let counters = EvalCounters::default();
+        let got = eval_seeded(db, &e, Seeds::none(), &counters).unwrap();
+        let want = eval_path(db, &e);
+        assert_eq!(got, want, "mismatch for {s}");
+        assert!(counters.pairs.get() >= want.len());
+    }
+
+    #[test]
+    fn matches_reference_semantics() {
+        let db = fig2_yago_database();
+        for s in [
+            "owns",
+            "-owns",
+            "owns/isLocatedIn",
+            "livesIn/isLocatedIn+",
+            "isLocatedIn+",
+            "isMarriedTo+",
+            "[owns]([isMarriedTo]livesIn)",
+            "livesIn[isLocatedIn]",
+            "owns | livesIn",
+            "isMarriedTo & isMarriedTo",
+            "(livesIn/isLocatedIn)+",
+            "-isLocatedIn/-livesIn",
+        ] {
+            check(&db, s);
+        }
+    }
+
+    #[test]
+    fn source_seeds_restrict() {
+        let db = fig2_yago_database();
+        let e = parse_path("isLocatedIn+", &db).unwrap();
+        let counters = EvalCounters::default();
+        let full = eval_seeded(&db, &e, Seeds::none(), &counters).unwrap();
+        let n0 = NodeId::new(0);
+        let seeded = eval_seeded(&db, &e, Seeds::from_sources(&[n0]), &counters).unwrap();
+        let expect: PairSet = full.iter().copied().filter(|&(s, _)| s == n0).collect();
+        assert_eq!(seeded, expect);
+    }
+
+    #[test]
+    fn target_seeds_restrict() {
+        let db = fig2_yago_database();
+        let e = parse_path("isLocatedIn+", &db).unwrap();
+        let counters = EvalCounters::default();
+        let full = eval_seeded(&db, &e, Seeds::none(), &counters).unwrap();
+        let france = NodeId::new(6);
+        let seeded = eval_seeded(
+            &db,
+            &e,
+            Seeds {
+                sources: None,
+                targets: Some(&[france]),
+            },
+            &counters,
+        )
+        .unwrap();
+        let expect: PairSet = full.iter().copied().filter(|&(_, t)| t == france).collect();
+        assert_eq!(seeded, expect);
+    }
+
+    #[test]
+    fn seeded_closure_does_less_work() {
+        let db = fig2_yago_database();
+        let e = parse_path("isLocatedIn+", &db).unwrap();
+        let full_counters = EvalCounters::default();
+        let _ = eval_seeded(&db, &e, Seeds::none(), &full_counters).unwrap();
+        let seeded_counters = EvalCounters::default();
+        let n3 = NodeId::new(3);
+        let _ = eval_seeded(&db, &e, Seeds::from_sources(&[n3]), &seeded_counters).unwrap();
+        assert!(
+            seeded_counters.pairs.get() < full_counters.pairs.get(),
+            "seeding should reduce materialised pairs ({} vs {})",
+            seeded_counters.pairs.get(),
+            full_counters.pairs.get()
+        );
+    }
+
+    #[test]
+    fn both_seeds_combine() {
+        let db = fig2_yago_database();
+        let e = parse_path("isLocatedIn", &db).unwrap();
+        let counters = EvalCounters::default();
+        let r = eval_seeded(
+            &db,
+            &e,
+            Seeds {
+                sources: Some(&[NodeId::new(5)]),
+                targets: Some(&[NodeId::new(4)]),
+            },
+            &counters,
+        )
+        .unwrap();
+        assert_eq!(r, vec![(NodeId::new(5), NodeId::new(4))]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use sgq_algebra::ast::PathExpr;
+    use sgq_common::EdgeLabelId;
+    use sgq_graph::GraphDatabase;
+
+    /// Random multi-label graph (schema-free) from a seed.
+    fn random_db(seed: u64) -> GraphDatabase {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphDatabase::standalone_builder();
+        let n = rng.gen_range(4..20);
+        let nodes: Vec<_> = (0..n).map(|_| b.node("N", &[])).collect();
+        for le in ["r", "s"] {
+            let m = rng.gen_range(0..40);
+            for _ in 0..m {
+                let a = nodes[rng.gen_range(0..n)];
+                let c = nodes[rng.gen_range(0..n)];
+                b.edge(a, le, c);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn random_expr(seed: u64, depth: usize) -> PathExpr {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        build(&mut rng, depth)
+    }
+
+    fn build(rng: &mut StdRng, depth: usize) -> PathExpr {
+        let le = EdgeLabelId::new(rng.gen_range(0..2));
+        if depth == 0 || rng.gen_bool(0.35) {
+            if rng.gen_bool(0.3) {
+                PathExpr::Reverse(le)
+            } else {
+                PathExpr::Label(le)
+            }
+        } else {
+            match rng.gen_range(0..6) {
+                0 => PathExpr::concat(build(rng, depth - 1), build(rng, depth - 1)),
+                1 => PathExpr::union(build(rng, depth - 1), build(rng, depth - 1)),
+                2 => PathExpr::conj(build(rng, depth - 1), build(rng, depth - 1)),
+                3 => PathExpr::branch_r(build(rng, depth - 1), build(rng, depth - 1)),
+                4 => PathExpr::branch_l(build(rng, depth - 1), build(rng, depth - 1)),
+                _ => PathExpr::plus(build(rng, depth - 1)),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Unseeded evaluation matches the reference semantics.
+        #[test]
+        fn eval_matches_reference(seed in any::<u64>()) {
+            let db = random_db(seed);
+            let expr = random_expr(seed, 3);
+            let counters = EvalCounters::default();
+            let got = eval_seeded(&db, &expr, Seeds::none(), &counters).unwrap();
+            prop_assert_eq!(got, sgq_algebra::eval::eval_path(&db, &expr));
+        }
+
+        /// Seeding by arbitrary source/target subsets is exactly a filter
+        /// of the unseeded result.
+        #[test]
+        fn seeding_is_a_filter(seed in any::<u64>(), mask in any::<u32>()) {
+            let db = random_db(seed);
+            let expr = random_expr(seed, 3);
+            let counters = EvalCounters::default();
+            let full = eval_seeded(&db, &expr, Seeds::none(), &counters).unwrap();
+            let subset: Vec<NodeId> = db
+                .node_ids()
+                .filter(|n| (mask >> (n.raw() % 32)) & 1 == 1)
+                .collect();
+            let seeded_src =
+                eval_seeded(&db, &expr, Seeds::from_sources(&subset), &counters).unwrap();
+            let expect_src: PairSet = full
+                .iter()
+                .copied()
+                .filter(|&(s, _)| sorted::contains(&subset, &s))
+                .collect();
+            prop_assert_eq!(seeded_src, expect_src);
+            let seeded_tgt = eval_seeded(
+                &db,
+                &expr,
+                Seeds { sources: None, targets: Some(&subset) },
+                &counters,
+            )
+            .unwrap();
+            let expect_tgt: PairSet = full
+                .iter()
+                .copied()
+                .filter(|&(_, t)| sorted::contains(&subset, &t))
+                .collect();
+            prop_assert_eq!(seeded_tgt, expect_tgt);
+        }
+    }
+}

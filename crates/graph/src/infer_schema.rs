@@ -1,0 +1,136 @@
+//! Schema inference: recovering a graph schema from a schema-less
+//! database.
+//!
+//! The paper's motivation (§1) is that contemporary graph databases are
+//! *schema-optional*, which is why schema-based optimisation has been
+//! neglected. This module closes the loop for schema-less deployments: it
+//! derives the strict schema a database already conforms to — every
+//! observed `(source label, edge label, target label)` combination becomes
+//! a schema edge and every observed property key–type pair a declaration —
+//! so the rewriting pipeline can be applied even when no schema was ever
+//! written down (in the spirit of the schema-discovery work the paper
+//! cites: Lbath et al., Bonifati et al.).
+
+use sgq_common::{EdgeLabelId, Result};
+
+use crate::database::GraphDatabase;
+use crate::schema::{GraphSchema, SchemaBuilder};
+
+/// Infers the minimal strict schema `db` conforms to.
+///
+/// The result satisfies `check_consistency(&inferred, db)` by
+/// construction, and is the *tightest* such schema: removing any triple or
+/// property declaration would break consistency.
+pub fn infer_schema(db: &GraphDatabase) -> Result<GraphSchema> {
+    let mut b = SchemaBuilder::new();
+    // Node labels and property declarations.
+    for n in db.node_ids() {
+        let label = db.node_label_name(db.node_label(n)).to_string();
+        let props: Vec<(String, crate::value::DataType)> = db
+            .node_properties(n)
+            .iter()
+            .map(|(k, v)| (db.key_name(*k).to_string(), v.data_type()))
+            .collect();
+        let borrowed: Vec<(&str, crate::value::DataType)> =
+            props.iter().map(|(k, t)| (k.as_str(), *t)).collect();
+        b.node(&label, &borrowed);
+    }
+    // Edge triples.
+    for le_idx in 0..db.edge_label_count() {
+        let le = EdgeLabelId::new(le_idx as u32);
+        let le_name = db.edge_label_name(le).to_string();
+        for &(s, t) in db.edges(le) {
+            b.edge(
+                db.node_label_name(db.node_label(s)),
+                &le_name,
+                db.node_label_name(db.node_label(t)),
+            );
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::check_consistency;
+    use crate::database::{fig2_yago_database, GraphDatabase};
+    use crate::schema::fig1_yago_schema;
+    use crate::value::Value;
+
+    #[test]
+    fn inferred_schema_is_consistent_with_source() {
+        let db = fig2_yago_database();
+        let inferred = infer_schema(&db).unwrap();
+        // NB: the database was built against the Fig. 1 schema, so label
+        // ids coincide and the consistency check applies directly.
+        let report = check_consistency(&inferred, &db);
+        assert!(report.is_consistent(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn inferred_schema_is_a_subset_of_the_declared_one() {
+        // Every inferred triple exists in the hand-written schema (the
+        // data cannot witness triples the schema forbids).
+        let db = fig2_yago_database();
+        let declared = fig1_yago_schema();
+        let inferred = infer_schema(&db).unwrap();
+        for t in inferred.triples() {
+            let src = inferred.node_label_name(t.src);
+            let tgt = inferred.node_label_name(t.tgt);
+            let le = inferred.edge_label_name(t.label);
+            let dle = declared.edge_label(le).expect("label exists");
+            let found = declared.triples_for_edge_label(dle).iter().any(|&(s, tg)| {
+                declared.node_label_name(s) == src && declared.node_label_name(tg) == tgt
+            });
+            assert!(found, "inferred triple ({src}, {le}, {tgt}) not declared");
+        }
+    }
+
+    #[test]
+    fn inference_is_tight() {
+        // Fig. 2 has no dealsWith edges, so the inferred schema must not
+        // declare the dealsWith triple even though Fig. 1 does.
+        let db = fig2_yago_database();
+        let inferred = infer_schema(&db).unwrap();
+        assert!(inferred.edge_label("dealsWith").is_none());
+        // And isLocatedIn only has the three observed variants.
+        let isl = inferred.edge_label("isLocatedIn").unwrap();
+        assert_eq!(inferred.triples_for_edge_label(isl).len(), 3);
+    }
+
+    #[test]
+    fn standalone_database_roundtrip() {
+        // A schema-less database gains a usable schema.
+        let mut b = GraphDatabase::standalone_builder();
+        let a = b.node("User", &[("name", Value::str("ada"))]);
+        let p = b.node("Page", &[]);
+        b.edge(a, "follows", p);
+        b.edge(a, "follows", p);
+        let db = b.build().unwrap();
+        let schema = infer_schema(&db).unwrap();
+        assert_eq!(schema.node_count(), 2);
+        assert_eq!(schema.edge_count(), 1);
+        let follows = schema.edge_label("follows").unwrap();
+        assert_eq!(schema.source_labels(follows).len(), 1);
+        let user = schema.node_label("User").unwrap();
+        let name = schema.key("name").unwrap();
+        assert_eq!(
+            schema.property_type(user, name),
+            Some(crate::value::DataType::String)
+        );
+    }
+
+    #[test]
+    fn inferred_schema_drives_the_rewriter_shape() {
+        // The inferred schema carries the acyclic isLocatedIn chain, so
+        // downstream type inference sees the same label graph as Fig. 1's.
+        let db = fig2_yago_database();
+        let inferred = infer_schema(&db).unwrap();
+        let isl = inferred.edge_label("isLocatedIn").unwrap();
+        let srcs = inferred.source_labels(isl);
+        let tgts = inferred.target_labels(isl);
+        assert_eq!(srcs.len(), 3);
+        assert_eq!(tgts.len(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Property-graph data model: the paper's Definitions 1–3.
+//!
+//! * [`schema`] — graph schemas (Def. 1) and basic schema triples (Def. 5),
+//! * [`database`] — graph databases (Def. 2) with CSR adjacency indexes,
+//! * [`consistency`] — schema–database consistency checking (Def. 3),
+//! * [`value`] — property values and data types (the `Υ` typing function),
+//! * [`csr`] — compressed sparse row adjacency,
+//! * [`stats`] — per-label and per-triple cardinality statistics used by
+//!   the relational cost model.
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod csr;
+pub mod database;
+pub mod infer_schema;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use consistency::{check_consistency, ConsistencyReport, Violation};
+pub use infer_schema::infer_schema;
+pub use csr::Csr;
+pub use database::{DatabaseBuilder, GraphDatabase};
+pub use schema::{GraphSchema, SchemaBuilder, SchemaTriple};
+pub use stats::GraphStats;
+pub use value::{DataType, Value};

@@ -1,0 +1,135 @@
+//! Cardinality statistics over a graph database.
+//!
+//! The relational cost model (Fig. 17 reproduction) and the join-ordering
+//! heuristics need per-label node counts, per-edge-label edge counts, and —
+//! crucially for estimating the benefit of schema annotations — per
+//! `(source label, edge label, target label)` triple counts.
+
+use sgq_common::{EdgeLabelId, FxHashMap, NodeLabelId};
+
+use crate::database::GraphDatabase;
+
+/// Aggregate statistics for a [`GraphDatabase`].
+#[derive(Debug, Clone)]
+pub struct GraphStats {
+    /// Nodes per node label, indexed by label id.
+    pub nodes_per_label: Vec<usize>,
+    /// Edges per edge label, indexed by label id.
+    pub edges_per_label: Vec<usize>,
+    /// Edge counts per observed `(src label, edge label, tgt label)` triple.
+    pub triple_counts: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), usize>,
+    /// Total node count.
+    pub node_count: usize,
+    /// Total edge count.
+    pub edge_count: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics in a single pass over the database.
+    pub fn compute(db: &GraphDatabase) -> Self {
+        let mut nodes_per_label = vec![0usize; db.node_label_count()];
+        for n in db.node_ids() {
+            nodes_per_label[db.node_label(n).index()] += 1;
+        }
+        let mut edges_per_label = vec![0usize; db.edge_label_count()];
+        let mut triple_counts: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), usize> =
+            FxHashMap::default();
+        for le_idx in 0..db.edge_label_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            let edges = db.edges(le);
+            edges_per_label[le_idx] = edges.len();
+            for &(s, t) in edges {
+                *triple_counts
+                    .entry((db.node_label(s), le, db.node_label(t)))
+                    .or_insert(0) += 1;
+            }
+        }
+        GraphStats {
+            nodes_per_label,
+            edges_per_label,
+            node_count: db.node_count(),
+            edge_count: db.edge_count(),
+            triple_counts,
+        }
+    }
+
+    /// Node count for `label`.
+    pub fn label_cardinality(&self, label: NodeLabelId) -> usize {
+        self.nodes_per_label.get(label.index()).copied().unwrap_or(0)
+    }
+
+    /// Edge count for `le`.
+    pub fn edge_cardinality(&self, le: EdgeLabelId) -> usize {
+        self.edges_per_label.get(le.index()).copied().unwrap_or(0)
+    }
+
+    /// Edge count for a specific `(src label, le, tgt label)` triple.
+    pub fn triple_cardinality(
+        &self,
+        src: NodeLabelId,
+        le: EdgeLabelId,
+        tgt: NodeLabelId,
+    ) -> usize {
+        self.triple_counts.get(&(src, le, tgt)).copied().unwrap_or(0)
+    }
+
+    /// Selectivity of restricting `le` to sources labeled `src`:
+    /// `|{(s,t) ∈ le : η(s) = src}| / |le|`, in `[0, 1]`.
+    pub fn source_selectivity(&self, src: NodeLabelId, le: EdgeLabelId) -> f64 {
+        let total = self.edge_cardinality(le);
+        if total == 0 {
+            return 0.0;
+        }
+        let matching: usize = self
+            .triple_counts
+            .iter()
+            .filter(|&(&(s, l, _), _)| s == src && l == le)
+            .map(|(_, &c)| c)
+            .sum();
+        matching as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::fig2_yago_database;
+
+    #[test]
+    fn fig2_statistics() {
+        let db = fig2_yago_database();
+        let stats = GraphStats::compute(&db);
+        assert_eq!(stats.node_count, 7);
+        assert_eq!(stats.edge_count, 9);
+        let person = db.node_label_id("PERSON").unwrap();
+        assert_eq!(stats.label_cardinality(person), 2);
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        assert_eq!(stats.edge_cardinality(isl), 4);
+    }
+
+    #[test]
+    fn triple_counts_split_overloaded_labels() {
+        let db = fig2_yago_database();
+        let stats = GraphStats::compute(&db);
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        let city = db.node_label_id("CITY").unwrap();
+        let region = db.node_label_id("REGION").unwrap();
+        let property = db.node_label_id("PROPERTY").unwrap();
+        let country = db.node_label_id("COUNTRY").unwrap();
+        // Fig. 2: PROPERTY->CITY x1, CITY->REGION x2, REGION->COUNTRY x1
+        assert_eq!(stats.triple_cardinality(property, isl, city), 1);
+        assert_eq!(stats.triple_cardinality(city, isl, region), 2);
+        assert_eq!(stats.triple_cardinality(region, isl, country), 1);
+        assert_eq!(stats.triple_cardinality(country, isl, city), 0);
+    }
+
+    #[test]
+    fn selectivity() {
+        let db = fig2_yago_database();
+        let stats = GraphStats::compute(&db);
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        let city = db.node_label_id("CITY").unwrap();
+        // 2 of the 4 isLocatedIn edges start from CITY nodes.
+        assert!((stats.source_selectivity(city, isl) - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property values and their data types.
+//!
+//! The paper's model (§2.2) attaches key–value properties to nodes, where
+//! every value has an atomic data type given by the typing function
+//! `Υ : V → T`. Maps and lists are excluded (§2.3).
+
+use std::fmt;
+
+/// The finite set `T` of atomic data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// UTF-8 strings.
+    String,
+    /// 64-bit signed integers.
+    Int,
+    /// Calendar dates, stored as days since the Unix epoch.
+    Date,
+    /// Booleans.
+    Bool,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::String => write!(f, "String"),
+            DataType::Int => write!(f, "Int"),
+            DataType::Date => write!(f, "Date"),
+            DataType::Bool => write!(f, "Bool"),
+        }
+    }
+}
+
+/// A property value (an element of the paper's value set `V`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A string value.
+    Str(Box<str>),
+    /// An integer value.
+    Int(i64),
+    /// A date, as days since the Unix epoch.
+    Date(i64),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// The typing function `Υ`: maps a value to its [`DataType`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Str(_) => DataType::String,
+            Value::Int(_) => DataType::Int,
+            Value::Date(_) => DataType::Date,
+            Value::Bool(_) => DataType::Bool,
+        }
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<Box<str>>) -> Self {
+        Value::Str(s.into())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Date(d) => write!(f, "date({d})"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsilon_types_values() {
+        assert_eq!(Value::str("James").data_type(), DataType::String);
+        assert_eq!(Value::Int(345).data_type(), DataType::Int);
+        assert_eq!(Value::Date(19000).data_type(), DataType::Date);
+        assert_eq!(Value::Bool(true).data_type(), DataType::Bool);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::str("a").to_string(), "a");
+        assert_eq!(DataType::Date.to_string(), "Date");
+    }
+}

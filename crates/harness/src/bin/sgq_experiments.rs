@@ -1,0 +1,132 @@
+//! `sgq-experiments` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! sgq-experiments [EXPERIMENTS...] [--timeout-ms N] [--reps N]
+//!                 [--sf-max X] [--yago-scale X] [--backend graph|relational]
+//!                 [--out results.json]
+//!
+//! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
+//!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
+//! ```
+
+use std::io::Write as _;
+
+use sgq_core::RedundancyRule;
+use sgq_harness::experiments::{self, ExperimentConfig};
+use sgq_harness::runner::Backend;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Vec<String> = Vec::new();
+    let mut cfg = ExperimentConfig::default();
+    let mut out_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--timeout-ms" => {
+                i += 1;
+                cfg.run.timeout_ms = args[i].parse().expect("--timeout-ms takes a number");
+            }
+            "--reps" => {
+                i += 1;
+                cfg.run.repetitions = args[i].parse().expect("--reps takes a number");
+            }
+            "--sf-max" => {
+                i += 1;
+                let max: f64 = args[i].parse().expect("--sf-max takes a number");
+                cfg.ldbc_sfs.retain(|&sf| sf <= max);
+            }
+            "--yago-scale" => {
+                i += 1;
+                cfg.yago_scale = args[i].parse().expect("--yago-scale takes a number");
+            }
+            "--redundancy" => {
+                i += 1;
+                cfg.run.rewrite.redundancy = match args[i].as_str() {
+                    "bothsides" => RedundancyRule::BothSides,
+                    "eitherside" => RedundancyRule::EitherSide,
+                    "never" => RedundancyRule::Never,
+                    other => panic!("unknown redundancy rule {other}"),
+                };
+            }
+            "--backend" => {
+                i += 1;
+                cfg.backend = match args[i].as_str() {
+                    "graph" => Backend::Graph,
+                    "relational" => Backend::Relational,
+                    other => panic!("unknown backend {other}"),
+                };
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args[i].clone());
+            }
+            other => wanted.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if wanted.is_empty() {
+        wanted.push("all".to_string());
+    }
+    let want = |name: &str| wanted.iter().any(|w| w == name || w == "all");
+
+    let mut all_records = Vec::new();
+
+    if want("table3") {
+        println!("{}", experiments::table3(&cfg));
+    }
+    if want("table6") {
+        println!("{}", experiments::table6(&cfg));
+    }
+    if want("reverts") {
+        println!("{}", experiments::reverts(&cfg));
+    }
+    if want("fig12") {
+        let records = experiments::yago_suite(&cfg);
+        println!("{}", experiments::fig12(&records, cfg.run.timeout_ms));
+        all_records.extend(records);
+    }
+    let need_ldbc = ["table5", "table7", "table8", "fig13"]
+        .iter()
+        .any(|e| want(e));
+    if need_ldbc {
+        eprintln!(
+            "running the LDBC suite (30 queries x {} scale factors x 2 approaches, timeout {} ms)...",
+            cfg.ldbc_sfs.len(),
+            cfg.run.timeout_ms
+        );
+        let records = experiments::ldbc_suite(&cfg);
+        if want("table5") {
+            println!("{}", experiments::table5(&records, &cfg));
+        }
+        if want("table7") {
+            println!("{}", experiments::table7(&records, cfg.run.timeout_ms));
+        }
+        if want("table8") {
+            println!("{}", experiments::table8(&records, cfg.run.timeout_ms));
+        }
+        if want("fig13") {
+            println!("{}", experiments::fig13(&records, &cfg));
+        }
+        all_records.extend(records);
+    }
+    if want("fig14") {
+        let (records, report) = experiments::fig14(&cfg);
+        println!("{report}");
+        all_records.extend(records);
+    }
+    if want("fig15") || want("fig16") {
+        println!("{}", experiments::fig15_16());
+    }
+    if want("fig17") {
+        println!("{}", experiments::fig17(0.3));
+    }
+
+    if let Some(path) = out_path {
+        let json = sgq_harness::records::to_json(&all_records);
+        let mut f = std::fs::File::create(&path).expect("create --out file");
+        f.write_all(json.as_bytes()).expect("write --out file");
+        eprintln!("wrote {} records to {path}", all_records.len());
+    }
+}

@@ -1,0 +1,635 @@
+//! One function per table/figure of the paper's evaluation (§5).
+//!
+//! Every function returns a printable report; suite functions also return
+//! the raw [`RunRecord`]s so the binary can dump them as JSON.
+
+use std::fmt::Write as _;
+
+use sgq_core::pipeline::{rewrite_path, RewriteOptions};
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_datasets::stats::{dataset_stats, DatasetStats};
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_datasets::CatalogQuery;
+use sgq_ra::exec::ExecContext;
+use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
+
+use crate::records::RunRecord;
+use crate::runner::{run_query, Approach, Backend, Measurement, RunConfig, Session};
+use crate::summary::Summary;
+
+/// Configuration shared by the experiment suite.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Timeout/repetition protocol.
+    pub run: RunConfig,
+    /// LDBC scale factors to evaluate (subset of the paper's six).
+    pub ldbc_sfs: Vec<f64>,
+    /// Scaling of the YAGO dataset relative to the default size.
+    pub yago_scale: f64,
+    /// The backend for the single-backend experiments (the paper's main
+    /// backend is PostgreSQL → our relational engine).
+    pub backend: Backend,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            run: RunConfig::default(),
+            ldbc_sfs: ldbc::SCALE_FACTORS.to_vec(),
+            yago_scale: 1.0,
+            backend: Backend::Relational,
+        }
+    }
+}
+
+/// Tab. 3: dataset characteristics.
+pub fn table3(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 3: Summary of dataset characteristics");
+    let _ = writeln!(out, "{}", DatasetStats::header());
+    let (_, db) = yago::generate(YagoConfig::scaled(cfg.yago_scale));
+    let _ = writeln!(out, "{}", dataset_stats("YAGO", None, &db).row());
+    for &sf in &cfg.ldbc_sfs {
+        let (_, db) = ldbc::generate(LdbcConfig::at_scale(sf));
+        let _ = writeln!(out, "{}", dataset_stats("LDBC-SNB", Some(sf), &db).row());
+    }
+    out
+}
+
+/// Runs the full LDBC suite: 30 queries × scale factors × {B, S}.
+pub fn ldbc_suite(cfg: &ExperimentConfig) -> Vec<RunRecord> {
+    let mut records = Vec::new();
+    for &sf in &cfg.ldbc_sfs {
+        let (schema, db) = ldbc::generate(LdbcConfig::at_scale(sf));
+        let session = Session::new(&schema, &db);
+        let queries = ldbc::queries(&schema).expect("catalog parses");
+        for q in &queries {
+            records.extend(run_both(&session, q, Some(sf), cfg.backend, &cfg.run));
+        }
+    }
+    records
+}
+
+/// Runs the YAGO suite: 18 queries × {B, S} (Fig. 12's data).
+pub fn yago_suite(cfg: &ExperimentConfig) -> Vec<RunRecord> {
+    let (schema, db) = yago::generate(YagoConfig::scaled(cfg.yago_scale));
+    let session = Session::new(&schema, &db);
+    let queries = yago::queries(&schema).expect("catalog parses");
+    let mut records = Vec::new();
+    for q in &queries {
+        records.extend(run_both(&session, q, None, cfg.backend, &cfg.run));
+    }
+    records
+}
+
+fn run_both(
+    session: &Session<'_>,
+    q: &CatalogQuery,
+    sf: Option<f64>,
+    backend: Backend,
+    run: &RunConfig,
+) -> Vec<RunRecord> {
+    let kind = q.kind().to_string();
+    let rewritten = rewrite_path(session.schema, &q.expr, run.rewrite);
+    let reverted = rewritten.outcome.is_reverted();
+    [Approach::Baseline, Approach::Schema]
+        .into_iter()
+        .map(|approach| {
+            let m = run_query(session, &q.expr, approach, backend, run);
+            RunRecord::new(
+                q.name,
+                &kind,
+                sf,
+                approach,
+                backend,
+                m,
+                (approach == Approach::Schema).then_some(reverted),
+            )
+        })
+        .collect()
+}
+
+/// Tab. 5: feasibility counts per scale factor, split RQ/NQ and B/S.
+pub fn table5(records: &[RunRecord], cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 5: LDBC query feasibility across scale factors");
+    let _ = writeln!(
+        out,
+        "{:>5} | {:>12} {:>8} | {:>12} {:>8} | {:>12} {:>8} | {:>12} {:>8}",
+        "SF", "RQ-B count", "%", "RQ-S count", "%", "NQ-B count", "%", "NQ-S count", "%"
+    );
+    for &sf in &cfg.ldbc_sfs {
+        let cell = |kind: &str, approach: &str| {
+            let total = records
+                .iter()
+                .filter(|r| r.scale_factor == Some(sf) && r.kind == kind && r.approach == approach)
+                .count();
+            let ok = records
+                .iter()
+                .filter(|r| {
+                    r.scale_factor == Some(sf)
+                        && r.kind == kind
+                        && r.approach == approach
+                        && r.feasible()
+                })
+                .count();
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * ok as f64 / total as f64
+            };
+            (ok, pct)
+        };
+        let (rqb, rqbp) = cell("RQ", "B");
+        let (rqs, rqsp) = cell("RQ", "S");
+        let (nqb, nqbp) = cell("NQ", "B");
+        let (nqs, nqsp) = cell("NQ", "S");
+        let _ = writeln!(
+            out,
+            "{sf:>5} | {rqb:>12} {rqbp:>7.1}% | {rqs:>12} {rqsp:>7.1}% | {nqb:>12} {nqbp:>7.1}% | {nqs:>12} {nqsp:>7.1}%"
+        );
+    }
+    out
+}
+
+/// Tab. 6: statistics on the fixed-length paths generated for the YAGO
+/// queries (computed from the rewriter, no execution involved).
+pub fn table6(cfg: &ExperimentConfig) -> String {
+    let schema = yago::schema();
+    let queries = yago::queries(&schema).expect("catalog parses");
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 6: Statistics on generated fixed-length paths (YAGO)");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>7} {:>5} {:>5} {:>5}  outcome",
+        "Query", "#Paths", "Min", "Avg", "Max"
+    );
+    let mut eliminated = 0usize;
+    for q in &queries {
+        let r = rewrite_path(&schema, &q.expr, cfg.run.rewrite);
+        let stats = &r.report.plus_stats;
+        let outcome = if r.outcome.is_reverted() {
+            "reverted"
+        } else if stats.path_lengths.is_empty() {
+            "no elimination"
+        } else {
+            eliminated += 1;
+            if r.report.still_recursive {
+                "partial elimination"
+            } else {
+                "closure eliminated"
+            }
+        };
+        match (stats.min(), stats.avg(), stats.max()) {
+            (Some(min), Some(avg), Some(max)) => {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>7} {:>5} {:>5.1} {:>5}  {outcome}",
+                    q.name,
+                    stats.count(),
+                    min,
+                    avg,
+                    max
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "{:<6} {:>7} {:>5} {:>5} {:>5}  {outcome}", q.name, 0, "-", "-", "-");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "Transitive closure replaced by fixed-length paths in {eliminated} of {} queries.",
+        queries.len()
+    );
+    out
+}
+
+/// Tab. 7: runtime summary, recursive vs non-recursive, B vs S.
+pub fn table7(records: &[RunRecord], timeout_ms: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 7: Query runtime summary statistics (seconds; infeasible runs counted at the timeout, as in the paper's Max = 1800s)"
+    );
+    let _ = writeln!(out, "{}", Summary::header());
+    for kind in ["RQ", "NQ"] {
+        for approach in ["B", "S"] {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.kind == kind && r.approach == approach)
+                .map(|r| r.ms.unwrap_or(timeout_ms as f64))
+                .collect();
+            if let Some(s) = Summary::compute(&values) {
+                let label = format!(
+                    "{} {}",
+                    if kind == "RQ" { "Recursive" } else { "Non-recursive" },
+                    if approach == "B" { "baseline" } else { "schema" }
+                );
+                let _ = writeln!(out, "{}", s.row_seconds(&label));
+            }
+        }
+    }
+    if let Some(ratio) = mean_ratio(records, "RQ", timeout_ms) {
+        let _ = writeln!(out, "Recursive: schema is {ratio:.2}x faster on average");
+    }
+    if let Some(ratio) = mean_ratio(records, "NQ", timeout_ms) {
+        let _ = writeln!(out, "Non-recursive: schema is {ratio:.2}x faster on average");
+    }
+    out
+}
+
+fn mean_ratio(records: &[RunRecord], kind: &str, timeout_ms: u64) -> Option<f64> {
+    let mean = |approach: &str| {
+        let v: Vec<f64> = records
+            .iter()
+            .filter(|r| r.kind == kind && r.approach == approach)
+            .map(|r| r.ms.unwrap_or(timeout_ms as f64))
+            .collect();
+        Summary::compute(&v).map(|s| s.mean)
+    };
+    Some(mean("B")? / mean("S")?.max(1e-9))
+}
+
+/// Tab. 8: overall runtime analysis.
+pub fn table8(records: &[RunRecord], timeout_ms: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 8: Overall analysis of query runtime (seconds)");
+    let _ = writeln!(out, "{}", Summary::header());
+    for approach in ["B", "S"] {
+        let values: Vec<f64> = records
+            .iter()
+            .filter(|r| r.approach == approach)
+            .map(|r| r.ms.unwrap_or(timeout_ms as f64))
+            .collect();
+        if let Some(s) = Summary::compute(&values) {
+            let label = if approach == "B" { "Baseline" } else { "Schema" };
+            let _ = writeln!(out, "{}", s.row_seconds(label));
+        }
+    }
+    out
+}
+
+/// Fig. 12: per-query YAGO runtimes, baseline vs schema.
+pub fn fig12(records: &[RunRecord], timeout_ms: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 12: Query runtime for the YAGO dataset (ms)");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>12} {:>12} {:>9}",
+        "Query", "Baseline", "Schema", "Speedup"
+    );
+    let mut speedups: Vec<f64> = Vec::new();
+    let names: Vec<&str> = {
+        let mut v: Vec<&str> = records.iter().map(|r| r.query.as_str()).collect();
+        v.dedup();
+        v
+    };
+    for name in names {
+        let get = |approach: &str| {
+            records
+                .iter()
+                .find(|r| r.query == name && r.approach == approach)
+                .and_then(|r| r.ms)
+        };
+        let b = get("B").unwrap_or(timeout_ms as f64);
+        let s = get("S").unwrap_or(timeout_ms as f64);
+        let speedup = b / s.max(1e-9);
+        speedups.push(speedup);
+        let _ = writeln!(out, "{name:<6} {b:>12.3} {s:>12.3} {speedup:>8.2}x");
+    }
+    let geo = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len().max(1) as f64).exp();
+    let arith = speedups.iter().sum::<f64>() / speedups.len().max(1) as f64;
+    let _ = writeln!(
+        out,
+        "Average speedup: {arith:.2}x (arithmetic), {geo:.2}x (geometric); paper reports 6.1x"
+    );
+    out
+}
+
+/// Fig. 13: per-scale-factor box-plot statistics (B vs S).
+pub fn fig13(records: &[RunRecord], cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 13: Box plot of LDBC query runtime per scale factor (seconds, feasible runs only)"
+    );
+    let _ = writeln!(out, "{}", Summary::header());
+    for &sf in &cfg.ldbc_sfs {
+        for approach in ["B", "S"] {
+            let values: Vec<f64> = records
+                .iter()
+                .filter(|r| r.scale_factor == Some(sf) && r.approach == approach)
+                .filter_map(|r| r.ms)
+                .collect();
+            if let Some(s) = Summary::compute(&values) {
+                let _ = writeln!(out, "{}", s.row_seconds(&format!("SF{sf} {approach}")));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 14: graph vs relational backends on the Cypher-expressible
+/// chain-shaped queries (§5.5).
+pub fn fig14(cfg: &ExperimentConfig) -> (Vec<RunRecord>, String) {
+    let sfs: Vec<f64> = cfg
+        .ldbc_sfs
+        .iter()
+        .copied()
+        .filter(|&sf| sf <= 3.0)
+        .collect();
+    let mut records = Vec::new();
+    let schema = ldbc::schema();
+    let chain_queries: Vec<CatalogQuery> = ldbc::queries(&schema)
+        .expect("catalog parses")
+        .into_iter()
+        .filter(|q| sgq_translate::cypher_expressible(&q.ucqt()))
+        .collect();
+    for &sf in &sfs {
+        let (schema, db) = ldbc::generate(LdbcConfig::at_scale(sf));
+        let session = Session::new(&schema, &db);
+        let queries = ldbc::queries(&schema).expect("catalog parses");
+        for q in queries
+            .iter()
+            .filter(|q| chain_queries.iter().any(|c| c.name == q.name))
+        {
+            for backend in [Backend::Graph, Backend::Relational] {
+                let kind = q.kind().to_string();
+                for approach in [Approach::Baseline, Approach::Schema] {
+                    let m = run_query(&session, &q.expr, approach, backend, &cfg.run);
+                    records.push(RunRecord::new(q.name, &kind, Some(sf), approach, backend, m, None));
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 14: Query runtimes on the graph (G, Neo4j stand-in) and relational (P, PostgreSQL stand-in) backends"
+    );
+    let _ = writeln!(
+        out,
+        "({} of 30 Tab. 4 queries are chain-shaped / Cypher-expressible)",
+        chain_queries.len()
+    );
+    let _ = writeln!(out, "{}", Summary::header());
+    for &sf in &sfs {
+        for (backend, tag) in [(Backend::Graph, "G"), (Backend::Relational, "P")] {
+            for approach in ["B", "S"] {
+                let values: Vec<f64> = records
+                    .iter()
+                    .filter(|r| {
+                        r.scale_factor == Some(sf)
+                            && r.backend == backend.to_string()
+                            && r.approach == approach
+                    })
+                    .filter_map(|r| r.ms)
+                    .collect();
+                if let Some(s) = Summary::compute(&values) {
+                    let _ = writeln!(out, "{}", s.row_seconds(&format!("SF{sf} {tag}{approach}")));
+                }
+            }
+        }
+    }
+    (records, out)
+}
+
+/// Figs. 15 & 16: the SQL and Cypher translations of Q1 (baseline) and Q2
+/// (schema-enriched) — `knows/workAt/isLocatedIn`.
+pub fn fig15_16() -> String {
+    let schema = ldbc::schema();
+    let expr = sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema)
+        .expect("Q1 parses");
+    let baseline = sgq_query::cqt::Ucqt::path_query(expr.clone());
+    let enriched = match rewrite_path(&schema, &expr, RewriteOptions::default()).outcome {
+        sgq_core::pipeline::RewriteOutcome::Enriched(q) => q,
+        other => panic!("Q1 must enrich, got {other:?}"),
+    };
+    let mut names = NameGen::default();
+    let t_base = ucqt_to_term(&baseline, &mut names).expect("translates");
+    let t_schema = ucqt_to_term(&enriched, &mut names).expect("translates");
+    let mut out = String::new();
+    out.push_str("Figure 15 — SQL translations\n\n-- BASELINE (Q1)\n");
+    out.push_str(&sgq_translate::to_sql(&t_base, &schema));
+    out.push_str("\n\n-- SCHEMA-ENRICHED (Q2)\n");
+    out.push_str(&sgq_translate::to_sql(&t_schema, &schema));
+    out.push_str("\n\nFigure 16 — Cypher translations\n\n// BASELINE (Q1)\n");
+    out.push_str(&sgq_translate::to_cypher_resolved(&baseline, &schema).expect("chain"));
+    out.push_str("\n\n// SCHEMA-ENRICHED (Q2)\n");
+    out.push_str(&sgq_translate::to_cypher_resolved(&enriched, &schema).expect("chain"));
+    out.push('\n');
+    out
+}
+
+/// Fig. 17: execution plans with estimated cost/rows and actual rows for
+/// Q1 and Q2 on an LDBC instance.
+pub fn fig17(sf: f64) -> String {
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(sf));
+    let store = sgq_ra::RelStore::load(&db);
+    let expr = sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema)
+        .expect("Q1 parses");
+    let baseline = sgq_query::cqt::Ucqt::path_query(expr.clone());
+    let enriched = match rewrite_path(&schema, &expr, RewriteOptions::default()).outcome {
+        sgq_core::pipeline::RewriteOutcome::Enriched(q) => q,
+        other => panic!("Q1 must enrich, got {other:?}"),
+    };
+    let mut names = NameGen::default();
+    let t_base = sgq_ra::optimize::optimize(
+        &ucqt_to_term(&baseline, &mut names).expect("translates"),
+        &store,
+    );
+    let t_schema = sgq_ra::optimize::optimize(
+        &ucqt_to_term(&enriched, &mut names).expect("translates"),
+        &store,
+    );
+    let (rel_b, plan_b) =
+        sgq_ra::explain::explain_analyze(&t_base, &store, &db).expect("executes");
+    let (rel_s, plan_s) =
+        sgq_ra::explain::explain_analyze(&t_schema, &store, &db).expect("executes");
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 17 — execution plans (LDBC SF {sf})\n");
+    let _ = writeln!(out, "// BASELINE QUERY EXECUTION PLAN (Q1) — {} rows", rel_b.len());
+    out.push_str(&plan_b);
+    let _ = writeln!(out, "\n// SCHEMA-ENRICHED QUERY EXECUTION PLAN (Q2) — {} rows", rel_s.len());
+    out.push_str(&plan_s);
+    let mut ctx = ExecContext::new();
+    let _ = sgq_ra::execute(&t_base, &store, &mut ctx);
+    let base_rows = ctx.rows_materialized;
+    let mut ctx = ExecContext::new();
+    let _ = sgq_ra::execute(&t_schema, &store, &mut ctx);
+    let schema_rows = ctx.rows_materialized;
+    let _ = writeln!(
+        out,
+        "\nIntermediate rows materialised: baseline = {base_rows}, schema-enriched = {schema_rows}"
+    );
+    // The paper's headline number (isLocatedIn: 11,118,487 rows -> 7,955
+    // after the Organisation semi-join): the same reduction on our store.
+    let isl = schema.edge_label("isLocatedIn").expect("label exists");
+    let company = schema.node_label("Company").expect("label exists");
+    let isl_table = store.edge_table(isl);
+    let filtered = isl_table.semijoin(
+        &store
+            .node_table(company)
+            .with_cols(vec![sgq_ra::storage::SR.into()]),
+    );
+    let _ = writeln!(
+        out,
+        "isLocatedIn relation: {} rows, reduced to {} by the Company semi-join",
+        isl_table.len(),
+        filtered.len()
+    );
+    out
+}
+
+/// §5.2: the revert lists for both catalogs.
+pub fn reverts(cfg: &ExperimentConfig) -> String {
+    let mut out = String::new();
+    let schema = ldbc::schema();
+    let mut reverted = Vec::new();
+    for q in ldbc::queries(&schema).expect("catalog parses") {
+        if rewrite_path(&schema, &q.expr, cfg.run.rewrite).outcome.is_reverted() {
+            reverted.push(q.name);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "LDBC queries reverting to their initial form ({} of 30): {}",
+        reverted.len(),
+        reverted.join(", ")
+    );
+    let yschema = yago::schema();
+    let mut yreverted = Vec::new();
+    for q in yago::queries(&yschema).expect("catalog parses") {
+        if rewrite_path(&yschema, &q.expr, cfg.run.rewrite).outcome.is_reverted() {
+            yreverted.push(q.name);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "YAGO queries reverting to their initial form ({} of 18): {}",
+        yreverted.len(),
+        yreverted.join(", ")
+    );
+    let _ = writeln!(
+        out,
+        "(paper §5.2: 10 of 30 LDBC queries and 1 of 18 YAGO queries revert)"
+    );
+    out
+}
+
+/// Runs one measurement for a single expression — helper for examples.
+pub fn measure_pair(
+    session: &Session<'_>,
+    expr: &sgq_algebra::ast::PathExpr,
+    backend: Backend,
+    run: &RunConfig,
+) -> (Measurement, Measurement) {
+    (
+        run_query(session, expr, Approach::Baseline, backend, run),
+        run_query(session, expr, Approach::Schema, backend, run),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExperimentConfig {
+        ExperimentConfig {
+            run: RunConfig {
+                timeout_ms: 4_000,
+                repetitions: 1,
+                ..Default::default()
+            },
+            ldbc_sfs: vec![0.1],
+            yago_scale: 0.02,
+            backend: Backend::Graph,
+        }
+    }
+
+    #[test]
+    fn table3_renders() {
+        let s = table3(&tiny_cfg());
+        assert!(s.contains("YAGO"));
+        assert!(s.contains("LDBC-SNB"));
+        assert!(s.contains("#NR"));
+    }
+
+    #[test]
+    fn table6_matches_paper_count() {
+        let s = table6(&tiny_cfg());
+        assert!(s.contains("16 of 18"), "{s}");
+        assert!(s.contains("Y7"), "{s}");
+    }
+
+    #[test]
+    fn suite_and_tables_render() {
+        let cfg = tiny_cfg();
+        let records = ldbc_suite(&cfg);
+        assert_eq!(records.len(), 30 * 2);
+        let t5 = table5(&records, &cfg);
+        assert!(t5.contains("SF"), "{t5}");
+        let t7 = table7(&records, cfg.run.timeout_ms);
+        assert!(t7.contains("Recursive baseline"), "{t7}");
+        let t8 = table8(&records, cfg.run.timeout_ms);
+        assert!(t8.contains("Baseline"), "{t8}");
+        let f13 = fig13(&records, &cfg);
+        assert!(f13.contains("SF0.1"), "{f13}");
+    }
+
+    #[test]
+    fn yago_fig12_renders() {
+        let cfg = tiny_cfg();
+        let records = yago_suite(&cfg);
+        assert_eq!(records.len(), 18 * 2);
+        let s = fig12(&records, cfg.run.timeout_ms);
+        assert!(s.contains("Average speedup"), "{s}");
+        assert!(s.contains("Y1"), "{s}");
+    }
+
+    #[test]
+    fn fig15_16_reproduce_paper_shapes() {
+        let s = fig15_16();
+        // Fig. 15: the schema-enriched SQL pre-filters isLocatedIn by the
+        // organisation-side node table.
+        assert!(s.contains("FROM knows"), "{s}");
+        assert!(s.contains("FROM workAt"), "{s}");
+        assert!(s.contains("FROM isLocatedIn"), "{s}");
+        assert!(s.contains("Company"), "{s}");
+        // Fig. 16: the enriched Cypher carries the node label.
+        assert!(s.contains("-[:knows]->"), "{s}");
+        assert!(s.contains(":Company)"), "{s}");
+    }
+
+    #[test]
+    fn fig17_semijoin_reduces_intermediates() {
+        let s = fig17(0.1);
+        assert!(s.contains("Semi Join"), "{s}");
+        // The Fig. 17 narrative: the semi-join collapses the isLocatedIn
+        // input by an order of magnitude before the join.
+        let full: usize = extract(&s, "isLocatedIn relation: ");
+        let filtered: usize = extract(&s, "reduced to ");
+        assert!(
+            filtered * 5 <= full,
+            "semi-join should cut isLocatedIn by >=5x ({filtered} of {full})\n{s}"
+        );
+    }
+
+    fn extract(s: &str, prefix: &str) -> usize {
+        let at = s.find(prefix).expect("marker present") + prefix.len();
+        s[at..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect::<String>()
+            .parse()
+            .expect("number")
+    }
+
+    #[test]
+    fn reverts_listing() {
+        let s = reverts(&tiny_cfg());
+        assert!(s.contains("IC13"), "{s}");
+        assert!(s.contains("Y7"), "{s}");
+    }
+}

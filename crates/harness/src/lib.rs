@@ -1,0 +1,21 @@
+//! The experiment harness: reproduces every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! * [`runner`] — runs one query (baseline vs schema-rewritten) on either
+//!   backend under the timeout/repetition protocol of §5.1.5,
+//! * [`summary`] — box-plot statistics (Tabs. 7/8, Figs. 13/14),
+//! * [`experiments`] — one function per table/figure, each returning a
+//!   printable report,
+//! * [`records`] — serialisable raw measurements (written next to
+//!   EXPERIMENTS.md so every number is regenerable).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod records;
+pub mod runner;
+pub mod summary;
+
+pub use records::RunRecord;
+pub use runner::{run_query, Approach, Backend, RunConfig};
+pub use summary::Summary;

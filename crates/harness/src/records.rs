@@ -1,0 +1,105 @@
+//! Serialisable raw measurements.
+//!
+//! Every experiment run can be dumped as JSON (`--out results.json`) so
+//! the numbers in EXPERIMENTS.md are auditable and regenerable — the
+//! reason `serde`/`serde_json` are dependencies (see DESIGN.md).
+
+use serde::Serialize;
+
+use crate::runner::{Approach, Backend, Measurement};
+
+/// One (query, scale factor, approach, backend) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunRecord {
+    /// Query label (e.g. `IC13`).
+    pub query: String,
+    /// Recursive (`RQ`) or non-recursive (`NQ`).
+    pub kind: String,
+    /// Dataset scale factor (`None` for YAGO).
+    pub scale_factor: Option<f64>,
+    /// `B` (baseline) or `S` (schema).
+    pub approach: String,
+    /// Executing backend.
+    pub backend: String,
+    /// Mean runtime in milliseconds; `None` when infeasible.
+    pub ms: Option<f64>,
+    /// Result cardinality; `None` when infeasible.
+    pub rows: Option<usize>,
+    /// Whether the rewrite reverted (§5.2) — only set for `S` runs.
+    pub reverted: Option<bool>,
+}
+
+impl RunRecord {
+    /// Builds a record from a measurement.
+    pub fn new(
+        query: &str,
+        kind: &str,
+        scale_factor: Option<f64>,
+        approach: Approach,
+        backend: Backend,
+        measurement: Measurement,
+        reverted: Option<bool>,
+    ) -> Self {
+        let (ms, rows) = match measurement {
+            Measurement::Feasible { ms, rows } => (Some(ms), Some(rows)),
+            Measurement::Infeasible => (None, None),
+        };
+        RunRecord {
+            query: query.to_string(),
+            kind: kind.to_string(),
+            scale_factor,
+            approach: approach.to_string(),
+            backend: backend.to_string(),
+            ms,
+            rows,
+            reverted,
+        }
+    }
+
+    /// Whether this run finished within the budget.
+    pub fn feasible(&self) -> bool {
+        self.ms.is_some()
+    }
+}
+
+/// Serialises records as pretty JSON.
+pub fn to_json(records: &[RunRecord]) -> String {
+    serde_json::to_string_pretty(records).expect("records serialise")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let r = RunRecord::new(
+            "IC13",
+            "RQ",
+            Some(1.0),
+            Approach::Schema,
+            Backend::Relational,
+            Measurement::Feasible { ms: 12.5, rows: 42 },
+            Some(true),
+        );
+        assert!(r.feasible());
+        let json = to_json(&[r]);
+        assert!(json.contains("\"IC13\""));
+        assert!(json.contains("12.5"));
+    }
+
+    #[test]
+    fn infeasible_record() {
+        let r = RunRecord::new(
+            "Y1",
+            "RQ",
+            None,
+            Approach::Baseline,
+            Backend::Graph,
+            Measurement::Infeasible,
+            None,
+        );
+        assert!(!r.feasible());
+        assert!(r.ms.is_none());
+    }
+}

@@ -1,0 +1,285 @@
+//! Query execution under the paper's measurement protocol (§5.1.5):
+//! a per-run timeout and averaging over repetitions.
+
+use std::time::Instant;
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{Result, SgqError};
+use sgq_core::pipeline::{rewrite_path, RewriteOptions, RewriteOutcome};
+use sgq_engine::GraphEngine;
+use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_query::cqt::Ucqt;
+use sgq_ra::exec::ExecContext;
+use sgq_ra::RelStore;
+use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
+
+/// Which engine executes the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// The property-graph engine (the Neo4j stand-in).
+    Graph,
+    /// The recursive relational algebra engine (the PostgreSQL stand-in).
+    Relational,
+    /// The relational engine with the logical optimiser disabled — the
+    /// stand-in for the paper's "MySQL/SQLite are much slower" remark.
+    RelationalUnoptimized,
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backend::Graph => write!(f, "graph"),
+            Backend::Relational => write!(f, "relational"),
+            Backend::RelationalUnoptimized => write!(f, "relational-unopt"),
+        }
+    }
+}
+
+/// Baseline (initial query) or the schema-based rewrite (§5.1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Approach {
+    /// The initial, non-enriched query.
+    Baseline,
+    /// The schema-enriched query (running the baseline plan on reverts).
+    Schema,
+}
+
+impl std::fmt::Display for Approach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Approach::Baseline => write!(f, "B"),
+            Approach::Schema => write!(f, "S"),
+        }
+    }
+}
+
+/// Timeout / repetition configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RunConfig {
+    /// Per-run timeout in milliseconds (the paper used 30 minutes; the
+    /// harness scales this down).
+    pub timeout_ms: u64,
+    /// Repetitions averaged per measurement (the paper used 5).
+    pub repetitions: usize,
+    /// Row/pair materialisation budget (0 = unlimited).
+    pub max_rows: usize,
+    /// Rewrite options for the schema approach.
+    pub rewrite: RewriteOptions,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            timeout_ms: 2_000,
+            repetitions: 3,
+            max_rows: 20_000_000,
+            rewrite: RewriteOptions::default(),
+        }
+    }
+}
+
+/// Pre-loaded backend state for one database.
+pub struct Session<'a> {
+    /// The schema the database conforms to.
+    pub schema: &'a GraphSchema,
+    /// The database itself (graph backend).
+    pub db: &'a GraphDatabase,
+    /// The relational load of the database.
+    pub store: RelStore,
+}
+
+impl<'a> Session<'a> {
+    /// Loads both backends.
+    pub fn new(schema: &'a GraphSchema, db: &'a GraphDatabase) -> Self {
+        Session {
+            schema,
+            db,
+            store: RelStore::load(db),
+        }
+    }
+}
+
+/// One measurement: average milliseconds and the result cardinality, or a
+/// timeout/budget failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Measurement {
+    /// Mean runtime over the repetitions, with the answer cardinality.
+    Feasible {
+        /// Mean runtime in milliseconds.
+        ms: f64,
+        /// Number of result rows.
+        rows: usize,
+    },
+    /// The query exceeded the timeout or the materialisation budget.
+    Infeasible,
+}
+
+impl Measurement {
+    /// Runtime if feasible.
+    pub fn ms(&self) -> Option<f64> {
+        match self {
+            Measurement::Feasible { ms, .. } => Some(*ms),
+            Measurement::Infeasible => None,
+        }
+    }
+}
+
+/// Resolves the query a given approach executes: the baseline UCQT or the
+/// rewrite outcome.
+pub fn query_for(
+    schema: &GraphSchema,
+    expr: &PathExpr,
+    approach: Approach,
+    rewrite: RewriteOptions,
+) -> Option<Ucqt> {
+    match approach {
+        Approach::Baseline => Some(Ucqt::path_query(expr.clone())),
+        Approach::Schema => match rewrite_path(schema, expr, rewrite).outcome {
+            RewriteOutcome::Enriched(q) | RewriteOutcome::Reverted(q) => Some(q),
+            RewriteOutcome::Empty => None,
+        },
+    }
+}
+
+/// Runs `expr` once on the chosen backend with the timeout applied.
+pub fn run_once(
+    session: &Session<'_>,
+    query: &Ucqt,
+    backend: Backend,
+    config: &RunConfig,
+) -> Result<usize> {
+    match backend {
+        Backend::Graph => {
+            let mut engine = GraphEngine::with_timeout(session.db, config.timeout_ms);
+            set_graph_budget(&mut engine, config.max_rows);
+            let rows = engine.run_ucqt(query)?;
+            Ok(rows.len())
+        }
+        Backend::Relational | Backend::RelationalUnoptimized => {
+            let mut names = NameGen::default();
+            let term = ucqt_to_term(query, &mut names)?;
+            let term = if backend == Backend::Relational {
+                sgq_ra::optimize::optimize(&term, &session.store)
+            } else {
+                term
+            };
+            let mut ctx = ExecContext::with_timeout(config.timeout_ms);
+            ctx.max_rows = config.max_rows;
+            let rel = sgq_ra::execute(&term, &session.store, &mut ctx)?;
+            Ok(rel.len())
+        }
+    }
+}
+
+fn set_graph_budget(engine: &mut GraphEngine<'_>, max_pairs: usize) {
+    engine.set_max_pairs(max_pairs);
+}
+
+/// Runs a query under the full protocol: rewrite (if schema approach),
+/// repetitions, averaging, timeout classification.
+pub fn run_query(
+    session: &Session<'_>,
+    expr: &PathExpr,
+    approach: Approach,
+    backend: Backend,
+    config: &RunConfig,
+) -> Measurement {
+    let Some(query) = query_for(session.schema, expr, approach, config.rewrite) else {
+        // The schema proves the query empty: essentially free.
+        return Measurement::Feasible { ms: 0.0, rows: 0 };
+    };
+    let mut total_ms = 0.0;
+    let mut rows = 0usize;
+    for _ in 0..config.repetitions.max(1) {
+        let start = Instant::now();
+        match run_once(session, &query, backend, config) {
+            Ok(n) => {
+                rows = n;
+                total_ms += start.elapsed().as_secs_f64() * 1e3;
+            }
+            Err(SgqError::Timeout { .. }) | Err(SgqError::Execution(_)) => {
+                return Measurement::Infeasible;
+            }
+            Err(other) => panic!("unexpected engine failure: {other}"),
+        }
+    }
+    Measurement::Feasible {
+        ms: total_ms / config.repetitions.max(1) as f64,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_algebra::parser::parse_path;
+    use sgq_datasets::yago::{self, YagoConfig};
+
+    #[test]
+    fn baseline_and_schema_agree_on_yago() {
+        let (schema, db) = yago::generate(YagoConfig::tiny());
+        let session = Session::new(&schema, &db);
+        let config = RunConfig {
+            timeout_ms: 10_000,
+            repetitions: 1,
+            ..Default::default()
+        };
+        for text in ["livesIn/isLocatedIn+/dealsWith+", "owns/isLocatedIn+", "influences+"] {
+            let expr = parse_path(text, &schema).unwrap();
+            let mut cardinalities = Vec::new();
+            for backend in [Backend::Graph, Backend::Relational] {
+                for approach in [Approach::Baseline, Approach::Schema] {
+                    match run_query(&session, &expr, approach, backend, &config) {
+                        Measurement::Feasible { rows, .. } => cardinalities.push(rows),
+                        Measurement::Infeasible => panic!("tiny dataset must be feasible"),
+                    }
+                }
+            }
+            assert!(
+                cardinalities.windows(2).all(|w| w[0] == w[1]),
+                "backends/approaches disagree for {text}: {cardinalities:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeout_classifies_as_infeasible() {
+        let (schema, db) = yago::generate(YagoConfig::tiny());
+        let session = Session::new(&schema, &db);
+        let config = RunConfig {
+            timeout_ms: 0,
+            repetitions: 1,
+            ..Default::default()
+        };
+        let expr = parse_path("influences+", &schema).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let m = run_query(&session, &expr, Approach::Baseline, Backend::Graph, &config);
+        assert_eq!(m, Measurement::Infeasible);
+    }
+
+    #[test]
+    fn unoptimized_backend_still_correct() {
+        let (schema, db) = yago::generate(YagoConfig::tiny());
+        let session = Session::new(&schema, &db);
+        let config = RunConfig {
+            timeout_ms: 10_000,
+            repetitions: 1,
+            ..Default::default()
+        };
+        let expr = parse_path("owns/isLocatedIn", &schema).unwrap();
+        let a = run_query(&session, &expr, Approach::Baseline, Backend::Relational, &config);
+        let b = run_query(
+            &session,
+            &expr,
+            Approach::Baseline,
+            Backend::RelationalUnoptimized,
+            &config,
+        );
+        match (a, b) {
+            (Measurement::Feasible { rows: ra, .. }, Measurement::Feasible { rows: rb, .. }) => {
+                assert_eq!(ra, rb)
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

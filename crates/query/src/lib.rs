@@ -1,0 +1,17 @@
+//! The CQT/UCQT query formalism (Definition 4) and annotated path
+//! expressions (§3.1.1).
+//!
+//! * [`annotated`] — path expressions whose concatenations carry node-label
+//!   annotations (`ψ1 /ln ψ2`), with their reference semantics,
+//! * [`cqt`] — conjunctive queries with Tarski's algebra and their unions,
+//! * [`vars`] — query-variable allocation.
+
+#![warn(missing_docs)]
+
+pub mod annotated;
+pub mod cqt;
+pub mod vars;
+
+pub use annotated::{eval_annotated, AnnotatedPath, LabelSet};
+pub use cqt::{Cqt, LabelAtom, QueryKind, Relation, Ucqt};
+pub use vars::VarGen;

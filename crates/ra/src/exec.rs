@@ -1,0 +1,283 @@
+//! Bottom-up evaluation of RA terms with semi-naive fixpoints.
+
+use std::time::Instant;
+
+use sgq_common::{FxHashMap, Result, SgqError};
+
+use crate::table::Relation;
+use crate::term::RaTerm;
+
+/// Execution context: the fixpoint environment, a cooperative deadline and
+/// work counters.
+#[derive(Debug, Default)]
+pub struct ExecContext {
+    env: FxHashMap<String, Relation>,
+    /// Cooperative deadline (the paper's 30-minute protocol, scaled).
+    pub deadline: Option<Instant>,
+    /// Reported timeout budget in milliseconds.
+    pub limit_ms: u64,
+    /// Total rows materialised by all operators.
+    pub rows_materialized: usize,
+    /// Fixpoint iterations run.
+    pub fixpoint_rounds: usize,
+    /// Abort once this many rows have been materialised (0 = unlimited).
+    pub max_rows: usize,
+}
+
+impl ExecContext {
+    /// A context with no deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A context aborting with [`SgqError::Timeout`] after `limit_ms`.
+    pub fn with_timeout(limit_ms: u64) -> Self {
+        ExecContext {
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(limit_ms)),
+            limit_ms,
+            ..Default::default()
+        }
+    }
+
+    fn check(&self) -> Result<()> {
+        if self.max_rows > 0 && self.rows_materialized > self.max_rows {
+            return Err(SgqError::Execution(format!(
+                "row budget exhausted ({} rows)",
+                self.rows_materialized
+            )));
+        }
+        match self.deadline {
+            Some(d) if Instant::now() > d => Err(SgqError::Timeout {
+                limit_ms: self.limit_ms,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    fn record(&mut self, rel: &Relation) {
+        self.rows_materialized += rel.len();
+    }
+}
+
+/// Evaluates `term` against `store`.
+pub fn execute(
+    term: &RaTerm,
+    store: &crate::storage::RelStore,
+    ctx: &mut ExecContext,
+) -> Result<Relation> {
+    ctx.check()?;
+    let out = match term {
+        RaTerm::EdgeScan { label, src, tgt } => store
+            .edge_table(*label)
+            .with_cols(vec![src.clone(), tgt.clone()]),
+        RaTerm::NodeScan { labels, col } => {
+            let mut acc: Option<Relation> = None;
+            for &l in labels {
+                let t = store.node_table(l).with_cols(vec![col.clone()]);
+                acc = Some(match acc {
+                    None => t,
+                    Some(a) => a.union(&t),
+                });
+            }
+            acc.unwrap_or_else(|| Relation::empty(vec![col.clone()]))
+        }
+        RaTerm::Join(a, b) => {
+            let left = execute(a, store, ctx)?;
+            let right = execute(b, store, ctx)?;
+            ctx.check()?;
+            left.join(&right)
+        }
+        RaTerm::Semijoin(a, b) => {
+            let left = execute(a, store, ctx)?;
+            let right = execute(b, store, ctx)?;
+            ctx.check()?;
+            left.semijoin(&right)
+        }
+        RaTerm::Union(a, b) => {
+            let left = execute(a, store, ctx)?;
+            let right = execute(b, store, ctx)?;
+            left.union(&right)
+        }
+        RaTerm::Project { input, cols } => execute(input, store, ctx)?.project(cols),
+        RaTerm::Select { input, a, b } => {
+            let rel = execute(input, store, ctx)?;
+            let ia = rel
+                .col_index(a)
+                .ok_or_else(|| SgqError::Execution(format!("unknown column {a}")))?;
+            let ib = rel
+                .col_index(b)
+                .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
+            let rows: Vec<Vec<u32>> = rel
+                .rows()
+                .filter(|row| row[ia] == row[ib])
+                .map(|row| row.to_vec())
+                .collect();
+            Relation::from_rows(rel.cols().to_vec(), rows)
+        }
+        RaTerm::Rename { input, from, to } => execute(input, store, ctx)?.rename(from, to),
+        RaTerm::Fixpoint {
+            var,
+            base,
+            step,
+            stable: _,
+        } => {
+            // Semi-naive: step is linear in the recursion variable, so each
+            // round only extends from the newly discovered delta.
+            let base_rel = execute(base, store, ctx)?;
+            let cols = base_rel.cols().to_vec();
+            let mut acc = base_rel.clone();
+            let mut delta = base_rel;
+            while !delta.is_empty() {
+                ctx.check()?;
+                ctx.fixpoint_rounds += 1;
+                ctx.env.insert(var.clone(), delta);
+                let stepped = execute(step, store, ctx)?;
+                ctx.env.remove(var);
+                // Align schema positionally (projections inside the step
+                // are expected to produce the fixpoint's columns).
+                let stepped = if stepped.cols() == cols.as_slice() {
+                    stepped
+                } else {
+                    stepped.with_cols(cols.clone())
+                };
+                let fresh = stepped.difference(&acc);
+                ctx.record(&fresh);
+                acc = acc.union(&fresh);
+                delta = fresh;
+            }
+            acc
+        }
+        RaTerm::RecRef { var, cols } => {
+            let rel = ctx.env.get(var).ok_or_else(|| {
+                SgqError::Execution(format!("unbound recursion variable {var}"))
+            })?;
+            rel.with_cols(cols.clone())
+        }
+    };
+    ctx.record(&out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::RelStore;
+    use crate::term::closure_fixpoint;
+    use sgq_graph::database::fig2_yago_database;
+
+    fn store() -> (sgq_graph::GraphDatabase, RelStore) {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        (db, store)
+    }
+
+    fn scan(db: &sgq_graph::GraphDatabase, label: &str, src: &str, tgt: &str) -> RaTerm {
+        RaTerm::EdgeScan {
+            label: db.edge_label_id(label).unwrap(),
+            src: src.into(),
+            tgt: tgt.into(),
+        }
+    }
+
+    #[test]
+    fn edge_scan() {
+        let (db, store) = store();
+        let mut ctx = ExecContext::new();
+        let r = execute(&scan(&db, "owns", "x", "y"), &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[1, 0]);
+    }
+
+    #[test]
+    fn join_composes_paths() {
+        // owns(x,y) ⋈ isLocatedIn(y,z): John's property is in Montbonnot
+        let (db, store) = store();
+        let t = RaTerm::project(
+            RaTerm::join(scan(&db, "owns", "x", "y"), scan(&db, "isLocatedIn", "y", "z")),
+            vec!["x".into(), "z".into()],
+        );
+        let mut ctx = ExecContext::new();
+        let r = execute(&t, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[1, 5]);
+    }
+
+    #[test]
+    fn fixpoint_transitive_closure() {
+        let (db, store) = store();
+        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
+        let mut ctx = ExecContext::new();
+        let r = execute(&f, &store, &mut ctx).unwrap();
+        // must match the reference semantics of isLocatedIn+
+        let expect = sgq_algebra::eval::eval_path(
+            &db,
+            &sgq_algebra::parser::parse_path("isLocatedIn+", &db).unwrap(),
+        );
+        let got: Vec<(u32, u32)> = r.rows().map(|row| (row[0], row[1])).collect();
+        let want: Vec<(u32, u32)> = expect.iter().map(|&(s, t)| (s.raw(), t.raw())).collect();
+        assert_eq!(got, want);
+        assert!(ctx.fixpoint_rounds >= 2);
+    }
+
+    #[test]
+    fn fixpoint_on_cycle_terminates() {
+        let (db, store) = store();
+        let f = closure_fixpoint("X", scan(&db, "isMarriedTo", "x", "y"), "x", "y", "m");
+        let mut ctx = ExecContext::new();
+        let r = execute(&f, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 4); // {1,2}² as in the reference evaluator
+    }
+
+    #[test]
+    fn node_scan_union() {
+        let (db, store) = store();
+        let t = RaTerm::NodeScan {
+            labels: vec![
+                db.node_label_id("CITY").unwrap(),
+                db.node_label_id("REGION").unwrap(),
+            ],
+            col: "n".into(),
+        };
+        let mut ctx = ExecContext::new();
+        let r = execute(&t, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 3); // two cities + one region
+    }
+
+    #[test]
+    fn semijoin_with_node_table() {
+        // isLocatedIn(x,y) ⋉ REGION(x): only region-sourced edges remain
+        let (db, store) = store();
+        let t = RaTerm::semijoin(
+            scan(&db, "isLocatedIn", "x", "y"),
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("REGION").unwrap()],
+                col: "x".into(),
+            },
+        );
+        let mut ctx = ExecContext::new();
+        let r = execute(&t, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.row(0), &[4, 6]); // Grenoble -> France
+    }
+
+    #[test]
+    fn timeout_aborts() {
+        let (db, store) = store();
+        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
+        let mut ctx = ExecContext::with_timeout(0);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = execute(&f, &store, &mut ctx).unwrap_err();
+        assert!(err.is_timeout());
+    }
+
+    #[test]
+    fn unbound_recref_errors() {
+        let (_, store) = store();
+        let t = RaTerm::RecRef {
+            var: "X".into(),
+            cols: vec!["a".into(), "b".into()],
+        };
+        let mut ctx = ExecContext::new();
+        assert!(execute(&t, &store, &mut ctx).is_err());
+    }
+}

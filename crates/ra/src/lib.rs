@@ -1,0 +1,29 @@
+//! A recursive relational algebra engine in the style of µ-RA — the
+//! paper's RDBMS backend substitute (§4 "Translator"/"Backend").
+//!
+//! * [`table`] — set-semantics relations with named columns,
+//! * [`storage`] — the relational representation of a property graph
+//!   (Fig. 11): one table per node label and per edge label,
+//! * [`term`] — the RA term language (σ/π/ρ/⋈/⋉/∪ and the fixpoint µ),
+//! * [`optimize`] — µ-RA-style rewritings: semi-join pushdown through
+//!   joins and *into fixpoints*, plus greedy join ordering,
+//! * [`exec`] — a semi-naive bottom-up evaluator with cooperative
+//!   timeouts,
+//! * [`cost`] — cardinality estimation over [`sgq_graph::GraphStats`],
+//! * [`explain`] — plan rendering with estimated cost/rows and actual
+//!   rows (the paper's Fig. 17).
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod exec;
+pub mod explain;
+pub mod optimize;
+pub mod storage;
+pub mod table;
+pub mod term;
+
+pub use exec::{execute, ExecContext};
+pub use storage::RelStore;
+pub use table::{Col, Relation};
+pub use term::RaTerm;

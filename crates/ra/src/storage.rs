@@ -1,0 +1,113 @@
+//! The relational representation of a property graph (the paper's
+//! Fig. 11): one binary table `(Sr, Tr)` per edge label and one unary
+//! table `(Sr)` per node label.
+
+use sgq_common::{EdgeLabelId, NodeLabelId};
+use sgq_graph::{GraphDatabase, GraphStats};
+
+use crate::table::Relation;
+
+/// Column name used for sources / node ids (paper's `Sr`).
+pub const SR: &str = "Sr";
+/// Column name used for targets (paper's `Tr`).
+pub const TR: &str = "Tr";
+
+/// A column store over a graph database plus its statistics.
+pub struct RelStore {
+    /// Edge tables indexed by edge label id, columns `(Sr, Tr)`.
+    edge_tables: Vec<Relation>,
+    /// Node tables indexed by node label id, column `(Sr)`.
+    node_tables: Vec<Relation>,
+    /// Statistics for the cost model.
+    pub stats: GraphStats,
+}
+
+impl RelStore {
+    /// Loads a graph database into relational tables (Fig. 11).
+    pub fn load(db: &GraphDatabase) -> Self {
+        let mut edge_tables = Vec::with_capacity(db.edge_label_count());
+        for le_idx in 0..db.edge_label_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            let pairs: Vec<(u32, u32)> = db
+                .edges(le)
+                .iter()
+                .map(|&(s, t)| (s.raw(), t.raw()))
+                .collect();
+            edge_tables.push(Relation::from_pairs(SR.into(), TR.into(), &pairs));
+        }
+        let mut node_tables = Vec::with_capacity(db.node_label_count());
+        for l_idx in 0..db.node_label_count() {
+            let l = NodeLabelId::new(l_idx as u32);
+            let rows = db
+                .nodes_with_label(l)
+                .iter()
+                .map(|n| vec![n.raw()]);
+            node_tables.push(Relation::from_rows(vec![SR.into()], rows));
+        }
+        RelStore {
+            edge_tables,
+            node_tables,
+            stats: GraphStats::compute(db),
+        }
+    }
+
+    /// The edge table for `le` (empty if out of range).
+    pub fn edge_table(&self, le: EdgeLabelId) -> Relation {
+        self.edge_tables
+            .get(le.index())
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(vec![SR.into(), TR.into()]))
+    }
+
+    /// The node table for `l` (empty if out of range).
+    pub fn node_table(&self, l: NodeLabelId) -> Relation {
+        self.node_tables
+            .get(l.index())
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(vec![SR.into()]))
+    }
+
+    /// Number of edge tables.
+    pub fn edge_table_count(&self) -> usize {
+        self.edge_tables.len()
+    }
+
+    /// Number of node tables.
+    pub fn node_table_count(&self) -> usize {
+        self.node_tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_graph::database::fig2_yago_database;
+
+    #[test]
+    fn fig11_tables() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // owns: one row (n2, n1) = (1, 0)
+        let owns = store.edge_table(db.edge_label_id("owns").unwrap());
+        assert_eq!(owns.len(), 1);
+        assert_eq!(owns.row(0), &[1, 0]);
+        // isLocatedIn: four rows
+        let isl = store.edge_table(db.edge_label_id("isLocatedIn").unwrap());
+        assert_eq!(isl.len(), 4);
+        // PROPERTY node table: one row (n1 = id 0)
+        let prop = store.node_table(db.node_label_id("PROPERTY").unwrap());
+        assert_eq!(prop.len(), 1);
+        assert_eq!(prop.row(0), &[0]);
+        // PERSON node table: two rows
+        let person = store.node_table(db.node_label_id("PERSON").unwrap());
+        assert_eq!(person.len(), 2);
+    }
+
+    #[test]
+    fn out_of_range_labels_are_empty() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        assert!(store.edge_table(EdgeLabelId::new(99)).is_empty());
+        assert!(store.node_table(NodeLabelId::new(99)).is_empty());
+    }
+}

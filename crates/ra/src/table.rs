@@ -1,0 +1,491 @@
+//! Set-semantics relations with named columns.
+//!
+//! Rows are stored flattened (`data[row * arity + col]`) for cache
+//! friendliness; every public operation returns a *canonical* relation
+//! (rows sorted lexicographically, duplicates removed), which makes
+//! equality, union and difference cheap merges.
+
+use sgq_common::FxHashMap;
+
+/// A column name. Query variables become columns `v0`, `v1`, ...; the
+/// storage layer uses `Sr` / `Tr` like the paper's Fig. 11.
+pub type Col = String;
+
+/// A relation: named columns and flattened `u32` rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    cols: Vec<Col>,
+    data: Vec<u32>,
+}
+
+impl Relation {
+    /// An empty relation with the given columns.
+    pub fn empty(cols: Vec<Col>) -> Self {
+        assert!(!cols.is_empty(), "relations need at least one column");
+        Relation {
+            cols,
+            data: Vec::new(),
+        }
+    }
+
+    /// Builds a canonical relation from rows.
+    pub fn from_rows(cols: Vec<Col>, rows: impl IntoIterator<Item = Vec<u32>>) -> Self {
+        let arity = cols.len();
+        let mut data = Vec::new();
+        for row in rows {
+            assert_eq!(row.len(), arity, "row arity mismatch");
+            data.extend_from_slice(&row);
+        }
+        let mut rel = Relation { cols, data };
+        rel.normalize();
+        rel
+    }
+
+    /// Builds a canonical binary relation from pairs.
+    pub fn from_pairs(c1: Col, c2: Col, pairs: &[(u32, u32)]) -> Self {
+        let mut data = Vec::with_capacity(pairs.len() * 2);
+        for &(a, b) in pairs {
+            data.push(a);
+            data.push(b);
+        }
+        let mut rel = Relation {
+            cols: vec![c1, c2],
+            data,
+        };
+        rel.normalize();
+        rel
+    }
+
+    /// Column names.
+    pub fn cols(&self) -> &[Col] {
+        &self.cols
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        if self.cols.is_empty() {
+            0
+        } else {
+            self.data.len() / self.cols.len()
+        }
+    }
+
+    /// Whether the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[u32] {
+        let a = self.arity();
+        &self.data[i * a..(i + 1) * a]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
+        self.data.chunks_exact(self.arity().max(1))
+    }
+
+    /// Index of a column by name.
+    pub fn col_index(&self, col: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c == col)
+    }
+
+    /// Sorts rows lexicographically and removes duplicates.
+    fn normalize(&mut self) {
+        let arity = self.arity();
+        if arity == 0 || self.data.is_empty() {
+            return;
+        }
+        let n = self.len();
+        let mut idx: Vec<u32> = (0..n as u32).collect();
+        let data = &self.data;
+        idx.sort_unstable_by(|&a, &b| {
+            data[a as usize * arity..(a as usize + 1) * arity]
+                .cmp(&data[b as usize * arity..(b as usize + 1) * arity])
+        });
+        let mut out = Vec::with_capacity(self.data.len());
+        let mut last: Option<&[u32]> = None;
+        for &i in &idx {
+            let row = &data[i as usize * arity..(i as usize + 1) * arity];
+            if last != Some(row) {
+                out.extend_from_slice(row);
+            }
+            last = Some(row);
+        }
+        self.data = out;
+    }
+
+    /// `π_cols` with set semantics (duplicates removed).
+    pub fn project(&self, cols: &[Col]) -> Relation {
+        let positions: Vec<usize> = cols
+            .iter()
+            .map(|c| self.col_index(c).expect("projection column must exist"))
+            .collect();
+        let mut data = Vec::with_capacity(self.len() * cols.len());
+        for row in self.rows() {
+            for &p in &positions {
+                data.push(row[p]);
+            }
+        }
+        let mut rel = Relation {
+            cols: cols.to_vec(),
+            data,
+        };
+        rel.normalize();
+        rel
+    }
+
+    /// `ρ_{from→to}`. Renaming never touches row data, so canonical form
+    /// is preserved without re-sorting.
+    pub fn rename(&self, from: &str, to: &str) -> Relation {
+        let mut cols = self.cols.clone();
+        let i = self.col_index(from).expect("renamed column must exist");
+        cols[i] = to.to_string();
+        Relation {
+            cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Renames columns positionally to `cols` (no re-sort needed: row data
+    /// is unchanged).
+    pub fn with_cols(&self, cols: Vec<Col>) -> Relation {
+        assert_eq!(cols.len(), self.arity());
+        Relation {
+            cols,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Natural join on shared column names (hash join, smaller side built).
+    pub fn join(&self, other: &Relation) -> Relation {
+        let shared: Vec<Col> = self
+            .cols
+            .iter()
+            .filter(|c| other.col_index(c).is_some())
+            .cloned()
+            .collect();
+        let (build, probe, build_is_self) = if self.len() <= other.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let build_key: Vec<usize> = shared
+            .iter()
+            .map(|c| build.col_index(c).unwrap())
+            .collect();
+        let probe_key: Vec<usize> = shared
+            .iter()
+            .map(|c| probe.col_index(c).unwrap())
+            .collect();
+        // Output schema: self's cols then other's non-shared cols.
+        let extra: Vec<(usize, Col)> = other
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| self.col_index(c).is_none())
+            .map(|(i, c)| (i, c.clone()))
+            .collect();
+        let out_cols: Vec<Col> = self
+            .cols
+            .iter()
+            .cloned()
+            .chain(extra.iter().map(|(_, c)| c.clone()))
+            .collect();
+
+        let mut index: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
+        for (i, row) in build.rows().enumerate() {
+            let key: Vec<u32> = build_key.iter().map(|&k| row[k]).collect();
+            index.entry(key).or_default().push(i);
+        }
+        let mut data: Vec<u32> = Vec::new();
+        for probe_row in probe.rows() {
+            let key: Vec<u32> = probe_key.iter().map(|&k| probe_row[k]).collect();
+            if let Some(matches) = index.get(&key) {
+                for &bi in matches {
+                    let build_row = build.row(bi);
+                    let (self_row, other_row) = if build_is_self {
+                        (build_row, probe_row)
+                    } else {
+                        (probe_row, build_row)
+                    };
+                    data.extend_from_slice(self_row);
+                    for &(oi, _) in &extra {
+                        data.push(other_row[oi]);
+                    }
+                }
+            }
+        }
+        let mut rel = Relation {
+            cols: out_cols,
+            data,
+        };
+        rel.normalize();
+        rel
+    }
+
+    /// Semi-join `self ⋉ other` on shared column names.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        let shared: Vec<Col> = self
+            .cols
+            .iter()
+            .filter(|c| other.col_index(c).is_some())
+            .cloned()
+            .collect();
+        if shared.is_empty() {
+            return if other.is_empty() {
+                Relation::empty(self.cols.clone())
+            } else {
+                self.clone()
+            };
+        }
+        let self_key: Vec<usize> = shared.iter().map(|c| self.col_index(c).unwrap()).collect();
+        let other_key: Vec<usize> = shared
+            .iter()
+            .map(|c| other.col_index(c).unwrap())
+            .collect();
+        let keys: sgq_common::FxHashSet<Vec<u32>> = other
+            .rows()
+            .map(|row| other_key.iter().map(|&k| row[k]).collect())
+            .collect();
+        let mut data = Vec::new();
+        for row in self.rows() {
+            let key: Vec<u32> = self_key.iter().map(|&k| row[k]).collect();
+            if keys.contains(&key) {
+                data.extend_from_slice(row);
+            }
+        }
+        Relation {
+            cols: self.cols.clone(),
+            data,
+        }
+    }
+
+    /// Union (same column names required; canonical merge).
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.cols, other.cols, "union requires identical schemas");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        let mut rel = Relation {
+            cols: self.cols.clone(),
+            data,
+        };
+        rel.normalize();
+        rel
+    }
+
+    /// Difference `self \ other` (same column names; both canonical).
+    pub fn difference(&self, other: &Relation) -> Relation {
+        assert_eq!(self.cols, other.cols);
+        let arity = self.arity();
+        let mut data = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let (n, m) = (self.len(), other.len());
+        while i < n && j < m {
+            match self.row(i).cmp(other.row(j)) {
+                std::cmp::Ordering::Less => {
+                    data.extend_from_slice(self.row(i));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        while i < n {
+            data.extend_from_slice(self.row(i));
+            i += 1;
+        }
+        let _ = arity;
+        Relation {
+            cols: self.cols.clone(),
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(cols: &[&str], rows: &[&[u32]]) -> Relation {
+        Relation::from_rows(
+            cols.iter().map(|c| c.to_string()).collect(),
+            rows.iter().map(|r| r.to_vec()),
+        )
+    }
+
+    #[test]
+    fn canonicalisation() {
+        let r = rel(&["a", "b"], &[&[2, 1], &[1, 1], &[2, 1]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.row(0), &[1, 1]);
+        assert_eq!(r.row(1), &[2, 1]);
+    }
+
+    #[test]
+    fn project_dedups() {
+        let r = rel(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 2]]);
+        let p = r.project(&["a".to_string()]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.cols(), &["a".to_string()]);
+    }
+
+    #[test]
+    fn rename_changes_schema() {
+        let r = rel(&["a", "b"], &[&[1, 2]]);
+        let r2 = r.rename("a", "x");
+        assert_eq!(r2.cols(), &["x".to_string(), "b".to_string()]);
+        assert_eq!(r2.row(0), &[1, 2]);
+    }
+
+    #[test]
+    fn natural_join() {
+        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
+        let s = rel(&["b", "c"], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let j = r.join(&s);
+        assert_eq!(j.cols(), &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.row(0), &[1, 10, 100]);
+        assert_eq!(j.row(1), &[1, 10, 101]);
+    }
+
+    #[test]
+    fn join_without_shared_cols_is_cartesian() {
+        let r = rel(&["a"], &[&[1], &[2]]);
+        let s = rel(&["b"], &[&[7]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.arity(), 2);
+    }
+
+    #[test]
+    fn join_on_two_columns() {
+        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
+        let s = rel(&["a", "b"], &[&[1, 2], &[3, 5]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.row(0), &[1, 2]);
+    }
+
+    #[test]
+    fn semijoin_filters() {
+        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
+        let f = rel(&["a"], &[&[1]]);
+        let sj = r.semijoin(&f);
+        assert_eq!(sj.len(), 1);
+        assert_eq!(sj.row(0), &[1, 10]);
+    }
+
+    #[test]
+    fn semijoin_no_shared_cols() {
+        let r = rel(&["a"], &[&[1]]);
+        let non_empty = rel(&["z"], &[&[9]]);
+        assert_eq!(r.semijoin(&non_empty), r);
+        let empty = Relation::empty(vec!["z".to_string()]);
+        assert!(r.semijoin(&empty).is_empty());
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let r = rel(&["a"], &[&[1], &[2]]);
+        let s = rel(&["a"], &[&[2], &[3]]);
+        assert_eq!(r.union(&s).len(), 3);
+        let d = r.difference(&s);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.row(0), &[1]);
+    }
+
+    #[test]
+    fn with_cols_positional() {
+        let r = rel(&["a", "b"], &[&[1, 2]]);
+        let r2 = r.with_cols(vec!["x".into(), "y".into()]);
+        assert_eq!(r2.cols(), &["x".to_string(), "y".to_string()]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_rel(cols: &'static [&'static str]) -> impl Strategy<Value = Relation> {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..12, cols.len()),
+            0..24,
+        )
+        .prop_map(move |rows| {
+            Relation::from_rows(cols.iter().map(|c| c.to_string()).collect(), rows)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Natural join agrees with the nested-loop definition.
+        #[test]
+        fn join_matches_nested_loop(r in arb_rel(&["a", "b"]), s in arb_rel(&["b", "c"])) {
+            let j = r.join(&s);
+            let mut expect: Vec<Vec<u32>> = Vec::new();
+            for x in r.rows() {
+                for y in s.rows() {
+                    if x[1] == y[0] {
+                        expect.push(vec![x[0], x[1], y[1]]);
+                    }
+                }
+            }
+            let expect = Relation::from_rows(
+                vec!["a".into(), "b".into(), "c".into()],
+                expect,
+            );
+            prop_assert_eq!(j, expect);
+        }
+
+        /// Semi-join is the join projected back onto the left schema.
+        #[test]
+        fn semijoin_matches_projected_join(r in arb_rel(&["a", "b"]), s in arb_rel(&["b", "c"])) {
+            let sj = r.semijoin(&s);
+            let expect = r
+                .join(&s)
+                .project(&["a".to_string(), "b".to_string()]);
+            prop_assert_eq!(sj, expect);
+        }
+
+        /// Union/difference satisfy (A ∪ B) \ B ⊆ A and A ⊆ (A ∪ B).
+        #[test]
+        fn union_difference_laws(a in arb_rel(&["x"]), b in arb_rel(&["x"])) {
+            let u = a.union(&b);
+            let d = u.difference(&b);
+            for row in d.rows() {
+                prop_assert!(a.rows().any(|r| r == row));
+            }
+            for row in a.rows() {
+                prop_assert!(u.rows().any(|r| r == row));
+            }
+            // difference then union restores the union
+            prop_assert_eq!(d.union(&b), u);
+        }
+
+        /// Projection is idempotent and set-semantic.
+        #[test]
+        fn project_idempotent(r in arb_rel(&["a", "b"])) {
+            let p1 = r.project(&["a".to_string()]);
+            let p2 = p1.project(&["a".to_string()]);
+            prop_assert_eq!(&p1, &p2);
+            // no duplicates
+            let mut seen = std::collections::HashSet::new();
+            for row in p1.rows() {
+                prop_assert!(seen.insert(row.to_vec()));
+            }
+        }
+    }
+}

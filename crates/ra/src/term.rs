@@ -1,0 +1,275 @@
+//! The recursive relational algebra term language.
+//!
+//! Terms follow µ-RA: scans, projection `π`, renaming `ρ`, natural join
+//! `⋈`, semi-join `⋉`, union `∪` and the fixpoint `µX. base ∪ step(X)`.
+//! The fixpoint node records which of its columns are *stable* — produced
+//! unchanged from the recursive reference in every iteration — which is
+//! what licenses pushing joins/semi-joins into the fixpoint
+//! (Jachiet et al.'s key rewriting, used by [`crate::optimize`]).
+
+use sgq_common::{EdgeLabelId, NodeLabelId};
+
+use crate::table::Col;
+
+/// A recursive relational algebra term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaTerm {
+    /// Scan of the edge table for `label`, columns named `src`/`tgt`.
+    EdgeScan {
+        /// Edge label.
+        label: EdgeLabelId,
+        /// Output name of the `Sr` column.
+        src: Col,
+        /// Output name of the `Tr` column.
+        tgt: Col,
+    },
+    /// Scan of the union of node tables for `labels`, column named `col`.
+    NodeScan {
+        /// Node labels (unioned).
+        labels: Vec<NodeLabelId>,
+        /// Output column name.
+        col: Col,
+    },
+    /// Natural join on shared column names.
+    Join(Box<RaTerm>, Box<RaTerm>),
+    /// Semi-join: left rows with a match in right (on shared columns).
+    Semijoin(Box<RaTerm>, Box<RaTerm>),
+    /// Union (schemas must agree).
+    Union(Box<RaTerm>, Box<RaTerm>),
+    /// Projection with set semantics.
+    Project {
+        /// Input term.
+        input: Box<RaTerm>,
+        /// Retained columns.
+        cols: Vec<Col>,
+    },
+    /// Equality selection `σ_{a = b}` (keeps rows where the two columns
+    /// coincide).
+    Select {
+        /// Input term.
+        input: Box<RaTerm>,
+        /// First column.
+        a: Col,
+        /// Second column.
+        b: Col,
+    },
+    /// Column renaming `ρ_{from → to}`.
+    Rename {
+        /// Input term.
+        input: Box<RaTerm>,
+        /// Old column name.
+        from: Col,
+        /// New column name.
+        to: Col,
+    },
+    /// Fixpoint `µ var. base ∪ step(var)` (step must be linear in `var`).
+    Fixpoint {
+        /// Recursion variable name.
+        var: String,
+        /// Base case.
+        base: Box<RaTerm>,
+        /// Inductive step; refers to the previous iteration via
+        /// [`RaTerm::RecRef`].
+        step: Box<RaTerm>,
+        /// Columns that every iteration copies unchanged from the
+        /// recursive reference (e.g. the source column of a transitive
+        /// closure). Joins on these columns may be pushed into `base`.
+        stable: Vec<Col>,
+    },
+    /// Reference to the enclosing fixpoint's current iteration, with its
+    /// columns positionally renamed to `cols`.
+    RecRef {
+        /// Recursion variable name.
+        var: String,
+        /// Positional column renaming.
+        cols: Vec<Col>,
+    },
+}
+
+impl RaTerm {
+    /// Convenience constructor: `Join`.
+    pub fn join(a: RaTerm, b: RaTerm) -> RaTerm {
+        RaTerm::Join(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `Semijoin`.
+    pub fn semijoin(a: RaTerm, b: RaTerm) -> RaTerm {
+        RaTerm::Semijoin(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `Union`.
+    pub fn union(a: RaTerm, b: RaTerm) -> RaTerm {
+        RaTerm::Union(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor: `Project`.
+    pub fn project(input: RaTerm, cols: Vec<Col>) -> RaTerm {
+        RaTerm::Project {
+            input: Box::new(input),
+            cols,
+        }
+    }
+
+    /// Convenience constructor: `Select` (equality).
+    pub fn select_eq(input: RaTerm, a: impl Into<Col>, b: impl Into<Col>) -> RaTerm {
+        RaTerm::Select {
+            input: Box::new(input),
+            a: a.into(),
+            b: b.into(),
+        }
+    }
+
+    /// The output columns of the term. Recursive references resolve to
+    /// their declared positional columns.
+    pub fn cols(&self) -> Vec<Col> {
+        match self {
+            RaTerm::EdgeScan { src, tgt, .. } => vec![src.clone(), tgt.clone()],
+            RaTerm::NodeScan { col, .. } => vec![col.clone()],
+            RaTerm::Join(a, b) => {
+                let mut out = a.cols();
+                for c in b.cols() {
+                    if !out.contains(&c) {
+                        out.push(c);
+                    }
+                }
+                out
+            }
+            RaTerm::Semijoin(a, _) => a.cols(),
+            RaTerm::Union(a, _) => a.cols(),
+            RaTerm::Project { cols, .. } => cols.clone(),
+            RaTerm::Select { input, .. } => input.cols(),
+            RaTerm::Rename { input, from, to } => input
+                .cols()
+                .into_iter()
+                .map(|c| if &c == from { to.clone() } else { c })
+                .collect(),
+            RaTerm::Fixpoint { base, .. } => base.cols(),
+            RaTerm::RecRef { cols, .. } => cols.clone(),
+        }
+    }
+
+    /// Whether the term contains a fixpoint (recursive query).
+    pub fn is_recursive(&self) -> bool {
+        match self {
+            RaTerm::EdgeScan { .. } | RaTerm::NodeScan { .. } | RaTerm::RecRef { .. } => false,
+            RaTerm::Fixpoint { .. } => true,
+            RaTerm::Join(a, b) | RaTerm::Semijoin(a, b) | RaTerm::Union(a, b) => {
+                a.is_recursive() || b.is_recursive()
+            }
+            RaTerm::Project { input, .. }
+            | RaTerm::Rename { input, .. }
+            | RaTerm::Select { input, .. } => input.is_recursive(),
+        }
+    }
+
+    /// Number of operator nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            RaTerm::EdgeScan { .. } | RaTerm::NodeScan { .. } | RaTerm::RecRef { .. } => 1,
+            RaTerm::Join(a, b) | RaTerm::Semijoin(a, b) | RaTerm::Union(a, b) => {
+                1 + a.size() + b.size()
+            }
+            RaTerm::Project { input, .. }
+            | RaTerm::Rename { input, .. }
+            | RaTerm::Select { input, .. } => 1 + input.size(),
+            RaTerm::Fixpoint { base, step, .. } => 1 + base.size() + step.size(),
+        }
+    }
+}
+
+/// Builds the canonical transitive-closure fixpoint for a binary term
+/// `inner(src, tgt)`:
+///
+/// ```text
+/// µX(src,tgt). inner ∪ π_{src,tgt}( X(src,m) ⋈ inner(m,tgt) )
+/// ```
+///
+/// `src` is stable (every iteration keeps the original source), so
+/// joins/semi-joins on `src` may later be pushed into the base.
+pub fn closure_fixpoint(var: &str, inner: RaTerm, src: &str, tgt: &str, mid: &str) -> RaTerm {
+    let step_inner = rename_binary(inner.clone(), src, tgt, mid, tgt);
+    let step = RaTerm::project(
+        RaTerm::join(
+            RaTerm::RecRef {
+                var: var.to_string(),
+                cols: vec![src.to_string(), mid.to_string()],
+            },
+            step_inner,
+        ),
+        vec![src.to_string(), tgt.to_string()],
+    );
+    RaTerm::Fixpoint {
+        var: var.to_string(),
+        base: Box::new(inner),
+        step: Box::new(step),
+        stable: vec![src.to_string()],
+    }
+}
+
+/// Renames the two columns of a binary term.
+pub fn rename_binary(term: RaTerm, old_src: &str, old_tgt: &str, src: &str, tgt: &str) -> RaTerm {
+    let mut t = term;
+    if old_src != src {
+        t = RaTerm::Rename {
+            input: Box::new(t),
+            from: old_src.to_string(),
+            to: src.to_string(),
+        };
+    }
+    if old_tgt != tgt {
+        t = RaTerm::Rename {
+            input: Box::new(t),
+            from: old_tgt.to_string(),
+            to: tgt.to_string(),
+        };
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str, tgt: &str) -> RaTerm {
+        RaTerm::EdgeScan {
+            label: EdgeLabelId::new(0),
+            src: src.into(),
+            tgt: tgt.into(),
+        }
+    }
+
+    #[test]
+    fn cols_propagate() {
+        let j = RaTerm::join(scan("x", "y"), scan("y", "z"));
+        assert_eq!(j.cols(), vec!["x".to_string(), "y".into(), "z".into()]);
+        let p = RaTerm::project(j, vec!["x".into(), "z".into()]);
+        assert_eq!(p.cols(), vec!["x".to_string(), "z".into()]);
+    }
+
+    #[test]
+    fn closure_shape() {
+        let f = closure_fixpoint("X", scan("x", "y"), "x", "y", "m");
+        assert!(f.is_recursive());
+        assert_eq!(f.cols(), vec!["x".to_string(), "y".into()]);
+        match &f {
+            RaTerm::Fixpoint { stable, .. } => assert_eq!(stable, &["x".to_string()]),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn rename_cols() {
+        let r = RaTerm::Rename {
+            input: Box::new(scan("Sr", "Tr")),
+            from: "Sr".into(),
+            to: "x".into(),
+        };
+        assert_eq!(r.cols(), vec!["x".to_string(), "Tr".into()]);
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let j = RaTerm::join(scan("x", "y"), scan("y", "z"));
+        assert_eq!(j.size(), 3);
+    }
+}

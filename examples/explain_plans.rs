@@ -1,0 +1,15 @@
+//! Plan-level impact of schema annotations (Figs. 15–17): translates the
+//! paper's Q1/Q2 pair into SQL and Cypher, then prints the relational
+//! execution plans with estimated costs and actual cardinalities, showing
+//! the semi-join the annotation buys.
+//!
+//! ```sh
+//! cargo run --release --example explain_plans
+//! ```
+
+use schema_graph_query::harness::experiments::{fig15_16, fig17};
+
+fn main() {
+    println!("{}", fig15_16());
+    println!("{}", fig17(0.3));
+}

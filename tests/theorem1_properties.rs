@@ -1,0 +1,226 @@
+//! Theorem 1 as an executable property: for a random schema, a random
+//! database conforming to it, and a random path expression, the
+//! schema-enriched query `RS(ϕ)` returns exactly `JϕKD` — under every
+//! redundancy rule and every ablation switch.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use schema_graph_query::prelude::*;
+use sgq_algebra::eval::eval_path;
+use sgq_common::NodeId;
+use sgq_engine::GraphEngine;
+
+/// Builds a random schema from a seed: up to 5 node labels, up to 8 schema
+/// edges over up to 4 edge labels (parallel triples allowed — that is what
+/// exercises the inference).
+fn random_schema(seed: u64) -> GraphSchema {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let node_labels = ["A", "B", "C", "D", "E"];
+    let edge_labels = ["r", "s", "t", "u"];
+    let n_nodes = rng.gen_range(2..=5);
+    let n_edges = rng.gen_range(2..=8);
+    let mut b = GraphSchema::builder();
+    for l in node_labels.iter().take(n_nodes) {
+        b.node(l, &[]);
+    }
+    for _ in 0..n_edges {
+        let src = node_labels[rng.gen_range(0..n_nodes)];
+        let tgt = node_labels[rng.gen_range(0..n_nodes)];
+        let le = edge_labels[rng.gen_range(0..edge_labels.len())];
+        b.edge(src, le, tgt);
+    }
+    b.build().expect("random schema is well-formed")
+}
+
+/// Builds a random database conforming to `schema`.
+fn random_database(schema: &GraphSchema, seed: u64) -> GraphDatabase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut b = GraphDatabase::builder(schema);
+    let n_nodes = rng.gen_range(6..30);
+    let labels: Vec<String> = schema
+        .node_labels()
+        .map(|l| schema.node_label_name(l).to_string())
+        .collect();
+    let nodes: Vec<(NodeId, String)> = (0..n_nodes)
+        .map(|_| {
+            let label = labels[rng.gen_range(0..labels.len())].clone();
+            (b.node(&label, &[]), label)
+        })
+        .collect();
+    // For each schema triple, add random conforming edges.
+    let triples: Vec<(String, String, String)> = schema
+        .triples()
+        .iter()
+        .map(|t| {
+            (
+                schema.node_label_name(t.src).to_string(),
+                schema.edge_label_name(t.label).to_string(),
+                schema.node_label_name(t.tgt).to_string(),
+            )
+        })
+        .collect();
+    let n_edges = rng.gen_range(5..60);
+    for _ in 0..n_edges {
+        let (src_l, le, tgt_l) = &triples[rng.gen_range(0..triples.len())];
+        let srcs: Vec<NodeId> = nodes
+            .iter()
+            .filter(|(_, l)| l == src_l)
+            .map(|&(n, _)| n)
+            .collect();
+        let tgts: Vec<NodeId> = nodes
+            .iter()
+            .filter(|(_, l)| l == tgt_l)
+            .map(|&(n, _)| n)
+            .collect();
+        if srcs.is_empty() || tgts.is_empty() {
+            continue;
+        }
+        let s = srcs[rng.gen_range(0..srcs.len())];
+        let t = tgts[rng.gen_range(0..tgts.len())];
+        b.edge(s, le, t);
+    }
+    b.build().expect("random database is well-formed")
+}
+
+/// A seeded recursive random path expression over the schema's labels.
+fn random_expr(schema: &GraphSchema, seed: u64, depth: usize) -> PathExpr {
+    let labels: Vec<sgq_common::EdgeLabelId> = schema.edge_labels().collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    build_expr(&mut rng, &labels, depth)
+}
+
+fn build_expr(rng: &mut StdRng, labels: &[sgq_common::EdgeLabelId], depth: usize) -> PathExpr {
+    let leaf = depth == 0 || rng.gen_bool(0.3);
+    if leaf {
+        let le = labels[rng.gen_range(0..labels.len())];
+        if rng.gen_bool(0.25) {
+            PathExpr::Reverse(le)
+        } else {
+            PathExpr::Label(le)
+        }
+    } else {
+        match rng.gen_range(0..7) {
+            0 | 1 => PathExpr::concat(
+                build_expr(rng, labels, depth - 1),
+                build_expr(rng, labels, depth - 1),
+            ),
+            2 => PathExpr::union(
+                build_expr(rng, labels, depth - 1),
+                build_expr(rng, labels, depth - 1),
+            ),
+            3 => PathExpr::conj(
+                build_expr(rng, labels, depth - 1),
+                build_expr(rng, labels, depth - 1),
+            ),
+            4 => PathExpr::branch_r(
+                build_expr(rng, labels, depth - 1),
+                build_expr(rng, labels, depth - 1),
+            ),
+            5 => PathExpr::branch_l(
+                build_expr(rng, labels, depth - 1),
+                build_expr(rng, labels, depth - 1),
+            ),
+            _ => PathExpr::plus(build_expr(rng, labels, depth - 1)),
+        }
+    }
+}
+
+/// Evaluates a rewrite outcome on the graph engine and compares against
+/// the reference semantics of the original expression.
+fn check_equivalence(
+    schema: &GraphSchema,
+    db: &GraphDatabase,
+    expr: &PathExpr,
+    opts: RewriteOptions,
+) -> Result<(), TestCaseError> {
+    let reference = eval_path(db, expr);
+    let rewritten = sgq_core::pipeline::rewrite_path(schema, expr, opts);
+    let pairs: Vec<(NodeId, NodeId)> = match &rewritten.outcome {
+        RewriteOutcome::Empty => Vec::new(),
+        RewriteOutcome::Enriched(q) | RewriteOutcome::Reverted(q) => {
+            let engine = GraphEngine::new(db);
+            let rows = engine.run_ucqt(q).expect("engine runs");
+            rows.into_iter().map(|r| (r[0], r[1])).collect()
+        }
+    };
+    prop_assert_eq!(
+        &reference,
+        &pairs,
+        "RS(ϕ) diverged (opts {:?}) for ϕ = {:?}",
+        opts,
+        expr
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem1_default_options(seed in any::<u64>(), expr_seed in any::<u64>()) {
+        let schema = random_schema(seed);
+        let db = random_database(&schema, seed);
+        let expr = random_expr(&schema, expr_seed, 3);
+        check_equivalence(&schema, &db, &expr, RewriteOptions::default())?;
+    }
+
+    #[test]
+    fn theorem1_all_redundancy_rules(seed in any::<u64>()) {
+        let schema = random_schema(seed);
+        let db = random_database(&schema, seed);
+        let expr = random_expr(&schema, seed.rotate_left(17), 3);
+        for rule in [
+            RedundancyRule::BothSides,
+            RedundancyRule::EitherSide,
+            RedundancyRule::Never,
+        ] {
+            let opts = RewriteOptions { redundancy: rule, ..Default::default() };
+            check_equivalence(&schema, &db, &expr, opts)?;
+        }
+    }
+
+    #[test]
+    fn theorem1_ablations(seed in any::<u64>()) {
+        let schema = random_schema(seed);
+        let db = random_database(&schema, seed);
+        let expr = random_expr(&schema, seed.rotate_left(31), 3);
+        for (tc, ann, simp) in [
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+            (false, false, false),
+        ] {
+            let opts = RewriteOptions {
+                tc_elimination: tc,
+                annotations: ann,
+                simplify: simp,
+                ..Default::default()
+            };
+            check_equivalence(&schema, &db, &expr, opts)?;
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_semantics(seed in any::<u64>()) {
+        let schema = random_schema(seed);
+        let db = random_database(&schema, seed);
+        let expr = random_expr(&schema, seed.rotate_left(43), 4);
+        let simplified = sgq_core::simplify(&expr);
+        prop_assert_eq!(
+            eval_path(&db, &expr),
+            eval_path(&db, &simplified),
+            "R1-R5 changed the semantics of {:?}",
+            expr
+        );
+    }
+
+    #[test]
+    fn generated_databases_conform(seed in any::<u64>()) {
+        let schema = random_schema(seed);
+        let db = random_database(&schema, seed);
+        let report = sgq_graph::check_consistency(&schema, &db);
+        prop_assert!(report.is_consistent(), "{:?}", report.violations);
+    }
+}
