@@ -90,11 +90,12 @@ impl PathExpr {
     /// Bounded repetition `ϕ{lo, hi}` (e.g. the paper's `knows1..3`),
     /// expanded as `ϕ^lo ∪ ... ∪ ϕ^hi`. Requires `1 <= lo <= hi`.
     pub fn repeat(expr: PathExpr, lo: usize, hi: usize) -> Self {
-        assert!(1 <= lo && lo <= hi, "repeat bounds must satisfy 1 <= lo <= hi");
-        let power = |k: usize| {
-            PathExpr::concat_all(std::iter::repeat_n(expr.clone(), k))
-                .expect("k >= 1")
-        };
+        assert!(
+            1 <= lo && lo <= hi,
+            "repeat bounds must satisfy 1 <= lo <= hi"
+        );
+        let power =
+            |k: usize| PathExpr::concat_all(std::iter::repeat_n(expr.clone(), k)).expect("k >= 1");
         PathExpr::union_all((lo..=hi).map(power)).expect("hi >= lo")
     }
 
@@ -199,7 +200,10 @@ mod tests {
 
     #[test]
     fn size_and_labels() {
-        let e = PathExpr::concat(le(2), PathExpr::plus(PathExpr::reverse(EdgeLabelId::new(1))));
+        let e = PathExpr::concat(
+            le(2),
+            PathExpr::plus(PathExpr::reverse(EdgeLabelId::new(1))),
+        );
         assert_eq!(e.size(), 4);
         assert_eq!(
             e.edge_labels(),

@@ -168,39 +168,44 @@ mod proptests {
     use super::*;
     use crate::ast::PathExpr;
     use crate::parser::parse_path;
-    use proptest::prelude::*;
-    use sgq_common::EdgeLabelId;
+    use sgq_common::{EdgeLabelId, Rng};
     use sgq_graph::schema::fig1_yago_schema;
 
-    fn arb_expr() -> impl Strategy<Value = PathExpr> {
-        // five edge labels exist in the Fig. 1 schema (ids 0..5)
-        let leaf = prop_oneof![
-            (0u32..5).prop_map(|i| PathExpr::Label(EdgeLabelId::new(i))),
-            (0u32..5).prop_map(|i| PathExpr::Reverse(EdgeLabelId::new(i))),
-        ];
-        leaf.prop_recursive(4, 24, 2, |inner| {
-            prop_oneof![
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::concat(a, b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::union(a, b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::conj(a, b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::branch_r(a, b)),
-                (inner.clone(), inner.clone()).prop_map(|(a, b)| PathExpr::branch_l(a, b)),
-                inner.clone().prop_map(PathExpr::plus),
-            ]
-        })
+    /// A seeded random expression over the Fig. 1 schema's five edge
+    /// labels (ids 0..5).
+    fn arb_expr(rng: &mut Rng, depth: usize) -> PathExpr {
+        let leaf = |rng: &mut Rng| {
+            let le = EdgeLabelId::new(rng.gen_range(0..5) as u32);
+            if rng.gen_bool(0.5) {
+                PathExpr::Label(le)
+            } else {
+                PathExpr::Reverse(le)
+            }
+        };
+        if depth == 0 || rng.gen_bool(0.3) {
+            return leaf(rng);
+        }
+        match rng.gen_range(0..6) {
+            0 => PathExpr::concat(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)),
+            1 => PathExpr::union(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)),
+            2 => PathExpr::conj(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)),
+            3 => PathExpr::branch_r(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)),
+            4 => PathExpr::branch_l(arb_expr(rng, depth - 1), arb_expr(rng, depth - 1)),
+            _ => PathExpr::plus(arb_expr(rng, depth - 1)),
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        /// print ∘ parse is the identity on arbitrary expressions.
-        #[test]
-        fn print_parse_roundtrip(expr in arb_expr()) {
-            let schema = fig1_yago_schema();
+    /// print ∘ parse is the identity on arbitrary expressions.
+    #[test]
+    fn print_parse_roundtrip() {
+        let schema = fig1_yago_schema();
+        for seed in 0..256u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let expr = arb_expr(&mut rng, 4);
             let printed = path_to_string(&expr, &schema);
             let reparsed = parse_path(&printed, &schema)
                 .unwrap_or_else(|e| panic!("printed form `{printed}` failed to parse: {e}"));
-            prop_assert_eq!(expr, reparsed, "round-trip failed via `{}`", printed);
+            assert_eq!(expr, reparsed, "round-trip failed via `{printed}`");
         }
     }
 }

@@ -109,10 +109,7 @@ mod tests {
     fn single_label() {
         let db = fig2_yago_database();
         assert_eq!(eval(&db, "owns"), vec![(n(1), n(0))]);
-        assert_eq!(
-            eval(&db, "isMarriedTo"),
-            vec![(n(1), n(2)), (n(2), n(1))]
-        );
+        assert_eq!(eval(&db, "isMarriedTo"), vec![(n(1), n(2)), (n(2), n(1))]);
     }
 
     #[test]

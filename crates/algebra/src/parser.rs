@@ -183,9 +183,9 @@ impl<'a> Parser<'a> {
     }
 
     fn lookup(&self, name: &str) -> Result<EdgeLabelId> {
-        self.resolver.resolve_edge_label(name).ok_or_else(|| {
-            SgqError::parse(format!("unknown edge label `{name}`"), self.pos)
-        })
+        self.resolver
+            .resolve_edge_label(name)
+            .ok_or_else(|| SgqError::parse(format!("unknown edge label `{name}`"), self.pos))
     }
 
     fn ident(&mut self) -> Result<String> {

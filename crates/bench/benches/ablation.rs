@@ -2,7 +2,7 @@
 //! Full pipeline vs no-TC-elimination vs no-annotations vs no-simplify,
 //! on recursive YAGO queries (relational backend).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_core::pipeline::RewriteOptions;
 use sgq_core::RedundancyRule;
 use sgq_datasets::yago::{self, YagoConfig};
@@ -53,15 +53,17 @@ fn bench(c: &mut Criterion) {
                 rewrite,
                 ..Default::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(q.name, tag),
-                &config,
-                |b, config| {
-                    b.iter(|| {
-                        run_query(&session, &q.expr, Approach::Schema, Backend::Relational, config)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(q.name, tag), &config, |b, config| {
+                b.iter(|| {
+                    run_query(
+                        &session,
+                        &q.expr,
+                        Approach::Schema,
+                        Backend::Relational,
+                        config,
+                    )
+                })
+            });
         }
     }
     group.finish();

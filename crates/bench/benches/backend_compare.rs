@@ -1,7 +1,7 @@
 //! Fig. 14 bench: the same chain-shaped queries on the graph backend
 //! (Neo4j stand-in) and the relational backend (PostgreSQL stand-in).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_harness::runner::{run_query, Approach, Backend, RunConfig, Session};
 

@@ -1,7 +1,7 @@
 //! Fig. 13 / Tab. 5 bench: LDBC runtimes across scale factors, baseline
 //! vs schema-rewritten.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_harness::runner::{run_query, Approach, Backend, RunConfig, Session};
 
@@ -17,17 +17,16 @@ fn bench(c: &mut Criterion) {
         let (schema, db) = ldbc::generate(LdbcConfig::at_scale(sf));
         let session = Session::new(&schema, &db);
         let queries = ldbc::queries(&schema).expect("catalog parses");
-        for q in queries.iter().filter(|q| {
-            matches!(q.name, "IC11" | "IS2" | "Y1" | "Y6" | "BI9")
-        }) {
+        for q in queries
+            .iter()
+            .filter(|q| matches!(q.name, "IC11" | "IS2" | "Y1" | "Y6" | "BI9"))
+        {
             for (approach, tag) in [(Approach::Baseline, "B"), (Approach::Schema, "S")] {
                 group.bench_with_input(
                     BenchmarkId::new(format!("sf{sf}_{}", q.name), tag),
                     &approach,
                     |b, &approach| {
-                        b.iter(|| {
-                            run_query(&session, &q.expr, approach, Backend::Graph, &config)
-                        })
+                        b.iter(|| run_query(&session, &q.expr, approach, Backend::Graph, &config))
                     },
                 );
             }

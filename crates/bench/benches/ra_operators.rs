@@ -1,7 +1,12 @@
 //! Micro-benchmarks of the relational substrate: hash join, semi-join and
 //! the semi-naive transitive-closure fixpoint.
+//!
+//! All terms are built from interned [`sgq_common::ColId`]s resolved
+//! through the store's symbol table, so the joins here key on single
+//! `u32`s (the arity-2 fast path) — the configuration the optimiser
+//! produces for every path query.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sgq_bench::{criterion_group, criterion_main, Criterion};
 use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_ra::exec::{execute, ExecContext};
 use sgq_ra::term::{closure_fixpoint, RaTerm};
@@ -14,16 +19,14 @@ fn bench(c: &mut Criterion) {
     let is_located_in = schema.edge_label("isLocatedIn").unwrap();
     let is_part_of = schema.edge_label("isPartOf").unwrap();
     let city = schema.node_label("City").unwrap();
+    let s = &store.symbols;
+    let (x, y, z, m) = (s.col("x"), s.col("y"), s.col("z"), s.col("m"));
 
-    let scan = |label, src: &str, tgt: &str| RaTerm::EdgeScan {
-        label,
-        src: src.into(),
-        tgt: tgt.into(),
-    };
+    let scan = |label, src, tgt| RaTerm::EdgeScan { label, src, tgt };
 
     let mut group = c.benchmark_group("ra_operators");
     group.bench_function("hash_join_knows_isLocatedIn", |b| {
-        let t = RaTerm::join(scan(knows, "x", "y"), scan(is_located_in, "y", "z"));
+        let t = RaTerm::join(scan(knows, x, y), scan(is_located_in, y, z));
         b.iter(|| {
             let mut ctx = ExecContext::new();
             execute(&t, &store, &mut ctx).unwrap()
@@ -31,10 +34,10 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("semijoin_isLocatedIn_city", |b| {
         let t = RaTerm::semijoin(
-            scan(is_located_in, "x", "y"),
+            scan(is_located_in, x, y),
             RaTerm::NodeScan {
                 labels: vec![city],
-                col: "y".into(),
+                col: y,
             },
         );
         b.iter(|| {
@@ -43,7 +46,7 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.bench_function("fixpoint_isPartOf_closure", |b| {
-        let t = closure_fixpoint("X", scan(is_part_of, "x", "y"), "x", "y", "m");
+        let t = closure_fixpoint(s.recvar("X"), scan(is_part_of, x, y), x, y, m);
         b.iter(|| {
             let mut ctx = ExecContext::new();
             execute(&t, &store, &mut ctx).unwrap()

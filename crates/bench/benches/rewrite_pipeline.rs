@@ -1,7 +1,7 @@
 //! Rewriter-cost bench: how long the schema-based rewrite itself takes
 //! (the paper's optimisation must be cheap relative to execution).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_core::pipeline::{rewrite_path, RewriteOptions};
 use sgq_datasets::{ldbc, yago};
 

@@ -1,7 +1,7 @@
 //! Fig. 12 bench: per-query YAGO runtimes, baseline vs schema-rewritten,
 //! on the relational backend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sgq_datasets::yago::{self, YagoConfig};
 use sgq_harness::runner::{run_query, Approach, Backend, RunConfig, Session};
 
@@ -17,19 +17,17 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_yago");
     group.sample_size(10);
     // A representative subset (the harness binary runs all 18).
-    for q in queries.iter().filter(|q| {
-        matches!(q.name, "Y1" | "Y2" | "Y6" | "Y7" | "Y12" | "Y16")
-    }) {
-        for (approach, tag) in [(Approach::Baseline, "baseline"), (Approach::Schema, "schema")] {
-            group.bench_with_input(
-                BenchmarkId::new(q.name, tag),
-                &approach,
-                |b, &approach| {
-                    b.iter(|| {
-                        run_query(&session, &q.expr, approach, Backend::Relational, &config)
-                    })
-                },
-            );
+    for q in queries
+        .iter()
+        .filter(|q| matches!(q.name, "Y1" | "Y2" | "Y6" | "Y7" | "Y12" | "Y16"))
+    {
+        for (approach, tag) in [
+            (Approach::Baseline, "baseline"),
+            (Approach::Schema, "schema"),
+        ] {
+            group.bench_with_input(BenchmarkId::new(q.name, tag), &approach, |b, &approach| {
+                b.iter(|| run_query(&session, &q.expr, approach, Backend::Relational, &config))
+            });
         }
     }
     group.finish();

@@ -90,6 +90,16 @@ define_id!(
     VarId,
     "?x"
 );
+define_id!(
+    /// Identifier of an interned relational column name (`v0`, `Sr`, ...).
+    ColId,
+    "c"
+);
+define_id!(
+    /// Identifier of an interned fixpoint recursion variable (`X0`, ...).
+    RecVarId,
+    "X"
+);
 
 #[cfg(test)]
 mod tests {

@@ -14,9 +14,11 @@ pub mod error;
 pub mod hash;
 pub mod id;
 pub mod intern;
+pub mod rng;
 pub mod sorted;
 
 pub use error::{Result, SgqError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use id::{EdgeId, EdgeLabelId, KeyId, NodeId, NodeLabelId, VarId};
+pub use id::{ColId, EdgeId, EdgeLabelId, KeyId, NodeId, NodeLabelId, RecVarId, VarId};
 pub use intern::Interner;
+pub use rng::Rng;

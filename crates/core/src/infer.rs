@@ -240,10 +240,7 @@ mod tests {
     fn tconcat_joins_on_middle_label() {
         // owns/isLocatedIn: only PROPERTY matches the middle
         let r = rendered("owns/isLocatedIn");
-        assert_eq!(
-            r,
-            vec!["(PERSON, owns/{PROPERTY}isLocatedIn, CITY)"]
-        );
+        assert_eq!(r, vec!["(PERSON, owns/{PROPERTY}isLocatedIn, CITY)"]);
     }
 
     #[test]
@@ -313,8 +310,9 @@ mod tests {
         let r = rendered("livesIn/isLocatedIn+");
         assert_eq!(r.len(), 2);
         assert!(r.contains(&"(PERSON, livesIn/{CITY}isLocatedIn, REGION)".to_string()));
-        assert!(r
-            .contains(&"(PERSON, livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn, COUNTRY)".to_string()));
+        assert!(r.contains(
+            &"(PERSON, livesIn/{CITY}isLocatedIn/{REGION}isLocatedIn, COUNTRY)".to_string()
+        ));
     }
 
     #[test]

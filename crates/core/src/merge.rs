@@ -35,8 +35,7 @@ impl MergedTriple {
         let side = |ls: &Option<LabelSet>| match ls {
             None => "∅".to_string(),
             Some(ls) => {
-                let names: Vec<&str> =
-                    ls.iter().map(|&l| schema.node_label_name(l)).collect();
+                let names: Vec<&str> = ls.iter().map(|&l| schema.node_label_name(l)).collect();
                 format!("{{{}}}", names.join(","))
             }
         };
@@ -55,11 +54,9 @@ impl MergedTriple {
 fn shape(psi: &AnnotatedPath) -> AnnotatedPath {
     match psi {
         AnnotatedPath::Plain(e) => AnnotatedPath::Plain(e.clone()),
-        AnnotatedPath::Concat(a, ann, b) => AnnotatedPath::concat(
-            shape(a),
-            ann.as_ref().map(|_| Vec::new()),
-            shape(b),
-        ),
+        AnnotatedPath::Concat(a, ann, b) => {
+            AnnotatedPath::concat(shape(a), ann.as_ref().map(|_| Vec::new()), shape(b))
+        }
         AnnotatedPath::BranchR(a, b) => AnnotatedPath::branch_r(shape(a), shape(b)),
         AnnotatedPath::BranchL(a, b) => AnnotatedPath::branch_l(shape(a), shape(b)),
         AnnotatedPath::Conj(a, b) => AnnotatedPath::conj(shape(a), shape(b)),

@@ -153,8 +153,7 @@ pub fn rewrite_ucqt(schema: &GraphSchema, query: &Ucqt, opts: RewriteOptions) ->
                 };
             }
             let trivial = is_trivial_rewrite(&enriched, &baseline);
-            let still_recursive =
-                enriched.kind() == sgq_query::cqt::QueryKind::Recursive;
+            let still_recursive = enriched.kind() == sgq_query::cqt::QueryKind::Recursive;
             let atoms = enriched.disjuncts.iter().map(|c| c.atoms.len()).sum();
             let report = RewriteReport {
                 plus_stats: stats,
@@ -279,7 +278,11 @@ fn advance(indices: &mut [usize], radix: &[Vec<MergedTriple>]) -> bool {
 /// Builds one distributed disjunct: translates each relation's chosen
 /// merged triple, merges label atoms per variable (intersections), and
 /// drops the combination when some variable's label set becomes empty.
-fn build_combo(original: &Cqt, per_relation: &[Vec<MergedTriple>], indices: &[usize]) -> Option<Cqt> {
+fn build_combo(
+    original: &Cqt,
+    per_relation: &[Vec<MergedTriple>],
+    indices: &[usize],
+) -> Option<Cqt> {
     let mut vars = VarGen::above(original.vars());
     let mut relations: Vec<Relation> = Vec::new();
     let mut constraints: FxHashMap<VarId, LabelSet> = FxHashMap::default();
@@ -395,26 +398,28 @@ fn distribute_unions(expr: &PathExpr) -> Option<Vec<PathExpr>> {
         Some(out)
     };
     match expr {
-        PathExpr::Label(_) | PathExpr::Reverse(_) | PathExpr::Plus(_) => {
-            Some(vec![expr.clone()])
-        }
+        PathExpr::Label(_) | PathExpr::Reverse(_) | PathExpr::Plus(_) => Some(vec![expr.clone()]),
         PathExpr::Union(a, b) => {
             let mut out = distribute_unions(a)?;
             out.extend(distribute_unions(b)?);
             (out.len() <= CAP).then_some(out)
         }
-        PathExpr::Concat(a, b) => {
-            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::concat)
-        }
-        PathExpr::Conj(a, b) => {
-            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::conj)
-        }
-        PathExpr::BranchR(a, b) => {
-            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::branch_r)
-        }
-        PathExpr::BranchL(a, b) => {
-            cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::branch_l)
-        }
+        PathExpr::Concat(a, b) => cross(
+            distribute_unions(a)?,
+            distribute_unions(b)?,
+            PathExpr::concat,
+        ),
+        PathExpr::Conj(a, b) => cross(distribute_unions(a)?, distribute_unions(b)?, PathExpr::conj),
+        PathExpr::BranchR(a, b) => cross(
+            distribute_unions(a)?,
+            distribute_unions(b)?,
+            PathExpr::branch_r,
+        ),
+        PathExpr::BranchL(a, b) => cross(
+            distribute_unions(a)?,
+            distribute_unions(b)?,
+            PathExpr::branch_l,
+        ),
     }
 }
 
@@ -622,6 +627,8 @@ mod tests {
 
     /// Tiny reference UCQT evaluator (binary head) used only by tests:
     /// joins relations nested-loop style over the reference path semantics.
+    type MaterializedRel = (VarId, Vec<(sgq_common::NodeId, sgq_common::NodeId)>, VarId);
+
     fn eval_ucqt_reference(
         db: &sgq_graph::GraphDatabase,
         q: &Ucqt,
@@ -630,7 +637,7 @@ mod tests {
         let mut out: Vec<(NodeId, NodeId)> = Vec::new();
         for c in &q.disjuncts {
             // materialise each relation
-            let rels: Vec<(VarId, Vec<(NodeId, NodeId)>, VarId)> = c
+            let rels: Vec<MaterializedRel> = c
                 .relations
                 .iter()
                 .map(|r| {
@@ -652,7 +659,7 @@ mod tests {
     fn join(
         db: &sgq_graph::GraphDatabase,
         c: &Cqt,
-        rels: &[(VarId, Vec<(sgq_common::NodeId, sgq_common::NodeId)>, VarId)],
+        rels: &[MaterializedRel],
         i: usize,
         bindings: &mut FxHashMap<VarId, sgq_common::NodeId>,
         out: &mut Vec<(sgq_common::NodeId, sgq_common::NodeId)>,

@@ -103,7 +103,14 @@ pub fn plc(phi: &PathExpr, triples: &[Triple], opts: PlcOptions) -> Vec<Triple> 
         visited.insert(start);
         let mut stack: Vec<usize> = Vec::new();
         if !dfs(
-            &graph, &k, phi, start, &mut visited, &mut stack, &mut result, &mut budget,
+            &graph,
+            &k,
+            phi,
+            start,
+            &mut visited,
+            &mut stack,
+            &mut result,
+            &mut budget,
         ) {
             // Budget exhausted: fall back to the sound, complete,
             // non-eliminating result.
@@ -125,9 +132,7 @@ pub fn plus_stats(result: &[Triple], phi: &PathExpr) -> PlusStats {
         } else {
             // The outermost expansion is recorded as the *last* entry the
             // construction pushed; every entry is still a generated path.
-            stats
-                .path_lengths
-                .push(*t.plus_paths.last().unwrap_or(&1));
+            stats.path_lengths.push(*t.plus_paths.last().unwrap_or(&1));
         }
     }
     stats.path_lengths.sort_unstable();
@@ -178,8 +183,7 @@ fn emit_path(
     let first = &graph.triples[stack[0]];
     let last = &graph.triples[*stack.last().unwrap()];
     let (a, b) = (first.src, last.tgt);
-    let touches_k = k.contains(&a)
-        || stack.iter().any(|&i| k.contains(&graph.triples[i].tgt));
+    let touches_k = k.contains(&a) || stack.iter().any(|&i| k.contains(&graph.triples[i].tgt));
     if touches_k {
         result.insert(Triple::new(
             a,
@@ -206,16 +210,18 @@ fn emit_path(
 /// non-empty path in `G` — sound and complete but with no elimination.
 fn reachability_closure(phi: &PathExpr, graph: &LabelGraph<'_>) -> Vec<Triple> {
     let plus = PathExpr::plus(phi.clone());
-    let mut pairs: Vec<(NodeLabelId, NodeLabelId)> = graph
-        .triples
-        .iter()
-        .map(|t| (t.src, t.tgt))
-        .collect();
+    let mut pairs: Vec<(NodeLabelId, NodeLabelId)> =
+        graph.triples.iter().map(|t| (t.src, t.tgt)).collect();
     sgq_common::sorted::normalize(&mut pairs);
     let closed = sgq_algebra::eval::transitive_closure(
         &pairs
             .iter()
-            .map(|&(a, b)| (sgq_common::NodeId::new(a.raw()), sgq_common::NodeId::new(b.raw())))
+            .map(|&(a, b)| {
+                (
+                    sgq_common::NodeId::new(a.raw()),
+                    sgq_common::NodeId::new(b.raw()),
+                )
+            })
             .collect::<Vec<_>>(),
     );
     closed
@@ -239,10 +245,7 @@ struct LabelGraph<'a> {
 
 impl<'a> LabelGraph<'a> {
     fn new(triples: &'a [Triple]) -> Self {
-        let mut vertices: Vec<NodeLabelId> = triples
-            .iter()
-            .flat_map(|t| [t.src, t.tgt])
-            .collect();
+        let mut vertices: Vec<NodeLabelId> = triples.iter().flat_map(|t| [t.src, t.tgt]).collect();
         sgq_common::sorted::normalize(&mut vertices);
         let mut out: FxHashMap<NodeLabelId, Vec<usize>> = FxHashMap::default();
         for (i, t) in triples.iter().enumerate() {
@@ -310,13 +313,7 @@ mod tests {
         schema
             .triples_for_edge_label(le)
             .iter()
-            .map(|&(s, t)| {
-                Triple::new(
-                    s,
-                    AnnotatedPath::plain(PathExpr::Label(le)),
-                    t,
-                )
-            })
+            .map(|&(s, t)| Triple::new(s, AnnotatedPath::plain(PathExpr::Label(le)), t))
             .collect()
     }
 
@@ -331,10 +328,7 @@ mod tests {
         let country = schema.node_label("COUNTRY").unwrap();
         assert_eq!(r[0].src, country);
         assert_eq!(r[0].tgt, country);
-        assert_eq!(
-            r[0].psi,
-            AnnotatedPath::plain(PathExpr::plus(phi.clone()))
-        );
+        assert_eq!(r[0].psi, AnnotatedPath::plain(PathExpr::plus(phi.clone())));
         let stats = plus_stats(&r, &phi);
         assert!(stats.closure_kept);
         assert_eq!(stats.count(), 0);

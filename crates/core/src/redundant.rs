@@ -106,7 +106,11 @@ pub fn annotated_endpoints(schema: &GraphSchema, psi: &AnnotatedPath) -> (LabelS
 }
 
 /// Removes redundant annotations from `psi` (§3.2.2) under `rule`.
-fn remove_in_expr(schema: &GraphSchema, psi: &AnnotatedPath, rule: RedundancyRule) -> AnnotatedPath {
+fn remove_in_expr(
+    schema: &GraphSchema,
+    psi: &AnnotatedPath,
+    rule: RedundancyRule,
+) -> AnnotatedPath {
     match psi {
         AnnotatedPath::Plain(e) => AnnotatedPath::Plain(e.clone()),
         AnnotatedPath::Concat(a, ann, b) => {
@@ -166,12 +170,14 @@ pub fn remove_redundant_with(
     // except `Never`.
     let (src_possible, tgt_possible) = annotated_endpoints(schema, &psi);
     let keep_all = rule == RedundancyRule::Never;
-    let src_labels = triple.src_labels.clone().filter(|labels| {
-        keep_all || !sorted::difference(&src_possible, labels).is_empty()
-    });
-    let tgt_labels = triple.tgt_labels.clone().filter(|labels| {
-        keep_all || !sorted::difference(&tgt_possible, labels).is_empty()
-    });
+    let src_labels = triple
+        .src_labels
+        .clone()
+        .filter(|labels| keep_all || !sorted::difference(&src_possible, labels).is_empty());
+    let tgt_labels = triple
+        .tgt_labels
+        .clone()
+        .filter(|labels| keep_all || !sorted::difference(&tgt_possible, labels).is_empty());
     MergedTriple {
         src_labels,
         psi: canonicalize(&psi),
@@ -276,7 +282,10 @@ mod tests {
         // ϕ4 = livesIn/isLocatedIn+/dealsWith+ reduces to
         // (∅, lvIn/isL/{REG}isL/dw+, ∅)
         let schema = fig1_yago_schema();
-        let m = pipeline("livesIn/isLocatedIn+/dealsWith+", RedundancyRule::EitherSide);
+        let m = pipeline(
+            "livesIn/isLocatedIn+/dealsWith+",
+            RedundancyRule::EitherSide,
+        );
         assert_eq!(m.len(), 1);
         let t = &m[0];
         assert_eq!(t.src_labels, None, "PERSON endpoint is schema-implied");
@@ -314,11 +323,7 @@ mod tests {
         let region = schema.node_label("REGION").unwrap();
         // ((a/None b)/{REG} c)/None d  →  Plain(a/b) /{REG} Plain(c/d)
         let spine = AnnotatedPath::concat(
-            AnnotatedPath::concat(
-                AnnotatedPath::concat(a, None, b),
-                Some(vec![region]),
-                c,
-            ),
+            AnnotatedPath::concat(AnnotatedPath::concat(a, None, b), Some(vec![region]), c),
             None,
             d,
         );
@@ -345,10 +350,13 @@ mod tests {
         use sgq_query::annotated::eval_annotated;
         let schema = fig1_yago_schema();
         let db = fig2_yago_database();
-        for s in ["livesIn/isLocatedIn+/dealsWith+", "owns/isLocatedIn", "isLocatedIn+"] {
+        for s in [
+            "livesIn/isLocatedIn+/dealsWith+",
+            "owns/isLocatedIn",
+            "isLocatedIn+",
+        ] {
             let e = parse_path(s, &schema).unwrap();
-            let triples =
-                infer_triples(&schema, &e, InferOptions::default()).unwrap();
+            let triples = infer_triples(&schema, &e, InferOptions::default()).unwrap();
             for m in merge_triples(&triples) {
                 for rule in [
                     RedundancyRule::BothSides,

@@ -123,10 +123,7 @@ mod tests {
 
     #[test]
     fn r2_drops_plus_in_right_test() {
-        assert_eq!(
-            simplify(&pe("owns[isMarriedTo+]")),
-            pe("owns[isMarriedTo]")
-        );
+        assert_eq!(simplify(&pe("owns[isMarriedTo+]")), pe("owns[isMarriedTo]"));
         // paper's context form ϕ1+[ϕ2+] → ϕ1+[ϕ2]
         assert_eq!(
             simplify(&pe("isLocatedIn+[dealsWith+]")),

@@ -86,8 +86,13 @@ mod tests {
     #[test]
     fn parse_and_classify() {
         let schema = fig1_yago_schema();
-        let q = CatalogQuery::parse("T1", QueryOrigin::YagoStyle, "livesIn/isLocatedIn+", &schema)
-            .unwrap();
+        let q = CatalogQuery::parse(
+            "T1",
+            QueryOrigin::YagoStyle,
+            "livesIn/isLocatedIn+",
+            &schema,
+        )
+        .unwrap();
         assert_eq!(q.kind(), QueryKind::Recursive);
         assert!(q.ucqt().validate().is_ok());
         let q = CatalogQuery::parse("T2", QueryOrigin::Lsqb, "owns", &schema).unwrap();

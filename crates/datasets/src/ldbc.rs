@@ -14,9 +14,7 @@
 //! `Country`, `Continent`, `Company` and `University` as separate labels;
 //! [`crate::stats`] groups them back for the Tab. 3 display.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgq_common::{NodeId, Result};
+use sgq_common::{NodeId, Result, Rng};
 use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
 
 use crate::catalog::{CatalogQuery, QueryOrigin};
@@ -100,7 +98,7 @@ pub fn schema() -> GraphSchema {
 /// Generates a conforming LDBC-SNB-like database at the given scale.
 pub fn generate(config: LdbcConfig) -> (GraphSchema, GraphDatabase) {
     let schema = schema();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut b = GraphDatabase::builder(&schema);
 
     let persons_n = config.persons();
@@ -145,9 +143,7 @@ pub fn generate(config: LdbcConfig) -> (GraphSchema, GraphDatabase) {
         .collect();
     let mk = |label, count: usize, key, prefix: &str, b: &mut sgq_graph::DatabaseBuilder| {
         (0..count)
-            .map(|i| {
-                b.node_with_label_id(label, vec![(key, Value::str(format!("{prefix}{i}")))])
-            })
+            .map(|i| b.node_with_label_id(label, vec![(key, Value::str(format!("{prefix}{i}")))]))
             .collect::<Vec<NodeId>>()
     };
     let forums = mk(forum_l, forums_n, title_key, "forum", &mut b);
@@ -177,10 +173,10 @@ pub fn generate(config: LdbcConfig) -> (GraphSchema, GraphDatabase) {
     let work_at = b.intern_edge_label("workAt");
     let study_at = b.intern_edge_label("studyAt");
 
-    let pick = |rng: &mut StdRng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
+    let pick = |rng: &mut Rng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
     // Zipf-ish skew towards low indexes (hub creators / popular tags).
-    let skewed = |rng: &mut StdRng, v: &[NodeId]| {
-        let r: f64 = rng.gen::<f64>();
+    let skewed = |rng: &mut Rng, v: &[NodeId]| {
+        let r: f64 = rng.gen_f64();
         v[((r * r) * v.len() as f64) as usize]
     };
 
@@ -340,8 +336,14 @@ mod tests {
         let schema = schema();
         let qs = queries(&schema).unwrap();
         assert_eq!(qs.len(), 30);
-        let rq = qs.iter().filter(|q| q.kind() == QueryKind::Recursive).count();
-        let nq = qs.iter().filter(|q| q.kind() == QueryKind::NonRecursive).count();
+        let rq = qs
+            .iter()
+            .filter(|q| q.kind() == QueryKind::Recursive)
+            .count();
+        let nq = qs
+            .iter()
+            .filter(|q| q.kind() == QueryKind::NonRecursive)
+            .count();
         assert_eq!(rq, 18, "Tab. 4 has 18 RQ");
         assert_eq!(nq, 12, "Tab. 4 has 12 NQ");
     }
@@ -365,7 +367,7 @@ mod tests {
         // §5.2: ten queries return to their initial path expressions:
         // IC2, IC6, IC7, IC9, IC13, Y7, BI11, BI9, BI20, LSQB6.
         // Our pipeline additionally reverts IC14 and LSQB4 (their only
-        // annotations are implied on both sides); see EXPERIMENTS.md.
+        // annotations are implied on both sides); see DESIGN.md.
         let schema = schema();
         let mut reverted: Vec<&str> = Vec::new();
         for q in queries(&schema).unwrap() {
@@ -374,13 +376,17 @@ mod tests {
                 reverted.push(q.name);
             }
         }
-        for expected in ["IC2", "IC6", "IC7", "IC9", "IC13", "Y7", "BI11", "BI9", "BI20", "LSQB6"] {
+        for expected in [
+            "IC2", "IC6", "IC7", "IC9", "IC13", "Y7", "BI11", "BI9", "BI20", "LSQB6",
+        ] {
             assert!(
                 reverted.contains(&expected),
                 "{expected} should revert; reverted = {reverted:?}"
             );
         }
-        for must_enrich in ["IC1", "IC11", "IC12", "IS2", "Y1", "Y3", "Y6", "BI10", "BI3"] {
+        for must_enrich in [
+            "IC1", "IC11", "IC12", "IS2", "Y1", "Y3", "Y6", "BI10", "BI3",
+        ] {
             assert!(
                 !reverted.contains(&must_enrich),
                 "{must_enrich} should be enriched; reverted = {reverted:?}"

@@ -9,9 +9,7 @@
 //! *cyclic* `dealsWith` and `influences` relations, and edge labels whose
 //! relative sizes differ by orders of magnitude.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sgq_common::{NodeId, Result};
+use sgq_common::{NodeId, Result, Rng};
 use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
 
 use crate::catalog::{CatalogQuery, QueryOrigin};
@@ -125,7 +123,7 @@ pub fn schema() -> GraphSchema {
 /// Generates a conforming YAGO-like database.
 pub fn generate(config: YagoConfig) -> (GraphSchema, GraphDatabase) {
     let schema = schema();
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let mut b = GraphDatabase::builder(&schema);
 
     let name_key = b.intern_key("name");
@@ -140,10 +138,7 @@ pub fn generate(config: YagoConfig) -> (GraphSchema, GraphDatabase) {
     let mk = |label, count: usize, prefix: &str, b: &mut sgq_graph::DatabaseBuilder| {
         (0..count)
             .map(|i| {
-                b.node_with_label_id(
-                    label,
-                    vec![(name_key, Value::str(format!("{prefix}{i}")))],
-                )
+                b.node_with_label_id(label, vec![(name_key, Value::str(format!("{prefix}{i}")))])
             })
             .collect::<Vec<NodeId>>()
     };
@@ -167,7 +162,7 @@ pub fn generate(config: YagoConfig) -> (GraphSchema, GraphDatabase) {
     let has_type = b.intern_edge_label("hasType");
     let is_sub_class_of = b.intern_edge_label("isSubClassOf");
 
-    let pick = |rng: &mut StdRng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
+    let pick = |rng: &mut Rng, v: &[NodeId]| v[rng.gen_range(0..v.len())];
 
     // The place hierarchy (acyclic): property -> city -> region -> country.
     for &p in &properties {
@@ -280,7 +275,11 @@ mod tests {
     fn generated_database_conforms() {
         let (schema, db) = generate(YagoConfig::tiny());
         let report = check_consistency(&schema, &db);
-        assert!(report.is_consistent(), "{:?}", &report.violations[..3.min(report.violations.len())]);
+        assert!(
+            report.is_consistent(),
+            "{:?}",
+            &report.violations[..3.min(report.violations.len())]
+        );
         assert!(db.node_count() > 100);
         assert!(db.edge_count() > 100);
     }
@@ -319,8 +318,15 @@ mod tests {
                 eliminated += 1;
             }
         }
-        assert_eq!(reverted, vec!["Y7"], "only Y7 reverts (the paper's query 7)");
-        assert_eq!(eliminated, 16, "16 of 18 queries replace a closure (Tab. 6)");
+        assert_eq!(
+            reverted,
+            vec!["Y7"],
+            "only Y7 reverts (the paper's query 7)"
+        );
+        assert_eq!(
+            eliminated, 16,
+            "16 of 18 queries replace a closure (Tab. 6)"
+        );
     }
 
     #[test]

@@ -100,7 +100,10 @@ mod tests {
         let db = fig2_yago_database();
         let engine = GraphEngine::new(&db);
         let q = Ucqt::path_query(parse_path("dealsWith", &db).unwrap());
-        assert_eq!(aggregate(&engine, &q, Aggregate::Count, 0).unwrap(), Some(0));
+        assert_eq!(
+            aggregate(&engine, &q, Aggregate::Count, 0).unwrap(),
+            Some(0)
+        );
         assert_eq!(aggregate(&engine, &q, Aggregate::Min, 0).unwrap(), None);
     }
 

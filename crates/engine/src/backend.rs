@@ -7,8 +7,8 @@ use sgq_common::{NodeId, Result};
 use sgq_graph::GraphDatabase;
 use sgq_query::cqt::Ucqt;
 
-pub use crate::conjunctive::Rows;
 use crate::conjunctive::run_cqt;
+pub use crate::conjunctive::Rows;
 use crate::patheval::{eval_seeded, EvalCounters, Seeds};
 
 /// A query engine bound to one graph database.

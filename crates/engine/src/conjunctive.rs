@@ -62,8 +62,7 @@ pub fn run_cqt(db: &GraphDatabase, cqt: &Cqt, counters: &EvalCounters) -> Result
             .enumerate()
             .min_by_key(|&(_, &idx)| {
                 let r = &cqt.relations[idx];
-                let shares =
-                    bound.contains(&r.src) || bound.contains(&r.tgt) || schema.is_empty();
+                let shares = bound.contains(&r.src) || bound.contains(&r.tgt) || schema.is_empty();
                 (!shares, estimate(db, &r.path.strip()))
             })
             .map(|(pos, _)| pos)
@@ -253,8 +252,7 @@ mod tests {
         let q = Ucqt::path_query(e.clone());
         let counters = EvalCounters::default();
         let rows = run_cqt(&db, &q.disjuncts[0], &counters).unwrap();
-        let pairs: Vec<(NodeId, NodeId)> =
-            rows.iter().map(|r| (r[0], r[1])).collect();
+        let pairs: Vec<(NodeId, NodeId)> = rows.iter().map(|r| (r[0], r[1])).collect();
         assert_eq!(pairs, sgq_algebra::eval::eval_path(&db, &e));
     }
 
@@ -292,7 +290,11 @@ mod tests {
                 var: b,
                 labels: vec![region],
             }],
-            relations: vec![Relation::plain(a, parse_path("isLocatedIn", &db).unwrap(), b)],
+            relations: vec![Relation::plain(
+                a,
+                parse_path("isLocatedIn", &db).unwrap(),
+                b,
+            )],
         };
         let counters = EvalCounters::default();
         let rows = run_cqt(&db, &c, &counters).unwrap();

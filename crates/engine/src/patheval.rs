@@ -481,16 +481,13 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
     use sgq_algebra::ast::PathExpr;
-    use sgq_common::EdgeLabelId;
+    use sgq_common::{EdgeLabelId, Rng};
     use sgq_graph::GraphDatabase;
 
     /// Random multi-label graph (schema-free) from a seed.
     fn random_db(seed: u64) -> GraphDatabase {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let mut b = GraphDatabase::standalone_builder();
         let n = rng.gen_range(4..20);
         let nodes: Vec<_> = (0..n).map(|_| b.node("N", &[])).collect();
@@ -506,12 +503,12 @@ mod proptests {
     }
 
     fn random_expr(seed: u64, depth: usize) -> PathExpr {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xabcd);
         build(&mut rng, depth)
     }
 
-    fn build(rng: &mut StdRng, depth: usize) -> PathExpr {
-        let le = EdgeLabelId::new(rng.gen_range(0..2));
+    fn build(rng: &mut Rng, depth: usize) -> PathExpr {
+        let le = EdgeLabelId::new(rng.gen_range(0..2) as u32);
         if depth == 0 || rng.gen_bool(0.35) {
             if rng.gen_bool(0.3) {
                 PathExpr::Reverse(le)
@@ -530,23 +527,24 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(96))]
-
-        /// Unseeded evaluation matches the reference semantics.
-        #[test]
-        fn eval_matches_reference(seed in any::<u64>()) {
+    /// Unseeded evaluation matches the reference semantics.
+    #[test]
+    fn eval_matches_reference() {
+        for seed in 0..96u64 {
             let db = random_db(seed);
             let expr = random_expr(seed, 3);
             let counters = EvalCounters::default();
             let got = eval_seeded(&db, &expr, Seeds::none(), &counters).unwrap();
-            prop_assert_eq!(got, sgq_algebra::eval::eval_path(&db, &expr));
+            assert_eq!(got, sgq_algebra::eval::eval_path(&db, &expr), "seed {seed}");
         }
+    }
 
-        /// Seeding by arbitrary source/target subsets is exactly a filter
-        /// of the unseeded result.
-        #[test]
-        fn seeding_is_a_filter(seed in any::<u64>(), mask in any::<u32>()) {
+    /// Seeding by arbitrary source/target subsets is exactly a filter
+    /// of the unseeded result.
+    #[test]
+    fn seeding_is_a_filter() {
+        for seed in 0..96u64 {
+            let mask = Rng::seed_from_u64(seed ^ 0x5eed).gen_u32();
             let db = random_db(seed);
             let expr = random_expr(seed, 3);
             let counters = EvalCounters::default();
@@ -562,11 +560,14 @@ mod proptests {
                 .copied()
                 .filter(|&(s, _)| sorted::contains(&subset, &s))
                 .collect();
-            prop_assert_eq!(seeded_src, expect_src);
+            assert_eq!(seeded_src, expect_src, "seed {seed}");
             let seeded_tgt = eval_seeded(
                 &db,
                 &expr,
-                Seeds { sources: None, targets: Some(&subset) },
+                Seeds {
+                    sources: None,
+                    targets: Some(&subset),
+                },
                 &counters,
             )
             .unwrap();
@@ -575,7 +576,7 @@ mod proptests {
                 .copied()
                 .filter(|&(_, t)| sorted::contains(&subset, &t))
                 .collect();
-            prop_assert_eq!(seeded_tgt, expect_tgt);
+            assert_eq!(seeded_tgt, expect_tgt, "seed {seed}");
         }
     }
 }

@@ -117,10 +117,7 @@ pub fn check_consistency(schema: &GraphSchema, db: &GraphDatabase) -> Consistenc
                     None => report.violations.push(Violation::BadProperty {
                         node: n,
                         key: key_name.to_string(),
-                        reason: format!(
-                            "not declared on label {}",
-                            schema.node_label_name(label)
-                        ),
+                        reason: format!("not declared on label {}", schema.node_label_name(label)),
                     }),
                     Some(ty) if ty != value.data_type() => {
                         report.violations.push(Violation::BadProperty {
@@ -261,7 +258,10 @@ mod tests {
         b.node("PERSON", &[("age", Value::str("twenty"))]);
         let db = b.build().unwrap();
         let report = check_consistency(&schema, &db);
-        assert!(matches!(report.violations[0], Violation::BadProperty { .. }));
+        assert!(matches!(
+            report.violations[0],
+            Violation::BadProperty { .. }
+        ));
     }
 
     #[test]

@@ -214,7 +214,11 @@ impl DatabaseBuilder {
     }
 
     /// Adds a node by pre-interned label id (fast path for generators).
-    pub fn node_with_label_id(&mut self, label: NodeLabelId, properties: Vec<(KeyId, Value)>) -> NodeId {
+    pub fn node_with_label_id(
+        &mut self,
+        label: NodeLabelId,
+        properties: Vec<(KeyId, Value)>,
+    ) -> NodeId {
         debug_assert!((label.index()) < self.node_labels.len());
         let mut props = properties;
         props.sort_unstable_by_key(|&(k, _)| k);
@@ -279,8 +283,7 @@ impl DatabaseBuilder {
             let mut by_src = pairs;
             by_src.sort_unstable();
             by_src.dedup();
-            let mut by_tgt: Vec<(NodeId, NodeId)> =
-                by_src.iter().map(|&(s, t)| (t, s)).collect();
+            let mut by_tgt: Vec<(NodeId, NodeId)> = by_src.iter().map(|&(s, t)| (t, s)).collect();
             by_tgt.sort_unstable();
             let fwd = Csr::from_pairs(node_count, &by_src);
             let rev = Csr::from_pairs(node_count, &by_tgt);

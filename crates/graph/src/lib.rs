@@ -19,9 +19,9 @@ pub mod stats;
 pub mod value;
 
 pub use consistency::{check_consistency, ConsistencyReport, Violation};
-pub use infer_schema::infer_schema;
 pub use csr::Csr;
 pub use database::{DatabaseBuilder, GraphDatabase};
+pub use infer_schema::infer_schema;
 pub use schema::{GraphSchema, SchemaBuilder, SchemaTriple};
 pub use stats::GraphStats;
 pub use value::{DataType, Value};

@@ -13,8 +13,8 @@
 //! * no two schema edges share the same `(source label, edge label,
 //!   target label)` triple.
 
-use sgq_common::{FxHashSet, Interner, Result, SgqError};
 use sgq_common::{EdgeLabelId, KeyId, NodeLabelId};
+use sgq_common::{FxHashSet, Interner, Result, SgqError};
 
 use crate::value::DataType;
 

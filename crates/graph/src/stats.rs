@@ -34,10 +34,10 @@ impl GraphStats {
         let mut edges_per_label = vec![0usize; db.edge_label_count()];
         let mut triple_counts: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), usize> =
             FxHashMap::default();
-        for le_idx in 0..db.edge_label_count() {
+        for (le_idx, slot) in edges_per_label.iter_mut().enumerate() {
             let le = EdgeLabelId::new(le_idx as u32);
             let edges = db.edges(le);
-            edges_per_label[le_idx] = edges.len();
+            *slot = edges.len();
             for &(s, t) in edges {
                 *triple_counts
                     .entry((db.node_label(s), le, db.node_label(t)))
@@ -55,7 +55,10 @@ impl GraphStats {
 
     /// Node count for `label`.
     pub fn label_cardinality(&self, label: NodeLabelId) -> usize {
-        self.nodes_per_label.get(label.index()).copied().unwrap_or(0)
+        self.nodes_per_label
+            .get(label.index())
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Edge count for `le`.
@@ -64,13 +67,11 @@ impl GraphStats {
     }
 
     /// Edge count for a specific `(src label, le, tgt label)` triple.
-    pub fn triple_cardinality(
-        &self,
-        src: NodeLabelId,
-        le: EdgeLabelId,
-        tgt: NodeLabelId,
-    ) -> usize {
-        self.triple_counts.get(&(src, le, tgt)).copied().unwrap_or(0)
+    pub fn triple_cardinality(&self, src: NodeLabelId, le: EdgeLabelId, tgt: NodeLabelId) -> usize {
+        self.triple_counts
+            .get(&(src, le, tgt))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Selectivity of restricting `le` to sources labeled `src`:

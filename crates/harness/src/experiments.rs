@@ -158,7 +158,10 @@ pub fn table6(cfg: &ExperimentConfig) -> String {
     let schema = yago::schema();
     let queries = yago::queries(&schema).expect("catalog parses");
     let mut out = String::new();
-    let _ = writeln!(out, "Table 6: Statistics on generated fixed-length paths (YAGO)");
+    let _ = writeln!(
+        out,
+        "Table 6: Statistics on generated fixed-length paths (YAGO)"
+    );
     let _ = writeln!(
         out,
         "{:<6} {:>7} {:>5} {:>5} {:>5}  outcome",
@@ -193,7 +196,11 @@ pub fn table6(cfg: &ExperimentConfig) -> String {
                 );
             }
             _ => {
-                let _ = writeln!(out, "{:<6} {:>7} {:>5} {:>5} {:>5}  {outcome}", q.name, 0, "-", "-", "-");
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:>7} {:>5} {:>5} {:>5}  {outcome}",
+                    q.name, 0, "-", "-", "-"
+                );
             }
         }
     }
@@ -223,8 +230,16 @@ pub fn table7(records: &[RunRecord], timeout_ms: u64) -> String {
             if let Some(s) = Summary::compute(&values) {
                 let label = format!(
                     "{} {}",
-                    if kind == "RQ" { "Recursive" } else { "Non-recursive" },
-                    if approach == "B" { "baseline" } else { "schema" }
+                    if kind == "RQ" {
+                        "Recursive"
+                    } else {
+                        "Non-recursive"
+                    },
+                    if approach == "B" {
+                        "baseline"
+                    } else {
+                        "schema"
+                    }
                 );
                 let _ = writeln!(out, "{}", s.row_seconds(&label));
             }
@@ -234,7 +249,10 @@ pub fn table7(records: &[RunRecord], timeout_ms: u64) -> String {
         let _ = writeln!(out, "Recursive: schema is {ratio:.2}x faster on average");
     }
     if let Some(ratio) = mean_ratio(records, "NQ", timeout_ms) {
-        let _ = writeln!(out, "Non-recursive: schema is {ratio:.2}x faster on average");
+        let _ = writeln!(
+            out,
+            "Non-recursive: schema is {ratio:.2}x faster on average"
+        );
     }
     out
 }
@@ -263,7 +281,11 @@ pub fn table8(records: &[RunRecord], timeout_ms: u64) -> String {
             .map(|r| r.ms.unwrap_or(timeout_ms as f64))
             .collect();
         if let Some(s) = Summary::compute(&values) {
-            let label = if approach == "B" { "Baseline" } else { "Schema" };
+            let label = if approach == "B" {
+                "Baseline"
+            } else {
+                "Schema"
+            };
             let _ = writeln!(out, "{}", s.row_seconds(label));
         }
     }
@@ -358,7 +380,15 @@ pub fn fig14(cfg: &ExperimentConfig) -> (Vec<RunRecord>, String) {
                 let kind = q.kind().to_string();
                 for approach in [Approach::Baseline, Approach::Schema] {
                     let m = run_query(&session, &q.expr, approach, backend, &cfg.run);
-                    records.push(RunRecord::new(q.name, &kind, Some(sf), approach, backend, m, None));
+                    records.push(RunRecord::new(
+                        q.name,
+                        &kind,
+                        Some(sf),
+                        approach,
+                        backend,
+                        m,
+                        None,
+                    ));
                 }
             }
         }
@@ -399,21 +429,24 @@ pub fn fig14(cfg: &ExperimentConfig) -> (Vec<RunRecord>, String) {
 /// (schema-enriched) — `knows/workAt/isLocatedIn`.
 pub fn fig15_16() -> String {
     let schema = ldbc::schema();
-    let expr = sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema)
-        .expect("Q1 parses");
+    let expr =
+        sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema).expect("Q1 parses");
     let baseline = sgq_query::cqt::Ucqt::path_query(expr.clone());
     let enriched = match rewrite_path(&schema, &expr, RewriteOptions::default()).outcome {
         sgq_core::pipeline::RewriteOutcome::Enriched(q) => q,
         other => panic!("Q1 must enrich, got {other:?}"),
     };
-    let mut names = NameGen::default();
+    // No store is involved: the SQL text is the product, so a standalone
+    // symbol table provides the column-id space.
+    let symbols = sgq_ra::SymbolTable::new();
+    let mut names = NameGen::new(&symbols);
     let t_base = ucqt_to_term(&baseline, &mut names).expect("translates");
     let t_schema = ucqt_to_term(&enriched, &mut names).expect("translates");
     let mut out = String::new();
     out.push_str("Figure 15 — SQL translations\n\n-- BASELINE (Q1)\n");
-    out.push_str(&sgq_translate::to_sql(&t_base, &schema));
+    out.push_str(&sgq_translate::to_sql(&t_base, &schema, &symbols));
     out.push_str("\n\n-- SCHEMA-ENRICHED (Q2)\n");
-    out.push_str(&sgq_translate::to_sql(&t_schema, &schema));
+    out.push_str(&sgq_translate::to_sql(&t_schema, &schema, &symbols));
     out.push_str("\n\nFigure 16 — Cypher translations\n\n// BASELINE (Q1)\n");
     out.push_str(&sgq_translate::to_cypher_resolved(&baseline, &schema).expect("chain"));
     out.push_str("\n\n// SCHEMA-ENRICHED (Q2)\n");
@@ -427,14 +460,14 @@ pub fn fig15_16() -> String {
 pub fn fig17(sf: f64) -> String {
     let (schema, db) = ldbc::generate(LdbcConfig::at_scale(sf));
     let store = sgq_ra::RelStore::load(&db);
-    let expr = sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema)
-        .expect("Q1 parses");
+    let expr =
+        sgq_algebra::parser::parse_path("knows/workAt/isLocatedIn", &schema).expect("Q1 parses");
     let baseline = sgq_query::cqt::Ucqt::path_query(expr.clone());
     let enriched = match rewrite_path(&schema, &expr, RewriteOptions::default()).outcome {
         sgq_core::pipeline::RewriteOutcome::Enriched(q) => q,
         other => panic!("Q1 must enrich, got {other:?}"),
     };
-    let mut names = NameGen::default();
+    let mut names = NameGen::new(&store.symbols);
     let t_base = sgq_ra::optimize::optimize(
         &ucqt_to_term(&baseline, &mut names).expect("translates"),
         &store,
@@ -443,15 +476,22 @@ pub fn fig17(sf: f64) -> String {
         &ucqt_to_term(&enriched, &mut names).expect("translates"),
         &store,
     );
-    let (rel_b, plan_b) =
-        sgq_ra::explain::explain_analyze(&t_base, &store, &db).expect("executes");
+    let (rel_b, plan_b) = sgq_ra::explain::explain_analyze(&t_base, &store, &db).expect("executes");
     let (rel_s, plan_s) =
         sgq_ra::explain::explain_analyze(&t_schema, &store, &db).expect("executes");
     let mut out = String::new();
     let _ = writeln!(out, "Figure 17 — execution plans (LDBC SF {sf})\n");
-    let _ = writeln!(out, "// BASELINE QUERY EXECUTION PLAN (Q1) — {} rows", rel_b.len());
+    let _ = writeln!(
+        out,
+        "// BASELINE QUERY EXECUTION PLAN (Q1) — {} rows",
+        rel_b.len()
+    );
     out.push_str(&plan_b);
-    let _ = writeln!(out, "\n// SCHEMA-ENRICHED QUERY EXECUTION PLAN (Q2) — {} rows", rel_s.len());
+    let _ = writeln!(
+        out,
+        "\n// SCHEMA-ENRICHED QUERY EXECUTION PLAN (Q2) — {} rows",
+        rel_s.len()
+    );
     out.push_str(&plan_s);
     let mut ctx = ExecContext::new();
     let _ = sgq_ra::execute(&t_base, &store, &mut ctx);
@@ -471,7 +511,7 @@ pub fn fig17(sf: f64) -> String {
     let filtered = isl_table.semijoin(
         &store
             .node_table(company)
-            .with_cols(vec![sgq_ra::storage::SR.into()]),
+            .with_cols(vec![sgq_ra::SymbolTable::SR]),
     );
     let _ = writeln!(
         out,
@@ -488,7 +528,10 @@ pub fn reverts(cfg: &ExperimentConfig) -> String {
     let schema = ldbc::schema();
     let mut reverted = Vec::new();
     for q in ldbc::queries(&schema).expect("catalog parses") {
-        if rewrite_path(&schema, &q.expr, cfg.run.rewrite).outcome.is_reverted() {
+        if rewrite_path(&schema, &q.expr, cfg.run.rewrite)
+            .outcome
+            .is_reverted()
+        {
             reverted.push(q.name);
         }
     }
@@ -501,7 +544,10 @@ pub fn reverts(cfg: &ExperimentConfig) -> String {
     let yschema = yago::schema();
     let mut yreverted = Vec::new();
     for q in yago::queries(&yschema).expect("catalog parses") {
-        if rewrite_path(&yschema, &q.expr, cfg.run.rewrite).outcome.is_reverted() {
+        if rewrite_path(&yschema, &q.expr, cfg.run.rewrite)
+            .outcome
+            .is_reverted()
+        {
             yreverted.push(q.name);
         }
     }

@@ -6,8 +6,9 @@
 //! * [`summary`] — box-plot statistics (Tabs. 7/8, Figs. 13/14),
 //! * [`experiments`] — one function per table/figure, each returning a
 //!   printable report,
-//! * [`records`] — serialisable raw measurements (written next to
-//!   EXPERIMENTS.md so every number is regenerable).
+//! * [`records`] — serialisable raw measurements (dumped via
+//!   `sgq-experiments --out results.json` so every number is
+//!   regenerable).
 
 #![warn(missing_docs)]
 

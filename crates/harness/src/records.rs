@@ -1,15 +1,16 @@
 //! Serialisable raw measurements.
 //!
 //! Every experiment run can be dumped as JSON (`--out results.json`) so
-//! the numbers in EXPERIMENTS.md are auditable and regenerable — the
-//! reason `serde`/`serde_json` are dependencies (see DESIGN.md).
+//! the numbers in the experiment reports are auditable and regenerable.
+//! The JSON encoder is a ~40-line local function (see DESIGN.md: the
+//! workspace is dependency-free, so there is no `serde`).
 
-use serde::Serialize;
+use std::fmt::Write as _;
 
 use crate::runner::{Approach, Backend, Measurement};
 
 /// One (query, scale factor, approach, backend) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunRecord {
     /// Query label (e.g. `IC13`).
     pub query: String,
@@ -62,9 +63,66 @@ impl RunRecord {
     }
 }
 
+/// Escapes a string for a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an optional JSON number (runtimes are finite by construction).
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.is_finite() => format!("{v}"),
+        _ => "null".to_string(),
+    }
+}
+
 /// Serialises records as pretty JSON.
 pub fn to_json(records: &[RunRecord]) -> String {
-    serde_json::to_string_pretty(records).expect("records serialise")
+    let mut out = String::from("[");
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        let fields = [
+            ("query", json_string(&r.query)),
+            ("kind", json_string(&r.kind)),
+            ("scale_factor", json_f64(r.scale_factor)),
+            ("approach", json_string(&r.approach)),
+            ("backend", json_string(&r.backend)),
+            ("ms", json_f64(r.ms)),
+            ("rows", r.rows.map_or("null".to_string(), |n| n.to_string())),
+            (
+                "reverted",
+                r.reverted.map_or("null".to_string(), |b| b.to_string()),
+            ),
+        ];
+        for (j, (key, value)) in fields.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {value}", json_string(key));
+        }
+        out.push_str("\n  }");
+    }
+    out.push_str("\n]");
+    out
 }
 
 #[cfg(test)]
@@ -86,6 +144,7 @@ mod tests {
         let json = to_json(&[r]);
         assert!(json.contains("\"IC13\""));
         assert!(json.contains("12.5"));
+        assert!(json.contains("\"reverted\": true"));
     }
 
     #[test]
@@ -101,5 +160,12 @@ mod tests {
         );
         assert!(!r.feasible());
         assert!(r.ms.is_none());
+        let json = to_json(&[r]);
+        assert!(json.contains("\"ms\": null"), "{json}");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -156,7 +156,7 @@ pub fn run_once(
             Ok(rows.len())
         }
         Backend::Relational | Backend::RelationalUnoptimized => {
-            let mut names = NameGen::default();
+            let mut names = NameGen::new(&session.store.symbols);
             let term = ucqt_to_term(query, &mut names)?;
             let term = if backend == Backend::Relational {
                 sgq_ra::optimize::optimize(&term, &session.store)
@@ -224,7 +224,11 @@ mod tests {
             repetitions: 1,
             ..Default::default()
         };
-        for text in ["livesIn/isLocatedIn+/dealsWith+", "owns/isLocatedIn+", "influences+"] {
+        for text in [
+            "livesIn/isLocatedIn+/dealsWith+",
+            "owns/isLocatedIn+",
+            "influences+",
+        ] {
             let expr = parse_path(text, &schema).unwrap();
             let mut cardinalities = Vec::new();
             for backend in [Backend::Graph, Backend::Relational] {
@@ -267,7 +271,13 @@ mod tests {
             ..Default::default()
         };
         let expr = parse_path("owns/isLocatedIn", &schema).unwrap();
-        let a = run_query(&session, &expr, Approach::Baseline, Backend::Relational, &config);
+        let a = run_query(
+            &session,
+            &expr,
+            Approach::Baseline,
+            Backend::Relational,
+            &config,
+        );
         let b = run_query(
             &session,
             &expr,

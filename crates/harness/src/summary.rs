@@ -2,7 +2,7 @@
 
 /// Five-number summary plus count and mean, computed over runtimes in
 /// milliseconds.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of measurements.
     pub count: usize,

@@ -222,9 +222,16 @@ mod tests {
 
     #[test]
     fn strip_removes_annotations() {
-        let psi = AnnotatedPath::concat(plain("owns"), Some(vec![label("PROPERTY")]), plain("isLocatedIn"));
+        let psi = AnnotatedPath::concat(
+            plain("owns"),
+            Some(vec![label("PROPERTY")]),
+            plain("isLocatedIn"),
+        );
         let schema = fig1_yago_schema();
-        assert_eq!(psi.strip(), parse_path("owns/isLocatedIn", &schema).unwrap());
+        assert_eq!(
+            psi.strip(),
+            parse_path("owns/isLocatedIn", &schema).unwrap()
+        );
         assert!(psi.has_annotations());
         assert!(!AnnotatedPath::plain(psi.strip()).has_annotations());
     }
@@ -235,7 +242,11 @@ mod tests {
         // livesIn /CITY isLocatedIn keeps everything (all livesIn targets are cities)
         let all = eval_annotated(
             &db,
-            &AnnotatedPath::concat(plain("livesIn"), Some(vec![label("CITY")]), plain("isLocatedIn")),
+            &AnnotatedPath::concat(
+                plain("livesIn"),
+                Some(vec![label("CITY")]),
+                plain("isLocatedIn"),
+            ),
         );
         let un = eval_annotated(
             &db,
@@ -245,7 +256,11 @@ mod tests {
         // livesIn /REGION isLocatedIn keeps nothing
         let none = eval_annotated(
             &db,
-            &AnnotatedPath::concat(plain("livesIn"), Some(vec![label("REGION")]), plain("isLocatedIn")),
+            &AnnotatedPath::concat(
+                plain("livesIn"),
+                Some(vec![label("REGION")]),
+                plain("isLocatedIn"),
+            ),
         );
         assert!(none.is_empty());
     }
@@ -254,7 +269,11 @@ mod tests {
     fn unannotated_matches_plain_semantics() {
         let db = fig2_yago_database();
         let schema = fig1_yago_schema();
-        for s in ["owns/isLocatedIn", "livesIn/isLocatedIn+", "isMarriedTo/livesIn"] {
+        for s in [
+            "owns/isLocatedIn",
+            "livesIn/isLocatedIn+",
+            "isMarriedTo/livesIn",
+        ] {
             let e = parse_path(s, &schema).unwrap();
             let (a, b) = match &e {
                 PathExpr::Concat(a, b) => (a.as_ref().clone(), b.as_ref().clone()),
@@ -314,7 +333,11 @@ mod tests {
 
     #[test]
     fn merge_none_absorbs() {
-        let some = AnnotatedPath::concat(plain("owns"), Some(vec![label("PROPERTY")]), plain("isLocatedIn"));
+        let some = AnnotatedPath::concat(
+            plain("owns"),
+            Some(vec![label("PROPERTY")]),
+            plain("isLocatedIn"),
+        );
         let none = AnnotatedPath::concat(plain("owns"), None, plain("isLocatedIn"));
         let merged = some.merge_with(&none).unwrap();
         match merged {

@@ -89,7 +89,10 @@ impl Cqt {
     /// Existentially quantified body variables `B = vars \ H`.
     pub fn body_vars(&self) -> Vec<VarId> {
         let head: FxHashSet<VarId> = self.head.iter().copied().collect();
-        self.vars().into_iter().filter(|v| !head.contains(v)).collect()
+        self.vars()
+            .into_iter()
+            .filter(|v| !head.contains(v))
+            .collect()
     }
 
     /// Whether any relation is recursive.
@@ -116,11 +119,7 @@ impl Cqt {
         if self.relations.is_empty() {
             return Err(SgqError::Query("CQT has no relations".into()));
         }
-        let vars: FxHashSet<VarId> = self
-            .relations
-            .iter()
-            .flat_map(|r| [r.src, r.tgt])
-            .collect();
+        let vars: FxHashSet<VarId> = self.relations.iter().flat_map(|r| [r.src, r.tgt]).collect();
         for h in &self.head {
             if !vars.contains(h) {
                 return Err(SgqError::Query(format!(
@@ -298,7 +297,11 @@ pub fn cqt_to_string(cqt: &Cqt, schema: &GraphSchema) -> String {
 
 /// Renders a UCQT in the paper's notation.
 pub fn ucqt_to_string(q: &Ucqt, schema: &GraphSchema) -> String {
-    let parts: Vec<String> = q.disjuncts.iter().map(|c| cqt_to_string(c, schema)).collect();
+    let parts: Vec<String> = q
+        .disjuncts
+        .iter()
+        .map(|c| cqt_to_string(c, schema))
+        .collect();
     parts.join(" ∪ ")
 }
 

@@ -16,11 +16,7 @@ impl VarGen {
 
     /// A generator whose first id is greater than every variable in `used`.
     pub fn above(used: impl IntoIterator<Item = VarId>) -> Self {
-        let next = used
-            .into_iter()
-            .map(|v| v.raw() + 1)
-            .max()
-            .unwrap_or(0);
+        let next = used.into_iter().map(|v| v.raw() + 1).max().unwrap_or(0);
         Self { next }
     }
 

@@ -121,11 +121,17 @@ mod tests {
     use crate::term::closure_fixpoint;
     use sgq_graph::database::fig2_yago_database;
 
-    fn scan(db: &sgq_graph::GraphDatabase, label: &str, src: &str, tgt: &str) -> RaTerm {
+    fn scan(
+        db: &sgq_graph::GraphDatabase,
+        store: &RelStore,
+        label: &str,
+        src: &str,
+        tgt: &str,
+    ) -> RaTerm {
         RaTerm::EdgeScan {
             label: db.edge_label_id(label).unwrap(),
-            src: src.into(),
-            tgt: tgt.into(),
+            src: store.symbols.col(src),
+            tgt: store.symbols.col(tgt),
         }
     }
 
@@ -133,7 +139,7 @@ mod tests {
     fn scan_estimates_match_stats() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
-        let e = estimate(&scan(&db, "isLocatedIn", "x", "y"), &store);
+        let e = estimate(&scan(&db, &store, "isLocatedIn", "x", "y"), &store);
         assert_eq!(e.rows, 4.0);
     }
 
@@ -141,12 +147,12 @@ mod tests {
     fn semijoin_reduces_estimate() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
-        let base = scan(&db, "isLocatedIn", "x", "y");
+        let base = scan(&db, &store, "isLocatedIn", "x", "y");
         let filtered = RaTerm::semijoin(
             base.clone(),
             RaTerm::NodeScan {
                 labels: vec![db.node_label_id("REGION").unwrap()],
-                col: "x".into(),
+                col: store.symbols.col("x"),
             },
         );
         let e_base = estimate(&base, &store);
@@ -158,9 +164,10 @@ mod tests {
     fn fixpoint_grows_estimate() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
-        let inner = scan(&db, "isLocatedIn", "x", "y");
+        let s = &store.symbols;
+        let inner = scan(&db, &store, "isLocatedIn", "x", "y");
         let e_inner = estimate(&inner, &store);
-        let f = closure_fixpoint("X", inner, "x", "y", "m");
+        let f = closure_fixpoint(s.recvar("X"), inner, s.col("x"), s.col("y"), s.col("m"));
         let e_fix = estimate(&f, &store);
         assert!(e_fix.rows > e_inner.rows);
         assert!(e_fix.cost > e_inner.cost);
@@ -171,8 +178,8 @@ mod tests {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let j = RaTerm::join(
-            scan(&db, "isLocatedIn", "x", "y"),
-            scan(&db, "isLocatedIn", "y", "z"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
         );
         let e = estimate(&j, &store);
         assert!(e.rows <= 16.0);

@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use sgq_common::{FxHashMap, Result, SgqError};
+use sgq_common::{FxHashMap, RecVarId, Result, SgqError};
 
 use crate::table::Relation;
 use crate::term::RaTerm;
@@ -11,12 +11,14 @@ use crate::term::RaTerm;
 /// work counters.
 #[derive(Debug, Default)]
 pub struct ExecContext {
-    env: FxHashMap<String, Relation>,
+    /// Fixpoint environment, keyed by interned recursion variable.
+    env: FxHashMap<RecVarId, Relation>,
     /// Cooperative deadline (the paper's 30-minute protocol, scaled).
     pub deadline: Option<Instant>,
     /// Reported timeout budget in milliseconds.
     pub limit_ms: u64,
-    /// Total rows materialised by all operators.
+    /// Total rows materialised by all operators (each materialised row is
+    /// counted exactly once).
     pub rows_materialized: usize,
     /// Fixpoint iterations run.
     pub fixpoint_rounds: usize,
@@ -60,6 +62,10 @@ impl ExecContext {
 }
 
 /// Evaluates `term` against `store`.
+///
+/// Joins and semi-joins poll the deadline periodically *inside* their
+/// probe loops, so a timeout fires mid-operator instead of only between
+/// operators.
 pub fn execute(
     term: &RaTerm,
     store: &crate::storage::RelStore,
@@ -67,31 +73,29 @@ pub fn execute(
 ) -> Result<Relation> {
     ctx.check()?;
     let out = match term {
-        RaTerm::EdgeScan { label, src, tgt } => store
-            .edge_table(*label)
-            .with_cols(vec![src.clone(), tgt.clone()]),
+        RaTerm::EdgeScan { label, src, tgt } => {
+            store.edge_table(*label).with_cols(vec![*src, *tgt])
+        }
         RaTerm::NodeScan { labels, col } => {
             let mut acc: Option<Relation> = None;
             for &l in labels {
-                let t = store.node_table(l).with_cols(vec![col.clone()]);
+                let t = store.node_table(l).with_cols(vec![*col]);
                 acc = Some(match acc {
                     None => t,
                     Some(a) => a.union(&t),
                 });
             }
-            acc.unwrap_or_else(|| Relation::empty(vec![col.clone()]))
+            acc.unwrap_or_else(|| Relation::empty(vec![*col]))
         }
         RaTerm::Join(a, b) => {
             let left = execute(a, store, ctx)?;
             let right = execute(b, store, ctx)?;
-            ctx.check()?;
-            left.join(&right)
+            left.join_checked(&right, &mut || ctx.check())?
         }
         RaTerm::Semijoin(a, b) => {
             let left = execute(a, store, ctx)?;
             let right = execute(b, store, ctx)?;
-            ctx.check()?;
-            left.semijoin(&right)
+            left.semijoin_checked(&right, &mut || ctx.check())?
         }
         RaTerm::Union(a, b) => {
             let left = execute(a, store, ctx)?;
@@ -102,19 +106,14 @@ pub fn execute(
         RaTerm::Select { input, a, b } => {
             let rel = execute(input, store, ctx)?;
             let ia = rel
-                .col_index(a)
+                .col_index(*a)
                 .ok_or_else(|| SgqError::Execution(format!("unknown column {a}")))?;
             let ib = rel
-                .col_index(b)
+                .col_index(*b)
                 .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
-            let rows: Vec<Vec<u32>> = rel
-                .rows()
-                .filter(|row| row[ia] == row[ib])
-                .map(|row| row.to_vec())
-                .collect();
-            Relation::from_rows(rel.cols().to_vec(), rows)
+            rel.select_eq_at(ia, ib)
         }
-        RaTerm::Rename { input, from, to } => execute(input, store, ctx)?.rename(from, to),
+        RaTerm::Rename { input, from, to } => execute(input, store, ctx)?.rename(*from, *to),
         RaTerm::Fixpoint {
             var,
             base,
@@ -130,7 +129,7 @@ pub fn execute(
             while !delta.is_empty() {
                 ctx.check()?;
                 ctx.fixpoint_rounds += 1;
-                ctx.env.insert(var.clone(), delta);
+                ctx.env.insert(*var, delta);
                 let stepped = execute(step, store, ctx)?;
                 ctx.env.remove(var);
                 // Align schema positionally (projections inside the step
@@ -145,12 +144,16 @@ pub fn execute(
                 acc = acc.union(&fresh);
                 delta = fresh;
             }
-            acc
+            // The accumulated rows were already recorded delta by delta —
+            // returning without the generic `record` below keeps every
+            // materialised row counted exactly once.
+            return Ok(acc);
         }
         RaTerm::RecRef { var, cols } => {
-            let rel = ctx.env.get(var).ok_or_else(|| {
-                SgqError::Execution(format!("unbound recursion variable {var}"))
-            })?;
+            let rel = ctx
+                .env
+                .get(var)
+                .ok_or_else(|| SgqError::Execution(format!("unbound recursion variable {var}")))?;
             rel.with_cols(cols.clone())
         }
     };
@@ -171,11 +174,17 @@ mod tests {
         (db, store)
     }
 
-    fn scan(db: &sgq_graph::GraphDatabase, label: &str, src: &str, tgt: &str) -> RaTerm {
+    fn scan(
+        db: &sgq_graph::GraphDatabase,
+        store: &RelStore,
+        label: &str,
+        src: &str,
+        tgt: &str,
+    ) -> RaTerm {
         RaTerm::EdgeScan {
             label: db.edge_label_id(label).unwrap(),
-            src: src.into(),
-            tgt: tgt.into(),
+            src: store.symbols.col(src),
+            tgt: store.symbols.col(tgt),
         }
     }
 
@@ -183,7 +192,7 @@ mod tests {
     fn edge_scan() {
         let (db, store) = store();
         let mut ctx = ExecContext::new();
-        let r = execute(&scan(&db, "owns", "x", "y"), &store, &mut ctx).unwrap();
+        let r = execute(&scan(&db, &store, "owns", "x", "y"), &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.row(0), &[1, 0]);
     }
@@ -192,9 +201,13 @@ mod tests {
     fn join_composes_paths() {
         // owns(x,y) ⋈ isLocatedIn(y,z): John's property is in Montbonnot
         let (db, store) = store();
+        let (x, z) = (store.symbols.col("x"), store.symbols.col("z"));
         let t = RaTerm::project(
-            RaTerm::join(scan(&db, "owns", "x", "y"), scan(&db, "isLocatedIn", "y", "z")),
-            vec!["x".into(), "z".into()],
+            RaTerm::join(
+                scan(&db, &store, "owns", "x", "y"),
+                scan(&db, &store, "isLocatedIn", "y", "z"),
+            ),
+            vec![x, z],
         );
         let mut ctx = ExecContext::new();
         let r = execute(&t, &store, &mut ctx).unwrap();
@@ -205,7 +218,14 @@ mod tests {
     #[test]
     fn fixpoint_transitive_closure() {
         let (db, store) = store();
-        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
         let mut ctx = ExecContext::new();
         let r = execute(&f, &store, &mut ctx).unwrap();
         // must match the reference semantics of isLocatedIn+
@@ -222,10 +242,42 @@ mod tests {
     #[test]
     fn fixpoint_on_cycle_terminates() {
         let (db, store) = store();
-        let f = closure_fixpoint("X", scan(&db, "isMarriedTo", "x", "y"), "x", "y", "m");
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isMarriedTo", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
         let mut ctx = ExecContext::new();
         let r = execute(&f, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 4); // {1,2}² as in the reference evaluator
+    }
+
+    #[test]
+    fn fixpoint_rows_are_counted_once() {
+        // Regression test for the rows_materialized double count: the
+        // accumulated fixpoint result used to be recorded delta by delta
+        // *and* again in full at the end.
+        //
+        // `owns` has a single edge (n2 → n1) that composes with nothing,
+        // so the closure equals its base and one semi-naive round runs.
+        // Materialisations: base scan (1 row) + per-round RecRef (1) +
+        // inner scan (1) + rename (1) + empty join/project/delta (0) = 4.
+        let (db, store) = store();
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "owns", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let mut ctx = ExecContext::new();
+        let r = execute(&f, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(ctx.rows_materialized, 4);
     }
 
     #[test]
@@ -236,7 +288,7 @@ mod tests {
                 db.node_label_id("CITY").unwrap(),
                 db.node_label_id("REGION").unwrap(),
             ],
-            col: "n".into(),
+            col: store.symbols.col("n"),
         };
         let mut ctx = ExecContext::new();
         let r = execute(&t, &store, &mut ctx).unwrap();
@@ -248,10 +300,10 @@ mod tests {
         // isLocatedIn(x,y) ⋉ REGION(x): only region-sourced edges remain
         let (db, store) = store();
         let t = RaTerm::semijoin(
-            scan(&db, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
             RaTerm::NodeScan {
                 labels: vec![db.node_label_id("REGION").unwrap()],
-                col: "x".into(),
+                col: store.symbols.col("x"),
             },
         );
         let mut ctx = ExecContext::new();
@@ -263,7 +315,14 @@ mod tests {
     #[test]
     fn timeout_aborts() {
         let (db, store) = store();
-        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
         let mut ctx = ExecContext::with_timeout(0);
         std::thread::sleep(std::time::Duration::from_millis(2));
         let err = execute(&f, &store, &mut ctx).unwrap_err();
@@ -273,9 +332,10 @@ mod tests {
     #[test]
     fn unbound_recref_errors() {
         let (_, store) = store();
+        let s = &store.symbols;
         let t = RaTerm::RecRef {
-            var: "X".into(),
-            cols: vec!["a".into(), "b".into()],
+            var: s.recvar("X"),
+            cols: vec![s.col("a"), s.col("b")],
         };
         let mut ctx = ExecContext::new();
         assert!(execute(&t, &store, &mut ctx).is_err());

@@ -1,11 +1,16 @@
 //! Plan rendering with estimated cost/rows and (optionally) actual rows —
 //! the reproduction of the paper's Fig. 17 execution plans.
+//!
+//! Rendering is one of the two places (with the SQL printer) where
+//! interned [`sgq_common::ColId`]s are resolved back to names, through
+//! the [`SymbolTable`] owned by the store.
 
 use sgq_common::Result;
 
 use crate::cost::estimate;
 use crate::exec::{execute, ExecContext};
 use crate::storage::RelStore;
+use crate::symbols::SymbolTable;
 use crate::table::Relation;
 use crate::term::RaTerm;
 
@@ -56,23 +61,47 @@ impl PlanNames for sgq_graph::GraphDatabase {
     }
 }
 
-fn describe(term: &RaTerm, names: &dyn PlanNames) -> String {
+fn describe(term: &RaTerm, names: &dyn PlanNames, symbols: &SymbolTable) -> String {
     match term {
-        RaTerm::EdgeScan { label, src, tgt } => {
-            format!("Seq Scan on {} ({src}, {tgt})", names.edge_name(*label))
-        }
+        RaTerm::EdgeScan { label, src, tgt } => format!(
+            "Seq Scan on {} ({}, {})",
+            names.edge_name(*label),
+            symbols.col_name(*src),
+            symbols.col_name(*tgt)
+        ),
         RaTerm::NodeScan { labels, col } => {
             let ls: Vec<String> = labels.iter().map(|&l| names.node_name(l)).collect();
-            format!("Index Scan on {} ({col})", ls.join("∪"))
+            format!(
+                "Index Scan on {} ({})",
+                ls.join("∪"),
+                symbols.col_name(*col)
+            )
         }
         RaTerm::Join(..) => "Hash Join".to_string(),
         RaTerm::Semijoin(..) => "Semi Join".to_string(),
         RaTerm::Union(..) => "Union".to_string(),
-        RaTerm::Project { cols, .. } => format!("Project ({})", cols.join(", ")),
-        RaTerm::Select { a, b, .. } => format!("Select ({a} = {b})"),
-        RaTerm::Rename { from, to, .. } => format!("Rename ({from} -> {to})"),
-        RaTerm::Fixpoint { var, .. } => format!("Recursive Fixpoint µ{var} (semi-naive)"),
-        RaTerm::RecRef { var, cols } => format!("Recursive Ref {var} ({})", cols.join(", ")),
+        RaTerm::Project { cols, .. } => {
+            format!("Project ({})", symbols.col_list(cols, ", "))
+        }
+        RaTerm::Select { a, b, .. } => format!(
+            "Select ({} = {})",
+            symbols.col_name(*a),
+            symbols.col_name(*b)
+        ),
+        RaTerm::Rename { from, to, .. } => format!(
+            "Rename ({} -> {})",
+            symbols.col_name(*from),
+            symbols.col_name(*to)
+        ),
+        RaTerm::Fixpoint { var, .. } => format!(
+            "Recursive Fixpoint µ{} (semi-naive)",
+            symbols.recvar_name(*var)
+        ),
+        RaTerm::RecRef { var, cols } => format!(
+            "Recursive Ref {} ({})",
+            symbols.recvar_name(*var),
+            symbols.col_list(cols, ", ")
+        ),
     }
 }
 
@@ -81,7 +110,7 @@ fn render(term: &RaTerm, store: &RelStore, names: &dyn PlanNames, depth: usize, 
     out.push_str(&"  ".repeat(depth));
     out.push_str(&format!(
         "{} (cost = {:.2} rows = {:.0})\n",
-        describe(term, names),
+        describe(term, names, &store.symbols),
         e.cost,
         e.rows
     ));
@@ -110,7 +139,7 @@ fn render_with_actual(
     out.push_str(&"  ".repeat(depth));
     out.push_str(&format!(
         "{} (cost = {:.2} rows = {:.0} actual = {actual})\n",
-        describe(term, names),
+        describe(term, names, &store.symbols),
         e.cost,
         e.rows
     ));
@@ -146,43 +175,45 @@ mod tests {
     fn explain_renders_tree() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
+        let s = &store.symbols;
         let t = RaTerm::join(
             RaTerm::EdgeScan {
                 label: db.edge_label_id("owns").unwrap(),
-                src: "x".into(),
-                tgt: "y".into(),
+                src: s.col("x"),
+                tgt: s.col("y"),
             },
             RaTerm::EdgeScan {
                 label: db.edge_label_id("isLocatedIn").unwrap(),
-                src: "y".into(),
-                tgt: "z".into(),
+                src: s.col("y"),
+                tgt: s.col("z"),
             },
         );
-        let s = explain(&t, &store, &db);
-        assert!(s.contains("Hash Join"), "{s}");
-        assert!(s.contains("Seq Scan on owns"), "{s}");
-        assert!(s.contains("rows = 4"), "{s}");
+        let rendered = explain(&t, &store, &db);
+        assert!(rendered.contains("Hash Join"), "{rendered}");
+        assert!(rendered.contains("Seq Scan on owns (x, y)"), "{rendered}");
+        assert!(rendered.contains("rows = 4"), "{rendered}");
     }
 
     #[test]
     fn explain_analyze_reports_actuals() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
+        let s = &store.symbols;
         let t = RaTerm::semijoin(
             RaTerm::EdgeScan {
                 label: db.edge_label_id("isLocatedIn").unwrap(),
-                src: "x".into(),
-                tgt: "y".into(),
+                src: s.col("x"),
+                tgt: s.col("y"),
             },
             RaTerm::NodeScan {
                 labels: vec![db.node_label_id("REGION").unwrap()],
-                col: "x".into(),
+                col: s.col("x"),
             },
         );
-        let (rel, s) = explain_analyze(&t, &store, &db).unwrap();
+        let (rel, rendered) = explain_analyze(&t, &store, &db).unwrap();
         assert_eq!(rel.len(), 1);
-        assert!(s.contains("actual = 1"), "{s}");
-        assert!(s.contains("Semi Join"), "{s}");
-        assert!(s.contains("Index Scan on REGION"), "{s}");
+        assert!(rendered.contains("actual = 1"), "{rendered}");
+        assert!(rendered.contains("Semi Join"), "{rendered}");
+        assert!(rendered.contains("Index Scan on REGION"), "{rendered}");
     }
 }

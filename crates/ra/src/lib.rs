@@ -1,7 +1,10 @@
 //! A recursive relational algebra engine in the style of µ-RA — the
 //! paper's RDBMS backend substitute (§4 "Translator"/"Backend").
 //!
-//! * [`table`] — set-semantics relations with named columns,
+//! * [`symbols`] — the interned column / recursion-variable name space
+//!   ([`SymbolTable`]): the RA stack compares `u32` ids everywhere and
+//!   resolves strings only at its edges,
+//! * [`table`] — set-semantics relations with interned columns,
 //! * [`storage`] — the relational representation of a property graph
 //!   (Fig. 11): one table per node label and per edge label,
 //! * [`term`] — the RA term language (σ/π/ρ/⋈/⋉/∪ and the fixpoint µ),
@@ -20,10 +23,12 @@ pub mod exec;
 pub mod explain;
 pub mod optimize;
 pub mod storage;
+pub mod symbols;
 pub mod table;
 pub mod term;
 
 pub use exec::{execute, ExecContext};
 pub use storage::RelStore;
+pub use symbols::SymbolTable;
 pub use table::{Col, Relation};
 pub use term::RaTerm;

@@ -13,10 +13,15 @@
 //! 3. **Greedy join reordering** — n-ary join chains are rebuilt
 //!    smallest-estimate-first, preferring connected (column-sharing)
 //!    joins.
+//!
+//! All schema reasoning here — "does this input expose the filter's key
+//! columns?" — is `ColId` comparison; the up-to-eight `next == current`
+//! convergence checks never compare a string.
+
+use sgq_common::ColId;
 
 use crate::cost::estimate;
 use crate::storage::RelStore;
-use crate::table::Col;
 use crate::term::RaTerm;
 
 /// Applies all rewritings until a fixed point is reached.
@@ -42,13 +47,13 @@ fn pass(term: &RaTerm, store: &RelStore) -> RaTerm {
         RaTerm::Project { input, cols } => RaTerm::project(pass(input, store), cols.clone()),
         RaTerm::Rename { input, from, to } => RaTerm::Rename {
             input: Box::new(pass(input, store)),
-            from: from.clone(),
-            to: to.clone(),
+            from: *from,
+            to: *to,
         },
         RaTerm::Select { input, a, b } => RaTerm::Select {
             input: Box::new(pass(input, store)),
-            a: a.clone(),
-            b: b.clone(),
+            a: *a,
+            b: *b,
         },
         RaTerm::Fixpoint {
             var,
@@ -56,7 +61,7 @@ fn pass(term: &RaTerm, store: &RelStore) -> RaTerm {
             step,
             stable,
         } => RaTerm::Fixpoint {
-            var: var.clone(),
+            var: *var,
             base: Box::new(pass(base, store)),
             step: Box::new(pass(step, store)),
             stable: stable.clone(),
@@ -93,13 +98,8 @@ fn push_semijoin(term: RaTerm) -> RaTerm {
                     }
                 }
                 // Push through projections that keep the key columns.
-                RaTerm::Project { input, cols }
-                    if filter_cols.iter().all(|c| cols.contains(c)) =>
-                {
-                    RaTerm::project(
-                        push_semijoin(RaTerm::Semijoin(input, filter)),
-                        cols,
-                    )
+                RaTerm::Project { input, cols } if filter_cols.iter().all(|c| cols.contains(c)) => {
+                    RaTerm::project(push_semijoin(RaTerm::Semijoin(input, filter)), cols)
                 }
                 // Push into a fixpoint when the key is stable.
                 RaTerm::Fixpoint {
@@ -183,7 +183,7 @@ fn rebuild(parts: Vec<RaTerm>) -> RaTerm {
 
 /// Collects the columns of every semi-join filter remaining at the top of
 /// scans — used by tests to assert pushdown happened.
-pub fn semijoin_positions(term: &RaTerm, out: &mut Vec<(String, Vec<Col>)>) {
+pub fn semijoin_positions(term: &RaTerm, out: &mut Vec<(&'static str, Vec<ColId>)>) {
     match term {
         RaTerm::Semijoin(left, filter) => {
             let kind = match **left {
@@ -191,7 +191,7 @@ pub fn semijoin_positions(term: &RaTerm, out: &mut Vec<(String, Vec<Col>)>) {
                 RaTerm::Fixpoint { .. } => "fixpoint",
                 _ => "other",
             };
-            out.push((kind.to_string(), filter.cols()));
+            out.push((kind, filter.cols()));
             semijoin_positions(left, out);
             semijoin_positions(filter, out);
         }
@@ -218,18 +218,24 @@ mod tests {
     use crate::term::closure_fixpoint;
     use sgq_graph::database::fig2_yago_database;
 
-    fn scan(db: &sgq_graph::GraphDatabase, label: &str, src: &str, tgt: &str) -> RaTerm {
+    fn scan(
+        db: &sgq_graph::GraphDatabase,
+        store: &RelStore,
+        label: &str,
+        src: &str,
+        tgt: &str,
+    ) -> RaTerm {
         RaTerm::EdgeScan {
             label: db.edge_label_id(label).unwrap(),
-            src: src.into(),
-            tgt: tgt.into(),
+            src: store.symbols.col(src),
+            tgt: store.symbols.col(tgt),
         }
     }
 
-    fn node(db: &sgq_graph::GraphDatabase, label: &str, col: &str) -> RaTerm {
+    fn node(db: &sgq_graph::GraphDatabase, store: &RelStore, label: &str, col: &str) -> RaTerm {
         RaTerm::NodeScan {
             labels: vec![db.node_label_id(label).unwrap()],
-            col: col.into(),
+            col: store.symbols.col(col),
         }
     }
 
@@ -239,14 +245,17 @@ mod tests {
         let store = RelStore::load(&db);
         // (owns(x,y) ⋈ isLocatedIn(y,z)) ⋉ PROPERTY(y)
         let t = RaTerm::semijoin(
-            RaTerm::join(scan(&db, "owns", "x", "y"), scan(&db, "isLocatedIn", "y", "z")),
-            node(&db, "PROPERTY", "y"),
+            RaTerm::join(
+                scan(&db, &store, "owns", "x", "y"),
+                scan(&db, &store, "isLocatedIn", "y", "z"),
+            ),
+            node(&db, &store, "PROPERTY", "y"),
         );
         let opt = optimize(&t, &store);
         let mut positions = Vec::new();
         semijoin_positions(&opt, &mut positions);
         assert!(
-            positions.iter().any(|(kind, _)| kind == "scan"),
+            positions.iter().any(|&(kind, _)| kind == "scan"),
             "filter should sit on a scan: {opt:?}"
         );
         // Equivalence.
@@ -254,17 +263,23 @@ mod tests {
         let before = execute(&t, &store, &mut ctx).unwrap();
         let after = execute(&opt, &store, &mut ctx).unwrap();
         // Join reordering may reorder columns; compare on x,z.
-        let pb = before.project(&["x".into(), "z".into()]);
-        let pa = after.project(&["x".into(), "z".into()]);
-        assert_eq!(pb, pa);
+        let xz = [store.symbols.col("x"), store.symbols.col("z")];
+        assert_eq!(before.project(&xz), after.project(&xz));
     }
 
     #[test]
     fn semijoin_pushes_into_fixpoint_base() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
-        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
-        let t = RaTerm::semijoin(f.clone(), node(&db, "REGION", "x"));
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let t = RaTerm::semijoin(f.clone(), node(&db, &store, "REGION", "x"));
         let opt = optimize(&t, &store);
         match &opt {
             RaTerm::Fixpoint { base, .. } => {
@@ -288,9 +303,16 @@ mod tests {
     fn filter_on_unstable_col_stays_outside() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
-        let f = closure_fixpoint("X", scan(&db, "isLocatedIn", "x", "y"), "x", "y", "m");
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
         // filter on the target column must NOT be pushed into the base
-        let t = RaTerm::semijoin(f, node(&db, "COUNTRY", "y"));
+        let t = RaTerm::semijoin(f, node(&db, &store, "COUNTRY", "y"));
         let opt = optimize(&t, &store);
         assert!(
             matches!(opt, RaTerm::Semijoin(..)),
@@ -307,14 +329,18 @@ mod tests {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let t = RaTerm::join(
-            RaTerm::join(scan(&db, "isMarriedTo", "x", "w"), scan(&db, "livesIn", "x", "y")),
-            scan(&db, "isLocatedIn", "y", "z"),
+            RaTerm::join(
+                scan(&db, &store, "isMarriedTo", "x", "w"),
+                scan(&db, &store, "livesIn", "x", "y"),
+            ),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
         );
         let opt = optimize(&t, &store);
         let mut ctx = ExecContext::new();
         let before = execute(&t, &store, &mut ctx).unwrap();
         let after = execute(&opt, &store, &mut ctx).unwrap();
-        let cols: Vec<Col> = vec!["x".into(), "w".into(), "y".into(), "z".into()];
+        let s = &store.symbols;
+        let cols = [s.col("x"), s.col("w"), s.col("y"), s.col("z")];
         assert_eq!(before.project(&cols), after.project(&cols));
     }
 }

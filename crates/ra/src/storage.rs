@@ -1,10 +1,17 @@
 //! The relational representation of a property graph (the paper's
 //! Fig. 11): one binary table `(Sr, Tr)` per edge label and one unary
 //! table `(Sr)` per node label.
+//!
+//! The store also owns the [`SymbolTable`] that defines the column-id
+//! space every [`crate::term::RaTerm`] executed against it lives in:
+//! translation interns through `store.symbols`, execution and the
+//! optimiser compare raw ids, and `explain`/SQL rendering resolves ids
+//! back to names.
 
 use sgq_common::{EdgeLabelId, NodeLabelId};
 use sgq_graph::{GraphDatabase, GraphStats};
 
+use crate::symbols::SymbolTable;
 use crate::table::Relation;
 
 /// Column name used for sources / node ids (paper's `Sr`).
@@ -12,7 +19,8 @@ pub const SR: &str = "Sr";
 /// Column name used for targets (paper's `Tr`).
 pub const TR: &str = "Tr";
 
-/// A column store over a graph database plus its statistics.
+/// A column store over a graph database plus its statistics and the
+/// symbol table for the terms executed against it.
 pub struct RelStore {
     /// Edge tables indexed by edge label id, columns `(Sr, Tr)`.
     edge_tables: Vec<Relation>,
@@ -20,11 +28,14 @@ pub struct RelStore {
     node_tables: Vec<Relation>,
     /// Statistics for the cost model.
     pub stats: GraphStats,
+    /// Interned column / recursion-variable names for this store's terms.
+    pub symbols: SymbolTable,
 }
 
 impl RelStore {
     /// Loads a graph database into relational tables (Fig. 11).
     pub fn load(db: &GraphDatabase) -> Self {
+        let symbols = SymbolTable::new();
         let mut edge_tables = Vec::with_capacity(db.edge_label_count());
         for le_idx in 0..db.edge_label_count() {
             let le = EdgeLabelId::new(le_idx as u32);
@@ -33,21 +44,23 @@ impl RelStore {
                 .iter()
                 .map(|&(s, t)| (s.raw(), t.raw()))
                 .collect();
-            edge_tables.push(Relation::from_pairs(SR.into(), TR.into(), &pairs));
+            edge_tables.push(Relation::from_pairs(
+                SymbolTable::SR,
+                SymbolTable::TR,
+                &pairs,
+            ));
         }
         let mut node_tables = Vec::with_capacity(db.node_label_count());
         for l_idx in 0..db.node_label_count() {
             let l = NodeLabelId::new(l_idx as u32);
-            let rows = db
-                .nodes_with_label(l)
-                .iter()
-                .map(|n| vec![n.raw()]);
-            node_tables.push(Relation::from_rows(vec![SR.into()], rows));
+            let rows = db.nodes_with_label(l).iter().map(|n| vec![n.raw()]);
+            node_tables.push(Relation::from_rows(vec![SymbolTable::SR], rows));
         }
         RelStore {
             edge_tables,
             node_tables,
             stats: GraphStats::compute(db),
+            symbols,
         }
     }
 
@@ -56,7 +69,7 @@ impl RelStore {
         self.edge_tables
             .get(le.index())
             .cloned()
-            .unwrap_or_else(|| Relation::empty(vec![SR.into(), TR.into()]))
+            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
     }
 
     /// The node table for `l` (empty if out of range).
@@ -64,7 +77,7 @@ impl RelStore {
         self.node_tables
             .get(l.index())
             .cloned()
-            .unwrap_or_else(|| Relation::empty(vec![SR.into()]))
+            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR]))
     }
 
     /// Number of edge tables.
@@ -91,6 +104,7 @@ mod tests {
         let owns = store.edge_table(db.edge_label_id("owns").unwrap());
         assert_eq!(owns.len(), 1);
         assert_eq!(owns.row(0), &[1, 0]);
+        assert_eq!(owns.cols(), &[SymbolTable::SR, SymbolTable::TR]);
         // isLocatedIn: four rows
         let isl = store.edge_table(db.edge_label_id("isLocatedIn").unwrap());
         assert_eq!(isl.len(), 4);
@@ -109,5 +123,13 @@ mod tests {
         let store = RelStore::load(&db);
         assert!(store.edge_table(EdgeLabelId::new(99)).is_empty());
         assert!(store.node_table(NodeLabelId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn store_symbols_resolve_storage_columns() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        assert_eq!(store.symbols.col(SR), SymbolTable::SR);
+        assert_eq!(store.symbols.col(TR), SymbolTable::TR);
     }
 }

@@ -1,26 +1,46 @@
-//! Set-semantics relations with named columns.
+//! Set-semantics relations with interned column ids.
 //!
 //! Rows are stored flattened (`data[row * arity + col]`) for cache
 //! friendliness; every public operation returns a *canonical* relation
 //! (rows sorted lexicographically, duplicates removed), which makes
 //! equality, union and difference cheap merges.
+//!
+//! Columns are [`ColId`]s (see [`crate::symbols::SymbolTable`]): schema
+//! comparisons are `u32` compares and schema clones are 4-byte copies.
+//! The dominant joins and semi-joins in this workload key on one or two
+//! columns, so those paths hash a single `u32`/`u64` per row instead of
+//! allocating a fresh `Vec<u32>` key; operators that provably preserve
+//! canonical order (semi-join, selection, renaming, prefix projection)
+//! skip the re-sort entirely.
 
-use sgq_common::FxHashMap;
+use std::hash::Hash;
 
-/// A column name. Query variables become columns `v0`, `v1`, ...; the
-/// storage layer uses `Sr` / `Tr` like the paper's Fig. 11.
-pub type Col = String;
+use sgq_common::{ColId, FxHashMap, FxHashSet, Result};
 
-/// A relation: named columns and flattened `u32` rows.
+/// A column identifier. Query variables become interned `v0`, `v1`, ...;
+/// the storage layer uses `Sr` / `Tr` like the paper's Fig. 11.
+pub type Col = ColId;
+
+/// How many probe rows a join/semi-join processes between two calls to
+/// its cooperative-deadline poll.
+const POLL_MASK: usize = 8192 - 1;
+
+/// Packs a two-column key into one hashable word.
+#[inline]
+fn pack2(a: u32, b: u32) -> u64 {
+    ((a as u64) << 32) | b as u64
+}
+
+/// A relation: interned column ids and flattened `u32` rows.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Relation {
-    cols: Vec<Col>,
+    cols: Vec<ColId>,
     data: Vec<u32>,
 }
 
 impl Relation {
     /// An empty relation with the given columns.
-    pub fn empty(cols: Vec<Col>) -> Self {
+    pub fn empty(cols: Vec<ColId>) -> Self {
         assert!(!cols.is_empty(), "relations need at least one column");
         Relation {
             cols,
@@ -29,7 +49,7 @@ impl Relation {
     }
 
     /// Builds a canonical relation from rows.
-    pub fn from_rows(cols: Vec<Col>, rows: impl IntoIterator<Item = Vec<u32>>) -> Self {
+    pub fn from_rows(cols: Vec<ColId>, rows: impl IntoIterator<Item = Vec<u32>>) -> Self {
         let arity = cols.len();
         let mut data = Vec::new();
         for row in rows {
@@ -42,7 +62,7 @@ impl Relation {
     }
 
     /// Builds a canonical binary relation from pairs.
-    pub fn from_pairs(c1: Col, c2: Col, pairs: &[(u32, u32)]) -> Self {
+    pub fn from_pairs(c1: ColId, c2: ColId, pairs: &[(u32, u32)]) -> Self {
         let mut data = Vec::with_capacity(pairs.len() * 2);
         for &(a, b) in pairs {
             data.push(a);
@@ -56,8 +76,8 @@ impl Relation {
         rel
     }
 
-    /// Column names.
-    pub fn cols(&self) -> &[Col] {
+    /// Column ids.
+    pub fn cols(&self) -> &[ColId] {
         &self.cols
     }
 
@@ -91,9 +111,9 @@ impl Relation {
         self.data.chunks_exact(self.arity().max(1))
     }
 
-    /// Index of a column by name.
-    pub fn col_index(&self, col: &str) -> Option<usize> {
-        self.cols.iter().position(|c| c == col)
+    /// Index of a column by id.
+    pub fn col_index(&self, col: ColId) -> Option<usize> {
+        self.cols.iter().position(|&c| c == col)
     }
 
     /// Sorts rows lexicographically and removes duplicates.
@@ -121,11 +141,29 @@ impl Relation {
         self.data = out;
     }
 
+    /// Removes adjacent duplicates (sufficient when rows are already
+    /// sorted, e.g. after a prefix projection).
+    fn dedup_sorted(&mut self) {
+        let arity = self.arity();
+        if arity == 0 || self.data.is_empty() {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.data.len());
+        let mut last: Option<&[u32]> = None;
+        for row in self.data.chunks_exact(arity) {
+            if last != Some(row) {
+                out.extend_from_slice(row);
+            }
+            last = Some(row);
+        }
+        self.data = out;
+    }
+
     /// `π_cols` with set semantics (duplicates removed).
-    pub fn project(&self, cols: &[Col]) -> Relation {
+    pub fn project(&self, cols: &[ColId]) -> Relation {
         let positions: Vec<usize> = cols
             .iter()
-            .map(|c| self.col_index(c).expect("projection column must exist"))
+            .map(|&c| self.col_index(c).expect("projection column must exist"))
             .collect();
         let mut data = Vec::with_capacity(self.len() * cols.len());
         for row in self.rows() {
@@ -137,16 +175,22 @@ impl Relation {
             cols: cols.to_vec(),
             data,
         };
-        rel.normalize();
+        // Projecting onto a prefix of the lexicographic sort key keeps
+        // rows sorted; only duplicates can appear.
+        if positions.iter().copied().eq(0..positions.len()) {
+            rel.dedup_sorted();
+        } else {
+            rel.normalize();
+        }
         rel
     }
 
     /// `ρ_{from→to}`. Renaming never touches row data, so canonical form
     /// is preserved without re-sorting.
-    pub fn rename(&self, from: &str, to: &str) -> Relation {
+    pub fn rename(&self, from: ColId, to: ColId) -> Relation {
         let mut cols = self.cols.clone();
         let i = self.col_index(from).expect("renamed column must exist");
-        cols[i] = to.to_string();
+        cols[i] = to;
         Relation {
             cols,
             data: self.data.clone(),
@@ -155,7 +199,7 @@ impl Relation {
 
     /// Renames columns positionally to `cols` (no re-sort needed: row data
     /// is unchanged).
-    pub fn with_cols(&self, cols: Vec<Col>) -> Relation {
+    pub fn with_cols(&self, cols: Vec<ColId>) -> Relation {
         assert_eq!(cols.len(), self.arity());
         Relation {
             cols,
@@ -163,101 +207,12 @@ impl Relation {
         }
     }
 
-    /// Natural join on shared column names (hash join, smaller side built).
-    pub fn join(&self, other: &Relation) -> Relation {
-        let shared: Vec<Col> = self
-            .cols
-            .iter()
-            .filter(|c| other.col_index(c).is_some())
-            .cloned()
-            .collect();
-        let (build, probe, build_is_self) = if self.len() <= other.len() {
-            (self, other, true)
-        } else {
-            (other, self, false)
-        };
-        let build_key: Vec<usize> = shared
-            .iter()
-            .map(|c| build.col_index(c).unwrap())
-            .collect();
-        let probe_key: Vec<usize> = shared
-            .iter()
-            .map(|c| probe.col_index(c).unwrap())
-            .collect();
-        // Output schema: self's cols then other's non-shared cols.
-        let extra: Vec<(usize, Col)> = other
-            .cols
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| self.col_index(c).is_none())
-            .map(|(i, c)| (i, c.clone()))
-            .collect();
-        let out_cols: Vec<Col> = self
-            .cols
-            .iter()
-            .cloned()
-            .chain(extra.iter().map(|(_, c)| c.clone()))
-            .collect();
-
-        let mut index: FxHashMap<Vec<u32>, Vec<usize>> = FxHashMap::default();
-        for (i, row) in build.rows().enumerate() {
-            let key: Vec<u32> = build_key.iter().map(|&k| row[k]).collect();
-            index.entry(key).or_default().push(i);
-        }
-        let mut data: Vec<u32> = Vec::new();
-        for probe_row in probe.rows() {
-            let key: Vec<u32> = probe_key.iter().map(|&k| probe_row[k]).collect();
-            if let Some(matches) = index.get(&key) {
-                for &bi in matches {
-                    let build_row = build.row(bi);
-                    let (self_row, other_row) = if build_is_self {
-                        (build_row, probe_row)
-                    } else {
-                        (probe_row, build_row)
-                    };
-                    data.extend_from_slice(self_row);
-                    for &(oi, _) in &extra {
-                        data.push(other_row[oi]);
-                    }
-                }
-            }
-        }
-        let mut rel = Relation {
-            cols: out_cols,
-            data,
-        };
-        rel.normalize();
-        rel
-    }
-
-    /// Semi-join `self ⋉ other` on shared column names.
-    pub fn semijoin(&self, other: &Relation) -> Relation {
-        let shared: Vec<Col> = self
-            .cols
-            .iter()
-            .filter(|c| other.col_index(c).is_some())
-            .cloned()
-            .collect();
-        if shared.is_empty() {
-            return if other.is_empty() {
-                Relation::empty(self.cols.clone())
-            } else {
-                self.clone()
-            };
-        }
-        let self_key: Vec<usize> = shared.iter().map(|c| self.col_index(c).unwrap()).collect();
-        let other_key: Vec<usize> = shared
-            .iter()
-            .map(|c| other.col_index(c).unwrap())
-            .collect();
-        let keys: sgq_common::FxHashSet<Vec<u32>> = other
-            .rows()
-            .map(|row| other_key.iter().map(|&k| row[k]).collect())
-            .collect();
+    /// `σ_{a = b}` by column positions: keeps rows whose two columns
+    /// coincide. Filtering preserves canonical order, so no re-sort.
+    pub fn select_eq_at(&self, ia: usize, ib: usize) -> Relation {
         let mut data = Vec::new();
         for row in self.rows() {
-            let key: Vec<u32> = self_key.iter().map(|&k| row[k]).collect();
-            if keys.contains(&key) {
+            if row[ia] == row[ib] {
                 data.extend_from_slice(row);
             }
         }
@@ -267,24 +222,203 @@ impl Relation {
         }
     }
 
-    /// Union (same column names required; canonical merge).
-    pub fn union(&self, other: &Relation) -> Relation {
-        assert_eq!(self.cols, other.cols, "union requires identical schemas");
-        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
-        data.extend_from_slice(&self.data);
-        data.extend_from_slice(&other.data);
+    /// Natural join on shared column ids (hash join, smaller side built).
+    pub fn join(&self, other: &Relation) -> Relation {
+        self.join_checked(other, &mut || Ok(()))
+            .expect("no-op poll cannot fail")
+    }
+
+    /// [`Relation::join`] with a cooperative poll invoked periodically
+    /// inside the probe loop, so deadlines fire mid-operator.
+    pub fn join_checked(
+        &self,
+        other: &Relation,
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<Relation> {
+        let shared: Vec<ColId> = self
+            .cols
+            .iter()
+            .filter(|&&c| other.col_index(c).is_some())
+            .copied()
+            .collect();
+        let (build, probe, build_is_self) = if self.len() <= other.len() {
+            (self, other, true)
+        } else {
+            (other, self, false)
+        };
+        let build_key: Vec<usize> = shared
+            .iter()
+            .map(|&c| build.col_index(c).unwrap())
+            .collect();
+        let probe_key: Vec<usize> = shared
+            .iter()
+            .map(|&c| probe.col_index(c).unwrap())
+            .collect();
+        // Output schema: self's cols then other's non-shared cols.
+        let extra: Vec<(usize, ColId)> = other
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| self.col_index(c).is_none())
+            .map(|(i, &c)| (i, c))
+            .collect();
+        let out_cols: Vec<ColId> = self
+            .cols
+            .iter()
+            .copied()
+            .chain(extra.iter().map(|&(_, c)| c))
+            .collect();
+
+        let mut data: Vec<u32> = Vec::new();
+        {
+            let mut emit = |build_row: &[u32], probe_row: &[u32]| {
+                let (self_row, other_row) = if build_is_self {
+                    (build_row, probe_row)
+                } else {
+                    (probe_row, build_row)
+                };
+                data.extend_from_slice(self_row);
+                for &(oi, _) in &extra {
+                    data.push(other_row[oi]);
+                }
+            };
+            // The dominant case is a one-column (arity-2 ⋈ arity-2) join:
+            // key on a single u32 instead of hashing a Vec per row.
+            match build_key.len() {
+                0 => hash_join(build, probe, |_| (), |_| (), &mut emit, poll)?,
+                1 => {
+                    let (bk, pk) = (build_key[0], probe_key[0]);
+                    hash_join(build, probe, |r| r[bk], |r| r[pk], &mut emit, poll)?;
+                }
+                2 => {
+                    let (b0, b1) = (build_key[0], build_key[1]);
+                    let (p0, p1) = (probe_key[0], probe_key[1]);
+                    hash_join(
+                        build,
+                        probe,
+                        |r| pack2(r[b0], r[b1]),
+                        |r| pack2(r[p0], r[p1]),
+                        &mut emit,
+                        poll,
+                    )?;
+                }
+                _ => hash_join(
+                    build,
+                    probe,
+                    |r| build_key.iter().map(|&k| r[k]).collect::<Vec<u32>>(),
+                    |r| probe_key.iter().map(|&k| r[k]).collect::<Vec<u32>>(),
+                    &mut emit,
+                    poll,
+                )?,
+            }
+        }
         let mut rel = Relation {
-            cols: self.cols.clone(),
+            cols: out_cols,
             data,
         };
         rel.normalize();
-        rel
+        Ok(rel)
     }
 
-    /// Difference `self \ other` (same column names; both canonical).
+    /// Semi-join `self ⋉ other` on shared column ids. Filtering preserves
+    /// canonical order, so the result needs no re-sort.
+    pub fn semijoin(&self, other: &Relation) -> Relation {
+        self.semijoin_checked(other, &mut || Ok(()))
+            .expect("no-op poll cannot fail")
+    }
+
+    /// [`Relation::semijoin`] with a cooperative poll invoked periodically
+    /// inside the scan loop.
+    pub fn semijoin_checked(
+        &self,
+        other: &Relation,
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<Relation> {
+        let shared: Vec<ColId> = self
+            .cols
+            .iter()
+            .filter(|&&c| other.col_index(c).is_some())
+            .copied()
+            .collect();
+        if shared.is_empty() {
+            return Ok(if other.is_empty() {
+                Relation::empty(self.cols.clone())
+            } else {
+                self.clone()
+            });
+        }
+        let self_key: Vec<usize> = shared.iter().map(|&c| self.col_index(c).unwrap()).collect();
+        let other_key: Vec<usize> = shared
+            .iter()
+            .map(|&c| other.col_index(c).unwrap())
+            .collect();
+        let data = match self_key.len() {
+            // Single-u32 keys: the dominant label-filter semi-join.
+            1 => {
+                let (sk, ok) = (self_key[0], other_key[0]);
+                semi_filter(self, other, |r| r[sk], |r| r[ok], poll)?
+            }
+            2 => {
+                let (s0, s1) = (self_key[0], self_key[1]);
+                let (o0, o1) = (other_key[0], other_key[1]);
+                semi_filter(
+                    self,
+                    other,
+                    |r| pack2(r[s0], r[s1]),
+                    |r| pack2(r[o0], r[o1]),
+                    poll,
+                )?
+            }
+            _ => semi_filter(
+                self,
+                other,
+                |r| self_key.iter().map(|&k| r[k]).collect::<Vec<u32>>(),
+                |r| other_key.iter().map(|&k| r[k]).collect::<Vec<u32>>(),
+                poll,
+            )?,
+        };
+        Ok(Relation {
+            cols: self.cols.clone(),
+            data,
+        })
+    }
+
+    /// Union (same column ids required). Both inputs are canonical, so
+    /// the result is a linear merge — no re-sort.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.cols, other.cols, "union requires identical schemas");
+        let arity = self.arity();
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        let (n, m) = (self.len(), other.len());
+        while i < n && j < m {
+            match self.row(i).cmp(other.row(j)) {
+                std::cmp::Ordering::Less => {
+                    data.extend_from_slice(self.row(i));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    data.extend_from_slice(other.row(j));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    data.extend_from_slice(self.row(i));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        data.extend_from_slice(&self.data[i * arity..]);
+        data.extend_from_slice(&other.data[j * arity..]);
+        Relation {
+            cols: self.cols.clone(),
+            data,
+        }
+    }
+
+    /// Difference `self \ other` (same column ids; both canonical).
     pub fn difference(&self, other: &Relation) -> Relation {
         assert_eq!(self.cols, other.cols);
-        let arity = self.arity();
         let mut data = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
         let (n, m) = (self.len(), other.len());
@@ -305,7 +439,6 @@ impl Relation {
             data.extend_from_slice(self.row(i));
             i += 1;
         }
-        let _ = arity;
         Relation {
             cols: self.cols.clone(),
             data,
@@ -313,20 +446,82 @@ impl Relation {
     }
 }
 
+/// Hash-join skeleton shared by all key widths: builds an index over
+/// `build`, probes with `probe`, polling every [`POLL_MASK`]+1 rows.
+fn hash_join<K: Eq + Hash>(
+    build: &Relation,
+    probe: &Relation,
+    build_key: impl Fn(&[u32]) -> K,
+    probe_key: impl Fn(&[u32]) -> K,
+    emit: &mut impl FnMut(&[u32], &[u32]),
+    poll: &mut dyn FnMut() -> Result<()>,
+) -> Result<()> {
+    let mut index: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+    for (i, row) in build.rows().enumerate() {
+        if i & POLL_MASK == 0 {
+            poll()?;
+        }
+        index.entry(build_key(row)).or_default().push(i as u32);
+    }
+    for (i, probe_row) in probe.rows().enumerate() {
+        if i & POLL_MASK == 0 {
+            poll()?;
+        }
+        if let Some(matches) = index.get(&probe_key(probe_row)) {
+            for &bi in matches {
+                emit(build.row(bi as usize), probe_row);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Semi-join skeleton shared by all key widths: hashes `other`'s keys,
+/// filters `left`'s rows in order, polling every [`POLL_MASK`]+1 rows.
+fn semi_filter<K: Eq + Hash>(
+    left: &Relation,
+    other: &Relation,
+    left_key: impl Fn(&[u32]) -> K,
+    other_key: impl Fn(&[u32]) -> K,
+    poll: &mut dyn FnMut() -> Result<()>,
+) -> Result<Vec<u32>> {
+    let mut keys: FxHashSet<K> = FxHashSet::default();
+    for (i, row) in other.rows().enumerate() {
+        if i & POLL_MASK == 0 {
+            poll()?;
+        }
+        keys.insert(other_key(row));
+    }
+    let mut data = Vec::new();
+    for (i, row) in left.rows().enumerate() {
+        if i & POLL_MASK == 0 {
+            poll()?;
+        }
+        if keys.contains(&left_key(row)) {
+            data.extend_from_slice(row);
+        }
+    }
+    Ok(data)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rel(cols: &[&str], rows: &[&[u32]]) -> Relation {
+    fn c(i: u32) -> ColId {
+        ColId::new(i)
+    }
+
+    fn rel(cols: &[u32], rows: &[&[u32]]) -> Relation {
         Relation::from_rows(
-            cols.iter().map(|c| c.to_string()).collect(),
+            cols.iter().map(|&i| c(i)).collect(),
             rows.iter().map(|r| r.to_vec()),
         )
     }
 
     #[test]
     fn canonicalisation() {
-        let r = rel(&["a", "b"], &[&[2, 1], &[1, 1], &[2, 1]]);
+        let r = rel(&[0, 1], &[&[2, 1], &[1, 1], &[2, 1]]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.row(0), &[1, 1]);
         assert_eq!(r.row(1), &[2, 1]);
@@ -334,26 +529,35 @@ mod tests {
 
     #[test]
     fn project_dedups() {
-        let r = rel(&["a", "b"], &[&[1, 1], &[1, 2], &[2, 2]]);
-        let p = r.project(&["a".to_string()]);
+        let r = rel(&[0, 1], &[&[1, 1], &[1, 2], &[2, 2]]);
+        let p = r.project(&[c(0)]);
         assert_eq!(p.len(), 2);
-        assert_eq!(p.cols(), &["a".to_string()]);
+        assert_eq!(p.cols(), &[c(0)]);
+    }
+
+    #[test]
+    fn project_non_prefix_resorts() {
+        let r = rel(&[0, 1], &[&[1, 5], &[1, 9], &[2, 0]]);
+        let p = r.project(&[c(1)]);
+        assert_eq!(p.cols(), &[c(1)]);
+        let rows: Vec<u32> = p.rows().map(|r| r[0]).collect();
+        assert_eq!(rows, vec![0, 5, 9]);
     }
 
     #[test]
     fn rename_changes_schema() {
-        let r = rel(&["a", "b"], &[&[1, 2]]);
-        let r2 = r.rename("a", "x");
-        assert_eq!(r2.cols(), &["x".to_string(), "b".to_string()]);
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        let r2 = r.rename(c(0), c(7));
+        assert_eq!(r2.cols(), &[c(7), c(1)]);
         assert_eq!(r2.row(0), &[1, 2]);
     }
 
     #[test]
     fn natural_join() {
-        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
-        let s = rel(&["b", "c"], &[&[10, 100], &[10, 101], &[30, 300]]);
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[1, 2], &[&[10, 100], &[10, 101], &[30, 300]]);
         let j = r.join(&s);
-        assert_eq!(j.cols(), &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert_eq!(j.cols(), &[c(0), c(1), c(2)]);
         assert_eq!(j.len(), 2);
         assert_eq!(j.row(0), &[1, 10, 100]);
         assert_eq!(j.row(1), &[1, 10, 101]);
@@ -361,8 +565,8 @@ mod tests {
 
     #[test]
     fn join_without_shared_cols_is_cartesian() {
-        let r = rel(&["a"], &[&[1], &[2]]);
-        let s = rel(&["b"], &[&[7]]);
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7]]);
         let j = r.join(&s);
         assert_eq!(j.len(), 2);
         assert_eq!(j.arity(), 2);
@@ -370,17 +574,26 @@ mod tests {
 
     #[test]
     fn join_on_two_columns() {
-        let r = rel(&["a", "b"], &[&[1, 2], &[3, 4]]);
-        let s = rel(&["a", "b"], &[&[1, 2], &[3, 5]]);
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[0, 1], &[&[1, 2], &[3, 5]]);
         let j = r.join(&s);
         assert_eq!(j.len(), 1);
         assert_eq!(j.row(0), &[1, 2]);
     }
 
     #[test]
+    fn join_on_three_columns_uses_wide_keys() {
+        let r = rel(&[0, 1, 2], &[&[1, 2, 3], &[4, 5, 6]]);
+        let s = rel(&[0, 1, 2], &[&[1, 2, 3], &[4, 5, 7]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.row(0), &[1, 2, 3]);
+    }
+
+    #[test]
     fn semijoin_filters() {
-        let r = rel(&["a", "b"], &[&[1, 10], &[2, 20]]);
-        let f = rel(&["a"], &[&[1]]);
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let f = rel(&[0], &[&[1]]);
         let sj = r.semijoin(&f);
         assert_eq!(sj.len(), 1);
         assert_eq!(sj.row(0), &[1, 10]);
@@ -388,17 +601,17 @@ mod tests {
 
     #[test]
     fn semijoin_no_shared_cols() {
-        let r = rel(&["a"], &[&[1]]);
-        let non_empty = rel(&["z"], &[&[9]]);
+        let r = rel(&[0], &[&[1]]);
+        let non_empty = rel(&[5], &[&[9]]);
         assert_eq!(r.semijoin(&non_empty), r);
-        let empty = Relation::empty(vec!["z".to_string()]);
+        let empty = Relation::empty(vec![c(5)]);
         assert!(r.semijoin(&empty).is_empty());
     }
 
     #[test]
     fn union_and_difference() {
-        let r = rel(&["a"], &[&[1], &[2]]);
-        let s = rel(&["a"], &[&[2], &[3]]);
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[0], &[&[2], &[3]]);
         assert_eq!(r.union(&s).len(), 3);
         let d = r.difference(&s);
         assert_eq!(d.len(), 1);
@@ -406,34 +619,55 @@ mod tests {
     }
 
     #[test]
+    fn select_eq_keeps_matching_rows() {
+        let r = rel(&[0, 1], &[&[1, 1], &[1, 2], &[3, 3]]);
+        let s = r.select_eq_at(0, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(0), &[1, 1]);
+        assert_eq!(s.row(1), &[3, 3]);
+    }
+
+    #[test]
     fn with_cols_positional() {
-        let r = rel(&["a", "b"], &[&[1, 2]]);
-        let r2 = r.with_cols(vec!["x".into(), "y".into()]);
-        assert_eq!(r2.cols(), &["x".to_string(), "y".to_string()]);
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        let r2 = r.with_cols(vec![c(8), c(9)]);
+        assert_eq!(r2.cols(), &[c(8), c(9)]);
+    }
+
+    #[test]
+    fn checked_operators_propagate_poll_errors() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
+        let s = rel(&[1, 2], &[&[10, 100]]);
+        let mut fail = || Err(sgq_common::SgqError::Timeout { limit_ms: 0 });
+        assert!(r.join_checked(&s, &mut fail).is_err());
+        assert!(r.semijoin_checked(&s, &mut fail).is_err());
     }
 }
 
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use sgq_common::Rng;
 
-    fn arb_rel(cols: &'static [&'static str]) -> impl Strategy<Value = Relation> {
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..12, cols.len()),
-            0..24,
-        )
-        .prop_map(move |rows| {
-            Relation::from_rows(cols.iter().map(|c| c.to_string()).collect(), rows)
-        })
+    fn arb_rel(rng: &mut Rng, cols: &[u32]) -> Relation {
+        let n = rng.gen_range(0..24);
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|_| {
+                (0..cols.len())
+                    .map(|_| rng.gen_range(0..12) as u32)
+                    .collect()
+            })
+            .collect();
+        Relation::from_rows(cols.iter().map(|&i| ColId::new(i)).collect(), rows)
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        /// Natural join agrees with the nested-loop definition.
-        #[test]
-        fn join_matches_nested_loop(r in arb_rel(&["a", "b"]), s in arb_rel(&["b", "c"])) {
+    /// Natural join agrees with the nested-loop definition.
+    #[test]
+    fn join_matches_nested_loop() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed);
+            let r = arb_rel(&mut rng, &[0, 1]);
+            let s = arb_rel(&mut rng, &[1, 2]);
             let j = r.join(&s);
             let mut expect: Vec<Vec<u32>> = Vec::new();
             for x in r.rows() {
@@ -443,48 +677,58 @@ mod proptests {
                     }
                 }
             }
-            let expect = Relation::from_rows(
-                vec!["a".into(), "b".into(), "c".into()],
-                expect,
-            );
-            prop_assert_eq!(j, expect);
+            let expect =
+                Relation::from_rows(vec![ColId::new(0), ColId::new(1), ColId::new(2)], expect);
+            assert_eq!(j, expect, "seed {seed}");
         }
+    }
 
-        /// Semi-join is the join projected back onto the left schema.
-        #[test]
-        fn semijoin_matches_projected_join(r in arb_rel(&["a", "b"]), s in arb_rel(&["b", "c"])) {
+    /// Semi-join is the join projected back onto the left schema.
+    #[test]
+    fn semijoin_matches_projected_join() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed ^ 0x5e31_u64);
+            let r = arb_rel(&mut rng, &[0, 1]);
+            let s = arb_rel(&mut rng, &[1, 2]);
             let sj = r.semijoin(&s);
-            let expect = r
-                .join(&s)
-                .project(&["a".to_string(), "b".to_string()]);
-            prop_assert_eq!(sj, expect);
+            let expect = r.join(&s).project(&[ColId::new(0), ColId::new(1)]);
+            assert_eq!(sj, expect, "seed {seed}");
         }
+    }
 
-        /// Union/difference satisfy (A ∪ B) \ B ⊆ A and A ⊆ (A ∪ B).
-        #[test]
-        fn union_difference_laws(a in arb_rel(&["x"]), b in arb_rel(&["x"])) {
+    /// Union/difference satisfy (A ∪ B) \ B ⊆ A and A ⊆ (A ∪ B).
+    #[test]
+    fn union_difference_laws() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed.wrapping_mul(0x9e37));
+            let a = arb_rel(&mut rng, &[0]);
+            let b = arb_rel(&mut rng, &[0]);
             let u = a.union(&b);
             let d = u.difference(&b);
             for row in d.rows() {
-                prop_assert!(a.rows().any(|r| r == row));
+                assert!(a.rows().any(|r| r == row), "seed {seed}");
             }
             for row in a.rows() {
-                prop_assert!(u.rows().any(|r| r == row));
+                assert!(u.rows().any(|r| r == row), "seed {seed}");
             }
             // difference then union restores the union
-            prop_assert_eq!(d.union(&b), u);
+            assert_eq!(d.union(&b), u, "seed {seed}");
         }
+    }
 
-        /// Projection is idempotent and set-semantic.
-        #[test]
-        fn project_idempotent(r in arb_rel(&["a", "b"])) {
-            let p1 = r.project(&["a".to_string()]);
-            let p2 = p1.project(&["a".to_string()]);
-            prop_assert_eq!(&p1, &p2);
+    /// Projection is idempotent and set-semantic.
+    #[test]
+    fn project_idempotent() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed.rotate_left(7));
+            let r = arb_rel(&mut rng, &[0, 1]);
+            let p1 = r.project(&[ColId::new(0)]);
+            let p2 = p1.project(&[ColId::new(0)]);
+            assert_eq!(&p1, &p2, "seed {seed}");
             // no duplicates
             let mut seen = std::collections::HashSet::new();
             for row in p1.rows() {
-                prop_assert!(seen.insert(row.to_vec()));
+                assert!(seen.insert(row.to_vec()), "seed {seed}");
             }
         }
     }

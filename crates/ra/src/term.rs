@@ -6,10 +6,14 @@
 //! unchanged from the recursive reference in every iteration — which is
 //! what licenses pushing joins/semi-joins into the fixpoint
 //! (Jachiet et al.'s key rewriting, used by [`crate::optimize`]).
+//!
+//! All column and recursion-variable names are interned ids (see
+//! [`crate::symbols::SymbolTable`]): structural equality of terms — which
+//! the optimiser's fixpoint loop computes up to eight times per query —
+//! is pure integer comparison, and cloning a term never touches the heap
+//! for its symbols.
 
-use sgq_common::{EdgeLabelId, NodeLabelId};
-
-use crate::table::Col;
+use sgq_common::{ColId, EdgeLabelId, NodeLabelId, RecVarId};
 
 /// A recursive relational algebra term.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -18,19 +22,19 @@ pub enum RaTerm {
     EdgeScan {
         /// Edge label.
         label: EdgeLabelId,
-        /// Output name of the `Sr` column.
-        src: Col,
-        /// Output name of the `Tr` column.
-        tgt: Col,
+        /// Output id of the `Sr` column.
+        src: ColId,
+        /// Output id of the `Tr` column.
+        tgt: ColId,
     },
     /// Scan of the union of node tables for `labels`, column named `col`.
     NodeScan {
         /// Node labels (unioned).
         labels: Vec<NodeLabelId>,
-        /// Output column name.
-        col: Col,
+        /// Output column id.
+        col: ColId,
     },
-    /// Natural join on shared column names.
+    /// Natural join on shared column ids.
     Join(Box<RaTerm>, Box<RaTerm>),
     /// Semi-join: left rows with a match in right (on shared columns).
     Semijoin(Box<RaTerm>, Box<RaTerm>),
@@ -41,7 +45,7 @@ pub enum RaTerm {
         /// Input term.
         input: Box<RaTerm>,
         /// Retained columns.
-        cols: Vec<Col>,
+        cols: Vec<ColId>,
     },
     /// Equality selection `σ_{a = b}` (keeps rows where the two columns
     /// coincide).
@@ -49,23 +53,23 @@ pub enum RaTerm {
         /// Input term.
         input: Box<RaTerm>,
         /// First column.
-        a: Col,
+        a: ColId,
         /// Second column.
-        b: Col,
+        b: ColId,
     },
     /// Column renaming `ρ_{from → to}`.
     Rename {
         /// Input term.
         input: Box<RaTerm>,
-        /// Old column name.
-        from: Col,
-        /// New column name.
-        to: Col,
+        /// Old column id.
+        from: ColId,
+        /// New column id.
+        to: ColId,
     },
     /// Fixpoint `µ var. base ∪ step(var)` (step must be linear in `var`).
     Fixpoint {
-        /// Recursion variable name.
-        var: String,
+        /// Recursion variable.
+        var: RecVarId,
         /// Base case.
         base: Box<RaTerm>,
         /// Inductive step; refers to the previous iteration via
@@ -74,15 +78,15 @@ pub enum RaTerm {
         /// Columns that every iteration copies unchanged from the
         /// recursive reference (e.g. the source column of a transitive
         /// closure). Joins on these columns may be pushed into `base`.
-        stable: Vec<Col>,
+        stable: Vec<ColId>,
     },
     /// Reference to the enclosing fixpoint's current iteration, with its
     /// columns positionally renamed to `cols`.
     RecRef {
-        /// Recursion variable name.
-        var: String,
+        /// Recursion variable.
+        var: RecVarId,
         /// Positional column renaming.
-        cols: Vec<Col>,
+        cols: Vec<ColId>,
     },
 }
 
@@ -103,7 +107,7 @@ impl RaTerm {
     }
 
     /// Convenience constructor: `Project`.
-    pub fn project(input: RaTerm, cols: Vec<Col>) -> RaTerm {
+    pub fn project(input: RaTerm, cols: Vec<ColId>) -> RaTerm {
         RaTerm::Project {
             input: Box::new(input),
             cols,
@@ -111,20 +115,20 @@ impl RaTerm {
     }
 
     /// Convenience constructor: `Select` (equality).
-    pub fn select_eq(input: RaTerm, a: impl Into<Col>, b: impl Into<Col>) -> RaTerm {
+    pub fn select_eq(input: RaTerm, a: ColId, b: ColId) -> RaTerm {
         RaTerm::Select {
             input: Box::new(input),
-            a: a.into(),
-            b: b.into(),
+            a,
+            b,
         }
     }
 
     /// The output columns of the term. Recursive references resolve to
     /// their declared positional columns.
-    pub fn cols(&self) -> Vec<Col> {
+    pub fn cols(&self) -> Vec<ColId> {
         match self {
-            RaTerm::EdgeScan { src, tgt, .. } => vec![src.clone(), tgt.clone()],
-            RaTerm::NodeScan { col, .. } => vec![col.clone()],
+            RaTerm::EdgeScan { src, tgt, .. } => vec![*src, *tgt],
+            RaTerm::NodeScan { col, .. } => vec![*col],
             RaTerm::Join(a, b) => {
                 let mut out = a.cols();
                 for c in b.cols() {
@@ -141,7 +145,7 @@ impl RaTerm {
             RaTerm::Rename { input, from, to } => input
                 .cols()
                 .into_iter()
-                .map(|c| if &c == from { to.clone() } else { c })
+                .map(|c| if c == *from { *to } else { c })
                 .collect(),
             RaTerm::Fixpoint { base, .. } => base.cols(),
             RaTerm::RecRef { cols, .. } => cols.clone(),
@@ -186,41 +190,53 @@ impl RaTerm {
 ///
 /// `src` is stable (every iteration keeps the original source), so
 /// joins/semi-joins on `src` may later be pushed into the base.
-pub fn closure_fixpoint(var: &str, inner: RaTerm, src: &str, tgt: &str, mid: &str) -> RaTerm {
+pub fn closure_fixpoint(
+    var: RecVarId,
+    inner: RaTerm,
+    src: ColId,
+    tgt: ColId,
+    mid: ColId,
+) -> RaTerm {
     let step_inner = rename_binary(inner.clone(), src, tgt, mid, tgt);
     let step = RaTerm::project(
         RaTerm::join(
             RaTerm::RecRef {
-                var: var.to_string(),
-                cols: vec![src.to_string(), mid.to_string()],
+                var,
+                cols: vec![src, mid],
             },
             step_inner,
         ),
-        vec![src.to_string(), tgt.to_string()],
+        vec![src, tgt],
     );
     RaTerm::Fixpoint {
-        var: var.to_string(),
+        var,
         base: Box::new(inner),
         step: Box::new(step),
-        stable: vec![src.to_string()],
+        stable: vec![src],
     }
 }
 
 /// Renames the two columns of a binary term.
-pub fn rename_binary(term: RaTerm, old_src: &str, old_tgt: &str, src: &str, tgt: &str) -> RaTerm {
+pub fn rename_binary(
+    term: RaTerm,
+    old_src: ColId,
+    old_tgt: ColId,
+    src: ColId,
+    tgt: ColId,
+) -> RaTerm {
     let mut t = term;
     if old_src != src {
         t = RaTerm::Rename {
             input: Box::new(t),
-            from: old_src.to_string(),
-            to: src.to_string(),
+            from: old_src,
+            to: src,
         };
     }
     if old_tgt != tgt {
         t = RaTerm::Rename {
             input: Box::new(t),
-            from: old_tgt.to_string(),
-            to: tgt.to_string(),
+            from: old_tgt,
+            to: tgt,
         };
     }
     t
@@ -229,47 +245,55 @@ pub fn rename_binary(term: RaTerm, old_src: &str, old_tgt: &str, src: &str, tgt:
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbols::SymbolTable;
 
-    fn scan(src: &str, tgt: &str) -> RaTerm {
+    fn scan(s: &SymbolTable, src: &str, tgt: &str) -> RaTerm {
         RaTerm::EdgeScan {
             label: EdgeLabelId::new(0),
-            src: src.into(),
-            tgt: tgt.into(),
+            src: s.col(src),
+            tgt: s.col(tgt),
         }
     }
 
     #[test]
     fn cols_propagate() {
-        let j = RaTerm::join(scan("x", "y"), scan("y", "z"));
-        assert_eq!(j.cols(), vec!["x".to_string(), "y".into(), "z".into()]);
-        let p = RaTerm::project(j, vec!["x".into(), "z".into()]);
-        assert_eq!(p.cols(), vec!["x".to_string(), "z".into()]);
+        let s = SymbolTable::new();
+        let (x, y, z) = (s.col("x"), s.col("y"), s.col("z"));
+        let j = RaTerm::join(scan(&s, "x", "y"), scan(&s, "y", "z"));
+        assert_eq!(j.cols(), vec![x, y, z]);
+        let p = RaTerm::project(j, vec![x, z]);
+        assert_eq!(p.cols(), vec![x, z]);
     }
 
     #[test]
     fn closure_shape() {
-        let f = closure_fixpoint("X", scan("x", "y"), "x", "y", "m");
+        let s = SymbolTable::new();
+        let (x, y, m) = (s.col("x"), s.col("y"), s.col("m"));
+        let f = closure_fixpoint(s.recvar("X"), scan(&s, "x", "y"), x, y, m);
         assert!(f.is_recursive());
-        assert_eq!(f.cols(), vec!["x".to_string(), "y".into()]);
+        assert_eq!(f.cols(), vec![x, y]);
         match &f {
-            RaTerm::Fixpoint { stable, .. } => assert_eq!(stable, &["x".to_string()]),
+            RaTerm::Fixpoint { stable, .. } => assert_eq!(stable, &[x]),
             _ => panic!(),
         }
     }
 
     #[test]
     fn rename_cols() {
+        let s = SymbolTable::new();
+        let x = s.col("x");
         let r = RaTerm::Rename {
-            input: Box::new(scan("Sr", "Tr")),
-            from: "Sr".into(),
-            to: "x".into(),
+            input: Box::new(scan(&s, "Sr", "Tr")),
+            from: SymbolTable::SR,
+            to: x,
         };
-        assert_eq!(r.cols(), vec!["x".to_string(), "Tr".into()]);
+        assert_eq!(r.cols(), vec![x, SymbolTable::TR]);
     }
 
     #[test]
     fn size_counts_nodes() {
-        let j = RaTerm::join(scan("x", "y"), scan("y", "z"));
+        let s = SymbolTable::new();
+        let j = RaTerm::join(scan(&s, "x", "y"), scan(&s, "y", "z"));
         assert_eq!(j.size(), 3);
     }
 }

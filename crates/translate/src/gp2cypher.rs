@@ -18,15 +18,9 @@ use sgq_query::cqt::{Cqt, Relation, Ucqt};
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Hop {
     /// `-[:label]->` or `<-[:label]-` when `reversed`.
-    Single {
-        label: String,
-        reversed: bool,
-    },
+    Single { label: String, reversed: bool },
     /// `-[:label*]->` (one-or-more repetition).
-    Star {
-        label: String,
-        reversed: bool,
-    },
+    Star { label: String, reversed: bool },
 }
 
 /// Checks whether a UCQT falls into the Cypher-expressible UC2RPQ chain
@@ -133,7 +127,9 @@ pub fn to_cypher(query: &Ucqt, schema: &GraphSchema) -> Result<String> {
 fn cqt_to_cypher(cqt: &Cqt, schema: &GraphSchema) -> Result<String> {
     let mut label_of: std::collections::BTreeMap<VarId, LabelSet> = Default::default();
     for atom in &cqt.atoms {
-        let entry = label_of.entry(atom.var).or_insert_with(|| atom.labels.clone());
+        let entry = label_of
+            .entry(atom.var)
+            .or_insert_with(|| atom.labels.clone());
         *entry = sgq_common::sorted::intersect(entry, &atom.labels);
     }
     let mut patterns: Vec<String> = Vec::new();
@@ -213,10 +209,7 @@ fn node_pattern(
 /// Decomposes an annotated path into Cypher hops; `allow_names` controls
 /// whether label names are resolved (the expressibility check passes
 /// `false` and only needs the shape).
-fn chain_hops(
-    path: &AnnotatedPath,
-    _allow_names: bool,
-) -> std::result::Result<Vec<Hop>, String> {
+fn chain_hops(path: &AnnotatedPath, _allow_names: bool) -> std::result::Result<Vec<Hop>, String> {
     match path {
         AnnotatedPath::Plain(e) => plain_hops(e),
         AnnotatedPath::Concat(a, _ann, b) => {
@@ -273,10 +266,7 @@ fn plain_hops(e: &PathExpr) -> std::result::Result<Vec<Hop>, String> {
 fn resolve_labels(s: String, schema: &GraphSchema) -> String {
     let mut out = s;
     for le in schema.edge_labels() {
-        out = out.replace(
-            &format!("__LE{}#", le.raw()),
-            schema.edge_label_name(le),
-        );
+        out = out.replace(&format!("__LE{}#", le.raw()), schema.edge_label_name(le));
     }
     out
 }
@@ -472,10 +462,8 @@ mod union_tests {
                 .collect();
             let mut union_eval: Vec<(sgq_common::NodeId, sgq_common::NodeId)> = Vec::new();
             for p in &parts {
-                union_eval = sgq_common::sorted::union(
-                    &union_eval,
-                    &sgq_algebra::eval::eval_path(&db, p),
-                );
+                union_eval =
+                    sgq_common::sorted::union(&union_eval, &sgq_algebra::eval::eval_path(&db, p));
             }
             assert_eq!(
                 union_eval,

@@ -13,64 +13,79 @@
 //! [`sgq_ra::term::closure_fixpoint`]; label atoms become semi-joins with
 //! node tables; a CQT is the natural join of its relations projected onto
 //! the head.
+//!
+//! This is the RA stack's *ingestion edge*: every column and recursion
+//! variable is interned once here, through the [`SymbolTable`] borrowed
+//! by [`NameGen`] (normally `store.symbols`), and everything downstream
+//! of translation works with dense ids.
 
 use sgq_algebra::ast::PathExpr;
-use sgq_common::{Result, SgqError, VarId};
+use sgq_common::{ColId, RecVarId, Result, SgqError, VarId};
 use sgq_query::cqt::{Cqt, Ucqt};
+use sgq_ra::symbols::SymbolTable;
 use sgq_ra::term::{closure_fixpoint, RaTerm};
 
-/// Column name for a query variable.
-pub fn var_col(v: VarId) -> String {
-    format!("v{}", v.raw())
+/// Interns the column for a query variable (`v0`, `v1`, ...).
+pub fn var_col(v: VarId, symbols: &SymbolTable) -> ColId {
+    symbols.col(&format!("v{}", v.raw()))
 }
 
-/// Fresh-name generator for intermediate columns and fixpoint variables.
-#[derive(Debug, Default)]
-pub struct NameGen {
+/// Fresh-name generator for intermediate columns and fixpoint variables,
+/// interning through the symbol table of the store the term will run on.
+#[derive(Debug)]
+pub struct NameGen<'a> {
+    symbols: &'a SymbolTable,
     next: u32,
 }
 
-impl NameGen {
-    fn mid(&mut self) -> String {
-        let n = self.next;
-        self.next += 1;
-        format!("m${n}")
+impl<'a> NameGen<'a> {
+    /// A generator interning into `symbols`.
+    pub fn new(symbols: &'a SymbolTable) -> Self {
+        NameGen { symbols, next: 0 }
     }
 
-    fn fix(&mut self) -> String {
+    /// The symbol table this generator interns into.
+    pub fn symbols(&self) -> &'a SymbolTable {
+        self.symbols
+    }
+
+    fn mid(&mut self) -> ColId {
         let n = self.next;
         self.next += 1;
-        format!("X{n}")
+        self.symbols.col(&format!("m${n}"))
+    }
+
+    fn fix(&mut self) -> RecVarId {
+        let n = self.next;
+        self.next += 1;
+        self.symbols.recvar(&format!("X{n}"))
     }
 }
 
 /// Translates a path expression into a binary RA term with columns
 /// `(src, tgt)`.
-pub fn path_to_term(expr: &PathExpr, src: &str, tgt: &str, names: &mut NameGen) -> RaTerm {
+pub fn path_to_term(expr: &PathExpr, src: ColId, tgt: ColId, names: &mut NameGen<'_>) -> RaTerm {
     match expr {
         PathExpr::Label(le) => RaTerm::EdgeScan {
             label: *le,
-            src: src.to_string(),
-            tgt: tgt.to_string(),
+            src,
+            tgt,
         },
         // ρ swaps the roles of Sr and Tr; re-project so every translation
         // exposes its columns in (src, tgt) order (unions require it).
         PathExpr::Reverse(le) => RaTerm::project(
             RaTerm::EdgeScan {
                 label: *le,
-                src: tgt.to_string(),
-                tgt: src.to_string(),
+                src: tgt,
+                tgt: src,
             },
-            vec![src.to_string(), tgt.to_string()],
+            vec![src, tgt],
         ),
         PathExpr::Concat(a, b) => {
             let m = names.mid();
-            let left = path_to_term(a, src, &m, names);
-            let right = path_to_term(b, &m, tgt, names);
-            RaTerm::project(
-                RaTerm::join(left, right),
-                vec![src.to_string(), tgt.to_string()],
-            )
+            let left = path_to_term(a, src, m, names);
+            let right = path_to_term(b, m, tgt, names);
+            RaTerm::project(RaTerm::join(left, right), vec![src, tgt])
         }
         PathExpr::Union(a, b) => RaTerm::union(
             path_to_term(a, src, tgt, names),
@@ -84,34 +99,35 @@ pub fn path_to_term(expr: &PathExpr, src: &str, tgt: &str, names: &mut NameGen) 
         // Tab. 2: ϕ1[ϕ2] = Lϕ1M ⋉ π_tgt(Lϕ2M with Sr renamed to tgt).
         PathExpr::BranchR(a, b) => {
             let m = names.mid();
-            let test = path_to_term(b, tgt, &m, names);
+            let test = path_to_term(b, tgt, m, names);
             RaTerm::semijoin(
                 path_to_term(a, src, tgt, names),
-                RaTerm::project(test, vec![tgt.to_string()]),
+                RaTerm::project(test, vec![tgt]),
             )
         }
         // Tab. 2: [ϕ1]ϕ2 = Lϕ2M ⋉ π_src(Lϕ1M).
         PathExpr::BranchL(a, b) => {
             let m = names.mid();
-            let test = path_to_term(a, src, &m, names);
+            let test = path_to_term(a, src, m, names);
             RaTerm::semijoin(
                 path_to_term(b, src, tgt, names),
-                RaTerm::project(test, vec![src.to_string()]),
+                RaTerm::project(test, vec![src]),
             )
         }
         PathExpr::Plus(a) => {
             let inner = path_to_term(a, src, tgt, names);
             let var = names.fix();
             let mid = names.mid();
-            closure_fixpoint(&var, inner, src, tgt, &mid)
+            closure_fixpoint(var, inner, src, tgt, mid)
         }
     }
 }
 
 /// Translates one CQT: relations joined naturally, label atoms as
 /// semi-joins with node tables, projected onto the head.
-pub fn cqt_to_term(cqt: &Cqt, names: &mut NameGen) -> Result<RaTerm> {
+pub fn cqt_to_term(cqt: &Cqt, names: &mut NameGen<'_>) -> Result<RaTerm> {
     cqt.validate()?;
+    let symbols = names.symbols();
     let mut acc: Option<RaTerm> = None;
     for rel in &cqt.relations {
         let expr = rel.path.strip();
@@ -119,13 +135,16 @@ pub fn cqt_to_term(cqt: &Cqt, names: &mut NameGen) -> Result<RaTerm> {
             // (x, ϕ, x): translate with a fresh target, select equality and
             // keep a single column.
             let m = names.mid();
-            let t = path_to_term(&expr, &var_col(rel.src), &m, names);
-            RaTerm::project(
-                RaTerm::select_eq(t, var_col(rel.src), m),
-                vec![var_col(rel.src)],
-            )
+            let src = var_col(rel.src, symbols);
+            let t = path_to_term(&expr, src, m, names);
+            RaTerm::project(RaTerm::select_eq(t, src, m), vec![src])
         } else {
-            path_to_term(&expr, &var_col(rel.src), &var_col(rel.tgt), names)
+            path_to_term(
+                &expr,
+                var_col(rel.src, symbols),
+                var_col(rel.tgt, symbols),
+                names,
+            )
         };
         acc = Some(match acc {
             None => term,
@@ -138,18 +157,22 @@ pub fn cqt_to_term(cqt: &Cqt, names: &mut NameGen) -> Result<RaTerm> {
             term,
             RaTerm::NodeScan {
                 labels: atom.labels.clone(),
-                col: var_col(atom.var),
+                col: var_col(atom.var, symbols),
             },
         );
     }
-    let head: Vec<String> = cqt.head.iter().map(|&v| var_col(v)).collect();
+    let head: Vec<ColId> = cqt.head.iter().map(|&v| var_col(v, symbols)).collect();
     Ok(RaTerm::project(term, head))
 }
 
 /// Translates a whole UCQT: the union of its disjunct translations.
-pub fn ucqt_to_term(query: &Ucqt, names: &mut NameGen) -> Result<RaTerm> {
+pub fn ucqt_to_term(query: &Ucqt, names: &mut NameGen<'_>) -> Result<RaTerm> {
     query.validate()?;
-    let head: Vec<String> = query.head.iter().map(|&v| var_col(v)).collect();
+    let head: Vec<ColId> = query
+        .head
+        .iter()
+        .map(|&v| var_col(v, names.symbols()))
+        .collect();
     let mut acc: Option<RaTerm> = None;
     for cqt in &query.disjuncts {
         let t = cqt_to_term(cqt, names)?;
@@ -170,15 +193,18 @@ mod tests {
     use sgq_ra::exec::{execute, ExecContext};
     use sgq_ra::storage::RelStore;
 
-    fn eval_expr(s: &str) -> (Vec<(u32, u32)>, Vec<(u32, u32)>) {
+    type Pairs = Vec<(u32, u32)>;
+
+    fn eval_expr(s: &str) -> (Pairs, Pairs) {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let e = parse_path(s, &db).unwrap();
-        let mut names = NameGen::default();
-        let t = path_to_term(&e, "v0", "v1", &mut names);
+        let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+        let mut names = NameGen::new(&store.symbols);
+        let t = path_to_term(&e, v0, v1, &mut names);
         let mut ctx = ExecContext::new();
         let rel = execute(&t, &store, &mut ctx).unwrap();
-        let rel = rel.project(&["v0".to_string(), "v1".to_string()]);
+        let rel = rel.project(&[v0, v1]);
         let got: Vec<(u32, u32)> = rel.rows().map(|r| (r[0], r[1])).collect();
         let want: Vec<(u32, u32)> = sgq_algebra::eval::eval_path(&db, &e)
             .iter()
@@ -219,14 +245,13 @@ mod tests {
         let region = db.node_label_id("REGION").unwrap();
         let cqt = Cqt {
             head: vec![a, b],
-            atoms: vec![LabelAtom { var: b, labels: vec![region] }],
-            relations: vec![QRel::plain(
-                a,
-                parse_path("isLocatedIn", &db).unwrap(),
-                b,
-            )],
+            atoms: vec![LabelAtom {
+                var: b,
+                labels: vec![region],
+            }],
+            relations: vec![QRel::plain(a, parse_path("isLocatedIn", &db).unwrap(), b)],
         };
-        let mut names = NameGen::default();
+        let mut names = NameGen::new(&store.symbols);
         let t = cqt_to_term(&cqt, &mut names).unwrap();
         let mut ctx = ExecContext::new();
         let rel = execute(&t, &store, &mut ctx).unwrap();
@@ -244,13 +269,9 @@ mod tests {
         let cqt = Cqt {
             head: vec![x],
             atoms: vec![],
-            relations: vec![QRel::plain(
-                x,
-                parse_path("isMarriedTo+", &db).unwrap(),
-                x,
-            )],
+            relations: vec![QRel::plain(x, parse_path("isMarriedTo+", &db).unwrap(), x)],
         };
-        let mut names = NameGen::default();
+        let mut names = NameGen::new(&store.symbols);
         let t = cqt_to_term(&cqt, &mut names).unwrap();
         let mut ctx = ExecContext::new();
         let rel = execute(&t, &store, &mut ctx).unwrap();
@@ -263,7 +284,7 @@ mod tests {
         let store = RelStore::load(&db);
         let e = parse_path("owns | livesIn", &db).unwrap();
         let q = sgq_query::cqt::Ucqt::path_query(e.clone());
-        let mut names = NameGen::default();
+        let mut names = NameGen::new(&store.symbols);
         let t = ucqt_to_term(&q, &mut names).unwrap();
         let mut ctx = ExecContext::new();
         let rel = execute(&t, &store, &mut ctx).unwrap();
@@ -277,7 +298,7 @@ mod tests {
         for s in ["livesIn/isLocatedIn+", "owns/isLocatedIn", "[owns]livesIn"] {
             let e = parse_path(s, &db).unwrap();
             let q = sgq_query::cqt::Ucqt::path_query(e);
-            let mut names = NameGen::default();
+            let mut names = NameGen::new(&store.symbols);
             let t = ucqt_to_term(&q, &mut names).unwrap();
             let opt = sgq_ra::optimize::optimize(&t, &store);
             let mut ctx = ExecContext::new();

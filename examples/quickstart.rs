@@ -59,9 +59,10 @@ fn main() {
         println!("  {} --ϕ4--> {}", name(*s), name(*t));
     }
 
-    // The rewritten query also runs on the relational backend.
+    // The rewritten query also runs on the relational backend. Columns
+    // are interned through the store's symbol table during translation.
     let store = RelStore::load(&db);
-    let mut names = schema_graph_query::translate::ucqt2rra::NameGen::default();
+    let mut names = schema_graph_query::translate::ucqt2rra::NameGen::new(&store.symbols);
     let term = schema_graph_query::translate::ucqt_to_term(&query, &mut names).unwrap();
     let mut ctx = ExecContext::new();
     let rel = execute(&term, &store, &mut ctx).unwrap();
@@ -69,6 +70,6 @@ fn main() {
     println!("\nRelational backend agrees: {} rows", rel.len());
     println!(
         "Recursive SQL:\n{}",
-        schema_graph_query::translate::to_sql(&term, &schema)
+        schema_graph_query::translate::to_sql(&term, &schema, &store.symbols)
     );
 }

@@ -40,8 +40,10 @@
 //! assert_eq!(baseline, enriched);
 //! ```
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured comparison of every table and figure.
+//! See `DESIGN.md` for the crate graph, the interned-symbol
+//! (`SymbolTable`) ownership story and the dependency policy. The
+//! paper-vs-measured comparison of every table and figure is regenerated
+//! on demand by `cargo run --release --bin sgq-experiments`.
 
 pub use sgq_algebra as algebra;
 pub use sgq_common as common;
@@ -58,9 +60,7 @@ pub use sgq_translate as translate;
 pub mod prelude {
     pub use sgq_algebra::ast::PathExpr;
     pub use sgq_algebra::parser::parse_path;
-    pub use sgq_core::pipeline::{
-        rewrite_path, rewrite_ucqt, RewriteOptions, RewriteOutcome,
-    };
+    pub use sgq_core::pipeline::{rewrite_path, rewrite_ucqt, RewriteOptions, RewriteOutcome};
     pub use sgq_core::RedundancyRule;
     pub use sgq_engine::GraphEngine;
     pub use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};

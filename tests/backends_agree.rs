@@ -16,7 +16,7 @@ fn pairs_from_rows(rows: Vec<Vec<sgq_common::NodeId>>) -> Vec<(u32, u32)> {
 }
 
 fn relational_pairs(store: &RelStore, query: &Ucqt, optimize: bool) -> Vec<(u32, u32)> {
-    let mut names = NameGen::default();
+    let mut names = NameGen::new(&store.symbols);
     let term = ucqt_to_term(query, &mut names).expect("translates");
     let term = if optimize {
         sgq_ra::optimize::optimize(&term, store)
@@ -25,16 +25,12 @@ fn relational_pairs(store: &RelStore, query: &Ucqt, optimize: bool) -> Vec<(u32,
     };
     let mut ctx = ExecContext::new();
     let rel = sgq_ra::execute(&term, store, &mut ctx).expect("executes");
-    let (c0, c1) = ("v0".to_string(), "v1".to_string());
+    let (c0, c1) = (store.symbols.col("v0"), store.symbols.col("v1"));
     let rel = rel.project(&[c0, c1]);
     rel.rows().map(|r| (r[0], r[1])).collect()
 }
 
-fn check_catalog(
-    schema: &GraphSchema,
-    db: &GraphDatabase,
-    queries: &[sgq_datasets::CatalogQuery],
-) {
+fn check_catalog(schema: &GraphSchema, db: &GraphDatabase, queries: &[sgq_datasets::CatalogQuery]) {
     let engine = GraphEngine::new(db);
     let store = RelStore::load(db);
     for q in queries {
@@ -46,11 +42,23 @@ fn check_catalog(
         // Baseline on all three engines.
         let baseline = Ucqt::path_query(q.expr.clone());
         let graph = pairs_from_rows(engine.run_ucqt(&baseline).expect("graph runs"));
-        assert_eq!(graph, reference, "{}: graph backend diverged (baseline)", q.name);
+        assert_eq!(
+            graph, reference,
+            "{}: graph backend diverged (baseline)",
+            q.name
+        );
         let rel = relational_pairs(&store, &baseline, true);
-        assert_eq!(rel, reference, "{}: relational backend diverged (baseline)", q.name);
+        assert_eq!(
+            rel, reference,
+            "{}: relational backend diverged (baseline)",
+            q.name
+        );
         let rel_unopt = relational_pairs(&store, &baseline, false);
-        assert_eq!(rel_unopt, reference, "{}: unoptimised relational diverged", q.name);
+        assert_eq!(
+            rel_unopt, reference,
+            "{}: unoptimised relational diverged",
+            q.name
+        );
 
         // Schema-rewritten on both engines.
         let rewritten = rewrite_path(schema, &q.expr, RewriteOptions::default());
@@ -60,9 +68,17 @@ fn check_catalog(
             }
             RewriteOutcome::Enriched(query) | RewriteOutcome::Reverted(query) => {
                 let graph = pairs_from_rows(engine.run_ucqt(query).expect("graph runs"));
-                assert_eq!(graph, reference, "{}: graph backend diverged (schema)", q.name);
+                assert_eq!(
+                    graph, reference,
+                    "{}: graph backend diverged (schema)",
+                    q.name
+                );
                 let rel = relational_pairs(&store, query, true);
-                assert_eq!(rel, reference, "{}: relational backend diverged (schema)", q.name);
+                assert_eq!(
+                    rel, reference,
+                    "{}: relational backend diverged (schema)",
+                    q.name
+                );
             }
         }
     }

@@ -70,7 +70,10 @@ fn example_13_full_pipeline() {
     let c = &q.disjuncts[0];
     assert_eq!(c.relations.len(), 2);
     assert_eq!(c.atoms.len(), 1);
-    assert_eq!(c.atoms[0].labels, vec![schema.node_label("REGION").unwrap()]);
+    assert_eq!(
+        c.atoms[0].labels,
+        vec![schema.node_label("REGION").unwrap()]
+    );
     assert_eq!(
         c.relations[0].path.strip(),
         parse_path("livesIn/isLocatedIn", &schema).unwrap()
@@ -105,8 +108,14 @@ fn figures_15_16_translations() {
     // Q1/Q2 on the LDBC schema: the enriched SQL pre-filters isLocatedIn
     // and the enriched Cypher carries the node label.
     let report = schema_graph_query::harness::experiments::fig15_16();
-    assert!(report.contains("WHERE EXISTS"), "semi-join in the SQL:\n{report}");
-    assert!(report.contains(":Company)"), "label in the Cypher:\n{report}");
+    assert!(
+        report.contains("WHERE EXISTS"),
+        "semi-join in the SQL:\n{report}"
+    );
+    assert!(
+        report.contains(":Company)"),
+        "label in the Cypher:\n{report}"
+    );
     assert!(report.contains("-[:knows]->"), "{report}");
 }
 

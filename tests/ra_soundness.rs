@@ -1,0 +1,172 @@
+//! Soundness of the RA optimiser and canonicity of the relation algebra.
+//!
+//! Two randomized properties over the Fig. 2 database:
+//!
+//! 1. `execute(optimize(t)) == execute(t)` for random `RaTerm`s built
+//!    from random path expressions (joins, semi-joins, unions, fixpoints)
+//!    plus random node-label semi-join filters — the shapes the
+//!    translator and the µ-RA rewriter actually produce.
+//! 2. Every `Relation` operator returns a canonical (strictly sorted,
+//!    deduplicated) result, including the operators that skip the re-sort
+//!    because they provably preserve order.
+
+use sgq_algebra::ast::PathExpr;
+use sgq_common::{ColId, Rng};
+use sgq_graph::database::fig2_yago_database;
+use sgq_ra::exec::{execute, ExecContext};
+use sgq_ra::optimize::optimize;
+use sgq_ra::term::RaTerm;
+use sgq_ra::{RelStore, Relation};
+use sgq_translate::ucqt2rra::{path_to_term, NameGen};
+
+/// A random path expression over the Fig. 2 database's edge labels.
+fn random_expr(db: &sgq_graph::GraphDatabase, rng: &mut Rng, depth: usize) -> PathExpr {
+    let le = sgq_common::EdgeLabelId::new(rng.gen_range(0..db.edge_label_count()) as u32);
+    if depth == 0 || rng.gen_bool(0.3) {
+        return if rng.gen_bool(0.25) {
+            PathExpr::Reverse(le)
+        } else {
+            PathExpr::Label(le)
+        };
+    }
+    match rng.gen_range(0..7) {
+        0 | 1 => PathExpr::concat(
+            random_expr(db, rng, depth - 1),
+            random_expr(db, rng, depth - 1),
+        ),
+        2 => PathExpr::union(
+            random_expr(db, rng, depth - 1),
+            random_expr(db, rng, depth - 1),
+        ),
+        3 => PathExpr::conj(
+            random_expr(db, rng, depth - 1),
+            random_expr(db, rng, depth - 1),
+        ),
+        4 => PathExpr::branch_r(
+            random_expr(db, rng, depth - 1),
+            random_expr(db, rng, depth - 1),
+        ),
+        5 => PathExpr::branch_l(
+            random_expr(db, rng, depth - 1),
+            random_expr(db, rng, depth - 1),
+        ),
+        _ => PathExpr::plus(random_expr(db, rng, depth - 1)),
+    }
+}
+
+/// Optionally wraps `term` in node-label semi-join filters on its output
+/// columns — the shape the schema rewrite produces, and the trigger for
+/// the optimiser's pushdown rules (including pushdown into fixpoints).
+fn random_filters(
+    db: &sgq_graph::GraphDatabase,
+    rng: &mut Rng,
+    term: RaTerm,
+    cols: &[ColId],
+) -> RaTerm {
+    let mut term = term;
+    for &col in cols {
+        if rng.gen_bool(0.4) {
+            let label =
+                sgq_common::NodeLabelId::new(rng.gen_range(0..db.node_label_count()) as u32);
+            term = RaTerm::semijoin(
+                term,
+                RaTerm::NodeScan {
+                    labels: vec![label],
+                    col,
+                },
+            );
+        }
+    }
+    term
+}
+
+#[test]
+fn optimize_preserves_execution_results() {
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+        let opt = optimize(&term, &store);
+
+        let mut ctx = ExecContext::new();
+        let plain = execute(&term, &store, &mut ctx).expect("plain term executes");
+        let mut ctx = ExecContext::new();
+        let optimized = execute(&opt, &store, &mut ctx).expect("optimized term executes");
+        // Join reordering may permute columns; compare on the query head.
+        assert_eq!(
+            plain.project(&[v0, v1]),
+            optimized.project(&[v0, v1]),
+            "optimize changed semantics (seed {seed}) for {expr:?}"
+        );
+    }
+}
+
+/// Asserts rows are strictly increasing (sorted with no duplicates).
+fn assert_canonical(rel: &Relation, context: &str) {
+    let rows: Vec<&[u32]> = rel.rows().collect();
+    for w in rows.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "{context}: rows out of canonical order: {:?} !< {:?}",
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn every_operator_returns_canonical_relations() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed);
+        let c: Vec<ColId> = (0..3).map(ColId::new).collect();
+        let arb = |rng: &mut Rng, cols: &[ColId]| {
+            let n = rng.gen_range(0..20);
+            Relation::from_rows(
+                cols.to_vec(),
+                (0..n).map(|_| {
+                    (0..cols.len())
+                        .map(|_| rng.gen_range(0..8) as u32)
+                        .collect()
+                }),
+            )
+        };
+        let r = arb(&mut rng, &[c[0], c[1]]);
+        let s = arb(&mut rng, &[c[1], c[2]]);
+        let same = arb(&mut rng, &[c[0], c[1]]);
+
+        assert_canonical(&r, "from_rows");
+        assert_canonical(&r.project(&[c[0]]), "project prefix");
+        assert_canonical(&r.project(&[c[1]]), "project non-prefix");
+        assert_canonical(&r.rename(c[0], ColId::new(9)), "rename");
+        assert_canonical(
+            &r.with_cols(vec![ColId::new(8), ColId::new(9)]),
+            "with_cols",
+        );
+        assert_canonical(&r.select_eq_at(0, 1), "select_eq_at");
+        assert_canonical(&r.join(&s), "join");
+        assert_canonical(&r.semijoin(&s), "semijoin");
+        assert_canonical(&r.union(&same), "union");
+        assert_canonical(&r.difference(&same), "difference");
+    }
+}
+
+#[test]
+fn executed_plans_are_canonical() {
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..32u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xca11);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let mut ctx = ExecContext::new();
+        let rel = execute(&term, &store, &mut ctx).expect("term executes");
+        assert_canonical(&rel, "executed plan");
+    }
+}

@@ -2,25 +2,31 @@
 //! database conforming to it, and a random path expression, the
 //! schema-enriched query `RS(ϕ)` returns exactly `JϕKD` — under every
 //! redundancy rule and every ablation switch.
-
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Randomness comes from the in-repo seeded [`Rng`]; every case prints
+//! its seed on failure so it replays deterministically.
 
 use schema_graph_query::prelude::*;
 use sgq_algebra::eval::eval_path;
-use sgq_common::NodeId;
+use sgq_common::{NodeId, Rng};
 use sgq_engine::GraphEngine;
+
+const CASES: u64 = 48;
+
+/// Spreads consecutive case indexes across the u64 seed space.
+fn spread(i: u64) -> u64 {
+    Rng::seed_from_u64(i).gen_u64()
+}
 
 /// Builds a random schema from a seed: up to 5 node labels, up to 8 schema
 /// edges over up to 4 edge labels (parallel triples allowed — that is what
 /// exercises the inference).
 fn random_schema(seed: u64) -> GraphSchema {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let node_labels = ["A", "B", "C", "D", "E"];
     let edge_labels = ["r", "s", "t", "u"];
-    let n_nodes = rng.gen_range(2..=5);
-    let n_edges = rng.gen_range(2..=8);
+    let n_nodes = rng.gen_range(2..6);
+    let n_edges = rng.gen_range(2..9);
     let mut b = GraphSchema::builder();
     for l in node_labels.iter().take(n_nodes) {
         b.node(l, &[]);
@@ -36,7 +42,7 @@ fn random_schema(seed: u64) -> GraphSchema {
 
 /// Builds a random database conforming to `schema`.
 fn random_database(schema: &GraphSchema, seed: u64) -> GraphDatabase {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9);
     let mut b = GraphDatabase::builder(schema);
     let n_nodes = rng.gen_range(6..30);
     let labels: Vec<String> = schema
@@ -87,11 +93,11 @@ fn random_database(schema: &GraphSchema, seed: u64) -> GraphDatabase {
 /// A seeded recursive random path expression over the schema's labels.
 fn random_expr(schema: &GraphSchema, seed: u64, depth: usize) -> PathExpr {
     let labels: Vec<sgq_common::EdgeLabelId> = schema.edge_labels().collect();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xdead_beef);
     build_expr(&mut rng, &labels, depth)
 }
 
-fn build_expr(rng: &mut StdRng, labels: &[sgq_common::EdgeLabelId], depth: usize) -> PathExpr {
+fn build_expr(rng: &mut Rng, labels: &[sgq_common::EdgeLabelId], depth: usize) -> PathExpr {
     let leaf = depth == 0 || rng.gen_bool(0.3);
     if leaf {
         let le = labels[rng.gen_range(0..labels.len())];
@@ -134,7 +140,7 @@ fn check_equivalence(
     db: &GraphDatabase,
     expr: &PathExpr,
     opts: RewriteOptions,
-) -> Result<(), TestCaseError> {
+) {
     let reference = eval_path(db, expr);
     let rewritten = sgq_core::pipeline::rewrite_path(schema, expr, opts);
     let pairs: Vec<(NodeId, NodeId)> = match &rewritten.outcome {
@@ -145,29 +151,28 @@ fn check_equivalence(
             rows.into_iter().map(|r| (r[0], r[1])).collect()
         }
     };
-    prop_assert_eq!(
-        &reference,
-        &pairs,
-        "RS(ϕ) diverged (opts {:?}) for ϕ = {:?}",
-        opts,
-        expr
+    assert_eq!(
+        &reference, &pairs,
+        "RS(ϕ) diverged (opts {opts:?}) for ϕ = {expr:?}"
     );
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn theorem1_default_options(seed in any::<u64>(), expr_seed in any::<u64>()) {
+#[test]
+fn theorem1_default_options() {
+    for i in 0..CASES {
+        let seed = spread(i);
+        let expr_seed = spread(i ^ 0xe59);
         let schema = random_schema(seed);
         let db = random_database(&schema, seed);
         let expr = random_expr(&schema, expr_seed, 3);
-        check_equivalence(&schema, &db, &expr, RewriteOptions::default())?;
+        check_equivalence(&schema, &db, &expr, RewriteOptions::default());
     }
+}
 
-    #[test]
-    fn theorem1_all_redundancy_rules(seed in any::<u64>()) {
+#[test]
+fn theorem1_all_redundancy_rules() {
+    for i in 0..CASES {
+        let seed = spread(i ^ 0x0dd);
         let schema = random_schema(seed);
         let db = random_database(&schema, seed);
         let expr = random_expr(&schema, seed.rotate_left(17), 3);
@@ -176,13 +181,19 @@ proptest! {
             RedundancyRule::EitherSide,
             RedundancyRule::Never,
         ] {
-            let opts = RewriteOptions { redundancy: rule, ..Default::default() };
-            check_equivalence(&schema, &db, &expr, opts)?;
+            let opts = RewriteOptions {
+                redundancy: rule,
+                ..Default::default()
+            };
+            check_equivalence(&schema, &db, &expr, opts);
         }
     }
+}
 
-    #[test]
-    fn theorem1_ablations(seed in any::<u64>()) {
+#[test]
+fn theorem1_ablations() {
+    for i in 0..CASES {
+        let seed = spread(i ^ 0xab1);
         let schema = random_schema(seed);
         let db = random_database(&schema, seed);
         let expr = random_expr(&schema, seed.rotate_left(31), 3);
@@ -198,29 +209,34 @@ proptest! {
                 simplify: simp,
                 ..Default::default()
             };
-            check_equivalence(&schema, &db, &expr, opts)?;
+            check_equivalence(&schema, &db, &expr, opts);
         }
     }
+}
 
-    #[test]
-    fn simplification_preserves_semantics(seed in any::<u64>()) {
+#[test]
+fn simplification_preserves_semantics() {
+    for i in 0..CASES {
+        let seed = spread(i ^ 0x51b);
         let schema = random_schema(seed);
         let db = random_database(&schema, seed);
         let expr = random_expr(&schema, seed.rotate_left(43), 4);
         let simplified = sgq_core::simplify(&expr);
-        prop_assert_eq!(
+        assert_eq!(
             eval_path(&db, &expr),
             eval_path(&db, &simplified),
-            "R1-R5 changed the semantics of {:?}",
-            expr
+            "R1-R5 changed the semantics of {expr:?}"
         );
     }
+}
 
-    #[test]
-    fn generated_databases_conform(seed in any::<u64>()) {
+#[test]
+fn generated_databases_conform() {
+    for i in 0..CASES {
+        let seed = spread(i ^ 0xc0f);
         let schema = random_schema(seed);
         let db = random_database(&schema, seed);
         let report = sgq_graph::check_consistency(&schema, &db);
-        prop_assert!(report.is_consistent(), "{:?}", report.violations);
+        assert!(report.is_consistent(), "{:?}", report.violations);
     }
 }
