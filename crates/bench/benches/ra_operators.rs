@@ -1,16 +1,19 @@
-//! Micro-benchmarks of the relational substrate: hash join, semi-join and
-//! the semi-naive transitive-closure fixpoint.
+//! Micro-benchmarks of the relational substrate: hash and merge joins,
+//! semi-joins and the semi-naive transitive-closure fixpoint with and
+//! without static build-side caching.
 //!
 //! All terms are built from interned [`sgq_common::ColId`]s resolved
 //! through the store's symbol table, so the joins here key on single
 //! `u32`s (the arity-2 fast path) — the configuration the optimiser
-//! produces for every path query.
+//! produces for every path query. Execution goes through the physical
+//! plan layer; the plans are pre-lowered outside the timed loop, as the
+//! harness does.
 
 use sgq_bench::{criterion_group, criterion_main, Criterion};
 use sgq_datasets::ldbc::{self, LdbcConfig};
-use sgq_ra::exec::{execute, ExecContext};
+use sgq_ra::exec::{execute_plan, ExecContext};
 use sgq_ra::term::{closure_fixpoint, RaTerm};
-use sgq_ra::RelStore;
+use sgq_ra::{plan, RelStore};
 
 fn bench(c: &mut Criterion) {
     let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.3));
@@ -27,9 +30,21 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ra_operators");
     group.bench_function("hash_join_knows_isLocatedIn", |b| {
         let t = RaTerm::join(scan(knows, x, y), scan(is_located_in, y, z));
+        let p = plan(&t, &store).unwrap();
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            execute(&t, &store, &mut ctx).unwrap()
+            execute_plan(&p, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("merge_join_knows_isLocatedIn", |b| {
+        // Shared column x leads both schemas: the planner picks a merge
+        // join over the same data volume as the hash variant above.
+        let t = RaTerm::join(scan(knows, x, y), scan(is_located_in, x, z));
+        let p = plan(&t, &store).unwrap();
+        assert!(matches!(p.op, sgq_ra::PhysOp::MergeJoin { .. }));
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&p, &store, &mut ctx).unwrap()
         })
     });
     group.bench_function("semijoin_isLocatedIn_city", |b| {
@@ -40,16 +55,29 @@ fn bench(c: &mut Criterion) {
                 col: y,
             },
         );
+        let p = plan(&t, &store).unwrap();
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            execute(&t, &store, &mut ctx).unwrap()
+            execute_plan(&p, &store, &mut ctx).unwrap()
         })
     });
     group.bench_function("fixpoint_isPartOf_closure", |b| {
         let t = closure_fixpoint(s.recvar("X"), scan(is_part_of, x, y), x, y, m);
+        let p = plan(&t, &store).unwrap();
         b.iter(|| {
             let mut ctx = ExecContext::new();
-            execute(&t, &store, &mut ctx).unwrap()
+            execute_plan(&p, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("fixpoint_isPartOf_closure_uncached", |b| {
+        // Same plan with static build-side caching disabled: every round
+        // rebuilds the isPartOf hash table.
+        let t = closure_fixpoint(s.recvar("X"), scan(is_part_of, x, y), x, y, m);
+        let p = plan(&t, &store).unwrap();
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            ctx.no_fixpoint_cache = true;
+            execute_plan(&p, &store, &mut ctx).unwrap()
         })
     });
     group.finish();

@@ -2,7 +2,7 @@
 //!
 //! Pipeline (§3, Fig. 10's Rewriter module):
 //!
-//! 1. [`simplify`] — preliminary path simplification, rules R1–R5 (Fig. 6),
+//! 1. [`mod@simplify`] — preliminary path simplification, rules R1–R5 (Fig. 6),
 //! 2. [`infer`] — the type-inference system `⊢S ϕ : t` (Fig. 8) computing
 //!    the compatible-triple set `TS(ϕ)`,
 //! 3. [`plc`] — the `PlC` algorithm for transitive closure (Def. 8),

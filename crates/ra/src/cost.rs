@@ -1,9 +1,20 @@
 //! Cardinality estimation over [`sgq_graph::GraphStats`].
 //!
-//! The estimator drives (a) the greedy join ordering in the optimiser and
-//! (b) the costs printed by `EXPLAIN` (Fig. 17). It uses the textbook
-//! System-R style formulas: join selectivity `1 / max(V(L,c), V(R,c))`
-//! with distinct-value counts approximated from table sizes.
+//! The estimator drives (a) the greedy join ordering in the optimiser,
+//! (b) the build-side selection of the physical planner
+//! ([`mod@crate::plan`]) and (c) the costs printed by `EXPLAIN` (Fig. 17).
+//! It uses the textbook System-R style formulas: join selectivity
+//! `1 / max(V(L,c), V(R,c))` with distinct-value counts approximated
+//! from table sizes.
+//!
+//! Estimation is *environment-threaded*: inside a fixpoint `µX. b ∪ s`,
+//! a recursive reference `X` is estimated at the base case's
+//! cardinality (bound in an [`EstEnv`]) rather than a constant, and
+//! the per-iteration growth factor applies only to the part of the
+//! step that actually depends on `X` — the static part is computed
+//! (and, in the physical executor, cached) once.
+
+use sgq_common::{FxHashMap, RecVarId};
 
 use crate::storage::RelStore;
 use crate::term::RaTerm;
@@ -19,91 +30,197 @@ pub struct Estimate {
 
 /// Multiplier applied to a fixpoint's base size to account for iteration
 /// (a crude but stable stand-in for recursion-depth statistics).
-const FIXPOINT_GROWTH: f64 = 4.0;
+pub(crate) const FIXPOINT_GROWTH: f64 = 4.0;
 
-/// Estimates `term` against the statistics in `store`.
+/// Estimation environment: the base-case cardinality of every enclosing
+/// fixpoint, keyed by recursion variable. A [`RaTerm::RecRef`] is
+/// estimated at its binding (falling back to 1 row when unbound).
+#[derive(Debug, Default)]
+pub struct EstEnv {
+    rows: FxHashMap<RecVarId, f64>,
+}
+
+impl EstEnv {
+    /// An empty environment (no enclosing fixpoints).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `var` to an estimated cardinality, returning the previous
+    /// binding so nested fixpoints over the same variable can restore it.
+    pub fn bind(&mut self, var: RecVarId, rows: f64) -> Option<f64> {
+        self.rows.insert(var, rows)
+    }
+
+    /// Restores the binding saved by [`EstEnv::bind`].
+    pub fn restore(&mut self, var: RecVarId, prev: Option<f64>) {
+        match prev {
+            Some(r) => {
+                self.rows.insert(var, r);
+            }
+            None => {
+                self.rows.remove(&var);
+            }
+        }
+    }
+
+    /// The bound cardinality for `var`, if any.
+    pub fn rows(&self, var: RecVarId) -> Option<f64> {
+        self.rows.get(&var).copied()
+    }
+}
+
+/// Estimates `term` against the statistics in `store`, outside any
+/// fixpoint (recursive references fall back to 1 row).
 pub fn estimate(term: &RaTerm, store: &RelStore) -> Estimate {
+    estimate_with_env(term, store, &mut EstEnv::new())
+}
+
+/// Estimates `term` with recursive references resolved through `env`.
+pub fn estimate_with_env(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Estimate {
+    let p = parts(term, store, env);
+    Estimate {
+        rows: p.rows,
+        cost: p.st + p.dy,
+    }
+}
+
+/// Estimated output rows of a natural join given both input estimates
+/// and the number of shared columns (`V(c) ≈ min(|rel|, node count)`,
+/// one selectivity factor per shared column).
+pub(crate) fn join_rows(la: f64, lb: f64, shared: usize, store: &RelStore) -> f64 {
+    if shared == 0 {
+        return la * lb;
+    }
+    let nodes = store.stats.node_count.max(1) as f64;
+    let mut rows = la * lb;
+    for _ in 0..shared {
+        let v = la.min(nodes).max(lb.min(nodes)).max(1.0);
+        rows /= v;
+    }
+    rows
+}
+
+/// Estimated output rows of a semi-join: the left side scaled by the
+/// right side's coverage of the key domain.
+pub(crate) fn semijoin_rows(la: f64, lb: f64, store: &RelStore) -> f64 {
+    let nodes = store.stats.node_count.max(1) as f64;
+    let sel = (lb / nodes).min(1.0).max(1.0 / nodes);
+    (la * sel).max(1.0)
+}
+
+/// One term's estimate split into the cost of its recursion-independent
+/// part (`st`, computed once per fixpoint) and its recursion-dependent
+/// part (`dy`, recomputed every iteration).
+struct Parts {
+    rows: f64,
+    st: f64,
+    dy: f64,
+    dep: bool,
+}
+
+/// Folds child parts with this node's local cost: a node is dynamic as
+/// soon as any input depends on a recursive reference, and only then
+/// does its local cost join the per-iteration bucket.
+fn fold(children: &[&Parts], local: f64, rows: f64) -> Parts {
+    let dep = children.iter().any(|c| c.dep);
+    let st: f64 = children.iter().map(|c| c.st).sum();
+    let dy: f64 = children.iter().map(|c| c.dy).sum();
+    if dep {
+        Parts {
+            rows,
+            st,
+            dy: dy + local,
+            dep,
+        }
+    } else {
+        Parts {
+            rows,
+            st: st + local,
+            dy,
+            dep,
+        }
+    }
+}
+
+fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
     match term {
         RaTerm::EdgeScan { label, .. } => {
             let rows = store.stats.edge_cardinality(*label) as f64;
-            Estimate { rows, cost: rows }
+            fold(&[], rows, rows)
         }
         RaTerm::NodeScan { labels, .. } => {
             let rows: f64 = labels
                 .iter()
                 .map(|&l| store.stats.label_cardinality(l) as f64)
                 .sum();
-            Estimate { rows, cost: rows }
+            fold(&[], rows, rows)
         }
         RaTerm::Join(a, b) => {
-            let ea = estimate(a, store);
-            let eb = estimate(b, store);
-            let shared = shared_cols(a, b);
-            let rows = if shared == 0 {
-                ea.rows * eb.rows
-            } else {
-                // V(c) ≈ min(|rel|, node count); one factor per shared col.
-                let nodes = store.stats.node_count.max(1) as f64;
-                let mut rows = ea.rows * eb.rows;
-                for _ in 0..shared {
-                    let v = ea.rows.min(nodes).max(eb.rows.min(nodes)).max(1.0);
-                    rows /= v;
-                }
-                rows
-            };
-            Estimate {
-                rows,
-                cost: ea.cost + eb.cost + ea.rows + eb.rows + rows,
-            }
+            let pa = parts(a, store, env);
+            let pb = parts(b, store, env);
+            let rows = join_rows(pa.rows, pb.rows, shared_cols(a, b), store);
+            fold(&[&pa, &pb], pa.rows + pb.rows + rows, rows)
         }
         RaTerm::Semijoin(a, b) => {
-            let ea = estimate(a, store);
-            let eb = estimate(b, store);
-            // A semi-join keeps a fraction of the left side proportional to
-            // the right side's coverage of the key domain.
-            let nodes = store.stats.node_count.max(1) as f64;
-            let sel = (eb.rows / nodes).min(1.0).max(1.0 / nodes);
-            Estimate {
-                rows: (ea.rows * sel).max(1.0),
-                cost: ea.cost + eb.cost + ea.rows + eb.rows,
-            }
+            let pa = parts(a, store, env);
+            let pb = parts(b, store, env);
+            let rows = semijoin_rows(pa.rows, pb.rows, store);
+            fold(&[&pa, &pb], pa.rows + pb.rows, rows)
         }
         RaTerm::Union(a, b) => {
-            let ea = estimate(a, store);
-            let eb = estimate(b, store);
-            Estimate {
-                rows: ea.rows + eb.rows,
-                cost: ea.cost + eb.cost + ea.rows + eb.rows,
-            }
+            let pa = parts(a, store, env);
+            let pb = parts(b, store, env);
+            let rows = pa.rows + pb.rows;
+            fold(&[&pa, &pb], rows, rows)
         }
         RaTerm::Project { input, .. } => {
-            let e = estimate(input, store);
-            Estimate {
-                rows: e.rows,
-                cost: e.cost + e.rows,
-            }
+            let p = parts(input, store, env);
+            let local = p.rows;
+            let rows = p.rows;
+            fold(&[&p], local, rows)
         }
-        RaTerm::Rename { input, .. } => estimate(input, store),
+        RaTerm::Rename { input, .. } => parts(input, store, env),
         RaTerm::Select { input, .. } => {
-            let e = estimate(input, store);
+            let p = parts(input, store, env);
             // classic 10% selectivity guess for an equality predicate
-            Estimate {
-                rows: (e.rows * 0.1).max(1.0),
-                cost: e.cost + e.rows,
+            let rows = (p.rows * 0.1).max(1.0);
+            let local = p.rows;
+            fold(&[&p], local, rows)
+        }
+        RaTerm::Fixpoint {
+            var, base, step, ..
+        } => {
+            let pb = parts(base, store, env);
+            let prev = env.bind(*var, pb.rows);
+            let ps = parts(step, store, env);
+            env.restore(*var, prev);
+            let rows = pb.rows * FIXPOINT_GROWTH;
+            // The static step cost is paid once (the physical executor
+            // caches those intermediates across rounds); only the
+            // delta-dependent part multiplies with the iteration count.
+            let total = pb.st + pb.dy + ps.st + ps.dy * FIXPOINT_GROWTH + rows;
+            if pb.dep {
+                Parts {
+                    rows,
+                    st: 0.0,
+                    dy: total,
+                    dep: true,
+                }
+            } else {
+                Parts {
+                    rows,
+                    st: total,
+                    dy: 0.0,
+                    dep: false,
+                }
             }
         }
-        RaTerm::Fixpoint { base, step, .. } => {
-            let eb = estimate(base, store);
-            let es = estimate(step, store);
-            let rows = eb.rows * FIXPOINT_GROWTH;
-            Estimate {
-                rows,
-                cost: eb.cost + es.cost * FIXPOINT_GROWTH + rows,
-            }
-        }
-        RaTerm::RecRef { .. } => Estimate {
-            rows: 1.0,
-            cost: 0.0,
+        RaTerm::RecRef { var, .. } => Parts {
+            rows: env.rows(*var).unwrap_or(1.0),
+            st: 0.0,
+            dy: 0.0,
+            dep: true,
         },
     }
 }
@@ -184,5 +301,69 @@ mod tests {
         let e = estimate(&j, &store);
         assert!(e.rows <= 16.0);
         assert!(e.rows > 0.0);
+    }
+
+    #[test]
+    fn recref_inherits_enclosing_base_estimate() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let var = s.recvar("X");
+        let recref = RaTerm::RecRef {
+            var,
+            cols: vec![s.col("x"), s.col("m")],
+        };
+        // Unbound: the old 1-row fallback.
+        assert_eq!(estimate(&recref, &store).rows, 1.0);
+        // Bound: the enclosing fixpoint's base estimate.
+        let mut env = EstEnv::new();
+        env.bind(var, 4.0);
+        assert_eq!(estimate_with_env(&recref, &store, &mut env).rows, 4.0);
+        // Inside the canonical closure, the recursive join therefore sees
+        // a 4-row left input instead of a 1-row one.
+        let f = closure_fixpoint(
+            var,
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let RaTerm::Fixpoint { step, .. } = &f else {
+            panic!()
+        };
+        let mut env = EstEnv::new();
+        env.bind(var, 4.0);
+        let e_step = estimate_with_env(step, &store, &mut env);
+        assert!(
+            e_step.rows >= 4.0,
+            "step estimate should reflect the recursive input: {e_step:?}"
+        );
+    }
+
+    #[test]
+    fn fixpoint_growth_skips_static_step_cost() {
+        // The step of the canonical closure is π(X ⋈ ρ(scan)); the
+        // renamed scan is recursion-independent, so its cost must be
+        // paid once, not FIXPOINT_GROWTH times.
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let var = s.recvar("X");
+        let inner = scan(&db, &store, "isLocatedIn", "x", "y");
+        let f = closure_fixpoint(var, inner, s.col("x"), s.col("y"), s.col("m"));
+        let (RaTerm::Fixpoint { base, step, .. },) = (&f,) else {
+            panic!()
+        };
+        let eb = estimate(base, &store);
+        let mut env = EstEnv::new();
+        env.bind(var, eb.rows);
+        let es = estimate_with_env(step, &store, &mut env);
+        let e_fix = estimate(&f, &store);
+        let naive = eb.cost + es.cost * FIXPOINT_GROWTH + eb.rows * FIXPOINT_GROWTH;
+        assert!(
+            e_fix.cost < naive,
+            "static scan cost must not be multiplied: {} !< {naive}",
+            e_fix.cost
+        );
     }
 }

@@ -1,14 +1,37 @@
-//! Bottom-up evaluation of RA terms with semi-naive fixpoints.
+//! Execution: an interpreter over physical plans ([`mod@crate::plan`]).
+//!
+//! [`execute`] keeps the original term-level entry point (lower, then
+//! interpret); [`execute_plan`] runs a pre-lowered plan, which is what
+//! the harness uses to plan a query once and execute it per repetition.
+//!
+//! The interpreter keeps the two execution-protocol invariants of the
+//! old term evaluator:
+//!
+//! * joins, semi-joins and index builds poll the cooperative deadline
+//!   every few thousand rows, so timeouts fire *mid-operator*;
+//! * `rows_materialized` counts every materialised row exactly once —
+//!   which now includes *not* counting what is never materialised:
+//!   renames are zero-copy, fused filtered scans materialise only the
+//!   surviving rows, and intermediates cached across fixpoint rounds
+//!   are counted in the round that computes them, not on reuse.
+//!
+//! Fixpoints are evaluated semi-naively against the pre-planned step.
+//! Per [`mod@crate::plan`]'s marking, every recursion-independent input is
+//! computed once and cached; a hash join whose build side is static
+//! caches the *built hash table* ([`JoinIndex`]), so later rounds only
+//! re-scan the delta probe; hash semi-join key sets ([`SemiKeys`])
+//! cache the same way.
 
 use std::time::Instant;
 
-use sgq_common::{FxHashMap, RecVarId, Result, SgqError};
+use sgq_common::{ColId, FxHashMap, RecVarId, Result, SgqError};
 
-use crate::table::Relation;
+use crate::plan::{plan, PhysOp, PhysPlan};
+use crate::table::{JoinIndex, Relation, SemiKeys, POLL_MASK};
 use crate::term::RaTerm;
 
-/// Execution context: the fixpoint environment, a cooperative deadline and
-/// work counters.
+/// Execution context: the fixpoint environment, a cooperative deadline,
+/// and work counters.
 #[derive(Debug, Default)]
 pub struct ExecContext {
     /// Fixpoint environment, keyed by interned recursion variable.
@@ -18,12 +41,20 @@ pub struct ExecContext {
     /// Reported timeout budget in milliseconds.
     pub limit_ms: u64,
     /// Total rows materialised by all operators (each materialised row is
-    /// counted exactly once).
+    /// counted exactly once; cached fixpoint intermediates count in the
+    /// round that computes them).
     pub rows_materialized: usize,
     /// Fixpoint iterations run.
     pub fixpoint_rounds: usize,
     /// Abort once this many rows have been materialised (0 = unlimited).
     pub max_rows: usize,
+    /// Hash tables and semi-join key sets built.
+    pub hash_builds: usize,
+    /// Fixpoint-cache hits (a static input or build side reused).
+    pub cache_hits: usize,
+    /// Disables static-input caching across fixpoint rounds (every round
+    /// re-evaluates the full step, like the old term interpreter).
+    pub no_fixpoint_cache: bool,
 }
 
 impl ExecContext {
@@ -61,104 +92,399 @@ impl ExecContext {
     }
 }
 
-/// Evaluates `term` against `store`.
-///
-/// Joins and semi-joins poll the deadline periodically *inside* their
-/// probe loops, so a timeout fires mid-operator instead of only between
-/// operators.
+/// Evaluates `term` against `store`: lowers it to a physical plan
+/// ([`plan`]) and interprets the plan.
 pub fn execute(
     term: &RaTerm,
     store: &crate::storage::RelStore,
     ctx: &mut ExecContext,
 ) -> Result<Relation> {
-    ctx.check()?;
-    let out = match term {
-        RaTerm::EdgeScan { label, src, tgt } => {
-            store.edge_table(*label).with_cols(vec![*src, *tgt])
-        }
-        RaTerm::NodeScan { labels, col } => {
-            let mut acc: Option<Relation> = None;
-            for &l in labels {
-                let t = store.node_table(l).with_cols(vec![*col]);
-                acc = Some(match acc {
-                    None => t,
-                    Some(a) => a.union(&t),
-                });
-            }
-            acc.unwrap_or_else(|| Relation::empty(vec![*col]))
-        }
-        RaTerm::Join(a, b) => {
-            let left = execute(a, store, ctx)?;
-            let right = execute(b, store, ctx)?;
-            left.join_checked(&right, &mut || ctx.check())?
-        }
-        RaTerm::Semijoin(a, b) => {
-            let left = execute(a, store, ctx)?;
-            let right = execute(b, store, ctx)?;
-            left.semijoin_checked(&right, &mut || ctx.check())?
-        }
-        RaTerm::Union(a, b) => {
-            let left = execute(a, store, ctx)?;
-            let right = execute(b, store, ctx)?;
-            left.union(&right)
-        }
-        RaTerm::Project { input, cols } => execute(input, store, ctx)?.project(cols),
-        RaTerm::Select { input, a, b } => {
-            let rel = execute(input, store, ctx)?;
-            let ia = rel
-                .col_index(*a)
-                .ok_or_else(|| SgqError::Execution(format!("unknown column {a}")))?;
-            let ib = rel
-                .col_index(*b)
-                .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
-            rel.select_eq_at(ia, ib)
-        }
-        RaTerm::Rename { input, from, to } => execute(input, store, ctx)?.rename(*from, *to),
-        RaTerm::Fixpoint {
-            var,
-            base,
-            step,
-            stable: _,
-        } => {
-            // Semi-naive: step is linear in the recursion variable, so each
-            // round only extends from the newly discovered delta.
-            let base_rel = execute(base, store, ctx)?;
-            let cols = base_rel.cols().to_vec();
-            let mut acc = base_rel.clone();
-            let mut delta = base_rel;
-            while !delta.is_empty() {
-                ctx.check()?;
-                ctx.fixpoint_rounds += 1;
-                ctx.env.insert(*var, delta);
-                let stepped = execute(step, store, ctx)?;
-                ctx.env.remove(var);
-                // Align schema positionally (projections inside the step
-                // are expected to produce the fixpoint's columns).
-                let stepped = if stepped.cols() == cols.as_slice() {
-                    stepped
-                } else {
-                    stepped.with_cols(cols.clone())
-                };
-                let fresh = stepped.difference(&acc);
-                ctx.record(&fresh);
-                acc = acc.union(&fresh);
-                delta = fresh;
-            }
-            // The accumulated rows were already recorded delta by delta —
-            // returning without the generic `record` below keeps every
-            // materialised row counted exactly once.
-            return Ok(acc);
-        }
-        RaTerm::RecRef { var, cols } => {
-            let rel = ctx
-                .env
-                .get(var)
-                .ok_or_else(|| SgqError::Execution(format!("unbound recursion variable {var}")))?;
-            rel.with_cols(cols.clone())
-        }
+    let p = plan(term, store)?;
+    execute_plan(&p, store, ctx)
+}
+
+/// Interprets a pre-lowered physical plan.
+pub fn execute_plan(
+    p: &PhysPlan,
+    store: &crate::storage::RelStore,
+    ctx: &mut ExecContext,
+) -> Result<Relation> {
+    Interp {
+        store,
+        ctx,
+        actuals: None,
+    }
+    .eval(p, None)
+}
+
+/// [`execute_plan`] with per-node row tracing: returns the result and,
+/// indexed by [`PhysPlan::id`], the total rows each operator produced
+/// (summed over fixpoint rounds) — the "actual" column of
+/// `EXPLAIN ANALYZE`.
+pub fn execute_plan_traced(
+    p: &PhysPlan,
+    store: &crate::storage::RelStore,
+    ctx: &mut ExecContext,
+) -> Result<(Relation, Vec<usize>)> {
+    let mut interp = Interp {
+        store,
+        ctx,
+        actuals: Some(vec![0; p.node_count()]),
     };
-    ctx.record(&out);
-    Ok(out)
+    let rel = interp.eval(p, None)?;
+    let actuals = interp.actuals.take().expect("tracing was enabled");
+    Ok((rel, actuals))
+}
+
+/// Intermediates cached across the rounds of one fixpoint, keyed by the
+/// plan-node id that produced them.
+enum Cached {
+    /// A static subtree's full result.
+    Rel(Relation),
+    /// A static hash-join build side: the relation and its hash table.
+    Build { rel: Relation, index: JoinIndex },
+    /// A static semi-join filter's key set.
+    Keys(SemiKeys),
+}
+
+type StepCache = FxHashMap<u32, Cached>;
+
+struct Interp<'a> {
+    store: &'a crate::storage::RelStore,
+    ctx: &'a mut ExecContext,
+    actuals: Option<Vec<usize>>,
+}
+
+impl Interp<'_> {
+    fn trace(&mut self, p: &PhysPlan, rel: &Relation) {
+        if let Some(a) = self.actuals.as_mut() {
+            a[p.id as usize] += rel.len();
+        }
+    }
+
+    fn eval(&mut self, p: &PhysPlan, mut cache: Option<&mut StepCache>) -> Result<Relation> {
+        self.ctx.check()?;
+        // A maximal static subtree inside a fixpoint step is computed in
+        // the first round and reused afterwards. (Dynamic hash joins and
+        // semi-joins additionally cache their static build sides below.)
+        if p.is_static() {
+            if let Some(c) = cache.as_deref_mut() {
+                if let Some(Cached::Rel(r)) = c.get(&p.id) {
+                    self.ctx.cache_hits += 1;
+                    // Not re-traced: "actual" rows count the round that
+                    // computed the result, matching the Build/Keys cache
+                    // paths. The clone hands the consumer an owned
+                    // relation (operators like the zero-copy rename take
+                    // ownership); hash-join build sides avoid this copy
+                    // entirely by probing the cached index by reference.
+                    return Ok(r.clone());
+                }
+                let out = self.eval_op(p, None)?;
+                c.insert(p.id, Cached::Rel(out.clone()));
+                self.trace(p, &out);
+                return Ok(out);
+            }
+        }
+        let out = self.eval_op(p, cache)?;
+        self.trace(p, &out);
+        Ok(out)
+    }
+
+    fn eval_op(&mut self, p: &PhysPlan, mut cache: Option<&mut StepCache>) -> Result<Relation> {
+        let out = match &p.op {
+            PhysOp::EdgeScan { label } => self.store.edge_table(*label).into_cols(p.cols.clone()),
+            PhysOp::NodeScan { labels } => {
+                if labels.is_empty() {
+                    Relation::empty(p.cols.clone())
+                } else {
+                    // One normalisation pass over all label tables instead
+                    // of k successive pairwise merges.
+                    let tables: Vec<Relation> = labels
+                        .iter()
+                        .map(|&l| self.store.node_table(l).into_cols(p.cols.clone()))
+                        .collect();
+                    Relation::union_many(tables)
+                }
+            }
+            PhysOp::FilteredEdgeScan {
+                label,
+                filter,
+                key,
+                merge,
+            } => {
+                let edges = self.store.edge_table(*label).into_cols(p.cols.clone());
+                if *merge {
+                    let frel = self.eval(filter, cache.as_deref_mut())?;
+                    let ctx = &mut *self.ctx;
+                    edges.merge_semijoin_checked(&frel, key.len(), &mut || ctx.check())?
+                } else {
+                    let edge_key_pos = positions(&p.cols, key);
+                    let filter_key_pos = positions(&filter.cols, key);
+                    let data = self.hash_semi_filter(
+                        p.id,
+                        &edges,
+                        &edge_key_pos,
+                        filter,
+                        &filter_key_pos,
+                        cache,
+                    )?;
+                    Relation::from_flat_sorted(p.cols.clone(), data)
+                }
+            }
+            PhysOp::MergeJoin { left, right, key } => {
+                let l = self.eval(left, cache.as_deref_mut())?;
+                let r = self.eval(right, cache)?;
+                let ctx = &mut *self.ctx;
+                l.merge_join_checked(&r, key.len(), &mut || ctx.check())?
+            }
+            PhysOp::HashJoin {
+                left,
+                right,
+                key,
+                build_left,
+            } => {
+                let (build_plan, probe_plan): (&PhysPlan, &PhysPlan) = if *build_left {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                let probe_rel = self.eval(probe_plan, cache.as_deref_mut())?;
+                let probe_key_pos = positions(&probe_plan.cols, key);
+                let build_key_pos = positions(&build_plan.cols, key);
+                let right_extra_pos: Vec<usize> = right
+                    .cols
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !left.cols.contains(c))
+                    .map(|(i, _)| i)
+                    .collect();
+                // A static build side inside a fixpoint: build the hash
+                // table once, probe it with every round's delta.
+                if build_plan.is_static() {
+                    if let Some(c) = cache.as_deref_mut() {
+                        match c.entry(p.id) {
+                            std::collections::hash_map::Entry::Occupied(_) => {
+                                self.ctx.cache_hits += 1;
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                let rel = self.eval(build_plan, None)?;
+                                let ctx = &mut *self.ctx;
+                                let index =
+                                    JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?;
+                                self.ctx.hash_builds += 1;
+                                slot.insert(Cached::Build { rel, index });
+                            }
+                        }
+                        let Some(Cached::Build { rel, index }) = c.get(&p.id) else {
+                            unreachable!("just inserted")
+                        };
+                        return self.probe_join(
+                            p,
+                            left,
+                            rel,
+                            index,
+                            &probe_rel,
+                            *build_left,
+                            &probe_key_pos,
+                            &right_extra_pos,
+                        );
+                    }
+                }
+                let rel = self.eval(build_plan, cache)?;
+                let ctx = &mut *self.ctx;
+                let index = JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?;
+                self.ctx.hash_builds += 1;
+                return self.probe_join(
+                    p,
+                    left,
+                    &rel,
+                    &index,
+                    &probe_rel,
+                    *build_left,
+                    &probe_key_pos,
+                    &right_extra_pos,
+                );
+            }
+            PhysOp::MergeSemiJoin { left, right, key } => {
+                let l = self.eval(left, cache.as_deref_mut())?;
+                let r = self.eval(right, cache)?;
+                let ctx = &mut *self.ctx;
+                l.merge_semijoin_checked(&r, key.len(), &mut || ctx.check())?
+            }
+            PhysOp::HashSemiJoin { left, right, key } => {
+                let l = self.eval(left, cache.as_deref_mut())?;
+                let left_key_pos = positions(&left.cols, key);
+                let filter_key_pos = positions(&right.cols, key);
+                let data =
+                    self.hash_semi_filter(p.id, &l, &left_key_pos, right, &filter_key_pos, cache)?;
+                Relation::from_flat_sorted(p.cols.clone(), data)
+            }
+            PhysOp::Union { left, right } => {
+                let l = self.eval(left, cache.as_deref_mut())?;
+                let r = self.eval(right, cache)?;
+                l.union(&r)
+            }
+            PhysOp::Project { input } => self.eval(input, cache)?.project(&p.cols),
+            PhysOp::Select { input, ia, ib, .. } => self.eval(input, cache)?.select_eq_at(*ia, *ib),
+            PhysOp::Rename { input } => {
+                // Zero-copy: positional renaming of an owned relation
+                // materialises nothing, so it is not recorded.
+                let rel = self.eval(input, cache)?;
+                return Ok(rel.into_cols(p.cols.clone()));
+            }
+            PhysOp::Fixpoint { var, base, step } => {
+                // Semi-naive: the step is linear in the recursion
+                // variable, so each round only extends from the newly
+                // discovered delta.
+                let base_rel = self.eval(base, cache)?;
+                let cols = base_rel.cols().to_vec();
+                let mut acc = base_rel.clone();
+                let mut delta = base_rel;
+                let mut step_cache = StepCache::default();
+                while !delta.is_empty() {
+                    self.ctx.check()?;
+                    self.ctx.fixpoint_rounds += 1;
+                    self.ctx.env.insert(*var, delta);
+                    let round_cache = if self.ctx.no_fixpoint_cache {
+                        None
+                    } else {
+                        Some(&mut step_cache)
+                    };
+                    let stepped = self.eval(step, round_cache)?;
+                    self.ctx.env.remove(var);
+                    // Align schema positionally (projections inside the
+                    // step produce the fixpoint's columns).
+                    let stepped = if stepped.cols() == cols.as_slice() {
+                        stepped
+                    } else {
+                        stepped.into_cols(cols.clone())
+                    };
+                    let fresh = stepped.difference(&acc);
+                    self.ctx.record(&fresh);
+                    acc = acc.union(&fresh);
+                    delta = fresh;
+                }
+                // Accumulated rows were recorded delta by delta; skip the
+                // generic record below to count each row exactly once.
+                return Ok(acc);
+            }
+            PhysOp::RecRef { var } => {
+                let rel = self.ctx.env.get(var).ok_or_else(|| {
+                    SgqError::Execution(format!("unbound recursion variable {var}"))
+                })?;
+                rel.with_cols(p.cols.clone())
+            }
+        };
+        self.ctx.record(&out);
+        Ok(out)
+    }
+
+    /// Probes a (possibly cached) hash-join build side with the probe
+    /// relation, emitting in left-then-right-extras schema order.
+    #[allow(clippy::too_many_arguments)]
+    fn probe_join(
+        &mut self,
+        p: &PhysPlan,
+        left: &PhysPlan,
+        build_rel: &Relation,
+        index: &JoinIndex,
+        probe_rel: &Relation,
+        build_left: bool,
+        probe_key_pos: &[usize],
+        right_extra_pos: &[usize],
+    ) -> Result<Relation> {
+        let mut data: Vec<u32> = Vec::new();
+        let left_arity = left.cols.len();
+        for (i, prow) in probe_rel.rows().enumerate() {
+            if i & POLL_MASK == 0 {
+                self.ctx.check()?;
+            }
+            for &bi in index.probe(prow, probe_key_pos) {
+                let brow = build_rel.row(bi as usize);
+                let (lrow, rrow) = if build_left {
+                    (brow, prow)
+                } else {
+                    (prow, brow)
+                };
+                debug_assert_eq!(lrow.len(), left_arity);
+                data.extend_from_slice(lrow);
+                for &ri in right_extra_pos {
+                    data.push(rrow[ri]);
+                }
+            }
+        }
+        let out = Relation::from_flat(p.cols.clone(), data);
+        self.ctx.record(&out);
+        Ok(out)
+    }
+
+    /// Filters `left_rel` by a (possibly cached) key set collected from
+    /// `filter_plan`, returning the surviving rows' flat data (canonical:
+    /// filtering preserves order).
+    fn hash_semi_filter(
+        &mut self,
+        node_id: u32,
+        left_rel: &Relation,
+        left_key_pos: &[usize],
+        filter_plan: &PhysPlan,
+        filter_key_pos: &[usize],
+        mut cache: Option<&mut StepCache>,
+    ) -> Result<Vec<u32>> {
+        if filter_plan.is_static() {
+            if let Some(c) = cache.as_deref_mut() {
+                match c.entry(node_id) {
+                    std::collections::hash_map::Entry::Occupied(_) => {
+                        self.ctx.cache_hits += 1;
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        let frel = self.eval(filter_plan, None)?;
+                        let ctx = &mut *self.ctx;
+                        let keys = SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?;
+                        self.ctx.hash_builds += 1;
+                        slot.insert(Cached::Keys(keys));
+                    }
+                }
+                let Some(Cached::Keys(keys)) = c.get(&node_id) else {
+                    unreachable!("just inserted")
+                };
+                return filter_by_keys(left_rel, left_key_pos, keys, self.ctx);
+            }
+        }
+        let frel = self.eval(filter_plan, cache)?;
+        let ctx = &mut *self.ctx;
+        let keys = SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?;
+        self.ctx.hash_builds += 1;
+        filter_by_keys(left_rel, left_key_pos, &keys, self.ctx)
+    }
+}
+
+fn filter_by_keys(
+    left: &Relation,
+    key_pos: &[usize],
+    keys: &SemiKeys,
+    ctx: &mut ExecContext,
+) -> Result<Vec<u32>> {
+    let mut data = Vec::new();
+    for (i, row) in left.rows().enumerate() {
+        if i & POLL_MASK == 0 {
+            ctx.check()?;
+        }
+        if keys.contains(row, key_pos) {
+            data.extend_from_slice(row);
+        }
+    }
+    Ok(data)
+}
+
+/// Positions of `key` columns within `cols`.
+fn positions(cols: &[ColId], key: &[ColId]) -> Vec<usize> {
+    key.iter()
+        .map(|k| {
+            cols.iter()
+                .position(|c| c == k)
+                .expect("key column present in schema (ensured at plan time)")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,6 +542,31 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_composes_paths() {
+        // isLocatedIn(x,y) ⋈ owns(x,z): both lead with x, so the planner
+        // selects a merge join; results must match the hash path.
+        let (db, store) = store();
+        let t = RaTerm::join(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "owns", "x", "z"),
+        );
+        let p = plan(&t, &store).unwrap();
+        assert!(matches!(p.op, crate::plan::PhysOp::MergeJoin { .. }));
+        let mut ctx = ExecContext::new();
+        let r = execute_plan(&p, &store, &mut ctx).unwrap();
+        // owns: (1, 0); isLocatedIn from node 1: none. Via x=1: isLocatedIn
+        // has no (1, _) row? n2=1 owns n1=0; isLocatedIn(1,_) is empty, so
+        // the join is empty — cross-check against the nested-loop result.
+        let edges_a = store.edge_table(db.edge_label_id("isLocatedIn").unwrap());
+        let edges_b = store.edge_table(db.edge_label_id("owns").unwrap());
+        let expect: usize = edges_a
+            .rows()
+            .flat_map(|a| edges_b.rows().filter(move |b| b[0] == a[0]))
+            .count();
+        assert_eq!(r.len(), expect);
+    }
+
+    #[test]
     fn fixpoint_transitive_closure() {
         let (db, store) = store();
         let s = &store.symbols;
@@ -257,14 +608,15 @@ mod tests {
 
     #[test]
     fn fixpoint_rows_are_counted_once() {
-        // Regression test for the rows_materialized double count: the
-        // accumulated fixpoint result used to be recorded delta by delta
-        // *and* again in full at the end.
+        // Regression test for rows_materialized accounting: every
+        // materialised row counts exactly once, and zero-copy renames
+        // count nothing.
         //
         // `owns` has a single edge (n2 → n1) that composes with nothing,
         // so the closure equals its base and one semi-naive round runs.
         // Materialisations: base scan (1 row) + per-round RecRef (1) +
-        // inner scan (1) + rename (1) + empty join/project/delta (0) = 4.
+        // inner scan (1) + rename (0: zero-copy) + empty join/project/
+        // delta (0) = 3.
         let (db, store) = store();
         let s = &store.symbols;
         let f = closure_fixpoint(
@@ -277,7 +629,41 @@ mod tests {
         let mut ctx = ExecContext::new();
         let r = execute(&f, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(ctx.rows_materialized, 4);
+        assert_eq!(ctx.rows_materialized, 3);
+    }
+
+    #[test]
+    fn fixpoint_caches_static_build_sides() {
+        // The closure's step joins the delta against the static renamed
+        // scan: its hash table must be built once, not once per round.
+        let (db, store) = store();
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let p = plan(&f, &store).unwrap();
+
+        let mut cached = ExecContext::new();
+        let r_cached = execute_plan(&p, &store, &mut cached).unwrap();
+        let mut uncached = ExecContext::new();
+        uncached.no_fixpoint_cache = true;
+        let r_uncached = execute_plan(&p, &store, &mut uncached).unwrap();
+
+        assert_eq!(r_cached, r_uncached, "caching must not change results");
+        assert!(cached.fixpoint_rounds >= 2, "closure iterates");
+        assert_eq!(cached.fixpoint_rounds, uncached.fixpoint_rounds);
+        assert!(
+            cached.hash_builds < uncached.hash_builds,
+            "caching must reduce hash builds: {} !< {}",
+            cached.hash_builds,
+            uncached.hash_builds
+        );
+        assert!(cached.cache_hits > 0);
+        assert_eq!(uncached.cache_hits, 0);
     }
 
     #[test]
@@ -298,6 +684,7 @@ mod tests {
     #[test]
     fn semijoin_with_node_table() {
         // isLocatedIn(x,y) ⋉ REGION(x): only region-sourced edges remain
+        // (fused into a filtered scan by the planner)
         let (db, store) = store();
         let t = RaTerm::semijoin(
             scan(&db, &store, "isLocatedIn", "x", "y"),

@@ -1,5 +1,9 @@
-//! Plan rendering with estimated cost/rows and (optionally) actual rows —
-//! the reproduction of the paper's Fig. 17 execution plans.
+//! Physical plan rendering with per-operator strategy, estimated
+//! cost/rows and (optionally) actual rows — the reproduction of the
+//! paper's Fig. 17 execution plans, one level lower: what is shown is
+//! the [`crate::plan::PhysPlan`] the executor actually interprets, so
+//! join strategies (merge vs hash), build sides and fused filtered
+//! scans are all visible.
 //!
 //! Rendering is one of the two places (with the SQL printer) where
 //! interned [`sgq_common::ColId`]s are resolved back to names, through
@@ -7,31 +11,43 @@
 
 use sgq_common::Result;
 
-use crate::cost::estimate;
-use crate::exec::{execute, ExecContext};
+use crate::exec::{execute_plan_traced, ExecContext};
+use crate::plan::{plan, PhysOp, PhysPlan};
 use crate::storage::RelStore;
 use crate::symbols::SymbolTable;
 use crate::table::Relation;
 use crate::term::RaTerm;
 
-/// Renders the plan with estimates only (like `EXPLAIN`).
+/// Lowers `term` and renders the physical plan with estimates only
+/// (like `EXPLAIN`). Malformed terms render as a one-line plan error.
 pub fn explain(term: &RaTerm, store: &RelStore, names: &dyn PlanNames) -> String {
+    match plan(term, store) {
+        Ok(p) => explain_plan(&p, store, names),
+        Err(e) => format!("plan error: {e}\n"),
+    }
+}
+
+/// Renders an already-lowered physical plan with estimates only.
+pub fn explain_plan(p: &PhysPlan, store: &RelStore, names: &dyn PlanNames) -> String {
     let mut out = String::new();
-    render(term, store, names, 0, &mut out);
+    render(p, store, names, 0, &mut out, None);
     out
 }
 
-/// Executes the term and renders the plan with estimated *and* actual
-/// rows (like `EXPLAIN ANALYZE`).
+/// Executes the term and renders the physical plan with estimated *and*
+/// actual rows (like `EXPLAIN ANALYZE`). Actual rows come from tracing
+/// the single execution — per plan node, summed across fixpoint rounds —
+/// rather than re-running sub-plans.
 pub fn explain_analyze(
     term: &RaTerm,
     store: &RelStore,
     names: &dyn PlanNames,
 ) -> Result<(Relation, String)> {
+    let p = plan(term, store)?;
     let mut ctx = ExecContext::new();
-    let rel = execute(term, store, &mut ctx)?;
+    let (rel, actuals) = execute_plan_traced(&p, store, &mut ctx)?;
     let mut out = String::new();
-    render_with_actual(term, store, names, 0, &mut out, &rel);
+    render(&p, store, names, 0, &mut out, Some(&actuals));
     Ok((rel, out))
 }
 
@@ -61,108 +77,148 @@ impl PlanNames for sgq_graph::GraphDatabase {
     }
 }
 
-fn describe(term: &RaTerm, names: &dyn PlanNames, symbols: &SymbolTable) -> String {
-    match term {
-        RaTerm::EdgeScan { label, src, tgt } => format!(
-            "Seq Scan on {} ({}, {})",
+fn describe(p: &PhysPlan, names: &dyn PlanNames, symbols: &SymbolTable) -> String {
+    match &p.op {
+        PhysOp::EdgeScan { label } => format!(
+            "Seq Scan on {} ({})",
             names.edge_name(*label),
-            symbols.col_name(*src),
-            symbols.col_name(*tgt)
+            symbols.col_list(&p.cols, ", ")
         ),
-        RaTerm::NodeScan { labels, col } => {
+        PhysOp::FilteredEdgeScan {
+            label, key, merge, ..
+        } => format!(
+            "Filtered Seq Scan on {} ({}) [{} filter on {}]",
+            names.edge_name(*label),
+            symbols.col_list(&p.cols, ", "),
+            if *merge { "merge" } else { "hash" },
+            symbols.col_list(key, ", ")
+        ),
+        PhysOp::NodeScan { labels } => {
             let ls: Vec<String> = labels.iter().map(|&l| names.node_name(l)).collect();
             format!(
                 "Index Scan on {} ({})",
                 ls.join("∪"),
-                symbols.col_name(*col)
+                symbols.col_list(&p.cols, ", ")
             )
         }
-        RaTerm::Join(..) => "Hash Join".to_string(),
-        RaTerm::Semijoin(..) => "Semi Join".to_string(),
-        RaTerm::Union(..) => "Union".to_string(),
-        RaTerm::Project { cols, .. } => {
-            format!("Project ({})", symbols.col_list(cols, ", "))
+        PhysOp::MergeJoin { key, .. } => {
+            format!("Merge Join (key = {})", symbols.col_list(key, ", "))
         }
-        RaTerm::Select { a, b, .. } => format!(
+        PhysOp::HashJoin {
+            key, build_left, ..
+        } => format!(
+            "Hash Join (build = {}, key = {})",
+            if *build_left { "left" } else { "right" },
+            if key.is_empty() {
+                "∅ cartesian".to_string()
+            } else {
+                symbols.col_list(key, ", ")
+            }
+        ),
+        PhysOp::MergeSemiJoin { key, .. } => {
+            format!("Merge Semi Join (key = {})", symbols.col_list(key, ", "))
+        }
+        PhysOp::HashSemiJoin { key, .. } => format!(
+            "Hash Semi Join (key = {})",
+            if key.is_empty() {
+                "∅ existence".to_string()
+            } else {
+                symbols.col_list(key, ", ")
+            }
+        ),
+        PhysOp::Union { .. } => "Merge Union".to_string(),
+        PhysOp::Project { .. } => {
+            format!("Project ({})", symbols.col_list(&p.cols, ", "))
+        }
+        PhysOp::Select { a, b, .. } => format!(
             "Select ({} = {})",
             symbols.col_name(*a),
             symbols.col_name(*b)
         ),
-        RaTerm::Rename { from, to, .. } => format!(
-            "Rename ({} -> {})",
-            symbols.col_name(*from),
-            symbols.col_name(*to)
+        PhysOp::Rename { .. } => {
+            format!("Rename ({})", symbols.col_list(&p.cols, ", "))
+        }
+        PhysOp::Fixpoint { var, step, .. } => format!(
+            "Recursive Fixpoint µ{} (semi-naive, {} cached static input{})",
+            symbols.recvar_name(*var),
+            count_cacheable(step),
+            if count_cacheable(step) == 1 { "" } else { "s" }
         ),
-        RaTerm::Fixpoint { var, .. } => format!(
-            "Recursive Fixpoint µ{} (semi-naive)",
-            symbols.recvar_name(*var)
-        ),
-        RaTerm::RecRef { var, cols } => format!(
+        PhysOp::RecRef { var } => format!(
             "Recursive Ref {} ({})",
             symbols.recvar_name(*var),
-            symbols.col_list(cols, ", ")
+            symbols.col_list(&p.cols, ", ")
         ),
     }
 }
 
-fn render(term: &RaTerm, store: &RelStore, names: &dyn PlanNames, depth: usize, out: &mut String) {
-    let e = estimate(term, store);
-    out.push_str(&"  ".repeat(depth));
-    out.push_str(&format!(
-        "{} (cost = {:.2} rows = {:.0})\n",
-        describe(term, names, &store.symbols),
-        e.cost,
-        e.rows
-    ));
-    for child in children(term) {
-        render(child, store, names, depth + 1, out);
+/// Number of maximal static subtrees (plus static build sides) of a
+/// fixpoint step — the intermediates the executor caches across rounds.
+fn count_cacheable(p: &PhysPlan) -> usize {
+    if p.is_static() {
+        return 1;
+    }
+    match &p.op {
+        // A dynamic hash (semi-)join caches its static build/filter side
+        // as a built hash table / key set rather than a plain relation.
+        PhysOp::HashJoin {
+            left,
+            right,
+            build_left,
+            ..
+        } => {
+            let (build, probe) = if *build_left {
+                (left, right)
+            } else {
+                (right, left)
+            };
+            if build.is_static() {
+                1 + count_cacheable(probe)
+            } else {
+                count_cacheable(left) + count_cacheable(right)
+            }
+        }
+        PhysOp::HashSemiJoin { left, right, .. } => {
+            if right.is_static() {
+                1 + count_cacheable(left)
+            } else {
+                count_cacheable(left) + count_cacheable(right)
+            }
+        }
+        // (A FilteredEdgeScan needs no arm: its free recvars equal its
+        // filter's, so a static filter makes the whole node static and
+        // the early return above already counted it.)
+        _ => p.children().iter().map(|c| count_cacheable(c)).sum(),
     }
 }
 
-fn render_with_actual(
-    term: &RaTerm,
+fn render(
+    p: &PhysPlan,
     store: &RelStore,
     names: &dyn PlanNames,
     depth: usize,
     out: &mut String,
-    root_result: &Relation,
+    actuals: Option<&[usize]>,
 ) {
-    let e = estimate(term, store);
-    // Re-execute sub-plans to report their actual cardinalities; the plans
-    // involved in EXPLAIN ANALYZE demos are small.
-    let actual = if depth == 0 {
-        root_result.len()
-    } else {
-        let mut ctx = ExecContext::new();
-        execute(term, store, &mut ctx).map(|r| r.len()).unwrap_or(0)
-    };
     out.push_str(&"  ".repeat(depth));
-    out.push_str(&format!(
-        "{} (cost = {:.2} rows = {:.0} actual = {actual})\n",
-        describe(term, names, &store.symbols),
-        e.cost,
-        e.rows
-    ));
-    for child in children(term) {
-        if matches!(child, RaTerm::RecRef { .. }) {
-            // cannot evaluate outside its fixpoint; render estimate only
-            render(child, store, names, depth + 1, out);
-        } else {
-            render_with_actual(child, store, names, depth + 1, out, root_result);
-        }
-    }
-}
-
-fn children(term: &RaTerm) -> Vec<&RaTerm> {
-    match term {
-        RaTerm::EdgeScan { .. } | RaTerm::NodeScan { .. } | RaTerm::RecRef { .. } => vec![],
-        RaTerm::Join(a, b) | RaTerm::Semijoin(a, b) | RaTerm::Union(a, b) => {
-            vec![a, b]
-        }
-        RaTerm::Project { input, .. }
-        | RaTerm::Rename { input, .. }
-        | RaTerm::Select { input, .. } => vec![input],
-        RaTerm::Fixpoint { base, step, .. } => vec![base, step],
+    let line = match actuals {
+        Some(a) => format!(
+            "{} (cost = {:.2} rows = {:.0} actual = {})\n",
+            describe(p, names, &store.symbols),
+            p.est.cost,
+            p.est.rows,
+            a.get(p.id as usize).copied().unwrap_or(0)
+        ),
+        None => format!(
+            "{} (cost = {:.2} rows = {:.0})\n",
+            describe(p, names, &store.symbols),
+            p.est.cost,
+            p.est.rows
+        ),
+    };
+    out.push_str(&line);
+    for child in p.children() {
+        render(child, store, names, depth + 1, out, actuals);
     }
 }
 
@@ -172,7 +228,7 @@ mod tests {
     use sgq_graph::database::fig2_yago_database;
 
     #[test]
-    fn explain_renders_tree() {
+    fn explain_renders_physical_tree() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let s = &store.symbols;
@@ -189,9 +245,35 @@ mod tests {
             },
         );
         let rendered = explain(&t, &store, &db);
-        assert!(rendered.contains("Hash Join"), "{rendered}");
+        // owns (1 row) is the estimated-smaller side: it builds.
+        assert!(
+            rendered.contains("Hash Join (build = left, key = y)"),
+            "{rendered}"
+        );
         assert!(rendered.contains("Seq Scan on owns (x, y)"), "{rendered}");
         assert!(rendered.contains("rows = 4"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_shows_merge_join_for_aligned_inputs() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let t = RaTerm::join(
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("isLocatedIn").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("y"),
+            },
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("owns").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("z"),
+            },
+        );
+        let rendered = explain(&t, &store, &db);
+        assert!(rendered.contains("Merge Join (key = x)"), "{rendered}");
+        assert!(!rendered.contains("Hash Join"), "{rendered}");
     }
 
     #[test]
@@ -213,7 +295,36 @@ mod tests {
         let (rel, rendered) = explain_analyze(&t, &store, &db).unwrap();
         assert_eq!(rel.len(), 1);
         assert!(rendered.contains("actual = 1"), "{rendered}");
-        assert!(rendered.contains("Semi Join"), "{rendered}");
+        // The semi-join fuses onto the scan, with a merge filter since x
+        // leads both schemas.
+        assert!(
+            rendered.contains("Filtered Seq Scan on isLocatedIn (x, y) [merge filter on x]"),
+            "{rendered}"
+        );
         assert!(rendered.contains("Index Scan on REGION"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_shows_fixpoint_cached_inputs() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let f = crate::term::closure_fixpoint(
+            s.recvar("X"),
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("isLocatedIn").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("y"),
+            },
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let rendered = explain(&f, &store, &db);
+        assert!(
+            rendered.contains("Recursive Fixpoint µX (semi-naive, 1 cached static input)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("Recursive Ref X (x, m)"), "{rendered}");
     }
 }

@@ -10,11 +10,15 @@
 //! * [`term`] — the RA term language (σ/π/ρ/⋈/⋉/∪ and the fixpoint µ),
 //! * [`optimize`] — µ-RA-style rewritings: semi-join pushdown through
 //!   joins and *into fixpoints*, plus greedy join ordering,
-//! * [`exec`] — a semi-naive bottom-up evaluator with cooperative
-//!   timeouts,
+//! * [`mod@plan`] — lowering of optimised terms into physical plans with
+//!   cost-chosen operators (merge vs hash joins, build sides, fused
+//!   filtered scans, cached fixpoint build sides),
+//! * [`exec`] — a semi-naive bottom-up interpreter over physical plans
+//!   with cooperative timeouts,
 //! * [`cost`] — cardinality estimation over [`sgq_graph::GraphStats`],
-//! * [`explain`] — plan rendering with estimated cost/rows and actual
-//!   rows (the paper's Fig. 17).
+//! * [`explain`] — physical plan rendering with per-operator strategy,
+//!   estimated cost/rows and actual rows (the paper's Fig. 17, one
+//!   level lower).
 
 #![warn(missing_docs)]
 
@@ -22,12 +26,14 @@ pub mod cost;
 pub mod exec;
 pub mod explain;
 pub mod optimize;
+pub mod plan;
 pub mod storage;
 pub mod symbols;
 pub mod table;
 pub mod term;
 
-pub use exec::{execute, ExecContext};
+pub use exec::{execute, execute_plan, ExecContext};
+pub use plan::{plan, PhysOp, PhysPlan};
 pub use storage::RelStore;
 pub use symbols::SymbolTable;
 pub use table::{Col, Relation};

@@ -20,7 +20,7 @@
 
 use sgq_common::ColId;
 
-use crate::cost::estimate;
+use crate::cost::{estimate_with_env, EstEnv};
 use crate::storage::RelStore;
 use crate::term::RaTerm;
 
@@ -28,7 +28,7 @@ use crate::term::RaTerm;
 pub fn optimize(term: &RaTerm, store: &RelStore) -> RaTerm {
     let mut current = term.clone();
     for _ in 0..8 {
-        let next = pass(&current, store);
+        let next = pass(&current, store, &mut EstEnv::new());
         if next == current {
             break;
         }
@@ -37,21 +37,23 @@ pub fn optimize(term: &RaTerm, store: &RelStore) -> RaTerm {
     current
 }
 
-fn pass(term: &RaTerm, store: &RelStore) -> RaTerm {
-    // Bottom-up.
+fn pass(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> RaTerm {
+    // Bottom-up. The estimation environment binds each fixpoint's base
+    // estimate before descending into its step, so join reordering
+    // inside a step sees the recursive input at its real cardinality.
     let term = match term {
         RaTerm::EdgeScan { .. } | RaTerm::NodeScan { .. } | RaTerm::RecRef { .. } => term.clone(),
-        RaTerm::Join(a, b) => RaTerm::join(pass(a, store), pass(b, store)),
-        RaTerm::Semijoin(a, b) => RaTerm::semijoin(pass(a, store), pass(b, store)),
-        RaTerm::Union(a, b) => RaTerm::union(pass(a, store), pass(b, store)),
-        RaTerm::Project { input, cols } => RaTerm::project(pass(input, store), cols.clone()),
+        RaTerm::Join(a, b) => RaTerm::join(pass(a, store, env), pass(b, store, env)),
+        RaTerm::Semijoin(a, b) => RaTerm::semijoin(pass(a, store, env), pass(b, store, env)),
+        RaTerm::Union(a, b) => RaTerm::union(pass(a, store, env), pass(b, store, env)),
+        RaTerm::Project { input, cols } => RaTerm::project(pass(input, store, env), cols.clone()),
         RaTerm::Rename { input, from, to } => RaTerm::Rename {
-            input: Box::new(pass(input, store)),
+            input: Box::new(pass(input, store, env)),
             from: *from,
             to: *to,
         },
         RaTerm::Select { input, a, b } => RaTerm::Select {
-            input: Box::new(pass(input, store)),
+            input: Box::new(pass(input, store, env)),
             a: *a,
             b: *b,
         },
@@ -60,15 +62,22 @@ fn pass(term: &RaTerm, store: &RelStore) -> RaTerm {
             base,
             step,
             stable,
-        } => RaTerm::Fixpoint {
-            var: *var,
-            base: Box::new(pass(base, store)),
-            step: Box::new(pass(step, store)),
-            stable: stable.clone(),
-        },
+        } => {
+            let base = pass(base, store, env);
+            let base_rows = estimate_with_env(&base, store, env).rows;
+            let prev = env.bind(*var, base_rows);
+            let step = pass(step, store, env);
+            env.restore(*var, prev);
+            RaTerm::Fixpoint {
+                var: *var,
+                base: Box::new(base),
+                step: Box::new(step),
+                stable: stable.clone(),
+            }
+        }
     };
     let term = push_semijoin(term);
-    reorder_joins(term, store)
+    reorder_joins(term, store, env)
 }
 
 /// Rules 1 and 2: semi-join pushdown.
@@ -121,7 +130,7 @@ fn push_semijoin(term: RaTerm) -> RaTerm {
 }
 
 /// Rule 3: flatten join chains and rebuild greedily.
-fn reorder_joins(term: RaTerm, store: &RelStore) -> RaTerm {
+fn reorder_joins(term: RaTerm, store: &RelStore, env: &mut EstEnv) -> RaTerm {
     match term {
         RaTerm::Join(_, _) => {
             let mut parts: Vec<RaTerm> = Vec::new();
@@ -135,7 +144,7 @@ fn reorder_joins(term: RaTerm, store: &RelStore) -> RaTerm {
             let mut best_idx = 0;
             let mut best_rows = f64::INFINITY;
             for (i, p) in remaining.iter().enumerate() {
-                let e = estimate(p, store);
+                let e = estimate_with_env(p, store, env);
                 if e.rows < best_rows {
                     best_rows = e.rows;
                     best_idx = i;
@@ -148,7 +157,8 @@ fn reorder_joins(term: RaTerm, store: &RelStore) -> RaTerm {
                 let mut pick_score = (false, f64::INFINITY);
                 for (i, p) in remaining.iter().enumerate() {
                     let connected = p.cols().iter().any(|c| acc_cols.contains(c));
-                    let rows = estimate(&RaTerm::join(acc.clone(), p.clone()), store).rows;
+                    let rows =
+                        estimate_with_env(&RaTerm::join(acc.clone(), p.clone()), store, env).rows;
                     let score = (!connected, rows);
                     if score < pick_score {
                         pick_score = score;

@@ -1,0 +1,736 @@
+//! Lowering optimised [`RaTerm`]s into a physical plan.
+//!
+//! The logical optimiser ([`crate::optimize`]) decides *what* to
+//! compute; this module decides *how*. Operator selection exploits two
+//! properties the logical layer cannot see:
+//!
+//! * **Order.** Every [`crate::table::Relation`] is canonical — rows
+//!   sorted lexicographically in column order — so whenever a join's
+//!   shared columns form the leading prefix of *both* inputs' schemas,
+//!   the join (or semi-join) runs as a linear merge with no hash table
+//!   at all.
+//! * **Cost.** For the remaining hash joins the build side is chosen by
+//!   [`crate::cost::estimate`]-style cardinalities instead of being
+//!   rediscovered at run time, with ties broken towards the
+//!   recursion-independent side so a fixpoint can cache the built table
+//!   across rounds (see below).
+//!
+//! Two further physical rewrites:
+//!
+//! * a semi-join landing directly on an edge scan fuses into a
+//!   [`PhysOp::FilteredEdgeScan`], so the unfiltered table is never
+//!   materialised as a separate operator output;
+//! * a [`PhysOp::Fixpoint`] pre-plans its step once, and every node of
+//!   the step that does not depend on the recursion variable (tracked
+//!   by [`PhysPlan::free_rec`]) is marked for caching: the executor
+//!   computes static inputs — and static build-side hash tables — in
+//!   the first round and rebuilds only the delta probe afterwards.
+//!
+//! Every node carries its output columns and an [`Estimate`], which is
+//! what the physical `EXPLAIN` ([`crate::explain`]) renders.
+
+use sgq_common::{ColId, EdgeLabelId, NodeLabelId, RecVarId, Result, SgqError};
+
+use crate::cost::{self, EstEnv, Estimate};
+use crate::storage::RelStore;
+use crate::term::RaTerm;
+
+/// A physical plan node: operator, output schema, estimate and the
+/// recursion variables it (transitively) references.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhysPlan {
+    /// Dense node id (preorder of lowering), used to key per-fixpoint
+    /// caches and `EXPLAIN ANALYZE` row counters.
+    pub id: u32,
+    /// Output column ids, in order.
+    pub cols: Vec<ColId>,
+    /// Estimated output rows and cumulative cost.
+    pub est: Estimate,
+    /// Free recursion variables: empty means the subtree is static —
+    /// inside a fixpoint step it is computed once and cached across
+    /// rounds.
+    pub free_rec: Vec<RecVarId>,
+    /// The physical operator.
+    pub op: PhysOp,
+}
+
+/// Physical operators. Join and semi-join strategies are fixed at plan
+/// time; the executor ([`crate::exec`]) only interprets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysOp {
+    /// Sequential scan of an edge table (columns renamed positionally to
+    /// the node's `cols`).
+    EdgeScan {
+        /// Edge label.
+        label: EdgeLabelId,
+    },
+    /// An edge scan fused with a semi-join filter: only the filtered
+    /// rows are ever materialised.
+    FilteredEdgeScan {
+        /// Edge label.
+        label: EdgeLabelId,
+        /// The filter input (right side of the fused semi-join).
+        filter: Box<PhysPlan>,
+        /// Shared (key) columns, in scan-schema order.
+        key: Vec<ColId>,
+        /// Whether the key is a sorted prefix of both sides, enabling a
+        /// merge filter instead of a hashed key set.
+        merge: bool,
+    },
+    /// Scan of the union of node tables.
+    NodeScan {
+        /// Node labels (unioned with a single normalisation pass).
+        labels: Vec<NodeLabelId>,
+    },
+    /// Merge join: both inputs are canonically sorted on the shared
+    /// `key` prefix, so no hash table is built and the output needs no
+    /// re-sort.
+    MergeJoin {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+        /// Shared key columns (the common schema prefix).
+        key: Vec<ColId>,
+    },
+    /// Hash join with the build side fixed by the cost model.
+    HashJoin {
+        /// Left input (its columns lead the output schema).
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+        /// Shared key columns (empty = cartesian product).
+        key: Vec<ColId>,
+        /// Whether the left input is the build side.
+        build_left: bool,
+    },
+    /// Merge semi-join on a shared sorted key prefix.
+    MergeSemiJoin {
+        /// Left (filtered) input.
+        left: Box<PhysPlan>,
+        /// Right (filter) input.
+        right: Box<PhysPlan>,
+        /// Shared key columns.
+        key: Vec<ColId>,
+    },
+    /// Hash semi-join: the right side's keys are hashed, the left side
+    /// is filtered in order.
+    HashSemiJoin {
+        /// Left (filtered) input.
+        left: Box<PhysPlan>,
+        /// Right (filter) input.
+        right: Box<PhysPlan>,
+        /// Shared key columns (empty = keep all iff right is non-empty).
+        key: Vec<ColId>,
+    },
+    /// Merge union of two canonical inputs.
+    Union {
+        /// Left input.
+        left: Box<PhysPlan>,
+        /// Right input.
+        right: Box<PhysPlan>,
+    },
+    /// Projection onto the node's `cols` (set semantics).
+    Project {
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Equality selection on two column positions.
+    Select {
+        /// Input plan.
+        input: Box<PhysPlan>,
+        /// First column (display).
+        a: ColId,
+        /// Second column (display).
+        b: ColId,
+        /// Position of `a` in the input schema.
+        ia: usize,
+        /// Position of `b` in the input schema.
+        ib: usize,
+    },
+    /// Positional column renaming — zero-copy at execution time.
+    Rename {
+        /// Input plan.
+        input: Box<PhysPlan>,
+    },
+    /// Semi-naive fixpoint with a pre-planned step and static-input
+    /// caching across rounds.
+    Fixpoint {
+        /// Recursion variable.
+        var: RecVarId,
+        /// Base-case plan.
+        base: Box<PhysPlan>,
+        /// Step plan, re-evaluated per round against the current delta.
+        step: Box<PhysPlan>,
+    },
+    /// Reference to the enclosing fixpoint's current delta.
+    RecRef {
+        /// Recursion variable.
+        var: RecVarId,
+    },
+}
+
+impl PhysPlan {
+    /// Child plans, for rendering and cost splitting.
+    pub fn children(&self) -> Vec<&PhysPlan> {
+        match &self.op {
+            PhysOp::EdgeScan { .. } | PhysOp::NodeScan { .. } | PhysOp::RecRef { .. } => vec![],
+            PhysOp::FilteredEdgeScan { filter, .. } => vec![filter],
+            PhysOp::MergeJoin { left, right, .. }
+            | PhysOp::HashJoin { left, right, .. }
+            | PhysOp::MergeSemiJoin { left, right, .. }
+            | PhysOp::HashSemiJoin { left, right, .. }
+            | PhysOp::Union { left, right } => vec![left, right],
+            PhysOp::Project { input } | PhysOp::Select { input, .. } | PhysOp::Rename { input } => {
+                vec![input]
+            }
+            PhysOp::Fixpoint { base, step, .. } => vec![base, step],
+        }
+    }
+
+    /// Number of nodes (ids are dense, so this is `max id + 1`).
+    pub fn node_count(&self) -> usize {
+        let mut max = self.id;
+        let mut stack = self.children();
+        while let Some(p) = stack.pop() {
+            max = max.max(p.id);
+            stack.extend(p.children());
+        }
+        max as usize + 1
+    }
+
+    /// Whether the subtree references no recursion variable (and can
+    /// therefore be cached across fixpoint rounds).
+    pub fn is_static(&self) -> bool {
+        self.free_rec.is_empty()
+    }
+}
+
+/// Lowers an (ideally [`crate::optimize`]d) term into a physical plan.
+///
+/// Fails when the term is malformed — a selection or projection names a
+/// column its input does not produce.
+pub fn plan(term: &RaTerm, store: &RelStore) -> Result<PhysPlan> {
+    let mut planner = Planner {
+        store,
+        env: EstEnv::new(),
+        next_id: 0,
+    };
+    planner.lower(term)
+}
+
+struct Planner<'a> {
+    store: &'a RelStore,
+    /// Base-case cardinalities of enclosing fixpoints.
+    env: EstEnv,
+    next_id: u32,
+}
+
+impl Planner<'_> {
+    fn node(
+        &mut self,
+        cols: Vec<ColId>,
+        est: Estimate,
+        free_rec: Vec<RecVarId>,
+        op: PhysOp,
+    ) -> PhysPlan {
+        let id = self.next_id;
+        self.next_id += 1;
+        PhysPlan {
+            id,
+            cols,
+            est,
+            free_rec,
+            op,
+        }
+    }
+
+    fn lower(&mut self, term: &RaTerm) -> Result<PhysPlan> {
+        match term {
+            RaTerm::EdgeScan { label, src, tgt } => {
+                let rows = self.store.stats.edge_cardinality(*label) as f64;
+                Ok(self.node(
+                    vec![*src, *tgt],
+                    Estimate { rows, cost: rows },
+                    vec![],
+                    PhysOp::EdgeScan { label: *label },
+                ))
+            }
+            RaTerm::NodeScan { labels, col } => {
+                let rows: f64 = labels
+                    .iter()
+                    .map(|&l| self.store.stats.label_cardinality(l) as f64)
+                    .sum();
+                Ok(self.node(
+                    vec![*col],
+                    Estimate { rows, cost: rows },
+                    vec![],
+                    PhysOp::NodeScan {
+                        labels: labels.clone(),
+                    },
+                ))
+            }
+            RaTerm::Join(a, b) => {
+                let left = self.lower(a)?;
+                let right = self.lower(b)?;
+                Ok(self.lower_join(left, right))
+            }
+            RaTerm::Semijoin(a, b) => self.lower_semijoin(a, b),
+            RaTerm::Union(a, b) => {
+                let left = self.lower(a)?;
+                let right = self.lower(b)?;
+                let rows = left.est.rows + right.est.rows;
+                let est = Estimate {
+                    rows,
+                    cost: left.est.cost + right.est.cost + rows,
+                };
+                let cols = left.cols.clone();
+                let free = union_free(&left.free_rec, &right.free_rec);
+                Ok(self.node(
+                    cols,
+                    est,
+                    free,
+                    PhysOp::Union {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                ))
+            }
+            RaTerm::Project { input, cols } => {
+                let child = self.lower(input)?;
+                for c in cols {
+                    if !child.cols.contains(c) {
+                        return Err(SgqError::Execution(format!(
+                            "projection column {c} missing from input schema"
+                        )));
+                    }
+                }
+                let est = Estimate {
+                    rows: child.est.rows,
+                    cost: child.est.cost + child.est.rows,
+                };
+                let free = child.free_rec.clone();
+                Ok(self.node(
+                    cols.clone(),
+                    est,
+                    free,
+                    PhysOp::Project {
+                        input: Box::new(child),
+                    },
+                ))
+            }
+            RaTerm::Select { input, a, b } => {
+                let child = self.lower(input)?;
+                let ia = child
+                    .cols
+                    .iter()
+                    .position(|c| c == a)
+                    .ok_or_else(|| SgqError::Execution(format!("unknown column {a}")))?;
+                let ib = child
+                    .cols
+                    .iter()
+                    .position(|c| c == b)
+                    .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
+                let est = Estimate {
+                    rows: (child.est.rows * 0.1).max(1.0),
+                    cost: child.est.cost + child.est.rows,
+                };
+                let cols = child.cols.clone();
+                let free = child.free_rec.clone();
+                Ok(self.node(
+                    cols,
+                    est,
+                    free,
+                    PhysOp::Select {
+                        input: Box::new(child),
+                        a: *a,
+                        b: *b,
+                        ia,
+                        ib,
+                    },
+                ))
+            }
+            RaTerm::Rename { input, from, to } => {
+                let child = self.lower(input)?;
+                if !child.cols.contains(from) {
+                    return Err(SgqError::Execution(format!("unknown column {from}")));
+                }
+                let cols: Vec<ColId> = child
+                    .cols
+                    .iter()
+                    .map(|&c| if c == *from { *to } else { c })
+                    .collect();
+                // Zero-copy at execution: the rename adds no cost.
+                let est = child.est;
+                let free = child.free_rec.clone();
+                Ok(self.node(
+                    cols,
+                    est,
+                    free,
+                    PhysOp::Rename {
+                        input: Box::new(child),
+                    },
+                ))
+            }
+            RaTerm::Fixpoint {
+                var, base, step, ..
+            } => {
+                let base_plan = self.lower(base)?;
+                let prev = self.env.bind(*var, base_plan.est.rows);
+                let step_plan = self.lower(step);
+                self.env.restore(*var, prev);
+                let step_plan = step_plan?;
+                let rows = base_plan.est.rows * cost::FIXPOINT_GROWTH;
+                // Static step inputs are cached across rounds, so only
+                // the delta-dependent cost multiplies with the growth.
+                let (st, dy) = split_cost(&step_plan);
+                let est = Estimate {
+                    rows,
+                    cost: base_plan.est.cost + st + dy * cost::FIXPOINT_GROWTH + rows,
+                };
+                let cols = base_plan.cols.clone();
+                let mut free = union_free(&base_plan.free_rec, &step_plan.free_rec);
+                free.retain(|v| v != var);
+                Ok(self.node(
+                    cols,
+                    est,
+                    free,
+                    PhysOp::Fixpoint {
+                        var: *var,
+                        base: Box::new(base_plan),
+                        step: Box::new(step_plan),
+                    },
+                ))
+            }
+            RaTerm::RecRef { var, cols } => {
+                let rows = self.env.rows(*var).unwrap_or(1.0);
+                Ok(self.node(
+                    cols.clone(),
+                    Estimate { rows, cost: 0.0 },
+                    vec![*var],
+                    PhysOp::RecRef { var: *var },
+                ))
+            }
+        }
+    }
+
+    /// Join strategy selection: merge when the shared columns lead both
+    /// schemas, otherwise hash with the cost-chosen build side.
+    fn lower_join(&mut self, left: PhysPlan, right: PhysPlan) -> PhysPlan {
+        let key = shared_cols(&left.cols, &right.cols);
+        let k = key.len();
+        let rows = cost::join_rows(left.est.rows, right.est.rows, k, self.store);
+        let cols: Vec<ColId> = left
+            .cols
+            .iter()
+            .chain(right.cols.iter().filter(|c| !left.cols.contains(c)))
+            .copied()
+            .collect();
+        let free = union_free(&left.free_rec, &right.free_rec);
+        if k >= 1 && is_prefix(&key, &left.cols) && is_prefix(&key, &right.cols) {
+            // Both inputs arrive sorted on the key: skip hashing entirely.
+            let est = Estimate {
+                rows,
+                cost: left.est.cost + right.est.cost + rows,
+            };
+            return self.node(
+                cols,
+                est,
+                free,
+                PhysOp::MergeJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    key,
+                },
+            );
+        }
+        let est = Estimate {
+            rows,
+            cost: left.est.cost + right.est.cost + left.est.rows + right.est.rows + rows,
+        };
+        // Build the estimated-smaller side; break ties towards the
+        // recursion-independent side, whose table a fixpoint can cache.
+        let build_left = if left.est.rows < right.est.rows {
+            true
+        } else if right.est.rows < left.est.rows {
+            false
+        } else {
+            left.is_static() || !right.is_static()
+        };
+        self.node(
+            cols,
+            est,
+            free,
+            PhysOp::HashJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                key,
+                build_left,
+            },
+        )
+    }
+
+    /// Semi-join strategy selection: fuse onto bare edge scans, merge on
+    /// sorted key prefixes, hash otherwise.
+    fn lower_semijoin(&mut self, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
+        if let RaTerm::EdgeScan { label, src, tgt } = a {
+            let filter = self.lower(b)?;
+            let scan_cols = vec![*src, *tgt];
+            let key = shared_cols(&scan_cols, &filter.cols);
+            let merge =
+                !key.is_empty() && is_prefix(&key, &scan_cols) && is_prefix(&key, &filter.cols);
+            let scan_rows = self.store.stats.edge_cardinality(*label) as f64;
+            let rows = cost::semijoin_rows(scan_rows, filter.est.rows, self.store);
+            let est = Estimate {
+                rows,
+                cost: scan_rows + filter.est.cost + filter.est.rows,
+            };
+            let free = filter.free_rec.clone();
+            return Ok(self.node(
+                scan_cols,
+                est,
+                free,
+                PhysOp::FilteredEdgeScan {
+                    label: *label,
+                    filter: Box::new(filter),
+                    key,
+                    merge,
+                },
+            ));
+        }
+        let left = self.lower(a)?;
+        let right = self.lower(b)?;
+        let key = shared_cols(&left.cols, &right.cols);
+        let rows = cost::semijoin_rows(left.est.rows, right.est.rows, self.store);
+        let cols = left.cols.clone();
+        let free = union_free(&left.free_rec, &right.free_rec);
+        if !key.is_empty() && is_prefix(&key, &left.cols) && is_prefix(&key, &right.cols) {
+            let est = Estimate {
+                rows,
+                cost: left.est.cost + right.est.cost + rows,
+            };
+            return Ok(self.node(
+                cols,
+                est,
+                free,
+                PhysOp::MergeSemiJoin {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    key,
+                },
+            ));
+        }
+        let est = Estimate {
+            rows,
+            cost: left.est.cost + right.est.cost + left.est.rows + right.est.rows,
+        };
+        Ok(self.node(
+            cols,
+            est,
+            free,
+            PhysOp::HashSemiJoin {
+                left: Box::new(left),
+                right: Box::new(right),
+                key,
+            },
+        ))
+    }
+}
+
+/// Shared columns in left-schema order.
+fn shared_cols(left: &[ColId], right: &[ColId]) -> Vec<ColId> {
+    left.iter().filter(|c| right.contains(c)).copied().collect()
+}
+
+/// Whether `key` is the leading prefix of `cols`.
+fn is_prefix(key: &[ColId], cols: &[ColId]) -> bool {
+    cols.len() >= key.len() && &cols[..key.len()] == key
+}
+
+fn union_free(a: &[RecVarId], b: &[RecVarId]) -> Vec<RecVarId> {
+    let mut out = a.to_vec();
+    for v in b {
+        if !out.contains(v) {
+            out.push(*v);
+        }
+    }
+    out
+}
+
+/// Splits a step plan's cost into (static, per-round) parts: a static
+/// subtree's full cost lands in the first bucket because the executor
+/// caches its result, while every recursion-dependent node's local cost
+/// recurs each round.
+fn split_cost(p: &PhysPlan) -> (f64, f64) {
+    if p.is_static() {
+        return (p.est.cost, 0.0);
+    }
+    let mut st = 0.0;
+    let mut dy = 0.0;
+    let mut child_cost = 0.0;
+    for c in p.children() {
+        let (s, d) = split_cost(c);
+        st += s;
+        dy += d;
+        child_cost += c.est.cost;
+    }
+    dy += (p.est.cost - child_cost).max(0.0);
+    (st, dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::RelStore;
+    use crate::term::closure_fixpoint;
+    use sgq_graph::database::fig2_yago_database;
+
+    fn scan(
+        db: &sgq_graph::GraphDatabase,
+        store: &RelStore,
+        label: &str,
+        src: &str,
+        tgt: &str,
+    ) -> RaTerm {
+        RaTerm::EdgeScan {
+            label: db.edge_label_id(label).unwrap(),
+            src: store.symbols.col(src),
+            tgt: store.symbols.col(tgt),
+        }
+    }
+
+    #[test]
+    fn prefix_aligned_join_lowers_to_merge() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // Both scans lead with x: canonical order matches the key.
+        let t = RaTerm::join(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "owns", "x", "z"),
+        );
+        let p = plan(&t, &store).unwrap();
+        assert!(
+            matches!(p.op, PhysOp::MergeJoin { .. }),
+            "expected merge join: {p:?}"
+        );
+    }
+
+    #[test]
+    fn misaligned_join_lowers_to_hash_with_cost_chosen_build() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // owns(x,y) ⋈ isLocatedIn(y,z): y is not a prefix of the left.
+        let t = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        let p = plan(&t, &store).unwrap();
+        match &p.op {
+            PhysOp::HashJoin { build_left, .. } => {
+                // owns (1 row) is estimated smaller than isLocatedIn (4).
+                assert!(*build_left, "smaller side must build: {p:?}");
+            }
+            other => panic!("expected hash join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semijoin_on_scan_fuses() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let t = RaTerm::semijoin(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("REGION").unwrap()],
+                col: store.symbols.col("x"),
+            },
+        );
+        let p = plan(&t, &store).unwrap();
+        match &p.op {
+            PhysOp::FilteredEdgeScan { merge, .. } => {
+                assert!(*merge, "x leads both schemas: {p:?}");
+            }
+            other => panic!("expected fused filtered scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixpoint_step_marks_static_subtrees() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let p = plan(&f, &store).unwrap();
+        assert!(p.is_static(), "a closed fixpoint has no free recvars");
+        let PhysOp::Fixpoint { step, .. } = &p.op else {
+            panic!("expected fixpoint, got {p:?}");
+        };
+        assert!(!step.is_static(), "the step depends on the delta");
+        // The renamed inner scan inside the step is recursion-free.
+        fn any_static_scan(p: &PhysPlan) -> bool {
+            (matches!(p.op, PhysOp::EdgeScan { .. }) && p.is_static())
+                || p.children().iter().any(|c| any_static_scan(c))
+        }
+        assert!(any_static_scan(step), "{step:?}");
+    }
+
+    #[test]
+    fn recref_estimate_inherits_base() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let p = plan(&f, &store).unwrap();
+        let PhysOp::Fixpoint { step, .. } = &p.op else {
+            panic!()
+        };
+        fn find_recref(p: &PhysPlan) -> Option<&PhysPlan> {
+            if matches!(p.op, PhysOp::RecRef { .. }) {
+                return Some(p);
+            }
+            p.children().into_iter().find_map(find_recref)
+        }
+        let r = find_recref(step).expect("step contains the recursive ref");
+        assert_eq!(r.est.rows, 4.0, "inherits isLocatedIn's base estimate");
+    }
+
+    #[test]
+    fn malformed_terms_fail_at_plan_time() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let t = RaTerm::select_eq(
+            scan(&db, &store, "owns", "x", "y"),
+            s.col("x"),
+            s.col("nope"),
+        );
+        assert!(plan(&t, &store).is_err());
+    }
+
+    #[test]
+    fn node_ids_are_dense() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let t = RaTerm::project(
+            RaTerm::join(
+                scan(&db, &store, "owns", "x", "y"),
+                scan(&db, &store, "isLocatedIn", "y", "z"),
+            ),
+            vec![store.symbols.col("x"), store.symbols.col("z")],
+        );
+        let p = plan(&t, &store).unwrap();
+        assert_eq!(p.node_count(), 4);
+    }
+}

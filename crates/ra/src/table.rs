@@ -23,7 +23,7 @@ pub type Col = ColId;
 
 /// How many probe rows a join/semi-join processes between two calls to
 /// its cooperative-deadline poll.
-const POLL_MASK: usize = 8192 - 1;
+pub(crate) const POLL_MASK: usize = 8192 - 1;
 
 /// Packs a two-column key into one hashable word.
 #[inline]
@@ -205,6 +205,37 @@ impl Relation {
             cols,
             data: self.data.clone(),
         }
+    }
+
+    /// Consuming [`Relation::with_cols`]: renames columns positionally
+    /// without copying the row data — the physical executor's zero-copy
+    /// rename.
+    pub fn into_cols(self, cols: Vec<ColId>) -> Relation {
+        assert_eq!(cols.len(), self.arity());
+        Relation {
+            cols,
+            data: self.data,
+        }
+    }
+
+    /// Builds a canonical relation from flattened row data (row-major,
+    /// `data.len()` a multiple of `cols.len()`).
+    pub(crate) fn from_flat(cols: Vec<ColId>, data: Vec<u32>) -> Relation {
+        let mut rel = Relation { cols, data };
+        rel.normalize();
+        rel
+    }
+
+    /// Builds a relation from flattened row data the caller guarantees is
+    /// already canonical (sorted, deduplicated) — e.g. a merge join's
+    /// output.
+    pub(crate) fn from_flat_sorted(cols: Vec<ColId>, data: Vec<u32>) -> Relation {
+        let rel = Relation { cols, data };
+        debug_assert!(
+            rel.rows().zip(rel.rows().skip(1)).all(|(a, b)| a < b),
+            "from_flat_sorted requires canonical input"
+        );
+        rel
     }
 
     /// `σ_{a = b}` by column positions: keeps rows whose two columns
@@ -444,6 +475,291 @@ impl Relation {
             data,
         }
     }
+
+    /// Union of many relations with identical schemas, normalised once —
+    /// replaces a fold of pairwise unions (which re-merges the
+    /// accumulated result k times) with a single collect-then-normalize.
+    pub fn union_many(rels: Vec<Relation>) -> Relation {
+        let mut it = rels.into_iter();
+        let Some(mut first) = it.next() else {
+            panic!("union_many requires at least one relation");
+        };
+        let mut any_more = false;
+        for rel in it {
+            assert_eq!(first.cols, rel.cols, "union requires identical schemas");
+            first.data.extend_from_slice(&rel.data);
+            any_more = true;
+        }
+        if any_more {
+            first.normalize();
+        }
+        first
+    }
+
+    /// Merge join on the shared `key_len`-column prefix. Both inputs must
+    /// be canonical and agree on their first `key_len` column ids; the
+    /// output (self's columns, then other's non-key columns) is emitted
+    /// in canonical order, so no hash table is built and no re-sort runs.
+    pub fn merge_join_checked(
+        &self,
+        other: &Relation,
+        key_len: usize,
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<Relation> {
+        assert!(key_len >= 1, "merge join requires at least one key column");
+        assert_eq!(
+            &self.cols[..key_len],
+            &other.cols[..key_len],
+            "merge join requires a shared key prefix"
+        );
+        let out_cols: Vec<ColId> = self
+            .cols
+            .iter()
+            .chain(&other.cols[key_len..])
+            .copied()
+            .collect();
+        let (n, m) = (self.len(), other.len());
+        let mut data: Vec<u32> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut steps = 0usize;
+        while i < n && j < m {
+            steps += 1;
+            if steps & POLL_MASK == 0 {
+                poll()?;
+            }
+            let a = &self.row(i)[..key_len];
+            let b = &other.row(j)[..key_len];
+            match a.cmp(b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Cross the two equal-key groups. Left rows ascend on
+                    // their remainder and right rows on theirs, so the
+                    // nested emission below is already in output order.
+                    let i2 = (i..n).find(|&r| &self.row(r)[..key_len] != a).unwrap_or(n);
+                    let j2 = (j..m).find(|&r| &other.row(r)[..key_len] != b).unwrap_or(m);
+                    for li in i..i2 {
+                        for rj in j..j2 {
+                            steps += 1;
+                            if steps & POLL_MASK == 0 {
+                                poll()?;
+                            }
+                            data.extend_from_slice(self.row(li));
+                            data.extend_from_slice(&other.row(rj)[key_len..]);
+                        }
+                    }
+                    i = i2;
+                    j = j2;
+                }
+            }
+        }
+        Ok(Relation::from_flat_sorted(out_cols, data))
+    }
+
+    /// Merge semi-join on the shared `key_len`-column prefix: keeps
+    /// self's rows whose key prefix appears in `other`, by a linear walk
+    /// of both canonical inputs — no hash set is built.
+    pub fn merge_semijoin_checked(
+        &self,
+        other: &Relation,
+        key_len: usize,
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<Relation> {
+        assert!(
+            key_len >= 1,
+            "merge semi-join requires at least one key column"
+        );
+        assert_eq!(
+            &self.cols[..key_len],
+            &other.cols[..key_len],
+            "merge semi-join requires a shared key prefix"
+        );
+        let (n, m) = (self.len(), other.len());
+        let mut data: Vec<u32> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut steps = 0usize;
+        while i < n && j < m {
+            steps += 1;
+            if steps & POLL_MASK == 0 {
+                poll()?;
+            }
+            let a = &self.row(i)[..key_len];
+            let b = &other.row(j)[..key_len];
+            match a.cmp(b) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    // Keep the left row; the next left row may share the
+                    // same key, so only the left cursor advances.
+                    data.extend_from_slice(self.row(i));
+                    i += 1;
+                }
+            }
+        }
+        Ok(Relation {
+            cols: self.cols.clone(),
+            data,
+        })
+    }
+}
+
+/// A hash index over a build-side relation, keyed on a fixed set of
+/// column positions. Building it is the expensive half of a hash join;
+/// the physical executor builds it once per static fixpoint input and
+/// probes it with every round's delta.
+#[derive(Debug)]
+pub enum JoinIndex {
+    /// No shared columns: every build row matches every probe row.
+    All(Vec<u32>),
+    /// Single-column key (the dominant arity-2 join).
+    One(FxHashMap<u32, Vec<u32>>),
+    /// Two-column key packed into one `u64`.
+    Two(FxHashMap<u64, Vec<u32>>),
+    /// Three or more key columns.
+    Wide(FxHashMap<Vec<u32>, Vec<u32>>),
+}
+
+impl JoinIndex {
+    /// Builds the index over `rel`'s rows keyed at `key_pos`, polling the
+    /// cooperative deadline every few thousand rows.
+    pub fn build(
+        rel: &Relation,
+        key_pos: &[usize],
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<JoinIndex> {
+        Ok(match key_pos.len() {
+            0 => JoinIndex::All((0..rel.len() as u32).collect()),
+            1 => {
+                let k = key_pos[0];
+                let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    map.entry(row[k]).or_default().push(i as u32);
+                }
+                JoinIndex::One(map)
+            }
+            2 => {
+                let (k0, k1) = (key_pos[0], key_pos[1]);
+                let mut map: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    map.entry(pack2(row[k0], row[k1]))
+                        .or_default()
+                        .push(i as u32);
+                }
+                JoinIndex::Two(map)
+            }
+            _ => {
+                let mut map: FxHashMap<Vec<u32>, Vec<u32>> = FxHashMap::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    let key: Vec<u32> = key_pos.iter().map(|&k| row[k]).collect();
+                    map.entry(key).or_default().push(i as u32);
+                }
+                JoinIndex::Wide(map)
+            }
+        })
+    }
+
+    /// The build-row indices matching a probe row keyed at `key_pos`.
+    pub fn probe(&self, row: &[u32], key_pos: &[usize]) -> &[u32] {
+        const EMPTY: &[u32] = &[];
+        match self {
+            JoinIndex::All(all) => all,
+            JoinIndex::One(map) => map
+                .get(&row[key_pos[0]])
+                .map(Vec::as_slice)
+                .unwrap_or(EMPTY),
+            JoinIndex::Two(map) => map
+                .get(&pack2(row[key_pos[0]], row[key_pos[1]]))
+                .map(Vec::as_slice)
+                .unwrap_or(EMPTY),
+            JoinIndex::Wide(map) => {
+                let key: Vec<u32> = key_pos.iter().map(|&k| row[k]).collect();
+                map.get(&key).map(Vec::as_slice).unwrap_or(EMPTY)
+            }
+        }
+    }
+}
+
+/// The key set of a semi-join's right side — the build half of a hash
+/// semi-join, reusable across fixpoint rounds exactly like
+/// [`JoinIndex`].
+#[derive(Debug)]
+pub enum SemiKeys {
+    /// No shared columns: the semi-join keeps everything or nothing,
+    /// depending on whether the right side was non-empty.
+    Any(bool),
+    /// Single-column key.
+    One(FxHashSet<u32>),
+    /// Two-column key packed into one `u64`.
+    Two(FxHashSet<u64>),
+    /// Three or more key columns.
+    Wide(FxHashSet<Vec<u32>>),
+}
+
+impl SemiKeys {
+    /// Collects `rel`'s keys at `key_pos`, polling periodically.
+    pub fn build(
+        rel: &Relation,
+        key_pos: &[usize],
+        poll: &mut dyn FnMut() -> Result<()>,
+    ) -> Result<SemiKeys> {
+        Ok(match key_pos.len() {
+            0 => SemiKeys::Any(!rel.is_empty()),
+            1 => {
+                let k = key_pos[0];
+                let mut set: FxHashSet<u32> = FxHashSet::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    set.insert(row[k]);
+                }
+                SemiKeys::One(set)
+            }
+            2 => {
+                let (k0, k1) = (key_pos[0], key_pos[1]);
+                let mut set: FxHashSet<u64> = FxHashSet::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    set.insert(pack2(row[k0], row[k1]));
+                }
+                SemiKeys::Two(set)
+            }
+            _ => {
+                let mut set: FxHashSet<Vec<u32>> = FxHashSet::default();
+                for (i, row) in rel.rows().enumerate() {
+                    if i & POLL_MASK == 0 {
+                        poll()?;
+                    }
+                    set.insert(key_pos.iter().map(|&k| row[k]).collect::<Vec<u32>>());
+                }
+                SemiKeys::Wide(set)
+            }
+        })
+    }
+
+    /// Whether a left row keyed at `key_pos` has a match.
+    pub fn contains(&self, row: &[u32], key_pos: &[usize]) -> bool {
+        match self {
+            SemiKeys::Any(non_empty) => *non_empty,
+            SemiKeys::One(set) => set.contains(&row[key_pos[0]]),
+            SemiKeys::Two(set) => set.contains(&pack2(row[key_pos[0]], row[key_pos[1]])),
+            SemiKeys::Wide(set) => {
+                let key: Vec<u32> = key_pos.iter().map(|&k| row[k]).collect();
+                set.contains(&key)
+            }
+        }
+    }
 }
 
 /// Hash-join skeleton shared by all key widths: builds an index over
@@ -635,6 +951,73 @@ mod tests {
     }
 
     #[test]
+    fn merge_join_matches_hash_join() {
+        let r = rel(&[0, 1], &[&[1, 10], &[1, 11], &[2, 20]]);
+        let s = rel(&[0, 2], &[&[1, 100], &[1, 101], &[3, 300]]);
+        let mj = r.merge_join_checked(&s, 1, &mut || Ok(())).unwrap();
+        let hj = r.join(&s);
+        assert_eq!(mj, hj);
+        assert_eq!(mj.cols(), &[c(0), c(1), c(2)]);
+        assert_eq!(mj.len(), 4);
+    }
+
+    #[test]
+    fn merge_join_full_key() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[0, 1], &[&[1, 2], &[3, 5]]);
+        let mj = r.merge_join_checked(&s, 2, &mut || Ok(())).unwrap();
+        assert_eq!(mj, r.join(&s));
+    }
+
+    #[test]
+    fn merge_semijoin_matches_hash_semijoin() {
+        let r = rel(&[0, 1], &[&[1, 10], &[1, 11], &[2, 20], &[3, 30]]);
+        let f = rel(&[0], &[&[1], &[3]]);
+        let msj = r.merge_semijoin_checked(&f, 1, &mut || Ok(())).unwrap();
+        assert_eq!(msj, r.semijoin(&f));
+        assert_eq!(msj.len(), 3);
+    }
+
+    #[test]
+    fn union_many_matches_pairwise_fold() {
+        let a = rel(&[0], &[&[1], &[4]]);
+        let b = rel(&[0], &[&[2], &[4]]);
+        let d = rel(&[0], &[&[0], &[9]]);
+        let folded = a.union(&b).union(&d);
+        let many = Relation::union_many(vec![a, b, d]);
+        assert_eq!(many, folded);
+    }
+
+    #[test]
+    fn into_cols_is_zero_copy_rename() {
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        let renamed = r.clone().into_cols(vec![c(8), c(9)]);
+        assert_eq!(renamed.cols(), &[c(8), c(9)]);
+        assert_eq!(renamed.row(0), &[1, 2]);
+    }
+
+    #[test]
+    fn join_index_probe_matches_join() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[2, 21]]);
+        let idx = JoinIndex::build(&r, &[0], &mut || Ok(())).unwrap();
+        assert_eq!(idx.probe(&[2, 0], &[0]).len(), 2);
+        assert_eq!(idx.probe(&[7, 0], &[0]).len(), 0);
+        let wide = JoinIndex::build(&r, &[0, 1], &mut || Ok(())).unwrap();
+        assert_eq!(wide.probe(&[2, 20], &[0, 1]).len(), 1);
+    }
+
+    #[test]
+    fn semi_keys_contains_matches_semijoin() {
+        let f = rel(&[0], &[&[1], &[3]]);
+        let keys = SemiKeys::build(&f, &[0], &mut || Ok(())).unwrap();
+        assert!(keys.contains(&[1, 99], &[0]));
+        assert!(!keys.contains(&[2, 99], &[0]));
+        let empty = Relation::empty(vec![c(0)]);
+        let any = SemiKeys::build(&empty, &[], &mut || Ok(())).unwrap();
+        assert!(!any.contains(&[5], &[]));
+    }
+
+    #[test]
     fn checked_operators_propagate_poll_errors() {
         let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
         let s = rel(&[1, 2], &[&[10, 100]]);
@@ -713,6 +1096,21 @@ mod proptests {
             }
             // difference then union restores the union
             assert_eq!(d.union(&b), u, "seed {seed}");
+        }
+    }
+
+    /// Merge join/semi-join agree with the hash implementations on
+    /// prefix-aligned schemas.
+    #[test]
+    fn merge_operators_match_hash_operators() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed ^ 0x6a31);
+            let r = arb_rel(&mut rng, &[0, 1]);
+            let s = arb_rel(&mut rng, &[0, 2]);
+            let mj = r.merge_join_checked(&s, 1, &mut || Ok(())).unwrap();
+            assert_eq!(mj, r.join(&s), "merge join seed {seed}");
+            let msj = r.merge_semijoin_checked(&s, 1, &mut || Ok(())).unwrap();
+            assert_eq!(msj, r.semijoin(&s), "merge semijoin seed {seed}");
         }
     }
 

@@ -65,5 +65,5 @@ pub mod prelude {
     pub use sgq_engine::GraphEngine;
     pub use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
     pub use sgq_query::cqt::{Cqt, QueryKind, Ucqt};
-    pub use sgq_ra::{execute, ExecContext, RelStore};
+    pub use sgq_ra::{execute, execute_plan, plan, ExecContext, PhysPlan, RelStore};
 }

@@ -1,22 +1,29 @@
-//! Soundness of the RA optimiser and canonicity of the relation algebra.
+//! Soundness of the RA optimiser, the physical plan layer, and
+//! canonicity of the relation algebra.
 //!
-//! Two randomized properties over the Fig. 2 database:
+//! Randomized properties over the Fig. 2 database:
 //!
 //! 1. `execute(optimize(t)) == execute(t)` for random `RaTerm`s built
 //!    from random path expressions (joins, semi-joins, unions, fixpoints)
 //!    plus random node-label semi-join filters — the shapes the
 //!    translator and the µ-RA rewriter actually produce.
-//! 2. Every `Relation` operator returns a canonical (strictly sorted,
+//! 2. `execute_plan(plan(optimize(t))) == execute(t)` — explicit
+//!    pre-lowering (the harness path) agrees with term-level execution,
+//!    with and without fixpoint build-side caching.
+//! 3. Every `Relation` operator returns a canonical (strictly sorted,
 //!    deduplicated) result, including the operators that skip the re-sort
 //!    because they provably preserve order.
+//!
+//! Plus directed tests pinning the physical operator selection rules
+//! (merge vs hash joins, fused filtered scans, cached build sides).
 
 use sgq_algebra::ast::PathExpr;
 use sgq_common::{ColId, Rng};
 use sgq_graph::database::fig2_yago_database;
-use sgq_ra::exec::{execute, ExecContext};
+use sgq_ra::exec::{execute, execute_plan, ExecContext};
 use sgq_ra::optimize::optimize;
-use sgq_ra::term::RaTerm;
-use sgq_ra::{RelStore, Relation};
+use sgq_ra::term::{closure_fixpoint, RaTerm};
+use sgq_ra::{plan, PhysOp, RelStore, Relation};
 use sgq_translate::ucqt2rra::{path_to_term, NameGen};
 
 /// A random path expression over the Fig. 2 database's edge labels.
@@ -104,6 +111,155 @@ fn optimize_preserves_execution_results() {
             "optimize changed semantics (seed {seed}) for {expr:?}"
         );
     }
+}
+
+#[test]
+fn physical_plans_match_term_execution() {
+    // execute_plan(plan(optimize(t))) == execute(t), with the cached and
+    // uncached fixpoint paths agreeing too.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9a7);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+
+        let mut ctx = ExecContext::new();
+        let reference = execute(&term, &store, &mut ctx).expect("term executes");
+
+        let opt = optimize(&term, &store);
+        let p = plan(&opt, &store).expect("optimized term lowers");
+        let mut ctx = ExecContext::new();
+        let planned = execute_plan(&p, &store, &mut ctx).expect("plan executes");
+        let mut ctx = ExecContext::new();
+        ctx.no_fixpoint_cache = true;
+        let uncached = execute_plan(&p, &store, &mut ctx).expect("plan executes uncached");
+
+        // Join reordering may permute columns; compare on the query head.
+        let head = [v0, v1];
+        assert_eq!(
+            reference.project(&head),
+            planned.project(&head),
+            "plan changed semantics (seed {seed}) for {expr:?}"
+        );
+        assert_eq!(
+            planned, uncached,
+            "fixpoint caching changed results (seed {seed}) for {expr:?}"
+        );
+    }
+}
+
+#[test]
+fn planner_selects_merge_join_for_aligned_inputs() {
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str, src, tgt| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).unwrap(),
+        src: s.col(src),
+        tgt: s.col(tgt),
+    };
+    // Shared x leads both schemas → merge join, identical results to the
+    // generic hash join.
+    let aligned = RaTerm::join(scan("isLocatedIn", "x", "y"), scan("owns", "x", "z"));
+    let p = plan(&aligned, &store).unwrap();
+    assert!(matches!(p.op, PhysOp::MergeJoin { .. }), "{p:?}");
+    let mut ctx = ExecContext::new();
+    let merged = execute_plan(&p, &store, &mut ctx).unwrap();
+    let hashed = store
+        .edge_table(db.edge_label_id("isLocatedIn").unwrap())
+        .with_cols(vec![s.col("x"), s.col("y")])
+        .join(
+            &store
+                .edge_table(db.edge_label_id("owns").unwrap())
+                .with_cols(vec![s.col("x"), s.col("z")]),
+        );
+    assert_eq!(merged, hashed);
+
+    // Shared y sits mid-schema on the left → hash join with the smaller
+    // (owns, 1 row) side building.
+    let misaligned = RaTerm::join(scan("owns", "x", "y"), scan("isLocatedIn", "y", "z"));
+    let p = plan(&misaligned, &store).unwrap();
+    match &p.op {
+        PhysOp::HashJoin { build_left, .. } => assert!(build_left),
+        other => panic!("expected hash join, got {other:?}"),
+    }
+}
+
+#[test]
+fn planner_fuses_semijoin_onto_scan() {
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let t = RaTerm::semijoin(
+        RaTerm::EdgeScan {
+            label: db.edge_label_id("isLocatedIn").unwrap(),
+            src: s.col("x"),
+            tgt: s.col("y"),
+        },
+        RaTerm::NodeScan {
+            labels: vec![db.node_label_id("CITY").unwrap()],
+            col: s.col("y"),
+        },
+    );
+    let p = plan(&t, &store).unwrap();
+    match &p.op {
+        PhysOp::FilteredEdgeScan { merge, .. } => {
+            // y does not lead the scan schema: hashed key set.
+            assert!(!merge);
+        }
+        other => panic!("expected fused filtered scan, got {other:?}"),
+    }
+    let mut ctx = ExecContext::new();
+    let fused = execute_plan(&p, &store, &mut ctx).unwrap();
+    let reference = store
+        .edge_table(db.edge_label_id("isLocatedIn").unwrap())
+        .with_cols(vec![s.col("x"), s.col("y")])
+        .semijoin(
+            &store
+                .node_table(db.node_label_id("CITY").unwrap())
+                .with_cols(vec![s.col("y")]),
+        );
+    assert_eq!(fused, reference);
+}
+
+#[test]
+fn fixpoint_build_caching_reduces_work_with_identical_results() {
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let f = closure_fixpoint(
+        s.recvar("X"),
+        RaTerm::EdgeScan {
+            label: db.edge_label_id("isLocatedIn").unwrap(),
+            src: s.col("x"),
+            tgt: s.col("y"),
+        },
+        s.col("x"),
+        s.col("y"),
+        s.col("m"),
+    );
+    let p = plan(&f, &store).unwrap();
+    let mut cached = ExecContext::new();
+    let r_cached = execute_plan(&p, &store, &mut cached).unwrap();
+    let mut uncached = ExecContext::new();
+    uncached.no_fixpoint_cache = true;
+    let r_uncached = execute_plan(&p, &store, &mut uncached).unwrap();
+    assert_eq!(r_cached, r_uncached);
+    assert!(cached.fixpoint_rounds >= 2, "closure must iterate");
+    assert!(
+        cached.hash_builds < uncached.hash_builds,
+        "caching must build fewer hash tables ({} !< {})",
+        cached.hash_builds,
+        uncached.hash_builds
+    );
+    assert!(
+        cached.rows_materialized <= uncached.rows_materialized,
+        "cached intermediates must not inflate materialisation"
+    );
 }
 
 /// Asserts rows are strictly increasing (sorted with no duplicates).
