@@ -1,0 +1,104 @@
+//! Multi-threaded serving throughput: worker sweep × plan-cache ablation.
+//!
+//! Closed loop over the LDBC smoke workload (SF 0.1 catalog, 8 client
+//! threads, each keeping one query in flight — the shared
+//! `sgq_harness::experiments::run_clients` driver): for 1/2/4/8 workers
+//! and cached vs uncached plans, times one full client pass and prints a
+//! QPS summary with the 1 → 4 worker scaling factor. On a single-CPU
+//! host the pool time-slices one core, so QPS stays flat while p50
+//! drops; the scaling factor materialises with ≥ 4 hardware threads.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sgq_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_harness::experiments::run_clients;
+use sgq_service::{QueryOptions, Service, ServiceConfig};
+
+const CLIENTS: usize = 8;
+
+fn service_throughput(c: &mut Criterion) {
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.1));
+    let schema = Arc::new(schema);
+    let db = Arc::new(db);
+    // One relational load shared by every service in the sweep.
+    let store = Arc::new(sgq_ra::RelStore::load(&db));
+    let queries: Vec<String> = ldbc::queries(&schema)
+        .expect("catalog parses")
+        .iter()
+        .map(|q| q.text.to_string())
+        .collect();
+
+    let mut group = c.benchmark_group("service_throughput");
+    group.sample_size(3);
+    let mut qps_table: Vec<(usize, bool, f64)> = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        for cached in [false, true] {
+            let service = Service::with_store(
+                Arc::clone(&schema),
+                Arc::clone(&db),
+                Arc::clone(&store),
+                ServiceConfig {
+                    workers,
+                    queue_capacity: CLIENTS * 2,
+                    ..Default::default()
+                },
+            );
+            let opts = QueryOptions {
+                use_cache: cached,
+                ..Default::default()
+            };
+            if cached {
+                // Warm the plan cache so the ablation measures execution.
+                let session = service.session();
+                for q in &queries {
+                    session.prepare(q, &opts).expect("warmup prepares");
+                }
+            }
+            group.bench_with_input(
+                BenchmarkId::new(
+                    format!("workers/{workers}"),
+                    if cached { "cached" } else { "uncached" },
+                ),
+                &(),
+                |b, ()| b.iter(|| run_clients(&service, &queries, CLIENTS, 1, &opts)),
+            );
+            // One dedicated pass for the QPS summary.
+            let start = Instant::now();
+            let (completed, _busy) = run_clients(&service, &queries, CLIENTS, 1, &opts);
+            assert_eq!(service.metrics().errors, 0, "bench queries must succeed");
+            qps_table.push((
+                workers,
+                cached,
+                completed as f64 / start.elapsed().as_secs_f64(),
+            ));
+            service.shutdown();
+        }
+    }
+    group.finish();
+
+    println!("\nservice_throughput summary ({CLIENTS} clients, LDBC SF0.1 catalog):");
+    for &(workers, cached, qps) in &qps_table {
+        println!(
+            "  {workers} workers, cache {}: {qps:.1} qps",
+            if cached { "on " } else { "off" }
+        );
+    }
+    let qps_of = |w: usize, cached: bool| {
+        qps_table
+            .iter()
+            .find(|&&(wk, c, _)| wk == w && c == cached)
+            .map(|&(_, _, q)| q)
+            .unwrap_or(0.0)
+    };
+    println!(
+        "  scaling 1 -> 4 workers: {:.2}x cached, {:.2}x uncached ({} hardware threads)",
+        qps_of(4, true) / qps_of(1, true).max(1e-9),
+        qps_of(4, false) / qps_of(1, false).max(1e-9),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+}
+
+criterion_group!(benches, service_throughput);
+criterion_main!(benches);

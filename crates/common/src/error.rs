@@ -31,6 +31,12 @@ pub enum SgqError {
         /// The configured limit, in milliseconds.
         limit_ms: u64,
     },
+    /// The serving layer rejected the request at admission: the bounded
+    /// job queue was full (back-pressure instead of unbounded latency).
+    Busy {
+        /// The queue capacity that was exhausted.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SgqError {
@@ -45,6 +51,12 @@ impl fmt::Display for SgqError {
             SgqError::NotExpressible(m) => write!(f, "not expressible in target language: {m}"),
             SgqError::Execution(m) => write!(f, "execution error: {m}"),
             SgqError::Timeout { limit_ms } => write!(f, "query timed out after {limit_ms} ms"),
+            SgqError::Busy { capacity } => {
+                write!(
+                    f,
+                    "service busy: admission queue full (capacity {capacity})"
+                )
+            }
         }
     }
 }
@@ -63,6 +75,12 @@ impl SgqError {
     /// Whether this error is a timeout (used by the feasibility harness).
     pub fn is_timeout(&self) -> bool {
         matches!(self, SgqError::Timeout { .. })
+    }
+
+    /// Whether this error is an admission-control rejection (the caller
+    /// should back off and retry rather than treat the query as failed).
+    pub fn is_busy(&self) -> bool {
+        matches!(self, SgqError::Busy { .. })
     }
 }
 
@@ -84,5 +102,16 @@ mod tests {
     fn timeout_predicate() {
         assert!(SgqError::Timeout { limit_ms: 1 }.is_timeout());
         assert!(!SgqError::Schema("x".into()).is_timeout());
+    }
+
+    #[test]
+    fn busy_predicate_and_display() {
+        let e = SgqError::Busy { capacity: 8 };
+        assert!(e.is_busy());
+        assert!(!e.is_timeout());
+        assert_eq!(
+            e.to_string(),
+            "service busy: admission queue full (capacity 8)"
+        );
     }
 }

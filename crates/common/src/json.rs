@@ -1,0 +1,162 @@
+//! A minimal JSON writer.
+//!
+//! The workspace is dependency-free (no `serde`), so every component that
+//! exports JSON — the harness's `--out results.json` records and the
+//! service's metrics snapshots — renders through this module instead of
+//! each hand-rolling its own escaping rules.
+//!
+//! Two levels of API:
+//!
+//! * low-level helpers ([`escape`], [`number`]) for callers that stream
+//!   their own layout (the harness keeps its pretty record format),
+//! * a [`JsonValue`] tree builder with compact rendering for callers
+//!   that just want a well-formed document (service metrics).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal (including the quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a float as a JSON number, mapping non-finite values to `null`
+/// (JSON has no NaN/Infinity).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; `u64` covers every counter we export).
+    Int(u64),
+    /// A float (non-finite renders as `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for objects.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, JsonValue)>) -> Self {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Convenience constructor for strings.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// Renders the tree compactly (no insignificant whitespace after
+    /// separators beyond one space, stable key order).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            JsonValue::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::Num(v) => out.push_str(&number(*v)),
+            JsonValue::Str(s) => out.push_str(&escape(s)),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&escape(k));
+                    out.push_str(": ");
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(escape("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn tree_rendering() {
+        let v = JsonValue::obj([
+            ("name", JsonValue::str("p50")),
+            ("ms", JsonValue::Num(1.25)),
+            ("hits", JsonValue::Int(3)),
+            ("ok", JsonValue::Bool(true)),
+            (
+                "tags",
+                JsonValue::Arr(vec![JsonValue::Null, JsonValue::str("a")]),
+            ),
+        ]);
+        assert_eq!(
+            v.render(),
+            "{\"name\": \"p50\", \"ms\": 1.25, \"hits\": 3, \"ok\": true, \"tags\": [null, \"a\"]}"
+        );
+    }
+}

@@ -6,17 +6,22 @@
 //! * an FxHash-style fast hasher and map/set aliases ([`hash`]),
 //! * a string interner ([`intern`]),
 //! * sorted-vector set algebra used by the engines ([`sorted`]),
-//! * the shared error type ([`error`]).
+//! * the shared error type ([`error`]),
+//! * a minimal JSON writer used by every JSON-exporting component
+//!   ([`json`]).
 
 #![warn(missing_docs)]
 
+pub mod axes;
 pub mod error;
 pub mod hash;
 pub mod id;
 pub mod intern;
+pub mod json;
 pub mod rng;
 pub mod sorted;
 
+pub use axes::{Approach, Backend};
 pub use error::{Result, SgqError};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{ColId, EdgeId, EdgeLabelId, KeyId, NodeId, NodeLabelId, RecVarId, VarId};

@@ -25,3 +25,15 @@ pub use infer_schema::infer_schema;
 pub use schema::{GraphSchema, SchemaBuilder, SchemaTriple};
 pub use stats::GraphStats;
 pub use value::{DataType, Value};
+
+// Concurrency audit: the serving layer (`sgq_service`) shares one loaded
+// database and schema across worker threads behind `Arc`, so these types
+// must stay `Send + Sync` (plain owned data, no interior mutability).
+// Compile-time assertions so a regression fails the build, not a race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GraphDatabase>();
+    assert_send_sync::<GraphSchema>();
+    assert_send_sync::<GraphStats>();
+    assert_send_sync::<Value>();
+};

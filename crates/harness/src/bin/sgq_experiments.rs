@@ -4,27 +4,35 @@
 //! sgq-experiments [EXPERIMENTS...] [--timeout-ms N] [--reps N]
 //!                 [--sf-max X] [--yago-scale X] [--backend graph|relational]
 //!                 [--out results.json]
+//!                 [--smoke] [--serve-workers 1,2,4] [--serve-clients N]
+//!                 [--serve-iters N] [--serve-sf X]
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
-//!              | plans | smoke   (explicit only, not part of `all`)
+//!              | plans | smoke | serve   (explicit only, not part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
 //! `smoke` cross-checks both backends on the tiny Fig. 2 database and
 //! exits non-zero on any disagreement — the CI harness gate.
+//! `serve` runs the closed-loop service throughput experiment (N client
+//! threads over the LDBC catalog, worker sweep, plan-cache on/off);
+//! `serve --smoke` is the small CI variant that also verifies concurrent
+//! results against sequential execution.
 //! ```
 
 use std::io::Write as _;
 
 use sgq_core::RedundancyRule;
-use sgq_harness::experiments::{self, ExperimentConfig};
+use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
 use sgq_harness::runner::Backend;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Vec<String> = Vec::new();
     let mut cfg = ExperimentConfig::default();
+    let mut serve_cfg = ServeConfig::default();
+    let mut serve_smoke = false;
     let mut out_path: Option<String> = None;
 
     let mut i = 0;
@@ -32,7 +40,9 @@ fn main() {
         match args[i].as_str() {
             "--timeout-ms" => {
                 i += 1;
-                cfg.run.timeout_ms = args[i].parse().expect("--timeout-ms takes a number");
+                let ms = args[i].parse().expect("--timeout-ms takes a number");
+                cfg.run.timeout_ms = ms;
+                serve_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -68,6 +78,26 @@ fn main() {
                 i += 1;
                 out_path = Some(args[i].clone());
             }
+            "--smoke" => serve_smoke = true,
+            "--serve-workers" => {
+                i += 1;
+                serve_cfg.worker_counts = args[i]
+                    .split(',')
+                    .map(|w| w.parse().expect("--serve-workers takes a,b,c"))
+                    .collect();
+            }
+            "--serve-clients" => {
+                i += 1;
+                serve_cfg.clients = args[i].parse().expect("--serve-clients takes a number");
+            }
+            "--serve-iters" => {
+                i += 1;
+                serve_cfg.iters_per_client = args[i].parse().expect("--serve-iters takes a number");
+            }
+            "--serve-sf" => {
+                i += 1;
+                serve_cfg.sf = args[i].parse().expect("--serve-sf takes a number");
+            }
             other => wanted.push(other.to_string()),
         }
         i += 1;
@@ -87,6 +117,13 @@ fn main() {
     }
     if want_exact("smoke") {
         println!("{}", experiments::smoke());
+    }
+    if want_exact("serve") {
+        if serve_smoke {
+            println!("{}", experiments::serve_smoke());
+        } else {
+            println!("{}", experiments::serve(&serve_cfg));
+        }
     }
 
     if want("table3") {

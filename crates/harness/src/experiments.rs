@@ -699,6 +699,339 @@ pub fn smoke() -> String {
     out
 }
 
+/// Configuration for the closed-loop serving experiment (`serve`).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker-pool sizes to sweep.
+    pub worker_counts: Vec<usize>,
+    /// Closed-loop client threads (each keeps one query in flight).
+    pub clients: usize,
+    /// Full passes over the catalog per client.
+    pub iters_per_client: usize,
+    /// LDBC scale factor of the served database.
+    pub sf: f64,
+    /// Per-query deadline (ms).
+    pub timeout_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            worker_counts: vec![1, 2, 4],
+            clients: 8,
+            iters_per_client: 3,
+            sf: 0.3,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The small configuration used by CI (`serve --smoke`).
+    pub fn smoke() -> Self {
+        ServeConfig {
+            worker_counts: vec![1, 2],
+            clients: 4,
+            iters_per_client: 2,
+            sf: 0.1,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+/// One closed-loop serving measurement.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Worker threads.
+    pub workers: usize,
+    /// Whether the plan cache was consulted.
+    pub cached: bool,
+    /// Queries completed by the clients.
+    pub completed: u64,
+    /// Admission rejections the clients retried through.
+    pub busy_retries: u64,
+    /// Client-side wall clock of the loop (s).
+    pub elapsed_s: f64,
+    /// Completed queries per second of client wall clock.
+    pub qps: f64,
+    /// Plan-cache hit rate over the measured loop only (warmup
+    /// prepares excluded).
+    pub measured_hit_rate: f64,
+    /// Service metrics at the end of the run.
+    pub metrics: sgq_service::MetricsSnapshot,
+}
+
+/// Drives `clients` closed-loop client threads over an existing
+/// service: each keeps one query in flight for `passes` passes over
+/// `queries` (offset per client so the loop does not hit the same
+/// statement in lock-step), retrying `Busy` rejections. Returns
+/// `(completed, busy_retries)`; other errors are counted in the service
+/// metrics. Shared by [`closed_loop`] and the `service_throughput`
+/// bench.
+pub fn run_clients(
+    service: &sgq_service::Service,
+    queries: &[String],
+    clients: usize,
+    passes: usize,
+    opts: &sgq_service::QueryOptions,
+) -> (u64, u64) {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client| {
+                let session = service.session();
+                let opts = *opts;
+                s.spawn(move || {
+                    let mut ok = 0u64;
+                    let mut busy = 0u64;
+                    for pass in 0..passes {
+                        for i in 0..queries.len() {
+                            let q = &queries[(i + client + pass) % queries.len()];
+                            loop {
+                                match session.execute(q, &opts) {
+                                    Ok(_) => {
+                                        ok += 1;
+                                        break;
+                                    }
+                                    Err(e) if e.is_busy() => {
+                                        busy += 1;
+                                        std::thread::yield_now();
+                                    }
+                                    Err(_) => break, // counted in metrics
+                                }
+                            }
+                        }
+                    }
+                    (ok, busy)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
+    })
+}
+
+/// Runs one closed loop: `clients` threads over a shared [`sgq_service::Service`],
+/// each keeping one query in flight across `iters_per_client` passes of
+/// `queries`. `Busy` rejections are retried (and counted); other errors
+/// are surfaced in the service metrics. `store` is the pre-loaded
+/// relational load of `db`, shared across the sweep's services.
+pub fn closed_loop(
+    schema: &std::sync::Arc<sgq_graph::GraphSchema>,
+    db: &std::sync::Arc<sgq_graph::GraphDatabase>,
+    store: &std::sync::Arc<sgq_ra::RelStore>,
+    queries: &[String],
+    workers: usize,
+    cfg: &ServeConfig,
+    cached: bool,
+) -> ServeRun {
+    use sgq_service::{QueryOptions, Service, ServiceConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let service = Service::with_store(
+        Arc::clone(schema),
+        Arc::clone(db),
+        Arc::clone(store),
+        ServiceConfig {
+            workers,
+            queue_capacity: (cfg.clients * 2).max(8),
+            default_timeout_ms: cfg.timeout_ms,
+            ..Default::default()
+        },
+    );
+    let opts = QueryOptions {
+        use_cache: cached,
+        ..Default::default()
+    };
+    if cached {
+        // Warm the plan cache so the cached ablation measures execution,
+        // not first-touch prepares. `prepare` runs inline and does not
+        // touch the latency registry, so the reported percentiles only
+        // contain measured-loop samples.
+        let session = service.session();
+        for q in queries {
+            session.prepare(q, &opts).expect("warmup prepares");
+        }
+    }
+    let cache_before = service.metrics().cache;
+    let start = Instant::now();
+    let (completed, busy_retries) =
+        run_clients(&service, queries, cfg.clients, cfg.iters_per_client, &opts);
+    let elapsed_s = start.elapsed().as_secs_f64().max(1e-9);
+    let metrics = service.metrics();
+    service.shutdown();
+    // Hit rate of the measured loop alone — the warmup pass's misses
+    // are setup, not measurement.
+    let hits = metrics.cache.hits - cache_before.hits;
+    let misses = metrics.cache.misses - cache_before.misses;
+    let measured_hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    ServeRun {
+        workers,
+        cached,
+        completed,
+        busy_retries,
+        elapsed_s,
+        qps: completed as f64 / elapsed_s,
+        measured_hit_rate,
+        metrics,
+    }
+}
+
+/// The `serve` experiment: closed-loop throughput of the query service
+/// over the LDBC catalog — worker-count sweep with a plan-cache on/off
+/// ablation, plus the final metrics snapshot as JSON (the machine-
+/// readable form of the run).
+pub fn serve(cfg: &ServeConfig) -> String {
+    use sgq_common::json::JsonValue;
+
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(cfg.sf));
+    let schema = std::sync::Arc::new(schema);
+    let db = std::sync::Arc::new(db);
+    let store = std::sync::Arc::new(sgq_ra::RelStore::load(&db));
+    let queries: Vec<String> = ldbc::queries(&schema)
+        .expect("catalog parses")
+        .iter()
+        .map(|q| q.text.to_string())
+        .collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Service closed-loop throughput (LDBC SF{}, {} queries, {} clients x {} passes)\n",
+        cfg.sf,
+        queries.len(),
+        cfg.clients,
+        cfg.iters_per_client
+    );
+    let _ = writeln!(
+        out,
+        "{:>7} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "workers", "cache", "qps", "p50 ms", "p95 ms", "p99 ms", "queries", "busy"
+    );
+    let mut runs_json = Vec::new();
+    for &workers in &cfg.worker_counts {
+        for cached in [false, true] {
+            let run = closed_loop(&schema, &db, &store, &queries, workers, cfg, cached);
+            let _ = writeln!(
+                out,
+                "{:>7} {:>6} {:>9.1} {:>9.3} {:>9.3} {:>9.3} {:>9} {:>6}",
+                run.workers,
+                if run.cached { "on" } else { "off" },
+                run.qps,
+                run.metrics.p50_ms,
+                run.metrics.p95_ms,
+                run.metrics.p99_ms,
+                run.completed,
+                run.busy_retries
+            );
+            // Machine-readable record of the run: client-measured QPS
+            // (the registry's own qps field divides by time since
+            // service construction, which includes warmup).
+            runs_json.push(JsonValue::obj([
+                ("workers", JsonValue::Int(run.workers as u64)),
+                ("cache", JsonValue::Bool(run.cached)),
+                ("qps", JsonValue::Num(run.qps)),
+                ("p50_ms", JsonValue::Num(run.metrics.p50_ms)),
+                ("p95_ms", JsonValue::Num(run.metrics.p95_ms)),
+                ("p99_ms", JsonValue::Num(run.metrics.p99_ms)),
+                ("completed", JsonValue::Int(run.completed)),
+                ("busy_retries", JsonValue::Int(run.busy_retries)),
+                ("cache_hit_rate", JsonValue::Num(run.measured_hit_rate)),
+            ]));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nruns as JSON: {}",
+        JsonValue::Arr(runs_json).render()
+    );
+    out
+}
+
+/// CI smoke for the serving path: four concurrent cached clients over
+/// two workers must produce exactly the rows sequential uncached
+/// execution produces, with a warm plan cache and zero errors. Panics on
+/// any divergence so a broken concurrency path fails the build.
+pub fn serve_smoke() -> String {
+    use sgq_service::{QueryOptions, Service, ServiceConfig};
+    use std::sync::Arc;
+
+    let cfg = ServeConfig::smoke();
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(cfg.sf));
+    let schema = Arc::new(schema);
+    let db = Arc::new(db);
+    let queries: Vec<String> = ldbc::queries(&schema)
+        .expect("catalog parses")
+        .iter()
+        .map(|q| q.text.to_string())
+        .collect();
+    let service = Service::new(
+        Arc::clone(&schema),
+        Arc::clone(&db),
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_timeout_ms: cfg.timeout_ms,
+            ..Default::default()
+        },
+    );
+    // Sequential, cache-bypassing reference rows.
+    let uncached = QueryOptions {
+        use_cache: false,
+        ..Default::default()
+    };
+    let session = service.session();
+    let reference: Vec<Vec<Vec<u32>>> = queries
+        .iter()
+        .map(|q| session.execute(q, &uncached).expect("smoke executes").rows)
+        .collect();
+    // Concurrent cached clients must reproduce the reference exactly.
+    // Warm the cache first (the bypassing reference pass did not
+    // populate it), so every concurrent execution exercises the warm
+    // hit path.
+    let opts = QueryOptions::default();
+    for q in &queries {
+        session.prepare(q, &opts).expect("smoke prepares");
+    }
+    std::thread::scope(|s| {
+        for _ in 0..cfg.clients {
+            let session = service.session();
+            let queries = &queries;
+            let reference = &reference;
+            s.spawn(move || {
+                for (q, expected) in queries.iter().zip(reference) {
+                    let got = session.execute(q, &opts).expect("smoke executes").rows;
+                    assert_eq!(&got, expected, "concurrent result diverged on {q}");
+                }
+            });
+        }
+    });
+    let m = service.metrics();
+    assert_eq!(m.errors, 0, "serve smoke saw errors: {m}");
+    assert_eq!(m.timeouts, 0, "serve smoke saw timeouts: {m}");
+    assert!(
+        m.cache.hits >= (cfg.clients * queries.len()) as u64,
+        "every concurrent execution must hit the warm cache: {m}"
+    );
+    service.shutdown();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Serve smoke (LDBC SF{}): {} queries x {} concurrent cached clients \
+         over 2 workers match sequential uncached execution\n",
+        cfg.sf,
+        queries.len(),
+        cfg.clients
+    );
+    let _ = writeln!(out, "{m}");
+    out
+}
+
 /// Runs one measurement for a single expression — helper for examples.
 pub fn measure_pair(
     session: &Session<'_>,
@@ -784,6 +1117,29 @@ mod tests {
         let s = smoke();
         assert!(s.contains("isMarriedTo+"), "{s}");
         assert!(s.contains("owns/isLocatedIn+"), "{s}");
+    }
+
+    #[test]
+    fn serve_smoke_matches_sequential() {
+        let s = serve_smoke();
+        assert!(s.contains("match sequential uncached execution"), "{s}");
+        assert!(s.contains("plan cache"), "{s}");
+    }
+
+    #[test]
+    fn serve_sweep_renders() {
+        let cfg = ServeConfig {
+            worker_counts: vec![1, 2],
+            clients: 2,
+            iters_per_client: 1,
+            sf: 0.1,
+            timeout_ms: 30_000,
+        };
+        let s = serve(&cfg);
+        assert!(s.contains("workers"), "{s}");
+        assert!(s.contains("runs as JSON"), "{s}");
+        assert!(s.contains("\"qps\""), "{s}");
+        assert!(s.contains("\"cache_hit_rate\""), "{s}");
     }
 
     #[test]

@@ -2,10 +2,14 @@
 //!
 //! Every experiment run can be dumped as JSON (`--out results.json`) so
 //! the numbers in the experiment reports are auditable and regenerable.
-//! The JSON encoder is a ~40-line local function (see DESIGN.md: the
-//! workspace is dependency-free, so there is no `serde`).
+//! Escaping and number rendering come from the workspace JSON writer
+//! ([`sgq_common::json`]; see DESIGN.md — the workspace is
+//! dependency-free, so there is no `serde`); this module only streams
+//! the record layout.
 
 use std::fmt::Write as _;
+
+use sgq_common::json;
 
 use crate::runner::{Approach, Backend, Measurement};
 
@@ -63,32 +67,11 @@ impl RunRecord {
     }
 }
 
-/// Escapes a string for a JSON string literal.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// Renders an optional JSON number (runtimes are finite by construction).
 fn json_f64(v: Option<f64>) -> String {
     match v {
-        Some(v) if v.is_finite() => format!("{v}"),
-        _ => "null".to_string(),
+        Some(v) => json::number(v),
+        None => "null".to_string(),
     }
 }
 
@@ -101,11 +84,11 @@ pub fn to_json(records: &[RunRecord]) -> String {
         }
         out.push_str("\n  {");
         let fields = [
-            ("query", json_string(&r.query)),
-            ("kind", json_string(&r.kind)),
+            ("query", json::escape(&r.query)),
+            ("kind", json::escape(&r.kind)),
             ("scale_factor", json_f64(r.scale_factor)),
-            ("approach", json_string(&r.approach)),
-            ("backend", json_string(&r.backend)),
+            ("approach", json::escape(&r.approach)),
+            ("backend", json::escape(&r.backend)),
             ("ms", json_f64(r.ms)),
             ("rows", r.rows.map_or("null".to_string(), |n| n.to_string())),
             (
@@ -117,7 +100,7 @@ pub fn to_json(records: &[RunRecord]) -> String {
             if j > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\n    {}: {value}", json_string(key));
+            let _ = write!(out, "\n    {}: {value}", json::escape(key));
         }
         out.push_str("\n  }");
     }
@@ -166,6 +149,6 @@ mod tests {
 
     #[test]
     fn strings_are_escaped() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json::escape("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
     }
 }

@@ -13,45 +13,10 @@ use sgq_ra::exec::ExecContext;
 use sgq_ra::RelStore;
 use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
 
-/// Which engine executes the query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Backend {
-    /// The property-graph engine (the Neo4j stand-in).
-    Graph,
-    /// The recursive relational algebra engine (the PostgreSQL stand-in).
-    Relational,
-    /// The relational engine with the logical optimiser disabled — the
-    /// stand-in for the paper's "MySQL/SQLite are much slower" remark.
-    RelationalUnoptimized,
-}
-
-impl std::fmt::Display for Backend {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Backend::Graph => write!(f, "graph"),
-            Backend::Relational => write!(f, "relational"),
-            Backend::RelationalUnoptimized => write!(f, "relational-unopt"),
-        }
-    }
-}
-
-/// Baseline (initial query) or the schema-based rewrite (§5.1.4).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Approach {
-    /// The initial, non-enriched query.
-    Baseline,
-    /// The schema-enriched query (running the baseline plan on reverts).
-    Schema,
-}
-
-impl std::fmt::Display for Approach {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Approach::Baseline => write!(f, "B"),
-            Approach::Schema => write!(f, "S"),
-        }
-    }
-}
+// The backend / approach axes are workspace vocabulary shared with the
+// serving layer (the plan-cache key and the experiment records must
+// agree on their meaning): both re-export `sgq_common::axes`.
+pub use sgq_common::{Approach, Backend};
 
 /// Timeout / repetition configuration.
 #[derive(Debug, Clone, Copy)]

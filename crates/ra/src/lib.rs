@@ -38,3 +38,19 @@ pub use storage::RelStore;
 pub use symbols::SymbolTable;
 pub use table::{Col, Relation};
 pub use term::RaTerm;
+
+// Concurrency audit: the serving layer (`sgq_service`) executes prepared
+// physical plans against one shared `RelStore` from many worker threads
+// (`Arc<RelStore>`, `Arc<PreparedQuery>` holding a `PhysPlan`). The store's
+// tables and plans are immutable after load/prepare, and the only mutable
+// piece — the `SymbolTable` interner — is internally synchronised, so all
+// of these must stay `Send + Sync`. Compile-time assertions so a
+// regression fails the build, not a race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RelStore>();
+    assert_send_sync::<SymbolTable>();
+    assert_send_sync::<PhysPlan>();
+    assert_send_sync::<Relation>();
+    assert_send_sync::<RaTerm>();
+};

@@ -1,0 +1,324 @@
+//! The serving metrics registry.
+//!
+//! Lock-free counters plus a geometric latency histogram, updated by the
+//! workers on every completed query and snapshotted on demand:
+//! throughput (QPS since start), latency percentiles (p50/p95/p99 from
+//! the histogram), error/timeout/rejection counts and the plan cache's
+//! hit rate. Snapshots render as a human table ([`std::fmt::Display`])
+//! or JSON through the workspace JSON writer
+//! ([`sgq_common::json::JsonValue`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use sgq_common::json::JsonValue;
+
+use crate::cache::CacheStats;
+
+/// A fixed-bucket geometric latency histogram (microsecond domain).
+///
+/// Bucket bounds grow by ~19% (`2^(1/4)`), covering 1 µs to ~50 minutes
+/// in 128 buckets — percentile estimates are within one bucket ratio of
+/// exact, with constant memory and lock-free recording.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    /// Upper bounds (inclusive), in microseconds, strictly increasing.
+    bounds: Vec<u64>,
+    counts: Vec<AtomicU64>,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Builds the bucket table.
+    pub fn new() -> Self {
+        let mut bounds = Vec::new();
+        let mut b = 1.0f64;
+        while bounds.len() < 128 {
+            let bound = b.ceil() as u64;
+            if bounds.last().is_none_or(|&prev| bound > prev) {
+                bounds.push(bound);
+            }
+            b *= std::f64::consts::SQRT_2.sqrt(); // 2^(1/4)
+        }
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        LatencyHistogram { bounds, counts }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, micros: u64) {
+        let idx = self.bounds.partition_point(|&b| b < micros);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (0 < q <= 1) in microseconds, `None` when empty.
+    /// Reports the upper bound of the bucket holding the quantile.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c.load(Ordering::Relaxed);
+            if seen >= rank {
+                let bound = self
+                    .bounds
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| *self.bounds.last().expect("non-empty table"));
+                return Some(bound as f64);
+            }
+        }
+        None
+    }
+}
+
+/// Shared, lock-free serving counters.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    started: Instant,
+    completed: AtomicU64,
+    errors: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    total_micros: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry; QPS is measured from this instant.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            started: Instant::now(),
+            completed: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Records a successful query with its end-to-end latency.
+    pub fn record_success(&self, micros: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.latency.record(micros);
+    }
+
+    /// Records a failed query (timeouts counted separately).
+    pub fn record_error(&self, err: &sgq_common::SgqError) {
+        if err.is_timeout() {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records an admission rejection ([`sgq_common::SgqError::Busy`]).
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter, folding in the plan cache's stats.
+    pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let elapsed_s = self.started.elapsed().as_secs_f64().max(1e-9);
+        let to_ms = |micros: Option<f64>| micros.map_or(0.0, |us| us / 1e3);
+        MetricsSnapshot {
+            completed,
+            errors: self.errors.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            elapsed_s,
+            qps: completed as f64 / elapsed_s,
+            mean_ms: if completed == 0 {
+                0.0
+            } else {
+                self.total_micros.load(Ordering::Relaxed) as f64 / completed as f64 / 1e3
+            },
+            p50_ms: to_ms(self.latency.quantile(0.50)),
+            p95_ms: to_ms(self.latency.quantile(0.95)),
+            p99_ms: to_ms(self.latency.quantile(0.99)),
+            cache,
+        }
+    }
+}
+
+/// A point-in-time view of the registry, renderable as text or JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Successfully completed queries.
+    pub completed: u64,
+    /// Failed queries (excluding timeouts and rejections).
+    pub errors: u64,
+    /// Queries that exceeded their deadline.
+    pub timeouts: u64,
+    /// Queries rejected at admission (queue full).
+    pub rejected: u64,
+    /// Seconds since the registry was created.
+    pub elapsed_s: f64,
+    /// Completed queries per second since start.
+    pub qps: f64,
+    /// Mean end-to-end latency (ms).
+    pub mean_ms: f64,
+    /// Median end-to-end latency (ms).
+    pub p50_ms: f64,
+    /// 95th percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th percentile latency (ms).
+    pub p99_ms: f64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON object via the workspace writer.
+    pub fn to_json(&self) -> String {
+        JsonValue::obj([
+            ("completed", JsonValue::Int(self.completed)),
+            ("errors", JsonValue::Int(self.errors)),
+            ("timeouts", JsonValue::Int(self.timeouts)),
+            ("rejected", JsonValue::Int(self.rejected)),
+            ("elapsed_s", JsonValue::Num(self.elapsed_s)),
+            ("qps", JsonValue::Num(self.qps)),
+            ("mean_ms", JsonValue::Num(self.mean_ms)),
+            ("p50_ms", JsonValue::Num(self.p50_ms)),
+            ("p95_ms", JsonValue::Num(self.p95_ms)),
+            ("p99_ms", JsonValue::Num(self.p99_ms)),
+            ("cache_hits", JsonValue::Int(self.cache.hits)),
+            ("cache_misses", JsonValue::Int(self.cache.misses)),
+            ("cache_evictions", JsonValue::Int(self.cache.evictions)),
+            (
+                "cache_invalidations",
+                JsonValue::Int(self.cache.invalidations),
+            ),
+            ("cache_entries", JsonValue::Int(self.cache.entries as u64)),
+            ("cache_hit_rate", JsonValue::Num(self.cache.hit_rate())),
+        ])
+        .render()
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "queries: {} ok, {} errors, {} timeouts, {} rejected ({:.1} qps over {:.2}s)",
+            self.completed, self.errors, self.timeouts, self.rejected, self.qps, self.elapsed_s
+        )?;
+        writeln!(
+            f,
+            "latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+            self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms
+        )?;
+        write!(
+            f,
+            "plan cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evicted, {} invalidated",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries,
+            self.cache.evictions,
+            self.cache.invalidations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bounds_are_strictly_increasing() {
+        let h = LatencyHistogram::new();
+        assert!(h.bounds.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(h.counts.len(), h.bounds.len() + 1);
+        // Covers well past 30 minutes (1.8e9 µs).
+        assert!(*h.bounds.last().unwrap() > 1_800_000_000);
+    }
+
+    #[test]
+    fn quantiles_bracket_observations() {
+        let h = LatencyHistogram::new();
+        for micros in [100u64, 200, 300, 400, 1000] {
+            h.record(micros);
+        }
+        assert_eq!(h.total(), 5);
+        let p50 = h.quantile(0.5).unwrap();
+        // Within one bucket ratio (~19%) of the true median (300).
+        assert!((250.0..=380.0).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 >= 1000.0, "p99 = {p99}");
+        assert!(h.quantile(0.5).unwrap() <= h.quantile(0.99).unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn outliers_clamp_into_the_last_bucket() {
+        let h = LatencyHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.total(), 1);
+        assert!(h.quantile(1.0).is_some());
+    }
+
+    #[test]
+    fn registry_snapshot_counts() {
+        let m = MetricsRegistry::new();
+        m.record_success(1_000);
+        m.record_success(2_000);
+        m.record_error(&sgq_common::SgqError::Timeout { limit_ms: 5 });
+        m.record_error(&sgq_common::SgqError::Execution("x".into()));
+        m.record_rejected();
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.errors, 1);
+        assert_eq!(s.rejected, 1);
+        assert!((s.mean_ms - 1.5).abs() < 1e-9);
+        assert!(s.qps > 0.0);
+        assert!(s.p50_ms > 0.0 && s.p50_ms <= s.p99_ms);
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed() {
+        let m = MetricsRegistry::new();
+        m.record_success(500);
+        let json = m.snapshot(CacheStats::default()).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        for key in ["\"qps\"", "\"p99_ms\"", "\"cache_hit_rate\""] {
+            assert!(json.contains(key), "{json}");
+        }
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let m = MetricsRegistry::new();
+        m.record_success(1_000);
+        let text = m.snapshot(CacheStats::default()).to_string();
+        assert!(text.contains("qps"), "{text}");
+        assert!(text.contains("plan cache"), "{text}");
+    }
+}

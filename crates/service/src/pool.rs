@@ -1,0 +1,286 @@
+//! A `std::thread` worker pool with a bounded job queue.
+//!
+//! The serving layer's execution substrate: a fixed set of worker
+//! threads drains a bounded FIFO of jobs. The bound is the admission
+//! control — when the queue is full, [`WorkerPool::try_submit`] fails
+//! *immediately* with [`SgqError::Busy`] instead of letting latency grow
+//! without bound (callers see back-pressure, not a slow service).
+//!
+//! Shutdown is graceful: [`WorkerPool::shutdown`] stops admitting new
+//! jobs, lets the workers drain everything already queued (each queued
+//! job carries a response channel someone is waiting on), and joins the
+//! threads. Dropping the pool shuts it down the same way.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+use sgq_common::{Result, SgqError};
+
+/// A unit of work: a boxed closure run on one worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    available: Condvar,
+    capacity: usize,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A fixed-size pool of worker threads over a bounded job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.worker_count)
+            .field("capacity", &self.shared.capacity)
+            .field("queued", &self.queue_len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads over a queue bounded at `queue_capacity`
+    /// (both clamped to at least 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> Self {
+        let worker_count = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let handles = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sgq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles: Mutex::new(handles),
+            worker_count,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    /// The admission bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_len(&self) -> usize {
+        self.shared.lock().jobs.len()
+    }
+
+    /// Enqueues a job, or rejects it right away: [`SgqError::Busy`] when
+    /// the queue is at capacity, an execution error after shutdown.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<()> {
+        {
+            let mut q = self.shared.lock();
+            if q.shutdown {
+                return Err(SgqError::Execution("worker pool is shut down".into()));
+            }
+            if q.jobs.len() >= self.shared.capacity {
+                return Err(SgqError::Busy {
+                    capacity: self.shared.capacity,
+                });
+            }
+            q.jobs.push_back(Box::new(job));
+        }
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Graceful shutdown: stops admission, drains the queued jobs, joins
+    /// every worker. Idempotent; later [`WorkerPool::try_submit`] calls
+    /// fail.
+    pub fn shutdown(&self) {
+        self.shared.lock().shutdown = true;
+        self.shared.available.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.lock();
+            loop {
+                // Draining has priority over the shutdown flag, so jobs
+                // admitted before shutdown still run to completion.
+                if let Some(j) = q.jobs.pop_front() {
+                    break Some(j);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match job {
+            Some(j) => {
+                // A panicking job must not take the worker down with it:
+                // the thread would silently stop draining and every
+                // later submission would queue forever. The job's
+                // response sender is dropped by the unwind, so the
+                // waiting client sees a disconnect error instead.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(j));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn jobs_run_on_workers() {
+        let pool = WorkerPool::new(2, 8);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let c = Arc::clone(&counter);
+            pool.try_submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        let pool = WorkerPool::new(1, 1);
+        // Block the single worker on a gate so the queue state is
+        // deterministic: one running job, one queued job, then rejection.
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            running_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        running_rx.recv().unwrap(); // worker is now blocked inside the job
+        pool.try_submit(|| {}).unwrap(); // fills the queue slot
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert!(err.is_busy(), "expected Busy, got {err}");
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = WorkerPool::new(1, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            running_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        running_rx.recv().unwrap();
+        for _ in 0..10 {
+            let c = Arc::clone(&counter);
+            pool.try_submit(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            })
+            .unwrap();
+        }
+        // Unblock, then shut down: all ten queued jobs must still run.
+        gate_tx.send(()).unwrap();
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails() {
+        let pool = WorkerPool::new(1, 1);
+        pool.shutdown();
+        let err = pool.try_submit(|| {}).unwrap_err();
+        assert!(matches!(err, SgqError::Execution(_)), "got {err}");
+        // Idempotent.
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_worker() {
+        let pool = WorkerPool::new(1, 8);
+        pool.try_submit(|| panic!("job panic must be contained"))
+            .unwrap();
+        // The single worker must survive and run the next job.
+        let (tx, rx) = mpsc::channel();
+        pool.try_submit(move || tx.send(42).unwrap()).unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)),
+            Ok(42),
+            "worker died on a panicking job"
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn jobs_run_in_parallel() {
+        let pool = WorkerPool::new(4, 8);
+        // Four jobs that can only finish when all four are running at
+        // once: a rendezvous proves genuine parallelism.
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let (done_tx, done_rx) = mpsc::channel();
+        for _ in 0..4 {
+            let b = Arc::clone(&barrier);
+            let tx = done_tx.clone();
+            pool.try_submit(move || {
+                b.wait();
+                tx.send(()).unwrap();
+            })
+            .unwrap();
+        }
+        for _ in 0..4 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("all four jobs rendezvous");
+        }
+        pool.shutdown();
+    }
+}

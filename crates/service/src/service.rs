@@ -1,0 +1,566 @@
+//! The concurrent query service: [`Service`] owns the shared state
+//! (database, relational store, plan cache, worker pool, metrics);
+//! [`Session`]s are cheap cloneable handles that submit queries.
+//!
+//! A query's life: the session parses the text (cheap), computes the
+//! statement's cache key and submits a job to the bounded worker pool —
+//! a full queue rejects with [`SgqError::Busy`] *at admission*. On a
+//! worker, the statement is served from the sharded plan cache or
+//! prepared once ([`crate::prepared::prepare`]), then executed with a
+//! per-query deadline that started ticking at submission (queue wait
+//! counts against the timeout, reusing the engines' cooperative
+//! deadline polling). Results carry execution stats; the registry
+//! aggregates QPS, latency percentiles and the cache hit rate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use sgq_algebra::ast::PathExpr;
+use sgq_algebra::parser::parse_path;
+use sgq_common::{Result, SgqError};
+use sgq_core::pipeline::RewriteOptions;
+use sgq_engine::GraphEngine;
+use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_ra::exec::ExecContext;
+use sgq_ra::RelStore;
+
+use crate::cache::{schema_fingerprint, CacheKey, CacheOutcome, PlanCache};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::pool::WorkerPool;
+use crate::prepared::{prepare, Approach, Backend, PreparedBody, PreparedQuery};
+
+/// Construction-time configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing queries (>= 1).
+    pub workers: usize,
+    /// Bounded job-queue capacity; a full queue rejects with
+    /// [`SgqError::Busy`] (>= 1).
+    pub queue_capacity: usize,
+    /// Total prepared statements held by the plan cache.
+    pub plan_cache_capacity: usize,
+    /// Independently locked cache shards.
+    pub plan_cache_shards: usize,
+    /// Deadline applied when a call does not set its own (ms).
+    pub default_timeout_ms: u64,
+    /// Row-materialisation budget per query (0 = unlimited).
+    pub default_max_rows: usize,
+    /// Rewrite switches used by [`Approach::Schema`] statements.
+    pub rewrite: RewriteOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServiceConfig {
+            workers,
+            queue_capacity: workers * 8,
+            plan_cache_capacity: 256,
+            plan_cache_shards: 8,
+            default_timeout_ms: 30_000,
+            default_max_rows: 20_000_000,
+            rewrite: RewriteOptions::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// A config with `workers` worker threads (queue scaled along).
+    pub fn with_workers(workers: usize) -> Self {
+        ServiceConfig {
+            workers: workers.max(1),
+            queue_capacity: workers.max(1) * 8,
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-call execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryOptions {
+    /// Executing backend.
+    pub backend: Backend,
+    /// Baseline or schema-rewritten statement.
+    pub approach: Approach,
+    /// Per-query deadline override (ms).
+    pub timeout_ms: Option<u64>,
+    /// Row-budget override (0 = unlimited).
+    pub max_rows: Option<usize>,
+    /// Consult/populate the plan cache (`false` re-prepares every call).
+    pub use_cache: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            backend: Backend::Relational,
+            approach: Approach::Schema,
+            timeout_ms: None,
+            max_rows: None,
+            use_cache: true,
+        }
+    }
+}
+
+/// Per-query execution statistics returned with the rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryStats {
+    /// How the prepared statement was obtained.
+    pub cache: CacheOutcome,
+    /// Time spent queued before a worker picked the job up (µs).
+    pub queue_micros: u64,
+    /// Front-end time spent by *this* call (0 on a cache hit) (µs).
+    pub prepare_micros: u64,
+    /// Execution time on the backend (µs).
+    pub exec_micros: u64,
+    /// End-to-end latency from submission (µs).
+    pub total_micros: u64,
+    /// Rows materialised by the relational interpreter (0 for the graph
+    /// backend, which counts pairs internally).
+    pub rows_materialized: usize,
+}
+
+/// A completed query: rows, column names and stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Result rows (raw node ids), sorted and deduplicated.
+    pub rows: Vec<Vec<u32>>,
+    /// Output column names, in row order.
+    pub columns: Vec<String>,
+    /// Execution statistics.
+    pub stats: QueryStats,
+}
+
+/// Shared immutable service state (everything a worker job needs).
+///
+/// Deliberately does *not* contain the worker pool: queued jobs hold an
+/// `Arc<Core>`, and a job holding the pool would keep the pool's own
+/// queue alive in a cycle.
+struct Core {
+    schema: Arc<GraphSchema>,
+    db: Arc<GraphDatabase>,
+    store: Arc<RelStore>,
+    cache: PlanCache,
+    metrics: MetricsRegistry,
+    schema_fp: u64,
+    schema_version: AtomicU64,
+    config: ServiceConfig,
+}
+
+/// The concurrent query service.
+pub struct Service {
+    core: Arc<Core>,
+    pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("workers", &self.pool.worker_count())
+            .field("queue_capacity", &self.pool.queue_capacity())
+            .field("cache", &self.core.cache)
+            .finish()
+    }
+}
+
+impl Service {
+    /// Builds a service over an already-shared schema and database,
+    /// loading the relational store once.
+    pub fn new(schema: Arc<GraphSchema>, db: Arc<GraphDatabase>, config: ServiceConfig) -> Self {
+        let store = Arc::new(RelStore::load(&db));
+        Self::with_store(schema, db, store, config)
+    }
+
+    /// Builds a service over a pre-loaded relational store. `store` must
+    /// have been loaded from `db` — use this when several services share
+    /// one database (worker sweeps, benches) to avoid paying
+    /// [`RelStore::load`] per service.
+    pub fn with_store(
+        schema: Arc<GraphSchema>,
+        db: Arc<GraphDatabase>,
+        store: Arc<RelStore>,
+        config: ServiceConfig,
+    ) -> Self {
+        let schema_fp = schema_fingerprint(&schema);
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+        let core = Arc::new(Core {
+            schema,
+            db,
+            store,
+            cache: PlanCache::new(config.plan_cache_capacity, config.plan_cache_shards),
+            metrics: MetricsRegistry::new(),
+            schema_fp,
+            schema_version: AtomicU64::new(0),
+            config,
+        });
+        Service { core, pool }
+    }
+
+    /// Convenience constructor taking owned schema/database.
+    pub fn build(schema: GraphSchema, db: GraphDatabase, config: ServiceConfig) -> Self {
+        Service::new(Arc::new(schema), Arc::new(db), config)
+    }
+
+    /// Opens a session: a cheap handle submitting queries to this
+    /// service's worker pool.
+    pub fn session(&self) -> Session {
+        Session {
+            core: Arc::clone(&self.core),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// The schema queries are parsed and rewritten against.
+    pub fn schema(&self) -> &Arc<GraphSchema> {
+        &self.core.schema
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Arc<GraphDatabase> {
+        &self.core.db
+    }
+
+    /// Current metrics snapshot (including plan-cache counters).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot(self.core.cache.stats())
+    }
+
+    /// The current schema version (bumped by
+    /// [`Service::bump_schema_version`]).
+    pub fn schema_version(&self) -> u64 {
+        self.core.schema_version.load(Ordering::SeqCst)
+    }
+
+    /// Signals a schema change: bumps the version (future cache keys
+    /// differ) and drops every cached statement.
+    pub fn bump_schema_version(&self) -> u64 {
+        let v = self.core.schema_version.fetch_add(1, Ordering::SeqCst) + 1;
+        self.core.cache.invalidate_all();
+        v
+    }
+
+    /// Graceful shutdown: drains queued queries, joins the workers.
+    /// Subsequent submissions fail. Idempotent.
+    pub fn shutdown(&self) {
+        self.pool.shutdown();
+    }
+}
+
+/// A client handle on a [`Service`]. Clone freely; sessions are
+/// independent submitters over the same shared state.
+#[derive(Clone)]
+pub struct Session {
+    core: Arc<Core>,
+    pool: Arc<WorkerPool>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session").finish_non_exhaustive()
+    }
+}
+
+/// An in-flight query submitted with [`Session::submit`].
+#[derive(Debug)]
+pub struct PendingQuery {
+    rx: mpsc::Receiver<Result<QueryResponse>>,
+}
+
+impl PendingQuery {
+    /// Blocks until the worker finishes the query.
+    pub fn wait(self) -> Result<QueryResponse> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(SgqError::Execution("worker dropped the query".into())))
+    }
+}
+
+impl Session {
+    /// Parses and executes a path-query string, blocking for the result.
+    pub fn execute(&self, text: &str, opts: &QueryOptions) -> Result<QueryResponse> {
+        let expr = parse_path(text, self.core.schema.as_ref())?;
+        self.execute_expr(&expr, opts)
+    }
+
+    /// Executes an already-parsed path expression, blocking.
+    pub fn execute_expr(&self, expr: &PathExpr, opts: &QueryOptions) -> Result<QueryResponse> {
+        self.submit_expr(expr, opts)?.wait()
+    }
+
+    /// Submits a query without waiting (parse errors and admission
+    /// rejections surface immediately).
+    pub fn submit(&self, text: &str, opts: &QueryOptions) -> Result<PendingQuery> {
+        let expr = parse_path(text, self.core.schema.as_ref())?;
+        self.submit_expr(&expr, opts)
+    }
+
+    /// Submits an already-parsed expression without waiting.
+    pub fn submit_expr(&self, expr: &PathExpr, opts: &QueryOptions) -> Result<PendingQuery> {
+        let core = Arc::clone(&self.core);
+        let expr = expr.clone();
+        let opts = *opts;
+        let submitted = Instant::now();
+        let timeout_ms = opts.timeout_ms.unwrap_or(core.config.default_timeout_ms);
+        let deadline = submitted + Duration::from_millis(timeout_ms);
+        let (tx, rx) = mpsc::channel();
+        let submit_result = self.pool.try_submit(move || {
+            let result = run_query(&core, &expr, &opts, submitted, deadline, timeout_ms);
+            match &result {
+                Ok(resp) => core.metrics.record_success(resp.stats.total_micros),
+                Err(e) => core.metrics.record_error(e),
+            }
+            // The client may have given up (e.g. channel dropped); the
+            // metrics above still count the work.
+            let _ = tx.send(result);
+        });
+        if let Err(e) = submit_result {
+            if e.is_busy() {
+                self.core.metrics.record_rejected();
+            }
+            return Err(e);
+        }
+        Ok(PendingQuery { rx })
+    }
+
+    /// Prepares (or fetches from the cache) the statement for `text`
+    /// without executing it — runs inline on the calling thread.
+    pub fn prepare(
+        &self,
+        text: &str,
+        opts: &QueryOptions,
+    ) -> Result<(Arc<PreparedQuery>, CacheOutcome)> {
+        let expr = parse_path(text, self.core.schema.as_ref())?;
+        prepare_via_cache(&self.core, &expr, opts)
+    }
+
+    /// Current metrics snapshot (shared with [`Service::metrics`]).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot(self.core.cache.stats())
+    }
+}
+
+/// Serves the statement from the plan cache or runs the front-end once.
+fn prepare_via_cache(
+    core: &Core,
+    expr: &PathExpr,
+    opts: &QueryOptions,
+) -> Result<(Arc<PreparedQuery>, CacheOutcome)> {
+    let do_prepare = || {
+        prepare(
+            &core.schema,
+            &core.store,
+            expr,
+            opts.backend,
+            opts.approach,
+            core.config.rewrite,
+        )
+    };
+    if !opts.use_cache {
+        return Ok((Arc::new(do_prepare()?), CacheOutcome::Bypass));
+    }
+    let canonical = crate::prepared::canonical_text(expr, &core.schema);
+    let key = CacheKey::new(
+        &canonical,
+        core.schema_fp,
+        core.schema_version.load(Ordering::SeqCst),
+        opts.backend,
+        opts.approach,
+        &core.config.rewrite,
+    );
+    core.cache.get_or_prepare(key, do_prepare)
+}
+
+/// The worker-side execution of one query.
+fn run_query(
+    core: &Core,
+    expr: &PathExpr,
+    opts: &QueryOptions,
+    submitted: Instant,
+    deadline: Instant,
+    timeout_ms: u64,
+) -> Result<QueryResponse> {
+    let queue_micros = submitted.elapsed().as_micros() as u64;
+    let (prepared, cache) = prepare_via_cache(core, expr, opts)?;
+    let prepare_micros = match cache {
+        CacheOutcome::Hit => 0,
+        CacheOutcome::Miss | CacheOutcome::Bypass => prepared.prepare_micros(),
+    };
+    let max_rows = opts.max_rows.unwrap_or(core.config.default_max_rows);
+    let exec_start = Instant::now();
+    let (rows, rows_materialized) = match prepared.body() {
+        PreparedBody::Empty => (Vec::new(), 0),
+        PreparedBody::Graph(query) => {
+            // The deadline started at submission: hand the engine only
+            // what remains of the budget, rounded *up* to whole ms so a
+            // sub-millisecond remainder is not truncated into a spurious
+            // timeout.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(SgqError::Timeout {
+                    limit_ms: timeout_ms,
+                });
+            }
+            let remaining_ms = remaining.as_nanos().div_ceil(1_000_000) as u64;
+            let mut engine = GraphEngine::with_timeout(&core.db, remaining_ms);
+            engine.set_max_pairs(max_rows);
+            // The engine only knows the remaining budget; report the
+            // configured timeout (matching the relational path).
+            let rows = engine.run_ucqt(query).map_err(|e| match e {
+                SgqError::Timeout { .. } => SgqError::Timeout {
+                    limit_ms: timeout_ms,
+                },
+                other => other,
+            })?;
+            let rows: Vec<Vec<u32>> = rows
+                .into_iter()
+                .map(|r| r.into_iter().map(|n| n.raw()).collect())
+                .collect();
+            (rows, 0)
+        }
+        PreparedBody::Relational(plan) => {
+            let mut ctx = ExecContext::new();
+            ctx.deadline = Some(deadline);
+            ctx.limit_ms = timeout_ms;
+            ctx.max_rows = max_rows;
+            let rel = sgq_ra::execute_plan(plan, &core.store, &mut ctx)?;
+            let rows: Vec<Vec<u32>> = rel.rows().map(|r| r.to_vec()).collect();
+            (rows, ctx.rows_materialized)
+        }
+    };
+    Ok(QueryResponse {
+        rows,
+        columns: prepared.columns().to_vec(),
+        stats: QueryStats {
+            cache,
+            queue_micros,
+            prepare_micros,
+            exec_micros: exec_start.elapsed().as_micros() as u64,
+            total_micros: submitted.elapsed().as_micros() as u64,
+            rows_materialized,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_graph::database::fig2_yago_database;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    fn small_service(workers: usize) -> Service {
+        Service::build(
+            fig1_yago_schema(),
+            fig2_yago_database(),
+            ServiceConfig::with_workers(workers),
+        )
+    }
+
+    #[test]
+    fn execute_returns_rows_and_stats() {
+        let service = small_service(2);
+        let session = service.session();
+        let resp = session
+            .execute("livesIn/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        assert!(!resp.rows.is_empty());
+        assert_eq!(resp.columns, vec!["v0", "v1"]);
+        assert_eq!(resp.stats.cache, CacheOutcome::Miss);
+        assert!(resp.stats.total_micros >= resp.stats.exec_micros);
+        service.shutdown();
+    }
+
+    #[test]
+    fn graph_and_relational_agree() {
+        let service = small_service(2);
+        let session = service.session();
+        for text in ["owns/isLocatedIn+", "isMarriedTo+", "livesIn"] {
+            let mut rows = Vec::new();
+            for backend in [
+                Backend::Graph,
+                Backend::Relational,
+                Backend::RelationalUnoptimized,
+            ] {
+                for approach in [Approach::Baseline, Approach::Schema] {
+                    let opts = QueryOptions {
+                        backend,
+                        approach,
+                        ..Default::default()
+                    };
+                    rows.push(session.execute(text, &opts).unwrap().rows);
+                }
+            }
+            assert!(
+                rows.windows(2).all(|w| w[0] == w[1]),
+                "backends disagree on {text}"
+            );
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_surface_before_submission() {
+        let service = small_service(1);
+        let session = service.session();
+        let err = session
+            .execute("noSuchLabel///", &QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SgqError::Parse { .. }), "got {err}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn provably_empty_queries_return_no_rows() {
+        let service = small_service(1);
+        let session = service.session();
+        let resp = session
+            .execute("dealsWith/owns", &QueryOptions::default())
+            .unwrap();
+        assert!(resp.rows.is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_timeout_classifies_as_timeout() {
+        let service = small_service(1);
+        let session = service.session();
+        let opts = QueryOptions {
+            timeout_ms: Some(0),
+            ..Default::default()
+        };
+        let err = session.execute("isLocatedIn+", &opts).unwrap_err();
+        assert!(err.is_timeout(), "got {err}");
+        assert_eq!(service.metrics().timeouts, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn schema_version_bump_invalidates() {
+        let service = small_service(1);
+        let session = service.session();
+        let opts = QueryOptions::default();
+        let (first, o1) = session.prepare("owns", &opts).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (second, o2) = session.prepare("owns", &opts).unwrap();
+        assert_eq!(o2, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(service.bump_schema_version(), 1);
+        let (third, o3) = session.prepare("owns", &opts).unwrap();
+        assert_eq!(o3, CacheOutcome::Miss, "version bump must re-prepare");
+        assert!(!Arc::ptr_eq(&first, &third));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_queries() {
+        let service = small_service(1);
+        let session = service.session();
+        service.shutdown();
+        let err = session
+            .execute("owns", &QueryOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SgqError::Execution(_)), "got {err}");
+    }
+}

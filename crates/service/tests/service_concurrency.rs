@@ -1,0 +1,175 @@
+//! Concurrency acceptance tests for the query service.
+//!
+//! * Concurrent sessions over one shared `Arc<GraphDatabase>` produce
+//!   exactly the rows sequential execution produces.
+//! * A repeated statement is a plan-cache hit: the front-end does not
+//!   run again and both executions share one `Arc<PreparedQuery>`.
+//! * Admission control: with one worker and a one-slot queue, a burst
+//!   of submissions is partially rejected with `Busy` — and everything
+//!   that was admitted still completes correctly.
+
+use std::sync::Arc;
+
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_service::{Backend, CacheOutcome, QueryOptions, Service, ServiceConfig, Session};
+
+fn yago_service(workers: usize) -> (Service, Vec<String>) {
+    let (schema, db) = yago::generate(YagoConfig::tiny());
+    let queries = yago::queries(&schema)
+        .expect("catalog parses")
+        .iter()
+        .map(|q| q.text.to_string())
+        .collect();
+    let service = Service::new(
+        Arc::new(schema),
+        Arc::new(db),
+        ServiceConfig::with_workers(workers),
+    );
+    (service, queries)
+}
+
+fn run_all(session: &Session, queries: &[String], opts: &QueryOptions) -> Vec<Vec<Vec<u32>>> {
+    queries
+        .iter()
+        .map(|q| {
+            session
+                .execute(q, opts)
+                .expect("tiny dataset executes")
+                .rows
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_sequential_execution() {
+    let (service, queries) = yago_service(4);
+    for backend in [Backend::Graph, Backend::Relational] {
+        let opts = QueryOptions {
+            backend,
+            use_cache: false, // every run exercises the full front-end
+            ..Default::default()
+        };
+        // Sequential reference on one session.
+        let expected = run_all(&service.session(), &queries, &opts);
+        // Two concurrent sessions, each running the whole catalog.
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let session = service.session();
+                    let queries = &queries;
+                    s.spawn(move || run_all(&session, queries, &opts))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for rows in &results {
+            assert_eq!(
+                rows, &expected,
+                "concurrent execution diverged on {backend}"
+            );
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn repeated_query_is_a_cache_hit_without_reoptimisation() {
+    let (service, queries) = yago_service(2);
+    let session = service.session();
+    let text = &queries[0];
+    let opts = QueryOptions::default();
+
+    let first = session.execute(text, &opts).unwrap();
+    assert_eq!(first.stats.cache, CacheOutcome::Miss);
+
+    let second = session.execute(text, &opts).unwrap();
+    assert_eq!(second.stats.cache, CacheOutcome::Hit);
+    assert_eq!(
+        second.stats.prepare_micros, 0,
+        "a hit must not re-run the front-end"
+    );
+    assert_eq!(second.rows, first.rows);
+
+    // Both executions share the single frozen artifact.
+    let (a, _) = session.prepare(text, &opts).unwrap();
+    let (b, outcome) = session.prepare(text, &opts).unwrap();
+    assert_eq!(outcome, CacheOutcome::Hit);
+    assert!(Arc::ptr_eq(&a, &b), "one Arc<PreparedQuery> per statement");
+
+    let m = service.metrics();
+    assert!(m.cache.hits >= 2, "metrics: {m}");
+    assert_eq!(m.cache.misses, 1, "metrics: {m}");
+    service.shutdown();
+}
+
+#[test]
+fn whitespace_variants_share_one_cache_entry() {
+    let (service, _) = yago_service(1);
+    let session = service.session();
+    let opts = QueryOptions::default();
+    let (a, o1) = session.prepare("owns/isLocatedIn+", &opts).unwrap();
+    let (b, o2) = session.prepare("  owns /  isLocatedIn+ ", &opts).unwrap();
+    assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Hit));
+    assert!(
+        Arc::ptr_eq(&a, &b),
+        "canonical fingerprint unifies spelling"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn burst_over_capacity_is_rejected_busy_and_admitted_work_completes() {
+    let (schema, db) = yago::generate(YagoConfig::tiny());
+    let service = Service::new(
+        Arc::new(schema),
+        Arc::new(db),
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            ..Default::default()
+        },
+    );
+    let session = service.session();
+    let opts = QueryOptions {
+        use_cache: false, // keep each job slow enough to pile up
+        ..Default::default()
+    };
+    // Fire a burst without waiting: with one worker and a single queue
+    // slot at most 2 jobs are in the system, so a 32-deep burst must see
+    // rejections while everything admitted completes.
+    let expected = session.execute("influences+", &opts).unwrap().rows;
+    let mut pending = Vec::new();
+    let mut busy = 0u32;
+    for _ in 0..32 {
+        match session.submit("influences+", &opts) {
+            Ok(p) => pending.push(p),
+            Err(e) if e.is_busy() => busy += 1,
+            Err(other) => panic!("unexpected submit error: {other}"),
+        }
+    }
+    assert!(busy > 0, "a 32-deep burst over a 1-slot queue must reject");
+    assert!(!pending.is_empty(), "the first submission is admitted");
+    for p in pending {
+        assert_eq!(p.wait().unwrap().rows, expected);
+    }
+    let m = service.metrics();
+    assert_eq!(m.rejected as u32, busy);
+    assert_eq!(m.completed, 33 - u64::from(busy));
+    service.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_completes_admitted_queries() {
+    let (service, queries) = yago_service(2);
+    let session = service.session();
+    let opts = QueryOptions::default();
+    let pending: Vec<_> = queries
+        .iter()
+        .take(8)
+        .filter_map(|q| session.submit(q, &opts).ok())
+        .collect();
+    service.shutdown();
+    for p in pending {
+        assert!(p.wait().is_ok(), "admitted queries complete on shutdown");
+    }
+}

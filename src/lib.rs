@@ -54,6 +54,7 @@ pub use sgq_graph as graph;
 pub use sgq_harness as harness;
 pub use sgq_query as query;
 pub use sgq_ra as ra;
+pub use sgq_service as service;
 pub use sgq_translate as translate;
 
 /// The most common imports, re-exported flat.
@@ -66,4 +67,5 @@ pub mod prelude {
     pub use sgq_graph::{DataType, GraphDatabase, GraphSchema, Value};
     pub use sgq_query::cqt::{Cqt, QueryKind, Ucqt};
     pub use sgq_ra::{execute, execute_plan, plan, ExecContext, PhysPlan, RelStore};
+    pub use sgq_service::{QueryOptions, Service, ServiceConfig, Session};
 }
