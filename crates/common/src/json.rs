@@ -35,9 +35,16 @@ pub fn escape(s: &str) -> String {
     out
 }
 
-/// Renders a float as a JSON number, mapping non-finite values to `null`
-/// (JSON has no NaN/Infinity).
+/// Renders a float as a JSON number. JSON has no NaN/Infinity, so
+/// non-finite values render as `null` — and debug builds *assert*: every
+/// producer is expected to guard its divisions at the source (0-sample
+/// snapshots report 0.0), so a non-finite value reaching the writer is a
+/// bug that tests and CI should catch rather than serialise away.
 pub fn number(v: f64) -> String {
+    debug_assert!(
+        v.is_finite(),
+        "non-finite value {v} reached the JSON writer — guard the division at its source"
+    );
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -138,8 +145,22 @@ mod tests {
     #[test]
     fn numbers() {
         assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(0.0), "0");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_numbers_assert_in_debug() {
+        let _ = number(f64::NAN);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn non_finite_numbers_render_null_in_release() {
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(number(f64::NEG_INFINITY), "null");
     }
 
     #[test]

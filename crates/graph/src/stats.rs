@@ -4,10 +4,71 @@
 //! heuristics need per-label node counts, per-edge-label edge counts, and —
 //! crucially for estimating the benefit of schema annotations — per
 //! `(source label, edge label, target label)` triple counts.
+//!
+//! Statistics v2 additionally precomputes, in the same pass:
+//!
+//! * per-`(source label, edge label)` and per-`(edge label, target label)`
+//!   **aggregates** ([`EndpointStats`]: edge count + distinct bound
+//!   endpoints), so [`GraphStats::source_selectivity`] is an O(1) lookup
+//!   instead of a scan over every observed triple;
+//! * per-triple **distinct source/target counts** ([`TripleStats`]), which
+//!   give the average out-/in-degree of each schema triple;
+//! * per-edge-label **distinct source/target counts** — the `V(rel, c)`
+//!   distinct-value statistics the join selectivity formula wants, measured
+//!   instead of approximated by `min(|rel|, |V|)`;
+//! * a per-edge-label **transitive-closure depth bound**
+//!   ([`GraphStats::closure_depth`]): the longest chain through the label
+//!   subgraph's SCC condensation, counting each SCC at its node count. This
+//!   bounds the number of semi-naive fixpoint rounds a closure over that
+//!   label can take and replaces the cost model's constant growth factor.
 
-use sgq_common::{EdgeLabelId, FxHashMap, NodeLabelId};
+use sgq_common::{EdgeLabelId, FxHashMap, NodeId, NodeLabelId};
 
 use crate::database::GraphDatabase;
+
+/// Aggregate over the edges of one label bound to one endpoint label:
+/// how many edges there are and how many distinct endpoint nodes they use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Number of edges in the group.
+    pub count: usize,
+    /// Distinct nodes on the grouped endpoint (sources for a
+    /// `(source label, edge label)` group, targets for a
+    /// `(edge label, target label)` group).
+    pub distinct: usize,
+}
+
+/// Exact statistics for one observed `(src label, le, tgt label)` triple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TripleStats {
+    /// Number of edges realising the triple.
+    pub count: usize,
+    /// Distinct source nodes among those edges.
+    pub distinct_sources: usize,
+    /// Distinct target nodes among those edges.
+    pub distinct_targets: usize,
+}
+
+impl TripleStats {
+    /// Average out-degree of the triple's sources (`count / distinct
+    /// sources`), 0 when the triple is unobserved.
+    pub fn avg_out_degree(&self) -> f64 {
+        if self.distinct_sources == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_sources as f64
+        }
+    }
+
+    /// Average in-degree of the triple's targets.
+    pub fn avg_in_degree(&self) -> f64 {
+        if self.distinct_targets == 0 {
+            0.0
+        } else {
+            self.count as f64 / self.distinct_targets as f64
+        }
+    }
+}
 
 /// Aggregate statistics for a [`GraphDatabase`].
 #[derive(Debug, Clone)]
@@ -16,40 +77,106 @@ pub struct GraphStats {
     pub nodes_per_label: Vec<usize>,
     /// Edges per edge label, indexed by label id.
     pub edges_per_label: Vec<usize>,
-    /// Edge counts per observed `(src label, edge label, tgt label)` triple.
-    pub triple_counts: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), usize>,
+    /// Statistics per observed `(src label, edge label, tgt label)` triple.
+    pub triples: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), TripleStats>,
     /// Total node count.
     pub node_count: usize,
     /// Total edge count.
     pub edge_count: usize,
+    /// Aggregates per `(source label, edge label)` group.
+    src_groups: FxHashMap<(NodeLabelId, EdgeLabelId), EndpointStats>,
+    /// Aggregates per `(edge label, target label)` group.
+    tgt_groups: FxHashMap<(EdgeLabelId, NodeLabelId), EndpointStats>,
+    /// Distinct source nodes per edge label.
+    distinct_sources: Vec<usize>,
+    /// Distinct target nodes per edge label.
+    distinct_targets: Vec<usize>,
+    /// Semi-naive closure depth bound per edge label (0 for empty labels).
+    closure_depths: Vec<usize>,
 }
 
 impl GraphStats {
-    /// Computes statistics in a single pass over the database.
+    /// Computes statistics in a single pass over the database (plus one
+    /// SCC pass per edge label for the closure depth bounds).
     pub fn compute(db: &GraphDatabase) -> Self {
         let mut nodes_per_label = vec![0usize; db.node_label_count()];
         for n in db.node_ids() {
             nodes_per_label[db.node_label(n).index()] += 1;
         }
-        let mut edges_per_label = vec![0usize; db.edge_label_count()];
-        let mut triple_counts: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), usize> =
+        let label_count = db.edge_label_count();
+        let mut edges_per_label = vec![0usize; label_count];
+        let mut triples: FxHashMap<(NodeLabelId, EdgeLabelId, NodeLabelId), TripleStats> =
             FxHashMap::default();
-        for (le_idx, slot) in edges_per_label.iter_mut().enumerate() {
+        let mut src_groups: FxHashMap<(NodeLabelId, EdgeLabelId), EndpointStats> =
+            FxHashMap::default();
+        let mut tgt_groups: FxHashMap<(EdgeLabelId, NodeLabelId), EndpointStats> =
+            FxHashMap::default();
+        let mut distinct_sources = vec![0usize; label_count];
+        let mut distinct_targets = vec![0usize; label_count];
+        let mut closure_depths = vec![0usize; label_count];
+        for le_idx in 0..label_count {
             let le = EdgeLabelId::new(le_idx as u32);
+            // Forward orientation: `edges` is sorted by (src, tgt), so all
+            // edges of one source are contiguous and "is this a new
+            // distinct source?" is a comparison against the last counted
+            // source per group.
             let edges = db.edges(le);
-            *slot = edges.len();
+            edges_per_label[le_idx] = edges.len();
+            let mut last_src: Option<NodeId> = None;
+            let mut last_src_by_group: FxHashMap<NodeLabelId, NodeId> = FxHashMap::default();
+            let mut last_src_by_triple: FxHashMap<(NodeLabelId, NodeLabelId), NodeId> =
+                FxHashMap::default();
             for &(s, t) in edges {
-                *triple_counts
-                    .entry((db.node_label(s), le, db.node_label(t)))
-                    .or_insert(0) += 1;
+                let (sl, tl) = (db.node_label(s), db.node_label(t));
+                let triple = triples.entry((sl, le, tl)).or_default();
+                triple.count += 1;
+                if last_src_by_triple.insert((sl, tl), s) != Some(s) {
+                    triple.distinct_sources += 1;
+                }
+                let group = src_groups.entry((sl, le)).or_default();
+                group.count += 1;
+                if last_src_by_group.insert(sl, s) != Some(s) {
+                    group.distinct += 1;
+                }
+                if last_src != Some(s) {
+                    distinct_sources[le_idx] += 1;
+                    last_src = Some(s);
+                }
             }
+            // Reverse orientation (sorted by (tgt, src)) for the
+            // target-side distinct counts.
+            let mut last_tgt: Option<NodeId> = None;
+            let mut last_tgt_by_group: FxHashMap<NodeLabelId, NodeId> = FxHashMap::default();
+            let mut last_tgt_by_triple: FxHashMap<(NodeLabelId, NodeLabelId), NodeId> =
+                FxHashMap::default();
+            for &(t, s) in &db.relation(le).by_tgt {
+                let (sl, tl) = (db.node_label(s), db.node_label(t));
+                let group = tgt_groups.entry((le, tl)).or_default();
+                group.count += 1;
+                if last_tgt_by_group.insert(tl, t) != Some(t) {
+                    group.distinct += 1;
+                }
+                if last_tgt_by_triple.insert((sl, tl), t) != Some(t) {
+                    triples.entry((sl, le, tl)).or_default().distinct_targets += 1;
+                }
+                if last_tgt != Some(t) {
+                    distinct_targets[le_idx] += 1;
+                    last_tgt = Some(t);
+                }
+            }
+            closure_depths[le_idx] = condensation_depth(edges);
         }
         GraphStats {
             nodes_per_label,
             edges_per_label,
             node_count: db.node_count(),
             edge_count: db.edge_count(),
-            triple_counts,
+            triples,
+            src_groups,
+            tgt_groups,
+            distinct_sources,
+            distinct_targets,
+            closure_depths,
         }
     }
 
@@ -68,33 +195,181 @@ impl GraphStats {
 
     /// Edge count for a specific `(src label, le, tgt label)` triple.
     pub fn triple_cardinality(&self, src: NodeLabelId, le: EdgeLabelId, tgt: NodeLabelId) -> usize {
-        self.triple_counts
+        self.triple_stats(src, le, tgt).count
+    }
+
+    /// Full statistics for a specific triple (zeroes when unobserved).
+    pub fn triple_stats(&self, src: NodeLabelId, le: EdgeLabelId, tgt: NodeLabelId) -> TripleStats {
+        self.triples
             .get(&(src, le, tgt))
             .copied()
-            .unwrap_or(0)
+            .unwrap_or_default()
+    }
+
+    /// Aggregate over the edges of `le` whose source is labeled `src`.
+    pub fn source_group(&self, src: NodeLabelId, le: EdgeLabelId) -> EndpointStats {
+        self.src_groups.get(&(src, le)).copied().unwrap_or_default()
+    }
+
+    /// Aggregate over the edges of `le` whose target is labeled `tgt`.
+    pub fn target_group(&self, le: EdgeLabelId, tgt: NodeLabelId) -> EndpointStats {
+        self.tgt_groups.get(&(le, tgt)).copied().unwrap_or_default()
+    }
+
+    /// Distinct source nodes among the edges of `le`.
+    pub fn distinct_sources(&self, le: EdgeLabelId) -> usize {
+        self.distinct_sources.get(le.index()).copied().unwrap_or(0)
+    }
+
+    /// Distinct target nodes among the edges of `le`.
+    pub fn distinct_targets(&self, le: EdgeLabelId) -> usize {
+        self.distinct_targets.get(le.index()).copied().unwrap_or(0)
+    }
+
+    /// Semi-naive closure depth bound for `le`: the longest chain through
+    /// the SCC condensation of the label's subgraph, counting each SCC at
+    /// its node count — an upper bound on the number of edges on any
+    /// shortest `le`-path, and therefore on the rounds the semi-naive
+    /// fixpoint `le+` runs. 0 for labels with no edges.
+    pub fn closure_depth(&self, le: EdgeLabelId) -> usize {
+        self.closure_depths.get(le.index()).copied().unwrap_or(0)
     }
 
     /// Selectivity of restricting `le` to sources labeled `src`:
-    /// `|{(s,t) ∈ le : η(s) = src}| / |le|`, in `[0, 1]`.
+    /// `|{(s,t) ∈ le : η(s) = src}| / |le|`, in `[0, 1]`. O(1) via the
+    /// precomputed per-`(src, le)` aggregate.
     pub fn source_selectivity(&self, src: NodeLabelId, le: EdgeLabelId) -> f64 {
         let total = self.edge_cardinality(le);
         if total == 0 {
             return 0.0;
         }
-        let matching: usize = self
-            .triple_counts
-            .iter()
-            .filter(|&(&(s, l, _), _)| s == src && l == le)
-            .map(|(_, &c)| c)
-            .sum();
-        matching as f64 / total as f64
+        self.source_group(src, le).count as f64 / total as f64
     }
+
+    /// Selectivity of restricting `le` to targets labeled `tgt`.
+    pub fn target_selectivity(&self, le: EdgeLabelId, tgt: NodeLabelId) -> f64 {
+        let total = self.edge_cardinality(le);
+        if total == 0 {
+            return 0.0;
+        }
+        self.target_group(le, tgt).count as f64 / total as f64
+    }
+}
+
+/// The longest chain through the SCC condensation of the edge set,
+/// counting each SCC at its node count. Iterative Tarjan (the LDBC reply
+/// trees are deep enough to overflow a recursive version's stack).
+fn condensation_depth(edges: &[(NodeId, NodeId)]) -> usize {
+    if edges.is_empty() {
+        return 0;
+    }
+    // Compact the incident nodes.
+    let mut ids: FxHashMap<u32, u32> = FxHashMap::default();
+    let intern = |n: NodeId, ids: &mut FxHashMap<u32, u32>| -> u32 {
+        let next = ids.len() as u32;
+        *ids.entry(n.raw()).or_insert(next)
+    };
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(edges.len());
+    for &(s, t) in edges {
+        let si = intern(s, &mut ids);
+        let ti = intern(t, &mut ids);
+        pairs.push((si, ti));
+    }
+    let n = ids.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(s, t) in &pairs {
+        adj[s as usize].push(t);
+    }
+    // Iterative Tarjan: components are emitted sinks-first, so for any
+    // cross edge u → v, comp[v] < comp[u].
+    const UNSEEN: u32 = u32::MAX;
+    let mut index = vec![UNSEEN; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp = vec![UNSEEN; n];
+    let mut comp_sizes: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut call: Vec<(u32, usize)> = Vec::new();
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSEEN {
+            continue;
+        }
+        index[root as usize] = next_index;
+        low[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        call.push((root, 0));
+        while let Some(&(v, ci)) = call.last() {
+            let vu = v as usize;
+            if ci < adj[vu].len() {
+                call.last_mut().expect("just peeked").1 += 1;
+                let w = adj[vu][ci];
+                let wu = w as usize;
+                if index[wu] == UNSEEN {
+                    index[wu] = next_index;
+                    low[wu] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wu] = true;
+                    call.push((w, 0));
+                } else if on_stack[wu] {
+                    low[vu] = low[vu].min(index[wu]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(p, _)) = call.last() {
+                    let pu = p as usize;
+                    low[pu] = low[pu].min(low[vu]);
+                }
+                if low[vu] == index[vu] {
+                    let cid = comp_sizes.len() as u32;
+                    let mut size = 0u32;
+                    loop {
+                        let w = stack.pop().expect("scc stack non-empty");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = cid;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_sizes.push(size);
+                }
+            }
+        }
+    }
+    // Longest weighted chain over the condensation DAG: components are
+    // numbered sinks-first, so every successor's dp is final before its
+    // predecessors are processed.
+    let ncomp = comp_sizes.len();
+    let mut out_edges: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+    for &(s, t) in &pairs {
+        let (cs, ct) = (comp[s as usize], comp[t as usize]);
+        if cs != ct {
+            out_edges[cs as usize].push(ct);
+        }
+    }
+    let mut dp = vec![0u64; ncomp];
+    let mut depth = 0u64;
+    for c in 0..ncomp {
+        let best = out_edges[c]
+            .iter()
+            .map(|&succ| dp[succ as usize])
+            .max()
+            .unwrap_or(0);
+        dp[c] = comp_sizes[c] as u64 + best;
+        depth = depth.max(dp[c]);
+    }
+    depth as usize
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::database::fig2_yago_database;
+    use sgq_common::Rng;
 
     #[test]
     fn fig2_statistics() {
@@ -132,5 +407,99 @@ mod tests {
         let city = db.node_label_id("CITY").unwrap();
         // 2 of the 4 isLocatedIn edges start from CITY nodes.
         assert!((stats.source_selectivity(city, isl) - 0.5).abs() < 1e-9);
+        let region = db.node_label_id("REGION").unwrap();
+        // 2 of the 4 isLocatedIn edges end at REGION nodes.
+        assert!((stats.target_selectivity(isl, region) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distinct_endpoint_counts() {
+        let db = fig2_yago_database();
+        let stats = GraphStats::compute(&db);
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        let city = db.node_label_id("CITY").unwrap();
+        let region = db.node_label_id("REGION").unwrap();
+        // Each of the 4 isLocatedIn edges has a different source; the two
+        // CITY edges share one REGION target.
+        assert_eq!(stats.distinct_sources(isl), 4);
+        assert_eq!(stats.distinct_targets(isl), 3);
+        let ts = stats.triple_stats(city, isl, region);
+        assert_eq!(ts.count, 2);
+        assert_eq!(ts.distinct_sources, 2);
+        assert_eq!(ts.distinct_targets, 1);
+        assert!((ts.avg_out_degree() - 1.0).abs() < 1e-9);
+        assert!((ts.avg_in_degree() - 2.0).abs() < 1e-9);
+        let group = stats.source_group(city, isl);
+        assert_eq!(group.count, 2);
+        assert_eq!(group.distinct, 2);
+    }
+
+    #[test]
+    fn closure_depths_measure_hierarchy_and_cycles() {
+        let db = fig2_yago_database();
+        let stats = GraphStats::compute(&db);
+        // isLocatedIn is the acyclic PROPERTY→CITY→REGION→COUNTRY chain:
+        // the longest chain visits 4 nodes.
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        assert_eq!(stats.closure_depth(isl), 4);
+        // isMarriedTo is a 2-cycle: a single SCC of size 2.
+        let married = db.edge_label_id("isMarriedTo").unwrap();
+        assert_eq!(stats.closure_depth(married), 2);
+        // owns has one edge: a 2-node chain.
+        let owns = db.edge_label_id("owns").unwrap();
+        assert_eq!(stats.closure_depth(owns), 2);
+    }
+
+    /// Regression test for the `source_selectivity` fast path: the O(1)
+    /// per-`(src, le)` aggregate must equal the old O(|triples|) scan on a
+    /// randomized database.
+    #[test]
+    fn source_selectivity_fast_path_equals_scan() {
+        let mut b = crate::database::GraphDatabase::standalone_builder();
+        let mut rng = Rng::seed_from_u64(0x57a7);
+        let labels = ["A", "B", "C"];
+        let nodes: Vec<_> = (0..120)
+            .map(|i| b.node(labels[i % labels.len()], &[]))
+            .collect();
+        for _ in 0..400 {
+            let s = nodes[rng.gen_range(0..nodes.len())];
+            let t = nodes[rng.gen_range(0..nodes.len())];
+            let le = if rng.gen_bool(0.5) { "e0" } else { "e1" };
+            b.edge(s, le, t);
+        }
+        let db = b.build().unwrap();
+        let stats = GraphStats::compute(&db);
+        for le_idx in 0..db.edge_label_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            for l_idx in 0..db.node_label_count() {
+                let src = NodeLabelId::new(l_idx as u32);
+                let scan: usize = stats
+                    .triples
+                    .iter()
+                    .filter(|&(&(s, l, _), _)| s == src && l == le)
+                    .map(|(_, t)| t.count)
+                    .sum();
+                let scanned = scan as f64 / stats.edge_cardinality(le).max(1) as f64;
+                assert!(
+                    (stats.source_selectivity(src, le) - scanned).abs() < 1e-12,
+                    "fast path diverged for ({src:?}, {le:?})"
+                );
+                assert_eq!(stats.source_group(src, le).count, scan);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_label_statistics_are_zero() {
+        let mut b = crate::database::GraphDatabase::standalone_builder();
+        let n = b.node("A", &[]);
+        let le = b.intern_edge_label("unused");
+        let _ = (n, le);
+        let db = b.build().unwrap();
+        let stats = GraphStats::compute(&db);
+        assert_eq!(stats.edge_cardinality(le), 0);
+        assert_eq!(stats.distinct_sources(le), 0);
+        assert_eq!(stats.closure_depth(le), 0);
+        assert_eq!(stats.source_selectivity(NodeLabelId::new(0), le), 0.0);
     }
 }

@@ -5,11 +5,12 @@
 //!                 [--sf-max X] [--yago-scale X] [--backend graph|relational]
 //!                 [--out results.json]
 //!                 [--smoke] [--serve-workers 1,2,4] [--serve-clients N]
-//!                 [--serve-iters N] [--serve-sf X]
+//!                 [--serve-iters N] [--serve-sf X] [--est-sf X]
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
-//!              | plans | smoke | serve   (explicit only, not part of `all`)
+//!              | plans | smoke | serve | estimates
+//!              (the last four run explicit only, not as part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
@@ -19,11 +20,17 @@
 //! threads over the LDBC catalog, worker sweep, plan-cache on/off);
 //! `serve --smoke` is the small CI variant that also verifies concurrent
 //! results against sequential execution.
+//! `estimates` replays both catalogs and reports the per-query q-error of
+//! the stats-v2 cardinality estimator against the v1 heuristics
+//! (`--est-sf` picks the LDBC scale factor, `--yago-scale` the YAGO
+//! size); `estimates --smoke` is the CI gate asserting the v2 median
+//! q-error beats v1 on both catalogs.
 //! ```
 
 use std::io::Write as _;
 
 use sgq_core::RedundancyRule;
+use sgq_harness::estimates::{self, EstimatesConfig};
 use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
 use sgq_harness::runner::Backend;
 
@@ -32,7 +39,8 @@ fn main() {
     let mut wanted: Vec<String> = Vec::new();
     let mut cfg = ExperimentConfig::default();
     let mut serve_cfg = ServeConfig::default();
-    let mut serve_smoke = false;
+    let mut est_cfg = EstimatesConfig::default();
+    let mut smoke_variant = false;
     let mut out_path: Option<String> = None;
 
     let mut i = 0;
@@ -43,6 +51,7 @@ fn main() {
                 let ms = args[i].parse().expect("--timeout-ms takes a number");
                 cfg.run.timeout_ms = ms;
                 serve_cfg.timeout_ms = ms;
+                est_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -56,6 +65,11 @@ fn main() {
             "--yago-scale" => {
                 i += 1;
                 cfg.yago_scale = args[i].parse().expect("--yago-scale takes a number");
+                est_cfg.yago_scale = cfg.yago_scale;
+            }
+            "--est-sf" => {
+                i += 1;
+                est_cfg.ldbc_sf = args[i].parse().expect("--est-sf takes a number");
             }
             "--redundancy" => {
                 i += 1;
@@ -78,7 +92,7 @@ fn main() {
                 i += 1;
                 out_path = Some(args[i].clone());
             }
-            "--smoke" => serve_smoke = true,
+            "--smoke" => smoke_variant = true,
             "--serve-workers" => {
                 i += 1;
                 serve_cfg.worker_counts = args[i]
@@ -119,10 +133,17 @@ fn main() {
         println!("{}", experiments::smoke());
     }
     if want_exact("serve") {
-        if serve_smoke {
+        if smoke_variant {
             println!("{}", experiments::serve_smoke());
         } else {
             println!("{}", experiments::serve(&serve_cfg));
+        }
+    }
+    if want_exact("estimates") {
+        if smoke_variant {
+            println!("{}", estimates::estimates_smoke());
+        } else {
+            println!("{}", estimates::estimates(&est_cfg));
         }
     }
 

@@ -1,0 +1,331 @@
+//! The `estimates` experiment: cardinality-estimation quality (q-error)
+//! of the statistics-v2 cost model against the v1 textbook heuristics.
+//!
+//! For every query of the YAGO and LDBC catalogs, the schema-rewritten
+//! query is translated and planned twice — once with
+//! [`RelStore::v1_estimates`](sgq_ra::RelStore) selecting the legacy
+//! formulas (flat 10% selection selectivity, `V(c) ≈ min(|rel|, |V|)`,
+//! constant fixpoint growth) and once with the measured statistics
+//! (triple counts, distinct endpoint counts, closure depth bounds). Each
+//! plan's root estimate is compared against the actually executed row
+//! count; the per-query q-error `max(est, actual) / min(est, actual)`
+//! (floored at one row) is recorded, rendered as a table, and dumped as
+//! JSON. The smoke variant ([`estimates_smoke`]) is the CI gate: it
+//! panics unless the v2 median q-error beats the v1 median on both
+//! bundled catalogs.
+
+use std::fmt::Write as _;
+
+use sgq_common::json::JsonValue;
+use sgq_core::pipeline::RewriteOptions;
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_datasets::CatalogQuery;
+use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_ra::cost::q_error;
+use sgq_ra::exec::{execute_plan, ExecContext};
+use sgq_ra::optimize::optimize;
+use sgq_ra::{plan, RelStore};
+use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
+
+use crate::runner::{query_for, Approach};
+
+/// Configuration for the `estimates` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatesConfig {
+    /// LDBC scale factor to replay.
+    pub ldbc_sf: f64,
+    /// Scaling of the YAGO dataset relative to the default size.
+    pub yago_scale: f64,
+    /// Per-query execution timeout (ms) when measuring actual rows.
+    pub timeout_ms: u64,
+    /// Row-materialisation budget per execution (0 = unlimited).
+    pub max_rows: usize,
+}
+
+impl Default for EstimatesConfig {
+    fn default() -> Self {
+        EstimatesConfig {
+            ldbc_sf: 0.3,
+            yago_scale: 0.3,
+            timeout_ms: 10_000,
+            max_rows: 20_000_000,
+        }
+    }
+}
+
+impl EstimatesConfig {
+    /// The small configuration used by CI (`estimates --smoke`).
+    pub fn smoke() -> Self {
+        EstimatesConfig {
+            ldbc_sf: 0.1,
+            yago_scale: 0.05,
+            timeout_ms: 10_000,
+            max_rows: 20_000_000,
+        }
+    }
+}
+
+/// One per-query estimation measurement.
+#[derive(Debug, Clone)]
+pub struct EstRecord {
+    /// Catalog the query came from (`YAGO` / `LDBC`).
+    pub dataset: &'static str,
+    /// Query label as in Tab. 4.
+    pub query: String,
+    /// Root estimate under the v1 heuristics.
+    pub est_v1: f64,
+    /// Root estimate under statistics v2.
+    pub est_v2: f64,
+    /// Executed result cardinality (`None` when the query exceeded the
+    /// timeout or row budget).
+    pub actual: Option<usize>,
+}
+
+impl EstRecord {
+    /// q-error of the v1 estimate (`None` while infeasible).
+    pub fn q_v1(&self) -> Option<f64> {
+        self.actual.map(|a| q_error(self.est_v1, a as f64))
+    }
+
+    /// q-error of the v2 estimate.
+    pub fn q_v2(&self) -> Option<f64> {
+        self.actual.map(|a| q_error(self.est_v2, a as f64))
+    }
+}
+
+/// Median of `values` (0.0 when empty).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("q-errors are finite"));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+/// Median q-error of the feasible records under each estimator:
+/// `(median_v1, median_v2, feasible_count)`.
+pub fn median_q(records: &[EstRecord]) -> (f64, f64, usize) {
+    let mut v1: Vec<f64> = records.iter().filter_map(EstRecord::q_v1).collect();
+    let mut v2: Vec<f64> = records.iter().filter_map(EstRecord::q_v2).collect();
+    let n = v1.len();
+    (median(&mut v1), median(&mut v2), n)
+}
+
+fn catalog_records(
+    dataset: &'static str,
+    schema: &GraphSchema,
+    db: &GraphDatabase,
+    queries: &[CatalogQuery],
+    cfg: &EstimatesConfig,
+) -> Vec<EstRecord> {
+    let mut store = RelStore::load(db);
+    let mut records = Vec::new();
+    for q in queries {
+        // The schema-rewritten query is the one whose plans carry the
+        // label filters the triple counts speak about; a rewrite that
+        // proves the query empty has nothing to estimate.
+        let Some(ucqt) = query_for(schema, &q.expr, Approach::Schema, RewriteOptions::default())
+        else {
+            continue;
+        };
+        let mut names = NameGen::new(&store.symbols);
+        let Ok(term) = ucqt_to_term(&ucqt, &mut names) else {
+            continue;
+        };
+        // Optimise and plan under each estimator: join orders may differ,
+        // the estimate measured is each plan's own root estimate.
+        store.v1_estimates = true;
+        let Ok(plan_v1) = plan(&optimize(&term, &store), &store) else {
+            continue;
+        };
+        store.v1_estimates = false;
+        let Ok(plan_v2) = plan(&optimize(&term, &store), &store) else {
+            continue;
+        };
+        let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+        ctx.max_rows = cfg.max_rows;
+        let actual = execute_plan(&plan_v2, &store, &mut ctx)
+            .ok()
+            .map(|r| r.len());
+        records.push(EstRecord {
+            dataset,
+            query: q.name.to_string(),
+            est_v1: plan_v1.est.rows,
+            est_v2: plan_v2.est.rows,
+            actual,
+        });
+    }
+    records
+}
+
+/// Runs the experiment over both catalogs, returning the raw records.
+pub fn run_estimates(cfg: &EstimatesConfig) -> Vec<EstRecord> {
+    let mut records = Vec::new();
+    let (schema, db) = yago::generate(YagoConfig::scaled(cfg.yago_scale));
+    let queries = yago::queries(&schema).expect("catalog parses");
+    records.extend(catalog_records("YAGO", &schema, &db, &queries, cfg));
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(cfg.ldbc_sf));
+    let queries = ldbc::queries(&schema).expect("catalog parses");
+    records.extend(catalog_records("LDBC", &schema, &db, &queries, cfg));
+    records
+}
+
+/// Renders the records as a table plus a machine-readable JSON line.
+pub fn render_estimates(records: &[EstRecord], cfg: &EstimatesConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Cardinality estimation quality: stats v2 vs v1 heuristics \
+         (YAGO x{}, LDBC SF{})\n",
+        cfg.yago_scale, cfg.ldbc_sf
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<6} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "data", "query", "est v1", "est v2", "actual", "q v1", "q v2"
+    );
+    for r in records {
+        match r.actual {
+            Some(actual) => {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12} {:>9.2} {:>9.2}",
+                    r.dataset,
+                    r.query,
+                    r.est_v1,
+                    r.est_v2,
+                    actual,
+                    r.q_v1().expect("feasible"),
+                    r.q_v2().expect("feasible")
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12} {:>9} {:>9}",
+                    r.dataset, r.query, r.est_v1, r.est_v2, "timeout", "-", "-"
+                );
+            }
+        }
+    }
+    let mut json_runs = Vec::new();
+    for r in records {
+        json_runs.push(JsonValue::obj([
+            ("dataset", JsonValue::str(r.dataset)),
+            ("query", JsonValue::str(r.query.clone())),
+            ("est_v1", JsonValue::Num(r.est_v1)),
+            ("est_v2", JsonValue::Num(r.est_v2)),
+            (
+                "actual",
+                r.actual
+                    .map_or(JsonValue::Null, |a| JsonValue::Int(a as u64)),
+            ),
+            ("q_v1", r.q_v1().map_or(JsonValue::Null, JsonValue::Num)),
+            ("q_v2", r.q_v2().map_or(JsonValue::Null, JsonValue::Num)),
+        ]));
+    }
+    for dataset in ["YAGO", "LDBC"] {
+        let subset: Vec<EstRecord> = records
+            .iter()
+            .filter(|r| r.dataset == dataset)
+            .cloned()
+            .collect();
+        let (m1, m2, n) = median_q(&subset);
+        let _ = writeln!(
+            out,
+            "\n{dataset}: median q-error over {n} feasible queries: \
+             v1 = {m1:.2}, v2 = {m2:.2}"
+        );
+    }
+    let (m1, m2, n) = median_q(records);
+    let _ = writeln!(
+        out,
+        "overall: median q-error over {n} feasible queries: v1 = {m1:.2}, v2 = {m2:.2}"
+    );
+    let summary = JsonValue::obj([
+        ("median_q_v1", JsonValue::Num(m1)),
+        ("median_q_v2", JsonValue::Num(m2)),
+        ("feasible_queries", JsonValue::Int(n as u64)),
+    ]);
+    let _ = writeln!(
+        out,
+        "\nruns as JSON: {}",
+        JsonValue::obj([("summary", summary), ("runs", JsonValue::Arr(json_runs)),]).render()
+    );
+    out
+}
+
+/// The full experiment: both catalogs, table + JSON.
+pub fn estimates(cfg: &EstimatesConfig) -> String {
+    let records = run_estimates(cfg);
+    render_estimates(&records, cfg)
+}
+
+/// CI gate: on the smoke-sized catalogs, the statistics-v2 median q-error
+/// must beat the v1 heuristics on each dataset and overall. Panics on
+/// regression so a broken estimator fails the build.
+pub fn estimates_smoke() -> String {
+    let cfg = EstimatesConfig::smoke();
+    let records = run_estimates(&cfg);
+    for dataset in ["YAGO", "LDBC"] {
+        let subset: Vec<EstRecord> = records
+            .iter()
+            .filter(|r| r.dataset == dataset)
+            .cloned()
+            .collect();
+        let (m1, m2, n) = median_q(&subset);
+        assert!(n > 0, "estimates smoke: no feasible {dataset} queries");
+        assert!(
+            m2 <= m1,
+            "estimates smoke: stats v2 median q-error regressed on {dataset}: \
+             v2 = {m2:.3} > v1 = {m1:.3}"
+        );
+    }
+    let (m1, m2, _) = median_q(&records);
+    assert!(
+        m2 < m1,
+        "estimates smoke: stats v2 must beat the v1 heuristics overall: \
+         v2 = {m2:.3} !< v1 = {m1:.3}"
+    );
+    render_estimates(&records, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_smoke_gate_holds() {
+        let s = estimates_smoke();
+        assert!(s.contains("median q-error"), "{s}");
+        assert!(s.contains("\"median_q_v2\""), "{s}");
+        assert!(s.contains("YAGO"), "{s}");
+        assert!(s.contains("LDBC"), "{s}");
+    }
+
+    #[test]
+    fn median_of_records() {
+        let rec = |q: &str, est_v1: f64, est_v2: f64, actual: Option<usize>| EstRecord {
+            dataset: "YAGO",
+            query: q.to_string(),
+            est_v1,
+            est_v2,
+            actual,
+        };
+        let records = vec![
+            rec("a", 10.0, 2.0, Some(2)),   // q1 = 5, q2 = 1
+            rec("b", 30.0, 10.0, Some(10)), // q1 = 3, q2 = 1
+            rec("c", 1.0, 1.0, None),       // infeasible: excluded
+        ];
+        let (m1, m2, n) = median_q(&records);
+        assert_eq!(n, 2);
+        assert_eq!(m1, 4.0);
+        assert_eq!(m2, 1.0);
+    }
+}

@@ -6,12 +6,16 @@
 //! * [`summary`] — box-plot statistics (Tabs. 7/8, Figs. 13/14),
 //! * [`experiments`] — one function per table/figure, each returning a
 //!   printable report,
+//! * [`estimates`] — the cardinality-estimation quality experiment:
+//!   per-query q-error of the stats-v2 cost model vs the v1 heuristics
+//!   over both catalogs (CI-gated via `estimates --smoke`),
 //! * [`records`] — serialisable raw measurements (dumped via
 //!   `sgq-experiments --out results.json` so every number is
 //!   regenerable).
 
 #![warn(missing_docs)]
 
+pub mod estimates;
 pub mod experiments;
 pub mod records;
 pub mod runner;

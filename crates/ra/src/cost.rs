@@ -3,9 +3,29 @@
 //! The estimator drives (a) the greedy join ordering in the optimiser,
 //! (b) the build-side selection of the physical planner
 //! ([`mod@crate::plan`]) and (c) the costs printed by `EXPLAIN` (Fig. 17).
-//! It uses the textbook System-R style formulas: join selectivity
-//! `1 / max(V(L,c), V(R,c))` with distinct-value counts approximated
-//! from table sizes.
+//!
+//! **Statistics v2.** Estimation tracks, per intermediate, the estimated
+//! row count *and* a per-column distinct-value estimate (the internal
+//! `Card`), seeded from the measured statistics instead of textbook
+//! guesses:
+//!
+//! * an edge scan knows its measured distinct source/target counts;
+//! * a scan filtered by node-label semi-joins keeps a **label pedigree**
+//!   (the internal `ScanInfo`) and is estimated straight from the
+//!   per-triple counts — for a fully label-annotated scan the estimate
+//!   is *exact*;
+//! * join selectivity is `1 / max(V(L,c), V(R,c))` with `V` taken from the
+//!   tracked distinct counts (falling back to `min(|rel|, |V(G)|)` only
+//!   when a column's provenance is unknown);
+//! * an equality selection uses `1 / max(V(a), V(b))` instead of the flat
+//!   10% guess;
+//! * a fixpoint's growth factor is derived from the measured closure depth
+//!   bound of the edge labels it iterates over
+//!   ([`sgq_graph::GraphStats::closure_depth`]) instead of a constant.
+//!
+//! The pre-v2 heuristics are kept behind
+//! [`RelStore::v1_estimates`](crate::storage::RelStore) so the harness's
+//! `estimates` experiment can measure the q-error improvement.
 //!
 //! Estimation is *environment-threaded*: inside a fixpoint `µX. b ∪ s`,
 //! a recursive reference `X` is estimated at the base case's
@@ -14,7 +34,7 @@
 //! step that actually depends on `X` — the static part is computed
 //! (and, in the physical executor, cached) once.
 
-use sgq_common::{FxHashMap, RecVarId};
+use sgq_common::{ColId, EdgeLabelId, FxHashMap, NodeLabelId, RecVarId};
 
 use crate::storage::RelStore;
 use crate::term::RaTerm;
@@ -28,9 +48,20 @@ pub struct Estimate {
     pub cost: f64,
 }
 
-/// Multiplier applied to a fixpoint's base size to account for iteration
-/// (a crude but stable stand-in for recursion-depth statistics).
-pub(crate) const FIXPOINT_GROWTH: f64 = 4.0;
+/// The v1 heuristics' constant fixpoint growth multiplier, kept as the
+/// legacy-estimator value and as the fallback when a fixpoint iterates
+/// over no scannable edge label.
+pub(crate) const V1_FIXPOINT_GROWTH: f64 = 4.0;
+
+/// The q-error of an estimate against the observed cardinality:
+/// `max(est, actual) / min(est, actual)` with both floored at one row, so
+/// a perfect estimate scores 1.0 and the metric is symmetric between
+/// over- and under-estimation.
+pub fn q_error(est: f64, actual: f64) -> f64 {
+    let e = est.max(1.0);
+    let a = actual.max(1.0);
+    (e / a).max(a / e)
+}
 
 /// Estimation environment: the base-case cardinality of every enclosing
 /// fixpoint, keyed by recursion variable. A [`RaTerm::RecRef`] is
@@ -80,40 +111,333 @@ pub fn estimate(term: &RaTerm, store: &RelStore) -> Estimate {
 pub fn estimate_with_env(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Estimate {
     let p = parts(term, store, env);
     Estimate {
-        rows: p.rows,
+        rows: p.card.rows,
         cost: p.st + p.dy,
     }
 }
 
-/// Estimated output rows of a natural join given both input estimates
-/// and the number of shared columns (`V(c) ≈ min(|rel|, node count)`,
-/// one selectivity factor per shared column).
-pub(crate) fn join_rows(la: f64, lb: f64, shared: usize, store: &RelStore) -> f64 {
-    if shared == 0 {
-        return la * lb;
-    }
-    let nodes = store.stats.node_count.max(1) as f64;
-    let mut rows = la * lb;
-    for _ in 0..shared {
-        let v = la.min(nodes).max(lb.min(nodes)).max(1.0);
-        rows /= v;
-    }
-    rows
+/// Estimated output rows of `term` — what the physical planner attaches
+/// to each lowered node, so plan estimates and term estimates agree by
+/// construction.
+pub(crate) fn term_rows(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> f64 {
+    parts(term, store, env).card.rows
 }
 
-/// Estimated output rows of a semi-join: the left side scaled by the
-/// right side's coverage of the key domain.
-pub(crate) fn semijoin_rows(la: f64, lb: f64, store: &RelStore) -> f64 {
-    let nodes = store.stats.node_count.max(1) as f64;
-    let sel = (lb / nodes).min(1.0).max(1.0 / nodes);
-    (la * sel).max(1.0)
+/// Growth multiplier for a fixpoint term: half the measured closure depth
+/// bound of the deepest edge label the fixpoint iterates over (a chain of
+/// depth `d` produces about `d/2` times its base in closure pairs),
+/// clamped to `[1, 256]`. Falls back to the v1 constant when the legacy
+/// estimator is selected or no edge label is in scope.
+pub(crate) fn fixpoint_growth(term: &RaTerm, store: &RelStore) -> f64 {
+    if store.v1_estimates {
+        return V1_FIXPOINT_GROWTH;
+    }
+    let mut labels = Vec::new();
+    collect_edge_labels(term, &mut labels);
+    let depth = labels
+        .iter()
+        .map(|&le| store.stats.closure_depth(le))
+        .max()
+        .unwrap_or(0);
+    if depth == 0 {
+        V1_FIXPOINT_GROWTH
+    } else {
+        (depth as f64 * 0.5).clamp(1.0, 256.0)
+    }
+}
+
+fn collect_edge_labels(term: &RaTerm, out: &mut Vec<EdgeLabelId>) {
+    match term {
+        RaTerm::EdgeScan { label, .. } => {
+            if !out.contains(label) {
+                out.push(*label);
+            }
+        }
+        RaTerm::NodeScan { .. } | RaTerm::RecRef { .. } => {}
+        RaTerm::Join(a, b) | RaTerm::Semijoin(a, b) | RaTerm::Union(a, b) => {
+            collect_edge_labels(a, out);
+            collect_edge_labels(b, out);
+        }
+        RaTerm::Project { input, .. }
+        | RaTerm::Rename { input, .. }
+        | RaTerm::Select { input, .. } => collect_edge_labels(input, out),
+        RaTerm::Fixpoint { base, step, .. } => {
+            collect_edge_labels(base, out);
+            collect_edge_labels(step, out);
+        }
+    }
+}
+
+/// Label pedigree of an edge scan: which node labels its endpoints are
+/// known (via semi-join filters) to carry. `None` = unrestricted.
+#[derive(Debug, Clone)]
+struct ScanInfo {
+    label: EdgeLabelId,
+    src: ColId,
+    tgt: ColId,
+    src_labels: Option<Vec<NodeLabelId>>,
+    tgt_labels: Option<Vec<NodeLabelId>>,
+}
+
+impl ScanInfo {
+    fn bare(label: EdgeLabelId, src: ColId, tgt: ColId) -> Self {
+        ScanInfo {
+            label,
+            src,
+            tgt,
+            src_labels: None,
+            tgt_labels: None,
+        }
+    }
+
+    /// Restricts the endpoint exposed as `col` to `labels` (intersecting
+    /// with any previous restriction).
+    fn refine(&self, col: ColId, labels: &[NodeLabelId]) -> ScanInfo {
+        let mut out = self.clone();
+        let slot = if col == self.src {
+            &mut out.src_labels
+        } else {
+            &mut out.tgt_labels
+        };
+        *slot = Some(match slot.take() {
+            Some(prev) => prev.into_iter().filter(|l| labels.contains(l)).collect(),
+            None => labels.to_vec(),
+        });
+        out
+    }
+
+    fn rename(&mut self, from: ColId, to: ColId) {
+        if self.src == from {
+            self.src = to;
+        }
+        if self.tgt == from {
+            self.tgt = to;
+        }
+    }
+}
+
+/// Cardinality description of one intermediate: estimated rows, estimated
+/// distinct values per column, and (when the intermediate is a — possibly
+/// label-filtered — edge or node scan) its provenance for triple-count
+/// lookups.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Card {
+    pub(crate) rows: f64,
+    /// Per-column distinct-value estimates.
+    distinct: Vec<(ColId, f64)>,
+    /// Edge-scan pedigree, when the rows are exactly a label-restricted
+    /// edge table.
+    scan: Option<ScanInfo>,
+    /// Node-scan pedigree: the column and the node labels it ranges over.
+    node_labels: Option<(ColId, Vec<NodeLabelId>)>,
+}
+
+impl Card {
+    fn plain(rows: f64) -> Card {
+        Card {
+            rows,
+            ..Default::default()
+        }
+    }
+
+    /// The distinct-value estimate for `c`, falling back to
+    /// `min(rows, |V(G)|)` when the column's provenance is unknown.
+    fn dv(&self, c: ColId, store: &RelStore) -> f64 {
+        self.distinct
+            .iter()
+            .find(|(k, _)| *k == c)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| self.rows.min(nodes_f(store)))
+    }
+
+    fn cap_distinct(mut self) -> Card {
+        for (_, v) in &mut self.distinct {
+            *v = v.min(self.rows);
+        }
+        self
+    }
+
+    fn rename(&mut self, from: ColId, to: ColId) {
+        for (c, _) in &mut self.distinct {
+            if *c == from {
+                *c = to;
+            }
+        }
+        if let Some(info) = &mut self.scan {
+            info.rename(from, to);
+        }
+        if let Some((c, _)) = &mut self.node_labels {
+            if *c == from {
+                *c = to;
+            }
+        }
+    }
+}
+
+fn nodes_f(store: &RelStore) -> f64 {
+    store.stats.node_count.max(1) as f64
+}
+
+/// The cardinality of a (possibly label-restricted) edge scan, straight
+/// from the statistics: unrestricted scans read the per-label counts,
+/// single-endpoint restrictions the per-`(src, le)` / `(le, tgt)`
+/// aggregates, and doubly restricted scans the exact triple counts.
+fn scan_card(info: ScanInfo, store: &RelStore) -> Card {
+    let st = &store.stats;
+    let le = info.label;
+    let (rows, dsrc, dtgt) = match (&info.src_labels, &info.tgt_labels) {
+        (None, None) => (
+            st.edge_cardinality(le) as f64,
+            st.distinct_sources(le) as f64,
+            st.distinct_targets(le) as f64,
+        ),
+        (Some(srcs), None) => {
+            let (mut c, mut ds) = (0.0, 0.0);
+            for &s in srcs {
+                let g = st.source_group(s, le);
+                c += g.count as f64;
+                ds += g.distinct as f64;
+            }
+            (c, ds, (st.distinct_targets(le) as f64).min(c))
+        }
+        (None, Some(tgts)) => {
+            let (mut c, mut dt) = (0.0, 0.0);
+            for &t in tgts {
+                let g = st.target_group(le, t);
+                c += g.count as f64;
+                dt += g.distinct as f64;
+            }
+            (c, (st.distinct_sources(le) as f64).min(c), dt)
+        }
+        (Some(srcs), Some(tgts)) => {
+            let (mut c, mut ds, mut dt) = (0.0, 0.0, 0.0);
+            for &s in srcs {
+                for &t in tgts {
+                    let ts = st.triple_stats(s, le, t);
+                    c += ts.count as f64;
+                    ds += ts.distinct_sources as f64;
+                    dt += ts.distinct_targets as f64;
+                }
+            }
+            (c, ds, dt)
+        }
+    };
+    let (src, tgt) = (info.src, info.tgt);
+    Card {
+        rows,
+        distinct: vec![(src, dsrc.min(rows)), (tgt, dtgt.min(rows))],
+        scan: Some(info),
+        node_labels: None,
+    }
+}
+
+/// Join output cardinality: `|L|·|R| / Π_c max(V(L,c), V(R,c))` over the
+/// shared columns, with distinct-value counts from the tracked statistics
+/// (v2) or approximated from table sizes (v1).
+fn join_card(a: &Card, b: &Card, shared: &[ColId], store: &RelStore) -> Card {
+    let (la, lb) = (a.rows, b.rows);
+    if store.v1_estimates {
+        let nodes = nodes_f(store);
+        let mut rows = la * lb;
+        for _ in shared {
+            let v = la.min(nodes).max(lb.min(nodes)).max(1.0);
+            rows /= v;
+        }
+        return Card::plain(rows);
+    }
+    let mut rows = la * lb;
+    for &c in shared {
+        rows /= a.dv(c, store).max(b.dv(c, store)).max(1.0);
+    }
+    let mut distinct: Vec<(ColId, f64)> = Vec::new();
+    for &(c, va) in &a.distinct {
+        let v = if shared.contains(&c) {
+            va.min(b.dv(c, store))
+        } else {
+            va
+        };
+        distinct.push((c, v));
+    }
+    for &(c, vb) in &b.distinct {
+        if !distinct.iter().any(|(k, _)| *k == c) {
+            distinct.push((c, vb));
+        }
+    }
+    Card {
+        rows,
+        distinct,
+        scan: None,
+        node_labels: None,
+    }
+    .cap_distinct()
+}
+
+/// Semi-join output cardinality. In v2, a node-label filter on an edge
+/// scan refines the scan's label pedigree and re-reads the aggregate /
+/// triple counts — the estimate for a fully annotated scan is exact;
+/// everything else uses the containment assumption
+/// `Π_c min(V(L,c), V(R,c)) / V(L,c)`.
+fn semijoin_card(a: &Card, b: &Card, shared: &[ColId], store: &RelStore) -> Card {
+    let (la, lb) = (a.rows, b.rows);
+    if store.v1_estimates {
+        let nodes = nodes_f(store);
+        let sel = (lb / nodes).min(1.0).max(1.0 / nodes);
+        return Card::plain((la * sel).max(1.0));
+    }
+    // Label-aware fast paths: the filter is a node scan on one of the
+    // left side's pedigree endpoints.
+    if let (Some(info), Some((col, labels))) = (&a.scan, &b.node_labels) {
+        if shared == [*col] && (*col == info.src || *col == info.tgt) {
+            let refined = info.refine(*col, labels);
+            let mut out = scan_card(refined, store);
+            out.rows = out.rows.min(la);
+            return out.cap_distinct();
+        }
+    }
+    if let (Some((ca, als)), Some((cb, bls))) = (&a.node_labels, &b.node_labels) {
+        if ca == cb && shared == [*ca] {
+            let inter: Vec<NodeLabelId> = als.iter().copied().filter(|l| bls.contains(l)).collect();
+            let rows = (inter
+                .iter()
+                .map(|&l| store.stats.label_cardinality(l) as f64)
+                .sum::<f64>())
+            .min(la);
+            let col = *ca;
+            return Card {
+                rows,
+                distinct: vec![(col, rows)],
+                scan: None,
+                node_labels: Some((col, inter)),
+            };
+        }
+    }
+    let mut frac = if shared.is_empty() {
+        if lb > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0
+    };
+    for &c in shared {
+        let va = a.dv(c, store).max(1.0);
+        let vb = b.dv(c, store);
+        frac *= (vb.min(va) / va).min(1.0);
+    }
+    let mut out = a.clone();
+    out.rows = la * frac;
+    // The surviving rows are no longer exactly a label-restricted table.
+    out.scan = None;
+    out.node_labels = None;
+    out.cap_distinct()
 }
 
 /// One term's estimate split into the cost of its recursion-independent
 /// part (`st`, computed once per fixpoint) and its recursion-dependent
 /// part (`dy`, recomputed every iteration).
 struct Parts {
-    rows: f64,
+    card: Card,
     st: f64,
     dy: f64,
     dep: bool,
@@ -122,20 +446,20 @@ struct Parts {
 /// Folds child parts with this node's local cost: a node is dynamic as
 /// soon as any input depends on a recursive reference, and only then
 /// does its local cost join the per-iteration bucket.
-fn fold(children: &[&Parts], local: f64, rows: f64) -> Parts {
+fn fold(children: &[&Parts], local: f64, card: Card) -> Parts {
     let dep = children.iter().any(|c| c.dep);
     let st: f64 = children.iter().map(|c| c.st).sum();
     let dy: f64 = children.iter().map(|c| c.dy).sum();
     if dep {
         Parts {
-            rows,
+            card,
             st,
             dy: dy + local,
             dep,
         }
     } else {
         Parts {
-            rows,
+            card,
             st: st + local,
             dy,
             dep,
@@ -145,71 +469,180 @@ fn fold(children: &[&Parts], local: f64, rows: f64) -> Parts {
 
 fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
     match term {
-        RaTerm::EdgeScan { label, .. } => {
-            let rows = store.stats.edge_cardinality(*label) as f64;
-            fold(&[], rows, rows)
+        RaTerm::EdgeScan { label, src, tgt } => {
+            let card = scan_card(ScanInfo::bare(*label, *src, *tgt), store);
+            let rows = card.rows;
+            fold(&[], rows, card)
         }
-        RaTerm::NodeScan { labels, .. } => {
+        RaTerm::NodeScan { labels, col } => {
             let rows: f64 = labels
                 .iter()
                 .map(|&l| store.stats.label_cardinality(l) as f64)
                 .sum();
-            fold(&[], rows, rows)
+            let card = Card {
+                rows,
+                distinct: vec![(*col, rows)],
+                scan: None,
+                node_labels: Some((*col, labels.clone())),
+            };
+            fold(&[], rows, card)
         }
         RaTerm::Join(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
-            let rows = join_rows(pa.rows, pb.rows, shared_cols(a, b), store);
-            fold(&[&pa, &pb], pa.rows + pb.rows + rows, rows)
+            let card = join_card(&pa.card, &pb.card, &shared_cols(a, b), store);
+            let local = pa.card.rows + pb.card.rows + card.rows;
+            fold(&[&pa, &pb], local, card)
         }
         RaTerm::Semijoin(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
-            let rows = semijoin_rows(pa.rows, pb.rows, store);
-            fold(&[&pa, &pb], pa.rows + pb.rows, rows)
+            let card = semijoin_card(&pa.card, &pb.card, &shared_cols(a, b), store);
+            let local = pa.card.rows + pb.card.rows;
+            fold(&[&pa, &pb], local, card)
         }
         RaTerm::Union(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
-            let rows = pa.rows + pb.rows;
-            fold(&[&pa, &pb], rows, rows)
+            let rows = pa.card.rows + pb.card.rows;
+            let card = if store.v1_estimates {
+                Card::plain(rows)
+            } else {
+                let distinct = pa
+                    .card
+                    .distinct
+                    .iter()
+                    .map(|&(c, va)| (c, va + pb.card.dv(c, store)))
+                    .collect();
+                let node_labels = match (&pa.card.node_labels, &pb.card.node_labels) {
+                    (Some((ca, als)), Some((cb, bls))) if ca == cb => {
+                        let mut ls = als.clone();
+                        for l in bls {
+                            if !ls.contains(l) {
+                                ls.push(*l);
+                            }
+                        }
+                        Some((*ca, ls))
+                    }
+                    _ => None,
+                };
+                Card {
+                    rows,
+                    distinct,
+                    scan: None,
+                    node_labels,
+                }
+                .cap_distinct()
+            };
+            fold(&[&pa, &pb], rows, card)
         }
-        RaTerm::Project { input, .. } => {
+        RaTerm::Project { input, cols } => {
             let p = parts(input, store, env);
-            let local = p.rows;
-            let rows = p.rows;
-            fold(&[&p], local, rows)
+            let local = p.card.rows;
+            let card = if store.v1_estimates {
+                Card::plain(p.card.rows)
+            } else {
+                // Set semantics: the projection cannot produce more rows
+                // than the product of its columns' distinct values.
+                let prod: f64 = cols.iter().map(|&c| p.card.dv(c, store).max(1.0)).product();
+                let rows = p.card.rows.min(prod);
+                let distinct = p
+                    .card
+                    .distinct
+                    .iter()
+                    .filter(|(c, _)| cols.contains(c))
+                    .copied()
+                    .collect();
+                let scan = p
+                    .card
+                    .scan
+                    .clone()
+                    .filter(|info| cols.contains(&info.src) && cols.contains(&info.tgt));
+                let node_labels = p.card.node_labels.clone().filter(|(c, _)| cols.contains(c));
+                Card {
+                    rows,
+                    distinct,
+                    scan,
+                    node_labels,
+                }
+                .cap_distinct()
+            };
+            fold(&[&p], local, card)
         }
-        RaTerm::Rename { input, .. } => parts(input, store, env),
-        RaTerm::Select { input, .. } => {
+        RaTerm::Rename { input, from, to } => {
+            let mut p = parts(input, store, env);
+            p.card.rename(*from, *to);
+            p
+        }
+        RaTerm::Select { input, a, b } => {
             let p = parts(input, store, env);
-            // classic 10% selectivity guess for an equality predicate
-            let rows = (p.rows * 0.1).max(1.0);
-            let local = p.rows;
-            fold(&[&p], local, rows)
+            let local = p.card.rows;
+            let card = if store.v1_estimates {
+                // classic 10% selectivity guess for an equality predicate
+                Card::plain((p.card.rows * 0.1).max(1.0))
+            } else {
+                let v = p.card.dv(*a, store).max(p.card.dv(*b, store)).max(1.0);
+                let mut out = p.card.clone();
+                out.rows = p.card.rows / v;
+                out.scan = None;
+                out.node_labels = None;
+                out.cap_distinct()
+            };
+            fold(&[&p], local, card)
         }
         RaTerm::Fixpoint {
-            var, base, step, ..
+            var,
+            base,
+            step,
+            stable,
         } => {
             let pb = parts(base, store, env);
-            let prev = env.bind(*var, pb.rows);
+            let prev = env.bind(*var, pb.card.rows);
             let ps = parts(step, store, env);
             env.restore(*var, prev);
-            let rows = pb.rows * FIXPOINT_GROWTH;
+            let growth = fixpoint_growth(term, store);
+            let rows = pb.card.rows * growth;
+            let card = if store.v1_estimates {
+                Card::plain(rows)
+            } else {
+                // Stable columns keep the base's distinct values (every
+                // round copies them unchanged); the others may range over
+                // anything reachable.
+                let nodes = nodes_f(store);
+                let distinct = pb
+                    .card
+                    .distinct
+                    .iter()
+                    .map(|&(c, v)| {
+                        if stable.contains(&c) {
+                            (c, v)
+                        } else {
+                            (c, rows.min(nodes))
+                        }
+                    })
+                    .collect();
+                Card {
+                    rows,
+                    distinct,
+                    scan: None,
+                    node_labels: None,
+                }
+                .cap_distinct()
+            };
             // The static step cost is paid once (the physical executor
             // caches those intermediates across rounds); only the
             // delta-dependent part multiplies with the iteration count.
-            let total = pb.st + pb.dy + ps.st + ps.dy * FIXPOINT_GROWTH + rows;
+            let total = pb.st + pb.dy + ps.st + ps.dy * growth + rows;
             if pb.dep {
                 Parts {
-                    rows,
+                    card,
                     st: 0.0,
                     dy: total,
                     dep: true,
                 }
             } else {
                 Parts {
-                    rows,
+                    card,
                     st: total,
                     dy: 0.0,
                     dep: false,
@@ -217,7 +650,7 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
             }
         }
         RaTerm::RecRef { var, .. } => Parts {
-            rows: env.rows(*var).unwrap_or(1.0),
+            card: Card::plain(env.rows(*var).unwrap_or(1.0)),
             st: 0.0,
             dy: 0.0,
             dep: true,
@@ -225,10 +658,10 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
     }
 }
 
-/// Number of shared output columns between two terms.
-fn shared_cols(a: &RaTerm, b: &RaTerm) -> usize {
-    let ca = a.cols();
-    b.cols().iter().filter(|c| ca.contains(c)).count()
+/// Shared output columns between two terms, in left-schema order.
+fn shared_cols(a: &RaTerm, b: &RaTerm) -> Vec<ColId> {
+    let cb = b.cols();
+    a.cols().into_iter().filter(|c| cb.contains(c)).collect()
 }
 
 #[cfg(test)]
@@ -252,6 +685,13 @@ mod tests {
         }
     }
 
+    fn node(db: &sgq_graph::GraphDatabase, store: &RelStore, label: &str, col: &str) -> RaTerm {
+        RaTerm::NodeScan {
+            labels: vec![db.node_label_id(label).unwrap()],
+            col: store.symbols.col(col),
+        }
+    }
+
     #[test]
     fn scan_estimates_match_stats() {
         let db = fig2_yago_database();
@@ -265,16 +705,68 @@ mod tests {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let base = scan(&db, &store, "isLocatedIn", "x", "y");
-        let filtered = RaTerm::semijoin(
-            base.clone(),
-            RaTerm::NodeScan {
-                labels: vec![db.node_label_id("REGION").unwrap()],
-                col: store.symbols.col("x"),
-            },
-        );
+        let filtered = RaTerm::semijoin(base.clone(), node(&db, &store, "REGION", "x"));
         let e_base = estimate(&base, &store);
         let e_filtered = estimate(&filtered, &store);
         assert!(e_filtered.rows < e_base.rows);
+        // Label-aware: exactly one isLocatedIn edge starts at a REGION.
+        assert_eq!(e_filtered.rows, 1.0);
+    }
+
+    #[test]
+    fn label_pedigree_estimates_triples_exactly() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // isLocatedIn ⋉ CITY(x) ⋉ REGION(y) — the CITY→REGION triple.
+        let t = RaTerm::semijoin(
+            RaTerm::semijoin(
+                scan(&db, &store, "isLocatedIn", "x", "y"),
+                node(&db, &store, "CITY", "x"),
+            ),
+            node(&db, &store, "REGION", "y"),
+        );
+        assert_eq!(estimate(&t, &store).rows, 2.0);
+        // An impossible triple estimates to zero rows.
+        let t = RaTerm::semijoin(
+            RaTerm::semijoin(
+                scan(&db, &store, "isLocatedIn", "x", "y"),
+                node(&db, &store, "COUNTRY", "x"),
+            ),
+            node(&db, &store, "CITY", "y"),
+        );
+        assert_eq!(estimate(&t, &store).rows, 0.0);
+    }
+
+    #[test]
+    fn v1_mode_reproduces_textbook_guesses() {
+        let db = fig2_yago_database();
+        let mut store = RelStore::load(&db);
+        store.v1_estimates = true;
+        // Semi-join: |L| · clamp(|R| / |V|) floored at one row.
+        let filtered = RaTerm::semijoin(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            node(&db, &store, "REGION", "x"),
+        );
+        let nodes = store.stats.node_count as f64;
+        let expected = (4.0 * (1.0 / nodes)).max(1.0);
+        assert!((estimate(&filtered, &store).rows - expected).abs() < 1e-9);
+        // Selection: the flat 10% guess floored at one row.
+        let sel = RaTerm::select_eq(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            store.symbols.col("x"),
+            store.symbols.col("y"),
+        );
+        assert_eq!(estimate(&sel, &store).rows, 1.0);
+        // Fixpoint: the constant growth factor.
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        assert_eq!(estimate(&f, &store).rows, 4.0 * V1_FIXPOINT_GROWTH);
     }
 
     #[test]
@@ -291,6 +783,35 @@ mod tests {
     }
 
     #[test]
+    fn fixpoint_growth_uses_measured_depth() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        // isLocatedIn: 4-node hierarchy → growth 2; actual closure is 8
+        // rows from a 4-row base.
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        assert_eq!(fixpoint_growth(&f, &store), 2.0);
+        assert_eq!(estimate(&f, &store).rows, 8.0);
+        // owns: a single 2-node edge cannot compose — the closure is its
+        // base, and the estimate says so.
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "owns", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        assert_eq!(fixpoint_growth(&f, &store), 1.0);
+        assert_eq!(estimate(&f, &store).rows, 1.0);
+    }
+
+    #[test]
     fn join_estimate_bounded_by_cartesian() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
@@ -301,6 +822,19 @@ mod tests {
         let e = estimate(&j, &store);
         assert!(e.rows <= 16.0);
         assert!(e.rows > 0.0);
+    }
+
+    #[test]
+    fn join_uses_measured_distinct_counts() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // isLocatedIn(x,y) ⋈ isLocatedIn(y,z): V(L,y) = 3 distinct
+        // targets, V(R,y) = 4 distinct sources → 16 / 4 = 4.
+        let j = RaTerm::join(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        assert_eq!(estimate(&j, &store).rows, 4.0);
     }
 
     #[test]
@@ -344,7 +878,7 @@ mod tests {
     fn fixpoint_growth_skips_static_step_cost() {
         // The step of the canonical closure is π(X ⋈ ρ(scan)); the
         // renamed scan is recursion-independent, so its cost must be
-        // paid once, not FIXPOINT_GROWTH times.
+        // paid once, not `growth` times.
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
         let s = &store.symbols;
@@ -354,12 +888,13 @@ mod tests {
         let (RaTerm::Fixpoint { base, step, .. },) = (&f,) else {
             panic!()
         };
+        let growth = fixpoint_growth(&f, &store);
         let eb = estimate(base, &store);
         let mut env = EstEnv::new();
         env.bind(var, eb.rows);
         let es = estimate_with_env(step, &store, &mut env);
         let e_fix = estimate(&f, &store);
-        let naive = eb.cost + es.cost * FIXPOINT_GROWTH + eb.rows * FIXPOINT_GROWTH;
+        let naive = eb.cost + es.cost * growth + eb.rows * growth;
         assert!(
             e_fix.cost < naive,
             "static scan cost must not be multiplied: {} !< {naive}",

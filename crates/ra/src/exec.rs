@@ -73,12 +73,6 @@ impl ExecContext {
     }
 
     fn check(&self) -> Result<()> {
-        if self.max_rows > 0 && self.rows_materialized > self.max_rows {
-            return Err(SgqError::Execution(format!(
-                "row budget exhausted ({} rows)",
-                self.rows_materialized
-            )));
-        }
         match self.deadline {
             Some(d) if Instant::now() > d => Err(SgqError::Timeout {
                 limit_ms: self.limit_ms,
@@ -87,8 +81,20 @@ impl ExecContext {
         }
     }
 
-    fn record(&mut self, rel: &Relation) {
+    /// Accounts a materialised relation and enforces the row budget *at
+    /// materialisation time*: the error fires on the batch that crosses
+    /// the budget, so an oversized operator can overshoot by at most its
+    /// own output (not until some later operator happens to poll — a
+    /// top-level operator would never have been polled again at all).
+    fn record(&mut self, rel: &Relation) -> Result<()> {
         self.rows_materialized += rel.len();
+        if self.max_rows > 0 && self.rows_materialized > self.max_rows {
+            return Err(SgqError::Execution(format!(
+                "row budget exhausted ({} rows)",
+                self.rows_materialized
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -360,7 +366,7 @@ impl Interp<'_> {
                         stepped.into_cols(cols.clone())
                     };
                     let fresh = stepped.difference(&acc);
-                    self.ctx.record(&fresh);
+                    self.ctx.record(&fresh)?;
                     acc = acc.union(&fresh);
                     delta = fresh;
                 }
@@ -375,7 +381,7 @@ impl Interp<'_> {
                 rel.with_cols(p.cols.clone())
             }
         };
-        self.ctx.record(&out);
+        self.ctx.record(&out)?;
         Ok(out)
     }
 
@@ -414,7 +420,7 @@ impl Interp<'_> {
             }
         }
         let out = Relation::from_flat(p.cols.clone(), data);
-        self.ctx.record(&out);
+        self.ctx.record(&out)?;
         Ok(out)
     }
 
@@ -697,6 +703,52 @@ mod tests {
         let r = execute(&t, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(r.row(0), &[4, 6]); // Grenoble -> France
+    }
+
+    #[test]
+    fn row_budget_enforced_at_materialisation_time() {
+        // A cartesian product at the plan *root*: 4 × 4 = 16 output rows
+        // from two 4-row scans. With the budget checked only at the next
+        // operator poll (the old behaviour), the root's oversized output
+        // would never be noticed — there is no later poll. Enforcing at
+        // record time, the error fires on the batch that crosses the
+        // budget, overshooting by at most that one batch.
+        let (db, store) = store();
+        let t = RaTerm::join(
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "z", "w"),
+        );
+        let budget = 5usize;
+        let mut ctx = ExecContext::new();
+        ctx.max_rows = budget;
+        let err = execute(&t, &store, &mut ctx).unwrap_err();
+        assert!(
+            matches!(err, SgqError::Execution(ref m) if m.contains("row budget")),
+            "{err}"
+        );
+        // One batch here is an input scan (4 rows) or the join output
+        // (16): the second scan (cumulative 8 > 5) must already trip it.
+        assert!(
+            ctx.rows_materialized <= budget + 4,
+            "budget {budget} overshot by more than one batch: {} rows",
+            ctx.rows_materialized
+        );
+
+        // A budget large enough for the inputs but not the join output
+        // still fails on the join's own batch, within one batch of slack.
+        let mut ctx = ExecContext::new();
+        ctx.max_rows = 10;
+        let err = execute(&t, &store, &mut ctx).unwrap_err();
+        assert!(matches!(err, SgqError::Execution(_)));
+        assert!(ctx.rows_materialized <= 10 + 16);
+
+        // And a sufficient budget still succeeds, counting exactly the
+        // materialised rows.
+        let mut ctx = ExecContext::new();
+        ctx.max_rows = 24;
+        let r = execute(&t, &store, &mut ctx).unwrap();
+        assert_eq!(r.len(), 16);
+        assert_eq!(ctx.rows_materialized, 24);
     }
 
     #[test]

@@ -35,9 +35,12 @@ pub fn explain_plan(p: &PhysPlan, store: &RelStore, names: &dyn PlanNames) -> St
 }
 
 /// Executes the term and renders the physical plan with estimated *and*
-/// actual rows (like `EXPLAIN ANALYZE`). Actual rows come from tracing
-/// the single execution — per plan node, summed across fixpoint rounds —
-/// rather than re-running sub-plans.
+/// actual rows plus the per-node q-error
+/// ([`crate::cost::q_error`], `max(est, actual) / min(est, actual)`
+/// floored at one row — 1.00 is a perfect estimate), like
+/// `EXPLAIN ANALYZE`. Actual rows come from tracing the single
+/// execution — per plan node, summed across fixpoint rounds — rather
+/// than re-running sub-plans.
 pub fn explain_analyze(
     term: &RaTerm,
     store: &RelStore,
@@ -202,13 +205,16 @@ fn render(
 ) {
     out.push_str(&"  ".repeat(depth));
     let line = match actuals {
-        Some(a) => format!(
-            "{} (cost = {:.2} rows = {:.0} actual = {})\n",
-            describe(p, names, &store.symbols),
-            p.est.cost,
-            p.est.rows,
-            a.get(p.id as usize).copied().unwrap_or(0)
-        ),
+        Some(a) => {
+            let actual = a.get(p.id as usize).copied().unwrap_or(0);
+            format!(
+                "{} (cost = {:.2} rows = {:.0} actual = {actual} q = {:.2})\n",
+                describe(p, names, &store.symbols),
+                p.est.cost,
+                p.est.rows,
+                crate::cost::q_error(p.est.rows, actual as f64)
+            )
+        }
         None => format!(
             "{} (cost = {:.2} rows = {:.0})\n",
             describe(p, names, &store.symbols),
@@ -295,6 +301,12 @@ mod tests {
         let (rel, rendered) = explain_analyze(&t, &store, &db).unwrap();
         assert_eq!(rel.len(), 1);
         assert!(rendered.contains("actual = 1"), "{rendered}");
+        // The triple-count estimate is exact here: q-error 1.00 on the
+        // filtered scan (1 estimated row, 1 actual).
+        assert!(
+            rendered.contains("rows = 1 actual = 1 q = 1.00"),
+            "{rendered}"
+        );
         // The semi-join fuses onto the scan, with a merge filter since x
         // leads both schemas.
         assert!(

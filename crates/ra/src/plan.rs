@@ -245,10 +245,23 @@ impl Planner<'_> {
         }
     }
 
+    /// Estimated output rows of `term` under the current fixpoint
+    /// environment — the single source of cardinalities for every plan
+    /// node, so plan and term estimates agree by construction.
+    ///
+    /// Each call re-estimates the whole subterm, making lowering
+    /// quadratic in term size. Catalog terms are tens of nodes
+    /// (microseconds per plan, and the service caches plans); if huge
+    /// machine-generated terms ever matter, thread the estimator's
+    /// per-node `Card` through `lower` instead.
+    fn rows(&mut self, term: &RaTerm) -> f64 {
+        cost::term_rows(term, self.store, &mut self.env)
+    }
+
     fn lower(&mut self, term: &RaTerm) -> Result<PhysPlan> {
         match term {
             RaTerm::EdgeScan { label, src, tgt } => {
-                let rows = self.store.stats.edge_cardinality(*label) as f64;
+                let rows = self.rows(term);
                 Ok(self.node(
                     vec![*src, *tgt],
                     Estimate { rows, cost: rows },
@@ -257,10 +270,7 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::NodeScan { labels, col } => {
-                let rows: f64 = labels
-                    .iter()
-                    .map(|&l| self.store.stats.label_cardinality(l) as f64)
-                    .sum();
+                let rows = self.rows(term);
                 Ok(self.node(
                     vec![*col],
                     Estimate { rows, cost: rows },
@@ -271,15 +281,16 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Join(a, b) => {
+                let rows = self.rows(term);
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
-                Ok(self.lower_join(left, right))
+                Ok(self.lower_join(left, right, rows))
             }
-            RaTerm::Semijoin(a, b) => self.lower_semijoin(a, b),
+            RaTerm::Semijoin(a, b) => self.lower_semijoin(term, a, b),
             RaTerm::Union(a, b) => {
+                let rows = self.rows(term);
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
-                let rows = left.est.rows + right.est.rows;
                 let est = Estimate {
                     rows,
                     cost: left.est.cost + right.est.cost + rows,
@@ -297,6 +308,7 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Project { input, cols } => {
+                let rows = self.rows(term);
                 let child = self.lower(input)?;
                 for c in cols {
                     if !child.cols.contains(c) {
@@ -306,7 +318,7 @@ impl Planner<'_> {
                     }
                 }
                 let est = Estimate {
-                    rows: child.est.rows,
+                    rows,
                     cost: child.est.cost + child.est.rows,
                 };
                 let free = child.free_rec.clone();
@@ -320,6 +332,7 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Select { input, a, b } => {
+                let rows = self.rows(term);
                 let child = self.lower(input)?;
                 let ia = child
                     .cols
@@ -332,7 +345,7 @@ impl Planner<'_> {
                     .position(|c| c == b)
                     .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
                 let est = Estimate {
-                    rows: (child.est.rows * 0.1).max(1.0),
+                    rows,
                     cost: child.est.cost + child.est.rows,
                 };
                 let cols = child.cols.clone();
@@ -380,13 +393,16 @@ impl Planner<'_> {
                 let step_plan = self.lower(step);
                 self.env.restore(*var, prev);
                 let step_plan = step_plan?;
-                let rows = base_plan.est.rows * cost::FIXPOINT_GROWTH;
+                // Growth from the measured closure depth bound of the
+                // labels the fixpoint iterates over (constant in v1 mode).
+                let growth = cost::fixpoint_growth(term, self.store);
+                let rows = base_plan.est.rows * growth;
                 // Static step inputs are cached across rounds, so only
                 // the delta-dependent cost multiplies with the growth.
                 let (st, dy) = split_cost(&step_plan);
                 let est = Estimate {
                     rows,
-                    cost: base_plan.est.cost + st + dy * cost::FIXPOINT_GROWTH + rows,
+                    cost: base_plan.est.cost + st + dy * growth + rows,
                 };
                 let cols = base_plan.cols.clone();
                 let mut free = union_free(&base_plan.free_rec, &step_plan.free_rec);
@@ -415,11 +431,11 @@ impl Planner<'_> {
     }
 
     /// Join strategy selection: merge when the shared columns lead both
-    /// schemas, otherwise hash with the cost-chosen build side.
-    fn lower_join(&mut self, left: PhysPlan, right: PhysPlan) -> PhysPlan {
+    /// schemas, otherwise hash with the cost-chosen build side. `rows` is
+    /// the term-level estimate of the join's output.
+    fn lower_join(&mut self, left: PhysPlan, right: PhysPlan, rows: f64) -> PhysPlan {
         let key = shared_cols(&left.cols, &right.cols);
         let k = key.len();
-        let rows = cost::join_rows(left.est.rows, right.est.rows, k, self.store);
         let cols: Vec<ColId> = left
             .cols
             .iter()
@@ -471,8 +487,10 @@ impl Planner<'_> {
     }
 
     /// Semi-join strategy selection: fuse onto bare edge scans, merge on
-    /// sorted key prefixes, hash otherwise.
-    fn lower_semijoin(&mut self, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
+    /// sorted key prefixes, hash otherwise. `term` is the original
+    /// semi-join term, whose label-aware estimate every strategy shares.
+    fn lower_semijoin(&mut self, term: &RaTerm, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
+        let rows = self.rows(term);
         if let RaTerm::EdgeScan { label, src, tgt } = a {
             let filter = self.lower(b)?;
             let scan_cols = vec![*src, *tgt];
@@ -480,7 +498,6 @@ impl Planner<'_> {
             let merge =
                 !key.is_empty() && is_prefix(&key, &scan_cols) && is_prefix(&key, &filter.cols);
             let scan_rows = self.store.stats.edge_cardinality(*label) as f64;
-            let rows = cost::semijoin_rows(scan_rows, filter.est.rows, self.store);
             let est = Estimate {
                 rows,
                 cost: scan_rows + filter.est.cost + filter.est.rows,
@@ -501,7 +518,6 @@ impl Planner<'_> {
         let left = self.lower(a)?;
         let right = self.lower(b)?;
         let key = shared_cols(&left.cols, &right.cols);
-        let rows = cost::semijoin_rows(left.est.rows, right.est.rows, self.store);
         let cols = left.cols.clone();
         let free = union_free(&left.free_rec, &right.free_rec);
         if !key.is_empty() && is_prefix(&key, &left.cols) && is_prefix(&key, &right.cols) {

@@ -30,6 +30,11 @@ pub struct RelStore {
     pub stats: GraphStats,
     /// Interned column / recursion-variable names for this store's terms.
     pub symbols: SymbolTable,
+    /// Selects the pre-stats-v2 textbook estimation heuristics (flat 10%
+    /// selection selectivity, `V(c) ≈ min(|rel|, |V|)`, constant fixpoint
+    /// growth) instead of the measured statistics. Used by the harness's
+    /// `estimates` experiment to quantify the q-error improvement.
+    pub v1_estimates: bool,
 }
 
 impl RelStore {
@@ -61,6 +66,7 @@ impl RelStore {
             node_tables,
             stats: GraphStats::compute(db),
             symbols,
+            v1_estimates: false,
         }
     }
 

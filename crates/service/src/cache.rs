@@ -351,6 +351,20 @@ mod tests {
     }
 
     #[test]
+    fn empty_cache_hit_rate_is_finite_zero() {
+        // `hit_rate` divides hits by lookups: with no lookups it must
+        // report 0.0, not NaN — the snapshot JSON feeds the shared writer,
+        // which debug-asserts on non-finite numbers.
+        let stats = CacheStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        let cache = PlanCache::new(8, 2);
+        let rate = cache.stats().hit_rate();
+        assert!(rate.is_finite());
+        assert_eq!(rate, 0.0);
+        assert_eq!(sgq_common::json::number(rate), "0");
+    }
+
+    #[test]
     fn hit_after_insert_shares_the_arc() {
         let cache = PlanCache::new(8, 2);
         let k = key("owns", 0);

@@ -303,6 +303,28 @@ mod tests {
     }
 
     #[test]
+    fn empty_registry_snapshot_reports_finite_zeroes() {
+        // A snapshot before any query completes must not emit NaN/Inf
+        // into the JSON writer: 0-sample means and percentiles report 0.0
+        // (the writer debug-asserts on non-finite input, so rendering at
+        // all proves the guards at the source).
+        let m = MetricsRegistry::new();
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.mean_ms, 0.0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.p95_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert!(s.qps.is_finite() && s.qps >= 0.0);
+        let json = s.to_json();
+        assert!(!json.contains("null") && !json.contains("NaN"), "{json}");
+        assert!(json.contains("\"cache_hit_rate\": 0"), "{json}");
+        // The human rendering is equally finite.
+        let text = s.to_string();
+        assert!(!text.contains("NaN"), "{text}");
+    }
+
+    #[test]
     fn snapshot_json_is_well_formed() {
         let m = MetricsRegistry::new();
         m.record_success(500);

@@ -262,6 +262,99 @@ fn fixpoint_build_caching_reduces_work_with_identical_results() {
     );
 }
 
+#[test]
+fn estimates_are_finite_nonnegative_and_monotone() {
+    // Estimator soundness over random terms: every estimate is finite and
+    // non-negative, and wrapping a term in a row-reducing operator —
+    // a node-label semi-join filter or an equality selection — never
+    // *increases* the estimate.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xe57);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+        let e = sgq_ra::cost::estimate(&term, &store);
+        assert!(
+            e.rows.is_finite() && e.rows >= 0.0,
+            "rows estimate unsound (seed {seed}): {e:?} for {expr:?}"
+        );
+        assert!(
+            e.cost.is_finite() && e.cost >= 0.0,
+            "cost estimate unsound (seed {seed}): {e:?} for {expr:?}"
+        );
+        // Semi-join filters only remove rows.
+        let label = sgq_common::NodeLabelId::new(rng.gen_range(0..db.node_label_count()) as u32);
+        let filtered = RaTerm::semijoin(
+            term.clone(),
+            RaTerm::NodeScan {
+                labels: vec![label],
+                col: v0,
+            },
+        );
+        let ef = sgq_ra::cost::estimate(&filtered, &store);
+        assert!(
+            ef.rows <= e.rows + 1e-9,
+            "semi-join estimate exceeds its input (seed {seed}): {} > {}",
+            ef.rows,
+            e.rows
+        );
+        // Equality selections only remove rows.
+        let selected = RaTerm::select_eq(term.clone(), v0, v1);
+        let es = sgq_ra::cost::estimate(&selected, &store);
+        assert!(
+            es.rows <= e.rows.max(1.0) + 1e-9,
+            "selection estimate exceeds its input (seed {seed}): {} > {}",
+            es.rows,
+            e.rows
+        );
+    }
+}
+
+#[test]
+fn fig2_scan_estimates_match_triple_counts_exactly() {
+    // Golden q-error assertions on the Fig. 2 database: a scan annotated
+    // with both endpoint labels is estimated straight off the triple
+    // counts, so the estimate is exact (q-error 1.0).
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).unwrap(),
+        src: s.col("x"),
+        tgt: s.col("y"),
+    };
+    let node = |label: &str, col: &str| RaTerm::NodeScan {
+        labels: vec![db.node_label_id(label).unwrap()],
+        col: s.col(col),
+    };
+    let annotated = |edge: &str, src: &str, tgt: &str| {
+        RaTerm::semijoin(RaTerm::semijoin(scan(edge), node(src, "x")), node(tgt, "y"))
+    };
+    for (edge, src, tgt, expected) in [
+        // The Fig. 2 isLocatedIn triples and an impossible one.
+        ("isLocatedIn", "CITY", "REGION", 2.0),
+        ("isLocatedIn", "PROPERTY", "CITY", 1.0),
+        ("isLocatedIn", "REGION", "COUNTRY", 1.0),
+        ("isLocatedIn", "COUNTRY", "CITY", 0.0),
+        ("owns", "PERSON", "PROPERTY", 1.0),
+    ] {
+        let t = annotated(edge, src, tgt);
+        let est = sgq_ra::cost::estimate(&t, &store).rows;
+        assert_eq!(
+            est, expected,
+            "{src} -{edge}-> {tgt} should estimate exactly {expected}"
+        );
+        // q-error against the executed cardinality is exactly 1.
+        let mut ctx = ExecContext::new();
+        let actual = execute(&t, &store, &mut ctx).unwrap().len();
+        assert_eq!(sgq_ra::cost::q_error(est, actual as f64), 1.0);
+    }
+}
+
 /// Asserts rows are strictly increasing (sorted with no duplicates).
 fn assert_canonical(rel: &Relation, context: &str) {
     let rows: Vec<&[u32]> = rel.rows().collect();
