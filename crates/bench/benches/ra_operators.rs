@@ -17,7 +17,11 @@ use sgq_ra::{plan, RelStore};
 
 fn bench(c: &mut Criterion) {
     let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.3));
-    let store = RelStore::load(&db);
+    let mut store = RelStore::load(&db);
+    // This bench measures the scan-based operators (hash/merge joins and
+    // cached fixpoint builds); CSR index joins are ablated here and
+    // measured in `scan_join_strategies`.
+    store.index_joins = false;
     let knows = schema.edge_label("knows").unwrap();
     let is_located_in = schema.edge_label("isLocatedIn").unwrap();
     let is_part_of = schema.edge_label("isPartOf").unwrap();

@@ -1,0 +1,127 @@
+//! Micro-benchmarks of the zero-copy storage layer and the join
+//! strategy triangle: CSR index joins vs hash vs merge, across probe
+//! selectivities, plus the closure fixpoint with and without the
+//! adjacency indexes.
+//!
+//! * `scan/*` pins the tentpole: handing out a base table is an O(1)
+//!   shared handle (`edge_table`), against the pre-zero-copy behaviour
+//!   (`deep_clone`, a full buffer copy) and full plan execution of a
+//!   bare scan.
+//! * `join/*` plans the same logical join `probe(w,y) ⋈ knows(y,z)`
+//!   with the indexes on (→ `IndexJoin`) and ablated (→ `HashJoin`),
+//!   for probe sides of decreasing selectivity (hasModerator ≪ workAt ≪
+//!   likes), plus the aligned self-join where the ablated planner picks
+//!   a merge join. The index plan must win on the selective probes —
+//!   that is the acceptance gate this bench exists to measure.
+
+use sgq_bench::{criterion_group, criterion_main, Criterion};
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_ra::exec::{execute_plan, ExecContext};
+use sgq_ra::term::{closure_fixpoint, RaTerm};
+use sgq_ra::{plan, PhysOp, RelStore};
+
+fn bench(c: &mut Criterion) {
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(0.3));
+    let mut store = RelStore::load(&db);
+    let knows = schema.edge_label("knows").unwrap();
+    let is_part_of = schema.edge_label("isPartOf").unwrap();
+    let s = &store.symbols;
+    let (w, x, y, z, m) = (s.col("w"), s.col("x"), s.col("y"), s.col("z"), s.col("m"));
+    let scan = |label, src, tgt| RaTerm::EdgeScan { label, src, tgt };
+
+    let mut group = c.benchmark_group("scan_join_strategies");
+
+    // --- Scans: shared handle vs the old copying path. ---
+    let table = store.edge_table(knows);
+    println!("knows table: {} rows", table.len());
+    group.bench_function("scan/zero_copy_handle", |b| {
+        b.iter(|| store.edge_table(knows))
+    });
+    group.bench_function("scan/deep_clone_old_path", |b| {
+        b.iter(|| table.deep_clone())
+    });
+    let scan_plan = plan(&scan(knows, x, y), &store).unwrap();
+    group.bench_function("scan/execute_plan", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&scan_plan, &store, &mut ctx).unwrap()
+        })
+    });
+
+    // --- Index vs hash join across probe selectivities. ---
+    // Each probe label targets persons, so `probe(w,y) ⋈ knows(y,z)`
+    // expands person neighbourhoods; probe sizes span ~2 orders of
+    // magnitude at SF 0.3.
+    for probe_label in ["hasModerator", "workAt", "likes"] {
+        let le = schema.edge_label(probe_label).unwrap();
+        let t = RaTerm::join(scan(le, w, y), scan(knows, y, z));
+        store.index_joins = true;
+        let p_index = plan(&t, &store).unwrap();
+        store.index_joins = false;
+        let p_scan = plan(&t, &store).unwrap();
+        store.index_joins = true;
+        let indexed = p_index.contains_op(&|op| matches!(op, PhysOp::IndexJoin { .. }));
+        println!(
+            "join probe {probe_label}: {} rows, index plan uses IndexJoin = {indexed}",
+            store.edge_table(le).len()
+        );
+        group.bench_function(format!("join/index/{probe_label}"), |b| {
+            b.iter(|| {
+                let mut ctx = ExecContext::new();
+                execute_plan(&p_index, &store, &mut ctx).unwrap()
+            })
+        });
+        group.bench_function(format!("join/hash/{probe_label}"), |b| {
+            assert!(p_scan.contains_op(&|op| matches!(op, PhysOp::HashJoin { .. })));
+            b.iter(|| {
+                let mut ctx = ExecContext::new();
+                execute_plan(&p_scan, &store, &mut ctx).unwrap()
+            })
+        });
+    }
+
+    // --- Aligned self-join: merge (ablated) vs whatever the cost model
+    //     picks with the indexes on. ---
+    let aligned = RaTerm::join(scan(knows, x, y), scan(knows, x, z));
+    store.index_joins = false;
+    let p_merge = plan(&aligned, &store).unwrap();
+    assert!(matches!(p_merge.op, PhysOp::MergeJoin { .. }));
+    store.index_joins = true;
+    let p_default = plan(&aligned, &store).unwrap();
+    group.bench_function("join/merge_ablated/knows_self", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&p_merge, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("join/default/knows_self", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&p_default, &store, &mut ctx).unwrap()
+        })
+    });
+
+    // --- The closure fixpoint: CSR probes vs cached hash builds. ---
+    let closure = closure_fixpoint(s.recvar("X"), scan(is_part_of, x, y), x, y, m);
+    let p_index = plan(&closure, &store).unwrap();
+    assert!(p_index.contains_op(&|op| matches!(op, PhysOp::IndexJoin { .. })));
+    store.index_joins = false;
+    let p_hash = plan(&closure, &store).unwrap();
+    store.index_joins = true;
+    group.bench_function("fixpoint/isPartOf_closure_index", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&p_index, &store, &mut ctx).unwrap()
+        })
+    });
+    group.bench_function("fixpoint/isPartOf_closure_hash_cached", |b| {
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            execute_plan(&p_hash, &store, &mut ctx).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

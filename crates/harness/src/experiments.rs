@@ -565,14 +565,16 @@ pub fn reverts(cfg: &ExperimentConfig) -> String {
 }
 
 /// Physical plan showcase on the Fig. 2 database: join strategy
-/// selection (merge vs hash, cost-chosen build sides), fused filtered
-/// scans, and fixpoint build-side caching with its work counters.
+/// selection (CSR index vs merge vs hash, cost-chosen build sides),
+/// fused filtered scans, and fixpoint work counters with and without
+/// the adjacency indexes. Ends with the LDBC smoke assertion: at least
+/// one catalog query must plan a CSR `IndexJoin`.
 pub fn physical_plans() -> String {
     use sgq_ra::exec::{execute_plan, ExecContext};
     use sgq_ra::term::{closure_fixpoint, RaTerm};
 
     let db = sgq_graph::database::fig2_yago_database();
-    let store = sgq_ra::RelStore::load(&db);
+    let mut store = sgq_ra::RelStore::load(&db);
     let s = &store.symbols;
     let scan = |label: &str, src: &str, tgt: &str| RaTerm::EdgeScan {
         label: db.edge_label_id(label).expect("label exists"),
@@ -582,25 +584,37 @@ pub fn physical_plans() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "Physical execution plans (Fig. 2 database)\n");
 
-    // 1. Shared-prefix inputs: the planner skips hashing entirely.
-    let aligned = RaTerm::join(scan("isLocatedIn", "x", "y"), scan("owns", "x", "z"));
-    let _ = writeln!(
-        out,
-        "-- isLocatedIn(x,y) ⋈ owns(x,z): sorted on x on both sides"
-    );
-    out.push_str(&sgq_ra::explain::explain(&aligned, &store, &db));
-
-    // 2. Misaligned inputs: hash join, build side chosen by estimate.
+    // 1. A selective probe against a base scan: the cost model replaces
+    //    the scan with direct CSR neighbour probes — no materialisation,
+    //    no hash table.
     let misaligned = RaTerm::join(scan("owns", "x", "y"), scan("isLocatedIn", "y", "z"));
     let _ = writeln!(
         out,
-        "\n-- owns(x,y) ⋈ isLocatedIn(y,z): y does not lead the left side"
+        "-- owns(x,y) ⋈ isLocatedIn(y,z): the 1-row owns side probes the CSR"
     );
     out.push_str(&sgq_ra::explain::explain(&misaligned, &store, &db));
 
-    // 3. The transitive closure: the step's static side (the renamed
-    //    isLocatedIn scan) builds once and is probed by every round's
-    //    delta.
+    // 2. The scan-based strategies, shown with the indexes ablated:
+    //    merge when the shared column leads both sorted inputs, hash
+    //    with the cost-chosen build side otherwise.
+    store.index_joins = false;
+    let aligned = RaTerm::join(scan("isLocatedIn", "x", "y"), scan("owns", "x", "z"));
+    let _ = writeln!(
+        out,
+        "\n-- isLocatedIn(x,y) ⋈ owns(x,z), indexes ablated: sorted on x on both sides"
+    );
+    out.push_str(&sgq_ra::explain::explain(&aligned, &store, &db));
+    let _ = writeln!(
+        out,
+        "\n-- owns(x,y) ⋈ isLocatedIn(y,z), indexes ablated: y does not lead the left side"
+    );
+    out.push_str(&sgq_ra::explain::explain(&misaligned, &store, &db));
+    store.index_joins = true;
+
+    // 3. The transitive closure. With the CSR the step probes the
+    //    load-time index every round — zero per-query hash builds; the
+    //    ablation falls back to building (and caching) the step's hash
+    //    table.
     let closure = closure_fixpoint(
         s.recvar("X"),
         scan("isLocatedIn", "x", "y"),
@@ -609,29 +623,38 @@ pub fn physical_plans() -> String {
         s.col("m"),
     );
     let _ = writeln!(out, "\n-- µX. isLocatedIn ∪ π(X ⋈ isLocatedIn)");
-    let plan = sgq_ra::plan(&closure, &store).expect("closure plans");
-    out.push_str(&sgq_ra::explain::explain_plan(&plan, &store, &db));
+    let plan_index = sgq_ra::plan(&closure, &store).expect("closure plans");
+    out.push_str(&sgq_ra::explain::explain_plan(&plan_index, &store, &db));
+    store.index_joins = false;
+    let plan_hash = sgq_ra::plan(&closure, &store).expect("closure plans");
+    store.index_joins = true;
 
+    let mut ctx_index = ExecContext::new();
+    let r_index = execute_plan(&plan_index, &store, &mut ctx_index).expect("executes");
     let mut cached = ExecContext::new();
-    let r1 = execute_plan(&plan, &store, &mut cached).expect("executes");
+    let r1 = execute_plan(&plan_hash, &store, &mut cached).expect("executes");
     let mut uncached = ExecContext::new();
     uncached.no_fixpoint_cache = true;
-    let r2 = execute_plan(&plan, &store, &mut uncached).expect("executes");
+    let r2 = execute_plan(&plan_hash, &store, &mut uncached).expect("executes");
     assert_eq!(r1, r2, "build-side caching must not change results");
+    assert_eq!(r1, r_index, "index joins must not change results");
     let _ = writeln!(
         out,
-        "\nFixpoint build-side caching over {} rounds: {} hash builds \
-         ({} without caching), {} rows materialised ({} without caching)",
-        cached.fixpoint_rounds,
+        "\nClosure over {} rounds: {} hash builds with the CSR index \
+         ({} with cached hash builds, {} uncached), {} rows materialised \
+         ({} / {} for the hash plans)",
+        ctx_index.fixpoint_rounds,
+        ctx_index.hash_builds,
         cached.hash_builds,
         uncached.hash_builds,
+        ctx_index.rows_materialized,
         cached.rows_materialized,
         uncached.rows_materialized,
     );
 
     // 4. The µ-RA pushdown composed with the physical layer: the label
     //    filter migrates into the fixpoint base, then fuses into the
-    //    scan.
+    //    scan (or becomes an index-join endpoint filter).
     let filtered = RaTerm::semijoin(
         closure,
         RaTerm::NodeScan {
@@ -645,6 +668,57 @@ pub fn physical_plans() -> String {
         "\n-- (µX. isLocatedIn ∪ π(X ⋈ isLocatedIn)) ⋉ CITY, optimised"
     );
     out.push_str(&sgq_ra::explain::explain(&optimized, &store, &db));
+
+    // 5. CI smoke: on the LDBC catalog the cost model must choose a CSR
+    //    index join for at least one query, from measured statistics
+    //    alone.
+    out.push_str(&ldbc_index_join_smoke());
+    out
+}
+
+/// Plans every LDBC catalog query (baseline translation, optimised) and
+/// asserts at least one lowers to a CSR [`sgq_ra::PhysOp::IndexJoin`] —
+/// the `plans` experiment's CI gate for the index layer. Returns the
+/// report section listing the queries and one sample `EXPLAIN`.
+fn ldbc_index_join_smoke() -> String {
+    let is_index_join = |op: &sgq_ra::PhysOp| matches!(op, sgq_ra::PhysOp::IndexJoin { .. });
+    let (schema, ldb) = ldbc::generate(LdbcConfig::at_scale(0.1));
+    let store = sgq_ra::RelStore::load(&ldb);
+    let queries = ldbc::queries(&schema).expect("catalog parses");
+    let total = queries.len();
+    let mut with_index = Vec::new();
+    let mut sample = None;
+    for q in &queries {
+        let mut names = NameGen::new(&store.symbols);
+        let Ok(term) = ucqt_to_term(&q.ucqt(), &mut names) else {
+            continue;
+        };
+        let opt = sgq_ra::optimize::optimize(&term, &store);
+        let Ok(plan) = sgq_ra::plan(&opt, &store) else {
+            continue;
+        };
+        if plan.contains_op(&is_index_join) {
+            if sample.is_none() {
+                sample = Some((q.name, sgq_ra::explain::explain_plan(&plan, &store, &ldb)));
+            }
+            with_index.push(q.name);
+        }
+    }
+    assert!(
+        !with_index.is_empty(),
+        "no LDBC catalog query planned an IndexJoin"
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\nLDBC catalog queries planning a CSR Index Join (SF 0.1): {} of {total}: {}",
+        with_index.len(),
+        with_index.join(", ")
+    );
+    if let Some((name, rendered)) = sample {
+        let _ = writeln!(out, "\n-- {name}, optimised physical plan");
+        out.push_str(&rendered);
+    }
     out
 }
 
@@ -1105,11 +1179,12 @@ mod tests {
     #[test]
     fn physical_plans_show_strategies() {
         let s = physical_plans();
+        assert!(s.contains("Index Join on isLocatedIn"), "{s}");
         assert!(s.contains("Merge Join (key = x)"), "{s}");
         assert!(s.contains("Hash Join (build = left, key = y)"), "{s}");
-        assert!(s.contains("Filtered Seq Scan"), "{s}");
         assert!(s.contains("Recursive Fixpoint"), "{s}");
-        assert!(s.contains("hash builds"), "{s}");
+        assert!(s.contains("0 hash builds with the CSR index"), "{s}");
+        assert!(s.contains("planning a CSR Index Join"), "{s}");
     }
 
     #[test]
@@ -1159,7 +1234,9 @@ mod tests {
     #[test]
     fn fig17_semijoin_reduces_intermediates() {
         let s = fig17(0.1);
-        assert!(s.contains("Semi Join"), "{s}");
+        // The Organisation restriction appears as a semi-join operator or
+        // as an endpoint filter absorbed into a CSR index join.
+        assert!(s.contains("Semi Join") || s.contains("∈ Company"), "{s}");
         // The Fig. 17 narrative: the semi-join collapses the isLocatedIn
         // input by an order of magnitude before the join.
         let full: usize = extract(&s, "isLocatedIn relation: ");

@@ -146,6 +146,40 @@ pub(crate) fn fixpoint_growth(term: &RaTerm, store: &RelStore) -> f64 {
     }
 }
 
+/// Average number of CSR neighbours one index-join probe expands,
+/// measured from the statistics: `|E(le)| / distinct sources` for a
+/// forward probe (targets per source) or `/ distinct targets` for a
+/// reverse probe; 0 for empty labels.
+pub(crate) fn index_degree(store: &RelStore, label: EdgeLabelId, forward: bool) -> f64 {
+    let st = &store.stats;
+    let edges = st.edge_cardinality(label) as f64;
+    let distinct = if forward {
+        st.distinct_sources(label)
+    } else {
+        st.distinct_targets(label)
+    } as f64;
+    if distinct <= 0.0 {
+        0.0
+    } else {
+        edges / distinct
+    }
+}
+
+/// Cost of an index join: the probe side's own cost, one CSR lookup plus
+/// its expansion per probe row (`1 + avg degree`), and the output. The
+/// base-table scan and the hash build that a hash join pays
+/// (`Σ cost + Σ rows + out`) are exactly what probing the CSR saves.
+pub(crate) fn index_join_cost(probe: &Estimate, degree: f64, out_rows: f64) -> f64 {
+    probe.cost + probe.rows * (1.0 + degree) + out_rows
+}
+
+/// Cost of an index semi-join: the left side pays one CSR degree lookup
+/// (plus a bounded neighbour check when the far endpoint is
+/// label-filtered) per row; the edge table is never scanned.
+pub(crate) fn index_semijoin_cost(left: &Estimate) -> f64 {
+    left.cost + left.rows * 2.0
+}
+
 fn collect_edge_labels(term: &RaTerm, out: &mut Vec<EdgeLabelId>) {
     match term {
         RaTerm::EdgeScan { label, .. } => {

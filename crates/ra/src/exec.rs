@@ -20,11 +20,15 @@
 //! computed once and cached; a hash join whose build side is static
 //! caches the *built hash table* ([`JoinIndex`]), so later rounds only
 //! re-scan the delta probe; hash semi-join key sets ([`SemiKeys`])
-//! cache the same way.
+//! cache the same way. Index (semi-)joins probe the store's load-time
+//! CSR adjacency lists directly — the absorbed edge table is never
+//! materialised, no hash table is built in any round, and node-label
+//! endpoint filters run as binary searches in the store's sorted label
+//! sets.
 
 use std::time::Instant;
 
-use sgq_common::{ColId, FxHashMap, RecVarId, Result, SgqError};
+use sgq_common::{ColId, FxHashMap, NodeId, RecVarId, Result, SgqError};
 
 use crate::plan::{plan, PhysOp, PhysPlan};
 use crate::table::{JoinIndex, Relation, SemiKeys, POLL_MASK};
@@ -162,6 +166,15 @@ struct Interp<'a> {
 }
 
 impl Interp<'_> {
+    /// Whether `node` carries one of `labels` — binary search in the
+    /// store's sorted node-label sets. An empty list (an impossible
+    /// filter intersection) matches nothing.
+    fn in_label_sets(&self, labels: &[sgq_common::NodeLabelId], node: u32) -> bool {
+        labels
+            .iter()
+            .any(|&l| self.store.node_set(l).binary_search(&node).is_ok())
+    }
+
     fn trace(&mut self, p: &PhysPlan, rel: &Relation) {
         if let Some(a) = self.actuals.as_mut() {
             a[p.id as usize] += rel.len();
@@ -310,6 +323,135 @@ impl Interp<'_> {
                     &probe_key_pos,
                     &right_extra_pos,
                 );
+            }
+            PhysOp::IndexJoin {
+                probe,
+                label,
+                key,
+                out,
+                forward,
+                src_labels,
+                tgt_labels,
+            } => {
+                let prel = self.eval(probe, cache)?;
+                let csr = if *forward {
+                    self.store.forward_csr(*label)
+                } else {
+                    self.store.reverse_csr(*label)
+                };
+                let key_pos = prel
+                    .col_index(*key)
+                    .expect("index-join key is a probe column (ensured at plan time)");
+                // Where each output column comes from: a probe position,
+                // or the expanded neighbour (`None`).
+                let layout: Vec<Option<usize>> = p
+                    .cols
+                    .iter()
+                    .map(|c| {
+                        if c == out {
+                            None
+                        } else {
+                            Some(prel.col_index(*c).expect("output column from probe"))
+                        }
+                    })
+                    .collect();
+                // Probe rows ascend and CSR neighbour lists are strictly
+                // sorted (set semantics), so a probe-leading layout emits
+                // in canonical order and skips the re-sort.
+                let probe_leading = p.cols.len() == prel.arity() + 1
+                    && p.cols[..prel.arity()] == *prel.cols()
+                    && p.cols.last() == Some(out);
+                let (key_filter, emit_filter) = if *forward {
+                    (src_labels.as_deref(), tgt_labels.as_deref())
+                } else {
+                    (tgt_labels.as_deref(), src_labels.as_deref())
+                };
+                let mut data: Vec<u32> = Vec::new();
+                let mut steps = 0usize;
+                if let Some(csr) = csr {
+                    for prow in prel.rows() {
+                        steps += 1;
+                        if steps & POLL_MASK == 0 {
+                            self.ctx.check()?;
+                        }
+                        let v = prow[key_pos];
+                        if let Some(ls) = key_filter {
+                            if !self.in_label_sets(ls, v) {
+                                continue;
+                            }
+                        }
+                        for &n in csr.neighbors(NodeId::new(v)) {
+                            steps += 1;
+                            if steps & POLL_MASK == 0 {
+                                self.ctx.check()?;
+                            }
+                            let nv = n.raw();
+                            if let Some(ls) = emit_filter {
+                                if !self.in_label_sets(ls, nv) {
+                                    continue;
+                                }
+                            }
+                            for slot in &layout {
+                                data.push(match slot {
+                                    Some(i) => prow[*i],
+                                    None => nv,
+                                });
+                            }
+                        }
+                    }
+                }
+                if probe_leading {
+                    Relation::from_flat_sorted(p.cols.clone(), data)
+                } else {
+                    Relation::from_flat(p.cols.clone(), data)
+                }
+            }
+            PhysOp::IndexSemiJoin {
+                left,
+                label,
+                key,
+                forward,
+                src_labels,
+                tgt_labels,
+            } => {
+                let lrel = self.eval(left, cache)?;
+                let csr = if *forward {
+                    self.store.forward_csr(*label)
+                } else {
+                    self.store.reverse_csr(*label)
+                };
+                let key_pos = lrel
+                    .col_index(*key)
+                    .expect("index-semi-join key is a left column (ensured at plan time)");
+                let (key_filter, far_filter) = if *forward {
+                    (src_labels.as_deref(), tgt_labels.as_deref())
+                } else {
+                    (tgt_labels.as_deref(), src_labels.as_deref())
+                };
+                let mut data: Vec<u32> = Vec::new();
+                if let Some(csr) = csr {
+                    for (i, row) in lrel.rows().enumerate() {
+                        if i & POLL_MASK == 0 {
+                            self.ctx.check()?;
+                        }
+                        let v = row[key_pos];
+                        if let Some(ls) = key_filter {
+                            if !self.in_label_sets(ls, v) {
+                                continue;
+                            }
+                        }
+                        let neigh = csr.neighbors(NodeId::new(v));
+                        let hit = match far_filter {
+                            None => !neigh.is_empty(),
+                            Some(ls) => neigh.iter().any(|&n| self.in_label_sets(ls, n.raw())),
+                        };
+                        if hit {
+                            data.extend_from_slice(row);
+                        }
+                    }
+                }
+                // Filtering preserves canonical order.
+                Relation::from_flat_sorted(p.cols.clone(), data)
             }
             PhysOp::MergeSemiJoin { left, right, key } => {
                 let l = self.eval(left, cache.as_deref_mut())?;
@@ -549,9 +691,11 @@ mod tests {
 
     #[test]
     fn merge_join_composes_paths() {
-        // isLocatedIn(x,y) ⋈ owns(x,z): both lead with x, so the planner
-        // selects a merge join; results must match the hash path.
-        let (db, store) = store();
+        // isLocatedIn(x,y) ⋈ owns(x,z): both lead with x, so (with index
+        // joins ablated) the planner selects a merge join; results must
+        // match the hash path.
+        let (db, mut store) = store();
+        store.index_joins = false;
         let t = RaTerm::join(
             scan(&db, &store, "isLocatedIn", "x", "y"),
             scan(&db, &store, "owns", "x", "z"),
@@ -620,10 +764,11 @@ mod tests {
         //
         // `owns` has a single edge (n2 → n1) that composes with nothing,
         // so the closure equals its base and one semi-naive round runs.
-        // Materialisations: base scan (1 row) + per-round RecRef (1) +
-        // inner scan (1) + rename (0: zero-copy) + empty join/project/
-        // delta (0) = 3.
-        let (db, store) = store();
+        // With index joins ablated (the hash path under test here):
+        // base scan (1 row) + per-round RecRef (1) + inner scan (1) +
+        // rename (0: zero-copy) + empty join/project/delta (0) = 3.
+        let (db, mut store) = store();
+        store.index_joins = false;
         let s = &store.symbols;
         let f = closure_fixpoint(
             s.recvar("X"),
@@ -642,7 +787,10 @@ mod tests {
     fn fixpoint_caches_static_build_sides() {
         // The closure's step joins the delta against the static renamed
         // scan: its hash table must be built once, not once per round.
-        let (db, store) = store();
+        // (Index joins ablated — with them on, no hash table is built at
+        // all; see `index_join_inside_fixpoint_builds_nothing`.)
+        let (db, mut store) = store();
+        store.index_joins = false;
         let s = &store.symbols;
         let f = closure_fixpoint(
             s.recvar("X"),
@@ -670,6 +818,138 @@ mod tests {
         );
         assert!(cached.cache_hits > 0);
         assert_eq!(uncached.cache_hits, 0);
+    }
+
+    #[test]
+    fn index_join_matches_hash_join() {
+        // owns(x,y) ⋈ isLocatedIn(y,z) plans as an index join by
+        // default; the result must equal the hash plan's bit for bit.
+        let (db, mut store) = store();
+        let t = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        let p_index = plan(&t, &store).unwrap();
+        assert!(
+            matches!(p_index.op, PhysOp::IndexJoin { .. }),
+            "{p_index:?}"
+        );
+        store.index_joins = false;
+        let p_hash = plan(&t, &store).unwrap();
+        assert!(matches!(p_hash.op, PhysOp::HashJoin { .. }));
+        let mut ctx = ExecContext::new();
+        let r_index = execute_plan(&p_index, &store, &mut ctx).unwrap();
+        assert_eq!(ctx.hash_builds, 0, "the CSR replaces the hash build");
+        let mut ctx = ExecContext::new();
+        let r_hash = execute_plan(&p_hash, &store, &mut ctx).unwrap();
+        assert_eq!(r_index, r_hash);
+        assert_eq!(r_index.len(), 1);
+        assert_eq!(r_index.row(0), &[1, 0, 5]); // John owns n1, located in Montbonnot
+    }
+
+    #[test]
+    fn label_filtered_index_join_matches_reference() {
+        // owns(x,y) ⋈ (isLocatedIn(y,z) ⋉ CITY(y)): the label filter is
+        // a membership check against the sorted CITY node set. n1 (a
+        // PROPERTY) sources the only matching isLocatedIn edge for owns,
+        // so the CITY restriction must empty the result.
+        let (db, mut store) = store();
+        let filtered = RaTerm::semijoin(
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("CITY").unwrap()],
+                col: store.symbols.col("y"),
+            },
+        );
+        let t = RaTerm::join(scan(&db, &store, "owns", "x", "y"), filtered);
+        let p = plan(&t, &store).unwrap();
+        assert!(
+            matches!(p.op, PhysOp::IndexJoin { ref src_labels, .. } if src_labels.is_some()),
+            "{p:?}"
+        );
+        let mut ctx = ExecContext::new();
+        let r_index = execute_plan(&p, &store, &mut ctx).unwrap();
+        store.index_joins = false;
+        let p_ref = plan(&t, &store).unwrap();
+        let mut ctx = ExecContext::new();
+        let r_ref = execute_plan(&p_ref, &store, &mut ctx).unwrap();
+        assert_eq!(r_index, r_ref);
+        assert!(r_index.is_empty(), "n1 is a PROPERTY, not a CITY");
+    }
+
+    #[test]
+    fn index_semijoin_matches_hash_semijoin() {
+        // (owns ⋈ livesIn) ⋉ isLocatedIn(y,_): keep pairs whose y has at
+        // least one out-edge — an O(1) degree check per row.
+        let (db, mut store) = store();
+        let left = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "livesIn", "w", "x"),
+        );
+        let t = RaTerm::semijoin(left, scan(&db, &store, "isLocatedIn", "y", "q"));
+        let p = plan(&t, &store).unwrap();
+        assert!(
+            p.contains_op(&|op| matches!(op, PhysOp::IndexSemiJoin { .. })),
+            "{p:?}"
+        );
+        let mut ctx = ExecContext::new();
+        let r_index = execute_plan(&p, &store, &mut ctx).unwrap();
+        store.index_joins = false;
+        let p_ref = plan(&t, &store).unwrap();
+        let mut ctx = ExecContext::new();
+        let r_ref = execute_plan(&p_ref, &store, &mut ctx).unwrap();
+        assert_eq!(r_index, r_ref);
+    }
+
+    #[test]
+    fn index_join_inside_fixpoint_builds_nothing() {
+        // The closure's step joins each round's delta against the static
+        // isLocatedIn scan. With index joins the "build side" is the CSR
+        // computed at load time: no hash table is ever built, in any
+        // round, and results match the hash + build-cache path exactly.
+        let (db, mut store) = store();
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let p_index = plan(&f, &store).unwrap();
+        assert!(
+            p_index.contains_op(&|op| matches!(op, PhysOp::IndexJoin { .. })),
+            "step probes the CSR: {p_index:?}"
+        );
+        let mut ctx_index = ExecContext::new();
+        let r_index = execute_plan(&p_index, &store, &mut ctx_index).unwrap();
+        assert_eq!(ctx_index.hash_builds, 0, "no per-query build at all");
+        assert!(ctx_index.fixpoint_rounds >= 2, "closure iterates");
+
+        store.index_joins = false;
+        let p_hash = plan(&f, &store).unwrap();
+        let mut ctx_hash = ExecContext::new();
+        let r_hash = execute_plan(&p_hash, &store, &mut ctx_hash).unwrap();
+        assert_eq!(r_index, r_hash, "index joins must not change results");
+        assert_eq!(ctx_index.fixpoint_rounds, ctx_hash.fixpoint_rounds);
+        assert!(ctx_hash.hash_builds > 0, "the ablation still builds");
+    }
+
+    #[test]
+    fn executed_scan_shares_the_base_table_buffer() {
+        // The zero-copy pin, end to end: executing a bare edge scan hands
+        // back the store's own buffer — no row was copied anywhere
+        // between the load and the query result.
+        let (db, store) = store();
+        let le = db.edge_label_id("isLocatedIn").unwrap();
+        let mut ctx = ExecContext::new();
+        let r = execute(
+            &scan(&db, &store, "isLocatedIn", "x", "y"),
+            &store,
+            &mut ctx,
+        )
+        .unwrap();
+        assert!(r.shares_data(&store.edge_table(le)));
     }
 
     #[test]

@@ -129,6 +129,36 @@ fn describe(p: &PhysPlan, names: &dyn PlanNames, symbols: &SymbolTable) -> Strin
                 symbols.col_list(key, ", ")
             }
         ),
+        PhysOp::IndexJoin {
+            label,
+            key,
+            out,
+            forward,
+            src_labels,
+            tgt_labels,
+            ..
+        } => format!(
+            "Index Join on {} ({} CSR, {} → {}{})",
+            names.edge_name(*label),
+            if *forward { "forward" } else { "reverse" },
+            symbols.col_name(*key),
+            symbols.col_name(*out),
+            endpoint_filters(names, src_labels, tgt_labels)
+        ),
+        PhysOp::IndexSemiJoin {
+            label,
+            key,
+            forward,
+            src_labels,
+            tgt_labels,
+            ..
+        } => format!(
+            "Index Semi Join on {} ({} CSR, key = {}{})",
+            names.edge_name(*label),
+            if *forward { "forward" } else { "reverse" },
+            symbols.col_name(*key),
+            endpoint_filters(names, src_labels, tgt_labels)
+        ),
         PhysOp::Union { .. } => "Merge Union".to_string(),
         PhysOp::Project { .. } => {
             format!("Project ({})", symbols.col_list(&p.cols, ", "))
@@ -153,6 +183,35 @@ fn describe(p: &PhysPlan, names: &dyn PlanNames, symbols: &SymbolTable) -> Strin
             symbols.col_list(&p.cols, ", ")
         ),
     }
+}
+
+/// Renders the endpoint label restrictions of an index (semi-)join,
+/// e.g. `, src ∈ City, tgt ∈ Country` (`∅` for an impossible filter
+/// intersection).
+fn endpoint_filters(
+    names: &dyn PlanNames,
+    src_labels: &Option<Vec<sgq_common::NodeLabelId>>,
+    tgt_labels: &Option<Vec<sgq_common::NodeLabelId>>,
+) -> String {
+    let render = |labels: &Vec<sgq_common::NodeLabelId>| {
+        if labels.is_empty() {
+            "∅".to_string()
+        } else {
+            labels
+                .iter()
+                .map(|&l| names.node_name(l))
+                .collect::<Vec<_>>()
+                .join("∪")
+        }
+    };
+    let mut s = String::new();
+    if let Some(ls) = src_labels {
+        s.push_str(&format!(", src ∈ {}", render(ls)));
+    }
+    if let Some(ls) = tgt_labels {
+        s.push_str(&format!(", tgt ∈ {}", render(ls)));
+    }
+    s
 }
 
 /// Number of maximal static subtrees (plus static build sides) of a
@@ -236,7 +295,8 @@ mod tests {
     #[test]
     fn explain_renders_physical_tree() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
         let s = &store.symbols;
         let t = RaTerm::join(
             RaTerm::EdgeScan {
@@ -263,7 +323,8 @@ mod tests {
     #[test]
     fn explain_shows_merge_join_for_aligned_inputs() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
         let s = &store.symbols;
         let t = RaTerm::join(
             RaTerm::EdgeScan {
@@ -317,9 +378,43 @@ mod tests {
     }
 
     #[test]
-    fn explain_shows_fixpoint_cached_inputs() {
+    fn explain_shows_index_join_with_endpoint_filters() {
         let db = fig2_yago_database();
         let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let filtered = RaTerm::semijoin(
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("isLocatedIn").unwrap(),
+                src: s.col("y"),
+                tgt: s.col("z"),
+            },
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("REGION").unwrap()],
+                col: s.col("z"),
+            },
+        );
+        let t = RaTerm::join(
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("owns").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("y"),
+            },
+            filtered,
+        );
+        let rendered = explain(&t, &store, &db);
+        assert!(
+            rendered.contains("Index Join on isLocatedIn (forward CSR, y → z, tgt ∈ REGION)"),
+            "{rendered}"
+        );
+        // The absorbed scan has no node of its own; the probe renders.
+        assert!(rendered.contains("Seq Scan on owns (x, y)"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_shows_fixpoint_cached_inputs() {
+        let db = fig2_yago_database();
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
         let s = &store.symbols;
         let f = crate::term::closure_fixpoint(
             s.recvar("X"),

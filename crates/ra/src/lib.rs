@@ -4,15 +4,18 @@
 //! * [`symbols`] — the interned column / recursion-variable name space
 //!   ([`SymbolTable`]): the RA stack compares `u32` ids everywhere and
 //!   resolves strings only at its edges,
-//! * [`table`] — set-semantics relations with interned columns,
+//! * [`table`] — set-semantics relations with interned columns and
+//!   `Arc`-shared row buffers (clones, renames and scans are O(1)),
 //! * [`storage`] — the relational representation of a property graph
-//!   (Fig. 11): one table per node label and per edge label,
+//!   (Fig. 11): one table per node label and per edge label, handed out
+//!   zero-copy, plus per-edge-label forward/reverse CSR adjacency
+//!   indexes and sorted node-label sets,
 //! * [`term`] — the RA term language (σ/π/ρ/⋈/⋉/∪ and the fixpoint µ),
 //! * [`optimize`] — µ-RA-style rewritings: semi-join pushdown through
 //!   joins and *into fixpoints*, plus greedy join ordering,
 //! * [`mod@plan`] — lowering of optimised terms into physical plans with
-//!   cost-chosen operators (merge vs hash joins, build sides, fused
-//!   filtered scans, cached fixpoint build sides),
+//!   cost-chosen operators (CSR index joins vs merge vs hash, build
+//!   sides, fused filtered scans, cached fixpoint build sides),
 //! * [`exec`] — a semi-naive bottom-up interpreter over physical plans
 //!   with cooperative timeouts,
 //! * [`cost`] — cardinality estimation over [`sgq_graph::GraphStats`],

@@ -1,8 +1,8 @@
 //! Lowering optimised [`RaTerm`]s into a physical plan.
 //!
 //! The logical optimiser ([`crate::optimize`]) decides *what* to
-//! compute; this module decides *how*. Operator selection exploits two
-//! properties the logical layer cannot see:
+//! compute; this module decides *how*. Operator selection exploits
+//! three properties the logical layer cannot see:
 //!
 //! * **Order.** Every [`crate::table::Relation`] is canonical — rows
 //!   sorted lexicographically in column order — so whenever a join's
@@ -15,6 +15,17 @@
 //!   recursion-independent side so a fixpoint can cache the built table
 //!   across rounds (see below).
 //!
+//! * **Indexes.** The store carries per-edge-label forward/reverse CSR
+//!   adjacency indexes. When one side of a join is a (possibly renamed
+//!   and/or node-label-filtered) base edge scan sharing exactly one
+//!   endpoint column with the other side, the planner may replace the
+//!   scan with direct CSR probes ([`PhysOp::IndexJoin`] /
+//!   [`PhysOp::IndexSemiJoin`]): the edge table is never materialised
+//!   and no hash table is built. The choice between merge, hash and
+//!   index is by estimated cost — probe rows × (1 + measured average
+//!   degree) against scanning + building — and can be disabled with
+//!   [`RelStore::index_joins`] for ablation.
+//!
 //! Two further physical rewrites:
 //!
 //! * a semi-join landing directly on an edge scan fuses into a
@@ -25,6 +36,8 @@
 //!   by [`PhysPlan::free_rec`]) is marked for caching: the executor
 //!   computes static inputs — and static build-side hash tables — in
 //!   the first round and rebuilds only the delta probe afterwards.
+//!   An [`PhysOp::IndexJoin`] against the store's CSR needs no caching
+//!   at all: the "build side" is the index built once at load time.
 //!
 //! Every node carries its output columns and an [`Estimate`], which is
 //! what the physical `EXPLAIN` ([`crate::explain`]) renders.
@@ -123,6 +136,47 @@ pub enum PhysOp {
         /// Shared key columns (empty = keep all iff right is non-empty).
         key: Vec<ColId>,
     },
+    /// CSR index nested-loop join: one join side was a base edge scan
+    /// (possibly renamed and node-label-filtered); instead of
+    /// materialising and hashing it, each probe row's key value expands
+    /// directly into the store's per-label CSR neighbour list.
+    IndexJoin {
+        /// The evaluated (probe) input — the non-scan side.
+        probe: Box<PhysPlan>,
+        /// The indexed edge label.
+        label: EdgeLabelId,
+        /// The shared column: its value in each probe row is the node
+        /// whose neighbour list is read.
+        key: ColId,
+        /// The column produced from the neighbour list (the scan's other
+        /// endpoint).
+        out: ColId,
+        /// `true`: `key` is the edge source (forward CSR, neighbours are
+        /// targets); `false`: `key` is the target (reverse CSR).
+        forward: bool,
+        /// Node-label restriction on the edge's source endpoint (the
+        /// node's label must be in the list; `None` = unrestricted).
+        src_labels: Option<Vec<NodeLabelId>>,
+        /// Node-label restriction on the edge's target endpoint.
+        tgt_labels: Option<Vec<NodeLabelId>>,
+    },
+    /// CSR index semi-join: keeps the left rows whose key value has at
+    /// least one (label-filtered) neighbour in the edge label's CSR —
+    /// an O(1) degree lookup per row, no scan and no key-set build.
+    IndexSemiJoin {
+        /// Left (filtered) input.
+        left: Box<PhysPlan>,
+        /// The indexed edge label (the semi-join's right side).
+        label: EdgeLabelId,
+        /// The shared column probed into the CSR.
+        key: ColId,
+        /// `true`: `key` matches edge sources (forward CSR).
+        forward: bool,
+        /// Node-label restriction on the edge's source endpoint.
+        src_labels: Option<Vec<NodeLabelId>>,
+        /// Node-label restriction on the edge's target endpoint.
+        tgt_labels: Option<Vec<NodeLabelId>>,
+    },
     /// Merge union of two canonical inputs.
     Union {
         /// Left input.
@@ -176,6 +230,8 @@ impl PhysPlan {
         match &self.op {
             PhysOp::EdgeScan { .. } | PhysOp::NodeScan { .. } | PhysOp::RecRef { .. } => vec![],
             PhysOp::FilteredEdgeScan { filter, .. } => vec![filter],
+            PhysOp::IndexJoin { probe, .. } => vec![probe],
+            PhysOp::IndexSemiJoin { left, .. } => vec![left],
             PhysOp::MergeJoin { left, right, .. }
             | PhysOp::HashJoin { left, right, .. }
             | PhysOp::MergeSemiJoin { left, right, .. }
@@ -203,6 +259,12 @@ impl PhysPlan {
     /// therefore be cached across fixpoint rounds).
     pub fn is_static(&self) -> bool {
         self.free_rec.is_empty()
+    }
+
+    /// Whether any node of the subtree satisfies `pred` — how tests,
+    /// benches and the harness assert a plan contains a strategy.
+    pub fn contains_op(&self, pred: &dyn Fn(&PhysOp) -> bool) -> bool {
+        pred(&self.op) || self.children().iter().any(|c| c.contains_op(pred))
     }
 }
 
@@ -282,6 +344,9 @@ impl Planner<'_> {
             }
             RaTerm::Join(a, b) => {
                 let rows = self.rows(term);
+                if let Some(p) = self.try_index_join(a, b, rows)? {
+                    return Ok(p);
+                }
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
                 Ok(self.lower_join(left, right, rows))
@@ -486,9 +551,167 @@ impl Planner<'_> {
         )
     }
 
-    /// Semi-join strategy selection: fuse onto bare edge scans, merge on
-    /// sorted key prefixes, hash otherwise. `term` is the original
-    /// semi-join term, whose label-aware estimate every strategy shares.
+    /// Attempts to lower `a ⋈ b` as a CSR index join. One side must be
+    /// an indexable base-edge scan ([`indexable_scan`]) sharing exactly
+    /// one column — one of its endpoints — with the other side, and the
+    /// cost model must prefer probing the CSR (probe rows × (1 + avg
+    /// degree)) over the best scan-based strategy (merge or hash) for
+    /// the same term. When both sides qualify, the cheaper probe
+    /// orientation competes.
+    fn try_index_join(&mut self, a: &RaTerm, b: &RaTerm, rows: f64) -> Result<Option<PhysPlan>> {
+        if !self.store.index_joins {
+            return Ok(None);
+        }
+        // Indexable orientations: (scan, scan-on-the-left, forward).
+        let mut candidates: Vec<(IndexableScan, bool, bool)> = Vec::new();
+        for (scan_term, probe_term, scan_left) in [(a, b, true), (b, a, false)] {
+            let Some(s) = indexable_scan(scan_term) else {
+                continue;
+            };
+            let probe_cols = probe_term.cols();
+            let forward = match (probe_cols.contains(&s.src), probe_cols.contains(&s.tgt)) {
+                (true, false) => true,
+                (false, true) => false,
+                // No shared endpoint, or both shared (a two-column key):
+                // not an index-join shape.
+                _ => continue,
+            };
+            candidates.push((s, scan_left, forward));
+        }
+        if candidates.is_empty() {
+            return Ok(None);
+        }
+        // One estimate per side serves every candidate's probe cost and
+        // the scan-based alternative below.
+        let ea = cost::estimate_with_env(a, self.store, &mut self.env);
+        let eb = cost::estimate_with_env(b, self.store, &mut self.env);
+        let mut best: Option<(IndexableScan, bool, bool, f64)> = None;
+        for (s, scan_left, forward) in candidates {
+            let probe = if scan_left { &eb } else { &ea };
+            let deg = cost::index_degree(self.store, s.label, forward);
+            let c = cost::index_join_cost(probe, deg, rows);
+            if best.as_ref().is_none_or(|&(_, _, _, bc)| c < bc) {
+                best = Some((s, scan_left, forward, c));
+            }
+        }
+        let Some((s, scan_left, forward, index_cost)) = best else {
+            unreachable!("at least one candidate was scored");
+        };
+        // The scan-based alternative this term would otherwise lower to.
+        let (a_cols, b_cols) = (a.cols(), b.cols());
+        let key_cols = shared_cols(&a_cols, &b_cols);
+        let merge_ok =
+            !key_cols.is_empty() && is_prefix(&key_cols, &a_cols) && is_prefix(&key_cols, &b_cols);
+        let scan_based = if merge_ok {
+            ea.cost + eb.cost + rows
+        } else {
+            ea.cost + eb.cost + ea.rows + eb.rows + rows
+        };
+        if index_cost >= scan_based {
+            return Ok(None);
+        }
+        let probe = self.lower(if scan_left { b } else { a })?;
+        let (key, out) = if forward {
+            (s.src, s.tgt)
+        } else {
+            (s.tgt, s.src)
+        };
+        // Output schema stays the standard join layout (left's columns,
+        // then the right side's non-shared columns), so sibling plans —
+        // e.g. the two arms of a union — agree on column order no matter
+        // which strategy each picked.
+        let cols: Vec<ColId> = if scan_left {
+            [s.src, s.tgt]
+                .into_iter()
+                .chain(probe.cols.iter().copied().filter(|&c| c != key))
+                .collect()
+        } else {
+            probe.cols.iter().copied().chain([out]).collect()
+        };
+        let est = Estimate {
+            rows,
+            cost: index_cost,
+        };
+        let free = probe.free_rec.clone();
+        Ok(Some(self.node(
+            cols,
+            est,
+            free,
+            PhysOp::IndexJoin {
+                probe: Box::new(probe),
+                label: s.label,
+                key,
+                out,
+                forward,
+                src_labels: s.src_labels,
+                tgt_labels: s.tgt_labels,
+            },
+        )))
+    }
+
+    /// Attempts to lower `a ⋉ b` as a CSR index semi-join: `b` must be
+    /// an indexable base-edge scan sharing exactly one endpoint column
+    /// with `a`, and the per-row degree probe must beat collecting the
+    /// scan's key set.
+    fn try_index_semijoin(
+        &mut self,
+        a: &RaTerm,
+        b: &RaTerm,
+        rows: f64,
+    ) -> Result<Option<PhysPlan>> {
+        if !self.store.index_joins {
+            return Ok(None);
+        }
+        let Some(s) = indexable_scan(b) else {
+            return Ok(None);
+        };
+        let a_cols = a.cols();
+        let forward = match (a_cols.contains(&s.src), a_cols.contains(&s.tgt)) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => return Ok(None),
+        };
+        let key = if forward { s.src } else { s.tgt };
+        let ea = cost::estimate_with_env(a, self.store, &mut self.env);
+        let eb = cost::estimate_with_env(b, self.store, &mut self.env);
+        let index_cost = cost::index_semijoin_cost(&ea);
+        // Merge filtering needs the key to lead both sides; the scan side
+        // leads with its source column.
+        let merge_ok = a_cols.first() == Some(&key) && forward;
+        let scan_based = if merge_ok {
+            ea.cost + eb.cost + rows
+        } else {
+            ea.cost + eb.cost + ea.rows + eb.rows
+        };
+        if index_cost >= scan_based {
+            return Ok(None);
+        }
+        let left = self.lower(a)?;
+        let cols = left.cols.clone();
+        let est = Estimate {
+            rows,
+            cost: index_cost,
+        };
+        let free = left.free_rec.clone();
+        Ok(Some(self.node(
+            cols,
+            est,
+            free,
+            PhysOp::IndexSemiJoin {
+                left: Box::new(left),
+                label: s.label,
+                key,
+                forward,
+                src_labels: s.src_labels,
+                tgt_labels: s.tgt_labels,
+            },
+        )))
+    }
+
+    /// Semi-join strategy selection: fuse onto bare edge scans, probe the
+    /// CSR when the filter is an indexable scan, merge on sorted key
+    /// prefixes, hash otherwise. `term` is the original semi-join term,
+    /// whose label-aware estimate every strategy shares.
     fn lower_semijoin(&mut self, term: &RaTerm, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
         let rows = self.rows(term);
         if let RaTerm::EdgeScan { label, src, tgt } = a {
@@ -514,6 +737,9 @@ impl Planner<'_> {
                     merge,
                 },
             ));
+        }
+        if let Some(p) = self.try_index_semijoin(a, b, rows)? {
+            return Ok(p);
         }
         let left = self.lower(a)?;
         let right = self.lower(b)?;
@@ -550,6 +776,65 @@ impl Planner<'_> {
                 key,
             },
         ))
+    }
+}
+
+/// A join side the planner can replace with CSR index probes: a base
+/// edge scan, optionally renamed and filtered by node-label semi-joins
+/// on its endpoints. `src`/`tgt` are the column ids the scan exposes
+/// after renames; the label lists use intersection semantics across
+/// stacked filters (a node passes when its label is in the list).
+struct IndexableScan {
+    label: EdgeLabelId,
+    src: ColId,
+    tgt: ColId,
+    src_labels: Option<Vec<NodeLabelId>>,
+    tgt_labels: Option<Vec<NodeLabelId>>,
+}
+
+/// Recognises the indexable-scan shape (see [`IndexableScan`]). Renames
+/// of columns the scan does not expose, filters that are not node scans
+/// on an endpoint, and degenerate scans (`src == tgt`) all return `None`
+/// so the term falls back to the scan-based strategies.
+fn indexable_scan(term: &RaTerm) -> Option<IndexableScan> {
+    match term {
+        RaTerm::EdgeScan { label, src, tgt } if src != tgt => Some(IndexableScan {
+            label: *label,
+            src: *src,
+            tgt: *tgt,
+            src_labels: None,
+            tgt_labels: None,
+        }),
+        RaTerm::Rename { input, from, to } => {
+            let mut s = indexable_scan(input)?;
+            if s.src == *from {
+                s.src = *to;
+            } else if s.tgt == *from {
+                s.tgt = *to;
+            } else {
+                return None;
+            }
+            (s.src != s.tgt).then_some(s)
+        }
+        RaTerm::Semijoin(left, filter) => {
+            let mut s = indexable_scan(left)?;
+            let RaTerm::NodeScan { labels, col } = &**filter else {
+                return None;
+            };
+            let slot = if *col == s.src {
+                &mut s.src_labels
+            } else if *col == s.tgt {
+                &mut s.tgt_labels
+            } else {
+                return None;
+            };
+            *slot = Some(match slot.take() {
+                Some(prev) => prev.into_iter().filter(|l| labels.contains(l)).collect(),
+                None => labels.clone(),
+            });
+            Some(s)
+        }
+        _ => None,
     }
 }
 
@@ -618,7 +903,8 @@ mod tests {
     #[test]
     fn prefix_aligned_join_lowers_to_merge() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
         // Both scans lead with x: canonical order matches the key.
         let t = RaTerm::join(
             scan(&db, &store, "isLocatedIn", "x", "y"),
@@ -634,7 +920,8 @@ mod tests {
     #[test]
     fn misaligned_join_lowers_to_hash_with_cost_chosen_build() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
         // owns(x,y) ⋈ isLocatedIn(y,z): y is not a prefix of the left.
         let t = RaTerm::join(
             scan(&db, &store, "owns", "x", "y"),
@@ -648,6 +935,120 @@ mod tests {
             }
             other => panic!("expected hash join, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn selective_probe_lowers_to_index_join() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // owns(x,y) ⋈ isLocatedIn(y,z): the 1-row owns side probes the
+        // isLocatedIn forward CSR on y instead of hashing the 4-row scan.
+        let t = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        let p = plan(&t, &store).unwrap();
+        match &p.op {
+            PhysOp::IndexJoin {
+                probe,
+                forward,
+                key,
+                out,
+                ..
+            } => {
+                assert!(*forward, "y is isLocatedIn's source: forward CSR");
+                assert_eq!(*key, store.symbols.col("y"));
+                assert_eq!(*out, store.symbols.col("z"));
+                assert!(
+                    matches!(probe.op, PhysOp::EdgeScan { .. }),
+                    "owns is the probe: {probe:?}"
+                );
+            }
+            other => panic!("expected index join, got {other:?}"),
+        }
+        // Output schema keeps the standard join layout.
+        let s = &store.symbols;
+        assert_eq!(p.cols, vec![s.col("x"), s.col("y"), s.col("z")]);
+    }
+
+    #[test]
+    fn label_filtered_scan_side_absorbs_into_index_join() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // owns(x,y) ⋈ (isLocatedIn(y,z) ⋉ CITY(y) ⋉ REGION(z)): the
+        // node-label filters become membership checks on the CSR probe.
+        let filtered = RaTerm::semijoin(
+            RaTerm::semijoin(
+                scan(&db, &store, "isLocatedIn", "y", "z"),
+                RaTerm::NodeScan {
+                    labels: vec![db.node_label_id("CITY").unwrap()],
+                    col: store.symbols.col("y"),
+                },
+            ),
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("REGION").unwrap()],
+                col: store.symbols.col("z"),
+            },
+        );
+        let t = RaTerm::join(scan(&db, &store, "owns", "x", "y"), filtered);
+        let p = plan(&t, &store).unwrap();
+        match &p.op {
+            PhysOp::IndexJoin {
+                src_labels,
+                tgt_labels,
+                ..
+            } => {
+                assert_eq!(
+                    src_labels.as_deref(),
+                    Some(&[db.node_label_id("CITY").unwrap()][..])
+                );
+                assert_eq!(
+                    tgt_labels.as_deref(),
+                    Some(&[db.node_label_id("REGION").unwrap()][..])
+                );
+            }
+            other => panic!("expected label-filtered index join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn semijoin_against_scan_lowers_to_index_semijoin() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // (owns ⋈ livesIn) ⋉ isLocatedIn(y,z'): the filter side is a base
+        // scan — an O(1) degree probe per left row, no key-set build.
+        let left = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "livesIn", "w", "x"),
+        );
+        let t = RaTerm::semijoin(left, scan(&db, &store, "isLocatedIn", "y", "q"));
+        let p = plan(&t, &store).unwrap();
+        match &p.op {
+            PhysOp::IndexSemiJoin { key, forward, .. } => {
+                assert_eq!(*key, store.symbols.col("y"));
+                assert!(*forward);
+            }
+            other => panic!("expected index semi-join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_join_disabled_by_the_ablation_knob() {
+        let db = fig2_yago_database();
+        let mut store = RelStore::load(&db);
+        let t = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        assert!(matches!(
+            plan(&t, &store).unwrap().op,
+            PhysOp::IndexJoin { .. }
+        ));
+        store.index_joins = false;
+        assert!(matches!(
+            plan(&t, &store).unwrap().op,
+            PhysOp::HashJoin { .. }
+        ));
     }
 
     #[test]
@@ -673,7 +1074,10 @@ mod tests {
     #[test]
     fn fixpoint_step_marks_static_subtrees() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
+        let mut store = RelStore::load(&db);
+        // Ablate index joins: with them on, the step's static scan is
+        // absorbed into an IndexJoin and nothing needs caching.
+        store.index_joins = false;
         let s = &store.symbols;
         let f = closure_fixpoint(
             s.recvar("X"),
@@ -746,7 +1150,13 @@ mod tests {
             ),
             vec![store.symbols.col("x"), store.symbols.col("z")],
         );
+        // Project + IndexJoin + probe scan: the absorbed isLocatedIn scan
+        // never allocates an id, so ids stay dense.
         let p = plan(&t, &store).unwrap();
-        assert_eq!(p.node_count(), 4);
+        assert!(matches!(
+            p.op,
+            PhysOp::Project { ref input } if matches!(input.op, PhysOp::IndexJoin { .. })
+        ));
+        assert_eq!(p.node_count(), 3);
     }
 }

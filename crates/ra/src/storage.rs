@@ -2,6 +2,21 @@
 //! Fig. 11): one binary table `(Sr, Tr)` per edge label and one unary
 //! table `(Sr)` per node label.
 //!
+//! **Zero-copy scans.** Tables hold their rows behind shared buffers
+//! ([`Relation`]'s `Arc`-backed data), so [`RelStore::edge_table`] /
+//! [`RelStore::node_table`] hand out O(1) handles — a scan never copies
+//! the graph. Out-of-range labels return a handle onto the process-wide
+//! shared empty buffer instead of allocating.
+//!
+//! **Adjacency indexes.** At load time the store also builds, per edge
+//! label, a forward and a reverse [`Csr`] with set semantics (parallel
+//! edges deduplicated to match the relational tables), plus it exposes
+//! each node table's sorted id set ([`RelStore::node_set`]). The
+//! physical planner ([`mod@crate::plan`]) uses these for
+//! [`crate::plan::PhysOp::IndexJoin`] / `IndexSemiJoin`: instead of
+//! materialising and hashing a base edge table, the executor probes the
+//! CSR neighbour lists directly.
+//!
 //! The store also owns the [`SymbolTable`] that defines the column-id
 //! space every [`crate::term::RaTerm`] executed against it lives in:
 //! translation interns through `store.symbols`, execution and the
@@ -9,7 +24,7 @@
 //! back to names.
 
 use sgq_common::{EdgeLabelId, NodeLabelId};
-use sgq_graph::{GraphDatabase, GraphStats};
+use sgq_graph::{Csr, GraphDatabase, GraphStats};
 
 use crate::symbols::SymbolTable;
 use crate::table::Relation;
@@ -19,13 +34,19 @@ pub const SR: &str = "Sr";
 /// Column name used for targets (paper's `Tr`).
 pub const TR: &str = "Tr";
 
-/// A column store over a graph database plus its statistics and the
-/// symbol table for the terms executed against it.
+/// A column store over a graph database plus its adjacency indexes,
+/// statistics and the symbol table for the terms executed against it.
 pub struct RelStore {
     /// Edge tables indexed by edge label id, columns `(Sr, Tr)`.
     edge_tables: Vec<Relation>,
     /// Node tables indexed by node label id, column `(Sr)`.
     node_tables: Vec<Relation>,
+    /// Forward CSR per edge label (set semantics): neighbours of `n` are
+    /// the targets of `n`'s out-edges.
+    edge_fwd: Vec<Csr>,
+    /// Reverse CSR per edge label: neighbours of `n` are the sources of
+    /// `n`'s in-edges.
+    edge_rev: Vec<Csr>,
     /// Statistics for the cost model.
     pub stats: GraphStats,
     /// Interned column / recursion-variable names for this store's terms.
@@ -35,25 +56,34 @@ pub struct RelStore {
     /// growth) instead of the measured statistics. Used by the harness's
     /// `estimates` experiment to quantify the q-error improvement.
     pub v1_estimates: bool,
+    /// Whether the planner may lower joins against base edge scans into
+    /// CSR index probes ([`crate::plan::PhysOp::IndexJoin`]). On by
+    /// default; turned off for ablations and for tests that pin the
+    /// scan-based strategies.
+    pub index_joins: bool,
 }
 
 impl RelStore {
-    /// Loads a graph database into relational tables (Fig. 11).
+    /// Loads a graph database into relational tables (Fig. 11) and
+    /// builds the per-label CSR adjacency indexes.
     pub fn load(db: &GraphDatabase) -> Self {
         let symbols = SymbolTable::new();
+        let node_count = db.node_count();
         let mut edge_tables = Vec::with_capacity(db.edge_label_count());
+        let mut edge_fwd = Vec::with_capacity(db.edge_label_count());
+        let mut edge_rev = Vec::with_capacity(db.edge_label_count());
         for le_idx in 0..db.edge_label_count() {
             let le = EdgeLabelId::new(le_idx as u32);
-            let pairs: Vec<(u32, u32)> = db
-                .edges(le)
-                .iter()
-                .map(|&(s, t)| (s.raw(), t.raw()))
-                .collect();
+            let edges = db.edges(le);
+            let pairs: Vec<(u32, u32)> = edges.iter().map(|&(s, t)| (s.raw(), t.raw())).collect();
             edge_tables.push(Relation::from_pairs(
                 SymbolTable::SR,
                 SymbolTable::TR,
                 &pairs,
             ));
+            edge_fwd.push(Csr::from_pairs_dedup(node_count, edges));
+            let rev: Vec<_> = edges.iter().map(|&(s, t)| (t, s)).collect();
+            edge_rev.push(Csr::from_pairs_dedup(node_count, &rev));
         }
         let mut node_tables = Vec::with_capacity(db.node_label_count());
         for l_idx in 0..db.node_label_count() {
@@ -64,13 +94,17 @@ impl RelStore {
         RelStore {
             edge_tables,
             node_tables,
+            edge_fwd,
+            edge_rev,
             stats: GraphStats::compute(db),
             symbols,
             v1_estimates: false,
+            index_joins: true,
         }
     }
 
-    /// The edge table for `le` (empty if out of range).
+    /// The edge table for `le`: an O(1) shared handle, never a row copy.
+    /// Out-of-range labels share the static empty buffer.
     pub fn edge_table(&self, le: EdgeLabelId) -> Relation {
         self.edge_tables
             .get(le.index())
@@ -78,12 +112,32 @@ impl RelStore {
             .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
     }
 
-    /// The node table for `l` (empty if out of range).
+    /// The node table for `l`: an O(1) shared handle, never a row copy.
+    /// Out-of-range labels share the static empty buffer.
     pub fn node_table(&self, l: NodeLabelId) -> Relation {
         self.node_tables
             .get(l.index())
             .cloned()
             .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR]))
+    }
+
+    /// The forward CSR for `le` (targets per source), if in range.
+    pub fn forward_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
+        self.edge_fwd.get(le.index())
+    }
+
+    /// The reverse CSR for `le` (sources per target), if in range.
+    pub fn reverse_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
+        self.edge_rev.get(le.index())
+    }
+
+    /// The sorted set of node ids carrying label `l` (empty when out of
+    /// range) — the membership side of label-filtered index joins.
+    pub fn node_set(&self, l: NodeLabelId) -> &[u32] {
+        self.node_tables
+            .get(l.index())
+            .map(|t| t.flat())
+            .unwrap_or(&[])
     }
 
     /// Number of edge tables.
@@ -100,6 +154,7 @@ impl RelStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sgq_common::NodeId;
     use sgq_graph::database::fig2_yago_database;
 
     #[test]
@@ -129,6 +184,72 @@ mod tests {
         let store = RelStore::load(&db);
         assert!(store.edge_table(EdgeLabelId::new(99)).is_empty());
         assert!(store.node_table(NodeLabelId::new(99)).is_empty());
+        assert!(store.forward_csr(EdgeLabelId::new(99)).is_none());
+        assert!(store.node_set(NodeLabelId::new(99)).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_lookups_share_one_empty_handle() {
+        // Regression: out-of-range lookups used to allocate a fresh
+        // `Relation` (fresh `Vec`s) per call. They now share the static
+        // empty row buffer across calls and across edge/node tables.
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let e1 = store.edge_table(EdgeLabelId::new(98));
+        let e2 = store.edge_table(EdgeLabelId::new(99));
+        let n1 = store.node_table(NodeLabelId::new(99));
+        assert!(e1.shares_data(&e2));
+        assert!(e1.shares_data(&n1));
+    }
+
+    #[test]
+    fn base_table_scans_are_zero_copy() {
+        // The tentpole pin: handing out a base table shares the loaded
+        // buffer — repeated scans, clones and positional renames never
+        // copy row data.
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let le = db.edge_label_id("isLocatedIn").unwrap();
+        let t1 = store.edge_table(le);
+        let t2 = store.edge_table(le);
+        assert!(t1.shares_data(&t2), "repeated scans share the buffer");
+        assert!(t1.clone().shares_data(&t1));
+        let renamed = t2.into_cols(vec![store.symbols.col("x"), store.symbols.col("y")]);
+        assert!(renamed.shares_data(&t1), "positional rename is zero-copy");
+        let l = db.node_label_id("CITY").unwrap();
+        assert!(store.node_table(l).shares_data(&store.node_table(l)));
+    }
+
+    #[test]
+    fn csr_indexes_match_edge_tables() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        for le_idx in 0..store.edge_table_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            let table = store.edge_table(le);
+            let fwd = store.forward_csr(le).expect("in range");
+            let rev = store.reverse_csr(le).expect("in range");
+            assert_eq!(fwd.edge_count(), table.len(), "set semantics");
+            assert_eq!(rev.edge_count(), table.len());
+            for row in table.rows() {
+                let (s, t) = (NodeId::new(row[0]), NodeId::new(row[1]));
+                assert!(fwd.has_edge(s, t), "forward CSR has {row:?}");
+                assert!(rev.has_edge(t, s), "reverse CSR has {row:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_sets_are_sorted_node_ids() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let l = db.node_label_id("CITY").unwrap();
+        let set = store.node_set(l);
+        assert_eq!(set.len(), store.node_table(l).len());
+        assert!(set.windows(2).all(|w| w[0] < w[1]), "strictly sorted");
+        for &n in set {
+            assert!(db.has_label(NodeId::new(n), l));
+        }
     }
 
     #[test]

@@ -1,9 +1,22 @@
-//! Set-semantics relations with interned column ids.
+//! Set-semantics relations with interned column ids and shared row
+//! buffers.
 //!
 //! Rows are stored flattened (`data[row * arity + col]`) for cache
 //! friendliness; every public operation returns a *canonical* relation
 //! (rows sorted lexicographically, duplicates removed), which makes
 //! equality, union and difference cheap merges.
+//!
+//! **Sharing model.** The flattened row data sits behind an
+//! `Arc<Vec<u32>>`: relations are immutable once constructed, so
+//! [`Relation::clone`], positional renames ([`Relation::with_cols`] /
+//! [`Relation::into_cols`]), [`Relation::rename`] and base-table scans
+//! out of [`crate::storage::RelStore`] are O(1) reference bumps that
+//! never copy a row. Operators that produce new rows build a fresh
+//! owned buffer and freeze it; nothing mutates a buffer after it is
+//! shared. Empty relations all share one process-wide buffer. The
+//! invariant that a relation has at least one column is asserted in the
+//! single internal constructor, so the accessors
+//! need no defensive zero-arity branches.
 //!
 //! Columns are [`ColId`]s (see [`crate::symbols::SymbolTable`]): schema
 //! comparisons are `u32` compares and schema clones are 4-byte copies.
@@ -14,6 +27,7 @@
 //! skip the re-sort entirely.
 
 use std::hash::Hash;
+use std::sync::{Arc, OnceLock};
 
 use sgq_common::{ColId, FxHashMap, FxHashSet, Result};
 
@@ -31,21 +45,53 @@ fn pack2(a: u32, b: u32) -> u64 {
     ((a as u64) << 32) | b as u64
 }
 
-/// A relation: interned column ids and flattened `u32` rows.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Relation {
-    cols: Vec<ColId>,
-    data: Vec<u32>,
+/// The one buffer every empty relation shares: out-of-range base-table
+/// lookups, empty scans and empty operator outputs all hand out clones
+/// of this `Arc` instead of allocating.
+fn empty_data() -> Arc<Vec<u32>> {
+    static EMPTY: OnceLock<Arc<Vec<u32>>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new())))
 }
 
+/// A relation: interned column ids and flattened `u32` rows behind a
+/// cheaply-clonable shared buffer (see the module docs for the sharing
+/// model).
+#[derive(Debug, Clone)]
+pub struct Relation {
+    cols: Vec<ColId>,
+    data: Arc<Vec<u32>>,
+}
+
+/// Equality compares schemas and rows, short-circuiting through pointer
+/// equality when two relations share one buffer.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.cols == other.cols && (Arc::ptr_eq(&self.data, &other.data) || self.data == other.data)
+    }
+}
+
+impl Eq for Relation {}
+
 impl Relation {
-    /// An empty relation with the given columns.
-    pub fn empty(cols: Vec<ColId>) -> Self {
+    /// The single internal constructor: every relation is built here, so
+    /// the zero-arity invariant lives in exactly one place. Freezes an
+    /// owned buffer into the shared representation (empty buffers
+    /// collapse onto the process-wide empty buffer).
+    fn new(cols: Vec<ColId>, data: Vec<u32>) -> Self {
         assert!(!cols.is_empty(), "relations need at least one column");
-        Relation {
-            cols,
-            data: Vec::new(),
-        }
+        debug_assert_eq!(data.len() % cols.len(), 0, "flat data must be row-major");
+        let data = if data.is_empty() {
+            empty_data()
+        } else {
+            Arc::new(data)
+        };
+        Relation { cols, data }
+    }
+
+    /// An empty relation with the given columns. All empty relations
+    /// share one static row buffer — no per-call allocation of row data.
+    pub fn empty(cols: Vec<ColId>) -> Self {
+        Relation::new(cols, Vec::new())
     }
 
     /// Builds a canonical relation from rows.
@@ -56,9 +102,8 @@ impl Relation {
             assert_eq!(row.len(), arity, "row arity mismatch");
             data.extend_from_slice(&row);
         }
-        let mut rel = Relation { cols, data };
-        rel.normalize();
-        rel
+        normalize_flat(arity, &mut data);
+        Relation::new(cols, data)
     }
 
     /// Builds a canonical binary relation from pairs.
@@ -68,12 +113,8 @@ impl Relation {
             data.push(a);
             data.push(b);
         }
-        let mut rel = Relation {
-            cols: vec![c1, c2],
-            data,
-        };
-        rel.normalize();
-        rel
+        normalize_flat(2, &mut data);
+        Relation::new(vec![c1, c2], data)
     }
 
     /// Column ids.
@@ -81,18 +122,14 @@ impl Relation {
         &self.cols
     }
 
-    /// Number of columns.
+    /// Number of columns (at least one, by construction).
     pub fn arity(&self) -> usize {
         self.cols.len()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        if self.cols.is_empty() {
-            0
-        } else {
-            self.data.len() / self.cols.len()
-        }
+        self.data.len() / self.cols.len()
     }
 
     /// Whether the relation has no rows.
@@ -108,55 +145,35 @@ impl Relation {
 
     /// Iterates over rows.
     pub fn rows(&self) -> impl Iterator<Item = &[u32]> {
-        self.data.chunks_exact(self.arity().max(1))
+        self.data.chunks_exact(self.arity())
+    }
+
+    /// The flattened row-major data (for arity-1 relations: the sorted
+    /// value set). Used by the storage layer to expose node-label sets.
+    pub(crate) fn flat(&self) -> &[u32] {
+        &self.data
+    }
+
+    /// Whether two relations share the same underlying row buffer — the
+    /// zero-copy pin used by tests: a cloned or positionally renamed
+    /// base-table scan must share, never copy.
+    pub fn shares_data(&self, other: &Relation) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Materialises an owned copy of the row data, breaking sharing —
+    /// the pre-zero-copy clone path, kept so benches and tests can
+    /// measure what every scan used to cost.
+    pub fn deep_clone(&self) -> Relation {
+        Relation {
+            cols: self.cols.clone(),
+            data: Arc::new(self.data.as_ref().clone()),
+        }
     }
 
     /// Index of a column by id.
     pub fn col_index(&self, col: ColId) -> Option<usize> {
         self.cols.iter().position(|&c| c == col)
-    }
-
-    /// Sorts rows lexicographically and removes duplicates.
-    fn normalize(&mut self) {
-        let arity = self.arity();
-        if arity == 0 || self.data.is_empty() {
-            return;
-        }
-        let n = self.len();
-        let mut idx: Vec<u32> = (0..n as u32).collect();
-        let data = &self.data;
-        idx.sort_unstable_by(|&a, &b| {
-            data[a as usize * arity..(a as usize + 1) * arity]
-                .cmp(&data[b as usize * arity..(b as usize + 1) * arity])
-        });
-        let mut out = Vec::with_capacity(self.data.len());
-        let mut last: Option<&[u32]> = None;
-        for &i in &idx {
-            let row = &data[i as usize * arity..(i as usize + 1) * arity];
-            if last != Some(row) {
-                out.extend_from_slice(row);
-            }
-            last = Some(row);
-        }
-        self.data = out;
-    }
-
-    /// Removes adjacent duplicates (sufficient when rows are already
-    /// sorted, e.g. after a prefix projection).
-    fn dedup_sorted(&mut self) {
-        let arity = self.arity();
-        if arity == 0 || self.data.is_empty() {
-            return;
-        }
-        let mut out = Vec::with_capacity(self.data.len());
-        let mut last: Option<&[u32]> = None;
-        for row in self.data.chunks_exact(arity) {
-            if last != Some(row) {
-                out.extend_from_slice(row);
-            }
-            last = Some(row);
-        }
-        self.data = out;
     }
 
     /// `π_cols` with set semantics (duplicates removed).
@@ -171,39 +188,34 @@ impl Relation {
                 data.push(row[p]);
             }
         }
-        let mut rel = Relation {
-            cols: cols.to_vec(),
-            data,
-        };
         // Projecting onto a prefix of the lexicographic sort key keeps
         // rows sorted; only duplicates can appear.
         if positions.iter().copied().eq(0..positions.len()) {
-            rel.dedup_sorted();
+            dedup_sorted_flat(positions.len(), &mut data);
         } else {
-            rel.normalize();
+            normalize_flat(positions.len(), &mut data);
         }
-        rel
+        Relation::new(cols.to_vec(), data)
     }
 
-    /// `ρ_{from→to}`. Renaming never touches row data, so canonical form
-    /// is preserved without re-sorting.
+    /// `ρ_{from→to}`. Renaming never touches row data: the result shares
+    /// the input's buffer.
     pub fn rename(&self, from: ColId, to: ColId) -> Relation {
         let mut cols = self.cols.clone();
         let i = self.col_index(from).expect("renamed column must exist");
         cols[i] = to;
         Relation {
             cols,
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         }
     }
 
-    /// Renames columns positionally to `cols` (no re-sort needed: row data
-    /// is unchanged).
+    /// Renames columns positionally to `cols`, sharing the row buffer.
     pub fn with_cols(&self, cols: Vec<ColId>) -> Relation {
         assert_eq!(cols.len(), self.arity());
         Relation {
             cols,
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
         }
     }
 
@@ -220,17 +232,16 @@ impl Relation {
 
     /// Builds a canonical relation from flattened row data (row-major,
     /// `data.len()` a multiple of `cols.len()`).
-    pub(crate) fn from_flat(cols: Vec<ColId>, data: Vec<u32>) -> Relation {
-        let mut rel = Relation { cols, data };
-        rel.normalize();
-        rel
+    pub(crate) fn from_flat(cols: Vec<ColId>, mut data: Vec<u32>) -> Relation {
+        normalize_flat(cols.len(), &mut data);
+        Relation::new(cols, data)
     }
 
     /// Builds a relation from flattened row data the caller guarantees is
     /// already canonical (sorted, deduplicated) — e.g. a merge join's
     /// output.
     pub(crate) fn from_flat_sorted(cols: Vec<ColId>, data: Vec<u32>) -> Relation {
-        let rel = Relation { cols, data };
+        let rel = Relation::new(cols, data);
         debug_assert!(
             rel.rows().zip(rel.rows().skip(1)).all(|(a, b)| a < b),
             "from_flat_sorted requires canonical input"
@@ -247,10 +258,7 @@ impl Relation {
                 data.extend_from_slice(row);
             }
         }
-        Relation {
-            cols: self.cols.clone(),
-            data,
-        }
+        Relation::new(self.cols.clone(), data)
     }
 
     /// Natural join on shared column ids (hash join, smaller side built).
@@ -343,12 +351,8 @@ impl Relation {
                 )?,
             }
         }
-        let mut rel = Relation {
-            cols: out_cols,
-            data,
-        };
-        rel.normalize();
-        Ok(rel)
+        normalize_flat(out_cols.len(), &mut data);
+        Ok(Relation::new(out_cols, data))
     }
 
     /// Semi-join `self ⋉ other` on shared column ids. Filtering preserves
@@ -408,10 +412,7 @@ impl Relation {
                 poll,
             )?,
         };
-        Ok(Relation {
-            cols: self.cols.clone(),
-            data,
-        })
+        Ok(Relation::new(self.cols.clone(), data))
     }
 
     /// Union (same column ids required). Both inputs are canonical, so
@@ -441,10 +442,7 @@ impl Relation {
         }
         data.extend_from_slice(&self.data[i * arity..]);
         data.extend_from_slice(&other.data[j * arity..]);
-        Relation {
-            cols: self.cols.clone(),
-            data,
-        }
+        Relation::new(self.cols.clone(), data)
     }
 
     /// Difference `self \ other` (same column ids; both canonical).
@@ -470,30 +468,31 @@ impl Relation {
             data.extend_from_slice(self.row(i));
             i += 1;
         }
-        Relation {
-            cols: self.cols.clone(),
-            data,
-        }
+        Relation::new(self.cols.clone(), data)
     }
 
     /// Union of many relations with identical schemas, normalised once —
     /// replaces a fold of pairwise unions (which re-merges the
     /// accumulated result k times) with a single collect-then-normalize.
+    /// A single-element union returns that relation unchanged (sharing
+    /// its buffer).
     pub fn union_many(rels: Vec<Relation>) -> Relation {
         let mut it = rels.into_iter();
-        let Some(mut first) = it.next() else {
+        let Some(first) = it.next() else {
             panic!("union_many requires at least one relation");
         };
-        let mut any_more = false;
+        let mut it = it.peekable();
+        if it.peek().is_none() {
+            return first;
+        }
+        let mut data = Vec::new();
+        data.extend_from_slice(&first.data);
         for rel in it {
             assert_eq!(first.cols, rel.cols, "union requires identical schemas");
-            first.data.extend_from_slice(&rel.data);
-            any_more = true;
+            data.extend_from_slice(&rel.data);
         }
-        if any_more {
-            first.normalize();
-        }
-        first
+        normalize_flat(first.cols.len(), &mut data);
+        Relation::new(first.cols, data)
     }
 
     /// Merge join on the shared `key_len`-column prefix. Both inputs must
@@ -596,11 +595,51 @@ impl Relation {
                 }
             }
         }
-        Ok(Relation {
-            cols: self.cols.clone(),
-            data,
-        })
+        Ok(Relation::new(self.cols.clone(), data))
     }
+}
+
+/// Sorts rows of a flat row-major buffer lexicographically and removes
+/// duplicates. `arity` must be at least one.
+fn normalize_flat(arity: usize, data: &mut Vec<u32>) {
+    if data.is_empty() {
+        return;
+    }
+    debug_assert!(arity >= 1);
+    let n = data.len() / arity;
+    let mut idx: Vec<u32> = (0..n as u32).collect();
+    idx.sort_unstable_by(|&a, &b| {
+        data[a as usize * arity..(a as usize + 1) * arity]
+            .cmp(&data[b as usize * arity..(b as usize + 1) * arity])
+    });
+    let mut out = Vec::with_capacity(data.len());
+    let mut last: Option<&[u32]> = None;
+    for &i in &idx {
+        let row = &data[i as usize * arity..(i as usize + 1) * arity];
+        if last != Some(row) {
+            out.extend_from_slice(row);
+        }
+        last = Some(row);
+    }
+    *data = out;
+}
+
+/// Removes adjacent duplicate rows from a flat buffer (sufficient when
+/// rows are already sorted, e.g. after a prefix projection).
+fn dedup_sorted_flat(arity: usize, data: &mut Vec<u32>) {
+    if data.is_empty() {
+        return;
+    }
+    debug_assert!(arity >= 1);
+    let mut out = Vec::with_capacity(data.len());
+    let mut last: Option<&[u32]> = None;
+    for row in data.chunks_exact(arity) {
+        if last != Some(row) {
+            out.extend_from_slice(row);
+        }
+        last = Some(row);
+    }
+    *data = out;
 }
 
 /// A hash index over a build-side relation, keyed on a fixed set of
@@ -994,6 +1033,41 @@ mod tests {
         let renamed = r.clone().into_cols(vec![c(8), c(9)]);
         assert_eq!(renamed.cols(), &[c(8), c(9)]);
         assert_eq!(renamed.row(0), &[1, 2]);
+        assert!(renamed.shares_data(&r), "into_cols must not copy rows");
+    }
+
+    #[test]
+    fn clones_and_renames_share_row_data() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        assert!(r.clone().shares_data(&r), "clone must not copy rows");
+        assert!(
+            r.rename(c(0), c(7)).shares_data(&r),
+            "rename must not copy rows"
+        );
+        assert!(
+            r.with_cols(vec![c(8), c(9)]).shares_data(&r),
+            "with_cols must not copy rows"
+        );
+        let deep = r.deep_clone();
+        assert_eq!(deep, r);
+        assert!(!deep.shares_data(&r), "deep_clone must break sharing");
+    }
+
+    #[test]
+    fn empty_relations_share_one_static_buffer() {
+        let a = Relation::empty(vec![c(0), c(1)]);
+        let b = Relation::empty(vec![c(5)]);
+        assert!(a.shares_data(&b), "all empties share the static buffer");
+        // An operator producing no rows lands on the same buffer.
+        let r = rel(&[0], &[&[1]]);
+        let none = r.semijoin(&Relation::empty(vec![c(0)]));
+        assert!(none.shares_data(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn zero_arity_relations_are_rejected() {
+        let _ = Relation::from_rows(vec![], std::iter::empty());
     }
 
     #[test]

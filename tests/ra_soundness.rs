@@ -10,12 +10,18 @@
 //! 2. `execute_plan(plan(optimize(t))) == execute(t)` — explicit
 //!    pre-lowering (the harness path) agrees with term-level execution,
 //!    with and without fixpoint build-side caching.
-//! 3. Every `Relation` operator returns a canonical (strictly sorted,
+//! 3. `execute_plan(index-enabled) == execute_plan(index-disabled) ==
+//!    execute(t)` — planning against the store's CSR adjacency indexes
+//!    never changes results.
+//! 4. Every `Relation` operator returns a canonical (strictly sorted,
 //!    deduplicated) result, including the operators that skip the re-sort
 //!    because they provably preserve order.
 //!
 //! Plus directed tests pinning the physical operator selection rules
-//! (merge vs hash joins, fused filtered scans, cached build sides).
+//! (index vs merge vs hash joins, label-filtered index scans, index
+//! joins inside fixpoint steps, fused filtered scans, cached build
+//! sides) and the zero-copy invariants (cloning or scanning a base
+//! table shares the store's row buffer — Arc pointer equality).
 
 use sgq_algebra::ast::PathExpr;
 use sgq_common::{ColId, Rng};
@@ -155,7 +161,9 @@ fn physical_plans_match_term_execution() {
 #[test]
 fn planner_selects_merge_join_for_aligned_inputs() {
     let db = fig2_yago_database();
-    let store = RelStore::load(&db);
+    let mut store = RelStore::load(&db);
+    // Ablate index joins: this test pins the scan-based strategies.
+    store.index_joins = false;
     let s = &store.symbols;
     let scan = |label: &str, src, tgt| RaTerm::EdgeScan {
         label: db.edge_label_id(label).unwrap(),
@@ -229,7 +237,10 @@ fn planner_fuses_semijoin_onto_scan() {
 #[test]
 fn fixpoint_build_caching_reduces_work_with_identical_results() {
     let db = fig2_yago_database();
-    let store = RelStore::load(&db);
+    let mut store = RelStore::load(&db);
+    // Ablate index joins so the step actually hash-joins: with the CSR
+    // the step builds nothing at all (pinned separately below).
+    store.index_joins = false;
     let s = &store.symbols;
     let f = closure_fixpoint(
         s.recvar("X"),
@@ -260,6 +271,167 @@ fn fixpoint_build_caching_reduces_work_with_identical_results() {
         cached.rows_materialized <= uncached.rows_materialized,
         "cached intermediates must not inflate materialisation"
     );
+}
+
+#[test]
+fn index_joins_preserve_execution_results() {
+    // The CSR index-join property: for random optimised terms,
+    // `execute_plan(index-enabled) == execute_plan(index-disabled) ==
+    // execute(term)` — planning against the adjacency indexes never
+    // changes results, only how they are computed.
+    let db = fig2_yago_database();
+    let mut store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x1d9);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+        let opt = optimize(&term, &store);
+
+        store.index_joins = true;
+        let p_index = plan(&opt, &store).expect("plans with indexes");
+        store.index_joins = false;
+        let p_scan = plan(&opt, &store).expect("plans without indexes");
+
+        let mut ctx = ExecContext::new();
+        let reference = execute(&term, &store, &mut ctx).expect("term executes");
+        let mut ctx = ExecContext::new();
+        let r_index = execute_plan(&p_index, &store, &mut ctx).expect("index plan executes");
+        let mut ctx = ExecContext::new();
+        let r_scan = execute_plan(&p_scan, &store, &mut ctx).expect("scan plan executes");
+
+        let head = [v0, v1];
+        assert_eq!(
+            reference.project(&head),
+            r_index.project(&head),
+            "index plan changed semantics (seed {seed}) for {expr:?}"
+        );
+        assert_eq!(
+            r_index.project(&head),
+            r_scan.project(&head),
+            "index and scan plans disagree (seed {seed}) for {expr:?}"
+        );
+    }
+    store.index_joins = true;
+}
+
+#[test]
+fn label_filtered_index_join_matches_scan_strategies() {
+    // Directed: a doubly label-filtered edge scan absorbed into an
+    // index join filters through the sorted node-label sets. CITY→REGION
+    // keeps only Grenoble→AuvergneRhôneAlpes reachable from livesIn.
+    let db = fig2_yago_database();
+    let mut store = RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str, src, tgt| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).unwrap(),
+        src: s.col(src),
+        tgt: s.col(tgt),
+    };
+    let node = |label: &str, col: &str| RaTerm::NodeScan {
+        labels: vec![db.node_label_id(label).unwrap()],
+        col: s.col(col),
+    };
+    let filtered = RaTerm::semijoin(
+        RaTerm::semijoin(scan("isLocatedIn", "y", "z"), node("CITY", "y")),
+        node("REGION", "z"),
+    );
+    let t = RaTerm::join(scan("livesIn", "x", "y"), filtered);
+    let p = plan(&t, &store).unwrap();
+    assert!(
+        matches!(
+            p.op,
+            PhysOp::IndexJoin { ref src_labels, ref tgt_labels, .. }
+                if src_labels.is_some() && tgt_labels.is_some()
+        ),
+        "{p:?}"
+    );
+    let mut ctx = ExecContext::new();
+    let r_index = execute_plan(&p, &store, &mut ctx).unwrap();
+    store.index_joins = false;
+    let p_scan = plan(&t, &store).unwrap();
+    let mut ctx = ExecContext::new();
+    let r_scan = execute_plan(&p_scan, &store, &mut ctx).unwrap();
+    assert_eq!(r_index, r_scan);
+    assert_eq!(r_index.len(), 2, "one CITY→REGION hop per resident");
+}
+
+#[test]
+fn index_join_inside_fixpoint_interacts_with_the_step_cache() {
+    // Directed: the closure step's join against the static renamed scan
+    // probes the CSR instead of building a hash table. Cached and
+    // uncached fixpoint execution agree, no hash table is built in any
+    // round, and the index-disabled plan produces identical results.
+    let db = fig2_yago_database();
+    let mut store = RelStore::load(&db);
+    let s = &store.symbols;
+    let f = closure_fixpoint(
+        s.recvar("X"),
+        RaTerm::EdgeScan {
+            label: db.edge_label_id("isLocatedIn").unwrap(),
+            src: s.col("x"),
+            tgt: s.col("y"),
+        },
+        s.col("x"),
+        s.col("y"),
+        s.col("m"),
+    );
+    let p = plan(&f, &store).unwrap();
+    assert!(
+        p.contains_op(&|op| matches!(op, PhysOp::IndexJoin { .. })),
+        "{p:?}"
+    );
+
+    let mut cached = ExecContext::new();
+    let r_cached = execute_plan(&p, &store, &mut cached).unwrap();
+    let mut uncached = ExecContext::new();
+    uncached.no_fixpoint_cache = true;
+    let r_uncached = execute_plan(&p, &store, &mut uncached).unwrap();
+    assert_eq!(r_cached, r_uncached, "step cache must not change results");
+    assert!(cached.fixpoint_rounds >= 2, "closure iterates");
+    assert_eq!(cached.hash_builds, 0, "the CSR is the build side");
+    assert_eq!(uncached.hash_builds, 0);
+
+    store.index_joins = false;
+    let p_scan = plan(&f, &store).unwrap();
+    let mut ctx = ExecContext::new();
+    let r_scan = execute_plan(&p_scan, &store, &mut ctx).unwrap();
+    assert_eq!(r_cached, r_scan);
+    assert!(ctx.hash_builds > 0, "the ablation builds hash tables");
+}
+
+#[test]
+fn cloning_a_scanned_base_table_does_not_copy_row_data() {
+    // The zero-copy pin (Arc pointer equality): base-table handles,
+    // their clones, positional renames and executed bare scans all share
+    // the store's loaded buffer.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let le = db.edge_label_id("isLocatedIn").unwrap();
+    let t1 = store.edge_table(le);
+    let t2 = store.edge_table(le);
+    assert!(t1.shares_data(&t2), "two scans share one buffer");
+    assert!(t1.clone().shares_data(&t1), "clone shares");
+    let renamed = t1.with_cols(vec![store.symbols.col("x"), store.symbols.col("y")]);
+    assert!(renamed.shares_data(&t1), "positional rename shares");
+
+    let term = RaTerm::EdgeScan {
+        label: le,
+        src: store.symbols.col("x"),
+        tgt: store.symbols.col("y"),
+    };
+    let mut ctx = ExecContext::new();
+    let executed = execute(&term, &store, &mut ctx).unwrap();
+    assert!(
+        executed.shares_data(&t1),
+        "executing a bare scan returns the store's buffer"
+    );
+    // Out-of-range lookups share the static empty handle.
+    let e1 = store.edge_table(sgq_common::EdgeLabelId::new(1000));
+    let e2 = store.edge_table(sgq_common::EdgeLabelId::new(1001));
+    assert!(e1.shares_data(&e2));
 }
 
 #[test]
