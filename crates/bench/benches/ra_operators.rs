@@ -73,6 +73,20 @@ fn bench(c: &mut Criterion) {
             execute_plan(&p, &store, &mut ctx).unwrap()
         })
     });
+    group.bench_function("parallel_fixpoint_isPartOf_closure", |b| {
+        // The same closure with each round's delta probe split into
+        // morsels against the cached static build side (DOP 4; the
+        // threshold is lowered so every round parallelises even as the
+        // delta shrinks).
+        let t = closure_fixpoint(s.recvar("X"), scan(is_part_of, x, y), x, y, m);
+        let p = plan(&t, &store).unwrap();
+        b.iter(|| {
+            let mut ctx = ExecContext::new();
+            ctx.dop = 4;
+            ctx.parallel_threshold = 1024;
+            execute_plan(&p, &store, &mut ctx).unwrap()
+        })
+    });
     group.bench_function("fixpoint_isPartOf_closure_uncached", |b| {
         // Same plan with static build-side caching disabled: every round
         // rebuilds the isPartOf hash table.

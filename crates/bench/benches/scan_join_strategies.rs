@@ -80,6 +80,53 @@ fn bench(c: &mut Criterion) {
         });
     }
 
+    // --- Morsel-driven parallelism: DOP sweep over the largest probe.
+    //     Results are asserted identical to serial before timing; the
+    //     printed speedups are the intra-query scaling figure (expect
+    //     >= 1.5x at DOP 4 on a multi-core host for these probes). ---
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("hardware threads: {hw}");
+    let likes = schema.edge_label("likes").unwrap();
+    let big = RaTerm::join(scan(likes, w, y), scan(knows, y, z));
+    store.index_joins = true;
+    let p_par_index = plan(&big, &store).unwrap();
+    store.index_joins = false;
+    let p_par_hash = plan(&big, &store).unwrap();
+    store.index_joins = true;
+    for (name, p) in [("index", &p_par_index), ("hash", &p_par_hash)] {
+        let run = |dop: usize| {
+            let mut ctx = ExecContext::new();
+            ctx.dop = dop;
+            // The sweep measures scaling, not the admission gate: force
+            // parallel sections even if this scale sits near the default
+            // 16K-row threshold.
+            ctx.parallel_threshold = 1024;
+            execute_plan(p, &store, &mut ctx).unwrap()
+        };
+        let serial = run(1);
+        let mut base_s = 0.0;
+        for dop in [1usize, 2, 4, 8] {
+            assert_eq!(serial, run(dop), "DOP={dop} diverged on {name}/likes");
+            let reps = 5;
+            let start = std::time::Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(run(dop));
+            }
+            let per_run = start.elapsed().as_secs_f64() / reps as f64;
+            if dop == 1 {
+                base_s = per_run;
+            }
+            println!(
+                "parallel/{name}/likes dop={dop}: {:.2} ms/run, speedup {:.2}x",
+                per_run * 1e3,
+                base_s / per_run
+            );
+            group.bench_function(format!("parallel/{name}/likes/dop{dop}"), |b| {
+                b.iter(|| run(dop))
+            });
+        }
+    }
+
     // --- Aligned self-join: merge (ablated) vs whatever the cost model
     //     picks with the indexes on. ---
     let aligned = RaTerm::join(scan(knows, x, y), scan(knows, x, z));

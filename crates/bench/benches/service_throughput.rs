@@ -76,6 +76,48 @@ fn service_throughput(c: &mut Criterion) {
             service.shutdown();
         }
     }
+    // --- Intra-query DOP sweep: a fixed 2-worker pool, each query
+    //     fanning its morsels across the shared exec scheduler via
+    //     `QueryOptions::dop`. The threshold is lowered so the smoke
+    //     catalog's probes actually parallelise at SF 0.1. ---
+    let mut dop_table: Vec<(usize, f64)> = Vec::new();
+    for dop in [1usize, 2, 4, 8] {
+        let service = Service::with_store(
+            Arc::clone(&schema),
+            Arc::clone(&db),
+            Arc::clone(&store),
+            ServiceConfig {
+                workers: 2,
+                queue_capacity: CLIENTS * 2,
+                max_dop: 8,
+                parallel_row_threshold: 1024,
+                ..Default::default()
+            },
+        );
+        let opts = QueryOptions {
+            dop: Some(dop),
+            ..Default::default()
+        };
+        let session = service.session();
+        for q in &queries {
+            session.prepare(q, &opts).expect("warmup prepares");
+        }
+        group.bench_with_input(BenchmarkId::new("dop", dop), &(), |b, ()| {
+            b.iter(|| run_clients(&service, &queries, CLIENTS, 1, &opts))
+        });
+        let start = Instant::now();
+        let (completed, _busy) = run_clients(&service, &queries, CLIENTS, 1, &opts);
+        let m = service.metrics();
+        assert_eq!(m.errors, 0, "bench queries must succeed");
+        dop_table.push((dop, completed as f64 / start.elapsed().as_secs_f64()));
+        if dop > 1 {
+            println!(
+                "  dop={dop}: {} of {} queries ran parallel sections ({} morsels)",
+                m.parallel_queries, m.completed, m.morsels_executed
+            );
+        }
+        service.shutdown();
+    }
     group.finish();
 
     println!("\nservice_throughput summary ({CLIENTS} clients, LDBC SF0.1 catalog):");
@@ -98,6 +140,13 @@ fn service_throughput(c: &mut Criterion) {
         qps_of(4, false) / qps_of(1, false).max(1e-9),
         std::thread::available_parallelism().map_or(1, |n| n.get())
     );
+    let dop1 = dop_table.first().map_or(0.0, |&(_, q)| q).max(1e-9);
+    for &(dop, qps) in &dop_table {
+        println!(
+            "  intra-query dop={dop} (2 workers): {qps:.1} qps, speedup {:.2}x",
+            qps / dop1
+        );
+    }
 }
 
 criterion_group!(benches, service_throughput);

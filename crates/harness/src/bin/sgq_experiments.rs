@@ -9,8 +9,8 @@
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
-//!              | plans | smoke | serve | estimates
-//!              (the last four run explicit only, not as part of `all`)
+//!              | plans | smoke | serve | estimates | parallel
+//!              (the last five run explicit only, not as part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
@@ -25,6 +25,10 @@
 //! (`--est-sf` picks the LDBC scale factor, `--yago-scale` the YAGO
 //! size); `estimates --smoke` is the CI gate asserting the v2 median
 //! q-error beats v1 on both catalogs.
+//! `parallel` replays both catalogs serially and at DOP=N, asserts the
+//! results bit-identical, and prints per-query speedups;
+//! `parallel --smoke` is the CI gate at smoke scale with the cost gate
+//! forced open so every probe splits into morsels.
 //! ```
 
 use std::io::Write as _;
@@ -32,6 +36,7 @@ use std::io::Write as _;
 use sgq_core::RedundancyRule;
 use sgq_harness::estimates::{self, EstimatesConfig};
 use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
+use sgq_harness::parallel::{self, ParallelConfig};
 use sgq_harness::runner::Backend;
 
 fn main() {
@@ -40,6 +45,7 @@ fn main() {
     let mut cfg = ExperimentConfig::default();
     let mut serve_cfg = ServeConfig::default();
     let mut est_cfg = EstimatesConfig::default();
+    let mut par_cfg = ParallelConfig::default();
     let mut smoke_variant = false;
     let mut out_path: Option<String> = None;
 
@@ -52,6 +58,7 @@ fn main() {
                 cfg.run.timeout_ms = ms;
                 serve_cfg.timeout_ms = ms;
                 est_cfg.timeout_ms = ms;
+                par_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -144,6 +151,13 @@ fn main() {
             println!("{}", estimates::estimates_smoke());
         } else {
             println!("{}", estimates::estimates(&est_cfg));
+        }
+    }
+    if want_exact("parallel") {
+        if smoke_variant {
+            println!("{}", parallel::parallel_smoke());
+        } else {
+            println!("{}", parallel::parallel(&par_cfg));
         }
     }
 

@@ -495,10 +495,10 @@ pub fn fig17(sf: f64) -> String {
     out.push_str(&plan_s);
     let mut ctx = ExecContext::new();
     let _ = sgq_ra::execute(&t_base, &store, &mut ctx);
-    let base_rows = ctx.rows_materialized;
+    let base_rows = ctx.rows_materialized();
     let mut ctx = ExecContext::new();
     let _ = sgq_ra::execute(&t_schema, &store, &mut ctx);
-    let schema_rows = ctx.rows_materialized;
+    let schema_rows = ctx.rows_materialized();
     let _ = writeln!(
         out,
         "\nIntermediate rows materialised: baseline = {base_rows}, schema-enriched = {schema_rows}"
@@ -647,9 +647,9 @@ pub fn physical_plans() -> String {
         ctx_index.hash_builds,
         cached.hash_builds,
         uncached.hash_builds,
-        ctx_index.rows_materialized,
-        cached.rows_materialized,
-        uncached.rows_materialized,
+        ctx_index.rows_materialized(),
+        cached.rows_materialized(),
+        uncached.rows_materialized(),
     );
 
     // 4. The µ-RA pushdown composed with the physical layer: the label

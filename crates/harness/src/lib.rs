@@ -9,6 +9,9 @@
 //! * [`estimates`] — the cardinality-estimation quality experiment:
 //!   per-query q-error of the stats-v2 cost model vs the v1 heuristics
 //!   over both catalogs (CI-gated via `estimates --smoke`),
+//! * [`mod@parallel`] — morsel-driven intra-query parallelism: DOP=N vs
+//!   serial execution over both catalogs, bit-identical results asserted
+//!   (CI-gated via `parallel --smoke`),
 //! * [`records`] — serialisable raw measurements (dumped via
 //!   `sgq-experiments --out results.json` so every number is
 //!   regenerable).
@@ -17,6 +20,7 @@
 
 pub mod estimates;
 pub mod experiments;
+pub mod parallel;
 pub mod records;
 pub mod runner;
 pub mod summary;

@@ -1,0 +1,233 @@
+//! The `parallel` experiment: morsel-driven intra-query parallelism
+//! soundness and scaling over the bundled catalogs.
+//!
+//! For every query of the YAGO and LDBC catalogs, the schema-rewritten
+//! query is planned once and executed twice — serially (`DOP = 1`) and
+//! with morsel-parallel operators (`DOP = N` over the shared task
+//! scheduler). The runs must agree **bit-for-bit** (same columns, same
+//! row buffer contents — the canonical set semantics make this exact,
+//! not just set-equal); any divergence panics. Per-query timings and the
+//! morsel counts are tabulated, with a sample speedup summary at the
+//! end. The smoke variant ([`parallel_smoke`]) is the CI gate: both
+//! catalogs at smoke scale with the cost gate forced open so even tiny
+//! probes split into morsels, `DOP = 2` against `DOP = 1`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use sgq_core::pipeline::RewriteOptions;
+use sgq_datasets::ldbc::{self, LdbcConfig};
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_datasets::CatalogQuery;
+use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_ra::exec::{execute_plan, ExecContext};
+use sgq_ra::optimize::optimize;
+use sgq_ra::{plan, RelStore};
+use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
+
+use crate::runner::{query_for, Approach};
+
+/// Configuration for the `parallel` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// LDBC scale factor to replay.
+    pub ldbc_sf: f64,
+    /// Scaling of the YAGO dataset relative to the default size.
+    pub yago_scale: f64,
+    /// Degree of parallelism for the parallel run.
+    pub dop: usize,
+    /// Probe-row threshold below which operators stay serial; the smoke
+    /// variant forces 1 so tiny fixtures still exercise the morsel path.
+    pub parallel_threshold: usize,
+    /// Morsel size cap (rows).
+    pub morsel_rows: usize,
+    /// Per-query execution timeout (ms).
+    pub timeout_ms: u64,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            ldbc_sf: 0.3,
+            yago_scale: 0.3,
+            dop: 4,
+            parallel_threshold: 1_024,
+            morsel_rows: sgq_ra::parallel::MORSEL_ROWS,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// The small configuration used by CI (`parallel --smoke`).
+    pub fn smoke() -> Self {
+        ParallelConfig {
+            ldbc_sf: 0.1,
+            yago_scale: 0.05,
+            dop: 2,
+            parallel_threshold: 1,
+            morsel_rows: 256,
+            timeout_ms: 10_000,
+        }
+    }
+}
+
+/// One per-query serial-vs-parallel measurement.
+#[derive(Debug, Clone)]
+pub struct ParRecord {
+    /// Catalog the query came from (`YAGO` / `LDBC`).
+    pub dataset: &'static str,
+    /// Query label as in Tab. 4.
+    pub query: String,
+    /// Result rows (identical across both runs by construction).
+    pub rows: usize,
+    /// Serial execution time (ms).
+    pub serial_ms: f64,
+    /// Parallel execution time (ms).
+    pub parallel_ms: f64,
+    /// Morsel tasks the parallel run dispatched.
+    pub morsels: usize,
+}
+
+fn catalog_records(
+    dataset: &'static str,
+    schema: &GraphSchema,
+    db: &GraphDatabase,
+    queries: &[CatalogQuery],
+    cfg: &ParallelConfig,
+) -> Vec<ParRecord> {
+    let store = RelStore::load(db);
+    let mut records = Vec::new();
+    for q in queries {
+        let Some(ucqt) = query_for(schema, &q.expr, Approach::Schema, RewriteOptions::default())
+        else {
+            continue;
+        };
+        let mut names = NameGen::new(&store.symbols);
+        let Ok(term) = ucqt_to_term(&ucqt, &mut names) else {
+            continue;
+        };
+        let Ok(p) = plan(&optimize(&term, &store), &store) else {
+            continue;
+        };
+        let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+        let start = Instant::now();
+        let Ok(serial) = execute_plan(&p, &store, &mut ctx) else {
+            continue; // timed out serially; nothing to compare
+        };
+        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+        ctx.dop = cfg.dop;
+        ctx.parallel_threshold = cfg.parallel_threshold;
+        ctx.morsel_rows = cfg.morsel_rows.max(1);
+        let start = Instant::now();
+        let parallel = execute_plan(&p, &store, &mut ctx)
+            .unwrap_or_else(|e| panic!("{dataset}/{}: parallel run failed: {e}", q.name));
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            serial, parallel,
+            "{dataset}/{}: DOP={} diverged from serial execution",
+            q.name, cfg.dop
+        );
+        records.push(ParRecord {
+            dataset,
+            query: q.name.to_string(),
+            rows: serial.len(),
+            serial_ms,
+            parallel_ms,
+            morsels: ctx.morsels_executed,
+        });
+    }
+    records
+}
+
+/// Runs the experiment over both catalogs, returning the raw records.
+pub fn run_parallel(cfg: &ParallelConfig) -> Vec<ParRecord> {
+    let mut records = Vec::new();
+    let (schema, db) = yago::generate(YagoConfig::scaled(cfg.yago_scale));
+    let queries = yago::queries(&schema).expect("catalog parses");
+    records.extend(catalog_records("YAGO", &schema, &db, &queries, cfg));
+    let (schema, db) = ldbc::generate(LdbcConfig::at_scale(cfg.ldbc_sf));
+    let queries = ldbc::queries(&schema).expect("catalog parses");
+    records.extend(catalog_records("LDBC", &schema, &db, &queries, cfg));
+    records
+}
+
+/// Renders the records as a table plus a speedup summary.
+pub fn render_parallel(records: &[ParRecord], cfg: &ParallelConfig) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "parallel execution: DOP={} vs serial (YAGO x{}, LDBC SF {}, {} hardware threads)",
+        cfg.dop,
+        cfg.yago_scale,
+        cfg.ldbc_sf,
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        out,
+        "{:<7} {:<14} {:>10} {:>12} {:>12} {:>8} {:>9}",
+        "dataset", "query", "rows", "serial ms", "parallel ms", "morsels", "speedup"
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{:<7} {:<14} {:>10} {:>12.2} {:>12.2} {:>8} {:>8.2}x",
+            r.dataset,
+            r.query,
+            r.rows,
+            r.serial_ms,
+            r.parallel_ms,
+            r.morsels,
+            r.serial_ms / r.parallel_ms.max(1e-9)
+        );
+    }
+    let parallelised: Vec<&ParRecord> = records.iter().filter(|r| r.morsels > 0).collect();
+    let (s, p) = parallelised
+        .iter()
+        .fold((0.0, 0.0), |(s, p), r| (s + r.serial_ms, p + r.parallel_ms));
+    let _ = writeln!(
+        out,
+        "{} of {} queries ran parallel sections; sample speedup over them: {:.2}x",
+        parallelised.len(),
+        records.len(),
+        s / p.max(1e-9)
+    );
+    out
+}
+
+/// The full experiment: run and render.
+pub fn parallel(cfg: &ParallelConfig) -> String {
+    render_parallel(&run_parallel(cfg), cfg)
+}
+
+/// The CI gate: both catalogs at smoke scale, every query bit-identical
+/// between DOP=2 and serial execution (asserted inside the run), and at
+/// least one query actually exercising the morsel path.
+pub fn parallel_smoke() -> String {
+    let cfg = ParallelConfig::smoke();
+    let records = run_parallel(&cfg);
+    assert!(
+        !records.is_empty(),
+        "parallel smoke produced no comparable queries"
+    );
+    assert!(
+        records.iter().any(|r| r.morsels > 0),
+        "parallel smoke never dispatched a morsel — the forced gate is broken"
+    );
+    let mut out = render_parallel(&records, &cfg);
+    out.push_str("parallel --smoke gate: PASS (all queries bit-identical to serial)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_smoke_gate_holds() {
+        let report = parallel_smoke();
+        assert!(report.contains("PASS"), "{report}");
+    }
+}

@@ -53,6 +53,16 @@ pub struct Estimate {
 /// over no scannable edge label.
 pub(crate) const V1_FIXPOINT_GROWTH: f64 = 4.0;
 
+/// Probe sides below this many rows stay serial at any degree of
+/// parallelism. Dispatching a morsel costs tens of microseconds
+/// (enqueue, wake, output merge) while probing costs tens of
+/// nanoseconds per row, so a probe needs a few tens of thousands of
+/// rows before splitting pays for itself; under the threshold the
+/// executor never touches the scheduler. The same bound gates the
+/// `parallel ×N` annotation in `EXPLAIN`, driven by the *estimated*
+/// probe rows ([`crate::plan::PhysPlan::parallel_probe_rows`]).
+pub const PARALLEL_ROW_THRESHOLD: usize = 16_384;
+
 /// The q-error of an estimate against the observed cardinality:
 /// `max(est, actual) / min(est, actual)` with both floored at one row, so
 /// a perfect estimate scores 1.0 and the metric is symmetric between

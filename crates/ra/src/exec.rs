@@ -25,18 +25,36 @@
 //! materialised, no hash table is built in any round, and node-label
 //! endpoint filters run as binary searches in the store's sorted label
 //! sets.
+//!
+//! **Intra-query parallelism.** With [`ExecContext::dop`] above 1, the
+//! probe side of hash/index (semi-)joins and the scan side of hashed
+//! filtered scans are split into morsels (see [`mod@crate::parallel`])
+//! once the probe clears [`ExecContext::parallel_threshold`]. Each
+//! morsel runs as an owned task (Arc-cloned probe buffer, shared
+//! read-only build side) and the per-morsel outputs are merged back to
+//! the canonical form — order-preserving filters concatenate, re-sorting
+//! joins merge-dedup per-morsel sorted runs — so a parallel run is
+//! bit-identical to the serial one. Inside a fixpoint this means each
+//! round's delta probe parallelises against the round-cached static
+//! build sides for free. The deadline and row budget become shared
+//! atomics (`Limits`): the first morsel to breach trips a cancel flag
+//! every other morsel polls, bounding overshoot to about one in-flight
+//! morsel per worker.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use sgq_common::{ColId, FxHashMap, NodeId, RecVarId, Result, SgqError};
 
+use crate::parallel::{self, TaskScheduler};
 use crate::plan::{plan, PhysOp, PhysPlan};
-use crate::table::{JoinIndex, Relation, SemiKeys, POLL_MASK};
+use crate::table::{normalize_flat, JoinIndex, Relation, SemiKeys, POLL_MASK};
 use crate::term::RaTerm;
 
 /// Execution context: the fixpoint environment, a cooperative deadline,
-/// and work counters.
-#[derive(Debug, Default)]
+/// work counters, and the degree-of-parallelism knob.
+#[derive(Debug)]
 pub struct ExecContext {
     /// Fixpoint environment, keyed by interned recursion variable.
     env: FxHashMap<RecVarId, Relation>,
@@ -44,10 +62,11 @@ pub struct ExecContext {
     pub deadline: Option<Instant>,
     /// Reported timeout budget in milliseconds.
     pub limit_ms: u64,
-    /// Total rows materialised by all operators (each materialised row is
-    /// counted exactly once; cached fixpoint intermediates count in the
-    /// round that computes them).
-    pub rows_materialized: usize,
+    /// Total rows materialised by all operators, shared with parallel
+    /// morsel workers (each materialised row is counted exactly once;
+    /// cached fixpoint intermediates count in the round that computes
+    /// them). Read it through [`ExecContext::rows_materialized`].
+    rows: Arc<AtomicUsize>,
     /// Fixpoint iterations run.
     pub fixpoint_rounds: usize,
     /// Abort once this many rows have been materialised (0 = unlimited).
@@ -59,6 +78,47 @@ pub struct ExecContext {
     /// Disables static-input caching across fixpoint rounds (every round
     /// re-evaluates the full step, like the old term interpreter).
     pub no_fixpoint_cache: bool,
+    /// Degree of parallelism: how many morsels of one operator may run
+    /// concurrently. 1 (the default) keeps execution fully serial with
+    /// zero scheduler overhead.
+    pub dop: usize,
+    /// Morsel size cap in probe rows (default
+    /// [`parallel::MORSEL_ROWS`]). Tests shrink it to force multi-morsel
+    /// execution on small inputs.
+    pub morsel_rows: usize,
+    /// Probe sides below this many rows stay serial even at `dop > 1`
+    /// (default [`crate::cost::PARALLEL_ROW_THRESHOLD`]).
+    pub parallel_threshold: usize,
+    /// Morsel tasks executed by parallel sections.
+    pub morsels_executed: usize,
+    /// The scheduler parallel sections run on: injected by the service
+    /// (its shared, bounded scheduler) or lazily the process-global one.
+    scheduler: Option<Arc<TaskScheduler>>,
+    /// Trips when any morsel breaches the deadline or row budget, so
+    /// sibling morsels stop at their next poll.
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext {
+            env: FxHashMap::default(),
+            deadline: None,
+            limit_ms: 0,
+            rows: Arc::new(AtomicUsize::new(0)),
+            fixpoint_rounds: 0,
+            max_rows: 0,
+            hash_builds: 0,
+            cache_hits: 0,
+            no_fixpoint_cache: false,
+            dop: 1,
+            morsel_rows: parallel::MORSEL_ROWS,
+            parallel_threshold: crate::cost::PARALLEL_ROW_THRESHOLD,
+            morsels_executed: 0,
+            scheduler: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+        }
+    }
 }
 
 impl ExecContext {
@@ -76,6 +136,18 @@ impl ExecContext {
         }
     }
 
+    /// Total rows materialised so far (shared with any morsel workers).
+    pub fn rows_materialized(&self) -> usize {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Injects the scheduler parallel sections run on (the service lends
+    /// its shared one); without this, the first parallel section falls
+    /// back to the process-global scheduler.
+    pub fn set_scheduler(&mut self, scheduler: Arc<TaskScheduler>) {
+        self.scheduler = Some(scheduler);
+    }
+
     fn check(&self) -> Result<()> {
         match self.deadline {
             Some(d) if Instant::now() > d => Err(SgqError::Timeout {
@@ -91,14 +163,134 @@ impl ExecContext {
     /// own output (not until some later operator happens to poll — a
     /// top-level operator would never have been polled again at all).
     fn record(&mut self, rel: &Relation) -> Result<()> {
-        self.rows_materialized += rel.len();
-        if self.max_rows > 0 && self.rows_materialized > self.max_rows {
+        let total = self.rows.fetch_add(rel.len(), Ordering::Relaxed) + rel.len();
+        if self.max_rows > 0 && total > self.max_rows {
             return Err(SgqError::Execution(format!(
-                "row budget exhausted ({} rows)",
-                self.rows_materialized
+                "row budget exhausted ({total} rows)"
             )));
         }
         Ok(())
+    }
+
+    /// The shareable view of this context's limits, handed to morsel
+    /// workers.
+    fn limits(&self) -> Limits {
+        Limits {
+            deadline: self.deadline,
+            limit_ms: self.limit_ms,
+            max_rows: self.max_rows,
+            rows: Arc::clone(&self.rows),
+            cancelled: Arc::clone(&self.cancelled),
+        }
+    }
+
+    /// Opens a parallel section over a `probe_rows`-row probe side, or
+    /// `None` when the operator should stay serial: `dop` is 1, the
+    /// probe is under the cost threshold, or it fits a single morsel.
+    /// The serial path never touches the scheduler at all.
+    fn parallel_section(&mut self, probe_rows: usize) -> Option<ParSection> {
+        if self.dop <= 1 || probe_rows < self.parallel_threshold {
+            return None;
+        }
+        let morsel = parallel::morsel_size(probe_rows, self.dop, self.morsel_rows);
+        if morsel >= probe_rows {
+            return None;
+        }
+        let sched = match &self.scheduler {
+            Some(s) => Arc::clone(s),
+            None => {
+                let s = parallel::global();
+                self.scheduler = Some(Arc::clone(&s));
+                s
+            }
+        };
+        Some(ParSection {
+            sched,
+            morsel,
+            dop: self.dop,
+            limits: self.limits(),
+        })
+    }
+}
+
+/// The thread-shareable slice of [`ExecContext`]: deadline, row budget
+/// and the shared counters every morsel worker polls and records into.
+#[derive(Clone, Debug)]
+struct Limits {
+    deadline: Option<Instant>,
+    limit_ms: u64,
+    max_rows: usize,
+    rows: Arc<AtomicUsize>,
+    cancelled: Arc<AtomicBool>,
+}
+
+impl Limits {
+    /// The morsel-side cooperative check: exits fast once a sibling
+    /// tripped the cancel flag, else checks the deadline (and trips the
+    /// flag on breach so siblings stop too).
+    fn poll(&self) -> Result<()> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(parallel::cancelled());
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() > d {
+                self.cancelled.store(true, Ordering::Relaxed);
+                return Err(SgqError::Timeout {
+                    limit_ms: self.limit_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Accounts one morsel's output rows against the shared budget; a
+    /// breach trips the cancel flag, so the overshoot is bounded by the
+    /// morsels already in flight (about one per worker).
+    fn record(&self, rows: usize) -> Result<()> {
+        let total = self.rows.fetch_add(rows, Ordering::Relaxed) + rows;
+        if self.max_rows > 0 && total > self.max_rows {
+            self.cancelled.store(true, Ordering::Relaxed);
+            return Err(SgqError::Execution(format!(
+                "row budget exhausted ({total} rows)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// One operator's open parallel section: the scheduler to run on, the
+/// chosen morsel size, and the shared limits.
+struct ParSection {
+    sched: Arc<TaskScheduler>,
+    morsel: usize,
+    dop: usize,
+    limits: Limits,
+}
+
+impl ParSection {
+    /// Runs the morsel tasks and collects their output runs in morsel
+    /// order. Cancellation sentinels are dropped in favour of the first
+    /// real error (the one from the morsel that actually breached).
+    fn execute<F>(&self, tasks: Vec<F>) -> Result<Vec<Vec<u32>>>
+    where
+        F: FnOnce() -> Result<Vec<u32>> + Send + 'static,
+    {
+        let results = self.sched.run(self.dop, tasks);
+        let mut runs = Vec::with_capacity(results.len());
+        let mut cancel_err = None;
+        for r in results {
+            match r {
+                Ok(run) => runs.push(run),
+                Err(e) if parallel::is_cancelled(&e) => {
+                    cancel_err.get_or_insert(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = cancel_err {
+            return Err(e);
+        }
+        Ok(runs)
     }
 }
 
@@ -151,10 +343,14 @@ pub fn execute_plan_traced(
 enum Cached {
     /// A static subtree's full result.
     Rel(Relation),
-    /// A static hash-join build side: the relation and its hash table.
-    Build { rel: Relation, index: JoinIndex },
-    /// A static semi-join filter's key set.
-    Keys(SemiKeys),
+    /// A static hash-join build side: the relation and its hash table
+    /// (`Arc`-shared so parallel morsel workers probe it read-only).
+    Build {
+        rel: Relation,
+        index: Arc<JoinIndex>,
+    },
+    /// A static semi-join filter's key set, shared the same way.
+    Keys(Arc<SemiKeys>),
 }
 
 type StepCache = FxHashMap<u32, Cached>;
@@ -239,7 +435,7 @@ impl Interp<'_> {
                 } else {
                     let edge_key_pos = positions(&p.cols, key);
                     let filter_key_pos = positions(&filter.cols, key);
-                    let data = self.hash_semi_filter(
+                    let (data, recorded) = self.hash_semi_filter(
                         p.id,
                         &edges,
                         &edge_key_pos,
@@ -247,7 +443,12 @@ impl Interp<'_> {
                         &filter_key_pos,
                         cache,
                     )?;
-                    Relation::from_flat_sorted(p.cols.clone(), data)
+                    let out = Relation::from_flat_sorted(p.cols.clone(), data);
+                    if recorded {
+                        // A parallel scan already recorded per morsel.
+                        return Ok(out);
+                    }
+                    out
                 }
             }
             PhysOp::MergeJoin { left, right, key } => {
@@ -289,7 +490,9 @@ impl Interp<'_> {
                                 let rel = self.eval(build_plan, None)?;
                                 let ctx = &mut *self.ctx;
                                 let index =
-                                    JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?;
+                                    Arc::new(JoinIndex::build(&rel, &build_key_pos, &mut || {
+                                        ctx.check()
+                                    })?);
                                 self.ctx.hash_builds += 1;
                                 slot.insert(Cached::Build { rel, index });
                             }
@@ -311,7 +514,7 @@ impl Interp<'_> {
                 }
                 let rel = self.eval(build_plan, cache)?;
                 let ctx = &mut *self.ctx;
-                let index = JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?;
+                let index = Arc::new(JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?);
                 self.ctx.hash_builds += 1;
                 return self.probe_join(
                     p,
@@ -366,6 +569,86 @@ impl Interp<'_> {
                 } else {
                     (tgt_labels.as_deref(), src_labels.as_deref())
                 };
+                if csr.is_some() {
+                    if let Some(section) = self.ctx.parallel_section(prel.len()) {
+                        let csr = if *forward {
+                            self.store.forward_csr_shared(*label)
+                        } else {
+                            self.store.reverse_csr_shared(*label)
+                        }
+                        .expect("csr checked in range");
+                        // Label filters travel as shared node-table
+                        // handles (their flat data is the sorted id set).
+                        let key_sets = self.label_set_tables(key_filter);
+                        let emit_sets = self.label_set_tables(emit_filter);
+                        let arity = p.cols.len();
+                        let tasks: Vec<_> = parallel::morsel_ranges(prel.len(), section.morsel)
+                            .into_iter()
+                            .map(|(start, end)| {
+                                let probe = prel.clone();
+                                let csr = Arc::clone(&csr);
+                                let key_sets = key_sets.clone();
+                                let emit_sets = emit_sets.clone();
+                                let layout = layout.clone();
+                                let limits = section.limits.clone();
+                                move || -> Result<Vec<u32>> {
+                                    // Poll up front: a morsel queued behind a
+                                    // cancellation exits before doing any work,
+                                    // bounding budget overshoot to the morsels
+                                    // already in flight.
+                                    limits.poll()?;
+                                    let mut data: Vec<u32> = Vec::new();
+                                    let mut steps = 0usize;
+                                    for prow in probe.rows_range(start, end) {
+                                        steps += 1;
+                                        if steps & POLL_MASK == 0 {
+                                            limits.poll()?;
+                                        }
+                                        let v = prow[key_pos];
+                                        if let Some(sets) = &key_sets {
+                                            if !tables_contain(sets, v) {
+                                                continue;
+                                            }
+                                        }
+                                        for &n in csr.neighbors(NodeId::new(v)) {
+                                            steps += 1;
+                                            if steps & POLL_MASK == 0 {
+                                                limits.poll()?;
+                                            }
+                                            let nv = n.raw();
+                                            if let Some(sets) = &emit_sets {
+                                                if !tables_contain(sets, nv) {
+                                                    continue;
+                                                }
+                                            }
+                                            for slot in &layout {
+                                                data.push(match slot {
+                                                    Some(i) => prow[*i],
+                                                    None => nv,
+                                                });
+                                            }
+                                        }
+                                    }
+                                    if !probe_leading {
+                                        normalize_flat(arity, &mut data);
+                                    }
+                                    limits.record(data.len() / arity)?;
+                                    Ok(data)
+                                }
+                            })
+                            .collect();
+                        let runs = section.execute(tasks)?;
+                        self.ctx.morsels_executed += runs.len();
+                        // Probe-leading morsels emit disjoint ascending
+                        // runs, so concatenation is already canonical;
+                        // otherwise merge-dedup the per-morsel sorted runs.
+                        return Ok(if probe_leading {
+                            Relation::from_flat_sorted(p.cols.clone(), runs.concat())
+                        } else {
+                            Relation::merge_sorted_runs(p.cols.clone(), runs)
+                        });
+                    }
+                }
                 let mut data: Vec<u32> = Vec::new();
                 let mut steps = 0usize;
                 if let Some(csr) = csr {
@@ -428,6 +711,62 @@ impl Interp<'_> {
                 } else {
                     (tgt_labels.as_deref(), src_labels.as_deref())
                 };
+                if csr.is_some() {
+                    if let Some(section) = self.ctx.parallel_section(lrel.len()) {
+                        let csr = if *forward {
+                            self.store.forward_csr_shared(*label)
+                        } else {
+                            self.store.reverse_csr_shared(*label)
+                        }
+                        .expect("csr checked in range");
+                        let key_sets = self.label_set_tables(key_filter);
+                        let far_sets = self.label_set_tables(far_filter);
+                        let arity = p.cols.len();
+                        let tasks: Vec<_> = parallel::morsel_ranges(lrel.len(), section.morsel)
+                            .into_iter()
+                            .map(|(start, end)| {
+                                let left = lrel.clone();
+                                let csr = Arc::clone(&csr);
+                                let key_sets = key_sets.clone();
+                                let far_sets = far_sets.clone();
+                                let limits = section.limits.clone();
+                                move || -> Result<Vec<u32>> {
+                                    limits.poll()?;
+                                    let mut data: Vec<u32> = Vec::new();
+                                    for (i, row) in left.rows_range(start, end).enumerate() {
+                                        if i & POLL_MASK == 0 {
+                                            limits.poll()?;
+                                        }
+                                        let v = row[key_pos];
+                                        if let Some(sets) = &key_sets {
+                                            if !tables_contain(sets, v) {
+                                                continue;
+                                            }
+                                        }
+                                        let neigh = csr.neighbors(NodeId::new(v));
+                                        let hit = match &far_sets {
+                                            None => !neigh.is_empty(),
+                                            Some(sets) => {
+                                                neigh.iter().any(|&n| tables_contain(sets, n.raw()))
+                                            }
+                                        };
+                                        if hit {
+                                            data.extend_from_slice(row);
+                                        }
+                                    }
+                                    limits.record(data.len() / arity)?;
+                                    Ok(data)
+                                }
+                            })
+                            .collect();
+                        let runs = section.execute(tasks)?;
+                        self.ctx.morsels_executed += runs.len();
+                        // Filtering preserves canonical order; morsels
+                        // cover disjoint ascending ranges, so the runs
+                        // concatenate straight into canonical form.
+                        return Ok(Relation::from_flat_sorted(p.cols.clone(), runs.concat()));
+                    }
+                }
                 let mut data: Vec<u32> = Vec::new();
                 if let Some(csr) = csr {
                     for (i, row) in lrel.rows().enumerate() {
@@ -463,9 +802,14 @@ impl Interp<'_> {
                 let l = self.eval(left, cache.as_deref_mut())?;
                 let left_key_pos = positions(&left.cols, key);
                 let filter_key_pos = positions(&right.cols, key);
-                let data =
+                let (data, recorded) =
                     self.hash_semi_filter(p.id, &l, &left_key_pos, right, &filter_key_pos, cache)?;
-                Relation::from_flat_sorted(p.cols.clone(), data)
+                let out = Relation::from_flat_sorted(p.cols.clone(), data);
+                if recorded {
+                    // A parallel filter already recorded per morsel.
+                    return Ok(out);
+                }
+                out
             }
             PhysOp::Union { left, right } => {
                 let l = self.eval(left, cache.as_deref_mut())?;
@@ -527,22 +871,75 @@ impl Interp<'_> {
         Ok(out)
     }
 
+    /// Shared node-table handles for a label filter (their flat data is
+    /// the sorted id set), so morsel tasks can own the membership sets.
+    fn label_set_tables(
+        &self,
+        labels: Option<&[sgq_common::NodeLabelId]>,
+    ) -> Option<Vec<Relation>> {
+        labels.map(|ls| ls.iter().map(|&l| self.store.node_table(l)).collect())
+    }
+
     /// Probes a (possibly cached) hash-join build side with the probe
-    /// relation, emitting in left-then-right-extras schema order.
+    /// relation, emitting in left-then-right-extras schema order. Above
+    /// the parallel threshold the probe is split into morsels; each
+    /// worker sorts its own output and the runs merge-dedup back to
+    /// exactly the canonical relation the serial path produces.
     #[allow(clippy::too_many_arguments)]
     fn probe_join(
         &mut self,
         p: &PhysPlan,
         left: &PhysPlan,
         build_rel: &Relation,
-        index: &JoinIndex,
+        index: &Arc<JoinIndex>,
         probe_rel: &Relation,
         build_left: bool,
         probe_key_pos: &[usize],
         right_extra_pos: &[usize],
     ) -> Result<Relation> {
-        let mut data: Vec<u32> = Vec::new();
         let left_arity = left.cols.len();
+        if let Some(section) = self.ctx.parallel_section(probe_rel.len()) {
+            let arity = p.cols.len();
+            let tasks: Vec<_> = parallel::morsel_ranges(probe_rel.len(), section.morsel)
+                .into_iter()
+                .map(|(start, end)| {
+                    let probe = probe_rel.clone();
+                    let build = build_rel.clone();
+                    let index = Arc::clone(index);
+                    let key_pos = probe_key_pos.to_vec();
+                    let extras = right_extra_pos.to_vec();
+                    let limits = section.limits.clone();
+                    move || -> Result<Vec<u32>> {
+                        limits.poll()?;
+                        let mut data: Vec<u32> = Vec::new();
+                        for (i, prow) in probe.rows_range(start, end).enumerate() {
+                            if i & POLL_MASK == 0 {
+                                limits.poll()?;
+                            }
+                            for &bi in index.probe(prow, &key_pos) {
+                                let brow = build.row(bi as usize);
+                                let (lrow, rrow) = if build_left {
+                                    (brow, prow)
+                                } else {
+                                    (prow, brow)
+                                };
+                                data.extend_from_slice(lrow);
+                                for &ri in &extras {
+                                    data.push(rrow[ri]);
+                                }
+                            }
+                        }
+                        normalize_flat(arity, &mut data);
+                        limits.record(data.len() / arity)?;
+                        Ok(data)
+                    }
+                })
+                .collect();
+            let runs = section.execute(tasks)?;
+            self.ctx.morsels_executed += runs.len();
+            return Ok(Relation::merge_sorted_runs(p.cols.clone(), runs));
+        }
+        let mut data: Vec<u32> = Vec::new();
         for (i, prow) in probe_rel.rows().enumerate() {
             if i & POLL_MASK == 0 {
                 self.ctx.check()?;
@@ -568,7 +965,9 @@ impl Interp<'_> {
 
     /// Filters `left_rel` by a (possibly cached) key set collected from
     /// `filter_plan`, returning the surviving rows' flat data (canonical:
-    /// filtering preserves order).
+    /// filtering preserves order) and whether the rows were already
+    /// recorded (a parallel scan records per morsel; the serial path
+    /// leaves recording to the caller's operator epilogue).
     fn hash_semi_filter(
         &mut self,
         node_id: u32,
@@ -577,7 +976,7 @@ impl Interp<'_> {
         filter_plan: &PhysPlan,
         filter_key_pos: &[usize],
         mut cache: Option<&mut StepCache>,
-    ) -> Result<Vec<u32>> {
+    ) -> Result<(Vec<u32>, bool)> {
         if filter_plan.is_static() {
             if let Some(c) = cache.as_deref_mut() {
                 match c.entry(node_id) {
@@ -587,7 +986,8 @@ impl Interp<'_> {
                     std::collections::hash_map::Entry::Vacant(slot) => {
                         let frel = self.eval(filter_plan, None)?;
                         let ctx = &mut *self.ctx;
-                        let keys = SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?;
+                        let keys =
+                            Arc::new(SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?);
                         self.ctx.hash_builds += 1;
                         slot.insert(Cached::Keys(keys));
                     }
@@ -595,23 +995,65 @@ impl Interp<'_> {
                 let Some(Cached::Keys(keys)) = c.get(&node_id) else {
                     unreachable!("just inserted")
                 };
-                return filter_by_keys(left_rel, left_key_pos, keys, self.ctx);
+                let keys = Arc::clone(keys);
+                return filter_by_keys(left_rel, left_key_pos, &keys, self.ctx);
             }
         }
         let frel = self.eval(filter_plan, cache)?;
         let ctx = &mut *self.ctx;
-        let keys = SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?;
+        let keys = Arc::new(SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?);
         self.ctx.hash_builds += 1;
         filter_by_keys(left_rel, left_key_pos, &keys, self.ctx)
     }
 }
 
+/// Whether `v` is in any of the node tables' sorted id sets — the
+/// owned-handle counterpart of `Interp::in_label_sets` used by morsel
+/// workers (an empty list matches nothing, like the serial path).
+fn tables_contain(sets: &[Relation], v: u32) -> bool {
+    sets.iter().any(|s| s.flat().binary_search(&v).is_ok())
+}
+
+/// Filters `left` by the shared key set, splitting into morsels above
+/// the parallel threshold. Returns the surviving flat rows and whether
+/// they were already recorded against the row budget (true on the
+/// parallel path, which records per morsel).
 fn filter_by_keys(
     left: &Relation,
     key_pos: &[usize],
-    keys: &SemiKeys,
+    keys: &Arc<SemiKeys>,
     ctx: &mut ExecContext,
-) -> Result<Vec<u32>> {
+) -> Result<(Vec<u32>, bool)> {
+    if let Some(section) = ctx.parallel_section(left.len()) {
+        let arity = left.arity();
+        let tasks: Vec<_> = parallel::morsel_ranges(left.len(), section.morsel)
+            .into_iter()
+            .map(|(start, end)| {
+                let left = left.clone();
+                let keys = Arc::clone(keys);
+                let key_pos = key_pos.to_vec();
+                let limits = section.limits.clone();
+                move || -> Result<Vec<u32>> {
+                    limits.poll()?;
+                    let mut data: Vec<u32> = Vec::new();
+                    for (i, row) in left.rows_range(start, end).enumerate() {
+                        if i & POLL_MASK == 0 {
+                            limits.poll()?;
+                        }
+                        if keys.contains(row, &key_pos) {
+                            data.extend_from_slice(row);
+                        }
+                    }
+                    limits.record(data.len() / arity)?;
+                    Ok(data)
+                }
+            })
+            .collect();
+        let runs = section.execute(tasks)?;
+        ctx.morsels_executed += runs.len();
+        // Disjoint ascending ranges filtered in order: plain concat.
+        return Ok((runs.concat(), true));
+    }
     let mut data = Vec::new();
     for (i, row) in left.rows().enumerate() {
         if i & POLL_MASK == 0 {
@@ -621,7 +1063,7 @@ fn filter_by_keys(
             data.extend_from_slice(row);
         }
     }
-    Ok(data)
+    Ok((data, false))
 }
 
 /// Positions of `key` columns within `cols`.
@@ -780,7 +1222,7 @@ mod tests {
         let mut ctx = ExecContext::new();
         let r = execute(&f, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 1);
-        assert_eq!(ctx.rows_materialized, 3);
+        assert_eq!(ctx.rows_materialized(), 3);
     }
 
     #[test]
@@ -1009,9 +1451,9 @@ mod tests {
         // One batch here is an input scan (4 rows) or the join output
         // (16): the second scan (cumulative 8 > 5) must already trip it.
         assert!(
-            ctx.rows_materialized <= budget + 4,
+            ctx.rows_materialized() <= budget + 4,
             "budget {budget} overshot by more than one batch: {} rows",
-            ctx.rows_materialized
+            ctx.rows_materialized()
         );
 
         // A budget large enough for the inputs but not the join output
@@ -1020,7 +1462,7 @@ mod tests {
         ctx.max_rows = 10;
         let err = execute(&t, &store, &mut ctx).unwrap_err();
         assert!(matches!(err, SgqError::Execution(_)));
-        assert!(ctx.rows_materialized <= 10 + 16);
+        assert!(ctx.rows_materialized() <= 10 + 16);
 
         // And a sufficient budget still succeeds, counting exactly the
         // materialised rows.
@@ -1028,7 +1470,7 @@ mod tests {
         ctx.max_rows = 24;
         let r = execute(&t, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 16);
-        assert_eq!(ctx.rows_materialized, 24);
+        assert_eq!(ctx.rows_materialized(), 24);
     }
 
     #[test]

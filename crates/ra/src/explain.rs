@@ -29,8 +29,23 @@ pub fn explain(term: &RaTerm, store: &RelStore, names: &dyn PlanNames) -> String
 
 /// Renders an already-lowered physical plan with estimates only.
 pub fn explain_plan(p: &PhysPlan, store: &RelStore, names: &dyn PlanNames) -> String {
+    explain_plan_with_dop(p, store, names, 1)
+}
+
+/// [`explain_plan`] for an execution at degree of parallelism `dop`:
+/// operators whose estimated probe side clears the cost threshold
+/// ([`crate::cost::PARALLEL_ROW_THRESHOLD`]) — i.e. the ones a `dop > 1`
+/// execution would actually split into morsels — are annotated
+/// `[parallel ×dop]`; sub-threshold operators render unannotated, as
+/// they stay serial.
+pub fn explain_plan_with_dop(
+    p: &PhysPlan,
+    store: &RelStore,
+    names: &dyn PlanNames,
+    dop: usize,
+) -> String {
     let mut out = String::new();
-    render(p, store, names, 0, &mut out, None);
+    render(p, store, names, 0, &mut out, None, dop);
     out
 }
 
@@ -50,7 +65,7 @@ pub fn explain_analyze(
     let mut ctx = ExecContext::new();
     let (rel, actuals) = execute_plan_traced(&p, store, &mut ctx)?;
     let mut out = String::new();
-    render(&p, store, names, 0, &mut out, Some(&actuals));
+    render(&p, store, names, 0, &mut out, Some(&actuals), 1);
     Ok((rel, out))
 }
 
@@ -254,6 +269,7 @@ fn count_cacheable(p: &PhysPlan) -> usize {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     p: &PhysPlan,
     store: &RelStore,
@@ -261,13 +277,22 @@ fn render(
     depth: usize,
     out: &mut String,
     actuals: Option<&[usize]>,
+    dop: usize,
 ) {
     out.push_str(&"  ".repeat(depth));
+    let parallel = if dop > 1
+        && p.parallel_probe_rows()
+            .is_some_and(|rows| rows >= crate::cost::PARALLEL_ROW_THRESHOLD as f64)
+    {
+        format!(" [parallel ×{dop}]")
+    } else {
+        String::new()
+    };
     let line = match actuals {
         Some(a) => {
             let actual = a.get(p.id as usize).copied().unwrap_or(0);
             format!(
-                "{} (cost = {:.2} rows = {:.0} actual = {actual} q = {:.2})\n",
+                "{} (cost = {:.2} rows = {:.0} actual = {actual} q = {:.2}){parallel}\n",
                 describe(p, names, &store.symbols),
                 p.est.cost,
                 p.est.rows,
@@ -275,7 +300,7 @@ fn render(
             )
         }
         None => format!(
-            "{} (cost = {:.2} rows = {:.0})\n",
+            "{} (cost = {:.2} rows = {:.0}){parallel}\n",
             describe(p, names, &store.symbols),
             p.est.cost,
             p.est.rows
@@ -283,7 +308,7 @@ fn render(
     };
     out.push_str(&line);
     for child in p.children() {
-        render(child, store, names, depth + 1, out, actuals);
+        render(child, store, names, depth + 1, out, actuals, dop);
     }
 }
 
@@ -408,6 +433,46 @@ mod tests {
         );
         // The absorbed scan has no node of its own; the probe renders.
         assert!(rendered.contains("Seq Scan on owns (x, y)"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_annotates_parallel_eligible_operators() {
+        let db = fig2_yago_database();
+        let mut store = RelStore::load(&db);
+        store.index_joins = false;
+        let s = &store.symbols;
+        let t = RaTerm::join(
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("owns").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("y"),
+            },
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("isLocatedIn").unwrap(),
+                src: s.col("y"),
+                tgt: s.col("z"),
+            },
+        );
+        let mut p = plan(&t, &store).unwrap();
+        // Sub-threshold probes stay serial: no annotation even at dop 4.
+        let quiet = explain_plan_with_dop(&p, &store, &db, 4);
+        assert!(!quiet.contains("parallel"), "{quiet}");
+        // With the probe estimate past the threshold the join gains the
+        // annotation at dop > 1 — and never at dop = 1.
+        let PhysOp::HashJoin {
+            left,
+            right,
+            build_left,
+            ..
+        } = &mut p.op
+        else {
+            panic!("hash plan expected")
+        };
+        let probe = if *build_left { right } else { left };
+        probe.est.rows = 1e6;
+        let rendered = explain_plan_with_dop(&p, &store, &db, 4);
+        assert!(rendered.contains("[parallel ×4]"), "{rendered}");
+        assert!(!explain_plan(&p, &store, &db).contains("parallel"));
     }
 
     #[test]

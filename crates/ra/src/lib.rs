@@ -17,7 +17,10 @@
 //!   cost-chosen operators (CSR index joins vs merge vs hash, build
 //!   sides, fused filtered scans, cached fixpoint build sides),
 //! * [`exec`] — a semi-naive bottom-up interpreter over physical plans
-//!   with cooperative timeouts,
+//!   with cooperative timeouts and optional morsel-driven intra-query
+//!   parallelism ([`ExecContext::dop`](exec::ExecContext)),
+//! * [`parallel`] — the morsel task scheduler (a small shared-queue
+//!   executor) and morsel partitioning helpers,
 //! * [`cost`] — cardinality estimation over [`sgq_graph::GraphStats`],
 //! * [`explain`] — physical plan rendering with per-operator strategy,
 //!   estimated cost/rows and actual rows (the paper's Fig. 17, one
@@ -29,6 +32,7 @@ pub mod cost;
 pub mod exec;
 pub mod explain;
 pub mod optimize;
+pub mod parallel;
 pub mod plan;
 pub mod storage;
 pub mod symbols;
@@ -36,6 +40,7 @@ pub mod table;
 pub mod term;
 
 pub use exec::{execute, execute_plan, ExecContext};
+pub use parallel::TaskScheduler;
 pub use plan::{plan, PhysOp, PhysPlan};
 pub use storage::RelStore;
 pub use symbols::SymbolTable;

@@ -1,0 +1,335 @@
+//! Morsel-driven intra-query parallelism: the task scheduler and the
+//! morsel partitioning helpers.
+//!
+//! The executor splits the probe side of a large join into fixed-size
+//! **morsels** — contiguous row ranges over the shared `Arc`-backed row
+//! buffer ([`crate::table::Relation`]), so partitioning is pointer
+//! arithmetic, never a copy — and runs each morsel as one task on a
+//! [`TaskScheduler`]. The scheduler is a deliberately small shared-queue
+//! executor (no work stealing: morsels are uniform enough that a single
+//! FIFO balances fine) built from the same `std::thread` +
+//! `Mutex<VecDeque>` + `Condvar` pattern as the serving layer's worker
+//! pool.
+//!
+//! **Ownership.** The scheduler is injectable through
+//! [`crate::exec::ExecContext::set_scheduler`]: the query service lends
+//! every query one shared, bounded scheduler (so intra-query threads
+//! stay capped service-wide no matter how many queries run), while a
+//! standalone [`crate::exec::execute_plan`] call falls back to a lazily
+//! spawned process-global scheduler sized to
+//! `std::thread::available_parallelism()`. A query's degree of
+//! parallelism caps how many of its morsels are in flight at once
+//! ([`TaskScheduler::run`]'s `dop`), not how many threads exist.
+//!
+//! **Cancellation.** Morsel tasks poll a shared cancel flag plus the
+//! query deadline and row budget (see `exec`'s shared limits); the first
+//! task to breach a limit trips the flag, and every other task exits at
+//! its next poll with the `cancelled()` sentinel, which the caller
+//! discards in favour of the real error.
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread::JoinHandle;
+
+use sgq_common::SgqError;
+
+/// Default morsel size cap, in probe rows. Large enough that per-morsel
+/// scheduling and merge overhead (~tens of µs) disappears against the
+/// per-row operator work, small enough to keep a morsel's output in
+/// cache and cancellation latency bounded.
+pub const MORSEL_ROWS: usize = 65_536;
+
+/// Smallest morsel worth scheduling: below this the per-morsel overhead
+/// is measurable against the row work.
+pub(crate) const MIN_MORSEL_ROWS: usize = 4_096;
+
+/// Morsels targeted per worker, for load balancing: stragglers cost at
+/// most 1/this of a worker's share.
+pub(crate) const MORSELS_PER_WORKER: usize = 4;
+
+/// The error a morsel task returns when it observed the shared cancel
+/// flag (some other task already hit the real limit). Callers drop it
+/// in favour of the first real error.
+pub(crate) fn cancelled() -> SgqError {
+    SgqError::Execution(CANCEL_SENTINEL.into())
+}
+
+/// Whether `e` is the cancellation sentinel (not a real failure).
+pub(crate) fn is_cancelled(e: &SgqError) -> bool {
+    matches!(e, SgqError::Execution(m) if m == CANCEL_SENTINEL)
+}
+
+const CANCEL_SENTINEL: &str = "parallel section cancelled";
+
+/// Splits `rows` into contiguous `(start, end)` morsel ranges of at
+/// most `morsel` rows (the last range may be shorter).
+pub(crate) fn morsel_ranges(rows: usize, morsel: usize) -> Vec<(usize, usize)> {
+    let morsel = morsel.max(1);
+    (0..rows.div_ceil(morsel))
+        .map(|i| (i * morsel, ((i + 1) * morsel).min(rows)))
+        .collect()
+}
+
+/// The morsel size for a `rows`-row probe at degree-of-parallelism
+/// `dop`, capped at `cap`: aim for [`MORSELS_PER_WORKER`] morsels per
+/// worker, never below [`MIN_MORSEL_ROWS`] (unless the cap says so —
+/// tests shrink the cap to force many morsels on tiny data).
+pub(crate) fn morsel_size(rows: usize, dop: usize, cap: usize) -> usize {
+    rows.div_ceil(dop.max(1) * MORSELS_PER_WORKER)
+        .max(MIN_MORSEL_ROWS)
+        .min(cap.max(1))
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    tasks: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a task is enqueued or shutdown begins.
+    available: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Queue> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A fixed-size pool of morsel workers over one shared FIFO.
+///
+/// Unlike the serving pool there is no admission bound: tasks are
+/// internal morsels submitted by [`TaskScheduler::run`], which already
+/// caps how many are in flight per query, and every batch is awaited
+/// before its parallel section returns.
+pub struct TaskScheduler {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for TaskScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskScheduler")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl TaskScheduler {
+    /// Spawns `workers` morsel threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sgq-morsel-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn morsel worker thread")
+            })
+            .collect();
+        TaskScheduler {
+            shared,
+            handles: Mutex::new(handles),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn submit(&self, task: Task) {
+        self.shared.lock().tasks.push_back(task);
+        self.shared.available.notify_one();
+    }
+
+    /// Scatter-gather: runs `tasks` on the workers with at most `dop`
+    /// in flight at once, blocking until all complete, and returns their
+    /// results in task order. The in-flight cap is what honours a
+    /// query's degree of parallelism on a scheduler shared by many
+    /// queries.
+    pub fn run<T, F>(&self, dop: usize, tasks: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let n = tasks.len();
+        let cap = dop.max(1);
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        let mut out: Vec<Option<T>> = std::iter::repeat_with(|| None).take(n).collect();
+        let mut pending = tasks.into_iter().enumerate();
+        let mut in_flight = 0usize;
+        let mut done = 0usize;
+        while done < n {
+            while in_flight < cap {
+                let Some((i, task)) = pending.next() else {
+                    break;
+                };
+                let tx = tx.clone();
+                self.submit(Box::new(move || {
+                    // The receiver outlives the batch; a send only fails
+                    // if the caller panicked, and then nobody is waiting.
+                    let _ = tx.send((i, task()));
+                }));
+                in_flight += 1;
+            }
+            let (i, v) = rx.recv().expect("a morsel worker completes each task");
+            out[i] = Some(v);
+            in_flight -= 1;
+            done += 1;
+        }
+        out.into_iter()
+            .map(|v| v.expect("every task reported"))
+            .collect()
+    }
+
+    /// Stops the workers once the queue drains and joins them.
+    /// Idempotent; the process-global scheduler is never shut down.
+    pub fn shutdown(&self) {
+        self.shared.lock().shutdown = true;
+        self.shared.available.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut self.handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TaskScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let task = {
+            let mut q = shared.lock();
+            loop {
+                if let Some(t) = q.tasks.pop_front() {
+                    break Some(t);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared.available.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match task {
+            // A panicking morsel must not take the worker down: the
+            // batch's sender is dropped by the unwind, so the waiting
+            // query fails loudly instead of the whole scheduler dying.
+            Some(t) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(t));
+            }
+            None => return,
+        }
+    }
+}
+
+/// The process-global scheduler standalone `execute_plan` calls fall
+/// back on: spawned lazily on the first parallel section, sized to the
+/// hardware thread count, never shut down.
+pub(crate) fn global() -> Arc<TaskScheduler> {
+    static GLOBAL: OnceLock<Arc<TaskScheduler>> = OnceLock::new();
+    Arc::clone(GLOBAL.get_or_init(|| {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Arc::new(TaskScheduler::new(workers))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn morsel_ranges_cover_exactly() {
+        assert_eq!(morsel_ranges(10, 4), vec![(0, 4), (4, 8), (8, 10)]);
+        assert_eq!(morsel_ranges(8, 4), vec![(0, 4), (4, 8)]);
+        assert_eq!(morsel_ranges(3, 100), vec![(0, 3)]);
+        assert!(morsel_ranges(0, 4).is_empty());
+    }
+
+    #[test]
+    fn morsel_size_balances_and_respects_cap() {
+        // Large probe: MORSELS_PER_WORKER morsels per worker.
+        assert_eq!(morsel_size(500_000, 4, MORSEL_ROWS), 31_250);
+        // Huge probe: capped at the configured morsel size.
+        assert_eq!(morsel_size(10_000_000, 4, MORSEL_ROWS), MORSEL_ROWS);
+        // Small probe: floored at MIN_MORSEL_ROWS so overhead stays paid off.
+        assert_eq!(morsel_size(10_000, 8, MORSEL_ROWS), MIN_MORSEL_ROWS);
+        // A tiny test cap wins over the floor (forces many morsels).
+        assert_eq!(morsel_size(10, 2, 3), 3);
+    }
+
+    #[test]
+    fn run_returns_results_in_task_order() {
+        let sched = TaskScheduler::new(4);
+        let tasks: Vec<_> = (0..37usize).map(|i| move || i * i).collect();
+        let results = sched.run(4, tasks);
+        assert_eq!(results, (0..37usize).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_caps_in_flight_tasks_at_dop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sched = TaskScheduler::new(8);
+        let live = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..32)
+            .map(|_| {
+                let live = Arc::clone(&live);
+                let peak = Arc::clone(&peak);
+                move || {
+                    let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    live.fetch_sub(1, Ordering::SeqCst);
+                }
+            })
+            .collect();
+        sched.run(2, tasks);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "dop=2 must bound concurrent morsels, saw {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn run_with_more_tasks_than_workers_completes() {
+        let sched = TaskScheduler::new(1);
+        let results = sched.run(7, (0..100usize).map(|i| move || i).collect());
+        assert_eq!(results.len(), 100);
+        assert!(results.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn global_scheduler_is_shared() {
+        let a = global();
+        let b = global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.workers() >= 1);
+    }
+
+    #[test]
+    fn cancellation_sentinel_roundtrips() {
+        assert!(is_cancelled(&cancelled()));
+        assert!(!is_cancelled(&SgqError::Execution("other".into())));
+        assert!(!is_cancelled(&SgqError::Timeout { limit_ms: 1 }));
+    }
+}

@@ -266,6 +266,31 @@ impl PhysPlan {
     pub fn contains_op(&self, pred: &dyn Fn(&PhysOp) -> bool) -> bool {
         pred(&self.op) || self.children().iter().any(|c| c.contains_op(pred))
     }
+
+    /// The estimated rows of this operator's morsel-partitionable probe
+    /// side, if the operator has one: the probe input of hash/index
+    /// joins, the filtered left of hash/index semi-joins, and the scan
+    /// side of a hashed filtered edge scan. `EXPLAIN` compares this
+    /// against [`crate::cost::PARALLEL_ROW_THRESHOLD`] to annotate which
+    /// operators a `dop > 1` execution would actually split.
+    pub fn parallel_probe_rows(&self) -> Option<f64> {
+        match &self.op {
+            PhysOp::HashJoin {
+                left,
+                right,
+                build_left,
+                ..
+            } => Some(if *build_left { &right.est } else { &left.est }.rows),
+            PhysOp::IndexJoin { probe, .. } => Some(probe.est.rows),
+            PhysOp::IndexSemiJoin { left, .. } | PhysOp::HashSemiJoin { left, .. } => {
+                Some(left.est.rows)
+            }
+            // The hashed (non-merge) variant scans the full edge table;
+            // its output estimate is the conservative proxy for that.
+            PhysOp::FilteredEdgeScan { merge: false, .. } => Some(self.est.rows),
+            _ => None,
+        }
+    }
 }
 
 /// Lowers an (ideally [`crate::optimize`]d) term into a physical plan.

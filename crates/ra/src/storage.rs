@@ -23,6 +23,8 @@
 //! optimiser compare raw ids, and `explain`/SQL rendering resolves ids
 //! back to names.
 
+use std::sync::Arc;
+
 use sgq_common::{EdgeLabelId, NodeLabelId};
 use sgq_graph::{Csr, GraphDatabase, GraphStats};
 
@@ -42,11 +44,12 @@ pub struct RelStore {
     /// Node tables indexed by node label id, column `(Sr)`.
     node_tables: Vec<Relation>,
     /// Forward CSR per edge label (set semantics): neighbours of `n` are
-    /// the targets of `n`'s out-edges.
-    edge_fwd: Vec<Csr>,
+    /// the targets of `n`'s out-edges. `Arc`-wrapped so parallel morsel
+    /// workers can hold the index read-only without borrowing the store.
+    edge_fwd: Vec<Arc<Csr>>,
     /// Reverse CSR per edge label: neighbours of `n` are the sources of
     /// `n`'s in-edges.
-    edge_rev: Vec<Csr>,
+    edge_rev: Vec<Arc<Csr>>,
     /// Statistics for the cost model.
     pub stats: GraphStats,
     /// Interned column / recursion-variable names for this store's terms.
@@ -81,9 +84,9 @@ impl RelStore {
                 SymbolTable::TR,
                 &pairs,
             ));
-            edge_fwd.push(Csr::from_pairs_dedup(node_count, edges));
+            edge_fwd.push(Arc::new(Csr::from_pairs_dedup(node_count, edges)));
             let rev: Vec<_> = edges.iter().map(|&(s, t)| (t, s)).collect();
-            edge_rev.push(Csr::from_pairs_dedup(node_count, &rev));
+            edge_rev.push(Arc::new(Csr::from_pairs_dedup(node_count, &rev)));
         }
         let mut node_tables = Vec::with_capacity(db.node_label_count());
         for l_idx in 0..db.node_label_count() {
@@ -123,12 +126,23 @@ impl RelStore {
 
     /// The forward CSR for `le` (targets per source), if in range.
     pub fn forward_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
-        self.edge_fwd.get(le.index())
+        self.edge_fwd.get(le.index()).map(Arc::as_ref)
     }
 
     /// The reverse CSR for `le` (sources per target), if in range.
     pub fn reverse_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
-        self.edge_rev.get(le.index())
+        self.edge_rev.get(le.index()).map(Arc::as_ref)
+    }
+
+    /// Shared handle on the forward CSR for `le` — O(1), lets a morsel
+    /// worker own the index for the duration of a parallel probe.
+    pub fn forward_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
+        self.edge_fwd.get(le.index()).cloned()
+    }
+
+    /// Shared handle on the reverse CSR for `le`.
+    pub fn reverse_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
+        self.edge_rev.get(le.index()).cloned()
     }
 
     /// The sorted set of node ids carrying label `l` (empty when out of
@@ -237,6 +251,20 @@ mod tests {
                 assert!(rev.has_edge(t, s), "reverse CSR has {row:?}");
             }
         }
+    }
+
+    #[test]
+    fn shared_csr_handles_alias_the_loaded_index() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let le = db.edge_label_id("isLocatedIn").unwrap();
+        let shared = store.forward_csr_shared(le).expect("in range");
+        assert!(std::ptr::eq(
+            Arc::as_ptr(&shared),
+            store.forward_csr(le).unwrap()
+        ));
+        assert!(store.forward_csr_shared(EdgeLabelId::new(99)).is_none());
+        assert!(store.reverse_csr_shared(le).is_some());
     }
 
     #[test]

@@ -148,6 +148,15 @@ impl Relation {
         self.data.chunks_exact(self.arity())
     }
 
+    /// Iterates over the rows of one morsel: the contiguous row range
+    /// `start..end`. Because the data is flat and shared, a morsel is
+    /// pointer arithmetic over the same `Arc` buffer — partitioning a
+    /// probe side across workers never copies a row.
+    pub fn rows_range(&self, start: usize, end: usize) -> impl Iterator<Item = &[u32]> {
+        let a = self.arity();
+        self.data[start * a..end * a].chunks_exact(a)
+    }
+
     /// The flattened row-major data (for arity-1 relations: the sorted
     /// value set). Used by the storage layer to expose node-label sets.
     pub(crate) fn flat(&self) -> &[u32] {
@@ -247,6 +256,29 @@ impl Relation {
             "from_flat_sorted requires canonical input"
         );
         rel
+    }
+
+    /// Builds a canonical relation from per-morsel output runs, each
+    /// already canonical (sorted + deduplicated by its worker): a
+    /// balanced k-way merge-dedup, so the result is bit-identical to
+    /// normalising the concatenation — the guarantee that makes
+    /// parallel execution indistinguishable from serial.
+    pub(crate) fn merge_sorted_runs(cols: Vec<ColId>, mut runs: Vec<Vec<u32>>) -> Relation {
+        let arity = cols.len();
+        runs.retain(|r| !r.is_empty());
+        // Balanced pairwise merging: each row moves O(log k) times.
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge_dedup_flat(arity, &a, &b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        Relation::from_flat_sorted(cols, runs.pop().unwrap_or_default())
     }
 
     /// `σ_{a = b}` by column positions: keeps rows whose two columns
@@ -599,9 +631,39 @@ impl Relation {
     }
 }
 
+/// Merges two canonical flat buffers into one canonical flat buffer
+/// (the flat-buffer counterpart of [`Relation::union`]).
+fn merge_dedup_flat(arity: usize, a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let (n, m) = (a.len() / arity, b.len() / arity);
+    while i < n && j < m {
+        let ra = &a[i * arity..(i + 1) * arity];
+        let rb = &b[j * arity..(j + 1) * arity];
+        match ra.cmp(rb) {
+            std::cmp::Ordering::Less => {
+                out.extend_from_slice(ra);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.extend_from_slice(rb);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.extend_from_slice(ra);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i * arity..]);
+    out.extend_from_slice(&b[j * arity..]);
+    out
+}
+
 /// Sorts rows of a flat row-major buffer lexicographically and removes
 /// duplicates. `arity` must be at least one.
-fn normalize_flat(arity: usize, data: &mut Vec<u32>) {
+pub(crate) fn normalize_flat(arity: usize, data: &mut Vec<u32>) {
     if data.is_empty() {
         return;
     }
@@ -1092,6 +1154,36 @@ mod tests {
     }
 
     #[test]
+    fn rows_range_matches_rows() {
+        let r = rel(&[0, 1], &[&[1, 10], &[2, 20], &[3, 30], &[4, 40]]);
+        let mid: Vec<&[u32]> = r.rows_range(1, 3).collect();
+        assert_eq!(mid, vec![&[2, 20][..], &[3, 30][..]]);
+        let all: Vec<&[u32]> = r.rows_range(0, r.len()).collect();
+        assert_eq!(all, r.rows().collect::<Vec<_>>());
+        assert_eq!(r.rows_range(2, 2).count(), 0);
+    }
+
+    #[test]
+    fn merge_sorted_runs_matches_normalized_concat() {
+        let cols = vec![c(0), c(1)];
+        // Three canonical runs with overlaps, plus an empty run.
+        let runs = vec![
+            vec![1, 10, 3, 30],
+            vec![],
+            vec![2, 20, 3, 30],
+            vec![1, 10, 9, 90],
+        ];
+        let merged = Relation::merge_sorted_runs(cols.clone(), runs.clone());
+        let concat: Vec<u32> = runs.concat();
+        let expect = Relation::from_flat(cols.clone(), concat);
+        assert_eq!(merged, expect);
+        // All-empty runs collapse onto the shared empty buffer.
+        let none = Relation::merge_sorted_runs(cols.clone(), vec![vec![], vec![]]);
+        assert!(none.is_empty());
+        assert!(none.shares_data(&Relation::empty(cols)));
+    }
+
+    #[test]
     fn checked_operators_propagate_poll_errors() {
         let r = rel(&[0, 1], &[&[1, 10], &[2, 20]]);
         let s = rel(&[1, 2], &[&[10, 100]]);
@@ -1185,6 +1277,29 @@ mod proptests {
             assert_eq!(mj, r.join(&s), "merge join seed {seed}");
             let msj = r.merge_semijoin_checked(&s, 1, &mut || Ok(())).unwrap();
             assert_eq!(msj, r.semijoin(&s), "merge semijoin seed {seed}");
+        }
+    }
+
+    /// Merging per-morsel canonical runs equals normalising the
+    /// concatenation — the parallel-join merge invariant.
+    #[test]
+    fn merge_sorted_runs_matches_serial_normalize() {
+        for seed in 0..128u64 {
+            let mut rng = Rng::seed_from_u64(seed ^ 0x40a5);
+            let k = rng.gen_range(1..6);
+            let runs: Vec<Vec<u32>> = (0..k)
+                .map(|_| {
+                    let mut data: Vec<u32> = (0..rng.gen_range(0..16) * 2)
+                        .map(|_| rng.gen_range(0..8) as u32)
+                        .collect();
+                    normalize_flat(2, &mut data);
+                    data
+                })
+                .collect();
+            let cols = vec![ColId::new(0), ColId::new(1)];
+            let merged = Relation::merge_sorted_runs(cols.clone(), runs.clone());
+            let expect = Relation::from_flat(cols, runs.concat());
+            assert_eq!(merged, expect, "seed {seed}");
         }
     }
 

@@ -93,6 +93,8 @@ pub struct MetricsRegistry {
     timeouts: AtomicU64,
     rejected: AtomicU64,
     total_micros: AtomicU64,
+    morsels_executed: AtomicU64,
+    parallel_queries: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -112,6 +114,8 @@ impl MetricsRegistry {
             timeouts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             total_micros: AtomicU64::new(0),
+            morsels_executed: AtomicU64::new(0),
+            parallel_queries: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -137,6 +141,16 @@ impl MetricsRegistry {
         self.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a query's morsel-parallel work: `morsels` is the number of
+    /// morsel tasks the executor dispatched (0 for a fully serial query).
+    pub fn record_parallel(&self, morsels: usize) {
+        if morsels > 0 {
+            self.morsels_executed
+                .fetch_add(morsels as u64, Ordering::Relaxed);
+            self.parallel_queries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Snapshots every counter, folding in the plan cache's stats.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
@@ -157,6 +171,8 @@ impl MetricsRegistry {
             p50_ms: to_ms(self.latency.quantile(0.50)),
             p95_ms: to_ms(self.latency.quantile(0.95)),
             p99_ms: to_ms(self.latency.quantile(0.99)),
+            morsels_executed: self.morsels_executed.load(Ordering::Relaxed),
+            parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -185,6 +201,10 @@ pub struct MetricsSnapshot {
     pub p95_ms: f64,
     /// 99th percentile latency (ms).
     pub p99_ms: f64,
+    /// Morsel tasks dispatched by parallel query sections.
+    pub morsels_executed: u64,
+    /// Queries that ran at least one parallel section.
+    pub parallel_queries: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -203,6 +223,8 @@ impl MetricsSnapshot {
             ("p50_ms", JsonValue::Num(self.p50_ms)),
             ("p95_ms", JsonValue::Num(self.p95_ms)),
             ("p99_ms", JsonValue::Num(self.p99_ms)),
+            ("morsels_executed", JsonValue::Int(self.morsels_executed)),
+            ("parallel_queries", JsonValue::Int(self.parallel_queries)),
             ("cache_hits", JsonValue::Int(self.cache.hits)),
             ("cache_misses", JsonValue::Int(self.cache.misses)),
             ("cache_evictions", JsonValue::Int(self.cache.evictions)),
@@ -228,6 +250,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
             self.mean_ms, self.p50_ms, self.p95_ms, self.p99_ms
+        )?;
+        writeln!(
+            f,
+            "parallel: {} queries ran parallel sections, {} morsels executed",
+            self.parallel_queries, self.morsels_executed
         )?;
         write!(
             f,
@@ -311,6 +338,8 @@ mod tests {
         let m = MetricsRegistry::new();
         let s = m.snapshot(CacheStats::default());
         assert_eq!(s.completed, 0);
+        assert_eq!(s.morsels_executed, 0);
+        assert_eq!(s.parallel_queries, 0);
         assert_eq!(s.mean_ms, 0.0);
         assert_eq!(s.p50_ms, 0.0);
         assert_eq!(s.p95_ms, 0.0);
@@ -319,6 +348,8 @@ mod tests {
         let json = s.to_json();
         assert!(!json.contains("null") && !json.contains("NaN"), "{json}");
         assert!(json.contains("\"cache_hit_rate\": 0"), "{json}");
+        assert!(json.contains("\"morsels_executed\": 0"), "{json}");
+        assert!(json.contains("\"parallel_queries\": 0"), "{json}");
         // The human rendering is equally finite.
         let text = s.to_string();
         assert!(!text.contains("NaN"), "{text}");
@@ -333,6 +364,22 @@ mod tests {
         for key in ["\"qps\"", "\"p99_ms\"", "\"cache_hit_rate\""] {
             assert!(json.contains(key), "{json}");
         }
+    }
+
+    #[test]
+    fn parallel_counters_track_morsel_batches() {
+        let m = MetricsRegistry::new();
+        m.record_parallel(0); // serial query: no counter movement
+        m.record_parallel(8);
+        m.record_parallel(3);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.morsels_executed, 11);
+        assert_eq!(s.parallel_queries, 2);
+        let json = s.to_json();
+        assert!(json.contains("\"morsels_executed\": 11"), "{json}");
+        assert!(json.contains("\"parallel_queries\": 2"), "{json}");
+        let text = s.to_string();
+        assert!(text.contains("2 queries ran parallel sections"), "{text}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! aggregates QPS, latency percentiles and the cache hit rate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use sgq_algebra::ast::PathExpr;
@@ -23,7 +23,7 @@ use sgq_core::pipeline::RewriteOptions;
 use sgq_engine::GraphEngine;
 use sgq_graph::{GraphDatabase, GraphSchema};
 use sgq_ra::exec::ExecContext;
-use sgq_ra::RelStore;
+use sgq_ra::{RelStore, TaskScheduler};
 
 use crate::cache::{schema_fingerprint, CacheKey, CacheOutcome, PlanCache};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -46,6 +46,18 @@ pub struct ServiceConfig {
     pub default_timeout_ms: u64,
     /// Row-materialisation budget per query (0 = unlimited).
     pub default_max_rows: usize,
+    /// Intra-query degree of parallelism applied when a call does not
+    /// set its own (1 = serial morsel-free execution).
+    pub default_dop: usize,
+    /// Ceiling on per-query DOP; also sizes the shared morsel
+    /// scheduler, bounding the service's intra-query threads.
+    pub max_dop: usize,
+    /// Probe-row count below which operators stay serial even at
+    /// `dop > 1` (the executor's per-morsel overhead gate). Lower it
+    /// only to force parallelism on small fixtures (tests, benches).
+    pub parallel_row_threshold: usize,
+    /// Morsel size cap in rows for parallel sections.
+    pub morsel_rows: usize,
     /// Rewrite switches used by [`Approach::Schema`] statements.
     pub rewrite: RewriteOptions,
 }
@@ -62,6 +74,10 @@ impl Default for ServiceConfig {
             plan_cache_shards: 8,
             default_timeout_ms: 30_000,
             default_max_rows: 20_000_000,
+            default_dop: 1,
+            max_dop: workers,
+            parallel_row_threshold: sgq_ra::cost::PARALLEL_ROW_THRESHOLD,
+            morsel_rows: sgq_ra::parallel::MORSEL_ROWS,
             rewrite: RewriteOptions::default(),
         }
     }
@@ -89,6 +105,9 @@ pub struct QueryOptions {
     pub timeout_ms: Option<u64>,
     /// Row-budget override (0 = unlimited).
     pub max_rows: Option<usize>,
+    /// Intra-query DOP override, clamped to
+    /// [`ServiceConfig::max_dop`] (relational backend only).
+    pub dop: Option<usize>,
     /// Consult/populate the plan cache (`false` re-prepares every call).
     pub use_cache: bool,
 }
@@ -100,6 +119,7 @@ impl Default for QueryOptions {
             approach: Approach::Schema,
             timeout_ms: None,
             max_rows: None,
+            dop: None,
             use_cache: true,
         }
     }
@@ -148,6 +168,19 @@ struct Core {
     schema_fp: u64,
     schema_version: AtomicU64,
     config: ServiceConfig,
+    /// Morsel scheduler shared by every parallel query (lazily spawned
+    /// on the first `dop > 1` call, sized to `max_dop` so intra-query
+    /// threads stay bounded regardless of concurrent queries).
+    exec_scheduler: OnceLock<Arc<TaskScheduler>>,
+}
+
+impl Core {
+    fn scheduler(&self) -> Arc<TaskScheduler> {
+        Arc::clone(
+            self.exec_scheduler
+                .get_or_init(|| Arc::new(TaskScheduler::new(self.config.max_dop.max(1)))),
+        )
+    }
 }
 
 /// The concurrent query service.
@@ -195,6 +228,7 @@ impl Service {
             schema_fp,
             schema_version: AtomicU64::new(0),
             config,
+            exec_scheduler: OnceLock::new(),
         });
         Service { core, pool }
     }
@@ -425,9 +459,20 @@ fn run_query(
             ctx.deadline = Some(deadline);
             ctx.limit_ms = timeout_ms;
             ctx.max_rows = max_rows;
+            let dop = opts
+                .dop
+                .unwrap_or(core.config.default_dop)
+                .clamp(1, core.config.max_dop.max(1));
+            if dop > 1 {
+                ctx.dop = dop;
+                ctx.parallel_threshold = core.config.parallel_row_threshold;
+                ctx.morsel_rows = core.config.morsel_rows.max(1);
+                ctx.set_scheduler(core.scheduler());
+            }
             let rel = sgq_ra::execute_plan(plan, &core.store, &mut ctx)?;
+            core.metrics.record_parallel(ctx.morsels_executed);
             let rows: Vec<Vec<u32>> = rel.rows().map(|r| r.to_vec()).collect();
-            (rows, ctx.rows_materialized)
+            (rows, ctx.rows_materialized())
         }
     };
     Ok(QueryResponse {
@@ -550,6 +595,73 @@ mod tests {
         let (third, o3) = session.prepare("owns", &opts).unwrap();
         assert_eq!(o3, CacheOutcome::Miss, "version bump must re-prepare");
         assert!(!Arc::ptr_eq(&first, &third));
+        service.shutdown();
+    }
+
+    #[test]
+    fn parallel_dop_matches_serial_and_moves_counters() {
+        // Force parallel sections on the tiny fixture: threshold 1 and
+        // a 2-row morsel cap make every join probe split into morsels.
+        let config = ServiceConfig {
+            max_dop: 4,
+            parallel_row_threshold: 1,
+            morsel_rows: 2,
+            ..ServiceConfig::with_workers(2)
+        };
+        let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);
+        let session = service.session();
+        for text in ["owns/isLocatedIn+", "isMarriedTo+", "livesIn/isLocatedIn+"] {
+            let serial = session.execute(text, &QueryOptions::default()).unwrap();
+            let opts = QueryOptions {
+                dop: Some(4),
+                ..Default::default()
+            };
+            let parallel = session.execute(text, &opts).unwrap();
+            assert_eq!(serial.rows, parallel.rows, "DOP=4 diverged on {text}");
+        }
+        let m = service.metrics();
+        assert!(m.parallel_queries >= 1, "no query went parallel: {m}");
+        assert!(m.morsels_executed >= 2 * m.parallel_queries, "{m}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn sub_threshold_queries_stay_serial_despite_dop() {
+        // Default threshold (16K probe rows) dwarfs the fixture: a
+        // dop > 1 request must not dispatch a single morsel.
+        let service = small_service(2);
+        let session = service.session();
+        let opts = QueryOptions {
+            dop: Some(4),
+            ..Default::default()
+        };
+        let resp = session.execute("owns/isLocatedIn+", &opts).unwrap();
+        assert!(!resp.rows.is_empty());
+        let m = service.metrics();
+        assert_eq!(m.parallel_queries, 0, "{m}");
+        assert_eq!(m.morsels_executed, 0, "{m}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn requested_dop_is_clamped_to_max_dop() {
+        let config = ServiceConfig {
+            max_dop: 2,
+            parallel_row_threshold: 1,
+            morsel_rows: 2,
+            ..ServiceConfig::with_workers(2)
+        };
+        let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);
+        let session = service.session();
+        let opts = QueryOptions {
+            dop: Some(64), // clamped to max_dop = 2
+            ..Default::default()
+        };
+        let serial = session
+            .execute("owns/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        let clamped = session.execute("owns/isLocatedIn+", &opts).unwrap();
+        assert_eq!(serial.rows, clamped.rows);
         service.shutdown();
     }
 

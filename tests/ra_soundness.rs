@@ -268,7 +268,7 @@ fn fixpoint_build_caching_reduces_work_with_identical_results() {
         uncached.hash_builds
     );
     assert!(
-        cached.rows_materialized <= uncached.rows_materialized,
+        cached.rows_materialized() <= uncached.rows_materialized(),
         "cached intermediates must not inflate materialisation"
     );
 }
@@ -525,6 +525,206 @@ fn fig2_scan_estimates_match_triple_counts_exactly() {
         let actual = execute(&t, &store, &mut ctx).unwrap().len();
         assert_eq!(sgq_ra::cost::q_error(est, actual as f64), 1.0);
     }
+}
+
+#[test]
+fn parallel_execution_is_bit_identical_to_serial() {
+    // The morsel-parallel soundness property: for random optimised
+    // plans, `execute_plan(DOP=N) == execute_plan(DOP=1)` bit-for-bit
+    // (same columns, same row buffer contents). Parallelism is forced
+    // on the tiny fixture by dropping the cost gate to 1 row and
+    // capping morsels at 2 rows; DOP=7 exercises an uneven last morsel
+    // and more workers than morsels.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..96u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xd0b);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+        let opt = optimize(&term, &store);
+        let p = plan(&opt, &store).expect("optimized term lowers");
+
+        let mut ctx = ExecContext::new();
+        let serial = execute_plan(&p, &store, &mut ctx).expect("serial plan executes");
+        for dop in [2usize, 7] {
+            let mut ctx = ExecContext::new();
+            ctx.dop = dop;
+            ctx.parallel_threshold = 1;
+            ctx.morsel_rows = 2;
+            let par = execute_plan(&p, &store, &mut ctx).expect("parallel plan executes");
+            assert_eq!(
+                serial, par,
+                "DOP={dop} changed results (seed {seed}) for {expr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_index_join_respects_label_filters() {
+    // Directed: the doubly label-filtered index join from the scan
+    // strategy test, executed per morsel — the node-label set filters
+    // must apply identically inside every morsel task.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str, src, tgt| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).unwrap(),
+        src: s.col(src),
+        tgt: s.col(tgt),
+    };
+    let node = |label: &str, col: &str| RaTerm::NodeScan {
+        labels: vec![db.node_label_id(label).unwrap()],
+        col: s.col(col),
+    };
+    let filtered = RaTerm::semijoin(
+        RaTerm::semijoin(scan("isLocatedIn", "y", "z"), node("CITY", "y")),
+        node("REGION", "z"),
+    );
+    let t = RaTerm::join(scan("livesIn", "x", "y"), filtered);
+    let p = plan(&t, &store).unwrap();
+    assert!(
+        matches!(
+            p.op,
+            PhysOp::IndexJoin { ref src_labels, ref tgt_labels, .. }
+                if src_labels.is_some() && tgt_labels.is_some()
+        ),
+        "{p:?}"
+    );
+    let mut ctx = ExecContext::new();
+    let serial = execute_plan(&p, &store, &mut ctx).unwrap();
+    let mut ctx = ExecContext::new();
+    ctx.dop = 4;
+    ctx.parallel_threshold = 1;
+    ctx.morsel_rows = 1;
+    let parallel = execute_plan(&p, &store, &mut ctx).unwrap();
+    assert_eq!(serial, parallel);
+    assert!(ctx.morsels_executed >= 2, "the index join must go parallel");
+    assert_eq!(parallel.len(), 2, "one CITY→REGION hop per resident");
+}
+
+#[test]
+fn parallel_fixpoint_matches_serial_with_identical_builds() {
+    // Directed: inside a fixpoint, each round's delta probe runs per
+    // morsel against the cached static build side. Results match serial
+    // execution bit-for-bit, the round count is unchanged, and the
+    // build-side hash tables are constructed on the caller thread —
+    // exactly as many as the serial run builds.
+    let db = fig2_yago_database();
+    let mut store = RelStore::load(&db);
+    // Ablate index joins so the step hash-joins and builds are counted.
+    store.index_joins = false;
+    let s = &store.symbols;
+    let f = closure_fixpoint(
+        s.recvar("X"),
+        RaTerm::EdgeScan {
+            label: db.edge_label_id("isLocatedIn").unwrap(),
+            src: s.col("x"),
+            tgt: s.col("y"),
+        },
+        s.col("x"),
+        s.col("y"),
+        s.col("m"),
+    );
+    let p = plan(&f, &store).unwrap();
+    let mut serial = ExecContext::new();
+    let r_serial = execute_plan(&p, &store, &mut serial).unwrap();
+    let mut par = ExecContext::new();
+    par.dop = 4;
+    par.parallel_threshold = 1;
+    par.morsel_rows = 1;
+    let r_par = execute_plan(&p, &store, &mut par).unwrap();
+    assert_eq!(r_serial, r_par, "parallel fixpoint changed results");
+    assert_eq!(serial.fixpoint_rounds, par.fixpoint_rounds);
+    assert_eq!(
+        serial.hash_builds, par.hash_builds,
+        "build sides must stay on the caller thread (cached, not per morsel)"
+    );
+    assert!(par.morsels_executed >= 2, "delta probes must go parallel");
+    assert!(serial.fixpoint_rounds >= 2, "closure iterates");
+
+    // The CSR-backed plan parallelises too, with zero hash builds.
+    store.index_joins = true;
+    let p_csr = plan(&f, &store).unwrap();
+    let mut csr = ExecContext::new();
+    csr.dop = 4;
+    csr.parallel_threshold = 1;
+    csr.morsel_rows = 1;
+    let r_csr = execute_plan(&p_csr, &store, &mut csr).unwrap();
+    assert_eq!(r_serial, r_csr);
+    assert_eq!(csr.hash_builds, 0, "the CSR is the build side");
+}
+
+#[test]
+fn parallel_row_budget_stops_within_one_morsel_batch_per_worker() {
+    // A budget-exceeding parallel join must stop promptly: the first
+    // morsel to breach `max_rows` trips the shared cancel flag, and
+    // only morsels already past their final poll can still record. The
+    // overshoot is therefore bounded by one in-flight morsel's output
+    // per worker: `max_rows + dop * morsel_rows * f_max`, where f_max
+    // is the worst per-key fanout either join side can contribute.
+    let (_, db) = sgq_datasets::yago::generate(sgq_datasets::yago::YagoConfig::scaled(0.2));
+    let store = RelStore::load(&db);
+    let s = &store.symbols;
+    let scan = |label: &str, src, tgt| RaTerm::EdgeScan {
+        label: db.edge_label_id(label).unwrap(),
+        src: s.col(src),
+        tgt: s.col(tgt),
+    };
+    // A fanout self-join (people sharing a city) whose output dwarfs its
+    // inputs, so a budget above the scan sizes still trips inside the
+    // parallel probe.
+    let t = RaTerm::join(scan("livesIn", "x", "y"), scan("livesIn", "z", "y"));
+    let p = plan(&t, &store).unwrap();
+
+    // Full output size and worst-case per-key fanout, from the data.
+    let mut ctx = ExecContext::new();
+    let total = execute_plan(&p, &store, &mut ctx).unwrap().len();
+    let fanout = |rel: &Relation, key: usize| {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        let mut prev = None;
+        for row in rel.rows() {
+            if prev == Some(row[key]) {
+                run += 1;
+            } else {
+                run = 1;
+                prev = Some(row[key]);
+            }
+            best = best.max(run);
+        }
+        best
+    };
+    let lives = store
+        .edge_table(db.edge_label_id("livesIn").unwrap())
+        .with_cols(vec![s.col("x"), s.col("y")]);
+    // Both join sides are livesIn keyed on its target column.
+    let f_max = fanout(&lives.project(&[s.col("y"), s.col("x")]), 0);
+
+    let (dop, morsel_rows, max_rows) = (2usize, 4usize, 2_000usize);
+    let mut ctx = ExecContext::new();
+    ctx.dop = dop;
+    ctx.parallel_threshold = 1;
+    ctx.morsel_rows = morsel_rows;
+    ctx.max_rows = max_rows;
+    let err = execute_plan(&p, &store, &mut ctx).expect_err("budget must trip");
+    assert!(
+        err.to_string().contains("row budget"),
+        "expected the row-budget error, got {err}"
+    );
+    let bound = max_rows + dop * morsel_rows * f_max;
+    assert!(
+        ctx.rows_materialized() <= bound,
+        "overshoot too large: {} rows recorded, bound {bound} (total {total})",
+        ctx.rows_materialized()
+    );
+    assert!(
+        total > bound,
+        "fixture too small to distinguish early stop ({total} <= {bound})"
+    );
 }
 
 /// Asserts rows are strictly increasing (sorted with no duplicates).
