@@ -1,14 +1,17 @@
 //! Micro-benchmarks of the statistics and cardinality-estimation layer:
 //! statistics collection (one pass + per-label SCC condensation), the
-//! O(1) `source_selectivity` fast path, and the front-end cost of
+//! O(1) `source_selectivity` fast path, the front-end cost of
 //! optimising + planning the full LDBC catalog under the stats-v2
-//! estimator vs the v1 heuristics.
+//! estimator vs the v1 heuristics, and the feedback-memo sweep —
+//! prepare+execute of the catalog with the memo cold vs warmed by one
+//! prior execution of every query.
 
 use sgq_bench::{black_box, criterion_group, criterion_main, Criterion};
 use sgq_common::{EdgeLabelId, NodeLabelId};
 use sgq_core::pipeline::RewriteOptions;
 use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_graph::GraphStats;
+use sgq_ra::exec::{execute_plan, ExecContext};
 use sgq_ra::optimize::optimize;
 use sgq_ra::{plan, RaTerm, RelStore};
 use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
@@ -73,6 +76,37 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             for t in &terms {
                 let p = plan(&optimize(t, &store_v1), &store_v1).expect("plans");
+                black_box(p.est.rows);
+            }
+        })
+    });
+
+    // --- Feedback memo: prepare+execute the catalog cold vs warm. ---
+    let prepare_execute = |store: &RelStore| {
+        for t in &terms {
+            let p = plan(&optimize(t, store), store).expect("plans");
+            let mut ctx = ExecContext::new();
+            black_box(execute_plan(&p, store, &mut ctx).expect("executes").len());
+        }
+    };
+    store.feedback.set_enabled(false);
+    group.bench_function("prepare_execute_catalog_cold", |b| {
+        b.iter(|| prepare_execute(&store))
+    });
+    // Warm the memo: one recorded execution per catalog query, then
+    // measure with estimation drawing from the observations (plans may
+    // pick different physical strategies than the cold pass).
+    store.feedback.clear();
+    store.feedback.set_enabled(true);
+    prepare_execute(&store);
+    group.bench_function("prepare_execute_catalog_memo_warm", |b| {
+        b.iter(|| prepare_execute(&store))
+    });
+    group.bench_function("optimize_plan_catalog_memo_warm", |b| {
+        // Front-end only: the memo lookups ride the estimation pass.
+        b.iter(|| {
+            for t in &terms {
+                let p = plan(&optimize(t, &store), &store).expect("plans");
                 black_box(p.est.rows);
             }
         })

@@ -10,11 +10,21 @@
 //! plan's root estimate is compared against the actually executed row
 //! count; the per-query q-error `max(est, actual) / min(est, actual)`
 //! (floored at one row) is recorded, rendered as a table, and dumped as
-//! JSON. The smoke variant ([`estimates_smoke`]) is the CI gate: it
-//! panics unless the v2 median q-error beats the v1 median on both
-//! bundled catalogs.
+//! JSON.
+//!
+//! A third, *warm-memo* pass measures feedback-driven re-optimisation:
+//! after the cold pass executes every query once with the cardinality
+//! feedback memo recording, each query is planned again — estimates now
+//! come from observed cardinalities — and re-executed. The pass records
+//! the warm root estimate, whether the physical strategy changed, and
+//! the cold/warm execution times. The smoke variant
+//! ([`estimates_smoke`]) is the CI gate: it panics unless the v2 median
+//! q-error beats the v1 median on both bundled catalogs, the warm-memo
+//! median q-error is no worse than cold v2, and at least one catalog
+//! query switches to a faster physical plan after feedback.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use sgq_common::json::JsonValue;
 use sgq_core::pipeline::RewriteOptions;
@@ -25,7 +35,8 @@ use sgq_graph::{GraphDatabase, GraphSchema};
 use sgq_ra::cost::q_error;
 use sgq_ra::exec::{execute_plan, ExecContext};
 use sgq_ra::optimize::optimize;
-use sgq_ra::{plan, RelStore};
+use sgq_ra::term::RaTerm;
+use sgq_ra::{plan, PhysPlan, RelStore};
 use sgq_translate::ucqt2rra::{ucqt_to_term, NameGen};
 
 use crate::runner::{query_for, Approach};
@@ -77,9 +88,19 @@ pub struct EstRecord {
     pub est_v1: f64,
     /// Root estimate under statistics v2.
     pub est_v2: f64,
+    /// Root estimate after the feedback memo was warmed by one
+    /// execution of every catalog query.
+    pub est_warm: f64,
     /// Executed result cardinality (`None` when the query exceeded the
     /// timeout or row budget).
     pub actual: Option<usize>,
+    /// Whether the warm re-plan chose a different physical strategy
+    /// than the cold v2 plan.
+    pub switched: bool,
+    /// Execution time of the cold v2 plan (µs).
+    pub cold_micros: u64,
+    /// Execution time of the warm re-plan (µs, `None` when infeasible).
+    pub warm_micros: Option<u64>,
 }
 
 impl EstRecord {
@@ -91,6 +112,11 @@ impl EstRecord {
     /// q-error of the v2 estimate.
     pub fn q_v2(&self) -> Option<f64> {
         self.actual.map(|a| q_error(self.est_v2, a as f64))
+    }
+
+    /// q-error of the warm-memo estimate.
+    pub fn q_warm(&self) -> Option<f64> {
+        self.actual.map(|a| q_error(self.est_warm, a as f64))
     }
 }
 
@@ -117,6 +143,24 @@ pub fn median_q(records: &[EstRecord]) -> (f64, f64, usize) {
     (median(&mut v1), median(&mut v2), n)
 }
 
+/// Median warm-memo q-error over the feasible records.
+pub fn median_q_warm(records: &[EstRecord]) -> f64 {
+    let mut warm: Vec<f64> = records.iter().filter_map(EstRecord::q_warm).collect();
+    median(&mut warm)
+}
+
+/// The physical shape of a plan with the estimate annotations stripped:
+/// operator kinds, join keys, build sides and filters — what the warm
+/// re-plan can change. Two plans with equal signatures execute the same
+/// strategy.
+fn strategy_signature(p: &PhysPlan, store: &RelStore, db: &GraphDatabase) -> String {
+    sgq_ra::explain::explain_plan(p, store, db)
+        .lines()
+        .map(|l| l.split(" (cost").next().unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
 fn catalog_records(
     dataset: &'static str,
     schema: &GraphSchema,
@@ -124,8 +168,21 @@ fn catalog_records(
     queries: &[CatalogQuery],
     cfg: &EstimatesConfig,
 ) -> Vec<EstRecord> {
+    struct ColdRun {
+        name: String,
+        term: RaTerm,
+        est_v1: f64,
+        est_v2: f64,
+        signature: String,
+        plan_cold: PhysPlan,
+        actual: Option<usize>,
+        cold_micros: u64,
+    }
     let mut store = RelStore::load(db);
-    let mut records = Vec::new();
+    // Cold pass: feedback disabled so the v1/v2 estimates stay
+    // formula-pure even across queries sharing subtrees.
+    store.feedback.set_enabled(false);
+    let mut runs = Vec::new();
     for q in queries {
         // The schema-rewritten query is the one whose plans carry the
         // label filters the triple counts speak about; a rewrite that
@@ -145,20 +202,62 @@ fn catalog_records(
             continue;
         };
         store.v1_estimates = false;
-        let Ok(plan_v2) = plan(&optimize(&term, &store), &store) else {
+        let Ok(plan_cold) = plan(&optimize(&term, &store), &store) else {
             continue;
         };
         let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
         ctx.max_rows = cfg.max_rows;
-        let actual = execute_plan(&plan_v2, &store, &mut ctx)
+        let start = Instant::now();
+        let actual = execute_plan(&plan_cold, &store, &mut ctx)
             .ok()
             .map(|r| r.len());
+        runs.push(ColdRun {
+            name: q.name.to_string(),
+            term,
+            est_v1: plan_v1.est.rows,
+            est_v2: plan_cold.est.rows,
+            signature: strategy_signature(&plan_cold, &store, db),
+            plan_cold,
+            actual,
+            cold_micros: start.elapsed().as_micros() as u64,
+        });
+    }
+    // Training pass: one execution per query with the memo recording
+    // populates it with the true cardinality of every static subtree.
+    store.feedback.clear();
+    store.feedback.set_enabled(true);
+    for r in &runs {
+        let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+        ctx.max_rows = cfg.max_rows;
+        let _ = execute_plan(&r.plan_cold, &store, &mut ctx);
+    }
+    // Warm pass: re-optimise and re-plan with memoised estimates — the
+    // physical strategy may change — and re-execute.
+    let mut records = Vec::new();
+    for r in runs {
+        let (est_warm, switched, warm_micros) = match plan(&optimize(&r.term, &store), &store) {
+            Ok(plan_warm) => {
+                let switched = strategy_signature(&plan_warm, &store, db) != r.signature;
+                let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+                ctx.max_rows = cfg.max_rows;
+                let start = Instant::now();
+                let warm_micros = execute_plan(&plan_warm, &store, &mut ctx)
+                    .ok()
+                    .map(|_| start.elapsed().as_micros() as u64);
+                (plan_warm.est.rows, switched, warm_micros)
+            }
+            Err(_) => (r.est_v2, false, None),
+        };
         records.push(EstRecord {
             dataset,
-            query: q.name.to_string(),
-            est_v1: plan_v1.est.rows,
-            est_v2: plan_v2.est.rows,
-            actual,
+            query: r.name,
+            est_v1: r.est_v1,
+            est_v2: r.est_v2,
+            est_warm,
+            actual: r.actual,
+            switched,
+            cold_micros: r.cold_micros,
+            warm_micros,
         });
     }
     records
@@ -187,29 +286,42 @@ pub fn render_estimates(records: &[EstRecord], cfg: &EstimatesConfig) -> String 
     );
     let _ = writeln!(
         out,
-        "{:<6} {:<6} {:>12} {:>12} {:>12} {:>9} {:>9}",
-        "data", "query", "est v1", "est v2", "actual", "q v1", "q v2"
+        "{:<6} {:<6} {:>12} {:>12} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "data", "query", "est v1", "est v2", "est warm", "actual", "q v1", "q v2", "q warm", "plan"
     );
     for r in records {
+        let switch = if r.switched { "switch" } else { "-" };
         match r.actual {
             Some(actual) => {
                 let _ = writeln!(
                     out,
-                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12} {:>9.2} {:>9.2}",
+                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12.1} {:>12} {:>8.2} {:>8.2} {:>8.2} {:>8}",
                     r.dataset,
                     r.query,
                     r.est_v1,
                     r.est_v2,
+                    r.est_warm,
                     actual,
                     r.q_v1().expect("feasible"),
-                    r.q_v2().expect("feasible")
+                    r.q_v2().expect("feasible"),
+                    r.q_warm().expect("feasible"),
+                    switch
                 );
             }
             None => {
                 let _ = writeln!(
                     out,
-                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12} {:>9} {:>9}",
-                    r.dataset, r.query, r.est_v1, r.est_v2, "timeout", "-", "-"
+                    "{:<6} {:<6} {:>12.1} {:>12.1} {:>12.1} {:>12} {:>8} {:>8} {:>8} {:>8}",
+                    r.dataset,
+                    r.query,
+                    r.est_v1,
+                    r.est_v2,
+                    r.est_warm,
+                    "timeout",
+                    "-",
+                    "-",
+                    "-",
+                    switch
                 );
             }
         }
@@ -221,6 +333,7 @@ pub fn render_estimates(records: &[EstRecord], cfg: &EstimatesConfig) -> String 
             ("query", JsonValue::str(r.query.clone())),
             ("est_v1", JsonValue::Num(r.est_v1)),
             ("est_v2", JsonValue::Num(r.est_v2)),
+            ("est_warm", JsonValue::Num(r.est_warm)),
             (
                 "actual",
                 r.actual
@@ -228,6 +341,13 @@ pub fn render_estimates(records: &[EstRecord], cfg: &EstimatesConfig) -> String 
             ),
             ("q_v1", r.q_v1().map_or(JsonValue::Null, JsonValue::Num)),
             ("q_v2", r.q_v2().map_or(JsonValue::Null, JsonValue::Num)),
+            ("q_warm", r.q_warm().map_or(JsonValue::Null, JsonValue::Num)),
+            ("plan_switched", JsonValue::Bool(r.switched)),
+            ("cold_micros", JsonValue::Int(r.cold_micros)),
+            (
+                "warm_micros",
+                r.warm_micros.map_or(JsonValue::Null, JsonValue::Int),
+            ),
         ]));
     }
     for dataset in ["YAGO", "LDBC"] {
@@ -237,20 +357,36 @@ pub fn render_estimates(records: &[EstRecord], cfg: &EstimatesConfig) -> String 
             .cloned()
             .collect();
         let (m1, m2, n) = median_q(&subset);
+        let mw = median_q_warm(&subset);
         let _ = writeln!(
             out,
             "\n{dataset}: median q-error over {n} feasible queries: \
-             v1 = {m1:.2}, v2 = {m2:.2}"
+             v1 = {m1:.2}, v2 = {m2:.2}, warm = {mw:.2}"
         );
     }
     let (m1, m2, n) = median_q(records);
+    let mw = median_q_warm(records);
+    let switches = records.iter().filter(|r| r.switched).count();
+    let faster = records
+        .iter()
+        .filter(|r| r.switched && r.warm_micros.is_some_and(|w| w < r.cold_micros))
+        .count();
     let _ = writeln!(
         out,
-        "overall: median q-error over {n} feasible queries: v1 = {m1:.2}, v2 = {m2:.2}"
+        "overall: median q-error over {n} feasible queries: \
+         v1 = {m1:.2}, v2 = {m2:.2}, warm = {mw:.2}"
+    );
+    let _ = writeln!(
+        out,
+        "feedback: {switches} queries switched physical strategy after \
+         memo warm-up ({faster} measurably faster)"
     );
     let summary = JsonValue::obj([
         ("median_q_v1", JsonValue::Num(m1)),
         ("median_q_v2", JsonValue::Num(m2)),
+        ("median_q_warm", JsonValue::Num(mw)),
+        ("plan_switches", JsonValue::Int(switches as u64)),
+        ("plan_switches_faster", JsonValue::Int(faster as u64)),
         ("feasible_queries", JsonValue::Int(n as u64)),
     ]);
     let _ = writeln!(
@@ -268,8 +404,11 @@ pub fn estimates(cfg: &EstimatesConfig) -> String {
 }
 
 /// CI gate: on the smoke-sized catalogs, the statistics-v2 median q-error
-/// must beat the v1 heuristics on each dataset and overall. Panics on
-/// regression so a broken estimator fails the build.
+/// must beat the v1 heuristics on each dataset and overall, the
+/// warm-memo median q-error must be no worse than cold v2, and at least
+/// one catalog query must switch to a measurably faster physical plan
+/// after feedback. Panics on regression so a broken estimator fails the
+/// build.
 pub fn estimates_smoke() -> String {
     let cfg = EstimatesConfig::smoke();
     let records = run_estimates(&cfg);
@@ -286,12 +425,25 @@ pub fn estimates_smoke() -> String {
             "estimates smoke: stats v2 median q-error regressed on {dataset}: \
              v2 = {m2:.3} > v1 = {m1:.3}"
         );
+        let mw = median_q_warm(&subset);
+        assert!(
+            mw <= m2,
+            "estimates smoke: warm-memo median q-error regressed on {dataset}: \
+             warm = {mw:.3} > v2 = {m2:.3}"
+        );
     }
     let (m1, m2, _) = median_q(&records);
     assert!(
         m2 < m1,
         "estimates smoke: stats v2 must beat the v1 heuristics overall: \
          v2 = {m2:.3} !< v1 = {m1:.3}"
+    );
+    assert!(
+        records
+            .iter()
+            .any(|r| r.switched && r.warm_micros.is_some_and(|w| w < r.cold_micros)),
+        "estimates smoke: feedback must switch at least one query to a \
+         measurably faster physical plan"
     );
     render_estimates(&records, &cfg)
 }
@@ -316,7 +468,11 @@ mod tests {
             query: q.to_string(),
             est_v1,
             est_v2,
+            est_warm: est_v2,
             actual,
+            switched: false,
+            cold_micros: 0,
+            warm_micros: None,
         };
         let records = vec![
             rec("a", 10.0, 2.0, Some(2)),   // q1 = 5, q2 = 1

@@ -33,8 +33,23 @@
 //! the per-iteration growth factor applies only to the part of the
 //! step that actually depends on `X` — the static part is computed
 //! (and, in the physical executor, cached) once.
+//!
+//! **Runtime feedback.** Alongside its estimate, every subterm gets a
+//! structural **fingerprint** ([`fingerprint`]): a bottom-up hash over
+//! operator kinds, edge labels, node-label filters and join-key
+//! *positions* in the children's output schemas. Column names never
+//! enter the hash, so the fingerprint is invariant under renaming; and
+//! because it is computed from the logical term, physical strategies
+//! (hash vs merge vs index join) of the same logical subtree share it.
+//! Before returning a recursion-independent estimate, the formulas ask
+//! the store's [`crate::feedback::FeedbackMemo`] whether this exact
+//! subtree has been executed before — if so, the *observed* cardinality
+//! replaces the estimated one, so re-prepared queries get measured row
+//! counts where it matters (join ordering, build sides, index-vs-hash).
 
-use sgq_common::{ColId, EdgeLabelId, FxHashMap, NodeLabelId, RecVarId};
+use std::hash::{Hash, Hasher};
+
+use sgq_common::{ColId, EdgeLabelId, FxHashMap, FxHasher, NodeLabelId, RecVarId};
 
 use crate::storage::RelStore;
 use crate::term::RaTerm;
@@ -79,12 +94,52 @@ pub fn q_error(est: f64, actual: f64) -> f64 {
 #[derive(Debug, Default)]
 pub struct EstEnv {
     rows: FxHashMap<RecVarId, f64>,
+    /// Fingerprint tokens per bound recursion variable: the de-Bruijn
+    /// style nesting depth at bind time, so a recursive reference hashes
+    /// by *which enclosing fixpoint* it refers to rather than by the
+    /// variable's interned name (rename-invariance).
+    fp_tokens: FxHashMap<RecVarId, u64>,
+    fp_depth: u64,
 }
 
 impl EstEnv {
     /// An empty environment (no enclosing fixpoints).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Assigns `var` the fingerprint token for the next nesting level,
+    /// returning the previous token for [`EstEnv::restore_fp`].
+    fn bind_fp(&mut self, var: RecVarId) -> Option<u64> {
+        self.fp_depth += 1;
+        self.fp_tokens.insert(var, self.fp_depth)
+    }
+
+    /// Restores the token saved by [`EstEnv::bind_fp`].
+    fn restore_fp(&mut self, var: RecVarId, prev: Option<u64>) {
+        self.fp_depth -= 1;
+        match prev {
+            Some(t) => {
+                self.fp_tokens.insert(var, t);
+            }
+            None => {
+                self.fp_tokens.remove(&var);
+            }
+        }
+    }
+
+    /// The fingerprint token for `var`: the de-Bruijn index (distance
+    /// from the current nesting depth to the binder), so a fixpoint
+    /// fingerprints identically whether estimated at its own root or
+    /// nested inside another fixpoint. Unbound references (estimating a
+    /// step subterm in isolation) fall back to the variable's id — still
+    /// deterministic, and such subtrees are recursion-dependent anyway,
+    /// so the memo never stores them.
+    fn fp_token(&self, var: RecVarId) -> u64 {
+        self.fp_tokens
+            .get(&var)
+            .map(|&bound_at| self.fp_depth - bound_at)
+            .unwrap_or(0x5eed_0000_0000_0000 | var.raw() as u64)
     }
 
     /// Binds `var` to an estimated cardinality, returning the previous
@@ -126,11 +181,103 @@ pub fn estimate_with_env(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> E
     }
 }
 
-/// Estimated output rows of `term` — what the physical planner attaches
-/// to each lowered node, so plan estimates and term estimates agree by
-/// construction.
-pub(crate) fn term_rows(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> f64 {
-    parts(term, store, env).card.rows
+/// A planner-facing per-node estimate: the rows, the subtree's
+/// structural fingerprint, and whether the rows came from the runtime
+/// feedback memo rather than the formulas.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct NodeEst {
+    /// Estimated (or observed) output rows.
+    pub(crate) rows: f64,
+    /// Structural fingerprint of the logical subtree.
+    pub(crate) fp: u64,
+    /// Whether `rows` is a memoised observation.
+    pub(crate) memo: bool,
+}
+
+/// Estimates `term` and returns rows + fingerprint + memo provenance —
+/// what the planner stamps onto each lowered node.
+pub(crate) fn node_est(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> NodeEst {
+    let p = parts(term, store, env);
+    NodeEst {
+        rows: p.card.rows,
+        fp: p.fp,
+        memo: p.memo,
+    }
+}
+
+/// The structural fingerprint of `term`: a bottom-up hash over operator
+/// kinds, edge labels, node-label filters and join-key positions.
+/// Invariant under column renaming (columns enter as positions in their
+/// child's output schema) and under join operand order.
+pub fn fingerprint(term: &RaTerm, store: &RelStore) -> u64 {
+    parts(term, store, &mut EstEnv::new()).fp
+}
+
+// Fingerprint hashing. Tags keep distinct operators from colliding;
+// positions (not names) make the hash rename-invariant.
+const FP_EDGE: u64 = 1;
+const FP_NODE: u64 = 2;
+const FP_JOIN: u64 = 3;
+const FP_SEMI: u64 = 4;
+const FP_UNION: u64 = 5;
+const FP_PROJECT: u64 = 6;
+const FP_SELECT: u64 = 7;
+const FP_FIX: u64 = 8;
+const FP_RECREF: u64 = 9;
+const FP_POS: u64 = 10;
+
+fn fp_hash(tag: u64, vals: &[u64]) -> u64 {
+    let mut h = FxHasher::default();
+    tag.hash(&mut h);
+    for v in vals {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hash of `keys` as positions within `cols`, in the order given.
+fn fp_positions(cols: &[ColId], keys: &[ColId]) -> u64 {
+    let pos: Vec<u64> = keys
+        .iter()
+        .map(|k| {
+            cols.iter()
+                .position(|c| c == k)
+                .map_or(u64::MAX, |p| p as u64)
+        })
+        .collect();
+    fp_hash(FP_POS, &pos)
+}
+
+/// Hash of `keys` as a *set* of positions within `cols` (sorted).
+fn fp_position_set(cols: &[ColId], keys: &[ColId]) -> u64 {
+    let mut pos: Vec<u64> = keys
+        .iter()
+        .map(|k| {
+            cols.iter()
+                .position(|c| c == k)
+                .map_or(u64::MAX, |p| p as u64)
+        })
+        .collect();
+    pos.sort_unstable();
+    fp_hash(FP_POS, &pos)
+}
+
+/// Operand-order-invariant fingerprint of a binary node over `shared`
+/// key columns: the direct hash (keys enumerated in left-schema order)
+/// and the mirrored hash (right-schema order) are combined by `min`, so
+/// `a ⋈ b` and `b ⋈ a` fingerprint identically.
+fn fp_commutative(tag: u64, fa: u64, ca: &[ColId], fb: u64, cb: &[ColId], shared: &[ColId]) -> u64 {
+    let mut by_b: Vec<ColId> = shared.to_vec();
+    by_b.sort_unstable_by_key(|k| cb.iter().position(|c| c == k).unwrap_or(usize::MAX));
+    let direct = fp_hash(
+        tag,
+        &[fa, fp_positions(ca, shared), fb, fp_positions(cb, shared)],
+    );
+    let mirror = fp_hash(
+        tag,
+        &[fb, fp_positions(cb, &by_b), fa, fp_positions(ca, &by_b)],
+    );
+    direct.min(mirror)
 }
 
 /// Growth multiplier for a fixpoint term: half the measured closure depth
@@ -479,18 +626,23 @@ fn semijoin_card(a: &Card, b: &Card, shared: &[ColId], store: &RelStore) -> Card
 
 /// One term's estimate split into the cost of its recursion-independent
 /// part (`st`, computed once per fixpoint) and its recursion-dependent
-/// part (`dy`, recomputed every iteration).
+/// part (`dy`, recomputed every iteration), plus the subtree's
+/// structural fingerprint and memo provenance.
 struct Parts {
     card: Card,
     st: f64,
     dy: f64,
     dep: bool,
+    /// Structural fingerprint of this subtree.
+    fp: u64,
+    /// Whether `card.rows` was overridden by a memoised observation.
+    memo: bool,
 }
 
 /// Folds child parts with this node's local cost: a node is dynamic as
 /// soon as any input depends on a recursive reference, and only then
 /// does its local cost join the per-iteration bucket.
-fn fold(children: &[&Parts], local: f64, card: Card) -> Parts {
+fn fold(children: &[&Parts], local: f64, card: Card, fp: u64) -> Parts {
     let dep = children.iter().any(|c| c.dep);
     let st: f64 = children.iter().map(|c| c.st).sum();
     let dy: f64 = children.iter().map(|c| c.dy).sum();
@@ -500,6 +652,8 @@ fn fold(children: &[&Parts], local: f64, card: Card) -> Parts {
             st,
             dy: dy + local,
             dep,
+            fp,
+            memo: false,
         }
     } else {
         Parts {
@@ -507,16 +661,37 @@ fn fold(children: &[&Parts], local: f64, card: Card) -> Parts {
             st: st + local,
             dy,
             dep,
+            fp,
+            memo: false,
         }
     }
 }
 
+/// Estimates one node, then lets the runtime feedback memo override the
+/// formula estimate: a recursion-independent subtree that has executed
+/// before reports its *observed* cardinality instead. Recursion-dependent
+/// subtrees are skipped (per-round deltas would poison the memo — they
+/// are never recorded either), as is the v1 ablation estimator (the cold
+/// baseline must stay formula-pure).
 fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
+    let mut p = parts_raw(term, store, env);
+    if !p.dep && !store.v1_estimates {
+        if let Some(obs) = store.feedback.lookup(p.fp) {
+            p.card.rows = obs.rows;
+            p.card = p.card.cap_distinct();
+            p.memo = true;
+        }
+    }
+    p
+}
+
+fn parts_raw(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
     match term {
         RaTerm::EdgeScan { label, src, tgt } => {
             let card = scan_card(ScanInfo::bare(*label, *src, *tgt), store);
             let rows = card.rows;
-            fold(&[], rows, card)
+            let fp = fp_hash(FP_EDGE, &[label.raw() as u64, (src == tgt) as u64]);
+            fold(&[], rows, card, fp)
         }
         RaTerm::NodeScan { labels, col } => {
             let rows: f64 = labels
@@ -529,25 +704,45 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                 scan: None,
                 node_labels: Some((*col, labels.clone())),
             };
-            fold(&[], rows, card)
+            let mut ls: Vec<u64> = labels.iter().map(|l| l.raw() as u64).collect();
+            ls.sort_unstable();
+            let fp = fp_hash(FP_NODE, &ls);
+            fold(&[], rows, card, fp)
         }
         RaTerm::Join(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
-            let card = join_card(&pa.card, &pb.card, &shared_cols(a, b), store);
+            let (ca, cb) = (a.cols(), b.cols());
+            let shared: Vec<ColId> = ca.iter().copied().filter(|c| cb.contains(c)).collect();
+            let card = join_card(&pa.card, &pb.card, &shared, store);
+            let fp = fp_commutative(FP_JOIN, pa.fp, &ca, pb.fp, &cb, &shared);
             let local = pa.card.rows + pb.card.rows + card.rows;
-            fold(&[&pa, &pb], local, card)
+            fold(&[&pa, &pb], local, card, fp)
         }
         RaTerm::Semijoin(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
-            let card = semijoin_card(&pa.card, &pb.card, &shared_cols(a, b), store);
+            let (ca, cb) = (a.cols(), b.cols());
+            let shared: Vec<ColId> = ca.iter().copied().filter(|c| cb.contains(c)).collect();
+            let card = semijoin_card(&pa.card, &pb.card, &shared, store);
+            // A semi-join is directional: sides do not commute.
+            let fp = fp_hash(
+                FP_SEMI,
+                &[
+                    pa.fp,
+                    fp_positions(&ca, &shared),
+                    pb.fp,
+                    fp_positions(&cb, &shared),
+                ],
+            );
             let local = pa.card.rows + pb.card.rows;
-            fold(&[&pa, &pb], local, card)
+            fold(&[&pa, &pb], local, card, fp)
         }
         RaTerm::Union(a, b) => {
             let pa = parts(a, store, env);
             let pb = parts(b, store, env);
+            let (ca, cb) = (a.cols(), b.cols());
+            let fp = fp_commutative(FP_UNION, pa.fp, &ca, pb.fp, &cb, &ca);
             let rows = pa.card.rows + pb.card.rows;
             let card = if store.v1_estimates {
                 Card::plain(rows)
@@ -578,10 +773,11 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                 }
                 .cap_distinct()
             };
-            fold(&[&pa, &pb], rows, card)
+            fold(&[&pa, &pb], rows, card, fp)
         }
         RaTerm::Project { input, cols } => {
             let p = parts(input, store, env);
+            let fp = fp_hash(FP_PROJECT, &[p.fp, fp_position_set(&input.cols(), cols)]);
             let local = p.card.rows;
             let card = if store.v1_estimates {
                 Card::plain(p.card.rows)
@@ -611,15 +807,27 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                 }
                 .cap_distinct()
             };
-            fold(&[&p], local, card)
+            fold(&[&p], local, card, fp)
         }
         RaTerm::Rename { input, from, to } => {
+            // Renames are positional no-ops: the fingerprint passes
+            // through unchanged (rename-invariance by construction).
             let mut p = parts(input, store, env);
             p.card.rename(*from, *to);
             p
         }
         RaTerm::Select { input, a, b } => {
             let p = parts(input, store, env);
+            let ci = input.cols();
+            let (pa, pb) = (
+                ci.iter()
+                    .position(|c| c == a)
+                    .map_or(u64::MAX, |x| x as u64),
+                ci.iter()
+                    .position(|c| c == b)
+                    .map_or(u64::MAX, |x| x as u64),
+            );
+            let fp = fp_hash(FP_SELECT, &[p.fp, pa.min(pb), pa.max(pb)]);
             let local = p.card.rows;
             let card = if store.v1_estimates {
                 // classic 10% selectivity guess for an equality predicate
@@ -632,7 +840,7 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                 out.node_labels = None;
                 out.cap_distinct()
             };
-            fold(&[&p], local, card)
+            fold(&[&p], local, card, fp)
         }
         RaTerm::Fixpoint {
             var,
@@ -642,8 +850,14 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
         } => {
             let pb = parts(base, store, env);
             let prev = env.bind(*var, pb.card.rows);
+            let prev_fp = env.bind_fp(*var);
             let ps = parts(step, store, env);
+            env.restore_fp(*var, prev_fp);
             env.restore(*var, prev);
+            let fp = fp_hash(
+                FP_FIX,
+                &[pb.fp, ps.fp, fp_position_set(&base.cols(), stable)],
+            );
             let growth = fixpoint_growth(term, store);
             let rows = pb.card.rows * growth;
             let card = if store.v1_estimates {
@@ -683,6 +897,8 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                     st: 0.0,
                     dy: total,
                     dep: true,
+                    fp,
+                    memo: false,
                 }
             } else {
                 Parts {
@@ -690,22 +906,20 @@ fn parts(term: &RaTerm, store: &RelStore, env: &mut EstEnv) -> Parts {
                     st: total,
                     dy: 0.0,
                     dep: false,
+                    fp,
+                    memo: false,
                 }
             }
         }
-        RaTerm::RecRef { var, .. } => Parts {
+        RaTerm::RecRef { var, cols } => Parts {
             card: Card::plain(env.rows(*var).unwrap_or(1.0)),
             st: 0.0,
             dy: 0.0,
             dep: true,
+            fp: fp_hash(FP_RECREF, &[env.fp_token(*var), cols.len() as u64]),
+            memo: false,
         },
     }
-}
-
-/// Shared output columns between two terms, in left-schema order.
-fn shared_cols(a: &RaTerm, b: &RaTerm) -> Vec<ColId> {
-    let cb = b.cols();
-    a.cols().into_iter().filter(|c| cb.contains(c)).collect()
 }
 
 #[cfg(test)]
@@ -943,6 +1157,98 @@ mod tests {
             e_fix.cost < naive,
             "static scan cost must not be multiplied: {} !< {naive}",
             e_fix.cost
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_rename_invariant() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        // The same logical join under different column namings.
+        let j1 = RaTerm::join(
+            scan(&db, &store, "livesIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        let j2 = RaTerm::join(
+            scan(&db, &store, "livesIn", "a", "b"),
+            scan(&db, &store, "isLocatedIn", "b", "c"),
+        );
+        assert_eq!(fingerprint(&j1, &store), fingerprint(&j2, &store));
+        // An explicit rename on top is transparent.
+        let renamed = RaTerm::Rename {
+            input: Box::new(j1.clone()),
+            from: store.symbols.col("z"),
+            to: store.symbols.col("w"),
+        };
+        assert_eq!(fingerprint(&renamed, &store), fingerprint(&j1, &store));
+        // Joining on different key positions is a different fingerprint.
+        let j3 = RaTerm::join(
+            scan(&db, &store, "livesIn", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "x", "z"),
+        );
+        assert_ne!(fingerprint(&j1, &store), fingerprint(&j3, &store));
+        // So is a different edge label.
+        let j4 = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        assert_ne!(fingerprint(&j1, &store), fingerprint(&j4, &store));
+    }
+
+    #[test]
+    fn fingerprint_join_operands_commute() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let a = scan(&db, &store, "livesIn", "x", "y");
+        let b = scan(&db, &store, "isLocatedIn", "y", "z");
+        assert_eq!(
+            fingerprint(&RaTerm::join(a.clone(), b.clone()), &store),
+            fingerprint(&RaTerm::join(b.clone(), a.clone()), &store),
+        );
+        // Semi-joins are directional and must NOT commute.
+        let n = node(&db, &store, "CITY", "y");
+        assert_ne!(
+            fingerprint(&RaTerm::semijoin(a.clone(), n.clone()), &store),
+            fingerprint(&RaTerm::semijoin(n, a), &store),
+        );
+    }
+
+    #[test]
+    fn memo_overrides_formula_estimate() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        assert_eq!(estimate(&f, &store).rows, 8.0, "formula baseline");
+        store.feedback.observe(fingerprint(&f, &store), 100);
+        assert_eq!(estimate(&f, &store).rows, 100.0, "observed rows win");
+        // A renamed variant of the same subtree shares the observation.
+        let renamed = RaTerm::Rename {
+            input: Box::new(f.clone()),
+            from: s.col("y"),
+            to: s.col("t"),
+        };
+        assert_eq!(estimate(&renamed, &store).rows, 100.0);
+    }
+
+    #[test]
+    fn memo_is_ignored_by_the_v1_ablation() {
+        let db = fig2_yago_database();
+        let mut store = RelStore::load(&db);
+        let t = scan(&db, &store, "isLocatedIn", "x", "y");
+        store.feedback.observe(fingerprint(&t, &store), 1000);
+        assert_eq!(estimate(&t, &store).rows, 1000.0);
+        store.v1_estimates = true;
+        assert_eq!(
+            estimate(&t, &store).rows,
+            4.0,
+            "the cold v1 baseline never consults feedback"
         );
     }
 }

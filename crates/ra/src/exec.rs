@@ -52,6 +52,12 @@ use crate::plan::{plan, PhysOp, PhysPlan};
 use crate::table::{normalize_flat, JoinIndex, Relation, SemiKeys, POLL_MASK};
 use crate::term::RaTerm;
 
+/// Default mid-flight re-planning trigger: a hash-join build side whose
+/// actual row count exceeds its estimate by at least this factor (and
+/// exceeds the already-materialised probe side) flips the build side at
+/// the materialisation boundary. See [`ExecContext::replan_factor`].
+pub const REPLAN_FACTOR: f64 = 64.0;
+
 /// Execution context: the fixpoint environment, a cooperative deadline,
 /// work counters, and the degree-of-parallelism knob.
 #[derive(Debug)]
@@ -91,6 +97,14 @@ pub struct ExecContext {
     pub parallel_threshold: usize,
     /// Morsel tasks executed by parallel sections.
     pub morsels_executed: usize,
+    /// Mid-flight re-planning trigger: when a hash-join build side
+    /// materialises at least `replan_factor` × its estimated rows *and*
+    /// more rows than the already-materialised probe side, the executor
+    /// flips the build side — both intermediates are spliced in as base
+    /// relations of the corrected join. `0.0` disables re-planning.
+    pub replan_factor: f64,
+    /// Mid-flight re-plans performed (build sides flipped).
+    pub replans: usize,
     /// The scheduler parallel sections run on: injected by the service
     /// (its shared, bounded scheduler) or lazily the process-global one.
     scheduler: Option<Arc<TaskScheduler>>,
@@ -115,6 +129,8 @@ impl Default for ExecContext {
             morsel_rows: parallel::MORSEL_ROWS,
             parallel_threshold: crate::cost::PARALLEL_ROW_THRESHOLD,
             morsels_executed: 0,
+            replan_factor: REPLAN_FACTOR,
+            replans: 0,
             scheduler: None,
             cancelled: Arc::new(AtomicBool::new(false)),
         }
@@ -315,27 +331,42 @@ pub fn execute_plan(
         store,
         ctx,
         actuals: None,
+        replanned: None,
     }
     .eval(p, None)
 }
 
-/// [`execute_plan`] with per-node row tracing: returns the result and,
-/// indexed by [`PhysPlan::id`], the total rows each operator produced
-/// (summed over fixpoint rounds) — the "actual" column of
-/// `EXPLAIN ANALYZE`.
+/// Per-node execution trace, indexed by [`PhysPlan::id`] — the "actual"
+/// columns of `EXPLAIN ANALYZE`.
+#[derive(Debug, Clone)]
+pub struct ExecTrace {
+    /// Total rows each operator produced (summed over fixpoint rounds).
+    pub actuals: Vec<usize>,
+    /// Whether each operator was re-planned mid-flight (its hash-join
+    /// build side flipped after the estimate proved wrong).
+    pub replanned: Vec<bool>,
+}
+
+/// [`execute_plan`] with per-node tracing: returns the result and an
+/// [`ExecTrace`] of per-operator actual rows and re-plan flags.
 pub fn execute_plan_traced(
     p: &PhysPlan,
     store: &crate::storage::RelStore,
     ctx: &mut ExecContext,
-) -> Result<(Relation, Vec<usize>)> {
+) -> Result<(Relation, ExecTrace)> {
+    let nodes = p.node_count();
     let mut interp = Interp {
         store,
         ctx,
-        actuals: Some(vec![0; p.node_count()]),
+        actuals: Some(vec![0; nodes]),
+        replanned: Some(vec![false; nodes]),
     };
     let rel = interp.eval(p, None)?;
-    let actuals = interp.actuals.take().expect("tracing was enabled");
-    Ok((rel, actuals))
+    let trace = ExecTrace {
+        actuals: interp.actuals.take().expect("tracing was enabled"),
+        replanned: interp.replanned.take().expect("tracing was enabled"),
+    };
+    Ok((rel, trace))
 }
 
 /// Intermediates cached across the rounds of one fixpoint, keyed by the
@@ -359,6 +390,7 @@ struct Interp<'a> {
     store: &'a crate::storage::RelStore,
     ctx: &'a mut ExecContext,
     actuals: Option<Vec<usize>>,
+    replanned: Option<Vec<bool>>,
 }
 
 impl Interp<'_> {
@@ -374,6 +406,26 @@ impl Interp<'_> {
     fn trace(&mut self, p: &PhysPlan, rel: &Relation) {
         if let Some(a) = self.actuals.as_mut() {
             a[p.id as usize] += rel.len();
+        }
+    }
+
+    /// Feeds a static node's observed cardinality into the store's
+    /// feedback memo — at the point the relation is materialised anyway,
+    /// so feedback costs no extra pass. Dynamic nodes (those under a
+    /// fixpoint's recursion variable) see per-round deltas, not their
+    /// subtree's true cardinality, and are never recorded.
+    fn observe(&mut self, p: &PhysPlan, rel: &Relation) {
+        if p.is_static() {
+            self.store.feedback.observe(p.fp, rel.len());
+        }
+    }
+
+    /// Counts a mid-flight re-plan at node `p` (and flags it for
+    /// `EXPLAIN ANALYZE` when tracing).
+    fn mark_replanned(&mut self, p: &PhysPlan) {
+        self.ctx.replans += 1;
+        if let Some(r) = self.replanned.as_mut() {
+            r[p.id as usize] = true;
         }
     }
 
@@ -397,11 +449,13 @@ impl Interp<'_> {
                 let out = self.eval_op(p, None)?;
                 c.insert(p.id, Cached::Rel(out.clone()));
                 self.trace(p, &out);
+                self.observe(p, &out);
                 return Ok(out);
             }
         }
         let out = self.eval_op(p, cache)?;
         self.trace(p, &out);
+        self.observe(p, &out);
         Ok(out)
     }
 
@@ -513,17 +567,36 @@ impl Interp<'_> {
                     }
                 }
                 let rel = self.eval(build_plan, cache)?;
+                // Mid-flight re-planning at the materialisation boundary:
+                // both join inputs are relations now, so if the planned
+                // build side blew past its estimate by the replan factor
+                // and is larger than the probe actually is, hash the
+                // smaller side instead — the materialised intermediates
+                // are spliced into the corrected join as base relations.
+                // (The cached static-build path above is exempt: its hash
+                // table amortises over every fixpoint round.)
+                let flip = self.ctx.replan_factor > 0.0
+                    && rel.len() as f64 >= build_plan.est.rows.max(1.0) * self.ctx.replan_factor
+                    && probe_rel.len() < rel.len();
+                let (build_rel, build_pos, probe_rel, probe_pos, build_left) = if flip {
+                    self.mark_replanned(p);
+                    (probe_rel, probe_key_pos, rel, build_key_pos, !*build_left)
+                } else {
+                    (rel, build_key_pos, probe_rel, probe_key_pos, *build_left)
+                };
                 let ctx = &mut *self.ctx;
-                let index = Arc::new(JoinIndex::build(&rel, &build_key_pos, &mut || ctx.check())?);
+                let index = Arc::new(JoinIndex::build(&build_rel, &build_pos, &mut || {
+                    ctx.check()
+                })?);
                 self.ctx.hash_builds += 1;
                 return self.probe_join(
                     p,
                     left,
-                    &rel,
+                    &build_rel,
                     &index,
                     &probe_rel,
-                    *build_left,
-                    &probe_key_pos,
+                    build_left,
+                    &probe_pos,
                     &right_extra_pos,
                 );
             }
@@ -1471,6 +1544,98 @@ mod tests {
         let r = execute(&t, &store, &mut ctx).unwrap();
         assert_eq!(r.len(), 16);
         assert_eq!(ctx.rows_materialized(), 24);
+    }
+
+    #[test]
+    fn execution_feeds_the_feedback_memo() {
+        // Executing a plan observes every static node's true cardinality
+        // under its structural fingerprint, so a re-prepared plan
+        // estimates from measurements.
+        let (db, store) = store();
+        let t = RaTerm::join(
+            scan(&db, &store, "owns", "x", "y"),
+            scan(&db, &store, "isLocatedIn", "y", "z"),
+        );
+        assert!(store.feedback.is_empty());
+        let mut ctx = ExecContext::new();
+        let r = execute(&t, &store, &mut ctx).unwrap();
+        let fp = crate::cost::fingerprint(&t, &store);
+        let obs = store.feedback.lookup(fp).expect("join output was observed");
+        assert_eq!(obs.rows, r.len() as f64);
+        // Re-planning now carries the observed cardinality.
+        let p = plan(&t, &store).unwrap();
+        assert!(p.memo_est && p.uses_memo(), "{p:?}");
+        assert_eq!(p.est.rows, r.len() as f64);
+    }
+
+    #[test]
+    fn fixpoint_deltas_are_not_observed() {
+        // Dynamic nodes see per-round deltas, not their subtree's true
+        // cardinality: only static nodes may feed the memo. The closure's
+        // root (static) is observed with its final size; re-planning then
+        // estimates the fixpoint exactly.
+        let (db, store) = store();
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let mut ctx = ExecContext::new();
+        let r = execute(&f, &store, &mut ctx).unwrap();
+        assert!(ctx.fixpoint_rounds >= 2);
+        let obs = store
+            .feedback
+            .lookup(crate::cost::fingerprint(&f, &store))
+            .expect("closure output was observed");
+        assert_eq!(obs.rows, r.len() as f64);
+        assert_eq!(
+            obs.weight, 1.0,
+            "one observation despite multiple rounds: the fixpoint node \
+             records its final accumulator, not per-round deltas"
+        );
+        let p = plan(&f, &store).unwrap();
+        assert!(p.memo_est);
+        assert_eq!(p.est.rows, r.len() as f64);
+    }
+
+    #[test]
+    fn poisoned_estimate_triggers_mid_flight_replan() {
+        // A hash join whose planned build side blows past its estimate
+        // (here: a memo poisoned with a 0-row observation) is corrected
+        // at the materialisation boundary: the executor flips the build
+        // side, splicing both materialised inputs into the corrected
+        // join. Results stay bit-identical.
+        let (db, mut store) = store();
+        store.index_joins = false;
+        let inner = scan(&db, &store, "isLocatedIn", "y", "z");
+        let t = RaTerm::join(scan(&db, &store, "owns", "x", "y"), inner.clone());
+        store
+            .feedback
+            .observe(crate::cost::fingerprint(&inner, &store), 0);
+        let p = plan(&t, &store).unwrap();
+        let PhysOp::HashJoin { build_left, .. } = &p.op else {
+            panic!("hash plan expected: {p:?}")
+        };
+        assert!(
+            !build_left,
+            "the poisoned 0-row estimate wins the build side: {p:?}"
+        );
+        let mut ctx = ExecContext::new();
+        // 4 actual rows against a sub-1 estimate: trip at 2×.
+        ctx.replan_factor = 2.0;
+        let (r, trace) = execute_plan_traced(&p, &store, &mut ctx).unwrap();
+        assert_eq!(ctx.replans, 1, "the build side was flipped once");
+        assert!(trace.replanned[p.id as usize]);
+        // Bit-identical to the reference executed without feedback.
+        store.feedback.clear();
+        let p_ref = plan(&t, &store).unwrap();
+        let mut ctx_ref = ExecContext::new();
+        let r_ref = execute_plan(&p_ref, &store, &mut ctx_ref).unwrap();
+        assert_eq!(ctx_ref.replans, 0);
+        assert_eq!(r, r_ref);
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //! interned [`sgq_common::ColId`]s are resolved back to names, through
 //! the [`SymbolTable`] owned by the store.
 
-use sgq_common::Result;
+use sgq_common::{json::JsonValue, Result};
 
-use crate::exec::{execute_plan_traced, ExecContext};
+use crate::exec::{execute_plan_traced, ExecContext, ExecTrace};
 use crate::plan::{plan, PhysOp, PhysPlan};
 use crate::storage::RelStore;
 use crate::symbols::SymbolTable;
@@ -63,10 +63,62 @@ pub fn explain_analyze(
 ) -> Result<(Relation, String)> {
     let p = plan(term, store)?;
     let mut ctx = ExecContext::new();
-    let (rel, actuals) = execute_plan_traced(&p, store, &mut ctx)?;
+    let (rel, trace) = execute_plan_traced(&p, store, &mut ctx)?;
     let mut out = String::new();
-    render(&p, store, names, 0, &mut out, Some(&actuals), 1);
+    render(&p, store, names, 0, &mut out, Some(&trace), 1);
     Ok((rel, out))
+}
+
+/// Structured `EXPLAIN ANALYZE`: executes the term once (tracing it like
+/// [`explain_analyze`]) and returns the result plus a JSON array with
+/// one object per plan node in pre-order — `id`, `op`, `depth`,
+/// `est_rows`, `est_cost`, `actual_rows`, `q_error`, and the feedback
+/// provenance flags `memo` (the estimate came from the runtime feedback
+/// memo) and `replanned` (the executor corrected the node mid-flight).
+/// Harness and tests read these fields instead of scraping the text
+/// renderer's lines.
+pub fn explain_analyze_json(
+    term: &RaTerm,
+    store: &RelStore,
+    names: &dyn PlanNames,
+) -> Result<(Relation, JsonValue)> {
+    let p = plan(term, store)?;
+    let mut ctx = ExecContext::new();
+    let (rel, trace) = execute_plan_traced(&p, store, &mut ctx)?;
+    let mut nodes = Vec::new();
+    collect_json(&p, store, names, 0, &trace, &mut nodes);
+    Ok((rel, JsonValue::Arr(nodes)))
+}
+
+fn collect_json(
+    p: &PhysPlan,
+    store: &RelStore,
+    names: &dyn PlanNames,
+    depth: usize,
+    trace: &ExecTrace,
+    out: &mut Vec<JsonValue>,
+) {
+    let actual = trace.actuals.get(p.id as usize).copied().unwrap_or(0);
+    out.push(JsonValue::obj([
+        ("id", JsonValue::Int(p.id as u64)),
+        ("op", JsonValue::str(describe(p, names, &store.symbols))),
+        ("depth", JsonValue::Int(depth as u64)),
+        ("est_rows", JsonValue::Num(p.est.rows)),
+        ("est_cost", JsonValue::Num(p.est.cost)),
+        ("actual_rows", JsonValue::Int(actual as u64)),
+        (
+            "q_error",
+            JsonValue::Num(crate::cost::q_error(p.est.rows, actual as f64)),
+        ),
+        ("memo", JsonValue::Bool(p.memo_est)),
+        (
+            "replanned",
+            JsonValue::Bool(trace.replanned.get(p.id as usize).copied().unwrap_or(false)),
+        ),
+    ]));
+    for child in p.children() {
+        collect_json(child, store, names, depth + 1, trace, out);
+    }
 }
 
 /// Resolves label ids to names for plan display.
@@ -276,7 +328,7 @@ fn render(
     names: &dyn PlanNames,
     depth: usize,
     out: &mut String,
-    actuals: Option<&[usize]>,
+    trace: Option<&ExecTrace>,
     dop: usize,
 ) {
     out.push_str(&"  ".repeat(depth));
@@ -288,11 +340,18 @@ fn render(
     } else {
         String::new()
     };
-    let line = match actuals {
-        Some(a) => {
-            let actual = a.get(p.id as usize).copied().unwrap_or(0);
+    // Feedback provenance: the estimate came from the runtime memo.
+    let memo = if p.memo_est { " [memo]" } else { "" };
+    let line = match trace {
+        Some(t) => {
+            let actual = t.actuals.get(p.id as usize).copied().unwrap_or(0);
+            let replanned = if t.replanned.get(p.id as usize).copied().unwrap_or(false) {
+                " [replanned]"
+            } else {
+                ""
+            };
             format!(
-                "{} (cost = {:.2} rows = {:.0} actual = {actual} q = {:.2}){parallel}\n",
+                "{} (cost = {:.2} rows = {:.0}{memo} actual = {actual} q = {:.2}){parallel}{replanned}\n",
                 describe(p, names, &store.symbols),
                 p.est.cost,
                 p.est.rows,
@@ -300,7 +359,7 @@ fn render(
             )
         }
         None => format!(
-            "{} (cost = {:.2} rows = {:.0}){parallel}\n",
+            "{} (cost = {:.2} rows = {:.0}{memo}){parallel}\n",
             describe(p, names, &store.symbols),
             p.est.cost,
             p.est.rows
@@ -308,7 +367,7 @@ fn render(
     };
     out.push_str(&line);
     for child in p.children() {
-        render(child, store, names, depth + 1, out, actuals, dop);
+        render(child, store, names, depth + 1, out, trace, dop);
     }
 }
 
@@ -400,6 +459,83 @@ mod tests {
             "{rendered}"
         );
         assert!(rendered.contains("Index Scan on REGION"), "{rendered}");
+    }
+
+    #[test]
+    fn explain_analyze_json_reports_per_node_records() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let t = RaTerm::semijoin(
+            RaTerm::EdgeScan {
+                label: db.edge_label_id("isLocatedIn").unwrap(),
+                src: s.col("x"),
+                tgt: s.col("y"),
+            },
+            RaTerm::NodeScan {
+                labels: vec![db.node_label_id("REGION").unwrap()],
+                col: s.col("x"),
+            },
+        );
+        let (rel, json) = explain_analyze_json(&t, &store, &db).unwrap();
+        assert_eq!(rel.len(), 1);
+        let JsonValue::Arr(nodes) = &json else {
+            panic!("array of node records, got {json:?}")
+        };
+        // Fused filtered scan + its node-scan filter, in pre-order.
+        assert_eq!(nodes.len(), 2);
+        let field = |node: &JsonValue, key: &str| -> JsonValue {
+            let JsonValue::Obj(fields) = node else {
+                panic!("object record, got {node:?}")
+            };
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("field {key} in {node:?}"))
+                .1
+                .clone()
+        };
+        // Records are pre-order (root first); ids are the planner's
+        // bottom-up numbering, so the root carries the highest id.
+        assert_eq!(field(&nodes[0], "id"), JsonValue::Int(1));
+        assert_eq!(field(&nodes[1], "id"), JsonValue::Int(0));
+        assert_eq!(field(&nodes[0], "depth"), JsonValue::Int(0));
+        assert!(
+            matches!(field(&nodes[0], "op"), JsonValue::Str(op) if op.contains("Filtered Seq Scan")),
+        );
+        // The triple-count estimate is exact here: 1 row, q-error 1.
+        assert_eq!(field(&nodes[0], "actual_rows"), JsonValue::Int(1));
+        assert_eq!(field(&nodes[0], "q_error"), JsonValue::Num(1.0));
+        assert_eq!(field(&nodes[0], "memo"), JsonValue::Bool(false));
+        assert_eq!(field(&nodes[0], "replanned"), JsonValue::Bool(false));
+        assert_eq!(field(&nodes[1], "depth"), JsonValue::Int(1));
+        // And the tree renders as a well-formed document.
+        assert!(
+            json.render().starts_with("[{\"id\": 1"),
+            "{}",
+            json.render()
+        );
+    }
+
+    #[test]
+    fn explain_annotates_memo_sourced_estimates() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        let s = &store.symbols;
+        let t = RaTerm::EdgeScan {
+            label: db.edge_label_id("isLocatedIn").unwrap(),
+            src: s.col("x"),
+            tgt: s.col("y"),
+        };
+        let before = explain(&t, &store, &db);
+        assert!(!before.contains("[memo]"), "{before}");
+        // An observed cardinality overrides the formula estimate, and the
+        // plan advertises the provenance.
+        store
+            .feedback
+            .observe(crate::cost::fingerprint(&t, &store), 123);
+        let after = explain(&t, &store, &db);
+        assert!(after.contains("rows = 123 [memo]"), "{after}");
     }
 
     #[test]

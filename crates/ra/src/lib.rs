@@ -22,6 +22,9 @@
 //! * [`parallel`] — the morsel task scheduler (a small shared-queue
 //!   executor) and morsel partitioning helpers,
 //! * [`cost`] — cardinality estimation over [`sgq_graph::GraphStats`],
+//!   consulting the runtime feedback memo before the static formulas,
+//! * [`feedback`] — the cardinality feedback memo: observed subtree
+//!   cardinalities keyed by rename-invariant structural fingerprints,
 //! * [`explain`] — physical plan rendering with per-operator strategy,
 //!   estimated cost/rows and actual rows (the paper's Fig. 17, one
 //!   level lower).
@@ -31,6 +34,7 @@
 pub mod cost;
 pub mod exec;
 pub mod explain;
+pub mod feedback;
 pub mod optimize;
 pub mod parallel;
 pub mod plan;
@@ -40,6 +44,7 @@ pub mod table;
 pub mod term;
 
 pub use exec::{execute, execute_plan, ExecContext};
+pub use feedback::FeedbackMemo;
 pub use parallel::TaskScheduler;
 pub use plan::{plan, PhysOp, PhysPlan};
 pub use storage::RelStore;
@@ -57,6 +62,7 @@ pub use term::RaTerm;
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<RelStore>();
+    assert_send_sync::<FeedbackMemo>();
     assert_send_sync::<SymbolTable>();
     assert_send_sync::<PhysPlan>();
     assert_send_sync::<Relation>();

@@ -44,7 +44,7 @@
 
 use sgq_common::{ColId, EdgeLabelId, NodeLabelId, RecVarId, Result, SgqError};
 
-use crate::cost::{self, EstEnv, Estimate};
+use crate::cost::{self, EstEnv, Estimate, NodeEst};
 use crate::storage::RelStore;
 use crate::term::RaTerm;
 
@@ -59,6 +59,13 @@ pub struct PhysPlan {
     pub cols: Vec<ColId>,
     /// Estimated output rows and cumulative cost.
     pub est: Estimate,
+    /// Rename-invariant structural fingerprint of the logical subtree
+    /// this node computes — the key execution uses to feed observed
+    /// cardinalities back into the memo ([`crate::feedback`]).
+    pub fp: u64,
+    /// Whether `est.rows` came from a feedback-memo observation rather
+    /// than the static formulas (`EXPLAIN` renders it as `[memo]`).
+    pub memo_est: bool,
     /// Free recursion variables: empty means the subtree is static —
     /// inside a fixpoint step it is computed once and cached across
     /// rounds.
@@ -261,6 +268,13 @@ impl PhysPlan {
         self.free_rec.is_empty()
     }
 
+    /// Whether any node of the subtree carries a memo-sourced estimate —
+    /// i.e. the planner consulted runtime feedback for this plan. The
+    /// service counts such prepares as `feedback_hits`.
+    pub fn uses_memo(&self) -> bool {
+        self.memo_est || self.children().iter().any(|c| c.uses_memo())
+    }
+
     /// Whether any node of the subtree satisfies `pred` — how tests,
     /// benches and the harness assert a plan contains a strategy.
     pub fn contains_op(&self, pred: &dyn Fn(&PhysOp) -> bool) -> bool {
@@ -318,6 +332,7 @@ impl Planner<'_> {
         &mut self,
         cols: Vec<ColId>,
         est: Estimate,
+        src: NodeEst,
         free_rec: Vec<RecVarId>,
         op: PhysOp,
     ) -> PhysPlan {
@@ -327,40 +342,47 @@ impl Planner<'_> {
             id,
             cols,
             est,
+            fp: src.fp,
+            memo_est: src.memo,
             free_rec,
             op,
         }
     }
 
-    /// Estimated output rows of `term` under the current fixpoint
-    /// environment — the single source of cardinalities for every plan
-    /// node, so plan and term estimates agree by construction.
+    /// Estimate of `term` under the current fixpoint environment — rows,
+    /// structural fingerprint and memo provenance, the single source of
+    /// cardinalities for every plan node, so plan and term estimates
+    /// agree by construction.
     ///
     /// Each call re-estimates the whole subterm, making lowering
     /// quadratic in term size. Catalog terms are tens of nodes
     /// (microseconds per plan, and the service caches plans); if huge
     /// machine-generated terms ever matter, thread the estimator's
     /// per-node `Card` through `lower` instead.
-    fn rows(&mut self, term: &RaTerm) -> f64 {
-        cost::term_rows(term, self.store, &mut self.env)
+    fn est_node(&mut self, term: &RaTerm) -> NodeEst {
+        cost::node_est(term, self.store, &mut self.env)
     }
 
     fn lower(&mut self, term: &RaTerm) -> Result<PhysPlan> {
         match term {
             RaTerm::EdgeScan { label, src, tgt } => {
-                let rows = self.rows(term);
+                let e = self.est_node(term);
+                let rows = e.rows;
                 Ok(self.node(
                     vec![*src, *tgt],
                     Estimate { rows, cost: rows },
+                    e,
                     vec![],
                     PhysOp::EdgeScan { label: *label },
                 ))
             }
             RaTerm::NodeScan { labels, col } => {
-                let rows = self.rows(term);
+                let e = self.est_node(term);
+                let rows = e.rows;
                 Ok(self.node(
                     vec![*col],
                     Estimate { rows, cost: rows },
+                    e,
                     vec![],
                     PhysOp::NodeScan {
                         labels: labels.clone(),
@@ -368,28 +390,29 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Join(a, b) => {
-                let rows = self.rows(term);
-                if let Some(p) = self.try_index_join(a, b, rows)? {
+                let e = self.est_node(term);
+                if let Some(p) = self.try_index_join(a, b, e)? {
                     return Ok(p);
                 }
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
-                Ok(self.lower_join(left, right, rows))
+                Ok(self.lower_join(left, right, e))
             }
             RaTerm::Semijoin(a, b) => self.lower_semijoin(term, a, b),
             RaTerm::Union(a, b) => {
-                let rows = self.rows(term);
+                let e = self.est_node(term);
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
                 let est = Estimate {
-                    rows,
-                    cost: left.est.cost + right.est.cost + rows,
+                    rows: e.rows,
+                    cost: left.est.cost + right.est.cost + e.rows,
                 };
                 let cols = left.cols.clone();
                 let free = union_free(&left.free_rec, &right.free_rec);
                 Ok(self.node(
                     cols,
                     est,
+                    e,
                     free,
                     PhysOp::Union {
                         left: Box::new(left),
@@ -398,7 +421,7 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Project { input, cols } => {
-                let rows = self.rows(term);
+                let e = self.est_node(term);
                 let child = self.lower(input)?;
                 for c in cols {
                     if !child.cols.contains(c) {
@@ -408,13 +431,14 @@ impl Planner<'_> {
                     }
                 }
                 let est = Estimate {
-                    rows,
+                    rows: e.rows,
                     cost: child.est.cost + child.est.rows,
                 };
                 let free = child.free_rec.clone();
                 Ok(self.node(
                     cols.clone(),
                     est,
+                    e,
                     free,
                     PhysOp::Project {
                         input: Box::new(child),
@@ -422,7 +446,7 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::Select { input, a, b } => {
-                let rows = self.rows(term);
+                let e = self.est_node(term);
                 let child = self.lower(input)?;
                 let ia = child
                     .cols
@@ -435,7 +459,7 @@ impl Planner<'_> {
                     .position(|c| c == b)
                     .ok_or_else(|| SgqError::Execution(format!("unknown column {b}")))?;
                 let est = Estimate {
-                    rows,
+                    rows: e.rows,
                     cost: child.est.cost + child.est.rows,
                 };
                 let cols = child.cols.clone();
@@ -443,6 +467,7 @@ impl Planner<'_> {
                 Ok(self.node(
                     cols,
                     est,
+                    e,
                     free,
                     PhysOp::Select {
                         input: Box::new(child),
@@ -463,12 +488,20 @@ impl Planner<'_> {
                     .iter()
                     .map(|&c| if c == *from { *to } else { c })
                     .collect();
-                // Zero-copy at execution: the rename adds no cost.
+                // Zero-copy at execution: the rename adds no cost, and
+                // the fingerprint is the child's (renames are invisible
+                // to the position-based hash).
                 let est = child.est;
+                let e = NodeEst {
+                    rows: child.est.rows,
+                    fp: child.fp,
+                    memo: child.memo_est,
+                };
                 let free = child.free_rec.clone();
                 Ok(self.node(
                     cols,
                     est,
+                    e,
                     free,
                     PhysOp::Rename {
                         input: Box::new(child),
@@ -478,6 +511,9 @@ impl Planner<'_> {
             RaTerm::Fixpoint {
                 var, base, step, ..
             } => {
+                // Estimated before lowering so a memoised observation of
+                // the whole closure overrides the growth extrapolation.
+                let e = self.est_node(term);
                 let base_plan = self.lower(base)?;
                 let prev = self.env.bind(*var, base_plan.est.rows);
                 let step_plan = self.lower(step);
@@ -486,7 +522,7 @@ impl Planner<'_> {
                 // Growth from the measured closure depth bound of the
                 // labels the fixpoint iterates over (constant in v1 mode).
                 let growth = cost::fixpoint_growth(term, self.store);
-                let rows = base_plan.est.rows * growth;
+                let rows = e.rows;
                 // Static step inputs are cached across rounds, so only
                 // the delta-dependent cost multiplies with the growth.
                 let (st, dy) = split_cost(&step_plan);
@@ -500,6 +536,7 @@ impl Planner<'_> {
                 Ok(self.node(
                     cols,
                     est,
+                    e,
                     free,
                     PhysOp::Fixpoint {
                         var: *var,
@@ -509,10 +546,14 @@ impl Planner<'_> {
                 ))
             }
             RaTerm::RecRef { var, cols } => {
-                let rows = self.env.rows(*var).unwrap_or(1.0);
+                let e = self.est_node(term);
                 Ok(self.node(
                     cols.clone(),
-                    Estimate { rows, cost: 0.0 },
+                    Estimate {
+                        rows: e.rows,
+                        cost: 0.0,
+                    },
+                    e,
                     vec![*var],
                     PhysOp::RecRef { var: *var },
                 ))
@@ -521,9 +562,10 @@ impl Planner<'_> {
     }
 
     /// Join strategy selection: merge when the shared columns lead both
-    /// schemas, otherwise hash with the cost-chosen build side. `rows` is
+    /// schemas, otherwise hash with the cost-chosen build side. `e` is
     /// the term-level estimate of the join's output.
-    fn lower_join(&mut self, left: PhysPlan, right: PhysPlan, rows: f64) -> PhysPlan {
+    fn lower_join(&mut self, left: PhysPlan, right: PhysPlan, e: NodeEst) -> PhysPlan {
+        let rows = e.rows;
         let key = shared_cols(&left.cols, &right.cols);
         let k = key.len();
         let cols: Vec<ColId> = left
@@ -542,6 +584,7 @@ impl Planner<'_> {
             return self.node(
                 cols,
                 est,
+                e,
                 free,
                 PhysOp::MergeJoin {
                     left: Box::new(left),
@@ -566,6 +609,7 @@ impl Planner<'_> {
         self.node(
             cols,
             est,
+            e,
             free,
             PhysOp::HashJoin {
                 left: Box::new(left),
@@ -583,10 +627,11 @@ impl Planner<'_> {
     /// degree)) over the best scan-based strategy (merge or hash) for
     /// the same term. When both sides qualify, the cheaper probe
     /// orientation competes.
-    fn try_index_join(&mut self, a: &RaTerm, b: &RaTerm, rows: f64) -> Result<Option<PhysPlan>> {
+    fn try_index_join(&mut self, a: &RaTerm, b: &RaTerm, e: NodeEst) -> Result<Option<PhysPlan>> {
         if !self.store.index_joins {
             return Ok(None);
         }
+        let rows = e.rows;
         // Indexable orientations: (scan, scan-on-the-left, forward).
         let mut candidates: Vec<(IndexableScan, bool, bool)> = Vec::new();
         for (scan_term, probe_term, scan_left) in [(a, b, true), (b, a, false)] {
@@ -661,6 +706,7 @@ impl Planner<'_> {
         Ok(Some(self.node(
             cols,
             est,
+            e,
             free,
             PhysOp::IndexJoin {
                 probe: Box::new(probe),
@@ -682,11 +728,12 @@ impl Planner<'_> {
         &mut self,
         a: &RaTerm,
         b: &RaTerm,
-        rows: f64,
+        e: NodeEst,
     ) -> Result<Option<PhysPlan>> {
         if !self.store.index_joins {
             return Ok(None);
         }
+        let rows = e.rows;
         let Some(s) = indexable_scan(b) else {
             return Ok(None);
         };
@@ -721,6 +768,7 @@ impl Planner<'_> {
         Ok(Some(self.node(
             cols,
             est,
+            e,
             free,
             PhysOp::IndexSemiJoin {
                 left: Box::new(left),
@@ -738,7 +786,8 @@ impl Planner<'_> {
     /// prefixes, hash otherwise. `term` is the original semi-join term,
     /// whose label-aware estimate every strategy shares.
     fn lower_semijoin(&mut self, term: &RaTerm, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
-        let rows = self.rows(term);
+        let e = self.est_node(term);
+        let rows = e.rows;
         if let RaTerm::EdgeScan { label, src, tgt } = a {
             let filter = self.lower(b)?;
             let scan_cols = vec![*src, *tgt];
@@ -751,9 +800,12 @@ impl Planner<'_> {
                 cost: scan_rows + filter.est.cost + filter.est.rows,
             };
             let free = filter.free_rec.clone();
+            // The fused node computes the whole semi-join term, so it
+            // carries the semi-join's fingerprint.
             return Ok(self.node(
                 scan_cols,
                 est,
+                e,
                 free,
                 PhysOp::FilteredEdgeScan {
                     label: *label,
@@ -763,7 +815,7 @@ impl Planner<'_> {
                 },
             ));
         }
-        if let Some(p) = self.try_index_semijoin(a, b, rows)? {
+        if let Some(p) = self.try_index_semijoin(a, b, e)? {
             return Ok(p);
         }
         let left = self.lower(a)?;
@@ -779,6 +831,7 @@ impl Planner<'_> {
             return Ok(self.node(
                 cols,
                 est,
+                e,
                 free,
                 PhysOp::MergeSemiJoin {
                     left: Box::new(left),
@@ -794,6 +847,7 @@ impl Planner<'_> {
         Ok(self.node(
             cols,
             est,
+            e,
             free,
             PhysOp::HashSemiJoin {
                 left: Box::new(left),

@@ -28,6 +28,7 @@ use std::sync::Arc;
 use sgq_common::{EdgeLabelId, NodeLabelId};
 use sgq_graph::{Csr, GraphDatabase, GraphStats};
 
+use crate::feedback::FeedbackMemo;
 use crate::symbols::SymbolTable;
 use crate::table::Relation;
 
@@ -64,6 +65,12 @@ pub struct RelStore {
     /// default; turned off for ablations and for tests that pin the
     /// scan-based strategies.
     pub index_joins: bool,
+    /// Runtime cardinality feedback: execution records the true row
+    /// counts of static plan subtrees; estimation consults them before
+    /// falling back to the statistics formulas. Interior-mutable so the
+    /// serving layer's shared `Arc<RelStore>` accumulates feedback from
+    /// every worker; cleared on schema changes alongside the plan cache.
+    pub feedback: FeedbackMemo,
 }
 
 impl RelStore {
@@ -103,6 +110,7 @@ impl RelStore {
             symbols,
             v1_estimates: false,
             index_joins: true,
+            feedback: FeedbackMemo::new(),
         }
     }
 

@@ -95,6 +95,8 @@ pub struct MetricsRegistry {
     total_micros: AtomicU64,
     morsels_executed: AtomicU64,
     parallel_queries: AtomicU64,
+    replans: AtomicU64,
+    feedback_hits: AtomicU64,
     latency: LatencyHistogram,
 }
 
@@ -116,6 +118,8 @@ impl MetricsRegistry {
             total_micros: AtomicU64::new(0),
             morsels_executed: AtomicU64::new(0),
             parallel_queries: AtomicU64::new(0),
+            replans: AtomicU64::new(0),
+            feedback_hits: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -151,6 +155,18 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records a cached plan found stale against the feedback memo and
+    /// transparently re-prepared.
+    pub fn record_replan(&self) {
+        self.replans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a prepare whose plan drew at least one estimate from the
+    /// cardinality feedback memo.
+    pub fn record_feedback_hit(&self) {
+        self.feedback_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshots every counter, folding in the plan cache's stats.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
@@ -173,6 +189,8 @@ impl MetricsRegistry {
             p99_ms: to_ms(self.latency.quantile(0.99)),
             morsels_executed: self.morsels_executed.load(Ordering::Relaxed),
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
+            replans: self.replans.load(Ordering::Relaxed),
+            feedback_hits: self.feedback_hits.load(Ordering::Relaxed),
             cache,
         }
     }
@@ -205,6 +223,11 @@ pub struct MetricsSnapshot {
     pub morsels_executed: u64,
     /// Queries that ran at least one parallel section.
     pub parallel_queries: u64,
+    /// Cached plans found stale against the feedback memo and
+    /// transparently re-prepared.
+    pub replans: u64,
+    /// Prepares whose plan drew an estimate from the feedback memo.
+    pub feedback_hits: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -225,6 +248,8 @@ impl MetricsSnapshot {
             ("p99_ms", JsonValue::Num(self.p99_ms)),
             ("morsels_executed", JsonValue::Int(self.morsels_executed)),
             ("parallel_queries", JsonValue::Int(self.parallel_queries)),
+            ("replans", JsonValue::Int(self.replans)),
+            ("feedback_hits", JsonValue::Int(self.feedback_hits)),
             ("cache_hits", JsonValue::Int(self.cache.hits)),
             ("cache_misses", JsonValue::Int(self.cache.misses)),
             ("cache_evictions", JsonValue::Int(self.cache.evictions)),
@@ -255,6 +280,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "parallel: {} queries ran parallel sections, {} morsels executed",
             self.parallel_queries, self.morsels_executed
+        )?;
+        writeln!(
+            f,
+            "feedback: {} memo-informed prepares, {} stale plans re-prepared",
+            self.feedback_hits, self.replans
         )?;
         write!(
             f,

@@ -30,6 +30,11 @@ use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::pool::WorkerPool;
 use crate::prepared::{prepare, Approach, Backend, PreparedBody, PreparedQuery};
 
+/// Default q-error divergence between a cached plan's root estimate and
+/// the feedback memo's observation beyond which the plan is considered
+/// stale and re-prepared on its next cache hit.
+pub const CACHE_STALENESS_FACTOR: f64 = 8.0;
+
 /// Construction-time configuration of a [`Service`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -58,6 +63,15 @@ pub struct ServiceConfig {
     pub parallel_row_threshold: usize,
     /// Morsel size cap in rows for parallel sections.
     pub morsel_rows: usize,
+    /// A cached plan whose estimated root cardinality diverges from the
+    /// feedback memo's observation by at least this q-error factor is
+    /// stale: it is dropped and transparently re-prepared on the next
+    /// hit (0.0 disables staleness checks).
+    pub cache_staleness_factor: f64,
+    /// Mid-flight re-planning trigger passed to the executor: a hash
+    /// join whose materialised build side reaches `replan_factor ×`
+    /// its estimate is corrected at the boundary (0.0 disables).
+    pub replan_factor: f64,
     /// Rewrite switches used by [`Approach::Schema`] statements.
     pub rewrite: RewriteOptions,
 }
@@ -78,6 +92,8 @@ impl Default for ServiceConfig {
             max_dop: workers,
             parallel_row_threshold: sgq_ra::cost::PARALLEL_ROW_THRESHOLD,
             morsel_rows: sgq_ra::parallel::MORSEL_ROWS,
+            cache_staleness_factor: CACHE_STALENESS_FACTOR,
+            replan_factor: sgq_ra::exec::REPLAN_FACTOR,
             rewrite: RewriteOptions::default(),
         }
     }
@@ -269,10 +285,13 @@ impl Service {
     }
 
     /// Signals a schema change: bumps the version (future cache keys
-    /// differ) and drops every cached statement.
+    /// differ), drops every cached statement and clears the cardinality
+    /// feedback memo — observations describe the old data, and a stale
+    /// memo would silently steer every re-prepared plan.
     pub fn bump_schema_version(&self) -> u64 {
         let v = self.core.schema_version.fetch_add(1, Ordering::SeqCst) + 1;
         self.core.cache.invalidate_all();
+        self.core.store.feedback.clear();
         v
     }
 
@@ -377,6 +396,12 @@ impl Session {
 }
 
 /// Serves the statement from the plan cache or runs the front-end once.
+///
+/// A hit is validated against the cardinality feedback memo: when the
+/// cached plan's root estimate diverges from the memo's observation of
+/// the same subtree by at least `cache_staleness_factor` (q-error), the
+/// entry is dropped and the statement re-prepared — the fresh plan
+/// estimates from the memo, so it reflects the measured cardinalities.
 fn prepare_via_cache(
     core: &Core,
     expr: &PathExpr,
@@ -392,8 +417,15 @@ fn prepare_via_cache(
             core.config.rewrite,
         )
     };
+    let note_feedback = |prepared: &PreparedQuery| {
+        if prepared.plan().is_some_and(|p| p.uses_memo()) {
+            core.metrics.record_feedback_hit();
+        }
+    };
     if !opts.use_cache {
-        return Ok((Arc::new(do_prepare()?), CacheOutcome::Bypass));
+        let prepared = do_prepare()?;
+        note_feedback(&prepared);
+        return Ok((Arc::new(prepared), CacheOutcome::Bypass));
     }
     let canonical = crate::prepared::canonical_text(expr, &core.schema);
     let key = CacheKey::new(
@@ -404,7 +436,37 @@ fn prepare_via_cache(
         opts.approach,
         &core.config.rewrite,
     );
-    core.cache.get_or_prepare(key, do_prepare)
+    let (prepared, outcome) = core.cache.get_or_prepare(key.clone(), do_prepare)?;
+    if outcome == CacheOutcome::Hit && plan_is_stale(core, &prepared) {
+        core.cache.remove(&key);
+        core.metrics.record_replan();
+        let fresh = do_prepare()?;
+        note_feedback(&fresh);
+        return Ok((
+            core.cache.insert(key, Arc::new(fresh)),
+            CacheOutcome::Replan,
+        ));
+    }
+    if outcome != CacheOutcome::Hit {
+        note_feedback(&prepared);
+    }
+    Ok((prepared, outcome))
+}
+
+/// Whether a cached plan's root estimate diverges from the feedback
+/// memo's observed cardinality by the configured staleness factor.
+fn plan_is_stale(core: &Core, prepared: &PreparedQuery) -> bool {
+    let factor = core.config.cache_staleness_factor;
+    if factor <= 0.0 {
+        return false;
+    }
+    let Some(plan) = prepared.plan() else {
+        return false;
+    };
+    match core.store.feedback.lookup(plan.fp) {
+        Some(obs) => sgq_ra::cost::q_error(plan.est.rows, obs.rows) >= factor,
+        None => false,
+    }
 }
 
 /// The worker-side execution of one query.
@@ -420,7 +482,9 @@ fn run_query(
     let (prepared, cache) = prepare_via_cache(core, expr, opts)?;
     let prepare_micros = match cache {
         CacheOutcome::Hit => 0,
-        CacheOutcome::Miss | CacheOutcome::Bypass => prepared.prepare_micros(),
+        CacheOutcome::Miss | CacheOutcome::Bypass | CacheOutcome::Replan => {
+            prepared.prepare_micros()
+        }
     };
     let max_rows = opts.max_rows.unwrap_or(core.config.default_max_rows);
     let exec_start = Instant::now();
@@ -459,6 +523,7 @@ fn run_query(
             ctx.deadline = Some(deadline);
             ctx.limit_ms = timeout_ms;
             ctx.max_rows = max_rows;
+            ctx.replan_factor = core.config.replan_factor;
             let dop = opts
                 .dop
                 .unwrap_or(core.config.default_dop)
@@ -595,6 +660,71 @@ mod tests {
         let (third, o3) = session.prepare("owns", &opts).unwrap();
         assert_eq!(o3, CacheOutcome::Miss, "version bump must re-prepare");
         assert!(!Arc::ptr_eq(&first, &third));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stale_cached_plans_are_transparently_replanned() {
+        let schema = Arc::new(fig1_yago_schema());
+        let db = Arc::new(fig2_yago_database());
+        let store = Arc::new(RelStore::load(&db));
+        let service = Service::with_store(
+            schema,
+            db,
+            Arc::clone(&store),
+            ServiceConfig::with_workers(1),
+        );
+        let session = service.session();
+        let opts = QueryOptions::default();
+        let (first, o1) = session.prepare("owns/isLocatedIn+", &opts).unwrap();
+        assert_eq!(o1, CacheOutcome::Miss);
+        let plan = first.plan().unwrap();
+        // Simulate execution feedback diverging 1000× from the estimate.
+        store
+            .feedback
+            .observe(plan.fp, (plan.est.rows as usize + 1) * 1000);
+        let (second, o2) = session.prepare("owns/isLocatedIn+", &opts).unwrap();
+        assert_eq!(o2, CacheOutcome::Replan, "divergent plan must re-prepare");
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert!(
+            second.plan().unwrap().memo_est,
+            "the fresh plan estimates from the memo"
+        );
+        let m = service.metrics();
+        assert_eq!(m.replans, 1, "{m}");
+        assert!(m.feedback_hits >= 1, "{m}");
+        // The refreshed entry agrees with the memo: plain hits again.
+        let (third, o3) = session.prepare("owns/isLocatedIn+", &opts).unwrap();
+        assert_eq!(o3, CacheOutcome::Hit);
+        assert!(Arc::ptr_eq(&second, &third));
+        assert_eq!(service.metrics().replans, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn schema_version_bump_clears_the_feedback_memo() {
+        let schema = Arc::new(fig1_yago_schema());
+        let db = Arc::new(fig2_yago_database());
+        let store = Arc::new(RelStore::load(&db));
+        let service = Service::with_store(
+            schema,
+            db,
+            Arc::clone(&store),
+            ServiceConfig::with_workers(1),
+        );
+        let session = service.session();
+        session
+            .execute("owns/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        assert!(
+            !store.feedback.is_empty(),
+            "execution populates the feedback memo"
+        );
+        service.bump_schema_version();
+        assert!(
+            store.feedback.is_empty(),
+            "a schema bump must drop observations of the old data"
+        );
         service.shutdown();
     }
 

@@ -564,6 +564,74 @@ fn parallel_execution_is_bit_identical_to_serial() {
 }
 
 #[test]
+fn memo_warm_plans_are_bit_identical_to_cold() {
+    // The cardinality feedback memo changes estimates — and therefore
+    // plan shapes — but never results: for random optimised terms,
+    // `execute_plan(memo-warm) == execute_plan(memo-cold) ==
+    // execute(term)`, including under aggressive mid-flight replanning
+    // and at DOP ∈ {2, 7}.
+    let db = fig2_yago_database();
+    let store = RelStore::load(&db);
+    let (v0, v1) = (store.symbols.col("v0"), store.symbols.col("v1"));
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0xfeedb);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+        let opt = optimize(&term, &store);
+
+        // Plan cold, then execute — execution populates the memo with
+        // the true cardinalities of every static subtree.
+        store.feedback.clear();
+        let p_cold = plan(&opt, &store).expect("cold plan lowers");
+        let mut ctx = ExecContext::new();
+        let cold = execute_plan(&p_cold, &store, &mut ctx).expect("cold plan executes");
+        let mut ctx = ExecContext::new();
+        let reference = execute(&term, &store, &mut ctx).expect("term executes");
+        let head = [v0, v1];
+        assert_eq!(
+            reference.project(&head),
+            cold.project(&head),
+            "cold plan changed semantics (seed {seed}) for {expr:?}"
+        );
+
+        // Re-planning now draws estimates from the observations; the
+        // physical strategy may change, the result must not.
+        let p_warm = plan(&opt, &store).expect("warm plan lowers");
+        let mut ctx = ExecContext::new();
+        let warm = execute_plan(&p_warm, &store, &mut ctx).expect("warm plan executes");
+        assert_eq!(
+            cold, warm,
+            "warm memo changed results (seed {seed}) for {expr:?}"
+        );
+
+        // An aggressive mid-flight replan trigger may flip build sides
+        // at materialisation boundaries — results stay bit-identical.
+        let mut ctx = ExecContext::new();
+        ctx.replan_factor = 2.0;
+        let replanned = execute_plan(&p_warm, &store, &mut ctx).expect("replanning executes");
+        assert_eq!(
+            cold, replanned,
+            "mid-flight replanning changed results (seed {seed}) for {expr:?}"
+        );
+
+        for dop in [2usize, 7] {
+            let mut ctx = ExecContext::new();
+            ctx.dop = dop;
+            ctx.parallel_threshold = 1;
+            ctx.morsel_rows = 2;
+            let par = execute_plan(&p_warm, &store, &mut ctx).expect("parallel plan executes");
+            assert_eq!(
+                cold, par,
+                "memo-warm DOP={dop} changed results (seed {seed}) for {expr:?}"
+            );
+        }
+    }
+    store.feedback.clear();
+}
+
+#[test]
 fn parallel_index_join_respects_label_filters() {
     // Directed: the doubly label-filtered index join from the scan
     // strategy test, executed per morsel — the node-label set filters
