@@ -26,6 +26,14 @@ pub enum SgqError {
     NotExpressible(String),
     /// An execution-time failure (e.g. fixpoint budget exhausted).
     Execution(String),
+    /// A query materialised more rows (or node pairs, on the graph
+    /// backend) than its configured budget allows.
+    RowBudget {
+        /// Rows materialised when the budget tripped.
+        rows: usize,
+        /// The configured budget.
+        budget: usize,
+    },
     /// A query run exceeded the harness timeout (§5.1.5).
     Timeout {
         /// The configured limit, in milliseconds.
@@ -50,6 +58,9 @@ impl fmt::Display for SgqError {
             SgqError::Query(m) => write!(f, "query error: {m}"),
             SgqError::NotExpressible(m) => write!(f, "not expressible in target language: {m}"),
             SgqError::Execution(m) => write!(f, "execution error: {m}"),
+            SgqError::RowBudget { rows, budget } => {
+                write!(f, "row budget exhausted ({rows} rows, budget {budget})")
+            }
             SgqError::Timeout { limit_ms } => write!(f, "query timed out after {limit_ms} ms"),
             SgqError::Busy { capacity } => {
                 write!(
@@ -82,6 +93,12 @@ impl SgqError {
     pub fn is_busy(&self) -> bool {
         matches!(self, SgqError::Busy { .. })
     }
+
+    /// Whether this error is a row/pair-budget breach (the harness
+    /// treats it like a timeout: infeasible, not failed).
+    pub fn is_row_budget(&self) -> bool {
+        matches!(self, SgqError::RowBudget { .. })
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +119,20 @@ mod tests {
     fn timeout_predicate() {
         assert!(SgqError::Timeout { limit_ms: 1 }.is_timeout());
         assert!(!SgqError::Schema("x".into()).is_timeout());
+    }
+
+    #[test]
+    fn row_budget_predicate_and_display() {
+        let e = SgqError::RowBudget {
+            rows: 1_000_001,
+            budget: 1_000_000,
+        };
+        assert!(e.is_row_budget());
+        assert!(!e.is_timeout());
+        assert_eq!(
+            e.to_string(),
+            "row budget exhausted (1000001 rows, budget 1000000)"
+        );
     }
 
     #[test]

@@ -85,10 +85,10 @@ impl EvalCounters {
     /// Polls the deadline and the pair budget.
     pub fn check(&self) -> Result<()> {
         if self.max_pairs > 0 && self.pairs.get() > self.max_pairs {
-            return Err(SgqError::Execution(format!(
-                "pair budget exhausted ({} pairs)",
-                self.pairs.get()
-            )));
+            return Err(SgqError::RowBudget {
+                rows: self.pairs.get(),
+                budget: self.max_pairs,
+            });
         }
         match self.deadline {
             Some(d) if Instant::now() > d => Err(SgqError::Timeout {

@@ -9,8 +9,8 @@
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
-//!              | plans | smoke | serve | estimates | parallel
-//!              (the last five run explicit only, not as part of `all`)
+//!              | plans | smoke | serve | estimates | parallel | observe
+//!              (the last six run explicit only, not as part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
@@ -29,6 +29,12 @@
 //! results bit-identical, and prints per-query speedups;
 //! `parallel --smoke` is the CI gate at smoke scale with the cost gate
 //! forced open so every probe splits into morsels.
+//! `observe` replays the YAGO catalog through a traced service and
+//! reports per-phase timings, the Chrome-trace export and tracing
+//! overhead; `observe --smoke` is the CI gate asserting the export
+//! parses with every lifecycle phase covered, operator spans match
+//! `EXPLAIN ANALYZE` bit-for-bit, and the disabled tracer stays under
+//! a 5% overhead budget.
 //! ```
 
 use std::io::Write as _;
@@ -36,6 +42,7 @@ use std::io::Write as _;
 use sgq_core::RedundancyRule;
 use sgq_harness::estimates::{self, EstimatesConfig};
 use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
+use sgq_harness::observe::{self, ObserveConfig};
 use sgq_harness::parallel::{self, ParallelConfig};
 use sgq_harness::runner::Backend;
 
@@ -46,6 +53,7 @@ fn main() {
     let mut serve_cfg = ServeConfig::default();
     let mut est_cfg = EstimatesConfig::default();
     let mut par_cfg = ParallelConfig::default();
+    let mut obs_cfg = ObserveConfig::default();
     let mut smoke_variant = false;
     let mut out_path: Option<String> = None;
 
@@ -59,6 +67,7 @@ fn main() {
                 serve_cfg.timeout_ms = ms;
                 est_cfg.timeout_ms = ms;
                 par_cfg.timeout_ms = ms;
+                obs_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -73,6 +82,7 @@ fn main() {
                 i += 1;
                 cfg.yago_scale = args[i].parse().expect("--yago-scale takes a number");
                 est_cfg.yago_scale = cfg.yago_scale;
+                obs_cfg.yago_scale = cfg.yago_scale;
             }
             "--est-sf" => {
                 i += 1;
@@ -158,6 +168,13 @@ fn main() {
             println!("{}", parallel::parallel_smoke());
         } else {
             println!("{}", parallel::parallel(&par_cfg));
+        }
+    }
+    if want_exact("observe") {
+        if smoke_variant {
+            println!("{}", observe::observe_smoke());
+        } else {
+            println!("{}", observe::observe(&obs_cfg));
         }
     }
 

@@ -24,7 +24,6 @@
 //! query switches to a faster physical plan after feedback.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use sgq_common::json::JsonValue;
 use sgq_core::pipeline::RewriteOptions;
@@ -32,6 +31,7 @@ use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_datasets::yago::{self, YagoConfig};
 use sgq_datasets::CatalogQuery;
 use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_obs::QueryTraceBuilder;
 use sgq_ra::cost::q_error;
 use sgq_ra::exec::{execute_plan, ExecContext};
 use sgq_ra::optimize::optimize;
@@ -207,10 +207,12 @@ fn catalog_records(
         };
         let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
         ctx.max_rows = cfg.max_rows;
-        let start = Instant::now();
+        let mut tb = QueryTraceBuilder::standalone(q.name);
+        let span = tb.begin("execute");
         let actual = execute_plan(&plan_cold, &store, &mut ctx)
             .ok()
             .map(|r| r.len());
+        let cold_micros = tb.end(span);
         runs.push(ColdRun {
             name: q.name.to_string(),
             term,
@@ -219,7 +221,7 @@ fn catalog_records(
             signature: strategy_signature(&plan_cold, &store, db),
             plan_cold,
             actual,
-            cold_micros: start.elapsed().as_micros() as u64,
+            cold_micros,
         });
     }
     // Training pass: one execution per query with the memo recording
@@ -240,10 +242,11 @@ fn catalog_records(
                 let switched = strategy_signature(&plan_warm, &store, db) != r.signature;
                 let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
                 ctx.max_rows = cfg.max_rows;
-                let start = Instant::now();
+                let mut tb = QueryTraceBuilder::standalone(&r.name);
+                let span = tb.begin("execute");
                 let warm_micros = execute_plan(&plan_warm, &store, &mut ctx)
                     .ok()
-                    .map(|_| start.elapsed().as_micros() as u64);
+                    .map(|_| tb.end(span));
                 (plan_warm.est.rows, switched, warm_micros)
             }
             Err(_) => (r.est_v2, false, None),

@@ -12,6 +12,10 @@
 //! * [`mod@parallel`] — morsel-driven intra-query parallelism: DOP=N vs
 //!   serial execution over both catalogs, bit-identical results asserted
 //!   (CI-gated via `parallel --smoke`),
+//! * [`observe`] — the observability stack end to end: traced catalog
+//!   replay, Chrome-trace export validation, span-vs-analyze agreement
+//!   and the disabled-tracer overhead budget (CI-gated via
+//!   `observe --smoke`),
 //! * [`records`] — serialisable raw measurements (dumped via
 //!   `sgq-experiments --out results.json` so every number is
 //!   regenerable).
@@ -20,6 +24,7 @@
 
 pub mod estimates;
 pub mod experiments;
+pub mod observe;
 pub mod parallel;
 pub mod records;
 pub mod runner;

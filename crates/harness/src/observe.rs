@@ -1,0 +1,392 @@
+//! The `observe` experiment: end-to-end validation of the query
+//! lifecycle tracing stack.
+//!
+//! Replays the YAGO catalog through a [`Service`] with tracing enabled
+//! and checks the whole observability contract in one pass:
+//!
+//! * every traced query's Chrome-trace export parses back through
+//!   [`sgq_common::json::parse`] and covers the full lifecycle
+//!   (`query` → `queue` → `cache`/`prepare` → `execute`),
+//! * per-operator spans nest inside the `execute` phase window and
+//!   their row counts agree **bit-for-bit** with the structured
+//!   `EXPLAIN ANALYZE` of the same execution,
+//! * the slow-query log captures every query when the threshold is
+//!   floored, and the per-operator-kind profiles reach the metrics
+//!   snapshot,
+//! * the *disabled* tracer costs < 5% on the raw executor hot loop
+//!   (best-of-N rounds, so scheduler noise does not mask the signal).
+//!
+//! The smoke variant ([`observe_smoke`]) is the CI gate; the full
+//! variant prints the same report at a larger scale without asserting.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sgq_common::json::{self, JsonValue};
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_obs::{chrome_traces_json, QueryTrace, QueryTraceBuilder, Tracer};
+use sgq_ra::exec::{execute_plan, ExecContext};
+use sgq_service::{QueryOptions, Service, ServiceConfig};
+
+use crate::runner::{prepare_relational, query_for, Approach, Backend, RunConfig};
+
+/// Tolerance (µs) for span-boundary comparisons: phase spans are
+/// back-filled from separately truncated microsecond measurements, so
+/// adjacent edges can disagree by a couple of microseconds.
+const EDGE_SLACK_US: u64 = 3;
+
+/// Maximum disabled-tracer overhead vs the untraced executor loop.
+const MAX_DISABLED_OVERHEAD: f64 = 0.05;
+
+/// Absolute slack (µs) added to the overhead gate so micro-noise on a
+/// tiny smoke fixture cannot fail a check whose true cost is one
+/// relaxed atomic load per query.
+const OVERHEAD_SLACK_US: f64 = 100.0;
+
+/// Configuration for the `observe` experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct ObserveConfig {
+    /// Scaling of the YAGO dataset relative to the default size.
+    pub yago_scale: f64,
+    /// Per-query timeout (ms).
+    pub timeout_ms: u64,
+    /// Executor repetitions per overhead-measurement round.
+    pub overhead_reps: usize,
+    /// Overhead-measurement rounds (the best round is compared).
+    pub overhead_rounds: usize,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            yago_scale: 0.3,
+            timeout_ms: 10_000,
+            overhead_reps: 40,
+            overhead_rounds: 5,
+        }
+    }
+}
+
+impl ObserveConfig {
+    /// The small configuration used by CI (`observe --smoke`).
+    pub fn smoke() -> Self {
+        ObserveConfig {
+            yago_scale: 0.05,
+            timeout_ms: 10_000,
+            overhead_reps: 30,
+            overhead_rounds: 5,
+        }
+    }
+}
+
+fn span_of<'t>(trace: &'t QueryTrace, name: &str) -> Option<&'t sgq_obs::Span> {
+    trace.phases.iter().find(|s| s.name == name)
+}
+
+/// Asserts one trace covers the lifecycle with correctly nested spans.
+fn check_trace(trace: &QueryTrace, label: &str) {
+    let root = span_of(trace, "query").unwrap_or_else(|| panic!("{label}: no root span"));
+    assert_eq!(root.parent, 0, "{label}: root has a parent");
+    let root_end = root.start_us + root.dur_us;
+    for name in ["queue", "cache", "execute"] {
+        let s = span_of(trace, name).unwrap_or_else(|| panic!("{label}: no {name} span"));
+        assert_eq!(s.parent, root.id, "{label}: {name} not under root");
+        assert!(
+            s.start_us + EDGE_SLACK_US >= root.start_us
+                && s.start_us + s.dur_us <= root_end + EDGE_SLACK_US,
+            "{label}: {name} escapes the root window"
+        );
+    }
+    let queue = span_of(trace, "queue").unwrap();
+    let cache = span_of(trace, "cache").unwrap();
+    let exec = span_of(trace, "execute").unwrap();
+    assert!(
+        queue.start_us + queue.dur_us <= cache.start_us + EDGE_SLACK_US,
+        "{label}: queue overlaps cache lookup"
+    );
+    assert!(
+        cache.start_us + cache.dur_us <= exec.start_us + EDGE_SLACK_US,
+        "{label}: cache lookup overlaps execution"
+    );
+    if let Some(prep) = span_of(trace, "prepare") {
+        assert_eq!(prep.parent, cache.id, "{label}: prepare not under cache");
+        assert!(
+            prep.start_us >= cache.start_us
+                && prep.start_us + prep.dur_us <= cache.start_us + cache.dur_us + EDGE_SLACK_US,
+            "{label}: prepare escapes the cache window"
+        );
+    }
+    let exec_end = exec.start_us + exec.dur_us;
+    for op in &trace.ops {
+        assert!(
+            op.start_us + EDGE_SLACK_US >= exec.start_us
+                && op.start_us + op.dur_us <= exec_end + EDGE_SLACK_US,
+            "{label}: operator span (node {}) escapes the execute window",
+            op.node
+        );
+    }
+}
+
+/// Asserts the trace's operator spans agree with the structured
+/// `EXPLAIN ANALYZE` of the same execution, row for row.
+fn check_against_analyze(trace: &QueryTrace, analyze: &str, label: &str) {
+    let nodes = json::parse(analyze)
+        .unwrap_or_else(|e| panic!("{label}: analyze json malformed: {e}"))
+        .as_arr()
+        .unwrap_or_else(|| panic!("{label}: analyze json is not an array"))
+        .to_vec();
+    assert!(!trace.ops.is_empty(), "{label}: no operator spans");
+    // A node evaluated several times (fixpoint rounds) has one span per
+    // evaluation; `actual_rows` is their sum.
+    let mut per_node: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    for op in &trace.ops {
+        *per_node.entry(op.node).or_default() += op.rows as u64;
+    }
+    for (&node, &rows) in &per_node {
+        let actual = nodes
+            .iter()
+            .find(|n| n.get("id").and_then(JsonValue::as_u64) == Some(node as u64))
+            .and_then(|n| n.get("actual_rows"))
+            .and_then(JsonValue::as_u64)
+            .unwrap_or_else(|| panic!("{label}: node {node} missing from analyze"));
+        assert_eq!(
+            rows, actual,
+            "{label}: node {node} span rows diverge from analyze"
+        );
+    }
+}
+
+/// Asserts the Chrome export parses and covers every lifecycle phase of
+/// every trace.
+fn check_chrome_export(traces: &[Arc<QueryTrace>]) -> usize {
+    let rendered = chrome_traces_json(traces);
+    let doc = json::parse(&rendered).expect("chrome export must parse");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    for e in events {
+        assert_eq!(e.get("ph").and_then(JsonValue::as_str), Some("X"));
+        assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+        assert!(e.get("dur").and_then(JsonValue::as_u64).is_some());
+    }
+    for t in traces {
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("tid").and_then(JsonValue::as_u64) == Some(t.trace_id))
+            .filter_map(|e| e.get("name").and_then(JsonValue::as_str))
+            .collect();
+        for phase in ["query", "queue", "cache", "execute"] {
+            assert!(
+                names.contains(&phase),
+                "trace {} export misses the {phase} phase",
+                t.trace_id
+            );
+        }
+    }
+    rendered.len()
+}
+
+/// Best-of-N-rounds hot-loop timing: untraced executor vs the same loop
+/// behind a *disabled* tracer's `should_trace` check, plus the fully
+/// traced loop (informational). Returns µs per round (best).
+fn measure_overhead(
+    store: &sgq_ra::RelStore,
+    plan: &sgq_ra::PhysPlan,
+    cfg: &ObserveConfig,
+) -> (f64, f64, f64) {
+    let tracer = Tracer::new(4); // stays disabled
+    let mut tb = QueryTraceBuilder::standalone("overhead-measurement");
+    let (mut base_best, mut disabled_best, mut traced_best) = (f64::MAX, f64::MAX, f64::MAX);
+    for _ in 0..cfg.overhead_rounds {
+        let span = tb.begin("baseline");
+        for _ in 0..cfg.overhead_reps {
+            let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+            let _ = execute_plan(plan, store, &mut ctx);
+        }
+        base_best = base_best.min(tb.end(span) as f64);
+
+        let span = tb.begin("disabled");
+        for _ in 0..cfg.overhead_reps {
+            // The exact per-query cost the service pays with tracing
+            // off: one relaxed atomic load.
+            assert!(!tracer.should_trace());
+            let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+            let _ = execute_plan(plan, store, &mut ctx);
+        }
+        disabled_best = disabled_best.min(tb.end(span) as f64);
+
+        let span = tb.begin("traced");
+        for _ in 0..cfg.overhead_reps {
+            let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
+            let _ = sgq_ra::exec::execute_plan_traced(plan, store, &mut ctx);
+        }
+        traced_best = traced_best.min(tb.end(span) as f64);
+    }
+    (base_best, disabled_best, traced_best)
+}
+
+fn run_observe(cfg: &ObserveConfig, gate: bool) -> String {
+    let mut out = String::new();
+    let (schema, db) = yago::generate(YagoConfig::scaled(cfg.yago_scale));
+    let queries = yago::queries(&schema).expect("catalog parses");
+
+    let service_cfg = ServiceConfig {
+        tracing: true,
+        trace_sample_every: 1,
+        default_timeout_ms: cfg.timeout_ms,
+        ..ServiceConfig::with_workers(1)
+    };
+    let service = Service::build(schema.clone(), db.clone(), service_cfg);
+    // Floor the threshold: every query is "slow", exercising the log.
+    service.slow_query_log().set_threshold_us(1);
+    let session = service.session();
+    let opts = QueryOptions {
+        analyze: true,
+        ..Default::default()
+    };
+
+    let _ = writeln!(
+        out,
+        "observe: YAGO x{} catalog through a traced service ({} queries)",
+        cfg.yago_scale,
+        queries.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>6}",
+        "query", "rows", "queue µs", "prep µs", "exec µs", "ops"
+    );
+    let mut checked = 0usize;
+    for q in &queries {
+        let resp = match session.execute_expr(&q.expr, &opts) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = writeln!(out, "{:<14} failed: {e}", q.name);
+                continue;
+            }
+        };
+        let traces = session.recent_traces();
+        let trace = traces.last().expect("analyze execution is traced");
+        if gate {
+            check_trace(trace, q.name);
+            let analyze = resp.analyze_json.as_deref().expect("analyze output");
+            check_against_analyze(trace, analyze, q.name);
+        }
+        let us = |name: &str| span_of(trace, name).map_or(0, |s| s.dur_us);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>8} {:>10} {:>10} {:>10} {:>6}",
+            q.name,
+            resp.rows.len(),
+            us("queue"),
+            us("prepare"),
+            us("execute"),
+            trace.ops.len()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no catalog query completed");
+
+    let traces = session.recent_traces();
+    let chrome_bytes = check_chrome_export(&traces);
+    let _ = writeln!(
+        out,
+        "chrome export: {} traces, {} bytes, parses with all phases covered",
+        traces.len(),
+        chrome_bytes
+    );
+
+    let slow = session.drain_slow_queries();
+    if gate {
+        assert_eq!(
+            slow.len(),
+            checked,
+            "floored threshold must capture every completed query"
+        );
+    }
+    let _ = writeln!(out, "slow-query log captured {} queries", slow.len());
+
+    let m = service.metrics();
+    if gate {
+        assert!(!m.op_profiles.is_empty(), "operator profiles missing");
+    }
+    let _ = writeln!(
+        out,
+        "operator profiles: {}",
+        m.op_profiles
+            .iter()
+            .map(|p| format!("{} x{}", p.kind, p.evals))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    service.shutdown();
+
+    // Overhead gate on the raw executor hot loop, away from the
+    // service's queueing noise.
+    let run_cfg = RunConfig {
+        timeout_ms: cfg.timeout_ms,
+        ..Default::default()
+    };
+    let runner_session = crate::runner::Session::new(&schema, &db);
+    let (plan, plan_query) = queries
+        .iter()
+        .find_map(|q| {
+            let ucqt = query_for(&schema, &q.expr, Approach::Schema, run_cfg.rewrite)?;
+            let plan = prepare_relational(&runner_session, &ucqt, Backend::Relational).ok()?;
+            Some((plan, q.name))
+        })
+        .expect("at least one catalog query plans");
+    let (base, disabled, traced) = measure_overhead(&runner_session.store, &plan, cfg);
+    let overhead = (disabled - base) / base.max(1.0);
+    let _ = writeln!(
+        out,
+        "overhead ({} x{} reps, best of {} rounds): untraced {:.0} µs, \
+         disabled tracer {:.0} µs ({:+.2}%), traced {:.0} µs ({:+.2}%)",
+        plan_query,
+        cfg.overhead_reps,
+        cfg.overhead_rounds,
+        base,
+        disabled,
+        overhead * 100.0,
+        traced,
+        (traced - base) / base.max(1.0) * 100.0,
+    );
+    if gate {
+        assert!(
+            disabled <= base * (1.0 + MAX_DISABLED_OVERHEAD) + OVERHEAD_SLACK_US,
+            "disabled tracer overhead {:.2}% exceeds {}%",
+            overhead * 100.0,
+            MAX_DISABLED_OVERHEAD * 100.0
+        );
+        let _ = writeln!(out, "observe smoke: all gates passed");
+    }
+    out
+}
+
+/// The full experiment: replay, report, no hard gates.
+pub fn observe(cfg: &ObserveConfig) -> String {
+    run_observe(cfg, false)
+}
+
+/// The CI gate: smoke scale with every assertion armed — Chrome export
+/// parses and covers all phases, operator spans match `EXPLAIN ANALYZE`
+/// bit-for-bit, the slow-query log fills, and the disabled tracer stays
+/// under the overhead budget.
+pub fn observe_smoke() -> String {
+    run_observe(&ObserveConfig::smoke(), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_smoke_gates_pass() {
+        let report = observe_smoke();
+        assert!(
+            report.contains("observe smoke: all gates passed"),
+            "{report}"
+        );
+    }
+}

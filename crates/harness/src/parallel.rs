@@ -13,13 +13,13 @@
 //! probes split into morsels, `DOP = 2` against `DOP = 1`.
 
 use std::fmt::Write as _;
-use std::time::Instant;
 
 use sgq_core::pipeline::RewriteOptions;
 use sgq_datasets::ldbc::{self, LdbcConfig};
 use sgq_datasets::yago::{self, YagoConfig};
 use sgq_datasets::CatalogQuery;
 use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_obs::QueryTraceBuilder;
 use sgq_ra::exec::{execute_plan, ExecContext};
 use sgq_ra::optimize::optimize;
 use sgq_ra::{plan, RelStore};
@@ -110,21 +110,22 @@ fn catalog_records(
         let Ok(p) = plan(&optimize(&term, &store), &store) else {
             continue;
         };
+        let mut tb = QueryTraceBuilder::standalone(q.name);
         let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
-        let start = Instant::now();
+        let span = tb.begin("serial");
         let Ok(serial) = execute_plan(&p, &store, &mut ctx) else {
             continue; // timed out serially; nothing to compare
         };
-        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+        let serial_ms = tb.end(span) as f64 / 1e3;
 
         let mut ctx = ExecContext::with_timeout(cfg.timeout_ms);
         ctx.dop = cfg.dop;
         ctx.parallel_threshold = cfg.parallel_threshold;
         ctx.morsel_rows = cfg.morsel_rows.max(1);
-        let start = Instant::now();
+        let span = tb.begin("parallel");
         let parallel = execute_plan(&p, &store, &mut ctx)
             .unwrap_or_else(|e| panic!("{dataset}/{}: parallel run failed: {e}", q.name));
-        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+        let parallel_ms = tb.end(span) as f64 / 1e3;
         assert_eq!(
             serial, parallel,
             "{dataset}/{}: DOP={} diverged from serial execution",

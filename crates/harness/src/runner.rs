@@ -1,13 +1,12 @@
 //! Query execution under the paper's measurement protocol (§5.1.5):
 //! a per-run timeout and averaging over repetitions.
 
-use std::time::Instant;
-
 use sgq_algebra::ast::PathExpr;
 use sgq_common::{Result, SgqError};
 use sgq_core::pipeline::{rewrite_path, RewriteOptions, RewriteOutcome};
 use sgq_engine::GraphEngine;
 use sgq_graph::{GraphDatabase, GraphSchema};
+use sgq_obs::QueryTraceBuilder;
 use sgq_query::cqt::Ucqt;
 use sgq_ra::exec::ExecContext;
 use sgq_ra::RelStore;
@@ -177,32 +176,43 @@ pub fn run_query(
         // The schema proves the query empty: essentially free.
         return Measurement::Feasible { ms: 0.0, rows: 0 };
     };
+    // The same phase spans the service traces with also time the
+    // measurement protocol: one "prepare" span for planning, one
+    // "execute" span per repetition.
+    let mut tb = QueryTraceBuilder::standalone("harness-run");
+    let prepare = tb.begin("prepare");
     let plan = match backend {
         Backend::Graph => None,
         Backend::Relational | Backend::RelationalUnoptimized => {
             match prepare_relational(session, &query, backend) {
                 Ok(p) => Some(p),
-                Err(SgqError::Timeout { .. }) | Err(SgqError::Execution(_)) => {
+                Err(SgqError::Timeout { .. })
+                | Err(SgqError::RowBudget { .. })
+                | Err(SgqError::Execution(_)) => {
                     return Measurement::Infeasible;
                 }
                 Err(other) => panic!("unexpected planning failure: {other}"),
             }
         }
     };
+    tb.end(prepare);
     let mut total_ms = 0.0;
     let mut rows = 0usize;
     for _ in 0..config.repetitions.max(1) {
-        let start = Instant::now();
+        let span = tb.begin("execute");
         let result = match &plan {
             None => run_once(session, &query, backend, config),
             Some(p) => execute_prepared(session, p, config),
         };
+        let dur_us = tb.end(span);
         match result {
             Ok(n) => {
                 rows = n;
-                total_ms += start.elapsed().as_secs_f64() * 1e3;
+                total_ms += dur_us as f64 / 1e3;
             }
-            Err(SgqError::Timeout { .. }) | Err(SgqError::Execution(_)) => {
+            Err(SgqError::Timeout { .. })
+            | Err(SgqError::RowBudget { .. })
+            | Err(SgqError::Execution(_)) => {
                 return Measurement::Infeasible;
             }
             Err(other) => panic!("unexpected engine failure: {other}"),

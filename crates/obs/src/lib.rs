@@ -1,0 +1,58 @@
+//! # sgq_obs — span-based observability
+//!
+//! The instrumentation layer under the service and the relational
+//! executor: a lock-cheap [`Tracer`] that records **phase spans**
+//! (queue wait → cache lookup → prepare → execute) and **per-operator
+//! spans** (kind, est vs actual rows, self time) onto one shared
+//! microsecond timeline, plus the consumers built on those spans —
+//! an always-on per-operator-kind [`ProfileRegistry`], a
+//! [`SlowQueryLog`], and a Chrome-trace-event JSON exporter
+//! ([`chrome_trace`]) loadable in Perfetto / `chrome://tracing`.
+//!
+//! ## Cost model
+//!
+//! * Tracing disabled: one relaxed atomic load per query
+//!   ([`Tracer::should_trace`]); the executor's per-operator path sees
+//!   only its pre-existing `Option` check.
+//! * Tracing enabled: per-operator recording is two `Vec` pushes plus
+//!   an `Instant` read inside the single-threaded interpreter — no
+//!   locks or atomics per operator. Shared structures (trace ring,
+//!   profile registry, slow-query log) are touched once per traced
+//!   query.
+//! * Sampling ([`Tracer::set_sample_every`]) bounds the enabled cost
+//!   to 1-in-N queries.
+//!
+//! The crate depends only on `sgq_common` (for JSON) so every layer —
+//! executor, service, harness — can share the same span types without
+//! dependency cycles.
+
+pub mod chrome;
+pub mod profile;
+pub mod slowlog;
+pub mod span;
+pub mod tracer;
+
+pub use chrome::{chrome_trace, chrome_traces, chrome_traces_json};
+pub use profile::{OpKindProfile, ProfileRegistry};
+pub use slowlog::SlowQueryLog;
+pub use span::{
+    OpSpan, OpTraceBuilder, PendingSpan, QueryTrace, QueryTraceBuilder, Span, SpanId, TagValue,
+    TraceClock, OP_SPAN_CAP,
+};
+pub use tracer::Tracer;
+
+#[cfg(test)]
+mod audits {
+    use super::*;
+
+    /// The shared structures cross worker threads inside the service.
+    #[test]
+    fn shared_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Tracer>();
+        assert_send_sync::<ProfileRegistry>();
+        assert_send_sync::<SlowQueryLog>();
+        assert_send_sync::<QueryTrace>();
+        assert_send_sync::<OpSpan>();
+    }
+}

@@ -1,0 +1,110 @@
+//! Per-operator-kind runtime profiles, aggregated across queries.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use crate::span::OpSpan;
+
+/// Aggregate runtime profile of one operator kind.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpKindProfile {
+    /// Operator kind, e.g. `"HashJoin"`.
+    pub kind: String,
+    /// Evaluations recorded (spans).
+    pub evals: u64,
+    /// Rows materialised across those evaluations.
+    pub rows: u64,
+    /// Exclusive (self) time in microseconds.
+    pub self_us: u64,
+}
+
+/// Always-on registry of per-operator-kind totals, fed by every traced
+/// execution and merged into the service's `MetricsSnapshot`. One mutex
+/// acquisition per traced query (never per operator): the interpreter
+/// accumulates spans locally and [`record`](ProfileRegistry::record)
+/// folds the finished batch in.
+#[derive(Debug, Default)]
+pub struct ProfileRegistry {
+    kinds: Mutex<BTreeMap<&'static str, Cell>>,
+}
+
+#[derive(Default, Debug)]
+struct Cell {
+    evals: u64,
+    rows: u64,
+    self_us: u64,
+}
+
+impl ProfileRegistry {
+    pub fn new() -> Self {
+        ProfileRegistry::default()
+    }
+
+    /// Folds one execution's operator spans into the registry.
+    pub fn record(&self, spans: &[OpSpan]) {
+        if spans.is_empty() {
+            return;
+        }
+        let mut kinds = self.kinds.lock().expect("profile registry poisoned");
+        for s in spans {
+            let cell = kinds.entry(s.kind).or_default();
+            cell.evals += 1;
+            cell.rows += s.rows as u64;
+            cell.self_us += s.self_us;
+        }
+    }
+
+    /// The current totals, ordered by self time (descending) then kind.
+    pub fn snapshot(&self) -> Vec<OpKindProfile> {
+        let kinds = self.kinds.lock().expect("profile registry poisoned");
+        let mut out: Vec<OpKindProfile> = kinds
+            .iter()
+            .map(|(kind, c)| OpKindProfile {
+                kind: (*kind).to_string(),
+                evals: c.evals,
+                rows: c.rows,
+                self_us: c.self_us,
+            })
+            .collect();
+        out.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.kind.cmp(&b.kind)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(kind: &'static str, rows: usize, self_us: u64) -> OpSpan {
+        OpSpan {
+            node: 0,
+            kind,
+            start_us: 0,
+            dur_us: self_us,
+            self_us,
+            est_rows: 0.0,
+            rows,
+        }
+    }
+
+    #[test]
+    fn record_aggregates_by_kind() {
+        let reg = ProfileRegistry::new();
+        reg.record(&[span("HashJoin", 10, 50), span("NodeScan", 4, 5)]);
+        reg.record(&[span("HashJoin", 6, 25)]);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].kind, "HashJoin");
+        assert_eq!(snap[0].evals, 2);
+        assert_eq!(snap[0].rows, 16);
+        assert_eq!(snap[0].self_us, 75);
+        assert_eq!(snap[1].kind, "NodeScan");
+    }
+
+    #[test]
+    fn empty_batch_is_free_and_snapshot_stable() {
+        let reg = ProfileRegistry::new();
+        reg.record(&[]);
+        assert!(reg.snapshot().is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! Slow-query log: a ring buffer of traces for queries whose total
+//! latency crossed a configurable threshold.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::QueryTrace;
+
+/// Retains the traces of recent slow queries. The threshold check is a
+/// relaxed atomic load and an integer compare; the trace itself is only
+/// built (by the caller's closure) when the query actually crossed the
+/// line, so fast queries pay nothing beyond the compare.
+#[derive(Debug)]
+pub struct SlowQueryLog {
+    /// Latency threshold in microseconds; 0 disables the log.
+    threshold_us: AtomicU64,
+    /// Slow queries evicted from the ring before being drained.
+    dropped: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Arc<QueryTrace>>>,
+}
+
+impl SlowQueryLog {
+    /// A log capturing up to `capacity` traces of queries slower than
+    /// `threshold_us` microseconds (0 = disabled).
+    pub fn new(threshold_us: u64, capacity: usize) -> Self {
+        SlowQueryLog {
+            threshold_us: AtomicU64::new(threshold_us),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn threshold_us(&self) -> u64 {
+        self.threshold_us.load(Ordering::Relaxed)
+    }
+
+    /// Reconfigures the threshold (0 disables the log).
+    pub fn set_threshold_us(&self, us: u64) {
+        self.threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// Whether a query of `total_us` microseconds should be captured.
+    pub fn is_slow(&self, total_us: u64) -> bool {
+        let t = self.threshold_us.load(Ordering::Relaxed);
+        t > 0 && total_us >= t
+    }
+
+    /// Captures `make()`'s trace if `total_us` crosses the threshold.
+    pub fn offer(&self, total_us: u64, make: impl FnOnce() -> Arc<QueryTrace>) {
+        if self.is_slow(total_us) {
+            self.push(make());
+        }
+    }
+
+    /// Appends a trace, evicting (and counting) the oldest at capacity.
+    pub fn push(&self, trace: Arc<QueryTrace>) {
+        let mut ring = self.ring.lock().expect("slow-query log poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(trace);
+    }
+
+    /// Drains the captured traces, oldest first.
+    pub fn drain(&self) -> Vec<Arc<QueryTrace>> {
+        self.ring
+            .lock()
+            .expect("slow-query log poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of captured-but-undrained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("slow-query log poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Slow queries lost to ring eviction since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::QueryTraceBuilder;
+
+    fn trace(q: &str) -> Arc<QueryTrace> {
+        Arc::new(QueryTraceBuilder::standalone(q).finish())
+    }
+
+    #[test]
+    fn threshold_gates_capture_and_zero_disables() {
+        let log = SlowQueryLog::new(1_000, 4);
+        log.offer(999, || trace("fast"));
+        log.offer(1_000, || trace("slow"));
+        assert_eq!(log.len(), 1);
+        log.set_threshold_us(0);
+        log.offer(u64::MAX, || trace("ignored"));
+        let got = log.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].query, "slow");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn capacity_evictions_are_counted() {
+        let log = SlowQueryLog::new(1, 2);
+        for i in 0..5 {
+            log.offer(10, || trace(&format!("q{i}")));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        let got = log.drain();
+        assert_eq!(got[0].query, "q3");
+        assert_eq!(got[1].query, "q4");
+    }
+}

@@ -1,0 +1,209 @@
+//! The lock-cheap tracer: decides *whether* to trace a query and keeps
+//! the most recent traces in a fixed-capacity ring buffer.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::span::{QueryTrace, QueryTraceBuilder, TraceClock};
+
+/// Decides per query whether to record a trace and retains the most
+/// recent ones. Designed so the *disabled* path costs one relaxed
+/// atomic load per query and nothing per operator:
+///
+/// * [`should_trace`](Tracer::should_trace) loads the enabled flag with
+///   `Ordering::Relaxed` and returns before touching anything else;
+/// * span ids come from a single shared `AtomicU64` so builders on
+///   different worker threads never collide;
+/// * the ring buffer behind a `Mutex` is touched once per *traced*
+///   query, never on the per-operator path (operator spans accumulate
+///   in the interpreter-owned [`crate::OpTraceBuilder`]).
+#[derive(Debug)]
+pub struct Tracer {
+    enabled: AtomicBool,
+    /// Trace 1 in N queries when enabled (0 behaves like 1).
+    sample_every: AtomicU64,
+    /// Queries offered to the sampler since construction.
+    offered: AtomicU64,
+    /// Shared span-id sequence; 0 is reserved for "no parent".
+    span_ids: Arc<AtomicU64>,
+    trace_ids: AtomicU64,
+    clock: TraceClock,
+    capacity: usize,
+    ring: Mutex<VecDeque<Arc<QueryTrace>>>,
+}
+
+impl Tracer {
+    /// A tracer retaining up to `capacity` traces, initially disabled.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            enabled: AtomicBool::new(false),
+            sample_every: AtomicU64::new(1),
+            offered: AtomicU64::new(0),
+            span_ids: Arc::new(AtomicU64::new(1)),
+            trace_ids: AtomicU64::new(1),
+            clock: TraceClock::new(),
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Turns tracing on or off; takes effect on the next query.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Sets the sampling knob: trace 1 in `n` queries (1 = every query).
+    pub fn set_sample_every(&self, n: u64) {
+        self.sample_every.store(n.max(1), Ordering::Relaxed);
+    }
+
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every.load(Ordering::Relaxed)
+    }
+
+    /// Per-query decision point. When tracing is disabled this is one
+    /// relaxed load; when enabled it also bumps the sample counter.
+    pub fn should_trace(&self) -> bool {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return false;
+        }
+        let n = self.sample_every.load(Ordering::Relaxed).max(1);
+        self.offered
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(n)
+    }
+
+    /// The clock all traces of this tracer are stamped against.
+    pub fn clock(&self) -> TraceClock {
+        self.clock
+    }
+
+    /// A builder for one query's trace, sharing this tracer's clock and
+    /// span-id sequence.
+    pub fn builder(&self, query: impl Into<String>) -> QueryTraceBuilder {
+        let trace_id = self.trace_ids.fetch_add(1, Ordering::Relaxed);
+        QueryTraceBuilder::new(
+            self.clock,
+            Arc::clone(&self.span_ids),
+            trace_id,
+            query.into(),
+        )
+    }
+
+    /// Retains a finished trace, evicting the oldest past capacity.
+    pub fn record(&self, trace: Arc<QueryTrace>) {
+        let mut ring = self.ring.lock().expect("tracer ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The retained traces, oldest first.
+    pub fn recent(&self) -> Vec<Arc<QueryTrace>> {
+        self.ring
+            .lock()
+            .expect("tracer ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Drains and returns the retained traces, oldest first.
+    pub fn drain(&self) -> Vec<Arc<QueryTrace>> {
+        self.ring
+            .lock()
+            .expect("tracer ring poisoned")
+            .drain(..)
+            .collect()
+    }
+
+    /// Number of retained traces.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("tracer ring poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_never_samples() {
+        let t = Tracer::new(4);
+        assert!(!t.is_enabled());
+        for _ in 0..100 {
+            assert!(!t.should_trace());
+        }
+    }
+
+    #[test]
+    fn sampling_traces_one_in_n() {
+        let t = Tracer::new(4);
+        t.set_enabled(true);
+        t.set_sample_every(3);
+        let hits = (0..9).filter(|_| t.should_trace()).count();
+        assert_eq!(hits, 3);
+        t.set_sample_every(1);
+        assert!((0..5).all(|_| t.should_trace()));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let t = Tracer::new(2);
+        for i in 0..3u64 {
+            let mut b = t.builder(format!("q{i}"));
+            let s = b.begin("query");
+            b.end(s);
+            t.record(Arc::new(b.finish()));
+        }
+        let kept = t.recent();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].query, "q1");
+        assert_eq!(kept[1].query, "q2");
+        // Trace ids are unique and increasing.
+        assert!(kept[0].trace_id < kept[1].trace_id);
+        assert_eq!(t.drain().len(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_threads() {
+        let t = Arc::new(Tracer::new(64));
+        t.set_enabled(true);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        let mut b = t.builder(format!("t{i}q{j}"));
+                        let s = b.begin("query");
+                        b.end(s);
+                        t.record(Arc::new(b.finish()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut ids: Vec<u64> = t
+            .recent()
+            .iter()
+            .flat_map(|tr| tr.phases.iter().map(|s| s.id))
+            .collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "span ids collided across threads");
+    }
+}

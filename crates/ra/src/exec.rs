@@ -46,6 +46,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use sgq_common::{ColId, FxHashMap, NodeId, RecVarId, Result, SgqError};
+use sgq_obs::{OpSpan, OpTraceBuilder, TraceClock};
 
 use crate::parallel::{self, TaskScheduler};
 use crate::plan::{plan, PhysOp, PhysPlan};
@@ -181,9 +182,10 @@ impl ExecContext {
     fn record(&mut self, rel: &Relation) -> Result<()> {
         let total = self.rows.fetch_add(rel.len(), Ordering::Relaxed) + rel.len();
         if self.max_rows > 0 && total > self.max_rows {
-            return Err(SgqError::Execution(format!(
-                "row budget exhausted ({total} rows)"
-            )));
+            return Err(SgqError::RowBudget {
+                rows: total,
+                budget: self.max_rows,
+            });
         }
         Ok(())
     }
@@ -266,9 +268,10 @@ impl Limits {
         let total = self.rows.fetch_add(rows, Ordering::Relaxed) + rows;
         if self.max_rows > 0 && total > self.max_rows {
             self.cancelled.store(true, Ordering::Relaxed);
-            return Err(SgqError::Execution(format!(
-                "row budget exhausted ({total} rows)"
-            )));
+            return Err(SgqError::RowBudget {
+                rows: total,
+                budget: self.max_rows,
+            });
         }
         Ok(())
     }
@@ -330,14 +333,17 @@ pub fn execute_plan(
     Interp {
         store,
         ctx,
-        actuals: None,
-        replanned: None,
+        ops: None,
     }
     .eval(p, None)
 }
 
 /// Per-node execution trace, indexed by [`PhysPlan::id`] — the "actual"
-/// columns of `EXPLAIN ANALYZE`.
+/// columns of `EXPLAIN ANALYZE` plus the operator spans the same
+/// recording produced. `actuals[id]` always equals the sum of
+/// `spans[..].rows` over that node's spans (spans past
+/// [`sgq_obs::OP_SPAN_CAP`] stop being stored but keep counting), so the
+/// explain path and the tracer can never disagree.
 #[derive(Debug, Clone)]
 pub struct ExecTrace {
     /// Total rows each operator produced (summed over fixpoint rounds).
@@ -345,28 +351,45 @@ pub struct ExecTrace {
     /// Whether each operator was re-planned mid-flight (its hash-join
     /// build side flipped after the estimate proved wrong).
     pub replanned: Vec<bool>,
+    /// One span per operator evaluation: kind, est vs actual rows,
+    /// inclusive and self time (a fixpoint's `RecRef` gets one span per
+    /// round, carrying that round's delta).
+    pub spans: Vec<OpSpan>,
 }
 
 /// [`execute_plan`] with per-node tracing: returns the result and an
-/// [`ExecTrace`] of per-operator actual rows and re-plan flags.
+/// [`ExecTrace`] of per-operator spans, actual rows and re-plan flags.
 pub fn execute_plan_traced(
     p: &PhysPlan,
     store: &crate::storage::RelStore,
     ctx: &mut ExecContext,
 ) -> Result<(Relation, ExecTrace)> {
-    let nodes = p.node_count();
+    execute_plan_traced_at(p, store, ctx, TraceClock::new())
+}
+
+/// [`execute_plan_traced`] with an explicit trace clock, so the service
+/// can stamp operator spans on the same timeline as its phase spans.
+pub fn execute_plan_traced_at(
+    p: &PhysPlan,
+    store: &crate::storage::RelStore,
+    ctx: &mut ExecContext,
+    clock: TraceClock,
+) -> Result<(Relation, ExecTrace)> {
     let mut interp = Interp {
         store,
         ctx,
-        actuals: Some(vec![0; nodes]),
-        replanned: Some(vec![false; nodes]),
+        ops: Some(OpTraceBuilder::new(p.node_count(), clock)),
     };
     let rel = interp.eval(p, None)?;
-    let trace = ExecTrace {
-        actuals: interp.actuals.take().expect("tracing was enabled"),
-        replanned: interp.replanned.take().expect("tracing was enabled"),
-    };
-    Ok((rel, trace))
+    let (actuals, replanned, spans) = interp.ops.take().expect("tracing was enabled").finish();
+    Ok((
+        rel,
+        ExecTrace {
+            actuals,
+            replanned,
+            spans,
+        },
+    ))
 }
 
 /// Intermediates cached across the rounds of one fixpoint, keyed by the
@@ -389,8 +412,9 @@ type StepCache = FxHashMap<u32, Cached>;
 struct Interp<'a> {
     store: &'a crate::storage::RelStore,
     ctx: &'a mut ExecContext,
-    actuals: Option<Vec<usize>>,
-    replanned: Option<Vec<bool>>,
+    /// Per-operator span recorder; `None` on the untraced path, where
+    /// the only cost left is this `Option` check per operator.
+    ops: Option<OpTraceBuilder>,
 }
 
 impl Interp<'_> {
@@ -403,10 +427,20 @@ impl Interp<'_> {
             .any(|&l| self.store.node_set(l).binary_search(&node).is_ok())
     }
 
-    fn trace(&mut self, p: &PhysPlan, rel: &Relation) {
-        if let Some(a) = self.actuals.as_mut() {
-            a[p.id as usize] += rel.len();
+    /// Evaluates one operator, recording a span (timing + rows) around
+    /// it when tracing. Recording is two `Vec` pushes and an `Instant`
+    /// read in the single-threaded interpreter — no locks or atomics.
+    fn run_op(&mut self, p: &PhysPlan, cache: Option<&mut StepCache>) -> Result<Relation> {
+        let Some(start) = self.ops.as_mut().map(OpTraceBuilder::enter) else {
+            return self.eval_op(p, cache);
+        };
+        let result = self.eval_op(p, cache);
+        let ops = self.ops.as_mut().expect("tracing was enabled");
+        match &result {
+            Ok(out) => ops.exit(p.id, p.op.kind(), p.est.rows, out.len(), start),
+            Err(_) => ops.exit_err(start),
         }
+        result
     }
 
     /// Feeds a static node's observed cardinality into the store's
@@ -424,8 +458,8 @@ impl Interp<'_> {
     /// `EXPLAIN ANALYZE` when tracing).
     fn mark_replanned(&mut self, p: &PhysPlan) {
         self.ctx.replans += 1;
-        if let Some(r) = self.replanned.as_mut() {
-            r[p.id as usize] = true;
+        if let Some(ops) = self.ops.as_mut() {
+            ops.mark_replanned(p.id);
         }
     }
 
@@ -446,15 +480,13 @@ impl Interp<'_> {
                     // entirely by probing the cached index by reference.
                     return Ok(r.clone());
                 }
-                let out = self.eval_op(p, None)?;
+                let out = self.run_op(p, None)?;
                 c.insert(p.id, Cached::Rel(out.clone()));
-                self.trace(p, &out);
                 self.observe(p, &out);
                 return Ok(out);
             }
         }
-        let out = self.eval_op(p, cache)?;
-        self.trace(p, &out);
+        let out = self.run_op(p, cache)?;
         self.observe(p, &out);
         Ok(out)
     }
@@ -1518,7 +1550,7 @@ mod tests {
         ctx.max_rows = budget;
         let err = execute(&t, &store, &mut ctx).unwrap_err();
         assert!(
-            matches!(err, SgqError::Execution(ref m) if m.contains("row budget")),
+            matches!(err, SgqError::RowBudget { budget: 5, .. }),
             "{err}"
         );
         // One batch here is an input scan (4 rows) or the join output
@@ -1534,7 +1566,7 @@ mod tests {
         let mut ctx = ExecContext::new();
         ctx.max_rows = 10;
         let err = execute(&t, &store, &mut ctx).unwrap_err();
-        assert!(matches!(err, SgqError::Execution(_)));
+        assert!(err.is_row_budget());
         assert!(ctx.rows_materialized() <= 10 + 16);
 
         // And a sufficient budget still succeeds, counting exactly the
@@ -1636,6 +1668,48 @@ mod tests {
         let r_ref = execute_plan(&p_ref, &store, &mut ctx_ref).unwrap();
         assert_eq!(ctx_ref.replans, 0);
         assert_eq!(r, r_ref);
+    }
+
+    #[test]
+    fn traced_spans_agree_with_actuals_bit_for_bit() {
+        // The explain path and the tracer share one recording: summing
+        // span rows per node reproduces `actuals` exactly, fixpoint
+        // rounds included, and every span names a real operator kind.
+        let (db, store) = store();
+        let s = &store.symbols;
+        let f = closure_fixpoint(
+            s.recvar("X"),
+            scan(&db, &store, "isLocatedIn", "x", "y"),
+            s.col("x"),
+            s.col("y"),
+            s.col("m"),
+        );
+        let p = plan(&f, &store).unwrap();
+        let mut ctx = ExecContext::new();
+        let (r, trace) = execute_plan_traced(&p, &store, &mut ctx).unwrap();
+        assert!(!r.is_empty());
+        assert!(ctx.fixpoint_rounds >= 2, "closure iterates");
+        assert_eq!(trace.actuals.len(), p.node_count());
+        assert!(!trace.spans.is_empty());
+        let mut per_node = vec![0usize; p.node_count()];
+        for span in &trace.spans {
+            per_node[span.node as usize] += span.rows;
+            assert!(!span.kind.is_empty());
+            assert!(span.self_us <= span.dur_us);
+        }
+        assert_eq!(per_node, trace.actuals);
+        // The root span's inclusive time bounds every other span.
+        let root = trace
+            .spans
+            .iter()
+            .find(|sp| sp.node == p.id)
+            .expect("root evaluated");
+        for span in &trace.spans {
+            assert!(root.start_us <= span.start_us && span.end_us() <= root.end_us());
+        }
+        // Untraced execution of the same plan is bit-identical.
+        let mut ctx2 = ExecContext::new();
+        assert_eq!(execute_plan(&p, &store, &mut ctx2).unwrap(), r);
     }
 
     #[test]

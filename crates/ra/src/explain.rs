@@ -85,9 +85,22 @@ pub fn explain_analyze_json(
     let p = plan(term, store)?;
     let mut ctx = ExecContext::new();
     let (rel, trace) = execute_plan_traced(&p, store, &mut ctx)?;
+    Ok((rel, analyze_json(&p, store, names, &trace)))
+}
+
+/// The JSON array of [`explain_analyze_json`] for an already-executed
+/// plan and its [`ExecTrace`] — what the service's per-query analyze
+/// option renders from the production execution instead of re-running
+/// the query through the term-level path.
+pub fn analyze_json(
+    p: &PhysPlan,
+    store: &RelStore,
+    names: &dyn PlanNames,
+    trace: &ExecTrace,
+) -> JsonValue {
     let mut nodes = Vec::new();
-    collect_json(&p, store, names, 0, &trace, &mut nodes);
-    Ok((rel, JsonValue::Arr(nodes)))
+    collect_json(p, store, names, 0, trace, &mut nodes);
+    JsonValue::Arr(nodes)
 }
 
 fn collect_json(

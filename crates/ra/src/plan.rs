@@ -231,6 +231,31 @@ pub enum PhysOp {
     },
 }
 
+impl PhysOp {
+    /// The operator kind as a static string — the key the observability
+    /// layer profiles by (`sgq_obs::OpKindProfile`) and the name an
+    /// exported operator span carries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhysOp::EdgeScan { .. } => "EdgeScan",
+            PhysOp::FilteredEdgeScan { .. } => "FilteredEdgeScan",
+            PhysOp::NodeScan { .. } => "NodeScan",
+            PhysOp::MergeJoin { .. } => "MergeJoin",
+            PhysOp::HashJoin { .. } => "HashJoin",
+            PhysOp::MergeSemiJoin { .. } => "MergeSemiJoin",
+            PhysOp::HashSemiJoin { .. } => "HashSemiJoin",
+            PhysOp::IndexJoin { .. } => "IndexJoin",
+            PhysOp::IndexSemiJoin { .. } => "IndexSemiJoin",
+            PhysOp::Union { .. } => "Union",
+            PhysOp::Project { .. } => "Project",
+            PhysOp::Select { .. } => "Select",
+            PhysOp::Rename { .. } => "Rename",
+            PhysOp::Fixpoint { .. } => "Fixpoint",
+            PhysOp::RecRef { .. } => "RecRef",
+        }
+    }
+}
+
 impl PhysPlan {
     /// Child plans, for rendering and cost splitting.
     pub fn children(&self) -> Vec<&PhysPlan> {

@@ -20,8 +20,19 @@
 //! * [`service`] — [`Service`] / [`Session`]: submit a query string or
 //!   parsed expression with per-call options (backend, timeout, row
 //!   budget, cache bypass), get rows plus execution stats,
-//! * [`metrics`] — [`MetricsRegistry`]: QPS, p50/p95/p99 latency and
-//!   cache hit rate, exported as text or JSON.
+//! * [`metrics`] — [`MetricsRegistry`]: QPS, p50/p95/p99 latency, cache
+//!   hit rate, per-error-kind counts and per-operator-kind profiles,
+//!   exported as text or JSON.
+//!
+//! Observability rides on [`sgq_obs`]: a per-service
+//! [`Tracer`](sgq_obs::Tracer) samples query lifecycles into phase +
+//! operator spans ([`ServiceConfig::tracing`],
+//! [`Session::recent_traces`], Chrome-trace export via
+//! [`sgq_obs::chrome_traces_json`]), a
+//! [`SlowQueryLog`](sgq_obs::SlowQueryLog) captures over-threshold
+//! queries ([`Session::drain_slow_queries`]), and
+//! [`QueryOptions::analyze`] returns the structured `EXPLAIN ANALYZE` of
+//! the production execution.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -72,4 +83,7 @@ const _: () = {
     assert_send_sync::<MetricsRegistry>();
     assert_send_sync::<Service>();
     assert_send_sync::<Session>();
+    assert_send_sync::<sgq_obs::Tracer>();
+    assert_send_sync::<sgq_obs::SlowQueryLog>();
+    assert_send_sync::<sgq_obs::QueryTrace>();
 };

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use sgq_common::json::JsonValue;
+use sgq_obs::{OpKindProfile, OpSpan, ProfileRegistry};
 
 use crate::cache::CacheStats;
 
@@ -90,6 +91,7 @@ pub struct MetricsRegistry {
     started: Instant,
     completed: AtomicU64,
     errors: AtomicU64,
+    row_budget_errors: AtomicU64,
     timeouts: AtomicU64,
     rejected: AtomicU64,
     total_micros: AtomicU64,
@@ -98,6 +100,8 @@ pub struct MetricsRegistry {
     replans: AtomicU64,
     feedback_hits: AtomicU64,
     latency: LatencyHistogram,
+    /// Always-on per-operator-kind profile, fed by traced executions.
+    ops: ProfileRegistry,
 }
 
 impl Default for MetricsRegistry {
@@ -113,6 +117,7 @@ impl MetricsRegistry {
             started: Instant::now(),
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            row_budget_errors: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             total_micros: AtomicU64::new(0),
@@ -121,6 +126,7 @@ impl MetricsRegistry {
             replans: AtomicU64::new(0),
             feedback_hits: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
+            ops: ProfileRegistry::new(),
         }
     }
 
@@ -131,12 +137,20 @@ impl MetricsRegistry {
         self.latency.record(micros);
     }
 
-    /// Records a failed query (timeouts counted separately).
+    /// Records a failed query by kind: timeouts and admission
+    /// rejections keep their dedicated counters; everything else counts
+    /// into `errors`, with row-budget breaches additionally tallied so
+    /// snapshots can break the total down.
     pub fn record_error(&self, err: &sgq_common::SgqError) {
         if err.is_timeout() {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
+        } else if err.is_busy() {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
         } else {
             self.errors.fetch_add(1, Ordering::Relaxed);
+            if err.is_row_budget() {
+                self.row_budget_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -167,14 +181,24 @@ impl MetricsRegistry {
         self.feedback_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one traced execution's operator spans into the always-on
+    /// per-operator-kind profile (one lock per traced query).
+    pub fn record_ops(&self, spans: &[OpSpan]) {
+        self.ops.record(spans);
+    }
+
     /// Snapshots every counter, folding in the plan cache's stats.
     pub fn snapshot(&self, cache: CacheStats) -> MetricsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let elapsed_s = self.started.elapsed().as_secs_f64().max(1e-9);
         let to_ms = |micros: Option<f64>| micros.map_or(0.0, |us| us / 1e3);
+        let errors = self.errors.load(Ordering::Relaxed);
+        let row_budget = self.row_budget_errors.load(Ordering::Relaxed);
         MetricsSnapshot {
             completed,
-            errors: self.errors.load(Ordering::Relaxed),
+            errors,
+            errors_row_budget: row_budget,
+            errors_other: errors.saturating_sub(row_budget),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             elapsed_s,
@@ -191,6 +215,7 @@ impl MetricsRegistry {
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
             feedback_hits: self.feedback_hits.load(Ordering::Relaxed),
+            op_profiles: self.ops.snapshot(),
             cache,
         }
     }
@@ -203,9 +228,13 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Failed queries (excluding timeouts and rejections).
     pub errors: u64,
+    /// Of `errors`: row/pair-budget breaches.
+    pub errors_row_budget: u64,
+    /// Of `errors`: everything that is not a budget breach.
+    pub errors_other: u64,
     /// Queries that exceeded their deadline.
     pub timeouts: u64,
-    /// Queries rejected at admission (queue full).
+    /// Queries rejected at admission (queue full / busy).
     pub rejected: u64,
     /// Seconds since the registry was created.
     pub elapsed_s: f64,
@@ -228,6 +257,9 @@ pub struct MetricsSnapshot {
     pub replans: u64,
     /// Prepares whose plan drew an estimate from the feedback memo.
     pub feedback_hits: u64,
+    /// Per-operator-kind runtime totals from traced executions, ordered
+    /// by self time (descending).
+    pub op_profiles: Vec<OpKindProfile>,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -238,6 +270,12 @@ impl MetricsSnapshot {
         JsonValue::obj([
             ("completed", JsonValue::Int(self.completed)),
             ("errors", JsonValue::Int(self.errors)),
+            // The breakdown by kind: timeout and busy map onto their
+            // dedicated counters, the rest splits `errors`.
+            ("errors_timeout", JsonValue::Int(self.timeouts)),
+            ("errors_busy", JsonValue::Int(self.rejected)),
+            ("errors_row_budget", JsonValue::Int(self.errors_row_budget)),
+            ("errors_other", JsonValue::Int(self.errors_other)),
             ("timeouts", JsonValue::Int(self.timeouts)),
             ("rejected", JsonValue::Int(self.rejected)),
             ("elapsed_s", JsonValue::Num(self.elapsed_s)),
@@ -250,6 +288,22 @@ impl MetricsSnapshot {
             ("parallel_queries", JsonValue::Int(self.parallel_queries)),
             ("replans", JsonValue::Int(self.replans)),
             ("feedback_hits", JsonValue::Int(self.feedback_hits)),
+            (
+                "op_profiles",
+                JsonValue::Arr(
+                    self.op_profiles
+                        .iter()
+                        .map(|p| {
+                            JsonValue::obj([
+                                ("kind", JsonValue::str(p.kind.clone())),
+                                ("evals", JsonValue::Int(p.evals)),
+                                ("rows", JsonValue::Int(p.rows)),
+                                ("self_us", JsonValue::Int(p.self_us)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("cache_hits", JsonValue::Int(self.cache.hits)),
             ("cache_misses", JsonValue::Int(self.cache.misses)),
             ("cache_evictions", JsonValue::Int(self.cache.evictions)),
@@ -268,8 +322,16 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "queries: {} ok, {} errors, {} timeouts, {} rejected ({:.1} qps over {:.2}s)",
-            self.completed, self.errors, self.timeouts, self.rejected, self.qps, self.elapsed_s
+            "queries: {} ok, {} errors ({} row-budget, {} other), {} timeouts, \
+             {} rejected ({:.1} qps over {:.2}s)",
+            self.completed,
+            self.errors,
+            self.errors_row_budget,
+            self.errors_other,
+            self.timeouts,
+            self.rejected,
+            self.qps,
+            self.elapsed_s
         )?;
         writeln!(
             f,
@@ -286,6 +348,21 @@ impl std::fmt::Display for MetricsSnapshot {
             "feedback: {} memo-informed prepares, {} stale plans re-prepared",
             self.feedback_hits, self.replans
         )?;
+        if !self.op_profiles.is_empty() {
+            write!(f, "operators (self time):")?;
+            for (i, p) in self.op_profiles.iter().enumerate() {
+                write!(
+                    f,
+                    "{} {} {:.3} ms / {} evals / {} rows",
+                    if i == 0 { "" } else { ";" },
+                    p.kind,
+                    p.self_us as f64 / 1e3,
+                    p.evals,
+                    p.rows
+                )?;
+            }
+            writeln!(f)?;
+        }
         write!(
             f,
             "plan cache: {} hits / {} misses ({:.0}% hit rate), {} entries, {} evicted, {} invalidated",
@@ -410,6 +487,131 @@ mod tests {
         assert!(json.contains("\"parallel_queries\": 2"), "{json}");
         let text = s.to_string();
         assert!(text.contains("2 queries ran parallel sections"), "{text}");
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_is_lossless() {
+        // 8 threads hammer the histogram; every observation must land:
+        // the total equals the recorded count exactly (no lost updates).
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        // Spread across buckets, deterministic per thread.
+                        h.record(1 + (t * per_thread + i) % 5_000);
+                    }
+                })
+            })
+            .collect();
+        for hd in handles {
+            hd.join().unwrap();
+        }
+        assert_eq!(h.total(), threads * per_thread);
+        // Quantiles are monotone in q over a dense grid.
+        let grid: Vec<f64> = (1..=100).map(|i| i as f64 / 100.0).collect();
+        let qs: Vec<f64> = grid.iter().map(|&q| h.quantile(q).unwrap()).collect();
+        assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "quantiles not monotone: {qs:?}"
+        );
+        // And bracket the observed domain.
+        assert!(qs[0] >= 1.0 && *qs.last().unwrap() <= 6_000.0, "{qs:?}");
+    }
+
+    #[test]
+    fn bucket_edge_values_round_trip() {
+        // A value sitting exactly on a bucket's (inclusive) upper bound
+        // must be reported back as that same bound by the quantile.
+        let bounds: Vec<u64> = LatencyHistogram::new().bounds;
+        for &edge in bounds.iter().step_by(7) {
+            let h = LatencyHistogram::new();
+            h.record(edge);
+            assert_eq!(h.total(), 1);
+            assert_eq!(
+                h.quantile(1.0),
+                Some(edge as f64),
+                "edge {edge} did not round-trip"
+            );
+            assert_eq!(h.quantile(0.001), Some(edge as f64));
+        }
+    }
+
+    #[test]
+    fn error_kinds_break_down_in_text_and_json() {
+        let m = MetricsRegistry::new();
+        m.record_error(&sgq_common::SgqError::Timeout { limit_ms: 5 });
+        m.record_error(&sgq_common::SgqError::Busy { capacity: 4 });
+        m.record_error(&sgq_common::SgqError::RowBudget {
+            rows: 11,
+            budget: 10,
+        });
+        m.record_error(&sgq_common::SgqError::RowBudget {
+            rows: 21,
+            budget: 20,
+        });
+        m.record_error(&sgq_common::SgqError::Execution("boom".into()));
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.errors, 3);
+        assert_eq!(s.errors_row_budget, 2);
+        assert_eq!(s.errors_other, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"errors_timeout\": 1"), "{json}");
+        assert!(json.contains("\"errors_busy\": 1"), "{json}");
+        assert!(json.contains("\"errors_row_budget\": 2"), "{json}");
+        assert!(json.contains("\"errors_other\": 1"), "{json}");
+        let text = s.to_string();
+        assert!(text.contains("3 errors (2 row-budget, 1 other)"), "{text}");
+    }
+
+    #[test]
+    fn op_profiles_merge_into_snapshot_text_and_json() {
+        let m = MetricsRegistry::new();
+        m.record_ops(&[
+            sgq_obs::OpSpan {
+                node: 0,
+                kind: "HashJoin",
+                start_us: 0,
+                dur_us: 120,
+                self_us: 100,
+                est_rows: 8.0,
+                rows: 16,
+            },
+            sgq_obs::OpSpan {
+                node: 1,
+                kind: "EdgeScan",
+                start_us: 0,
+                dur_us: 20,
+                self_us: 20,
+                est_rows: 4.0,
+                rows: 4,
+            },
+        ]);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.op_profiles.len(), 2);
+        assert_eq!(s.op_profiles[0].kind, "HashJoin", "self-time order");
+        let json = s.to_json();
+        assert!(
+            json.contains(
+                "\"op_profiles\": [{\"kind\": \"HashJoin\", \"evals\": 1, \
+                 \"rows\": 16, \"self_us\": 100}"
+            ),
+            "{json}"
+        );
+        let text = s.to_string();
+        assert!(
+            text.contains("operators (self time): HashJoin 0.100 ms / 1 evals / 16 rows"),
+            "{text}"
+        );
+        // An empty registry renders no operator section at all.
+        let empty = MetricsRegistry::new().snapshot(CacheStats::default());
+        assert!(!empty.to_string().contains("operators"), "{empty}");
+        assert!(empty.to_json().contains("\"op_profiles\": []"));
     }
 
     #[test]

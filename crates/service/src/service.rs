@@ -22,7 +22,8 @@ use sgq_common::{Result, SgqError};
 use sgq_core::pipeline::RewriteOptions;
 use sgq_engine::GraphEngine;
 use sgq_graph::{GraphDatabase, GraphSchema};
-use sgq_ra::exec::ExecContext;
+use sgq_obs::{QueryTrace, SlowQueryLog, TagValue, Tracer};
+use sgq_ra::exec::{ExecContext, ExecTrace};
 use sgq_ra::{RelStore, TaskScheduler};
 
 use crate::cache::{schema_fingerprint, CacheKey, CacheOutcome, PlanCache};
@@ -74,6 +75,19 @@ pub struct ServiceConfig {
     pub replan_factor: f64,
     /// Rewrite switches used by [`Approach::Schema`] statements.
     pub rewrite: RewriteOptions,
+    /// Start with query tracing enabled (flip at runtime via
+    /// [`Service::set_tracing`]). Disabled tracing costs one relaxed
+    /// atomic load per query.
+    pub tracing: bool,
+    /// Trace 1 in N queries when tracing is enabled (1 = every query).
+    pub trace_sample_every: u64,
+    /// Traces retained by the tracer's ring buffer.
+    pub trace_ring_capacity: usize,
+    /// Slow-query threshold in milliseconds: a query slower than this
+    /// lands in the slow-query log regardless of sampling (0 disables).
+    pub slow_query_ms: u64,
+    /// Traces retained by the slow-query log's ring buffer.
+    pub slow_query_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -95,6 +109,11 @@ impl Default for ServiceConfig {
             cache_staleness_factor: CACHE_STALENESS_FACTOR,
             replan_factor: sgq_ra::exec::REPLAN_FACTOR,
             rewrite: RewriteOptions::default(),
+            tracing: false,
+            trace_sample_every: 1,
+            trace_ring_capacity: 64,
+            slow_query_ms: 0,
+            slow_query_capacity: 32,
         }
     }
 }
@@ -126,6 +145,11 @@ pub struct QueryOptions {
     pub dop: Option<usize>,
     /// Consult/populate the plan cache (`false` re-prepares every call).
     pub use_cache: bool,
+    /// Trace this query's execution and return the structured
+    /// `EXPLAIN ANALYZE` node array ([`QueryResponse::analyze_json`]) —
+    /// rendered from the *production* execution, not a re-run.
+    /// Relational backend only (the graph backend has no plan nodes).
+    pub analyze: bool,
 }
 
 impl Default for QueryOptions {
@@ -137,6 +161,7 @@ impl Default for QueryOptions {
             max_rows: None,
             dop: None,
             use_cache: true,
+            analyze: false,
         }
     }
 }
@@ -168,6 +193,10 @@ pub struct QueryResponse {
     pub columns: Vec<String>,
     /// Execution statistics.
     pub stats: QueryStats,
+    /// With [`QueryOptions::analyze`]: the structured `EXPLAIN ANALYZE`
+    /// JSON array (one object per plan node, pre-order), rendered from
+    /// this very execution's trace. `None` otherwise.
+    pub analyze_json: Option<String>,
 }
 
 /// Shared immutable service state (everything a worker job needs).
@@ -184,6 +213,10 @@ struct Core {
     schema_fp: u64,
     schema_version: AtomicU64,
     config: ServiceConfig,
+    /// Query-lifecycle tracer (phase + operator spans, ring buffer).
+    tracer: Tracer,
+    /// Ring of traces for queries over the latency threshold.
+    slow_log: SlowQueryLog,
     /// Morsel scheduler shared by every parallel query (lazily spawned
     /// on the first `dop > 1` call, sized to `max_dop` so intra-query
     /// threads stay bounded regardless of concurrent queries).
@@ -235,6 +268,13 @@ impl Service {
     ) -> Self {
         let schema_fp = schema_fingerprint(&schema);
         let pool = Arc::new(WorkerPool::new(config.workers, config.queue_capacity));
+        let tracer = Tracer::new(config.trace_ring_capacity);
+        tracer.set_enabled(config.tracing);
+        tracer.set_sample_every(config.trace_sample_every);
+        let slow_log = SlowQueryLog::new(
+            config.slow_query_ms.saturating_mul(1_000),
+            config.slow_query_capacity,
+        );
         let core = Arc::new(Core {
             schema,
             db,
@@ -244,6 +284,8 @@ impl Service {
             schema_fp,
             schema_version: AtomicU64::new(0),
             config,
+            tracer,
+            slow_log,
             exec_scheduler: OnceLock::new(),
         });
         Service { core, pool }
@@ -293,6 +335,31 @@ impl Service {
         self.core.cache.invalidate_all();
         self.core.store.feedback.clear();
         v
+    }
+
+    /// The query-lifecycle tracer: toggle, sampling knob and the ring of
+    /// recent traces.
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
+    }
+
+    /// Enables or disables query tracing at runtime (next query onward).
+    pub fn set_tracing(&self, on: bool) {
+        self.core.tracer.set_enabled(on);
+    }
+
+    /// Reconfigures the slow-query threshold in milliseconds (0
+    /// disables the log).
+    pub fn set_slow_query_ms(&self, ms: u64) {
+        self.core
+            .slow_log
+            .set_threshold_us(ms.saturating_mul(1_000));
+    }
+
+    /// The slow-query log (µs-precision threshold control, drained via
+    /// [`Session::drain_slow_queries`]).
+    pub fn slow_query_log(&self) -> &SlowQueryLog {
+        &self.core.slow_log
     }
 
     /// Graceful shutdown: drains queued queries, joins the workers.
@@ -393,6 +460,19 @@ impl Session {
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics.snapshot(self.core.cache.stats())
     }
+
+    /// The traces retained by the tracer's ring buffer, oldest first
+    /// (populated when tracing is enabled or a query ran with
+    /// [`QueryOptions::analyze`]).
+    pub fn recent_traces(&self) -> Vec<Arc<QueryTrace>> {
+        self.core.tracer.recent()
+    }
+
+    /// Drains the slow-query log: traces of queries whose total latency
+    /// crossed [`ServiceConfig::slow_query_ms`], oldest first.
+    pub fn drain_slow_queries(&self) -> Vec<Arc<QueryTrace>> {
+        self.core.slow_log.drain()
+    }
 }
 
 /// Serves the statement from the plan cache or runs the front-end once.
@@ -469,7 +549,34 @@ fn plan_is_stale(core: &Core, prepared: &PreparedQuery) -> bool {
     }
 }
 
+/// Execution-side counters captured for the trace's `execute` span.
+#[derive(Clone, Copy, Default)]
+struct ExecCounters {
+    rows_materialized: usize,
+    morsels: usize,
+    hash_builds: usize,
+    step_cache_hits: usize,
+    fixpoint_rounds: usize,
+    replans: usize,
+}
+
+fn outcome_str(o: CacheOutcome) -> &'static str {
+    match o {
+        CacheOutcome::Hit => "hit",
+        CacheOutcome::Miss => "miss",
+        CacheOutcome::Bypass => "bypass",
+        CacheOutcome::Replan => "replan",
+    }
+}
+
 /// The worker-side execution of one query.
+///
+/// The phase timings are always measured (they feed [`QueryStats`]); a
+/// [`QueryTrace`] is only assembled when the tracer sampled this query,
+/// the caller asked for [`QueryOptions::analyze`], or the query turned
+/// out slower than the slow-query threshold. Errors and timeouts on the
+/// execution path are traced too — those are exactly the queries worth
+/// inspecting.
 fn run_query(
     core: &Core,
     expr: &PathExpr,
@@ -479,7 +586,10 @@ fn run_query(
     timeout_ms: u64,
 ) -> Result<QueryResponse> {
     let queue_micros = submitted.elapsed().as_micros() as u64;
+    let traced = opts.analyze || core.tracer.should_trace();
+    let cache_start = Instant::now();
     let (prepared, cache) = prepare_via_cache(core, expr, opts)?;
+    let cache_micros = cache_start.elapsed().as_micros() as u64;
     let prepare_micros = match cache {
         CacheOutcome::Hit => 0,
         CacheOutcome::Miss | CacheOutcome::Bypass | CacheOutcome::Replan => {
@@ -487,59 +597,149 @@ fn run_query(
         }
     };
     let max_rows = opts.max_rows.unwrap_or(core.config.default_max_rows);
+    let mut counters = ExecCounters::default();
+    let mut exec_trace: Option<ExecTrace> = None;
     let exec_start = Instant::now();
-    let (rows, rows_materialized) = match prepared.body() {
-        PreparedBody::Empty => (Vec::new(), 0),
-        PreparedBody::Graph(query) => {
-            // The deadline started at submission: hand the engine only
-            // what remains of the budget, rounded *up* to whole ms so a
-            // sub-millisecond remainder is not truncated into a spurious
-            // timeout.
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(SgqError::Timeout {
-                    limit_ms: timeout_ms,
-                });
+    let exec_result: Result<Vec<Vec<u32>>> = (|| {
+        match prepared.body() {
+            PreparedBody::Empty => Ok(Vec::new()),
+            PreparedBody::Graph(query) => {
+                // The deadline started at submission: hand the engine only
+                // what remains of the budget, rounded *up* to whole ms so a
+                // sub-millisecond remainder is not truncated into a spurious
+                // timeout.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(SgqError::Timeout {
+                        limit_ms: timeout_ms,
+                    });
+                }
+                let remaining_ms = remaining.as_nanos().div_ceil(1_000_000) as u64;
+                let mut engine = GraphEngine::with_timeout(&core.db, remaining_ms);
+                engine.set_max_pairs(max_rows);
+                // The engine only knows the remaining budget; report the
+                // configured timeout (matching the relational path).
+                let rows = engine.run_ucqt(query).map_err(|e| match e {
+                    SgqError::Timeout { .. } => SgqError::Timeout {
+                        limit_ms: timeout_ms,
+                    },
+                    other => other,
+                })?;
+                Ok(rows
+                    .into_iter()
+                    .map(|r| r.into_iter().map(|n| n.raw()).collect())
+                    .collect())
             }
-            let remaining_ms = remaining.as_nanos().div_ceil(1_000_000) as u64;
-            let mut engine = GraphEngine::with_timeout(&core.db, remaining_ms);
-            engine.set_max_pairs(max_rows);
-            // The engine only knows the remaining budget; report the
-            // configured timeout (matching the relational path).
-            let rows = engine.run_ucqt(query).map_err(|e| match e {
-                SgqError::Timeout { .. } => SgqError::Timeout {
-                    limit_ms: timeout_ms,
-                },
-                other => other,
-            })?;
-            let rows: Vec<Vec<u32>> = rows
-                .into_iter()
-                .map(|r| r.into_iter().map(|n| n.raw()).collect())
-                .collect();
-            (rows, 0)
-        }
-        PreparedBody::Relational(plan) => {
-            let mut ctx = ExecContext::new();
-            ctx.deadline = Some(deadline);
-            ctx.limit_ms = timeout_ms;
-            ctx.max_rows = max_rows;
-            ctx.replan_factor = core.config.replan_factor;
-            let dop = opts
-                .dop
-                .unwrap_or(core.config.default_dop)
-                .clamp(1, core.config.max_dop.max(1));
-            if dop > 1 {
-                ctx.dop = dop;
-                ctx.parallel_threshold = core.config.parallel_row_threshold;
-                ctx.morsel_rows = core.config.morsel_rows.max(1);
-                ctx.set_scheduler(core.scheduler());
+            PreparedBody::Relational(plan) => {
+                let mut ctx = ExecContext::new();
+                ctx.deadline = Some(deadline);
+                ctx.limit_ms = timeout_ms;
+                ctx.max_rows = max_rows;
+                ctx.replan_factor = core.config.replan_factor;
+                let dop = opts
+                    .dop
+                    .unwrap_or(core.config.default_dop)
+                    .clamp(1, core.config.max_dop.max(1));
+                if dop > 1 {
+                    ctx.dop = dop;
+                    ctx.parallel_threshold = core.config.parallel_row_threshold;
+                    ctx.morsel_rows = core.config.morsel_rows.max(1);
+                    ctx.set_scheduler(core.scheduler());
+                }
+                let ran = if traced {
+                    sgq_ra::exec::execute_plan_traced_at(
+                        plan,
+                        &core.store,
+                        &mut ctx,
+                        core.tracer.clock(),
+                    )
+                    .map(|(rel, trace)| {
+                        exec_trace = Some(trace);
+                        rel
+                    })
+                } else {
+                    sgq_ra::execute_plan(plan, &core.store, &mut ctx)
+                };
+                core.metrics.record_parallel(ctx.morsels_executed);
+                counters = ExecCounters {
+                    rows_materialized: ctx.rows_materialized(),
+                    morsels: ctx.morsels_executed,
+                    hash_builds: ctx.hash_builds,
+                    step_cache_hits: ctx.cache_hits,
+                    fixpoint_rounds: ctx.fixpoint_rounds,
+                    replans: ctx.replans,
+                };
+                let rel = ran?;
+                Ok(rel.rows().map(|r| r.to_vec()).collect())
             }
-            let rel = sgq_ra::execute_plan(plan, &core.store, &mut ctx)?;
-            core.metrics.record_parallel(ctx.morsels_executed);
-            let rows: Vec<Vec<u32>> = rel.rows().map(|r| r.to_vec()).collect();
-            (rows, ctx.rows_materialized())
         }
+    })();
+    let exec_micros = exec_start.elapsed().as_micros() as u64;
+    let total_micros = submitted.elapsed().as_micros() as u64;
+    let analyze_json = match (&exec_result, exec_trace.as_ref(), prepared.plan()) {
+        (Ok(_), Some(trace), Some(plan)) if opts.analyze => Some(
+            sgq_ra::explain::analyze_json(plan, &core.store, core.schema.as_ref(), trace).render(),
+        ),
+        _ => None,
     };
+    if traced || core.slow_log.is_slow(total_micros) {
+        let mut tb = core.tracer.builder(prepared.canonical());
+        if let Some(plan) = prepared.plan() {
+            tb.set_fingerprint(plan.fp);
+        }
+        let clock = core.tracer.clock();
+        let t_submit = clock.us_of(submitted);
+        let mut root_tags: Vec<(&'static str, TagValue)> = vec![
+            ("backend", format!("{:?}", prepared.backend()).into()),
+            ("cache", outcome_str(cache).into()),
+            ("replans", counters.replans.into()),
+        ];
+        if let Err(e) = &exec_result {
+            root_tags.push(("error", e.to_string().into()));
+        }
+        let root = tb.add_span("query", 0, t_submit, total_micros, root_tags);
+        tb.add_span("queue", root, t_submit, queue_micros, Vec::new());
+        let t_pickup = t_submit + queue_micros;
+        let cache_span = tb.add_span(
+            "cache",
+            root,
+            t_pickup,
+            cache_micros,
+            vec![("outcome", outcome_str(cache).into())],
+        );
+        if prepare_micros > 0 {
+            // Preparation ran inside the cache-lookup window; truncation
+            // to whole µs can leave it a hair wider, so clamp for clean
+            // nesting.
+            let dur = prepare_micros.min(cache_micros);
+            let start = t_pickup + cache_micros - dur;
+            tb.add_span("prepare", cache_span, start, dur, Vec::new());
+        }
+        let exec_tags: Vec<(&'static str, TagValue)> = vec![
+            ("rows_materialized", counters.rows_materialized.into()),
+            ("morsels", counters.morsels.into()),
+            ("hash_builds", counters.hash_builds.into()),
+            ("step_cache_hits", counters.step_cache_hits.into()),
+            ("fixpoint_rounds", counters.fixpoint_rounds.into()),
+        ];
+        tb.add_span(
+            "execute",
+            root,
+            clock.us_of(exec_start),
+            exec_micros,
+            exec_tags,
+        );
+        if let Some(trace) = exec_trace.take() {
+            tb.set_ops(trace.spans);
+        }
+        let trace = Arc::new(tb.finish());
+        core.metrics.record_ops(&trace.ops);
+        if traced {
+            core.tracer.record(Arc::clone(&trace));
+        }
+        core.slow_log.offer(total_micros, || trace);
+    }
+    let rows = exec_result?;
     Ok(QueryResponse {
         rows,
         columns: prepared.columns().to_vec(),
@@ -547,10 +747,11 @@ fn run_query(
             cache,
             queue_micros,
             prepare_micros,
-            exec_micros: exec_start.elapsed().as_micros() as u64,
-            total_micros: submitted.elapsed().as_micros() as u64,
-            rows_materialized,
+            exec_micros,
+            total_micros,
+            rows_materialized: counters.rows_materialized,
         },
+        analyze_json,
     })
 }
 
@@ -804,5 +1005,145 @@ mod tests {
             .execute("owns", &QueryOptions::default())
             .unwrap_err();
         assert!(matches!(err, SgqError::Execution(_)), "got {err}");
+    }
+
+    #[test]
+    fn analyze_option_renders_the_production_execution() {
+        let service = small_service(1);
+        let session = service.session();
+        let opts = QueryOptions {
+            analyze: true,
+            ..Default::default()
+        };
+        let resp = session.execute("livesIn/isLocatedIn+", &opts).unwrap();
+        let json = resp.analyze_json.as_deref().expect("analyze json");
+        let parsed = sgq_common::json::parse(json).unwrap();
+        let nodes = parsed.as_arr().expect("node array");
+        assert!(!nodes.is_empty());
+        for node in nodes {
+            assert!(node.get("op").and_then(|v| v.as_str()).is_some());
+            assert!(node.get("actual_rows").and_then(|v| v.as_u64()).is_some());
+        }
+        // The analyze run is also traced: its per-operator spans must
+        // agree with the analyze output row for row.
+        let traces = session.recent_traces();
+        let trace = traces.last().expect("analyze query traced");
+        for op in &trace.ops {
+            let actual = nodes
+                .iter()
+                .find(|n| n.get("id").and_then(|v| v.as_u64()) == Some(op.node as u64))
+                .and_then(|n| n.get("actual_rows"))
+                .and_then(|v| v.as_u64())
+                .expect("span node present in analyze output");
+            assert_eq!(op.rows as u64, actual, "node {} disagrees", op.node);
+        }
+        // Without the option the field stays empty.
+        let plain = session
+            .execute("livesIn/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        assert_eq!(plain.analyze_json, None);
+        // The graph backend has no plan nodes to analyze.
+        let graph = session
+            .execute(
+                "livesIn/isLocatedIn+",
+                &QueryOptions {
+                    backend: Backend::Graph,
+                    analyze: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(graph.analyze_json, None);
+        service.shutdown();
+    }
+
+    #[test]
+    fn traced_query_records_all_lifecycle_phases() {
+        let config = ServiceConfig {
+            tracing: true,
+            ..ServiceConfig::with_workers(1)
+        };
+        let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);
+        let session = service.session();
+        let resp = session
+            .execute("owns/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        let traces = session.recent_traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_ne!(trace.fingerprint, 0);
+        let phase = |name: &str| {
+            trace
+                .phases
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing {name} span in {trace:?}"))
+        };
+        let root = phase("query");
+        assert_eq!(root.parent, 0);
+        for name in ["queue", "cache", "execute"] {
+            assert_eq!(phase(name).parent, root.id, "{name} not under root");
+        }
+        // Cache miss: preparation ran, nested inside the cache lookup.
+        assert_eq!(phase("prepare").parent, phase("cache").id);
+        assert!(!trace.ops.is_empty(), "operator spans missing");
+        // Op spans are recorded on exit, so the root operator closes
+        // last; its output is the response row set and its span
+        // encloses every other op span.
+        let root_op = trace.ops.last().unwrap();
+        assert_eq!(root_op.rows, resp.rows.len());
+        let root_end = root_op.start_us + root_op.dur_us;
+        assert!(trace.ops.iter().all(|o| o.start_us + o.dur_us <= root_end));
+        assert!(trace.ops.iter().all(|o| o.start_us >= root_op.start_us));
+        // Traced operators feed the always-on per-kind profile registry.
+        let m = service.metrics();
+        assert!(!m.op_profiles.is_empty(), "{m}");
+        let profiled: u64 = m.op_profiles.iter().map(|p| p.evals).sum();
+        assert_eq!(profiled, trace.ops.len() as u64, "{m}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn slow_query_log_captures_over_threshold_queries() {
+        let service = small_service(1);
+        let session = service.session();
+        // Threshold of 1µs: everything is slow — even with tracing off
+        // the lifecycle spans are still captured for the log.
+        service.slow_query_log().set_threshold_us(1);
+        assert!(!service.tracer().is_enabled());
+        session
+            .execute("owns/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        let slow = session.drain_slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].phases.iter().any(|s| s.name == "execute"));
+        assert!(session.drain_slow_queries().is_empty());
+        assert!(session.recent_traces().is_empty(), "sampling stayed off");
+        // Raising the threshold stops capture.
+        service.slow_query_log().set_threshold_us(u64::MAX);
+        session
+            .execute("owns/isLocatedIn+", &QueryOptions::default())
+            .unwrap();
+        assert!(session.drain_slow_queries().is_empty());
+        service.shutdown();
+    }
+
+    #[test]
+    fn sampling_traces_a_subset_of_queries() {
+        let config = ServiceConfig {
+            tracing: true,
+            trace_sample_every: 3,
+            ..ServiceConfig::with_workers(1)
+        };
+        let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);
+        let session = service.session();
+        for _ in 0..9 {
+            session.execute("owns", &QueryOptions::default()).unwrap();
+        }
+        assert_eq!(session.recent_traces().len(), 3);
+        service.set_tracing(false);
+        session.execute("owns", &QueryOptions::default()).unwrap();
+        assert_eq!(session.recent_traces().len(), 3);
+        service.shutdown();
     }
 }

@@ -52,6 +52,7 @@ pub use sgq_datasets as datasets;
 pub use sgq_engine as engine;
 pub use sgq_graph as graph;
 pub use sgq_harness as harness;
+pub use sgq_obs as obs;
 pub use sgq_query as query;
 pub use sgq_ra as ra;
 pub use sgq_service as service;
