@@ -127,6 +127,49 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // --- Physical storage layouts: the same label-filtered scan under
+    //     the per-label (fused hash filter), polymorphic (masked pass)
+    //     and denormalised (precomputed slice) stores. `likes` spans two
+    //     endpoint triples (Person→Post, Person→Comment), so the slice
+    //     hands out only the Post half without touching node tables —
+    //     it must plan strictly cheaper than the fused filter. ---
+    let post = db.node_label_id("Post").unwrap();
+    let likes_to_posts = RaTerm::semijoin(
+        scan(likes, w, y),
+        RaTerm::NodeScan {
+            labels: vec![post],
+            col: y,
+        },
+    );
+    let mut layout_reference: Option<sgq_ra::Relation> = None;
+    let mut layout_costs = Vec::new();
+    for kind in sgq_ra::LayoutKind::ALL {
+        let lstore = RelStore::load_with_layout(&db, kind);
+        let p = plan(&likes_to_posts, &lstore).unwrap();
+        println!(
+            "layout {kind}: likes[Post] root op {} (cost {:.0})",
+            p.op.kind(),
+            p.est.cost
+        );
+        layout_costs.push(p.est.cost);
+        let mut ctx = ExecContext::new();
+        let out = execute_plan(&p, &lstore, &mut ctx).unwrap();
+        match &layout_reference {
+            Some(r) => assert_eq!(r, &out, "layout {kind} diverged on likes[Post]"),
+            None => layout_reference = Some(out),
+        }
+        group.bench_function(format!("layout/{kind}/likes_to_posts"), |b| {
+            b.iter(|| {
+                let mut ctx = ExecContext::new();
+                execute_plan(&p, &lstore, &mut ctx).unwrap()
+            })
+        });
+    }
+    assert!(
+        layout_costs[2] < layout_costs[0],
+        "the denormalised slice must plan cheaper than the fused filter: {layout_costs:?}"
+    );
+
     // --- Aligned self-join: merge (ablated) vs whatever the cost model
     //     picks with the indexes on. ---
     let aligned = RaTerm::join(scan(knows, x, y), scan(knows, x, z));

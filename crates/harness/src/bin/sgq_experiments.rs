@@ -10,7 +10,8 @@
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
 //!              | plans | smoke | serve | estimates | parallel | observe
-//!              (the last six run explicit only, not as part of `all`)
+//!              | layouts
+//!              (the last seven run explicit only, not as part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
@@ -35,6 +36,12 @@
 //! parses with every lifecycle phase covered, operator spans match
 //! `EXPLAIN ANALYZE` bit-for-bit, and the disabled tracer stays under
 //! a 5% overhead budget.
+//! `layouts` replays both catalogs under every physical storage layout
+//! (per-label, polymorphic, denormalised), asserts the results
+//! bit-identical, and tabulates per-layout timings and plan costs
+//! against the schema-driven advisor's pick; `layouts --smoke` is the
+//! CI gate at smoke scale additionally requiring at least one query to
+//! plan measurably cheaper under a non-default layout.
 //! ```
 
 use std::io::Write as _;
@@ -42,6 +49,7 @@ use std::io::Write as _;
 use sgq_core::RedundancyRule;
 use sgq_harness::estimates::{self, EstimatesConfig};
 use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
+use sgq_harness::layouts::{self, LayoutsConfig};
 use sgq_harness::observe::{self, ObserveConfig};
 use sgq_harness::parallel::{self, ParallelConfig};
 use sgq_harness::runner::Backend;
@@ -54,6 +62,7 @@ fn main() {
     let mut est_cfg = EstimatesConfig::default();
     let mut par_cfg = ParallelConfig::default();
     let mut obs_cfg = ObserveConfig::default();
+    let mut lay_cfg = LayoutsConfig::default();
     let mut smoke_variant = false;
     let mut out_path: Option<String> = None;
 
@@ -68,6 +77,7 @@ fn main() {
                 est_cfg.timeout_ms = ms;
                 par_cfg.timeout_ms = ms;
                 obs_cfg.timeout_ms = ms;
+                lay_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -83,6 +93,7 @@ fn main() {
                 cfg.yago_scale = args[i].parse().expect("--yago-scale takes a number");
                 est_cfg.yago_scale = cfg.yago_scale;
                 obs_cfg.yago_scale = cfg.yago_scale;
+                lay_cfg.yago_scale = cfg.yago_scale;
             }
             "--est-sf" => {
                 i += 1;
@@ -175,6 +186,13 @@ fn main() {
             println!("{}", observe::observe_smoke());
         } else {
             println!("{}", observe::observe(&obs_cfg));
+        }
+    }
+    if want_exact("layouts") {
+        if smoke_variant {
+            println!("{}", layouts::layouts_smoke());
+        } else {
+            println!("{}", layouts::layouts(&lay_cfg));
         }
     }
 

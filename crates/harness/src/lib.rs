@@ -12,6 +12,11 @@
 //! * [`mod@parallel`] — morsel-driven intra-query parallelism: DOP=N vs
 //!   serial execution over both catalogs, bit-identical results asserted
 //!   (CI-gated via `parallel --smoke`),
+//! * [`layouts`] — the physical-storage-layout ablation: every catalog
+//!   query planned and executed under the per-label, polymorphic and
+//!   denormalised layouts, bit-identical results asserted, timings and
+//!   plan costs tabulated against the schema-driven advisor's pick
+//!   (CI-gated via `layouts --smoke`),
 //! * [`observe`] — the observability stack end to end: traced catalog
 //!   replay, Chrome-trace export validation, span-vs-analyze agreement
 //!   and the disabled-tracer overhead budget (CI-gated via
@@ -24,6 +29,7 @@
 
 pub mod estimates;
 pub mod experiments;
+pub mod layouts;
 pub mod observe;
 pub mod parallel;
 pub mod records;

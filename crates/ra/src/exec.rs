@@ -98,6 +98,10 @@ pub struct ExecContext {
     pub parallel_threshold: usize,
     /// Morsel tasks executed by parallel sections.
     pub morsels_executed: usize,
+    /// Base-table scan operators evaluated (edge, node, filtered, masked
+    /// multi-label and denormalised scans alike) — the service buckets
+    /// this per storage layout (`scans_by_layout`).
+    pub scans: usize,
     /// Mid-flight re-planning trigger: when a hash-join build side
     /// materialises at least `replan_factor` × its estimated rows *and*
     /// more rows than the already-materialised probe side, the executor
@@ -130,6 +134,7 @@ impl Default for ExecContext {
             morsel_rows: parallel::MORSEL_ROWS,
             parallel_threshold: crate::cost::PARALLEL_ROW_THRESHOLD,
             morsels_executed: 0,
+            scans: 0,
             replan_factor: REPLAN_FACTOR,
             replans: 0,
             scheduler: None,
@@ -493,8 +498,47 @@ impl Interp<'_> {
 
     fn eval_op(&mut self, p: &PhysPlan, mut cache: Option<&mut StepCache>) -> Result<Relation> {
         let out = match &p.op {
-            PhysOp::EdgeScan { label } => self.store.edge_table(*label).into_cols(p.cols.clone()),
+            PhysOp::EdgeScan { label } => {
+                self.ctx.scans += 1;
+                self.store.edge_table(*label).into_cols(p.cols.clone())
+            }
+            PhysOp::MultiEdgeScan { labels } => {
+                self.ctx.scans += 1;
+                // One masked pass over the polymorphic table; a layout
+                // without it degrades to the union-all the operator
+                // replaced (same rows by construction).
+                let rel = match self.store.multi_edge_table(labels) {
+                    Some(rel) => rel,
+                    None => Relation::union_many(
+                        labels.iter().map(|&l| self.store.edge_table(l)).collect(),
+                    ),
+                };
+                rel.into_cols(p.cols.clone())
+            }
+            PhysOp::DenormEdgeScan {
+                label,
+                src_label,
+                tgt_label,
+            } => {
+                self.ctx.scans += 1;
+                // The precomputed endpoint-label slice; a layout without
+                // it filters the base table through the sorted node sets
+                // (same rows, just not free).
+                let rel = match self
+                    .store
+                    .filtered_edge_table(*label, *src_label, *tgt_label)
+                {
+                    Some(rel) => rel,
+                    None => crate::layout::filter_edges_by_sets(
+                        &self.store.edge_table(*label),
+                        src_label.map(|l| self.store.node_set(l)),
+                        tgt_label.map(|l| self.store.node_set(l)),
+                    ),
+                };
+                rel.into_cols(p.cols.clone())
+            }
             PhysOp::NodeScan { labels } => {
+                self.ctx.scans += 1;
                 if labels.is_empty() {
                     Relation::empty(p.cols.clone())
                 } else {
@@ -513,6 +557,7 @@ impl Interp<'_> {
                 key,
                 merge,
             } => {
+                self.ctx.scans += 1;
                 let edges = self.store.edge_table(*label).into_cols(p.cols.clone());
                 if *merge {
                     let frel = self.eval(filter, cache.as_deref_mut())?;

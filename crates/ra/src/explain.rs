@@ -45,8 +45,20 @@ pub fn explain_plan_with_dop(
     dop: usize,
 ) -> String {
     let mut out = String::new();
+    layout_header(store, &mut out);
     render(p, store, names, 0, &mut out, None, dop);
     out
+}
+
+/// Prepends the store's storage layout when it is not the default —
+/// per-label plans render exactly as before this line existed, while a
+/// polymorphic or denormalised store announces what its scans run
+/// against.
+fn layout_header(store: &RelStore, out: &mut String) {
+    let kind = store.layout_kind();
+    if kind != crate::layout::LayoutKind::PerLabel {
+        out.push_str(&format!("layout: {kind}\n"));
+    }
 }
 
 /// Executes the term and renders the physical plan with estimated *and*
@@ -65,6 +77,7 @@ pub fn explain_analyze(
     let mut ctx = ExecContext::new();
     let (rel, trace) = execute_plan_traced(&p, store, &mut ctx)?;
     let mut out = String::new();
+    layout_header(store, &mut out);
     render(&p, store, names, 0, &mut out, Some(&trace), 1);
     Ok((rel, out))
 }
@@ -176,6 +189,33 @@ fn describe(p: &PhysPlan, names: &dyn PlanNames, symbols: &SymbolTable) -> Strin
             if *merge { "merge" } else { "hash" },
             symbols.col_list(key, ", ")
         ),
+        PhysOp::MultiEdgeScan { labels } => {
+            let ls: Vec<String> = labels.iter().map(|&l| names.edge_name(l)).collect();
+            format!(
+                "Multi Seq Scan on {} ({}) [masked polymorphic pass]",
+                ls.join("∪"),
+                symbols.col_list(&p.cols, ", ")
+            )
+        }
+        PhysOp::DenormEdgeScan {
+            label,
+            src_label,
+            tgt_label,
+        } => {
+            let mut filters = String::new();
+            if let Some(l) = src_label {
+                filters.push_str(&format!(", src ∈ {}", names.node_name(*l)));
+            }
+            if let Some(l) = tgt_label {
+                filters.push_str(&format!(", tgt ∈ {}", names.node_name(*l)));
+            }
+            format!(
+                "Denorm Seq Scan on {} ({}{}) [precomputed slice]",
+                names.edge_name(*label),
+                symbols.col_list(&p.cols, ", "),
+                filters
+            )
+        }
         PhysOp::NodeScan { labels } => {
             let ls: Vec<String> = labels.iter().map(|&l| names.node_name(l)).collect();
             format!(

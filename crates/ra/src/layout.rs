@@ -1,0 +1,697 @@
+//! Pluggable physical storage layouts behind the [`StorageLayout`]
+//! trait, chosen per schema by the [`LayoutAdvisor`].
+//!
+//! The paper optimises queries *given* a schema; this module takes the
+//! schema one level further down and lets it pick the physical layout
+//! of the store itself. One logical graph maps onto three orthogonal
+//! layouts (ClickGraph's schema variations, and arXiv:2003.11580's
+//! schema-driven layout choice):
+//!
+//! * [`LayoutKind::PerLabel`] — the classic Fig. 11 representation: one
+//!   binary `(Sr, Tr)` table per edge label. The default, and the
+//!   baseline every other layout must stay bit-compatible with.
+//! * [`LayoutKind::Polymorphic`] — one global edge table holding the
+//!   distinct `(Sr, Tr)` pairs of *all* labels, with a per-row label
+//!   bitmask. A multi-label scan (`owns ∪ worksAt`) becomes a single
+//!   masked pass ([`StorageLayout::multi_edge_table`]) instead of a
+//!   union-all of per-label scans; single-label tables are sliced out
+//!   lazily on first access and cached.
+//! * [`LayoutKind::Denormalized`] — per-label tables *plus*
+//!   precomputed endpoint-label slices: for every observed
+//!   `(src label, le, tgt label)` triple and every one-sided group the
+//!   filtered table ([`StorageLayout::filtered_edge_table`]) is built
+//!   at load, so a node-label semi-join on a scan costs exactly its
+//!   output rows — the filter is free at scan time.
+//!
+//! All three layouts share the same adjacency indexes (per-label
+//! forward/reverse [`Csr`]s) and node tables: CSRs are indexes, not
+//! layout, so index joins behave identically everywhere and execution
+//! results are bit-identical by construction (pinned by the
+//! `ra_soundness` layout-equivalence property).
+//!
+//! The planner consults the capability probes
+//! ([`StorageLayout::supports_multi_scan`],
+//! [`StorageLayout::has_filtered_table`]) and only emits the
+//! layout-specific scan operators (`MultiEdgeScan`, `DenormEdgeScan`)
+//! when the loaded layout can serve them, so per-label plans — and the
+//! golden plans in tests — are unchanged by this refactor.
+
+use std::sync::{Arc, OnceLock};
+
+use sgq_common::{EdgeLabelId, FxHashMap, NodeLabelId};
+use sgq_graph::{Csr, GraphDatabase, GraphSchema, GraphStats};
+
+use crate::symbols::SymbolTable;
+use crate::table::Relation;
+
+/// The maximum number of edge labels the polymorphic layout's per-row
+/// `u64` label bitmask can distinguish. Schemas with more labels fall
+/// back to the per-label layout.
+pub const POLY_MAX_LABELS: usize = 64;
+
+/// Which physical storage layout a store was loaded with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayoutKind {
+    /// One `(Sr, Tr)` table per edge label (Fig. 11, the default).
+    PerLabel,
+    /// One global edge table with a per-row label bitmask.
+    Polymorphic,
+    /// Per-label tables plus precomputed endpoint-label slices.
+    Denormalized,
+}
+
+impl LayoutKind {
+    /// All layout kinds, in ablation-sweep order.
+    pub const ALL: [LayoutKind; 3] = [
+        LayoutKind::PerLabel,
+        LayoutKind::Polymorphic,
+        LayoutKind::Denormalized,
+    ];
+
+    /// Stable lowercase name, used in EXPLAIN, metrics and cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            LayoutKind::PerLabel => "per-label",
+            LayoutKind::Polymorphic => "polymorphic",
+            LayoutKind::Denormalized => "denormalized",
+        }
+    }
+
+    /// Parses [`LayoutKind::name`] back (for config files / CLI flags).
+    pub fn parse(s: &str) -> Option<LayoutKind> {
+        LayoutKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for LayoutKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The physical storage behind a [`crate::storage::RelStore`]: scans,
+/// CSR adjacency access and node-label sets, plus optional capabilities
+/// only some layouts provide. Object-safe so the store can hold any
+/// layout behind one `Box<dyn StorageLayout>`.
+pub trait StorageLayout: Send + Sync {
+    /// Which layout this is.
+    fn kind(&self) -> LayoutKind;
+
+    /// The edge table for `le` — an O(1) shared handle for eager
+    /// layouts, a cached slice for the polymorphic layout. Out-of-range
+    /// labels return a handle onto the shared empty buffer.
+    fn edge_table(&self, le: EdgeLabelId) -> Relation;
+
+    /// The node table for `l` (O(1) shared handle; empty out of range).
+    fn node_table(&self, l: NodeLabelId) -> Relation;
+
+    /// The sorted set of node ids carrying label `l`.
+    fn node_set(&self, l: NodeLabelId) -> &[u32];
+
+    /// The forward CSR for `le` (targets per source), if in range.
+    fn forward_csr(&self, le: EdgeLabelId) -> Option<&Csr>;
+
+    /// The reverse CSR for `le` (sources per target), if in range.
+    fn reverse_csr(&self, le: EdgeLabelId) -> Option<&Csr>;
+
+    /// Shared handle on the forward CSR for `le`.
+    fn forward_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>>;
+
+    /// Shared handle on the reverse CSR for `le`.
+    fn reverse_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>>;
+
+    /// Number of edge labels the layout stores tables for.
+    fn edge_table_count(&self) -> usize;
+
+    /// Number of node tables.
+    fn node_table_count(&self) -> usize;
+
+    /// Total distinct `(Sr, Tr)` rows of the single polymorphic table,
+    /// when the layout has one — the cost model's input for pricing a
+    /// masked multi-label pass against a union-all of per-label scans.
+    fn poly_rows(&self) -> Option<usize> {
+        None
+    }
+
+    /// Whether [`StorageLayout::multi_edge_table`] is served natively.
+    fn supports_multi_scan(&self) -> bool {
+        false
+    }
+
+    /// One canonical `(Sr, Tr)` relation holding the union of the given
+    /// edge labels' tables, produced in a single masked pass over the
+    /// polymorphic table. `None` when the layout cannot serve it (the
+    /// executor falls back to a union-all of per-label scans).
+    fn multi_edge_table(&self, labels: &[EdgeLabelId]) -> Option<Relation> {
+        let _ = labels;
+        None
+    }
+
+    /// Whether a precomputed endpoint-label slice exists for `le`
+    /// restricted to the given source/target node labels.
+    fn has_filtered_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> bool {
+        let _ = (le, src, tgt);
+        false
+    }
+
+    /// The precomputed endpoint-label slice of `le`'s table, when the
+    /// layout denormalises it: the rows whose source (resp. target)
+    /// carries the given label. `None` when not materialised (the
+    /// executor falls back to filtering through the node sets).
+    fn filtered_edge_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> Option<Relation> {
+        let _ = (le, src, tgt);
+        None
+    }
+}
+
+/// Schema-driven layout selection.
+///
+/// The rule is deliberately simple and fully static:
+///
+/// 1. **Denormalized** when any edge label admits two or more schema
+///    triples — overloaded labels (`isLocatedIn` spanning
+///    `CITY→REGION` and `REGION→COUNTRY`) are exactly the ones the
+///    rewriter decorates with node-label semi-joins, and the
+///    denormalised slices serve those filters at output cost.
+/// 2. **Polymorphic** when every label is single-triple but the schema
+///    has several edge labels (and at most [`POLY_MAX_LABELS`]):
+///    multi-label unions collapse into one masked pass.
+/// 3. **PerLabel** otherwise (including empty graphs, where nothing can
+///    be won).
+pub struct LayoutAdvisor;
+
+impl LayoutAdvisor {
+    /// Chooses a layout for `schema` over a graph with `stats`.
+    pub fn choose(schema: &GraphSchema, stats: &GraphStats) -> LayoutKind {
+        if stats.edge_count == 0 {
+            return LayoutKind::PerLabel;
+        }
+        let labels = schema.edge_label_count();
+        let overloaded = (0..labels).any(|i| {
+            schema
+                .triples_for_edge_label(EdgeLabelId::new(i as u32))
+                .len()
+                >= 2
+        });
+        if overloaded {
+            return LayoutKind::Denormalized;
+        }
+        if labels > 1 && labels <= POLY_MAX_LABELS {
+            return LayoutKind::Polymorphic;
+        }
+        LayoutKind::PerLabel
+    }
+}
+
+/// Builds a layout of the given kind from a database. The polymorphic
+/// layout degrades to per-label when the schema has more than
+/// [`POLY_MAX_LABELS`] edge labels (the bitmask cannot represent it).
+pub(crate) fn build_layout(db: &GraphDatabase, kind: LayoutKind) -> Box<dyn StorageLayout> {
+    match kind {
+        LayoutKind::PerLabel => Box::new(PerLabelLayout::load(db)),
+        LayoutKind::Polymorphic if db.edge_label_count() <= POLY_MAX_LABELS => {
+            Box::new(PolymorphicLayout::load(db))
+        }
+        LayoutKind::Polymorphic => Box::new(PerLabelLayout::load(db)),
+        LayoutKind::Denormalized => Box::new(DenormalizedLayout::load(db)),
+    }
+}
+
+/// Filters a canonical `(Sr, Tr)` table by sorted endpoint node sets —
+/// the executor's fallback when a `DenormEdgeScan` runs against a
+/// layout without the precomputed slice. Filtering preserves canonical
+/// order.
+pub(crate) fn filter_edges_by_sets(
+    table: &Relation,
+    src_set: Option<&[u32]>,
+    tgt_set: Option<&[u32]>,
+) -> Relation {
+    let mut data = Vec::new();
+    for row in table.rows() {
+        if src_set.is_some_and(|s| s.binary_search(&row[0]).is_err()) {
+            continue;
+        }
+        if tgt_set.is_some_and(|s| s.binary_search(&row[1]).is_err()) {
+            continue;
+        }
+        data.extend_from_slice(row);
+    }
+    Relation::from_flat_sorted(table.cols().to_vec(), data)
+}
+
+/// Node tables and per-label CSR indexes — identical across all
+/// layouts (indexes are not layout).
+struct NodeSide {
+    node_tables: Vec<Relation>,
+    edge_fwd: Vec<Arc<Csr>>,
+    edge_rev: Vec<Arc<Csr>>,
+}
+
+impl NodeSide {
+    fn load(db: &GraphDatabase) -> Self {
+        let node_count = db.node_count();
+        let mut edge_fwd = Vec::with_capacity(db.edge_label_count());
+        let mut edge_rev = Vec::with_capacity(db.edge_label_count());
+        for le_idx in 0..db.edge_label_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            let edges = db.edges(le);
+            edge_fwd.push(Arc::new(Csr::from_pairs_dedup(node_count, edges)));
+            let rev: Vec<_> = edges.iter().map(|&(s, t)| (t, s)).collect();
+            edge_rev.push(Arc::new(Csr::from_pairs_dedup(node_count, &rev)));
+        }
+        let mut node_tables = Vec::with_capacity(db.node_label_count());
+        for l_idx in 0..db.node_label_count() {
+            let l = NodeLabelId::new(l_idx as u32);
+            let rows = db.nodes_with_label(l).iter().map(|n| vec![n.raw()]);
+            node_tables.push(Relation::from_rows(vec![SymbolTable::SR], rows));
+        }
+        NodeSide {
+            node_tables,
+            edge_fwd,
+            edge_rev,
+        }
+    }
+}
+
+/// One canonical per-label edge table.
+fn label_table(db: &GraphDatabase, le: EdgeLabelId) -> Relation {
+    let pairs: Vec<(u32, u32)> = db
+        .edges(le)
+        .iter()
+        .map(|&(s, t)| (s.raw(), t.raw()))
+        .collect();
+    Relation::from_pairs(SymbolTable::SR, SymbolTable::TR, &pairs)
+}
+
+/// Shared delegation of the node-side accessors, which every layout
+/// implements identically over its [`NodeSide`].
+macro_rules! node_side_accessors {
+    ($field:ident) => {
+        fn node_table(&self, l: NodeLabelId) -> Relation {
+            self.$field
+                .node_tables
+                .get(l.index())
+                .cloned()
+                .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR]))
+        }
+
+        fn node_set(&self, l: NodeLabelId) -> &[u32] {
+            self.$field
+                .node_tables
+                .get(l.index())
+                .map(|t| t.flat())
+                .unwrap_or(&[])
+        }
+
+        fn forward_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
+            self.$field.edge_fwd.get(le.index()).map(Arc::as_ref)
+        }
+
+        fn reverse_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
+            self.$field.edge_rev.get(le.index()).map(Arc::as_ref)
+        }
+
+        fn forward_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
+            self.$field.edge_fwd.get(le.index()).cloned()
+        }
+
+        fn reverse_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
+            self.$field.edge_rev.get(le.index()).cloned()
+        }
+
+        fn node_table_count(&self) -> usize {
+            self.$field.node_tables.len()
+        }
+    };
+}
+
+/// The classic Fig. 11 layout: one eager table per edge label.
+struct PerLabelLayout {
+    edge_tables: Vec<Relation>,
+    nodes: NodeSide,
+}
+
+impl PerLabelLayout {
+    fn load(db: &GraphDatabase) -> Self {
+        let edge_tables = (0..db.edge_label_count())
+            .map(|i| label_table(db, EdgeLabelId::new(i as u32)))
+            .collect();
+        PerLabelLayout {
+            edge_tables,
+            nodes: NodeSide::load(db),
+        }
+    }
+}
+
+impl StorageLayout for PerLabelLayout {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::PerLabel
+    }
+
+    fn edge_table(&self, le: EdgeLabelId) -> Relation {
+        self.edge_tables
+            .get(le.index())
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
+    }
+
+    fn edge_table_count(&self) -> usize {
+        self.edge_tables.len()
+    }
+
+    node_side_accessors!(nodes);
+}
+
+/// One global edge table: all distinct `(Sr, Tr)` pairs across every
+/// label, sorted, with a parallel per-row `u64` label bitmask.
+/// Per-label tables are sliced out of the global table lazily and
+/// cached; multi-label scans are one masked pass.
+struct PolymorphicLayout {
+    /// Flat `(s, t)` pairs, canonical (sorted, distinct).
+    poly: Vec<u32>,
+    /// `masks[i]` has bit `le` set iff row `i` is an edge of label `le`.
+    masks: Vec<u64>,
+    /// Lazily sliced per-label tables, one slot per edge label.
+    label_cache: Vec<OnceLock<Relation>>,
+    label_count: usize,
+    nodes: NodeSide,
+}
+
+impl PolymorphicLayout {
+    fn load(db: &GraphDatabase) -> Self {
+        let label_count = db.edge_label_count();
+        assert!(label_count <= POLY_MAX_LABELS, "bitmask width exceeded");
+        // Collect (s, t, bit) across all labels, then sort and merge
+        // duplicate pairs by OR-ing their label bits.
+        let mut rows: Vec<(u32, u32, u64)> = Vec::with_capacity(db.edge_count());
+        for le_idx in 0..label_count {
+            let le = EdgeLabelId::new(le_idx as u32);
+            for &(s, t) in db.edges(le) {
+                rows.push((s.raw(), t.raw(), 1u64 << le_idx));
+            }
+        }
+        rows.sort_unstable_by_key(|&(s, t, _)| (s, t));
+        let mut poly = Vec::with_capacity(rows.len() * 2);
+        let mut masks: Vec<u64> = Vec::with_capacity(rows.len());
+        for (s, t, bit) in rows {
+            if poly.len() >= 2 && poly[poly.len() - 2] == s && poly[poly.len() - 1] == t {
+                *masks.last_mut().expect("mask per row") |= bit;
+            } else {
+                poly.push(s);
+                poly.push(t);
+                masks.push(bit);
+            }
+        }
+        PolymorphicLayout {
+            poly,
+            masks,
+            label_cache: (0..label_count).map(|_| OnceLock::new()).collect(),
+            label_count,
+            nodes: NodeSide::load(db),
+        }
+    }
+
+    /// One masked pass over the global table.
+    fn masked_scan(&self, mask: u64) -> Relation {
+        let mut data = Vec::new();
+        for (i, pair) in self.poly.chunks_exact(2).enumerate() {
+            if self.masks[i] & mask != 0 {
+                data.extend_from_slice(pair);
+            }
+        }
+        Relation::from_flat_sorted(vec![SymbolTable::SR, SymbolTable::TR], data)
+    }
+}
+
+impl StorageLayout for PolymorphicLayout {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::Polymorphic
+    }
+
+    fn edge_table(&self, le: EdgeLabelId) -> Relation {
+        match self.label_cache.get(le.index()) {
+            Some(slot) => slot
+                .get_or_init(|| self.masked_scan(1u64 << le.index()))
+                .clone(),
+            None => Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]),
+        }
+    }
+
+    fn edge_table_count(&self) -> usize {
+        self.label_count
+    }
+
+    fn poly_rows(&self) -> Option<usize> {
+        Some(self.masks.len())
+    }
+
+    fn supports_multi_scan(&self) -> bool {
+        true
+    }
+
+    fn multi_edge_table(&self, labels: &[EdgeLabelId]) -> Option<Relation> {
+        let mut mask = 0u64;
+        for le in labels {
+            if le.index() >= POLY_MAX_LABELS {
+                return None;
+            }
+            mask |= 1u64 << le.index();
+        }
+        Some(self.masked_scan(mask))
+    }
+
+    node_side_accessors!(nodes);
+}
+
+/// Per-label tables plus, for every observed `(src label, le, tgt
+/// label)` triple and every one-sided endpoint group, the precomputed
+/// filtered slice. A slice that covers the whole label shares the base
+/// table's buffer instead of duplicating it.
+struct DenormalizedLayout {
+    edge_tables: Vec<Relation>,
+    /// Endpoint-label slices keyed by `(le, src label, tgt label)`,
+    /// `None` meaning "unrestricted" on that side.
+    filtered: FxHashMap<(EdgeLabelId, Option<NodeLabelId>, Option<NodeLabelId>), Relation>,
+    nodes: NodeSide,
+}
+
+impl DenormalizedLayout {
+    fn load(db: &GraphDatabase) -> Self {
+        let edge_tables: Vec<Relation> = (0..db.edge_label_count())
+            .map(|i| label_table(db, EdgeLabelId::new(i as u32)))
+            .collect();
+        // One grouping pass per edge label: each canonical base row lands
+        // in its triple bucket and both one-sided buckets, so every
+        // bucket's flat data is itself canonical.
+        let mut buckets: FxHashMap<
+            (EdgeLabelId, Option<NodeLabelId>, Option<NodeLabelId>),
+            Vec<u32>,
+        > = FxHashMap::default();
+        for (le_idx, table) in edge_tables.iter().enumerate() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            for row in table.rows() {
+                let sl = db.node_label(sgq_common::NodeId::new(row[0]));
+                let tl = db.node_label(sgq_common::NodeId::new(row[1]));
+                for key in [
+                    (le, Some(sl), Some(tl)),
+                    (le, Some(sl), None),
+                    (le, None, Some(tl)),
+                ] {
+                    buckets.entry(key).or_default().extend_from_slice(row);
+                }
+            }
+        }
+        let mut filtered = FxHashMap::default();
+        for (key, data) in buckets {
+            let base = &edge_tables[key.0.index()];
+            // A slice covering every row of the label is the base table:
+            // share its buffer instead of materialising a copy.
+            let rel = if data.len() == base.flat().len() {
+                base.clone()
+            } else {
+                Relation::from_flat_sorted(base.cols().to_vec(), data)
+            };
+            filtered.insert(key, rel);
+        }
+        DenormalizedLayout {
+            edge_tables,
+            filtered,
+            nodes: NodeSide::load(db),
+        }
+    }
+}
+
+impl StorageLayout for DenormalizedLayout {
+    fn kind(&self) -> LayoutKind {
+        LayoutKind::Denormalized
+    }
+
+    fn edge_table(&self, le: EdgeLabelId) -> Relation {
+        self.edge_tables
+            .get(le.index())
+            .cloned()
+            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
+    }
+
+    fn edge_table_count(&self) -> usize {
+        self.edge_tables.len()
+    }
+
+    fn has_filtered_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> bool {
+        self.filtered_edge_table(le, src, tgt).is_some()
+    }
+
+    fn filtered_edge_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> Option<Relation> {
+        if src.is_none() && tgt.is_none() {
+            return self.edge_tables.get(le.index()).cloned();
+        }
+        match self.filtered.get(&(le, src, tgt)) {
+            Some(rel) => Some(rel.clone()),
+            // An unobserved combination of labels in range is a valid
+            // restriction with an empty result (no edge realises it).
+            None if le.index() < self.edge_tables.len() => {
+                Some(Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
+            }
+            None => None,
+        }
+    }
+
+    node_side_accessors!(nodes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sgq_graph::database::fig2_yago_database;
+    use sgq_graph::schema::fig1_yago_schema;
+
+    #[test]
+    fn layout_kind_names_round_trip() {
+        for k in LayoutKind::ALL {
+            assert_eq!(LayoutKind::parse(k.name()), Some(k));
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert_eq!(LayoutKind::parse("columnar"), None);
+    }
+
+    #[test]
+    fn all_layouts_serve_identical_base_tables() {
+        let db = fig2_yago_database();
+        let per = build_layout(&db, LayoutKind::PerLabel);
+        let poly = build_layout(&db, LayoutKind::Polymorphic);
+        let den = build_layout(&db, LayoutKind::Denormalized);
+        for le_idx in 0..db.edge_label_count() {
+            let le = EdgeLabelId::new(le_idx as u32);
+            let base = per.edge_table(le);
+            assert_eq!(poly.edge_table(le), base, "polymorphic slice of {le:?}");
+            assert_eq!(den.edge_table(le), base, "denormalized table of {le:?}");
+        }
+        for l_idx in 0..db.node_label_count() {
+            let l = NodeLabelId::new(l_idx as u32);
+            assert_eq!(poly.node_table(l), per.node_table(l));
+            assert_eq!(den.node_set(l), per.node_set(l));
+        }
+    }
+
+    #[test]
+    fn polymorphic_multi_scan_is_the_union_of_labels() {
+        let db = fig2_yago_database();
+        let poly = build_layout(&db, LayoutKind::Polymorphic);
+        assert!(poly.supports_multi_scan());
+        let owns = db.edge_label_id("owns").unwrap();
+        let married = db.edge_label_id("isMarriedTo").unwrap();
+        let multi = poly.multi_edge_table(&[owns, married]).unwrap();
+        let expected = Relation::union_many(vec![poly.edge_table(owns), poly.edge_table(married)]);
+        assert_eq!(multi, expected);
+        // Sanity: rows stay canonical even when labels share pairs.
+        assert!(multi.rows().zip(multi.rows().skip(1)).all(|(a, b)| a < b));
+    }
+
+    #[test]
+    fn denormalized_slices_match_node_set_filters() {
+        let db = fig2_yago_database();
+        let den = build_layout(&db, LayoutKind::Denormalized);
+        let isl = db.edge_label_id("isLocatedIn").unwrap();
+        let city = db.node_label_id("CITY").unwrap();
+        let region = db.node_label_id("REGION").unwrap();
+        let base = den.edge_table(isl);
+        for (src, tgt) in [
+            (Some(city), None),
+            (None, Some(region)),
+            (Some(city), Some(region)),
+        ] {
+            assert!(den.has_filtered_table(isl, src, tgt));
+            let slice = den.filtered_edge_table(isl, src, tgt).unwrap();
+            let expected = filter_edges_by_sets(
+                &base,
+                src.map(|l| den.node_set(l)),
+                tgt.map(|l| den.node_set(l)),
+            );
+            assert_eq!(slice, expected, "slice ({src:?}, {tgt:?})");
+        }
+        // Fig. 2: two CITY→REGION isLocatedIn edges.
+        let both = den
+            .filtered_edge_table(isl, Some(city), Some(region))
+            .unwrap();
+        assert_eq!(both.len(), 2);
+        // Unobserved in-range combination: empty, not None.
+        let none = den
+            .filtered_edge_table(isl, Some(region), Some(city))
+            .unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn full_coverage_slices_share_the_base_buffer() {
+        let db = fig2_yago_database();
+        let den = build_layout(&db, LayoutKind::Denormalized);
+        // Every `owns` edge is PERSON→PROPERTY, so the slice must alias
+        // the base table instead of copying it.
+        let owns = db.edge_label_id("owns").unwrap();
+        let person = db.node_label_id("PERSON").unwrap();
+        let slice = den.filtered_edge_table(owns, Some(person), None).unwrap();
+        assert!(slice.shares_data(&den.edge_table(owns)));
+    }
+
+    #[test]
+    fn advisor_prefers_denormalized_for_overloaded_labels() {
+        let db = fig2_yago_database();
+        let schema = fig1_yago_schema();
+        let stats = GraphStats::compute(&db);
+        // isLocatedIn spans several schema triples → denormalise.
+        assert_eq!(
+            LayoutAdvisor::choose(&schema, &stats),
+            LayoutKind::Denormalized
+        );
+    }
+
+    #[test]
+    fn advisor_falls_back_on_empty_graphs() {
+        let mut b = GraphDatabase::standalone_builder();
+        let _ = b.node("A", &[]);
+        let db = b.build().unwrap();
+        let schema = fig1_yago_schema();
+        let stats = GraphStats::compute(&db);
+        assert_eq!(LayoutAdvisor::choose(&schema, &stats), LayoutKind::PerLabel);
+    }
+}

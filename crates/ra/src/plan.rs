@@ -97,6 +97,29 @@ pub enum PhysOp {
         /// merge filter instead of a hashed key set.
         merge: bool,
     },
+    /// Masked multi-label scan over the polymorphic layout's single
+    /// edge table: the union of several labels' tables emitted in one
+    /// pass over the global `(Sr, Tr)` rows instead of a union-all of
+    /// per-label scans. Only lowered when the loaded layout supports it
+    /// ([`RelStore::supports_multi_scan`]) and the masked pass is
+    /// estimated cheaper.
+    MultiEdgeScan {
+        /// Edge labels whose union the scan emits.
+        labels: Vec<EdgeLabelId>,
+    },
+    /// Scan of a denormalised endpoint-label slice: an edge table
+    /// restricted to rows whose endpoints carry the given node labels,
+    /// materialised at load by the denormalised layout so the label
+    /// semi-join is free at scan time. Only lowered when the slice
+    /// exists ([`RelStore::has_filtered_table`]).
+    DenormEdgeScan {
+        /// Edge label.
+        label: EdgeLabelId,
+        /// Required source node label (`None` = unrestricted).
+        src_label: Option<NodeLabelId>,
+        /// Required target node label (`None` = unrestricted).
+        tgt_label: Option<NodeLabelId>,
+    },
     /// Scan of the union of node tables.
     NodeScan {
         /// Node labels (unioned with a single normalisation pass).
@@ -239,6 +262,8 @@ impl PhysOp {
         match self {
             PhysOp::EdgeScan { .. } => "EdgeScan",
             PhysOp::FilteredEdgeScan { .. } => "FilteredEdgeScan",
+            PhysOp::MultiEdgeScan { .. } => "MultiEdgeScan",
+            PhysOp::DenormEdgeScan { .. } => "DenormEdgeScan",
             PhysOp::NodeScan { .. } => "NodeScan",
             PhysOp::MergeJoin { .. } => "MergeJoin",
             PhysOp::HashJoin { .. } => "HashJoin",
@@ -260,7 +285,11 @@ impl PhysPlan {
     /// Child plans, for rendering and cost splitting.
     pub fn children(&self) -> Vec<&PhysPlan> {
         match &self.op {
-            PhysOp::EdgeScan { .. } | PhysOp::NodeScan { .. } | PhysOp::RecRef { .. } => vec![],
+            PhysOp::EdgeScan { .. }
+            | PhysOp::MultiEdgeScan { .. }
+            | PhysOp::DenormEdgeScan { .. }
+            | PhysOp::NodeScan { .. }
+            | PhysOp::RecRef { .. } => vec![],
             PhysOp::FilteredEdgeScan { filter, .. } => vec![filter],
             PhysOp::IndexJoin { probe, .. } => vec![probe],
             PhysOp::IndexSemiJoin { left, .. } => vec![left],
@@ -426,6 +455,9 @@ impl Planner<'_> {
             RaTerm::Semijoin(a, b) => self.lower_semijoin(term, a, b),
             RaTerm::Union(a, b) => {
                 let e = self.est_node(term);
+                if let Some(p) = self.try_multi_scan(term, e) {
+                    return Ok(p);
+                }
                 let left = self.lower(a)?;
                 let right = self.lower(b)?;
                 let est = Estimate {
@@ -813,6 +845,12 @@ impl Planner<'_> {
     fn lower_semijoin(&mut self, term: &RaTerm, a: &RaTerm, b: &RaTerm) -> Result<PhysPlan> {
         let e = self.est_node(term);
         let rows = e.rows;
+        // A node-label filter on a scan whose slice the denormalised
+        // layout precomputed needs no filtering at all — it is a strict
+        // improvement over every strategy below, so no cost race.
+        if let Some(p) = self.try_denorm_scan(term, e) {
+            return Ok(p);
+        }
         if let RaTerm::EdgeScan { label, src, tgt } = a {
             let filter = self.lower(b)?;
             let scan_cols = vec![*src, *tgt];
@@ -880,6 +918,113 @@ impl Planner<'_> {
                 key,
             },
         ))
+    }
+
+    /// Attempts to lower a union tree whose leaves are all plain
+    /// (possibly renamed, unfiltered) edge scans exposing the same
+    /// `(src, tgt)` column pair into one [`PhysOp::MultiEdgeScan`] over
+    /// the polymorphic layout's global table. Fires only when the
+    /// layout supports it and the masked single pass is estimated
+    /// cheaper than the union-all of per-label scans.
+    fn try_multi_scan(&mut self, term: &RaTerm, e: NodeEst) -> Option<PhysPlan> {
+        if !self.store.supports_multi_scan() {
+            return None;
+        }
+        let poly_rows = self.store.poly_rows()?;
+        let mut leaves = Vec::new();
+        if !collect_union_scans(term, &mut leaves) || leaves.len() < 2 {
+            return None;
+        }
+        let (src, tgt) = (leaves[0].1, leaves[0].2);
+        if leaves.iter().any(|&(_, s, t)| s != src || t != tgt) {
+            return None;
+        }
+        let mut labels: Vec<EdgeLabelId> = Vec::new();
+        for &(l, _, _) in &leaves {
+            if !labels.contains(&l) {
+                labels.push(l);
+            }
+        }
+        let label_rows: f64 = labels
+            .iter()
+            .map(|&l| self.store.stats.edge_cardinality(l) as f64)
+            .sum();
+        let masked = cost::multi_scan_cost(poly_rows, e.rows);
+        if masked >= cost::union_all_cost(label_rows) {
+            return None;
+        }
+        let est = Estimate {
+            rows: e.rows,
+            cost: masked,
+        };
+        Some(self.node(
+            vec![src, tgt],
+            est,
+            e,
+            vec![],
+            PhysOp::MultiEdgeScan { labels },
+        ))
+    }
+
+    /// Attempts to lower a node-label semi-join over a base edge scan
+    /// into a [`PhysOp::DenormEdgeScan`]: when the denormalised layout
+    /// precomputed the endpoint-label slice, the whole term is a single
+    /// scan of exactly its output rows — the filter costs nothing.
+    /// Restricted to single-label filters per endpoint (the only slices
+    /// the layout materialises).
+    fn try_denorm_scan(&mut self, term: &RaTerm, e: NodeEst) -> Option<PhysPlan> {
+        let s = indexable_scan(term)?;
+        let single = |labels: &Option<Vec<NodeLabelId>>| match labels {
+            None => Some(None),
+            Some(v) if v.len() == 1 => Some(Some(v[0])),
+            Some(_) => None,
+        };
+        let src_label = single(&s.src_labels)?;
+        let tgt_label = single(&s.tgt_labels)?;
+        if src_label.is_none() && tgt_label.is_none() {
+            return None;
+        }
+        if !self.store.has_filtered_table(s.label, src_label, tgt_label) {
+            return None;
+        }
+        let stats = &self.store.stats;
+        let slice_rows = match (src_label, tgt_label) {
+            (Some(a), Some(b)) => stats.triple_cardinality(a, s.label, b) as f64,
+            (Some(a), None) => stats.source_group(a, s.label).count as f64,
+            (None, Some(b)) => stats.target_group(s.label, b).count as f64,
+            (None, None) => unreachable!("at least one endpoint is filtered"),
+        };
+        let est = Estimate {
+            rows: e.rows,
+            cost: cost::denorm_scan_cost(slice_rows),
+        };
+        Some(self.node(
+            vec![s.src, s.tgt],
+            est,
+            e,
+            vec![],
+            PhysOp::DenormEdgeScan {
+                label: s.label,
+                src_label,
+                tgt_label,
+            },
+        ))
+    }
+}
+
+/// Collects the leaves of a union tree when every leaf is a plain
+/// (possibly renamed, unfiltered) base edge scan; returns `false` as
+/// soon as any leaf is not, so the union lowers operator by operator.
+fn collect_union_scans(term: &RaTerm, out: &mut Vec<(EdgeLabelId, ColId, ColId)>) -> bool {
+    match term {
+        RaTerm::Union(a, b) => collect_union_scans(a, out) && collect_union_scans(b, out),
+        _ => match indexable_scan(term) {
+            Some(s) if s.src_labels.is_none() && s.tgt_labels.is_none() => {
+                out.push((s.label, s.src, s.tgt));
+                true
+            }
+            _ => false,
+        },
     }
 }
 
@@ -1262,5 +1407,149 @@ mod tests {
             PhysOp::Project { ref input } if matches!(input.op, PhysOp::IndexJoin { .. })
         ));
         assert_eq!(p.node_count(), 3);
+    }
+
+    /// A database where three edge labels cover the same pair set, so
+    /// the polymorphic global table (4 rows) is far smaller than the
+    /// union-all of the per-label scans (12 rows scanned + merged).
+    fn overlapping_labels_db() -> sgq_graph::GraphDatabase {
+        let mut b = sgq_graph::GraphDatabase::standalone_builder();
+        let nodes: Vec<_> = (0..5).map(|_| b.node("N", &[])).collect();
+        for le in ["e0", "e1", "e2"] {
+            for i in 0..4 {
+                b.edge(nodes[i], le, nodes[i + 1]);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn overlapping_label_union_lowers_to_multi_scan_on_polymorphic() {
+        let db = overlapping_labels_db();
+        let term = |store: &RelStore| {
+            RaTerm::union(
+                scan(&db, store, "e0", "x", "y"),
+                RaTerm::union(
+                    scan(&db, store, "e1", "x", "y"),
+                    scan(&db, store, "e2", "x", "y"),
+                ),
+            )
+        };
+        let poly = RelStore::load_with_layout(&db, crate::layout::LayoutKind::Polymorphic);
+        let p = plan(&term(&poly), &poly).unwrap();
+        match &p.op {
+            PhysOp::MultiEdgeScan { labels } => assert_eq!(labels.len(), 3, "{p:?}"),
+            other => panic!("expected masked multi scan, got {other:?}"),
+        }
+        // The default layout cannot serve a masked pass: same term stays
+        // a union-all of per-label scans.
+        let per = RelStore::load(&db);
+        let q = plan(&term(&per), &per).unwrap();
+        assert!(!q.contains_op(&|op| matches!(op, PhysOp::MultiEdgeScan { .. })));
+        assert!(q.contains_op(&|op| matches!(op, PhysOp::Union { .. })));
+        // Both plans compute the same rows.
+        let a = crate::exec::execute_plan(&p, &poly, &mut crate::exec::ExecContext::new()).unwrap();
+        let b = crate::exec::execute_plan(&q, &per, &mut crate::exec::ExecContext::new()).unwrap();
+        assert_eq!(a, b);
+        // And the masked pass is the measurably cheaper plan.
+        assert!(p.est.cost < q.est.cost, "{} vs {}", p.est.cost, q.est.cost);
+    }
+
+    #[test]
+    fn disjoint_label_union_keeps_union_all_even_on_polymorphic() {
+        // fig2's labels barely overlap: scanning the whole 9-row global
+        // table to emit a 3-row union loses to two small scans, so the
+        // cost race keeps the union-all.
+        let db = fig2_yago_database();
+        let poly = RelStore::load_with_layout(&db, crate::layout::LayoutKind::Polymorphic);
+        let t = RaTerm::union(
+            scan(&db, &poly, "owns", "x", "y"),
+            scan(&db, &poly, "isMarriedTo", "x", "y"),
+        );
+        let p = plan(&t, &poly).unwrap();
+        assert!(
+            !p.contains_op(&|op| matches!(op, PhysOp::MultiEdgeScan { .. })),
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn label_filtered_scan_lowers_to_denorm_slice() {
+        let db = fig2_yago_database();
+        let city = db.node_label_id("CITY").unwrap();
+        let term = |store: &RelStore| {
+            RaTerm::semijoin(
+                scan(&db, store, "isLocatedIn", "x", "y"),
+                RaTerm::NodeScan {
+                    labels: vec![city],
+                    col: store.symbols.col("x"),
+                },
+            )
+        };
+        let den = RelStore::load_with_layout(&db, crate::layout::LayoutKind::Denormalized);
+        let p = plan(&term(&den), &den).unwrap();
+        match &p.op {
+            PhysOp::DenormEdgeScan {
+                src_label,
+                tgt_label,
+                ..
+            } => {
+                assert_eq!(*src_label, Some(city));
+                assert_eq!(*tgt_label, None);
+            }
+            other => panic!("expected denorm scan, got {other:?}"),
+        }
+        // The default layout keeps the fused filtered scan.
+        let per = RelStore::load(&db);
+        let q = plan(&term(&per), &per).unwrap();
+        assert!(
+            q.contains_op(&|op| matches!(op, PhysOp::FilteredEdgeScan { .. })),
+            "{q:?}"
+        );
+        // Same rows, and the precomputed slice plans strictly cheaper.
+        let a = crate::exec::execute_plan(&p, &den, &mut crate::exec::ExecContext::new()).unwrap();
+        let b = crate::exec::execute_plan(&q, &per, &mut crate::exec::ExecContext::new()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2, "two isLocatedIn edges start from a CITY");
+        assert!(p.est.cost < q.est.cost, "{} vs {}", p.est.cost, q.est.cost);
+    }
+
+    #[test]
+    fn double_filtered_scan_lowers_to_triple_slice() {
+        let db = fig2_yago_database();
+        let city = db.node_label_id("CITY").unwrap();
+        let region = db.node_label_id("REGION").unwrap();
+        let den = RelStore::load_with_layout(&db, crate::layout::LayoutKind::Denormalized);
+        let s = &den.symbols;
+        // ((isLocatedIn ⋉ CITY on x) ⋉ REGION on y): both endpoint
+        // filters collapse into one slice scan.
+        let t = RaTerm::semijoin(
+            RaTerm::semijoin(
+                scan(&db, &den, "isLocatedIn", "x", "y"),
+                RaTerm::NodeScan {
+                    labels: vec![city],
+                    col: s.col("x"),
+                },
+            ),
+            RaTerm::NodeScan {
+                labels: vec![region],
+                col: s.col("y"),
+            },
+        );
+        let p = plan(&t, &den).unwrap();
+        match &p.op {
+            PhysOp::DenormEdgeScan {
+                src_label,
+                tgt_label,
+                ..
+            } => {
+                assert_eq!(*src_label, Some(city));
+                assert_eq!(*tgt_label, Some(region));
+            }
+            other => panic!("expected denorm scan, got {other:?}"),
+        }
+        let out =
+            crate::exec::execute_plan(&p, &den, &mut crate::exec::ExecContext::new()).unwrap();
+        assert_eq!(out.len(), 2, "Fig. 2 has two CITY→REGION edges");
     }
 }

@@ -1,6 +1,6 @@
 //! The relational representation of a property graph (the paper's
-//! Fig. 11): one binary table `(Sr, Tr)` per edge label and one unary
-//! table `(Sr)` per node label.
+//! Fig. 11): a thin façade over a pluggable physical layout
+//! ([`crate::layout::StorageLayout`]).
 //!
 //! **Zero-copy scans.** Tables hold their rows behind shared buffers
 //! ([`Relation`]'s `Arc`-backed data), so [`RelStore::edge_table`] /
@@ -8,11 +8,21 @@
 //! the graph. Out-of-range labels return a handle onto the process-wide
 //! shared empty buffer instead of allocating.
 //!
-//! **Adjacency indexes.** At load time the store also builds, per edge
-//! label, a forward and a reverse [`Csr`] with set semantics (parallel
-//! edges deduplicated to match the relational tables), plus it exposes
-//! each node table's sorted id set ([`RelStore::node_set`]). The
-//! physical planner ([`mod@crate::plan`]) uses these for
+//! **Pluggable layouts.** [`RelStore::load`] keeps the classic
+//! per-label layout (one `(Sr, Tr)` table per edge label);
+//! [`RelStore::load_with_layout`] selects any [`LayoutKind`] and
+//! [`RelStore::load_advised`] lets the [`crate::layout::LayoutAdvisor`]
+//! pick one from the schema. The store's public surface is
+//! layout-independent — plus capability probes
+//! ([`RelStore::supports_multi_scan`], [`RelStore::has_filtered_table`])
+//! the planner uses to decide whether the layout-specific scan
+//! operators may be emitted.
+//!
+//! **Adjacency indexes.** Every layout builds, per edge label, a
+//! forward and a reverse [`Csr`] with set semantics (parallel edges
+//! deduplicated to match the relational tables), plus it exposes each
+//! node table's sorted id set ([`RelStore::node_set`]). The physical
+//! planner ([`mod@crate::plan`]) uses these for
 //! [`crate::plan::PhysOp::IndexJoin`] / `IndexSemiJoin`: instead of
 //! materialising and hashing a base edge table, the executor probes the
 //! CSR neighbour lists directly.
@@ -26,9 +36,10 @@
 use std::sync::Arc;
 
 use sgq_common::{EdgeLabelId, NodeLabelId};
-use sgq_graph::{Csr, GraphDatabase, GraphStats};
+use sgq_graph::{Csr, GraphDatabase, GraphSchema, GraphStats};
 
 use crate::feedback::FeedbackMemo;
+use crate::layout::{build_layout, LayoutAdvisor, LayoutKind, StorageLayout};
 use crate::symbols::SymbolTable;
 use crate::table::Relation;
 
@@ -39,18 +50,10 @@ pub const TR: &str = "Tr";
 
 /// A column store over a graph database plus its adjacency indexes,
 /// statistics and the symbol table for the terms executed against it.
+/// The physical representation lives behind a [`StorageLayout`].
 pub struct RelStore {
-    /// Edge tables indexed by edge label id, columns `(Sr, Tr)`.
-    edge_tables: Vec<Relation>,
-    /// Node tables indexed by node label id, column `(Sr)`.
-    node_tables: Vec<Relation>,
-    /// Forward CSR per edge label (set semantics): neighbours of `n` are
-    /// the targets of `n`'s out-edges. `Arc`-wrapped so parallel morsel
-    /// workers can hold the index read-only without borrowing the store.
-    edge_fwd: Vec<Arc<Csr>>,
-    /// Reverse CSR per edge label: neighbours of `n` are the sources of
-    /// `n`'s in-edges.
-    edge_rev: Vec<Arc<Csr>>,
+    /// The physical layout serving scans, CSRs and node sets.
+    layout: Box<dyn StorageLayout>,
     /// Statistics for the cost model.
     pub stats: GraphStats,
     /// Interned column / recursion-variable names for this store's terms.
@@ -74,102 +77,136 @@ pub struct RelStore {
 }
 
 impl RelStore {
-    /// Loads a graph database into relational tables (Fig. 11) and
-    /// builds the per-label CSR adjacency indexes.
+    /// Loads a graph database into relational tables (Fig. 11) under the
+    /// default per-label layout and builds the per-label CSR adjacency
+    /// indexes.
     pub fn load(db: &GraphDatabase) -> Self {
-        let symbols = SymbolTable::new();
-        let node_count = db.node_count();
-        let mut edge_tables = Vec::with_capacity(db.edge_label_count());
-        let mut edge_fwd = Vec::with_capacity(db.edge_label_count());
-        let mut edge_rev = Vec::with_capacity(db.edge_label_count());
-        for le_idx in 0..db.edge_label_count() {
-            let le = EdgeLabelId::new(le_idx as u32);
-            let edges = db.edges(le);
-            let pairs: Vec<(u32, u32)> = edges.iter().map(|&(s, t)| (s.raw(), t.raw())).collect();
-            edge_tables.push(Relation::from_pairs(
-                SymbolTable::SR,
-                SymbolTable::TR,
-                &pairs,
-            ));
-            edge_fwd.push(Arc::new(Csr::from_pairs_dedup(node_count, edges)));
-            let rev: Vec<_> = edges.iter().map(|&(s, t)| (t, s)).collect();
-            edge_rev.push(Arc::new(Csr::from_pairs_dedup(node_count, &rev)));
-        }
-        let mut node_tables = Vec::with_capacity(db.node_label_count());
-        for l_idx in 0..db.node_label_count() {
-            let l = NodeLabelId::new(l_idx as u32);
-            let rows = db.nodes_with_label(l).iter().map(|n| vec![n.raw()]);
-            node_tables.push(Relation::from_rows(vec![SymbolTable::SR], rows));
-        }
+        RelStore::load_with_layout(db, LayoutKind::PerLabel)
+    }
+
+    /// Loads a graph database under an explicitly chosen layout. A
+    /// polymorphic request over a schema with more than
+    /// [`crate::layout::POLY_MAX_LABELS`] edge labels degrades to
+    /// per-label (the row bitmask cannot represent it).
+    pub fn load_with_layout(db: &GraphDatabase, kind: LayoutKind) -> Self {
         RelStore {
-            edge_tables,
-            node_tables,
-            edge_fwd,
-            edge_rev,
+            layout: build_layout(db, kind),
             stats: GraphStats::compute(db),
-            symbols,
+            symbols: SymbolTable::new(),
             v1_estimates: false,
             index_joins: true,
             feedback: FeedbackMemo::new(),
         }
     }
 
+    /// Loads a graph database under the layout the
+    /// [`LayoutAdvisor`] picks for its schema.
+    pub fn load_advised(db: &GraphDatabase, schema: &GraphSchema) -> Self {
+        let stats = GraphStats::compute(db);
+        let kind = LayoutAdvisor::choose(schema, &stats);
+        RelStore {
+            layout: build_layout(db, kind),
+            stats,
+            symbols: SymbolTable::new(),
+            v1_estimates: false,
+            index_joins: true,
+            feedback: FeedbackMemo::new(),
+        }
+    }
+
+    /// Which physical layout this store was loaded with.
+    pub fn layout_kind(&self) -> LayoutKind {
+        self.layout.kind()
+    }
+
     /// The edge table for `le`: an O(1) shared handle, never a row copy.
     /// Out-of-range labels share the static empty buffer.
     pub fn edge_table(&self, le: EdgeLabelId) -> Relation {
-        self.edge_tables
-            .get(le.index())
-            .cloned()
-            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR, SymbolTable::TR]))
+        self.layout.edge_table(le)
     }
 
     /// The node table for `l`: an O(1) shared handle, never a row copy.
     /// Out-of-range labels share the static empty buffer.
     pub fn node_table(&self, l: NodeLabelId) -> Relation {
-        self.node_tables
-            .get(l.index())
-            .cloned()
-            .unwrap_or_else(|| Relation::empty(vec![SymbolTable::SR]))
+        self.layout.node_table(l)
     }
 
     /// The forward CSR for `le` (targets per source), if in range.
     pub fn forward_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
-        self.edge_fwd.get(le.index()).map(Arc::as_ref)
+        self.layout.forward_csr(le)
     }
 
     /// The reverse CSR for `le` (sources per target), if in range.
     pub fn reverse_csr(&self, le: EdgeLabelId) -> Option<&Csr> {
-        self.edge_rev.get(le.index()).map(Arc::as_ref)
+        self.layout.reverse_csr(le)
     }
 
     /// Shared handle on the forward CSR for `le` — O(1), lets a morsel
     /// worker own the index for the duration of a parallel probe.
     pub fn forward_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
-        self.edge_fwd.get(le.index()).cloned()
+        self.layout.forward_csr_shared(le)
     }
 
     /// Shared handle on the reverse CSR for `le`.
     pub fn reverse_csr_shared(&self, le: EdgeLabelId) -> Option<Arc<Csr>> {
-        self.edge_rev.get(le.index()).cloned()
+        self.layout.reverse_csr_shared(le)
     }
 
     /// The sorted set of node ids carrying label `l` (empty when out of
     /// range) — the membership side of label-filtered index joins.
     pub fn node_set(&self, l: NodeLabelId) -> &[u32] {
-        self.node_tables
-            .get(l.index())
-            .map(|t| t.flat())
-            .unwrap_or(&[])
+        self.layout.node_set(l)
     }
 
     /// Number of edge tables.
     pub fn edge_table_count(&self) -> usize {
-        self.edge_tables.len()
+        self.layout.edge_table_count()
     }
 
     /// Number of node tables.
     pub fn node_table_count(&self) -> usize {
-        self.node_tables.len()
+        self.layout.node_table_count()
+    }
+
+    /// Total rows of the polymorphic layout's single edge table, when
+    /// the store has one — the cost model's input for pricing masked
+    /// multi-label scans.
+    pub fn poly_rows(&self) -> Option<usize> {
+        self.layout.poly_rows()
+    }
+
+    /// Whether the layout serves multi-label scans natively
+    /// ([`crate::plan::PhysOp::MultiEdgeScan`]).
+    pub fn supports_multi_scan(&self) -> bool {
+        self.layout.supports_multi_scan()
+    }
+
+    /// One canonical `(Sr, Tr)` union of the given labels' tables from
+    /// the polymorphic layout, `None` elsewhere.
+    pub fn multi_edge_table(&self, labels: &[EdgeLabelId]) -> Option<Relation> {
+        self.layout.multi_edge_table(labels)
+    }
+
+    /// Whether a precomputed endpoint-label slice of `le`'s table exists
+    /// ([`crate::plan::PhysOp::DenormEdgeScan`] is only emitted then).
+    pub fn has_filtered_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> bool {
+        self.layout.has_filtered_table(le, src, tgt)
+    }
+
+    /// The precomputed endpoint-label slice of `le`'s table, when the
+    /// layout denormalises it.
+    pub fn filtered_edge_table(
+        &self,
+        le: EdgeLabelId,
+        src: Option<NodeLabelId>,
+        tgt: Option<NodeLabelId>,
+    ) -> Option<Relation> {
+        self.layout.filtered_edge_table(le, src, tgt)
     }
 }
 
@@ -243,20 +280,33 @@ mod tests {
     }
 
     #[test]
+    fn polymorphic_scans_are_zero_copy_after_first_slice() {
+        // The lazy per-label slices of the polymorphic layout are cached:
+        // repeated scans share one buffer just like the eager layouts.
+        let db = fig2_yago_database();
+        let store = RelStore::load_with_layout(&db, LayoutKind::Polymorphic);
+        assert_eq!(store.layout_kind(), LayoutKind::Polymorphic);
+        let le = db.edge_label_id("isLocatedIn").unwrap();
+        assert!(store.edge_table(le).shares_data(&store.edge_table(le)));
+    }
+
+    #[test]
     fn csr_indexes_match_edge_tables() {
         let db = fig2_yago_database();
-        let store = RelStore::load(&db);
-        for le_idx in 0..store.edge_table_count() {
-            let le = EdgeLabelId::new(le_idx as u32);
-            let table = store.edge_table(le);
-            let fwd = store.forward_csr(le).expect("in range");
-            let rev = store.reverse_csr(le).expect("in range");
-            assert_eq!(fwd.edge_count(), table.len(), "set semantics");
-            assert_eq!(rev.edge_count(), table.len());
-            for row in table.rows() {
-                let (s, t) = (NodeId::new(row[0]), NodeId::new(row[1]));
-                assert!(fwd.has_edge(s, t), "forward CSR has {row:?}");
-                assert!(rev.has_edge(t, s), "reverse CSR has {row:?}");
+        for kind in LayoutKind::ALL {
+            let store = RelStore::load_with_layout(&db, kind);
+            for le_idx in 0..store.edge_table_count() {
+                let le = EdgeLabelId::new(le_idx as u32);
+                let table = store.edge_table(le);
+                let fwd = store.forward_csr(le).expect("in range");
+                let rev = store.reverse_csr(le).expect("in range");
+                assert_eq!(fwd.edge_count(), table.len(), "set semantics ({kind})");
+                assert_eq!(rev.edge_count(), table.len());
+                for row in table.rows() {
+                    let (s, t) = (NodeId::new(row[0]), NodeId::new(row[1]));
+                    assert!(fwd.has_edge(s, t), "forward CSR has {row:?} ({kind})");
+                    assert!(rev.has_edge(t, s), "reverse CSR has {row:?} ({kind})");
+                }
             }
         }
     }
@@ -294,5 +344,17 @@ mod tests {
         let store = RelStore::load(&db);
         assert_eq!(store.symbols.col(SR), SymbolTable::SR);
         assert_eq!(store.symbols.col(TR), SymbolTable::TR);
+    }
+
+    #[test]
+    fn default_load_is_per_label_and_lacks_capabilities() {
+        let db = fig2_yago_database();
+        let store = RelStore::load(&db);
+        assert_eq!(store.layout_kind(), LayoutKind::PerLabel);
+        assert!(!store.supports_multi_scan());
+        assert!(store.poly_rows().is_none());
+        let le = db.edge_label_id("owns").unwrap();
+        assert!(store.multi_edge_table(&[le]).is_none());
+        assert!(!store.has_filtered_table(le, None, None));
     }
 }

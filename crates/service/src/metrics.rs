@@ -13,8 +13,18 @@ use std::time::Instant;
 
 use sgq_common::json::JsonValue;
 use sgq_obs::{OpKindProfile, OpSpan, ProfileRegistry};
+use sgq_ra::LayoutKind;
 
 use crate::cache::CacheStats;
+
+/// The position of `kind` in [`LayoutKind::ALL`] — the bucket index of
+/// the per-layout scan counters.
+fn layout_idx(kind: LayoutKind) -> usize {
+    LayoutKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("ALL covers every layout kind")
+}
 
 /// A fixed-bucket geometric latency histogram (microsecond domain).
 ///
@@ -99,6 +109,9 @@ pub struct MetricsRegistry {
     parallel_queries: AtomicU64,
     replans: AtomicU64,
     feedback_hits: AtomicU64,
+    /// Base-table scan operators executed, bucketed by the store's
+    /// physical layout ([`LayoutKind::ALL`] order).
+    scans_by_layout: [AtomicU64; 3],
     latency: LatencyHistogram,
     /// Always-on per-operator-kind profile, fed by traced executions.
     ops: ProfileRegistry,
@@ -125,6 +138,7 @@ impl MetricsRegistry {
             parallel_queries: AtomicU64::new(0),
             replans: AtomicU64::new(0),
             feedback_hits: AtomicU64::new(0),
+            scans_by_layout: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             latency: LatencyHistogram::new(),
             ops: ProfileRegistry::new(),
         }
@@ -181,6 +195,14 @@ impl MetricsRegistry {
         self.feedback_hits.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `scans` base-table scan operators executed against a
+    /// store loaded under `layout` (no-op for a scan-free query).
+    pub fn record_scans(&self, layout: LayoutKind, scans: usize) {
+        if scans > 0 {
+            self.scans_by_layout[layout_idx(layout)].fetch_add(scans as u64, Ordering::Relaxed);
+        }
+    }
+
     /// Folds one traced execution's operator spans into the always-on
     /// per-operator-kind profile (one lock per traced query).
     pub fn record_ops(&self, spans: &[OpSpan]) {
@@ -215,6 +237,11 @@ impl MetricsRegistry {
             parallel_queries: self.parallel_queries.load(Ordering::Relaxed),
             replans: self.replans.load(Ordering::Relaxed),
             feedback_hits: self.feedback_hits.load(Ordering::Relaxed),
+            scans_by_layout: [
+                self.scans_by_layout[0].load(Ordering::Relaxed),
+                self.scans_by_layout[1].load(Ordering::Relaxed),
+                self.scans_by_layout[2].load(Ordering::Relaxed),
+            ],
             op_profiles: self.ops.snapshot(),
             cache,
         }
@@ -257,6 +284,10 @@ pub struct MetricsSnapshot {
     pub replans: u64,
     /// Prepares whose plan drew an estimate from the feedback memo.
     pub feedback_hits: u64,
+    /// Base-table scan operators executed, bucketed by the store's
+    /// physical layout (in [`LayoutKind::ALL`] order: per-label,
+    /// polymorphic, denormalized).
+    pub scans_by_layout: [u64; 3],
     /// Per-operator-kind runtime totals from traced executions, ordered
     /// by self time (descending).
     pub op_profiles: Vec<OpKindProfile>,
@@ -288,6 +319,15 @@ impl MetricsSnapshot {
             ("parallel_queries", JsonValue::Int(self.parallel_queries)),
             ("replans", JsonValue::Int(self.replans)),
             ("feedback_hits", JsonValue::Int(self.feedback_hits)),
+            (
+                "scans_by_layout",
+                JsonValue::obj(
+                    LayoutKind::ALL
+                        .iter()
+                        .zip(self.scans_by_layout)
+                        .map(|(k, n)| (k.name(), JsonValue::Int(n))),
+                ),
+            ),
             (
                 "op_profiles",
                 JsonValue::Arr(
@@ -347,6 +387,11 @@ impl std::fmt::Display for MetricsSnapshot {
             f,
             "feedback: {} memo-informed prepares, {} stale plans re-prepared",
             self.feedback_hits, self.replans
+        )?;
+        writeln!(
+            f,
+            "scans: {} per-label, {} polymorphic, {} denormalized",
+            self.scans_by_layout[0], self.scans_by_layout[1], self.scans_by_layout[2]
         )?;
         if !self.op_profiles.is_empty() {
             write!(f, "operators (self time):")?;
@@ -487,6 +532,30 @@ mod tests {
         assert!(json.contains("\"parallel_queries\": 2"), "{json}");
         let text = s.to_string();
         assert!(text.contains("2 queries ran parallel sections"), "{text}");
+    }
+
+    #[test]
+    fn per_layout_scan_counters_pin_text_and_json() {
+        let m = MetricsRegistry::new();
+        m.record_scans(LayoutKind::PerLabel, 0); // scan-free query: no movement
+        m.record_scans(LayoutKind::Polymorphic, 4);
+        m.record_scans(LayoutKind::Denormalized, 3);
+        m.record_scans(LayoutKind::Denormalized, 2);
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.scans_by_layout, [0, 4, 5]);
+        let json = s.to_json();
+        assert!(
+            json.contains(
+                "\"scans_by_layout\": {\"per-label\": 0, \
+                 \"polymorphic\": 4, \"denormalized\": 5}"
+            ),
+            "{json}"
+        );
+        let text = s.to_string();
+        assert!(
+            text.contains("scans: 0 per-label, 4 polymorphic, 5 denormalized"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use sgq_engine::GraphEngine;
 use sgq_graph::{GraphDatabase, GraphSchema};
 use sgq_obs::{QueryTrace, SlowQueryLog, TagValue, Tracer};
 use sgq_ra::exec::{ExecContext, ExecTrace};
-use sgq_ra::{RelStore, TaskScheduler};
+use sgq_ra::{LayoutKind, RelStore, TaskScheduler};
 
 use crate::cache::{schema_fingerprint, CacheKey, CacheOutcome, PlanCache};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot};
@@ -88,6 +88,11 @@ pub struct ServiceConfig {
     pub slow_query_ms: u64,
     /// Traces retained by the slow-query log's ring buffer.
     pub slow_query_capacity: usize,
+    /// Physical storage layout for the relational store: `Some(kind)`
+    /// forces that layout, `None` lets the schema-driven
+    /// [`sgq_ra::LayoutAdvisor`] choose at load. Ignored by
+    /// [`Service::with_store`], which takes a pre-loaded store.
+    pub layout: Option<LayoutKind>,
 }
 
 impl Default for ServiceConfig {
@@ -114,6 +119,7 @@ impl Default for ServiceConfig {
             trace_ring_capacity: 64,
             slow_query_ms: 0,
             slow_query_capacity: 32,
+            layout: None,
         }
     }
 }
@@ -250,9 +256,14 @@ impl std::fmt::Debug for Service {
 
 impl Service {
     /// Builds a service over an already-shared schema and database,
-    /// loading the relational store once.
+    /// loading the relational store once — under
+    /// [`ServiceConfig::layout`] when set, otherwise under the layout
+    /// the schema-driven advisor picks.
     pub fn new(schema: Arc<GraphSchema>, db: Arc<GraphDatabase>, config: ServiceConfig) -> Self {
-        let store = Arc::new(RelStore::load(&db));
+        let store = Arc::new(match config.layout {
+            Some(kind) => RelStore::load_with_layout(&db, kind),
+            None => RelStore::load_advised(&db, &schema),
+        });
         Self::with_store(schema, db, store, config)
     }
 
@@ -318,6 +329,11 @@ impl Service {
     /// Current metrics snapshot (including plan-cache counters).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.core.metrics.snapshot(self.core.cache.stats())
+    }
+
+    /// The physical storage layout the relational store was loaded with.
+    pub fn layout_kind(&self) -> LayoutKind {
+        self.core.store.layout_kind()
     }
 
     /// The current schema version (bumped by
@@ -514,6 +530,7 @@ fn prepare_via_cache(
         core.schema_version.load(Ordering::SeqCst),
         opts.backend,
         opts.approach,
+        core.store.layout_kind(),
         &core.config.rewrite,
     );
     let (prepared, outcome) = core.cache.get_or_prepare(key.clone(), do_prepare)?;
@@ -661,6 +678,8 @@ fn run_query(
                     sgq_ra::execute_plan(plan, &core.store, &mut ctx)
                 };
                 core.metrics.record_parallel(ctx.morsels_executed);
+                core.metrics
+                    .record_scans(core.store.layout_kind(), ctx.scans);
                 counters = ExecCounters {
                     rows_materialized: ctx.rows_materialized(),
                     morsels: ctx.morsels_executed,
@@ -812,6 +831,52 @@ mod tests {
     }
 
     #[test]
+    fn layout_override_and_advisor_agree_on_rows() {
+        // fig1's isLocatedIn spans two schema triples, so the advisor
+        // picks the denormalised layout for the default service.
+        let advised = small_service(1);
+        assert_eq!(advised.layout_kind(), LayoutKind::Denormalized);
+        let texts = ["owns/isLocatedIn+", "isMarriedTo+", "livesIn"];
+        let reference: Vec<_> = texts
+            .iter()
+            .map(|t| {
+                advised
+                    .session()
+                    .execute(t, &QueryOptions::default())
+                    .unwrap()
+                    .rows
+            })
+            .collect();
+        for kind in LayoutKind::ALL {
+            let config = ServiceConfig {
+                layout: Some(kind),
+                ..ServiceConfig::with_workers(1)
+            };
+            let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);
+            assert_eq!(service.layout_kind(), kind, "override must win");
+            for (text, want) in texts.iter().zip(&reference) {
+                let got = service
+                    .session()
+                    .execute(text, &QueryOptions::default())
+                    .unwrap();
+                assert_eq!(&got.rows, want, "{text} diverged under {kind}");
+            }
+            // Every query scanned base tables; the counters land in this
+            // layout's bucket and no other.
+            let m = service.metrics();
+            for (i, k) in LayoutKind::ALL.iter().enumerate() {
+                if *k == kind {
+                    assert!(m.scans_by_layout[i] > 0, "{m}");
+                } else {
+                    assert_eq!(m.scans_by_layout[i], 0, "{m}");
+                }
+            }
+            service.shutdown();
+        }
+        advised.shutdown();
+    }
+
+    #[test]
     fn parse_errors_surface_before_submission() {
         let service = small_service(1);
         let session = service.session();
@@ -933,10 +998,13 @@ mod tests {
     fn parallel_dop_matches_serial_and_moves_counters() {
         // Force parallel sections on the tiny fixture: threshold 1 and
         // a 2-row morsel cap make every join probe split into morsels.
+        // Pinned to the per-label layout: the advisor's denormalised
+        // slices replace the one probe large enough to split here.
         let config = ServiceConfig {
             max_dop: 4,
             parallel_row_threshold: 1,
             morsel_rows: 2,
+            layout: Some(LayoutKind::PerLabel),
             ..ServiceConfig::with_workers(2)
         };
         let service = Service::build(fig1_yago_schema(), fig2_yago_database(), config);

@@ -13,6 +13,9 @@
 //! 3. `execute_plan(index-enabled) == execute_plan(index-disabled) ==
 //!    execute(t)` — planning against the store's CSR adjacency indexes
 //!    never changes results.
+//!    3b. `execute_plan(layout)` is bit-identical to the reference
+//!    executor for every storage layout (per-label, polymorphic,
+//!    denormalised), serially and under morsel parallelism.
 //! 4. Every `Relation` operator returns a canonical (strictly sorted,
 //!    deduplicated) result, including the operators that skip the re-sort
 //!    because they provably preserve order.
@@ -559,6 +562,64 @@ fn parallel_execution_is_bit_identical_to_serial() {
                 serial, par,
                 "DOP={dop} changed results (seed {seed}) for {expr:?}"
             );
+        }
+    }
+}
+
+#[test]
+fn storage_layouts_are_bit_identical_to_the_reference_executor() {
+    // The pluggable-layout soundness property: for random optimised
+    // terms (joins, unions, label filters and fixpoints via `plus`),
+    // planning and executing against every storage layout — per-label,
+    // polymorphic (masked multi scans), denormalised (precomputed
+    // endpoint-label slices) — produces results bit-identical to the
+    // term-level reference executor, serially and at DOP ∈ {2, 7}.
+    let db = fig2_yago_database();
+    let reference_store = RelStore::load(&db);
+    let (v0, v1) = (
+        reference_store.symbols.col("v0"),
+        reference_store.symbols.col("v1"),
+    );
+    let stores: Vec<RelStore> = sgq_ra::LayoutKind::ALL
+        .iter()
+        .map(|&k| RelStore::load_with_layout(&db, k))
+        .collect();
+    for seed in 0..64u64 {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x1a40);
+        let expr = random_expr(&db, &mut rng, 3);
+        let mut names = NameGen::new(&reference_store.symbols);
+        let term = path_to_term(&expr, v0, v1, &mut names);
+        let term = random_filters(&db, &mut rng, term, &[v0, v1]);
+
+        let mut ctx = ExecContext::new();
+        let reference = execute(&term, &reference_store, &mut ctx).expect("term executes");
+        let head = [v0, v1];
+        let reference = reference.project(&head);
+        for store in &stores {
+            // Each layout plans with its own capabilities (masked scans,
+            // denorm slices) — lower against this store, not a shared plan.
+            let p = plan(&optimize(&term, store), store).expect("plan lowers");
+            let mut ctx = ExecContext::new();
+            let serial = execute_plan(&p, store, &mut ctx).expect("plan executes");
+            assert_eq!(
+                reference,
+                serial.project(&head),
+                "layout {} changed semantics (seed {seed}) for {expr:?}",
+                store.layout_kind()
+            );
+            for dop in [2usize, 7] {
+                let mut ctx = ExecContext::new();
+                ctx.dop = dop;
+                ctx.parallel_threshold = 1;
+                ctx.morsel_rows = 2;
+                let par = execute_plan(&p, store, &mut ctx).expect("parallel plan executes");
+                assert_eq!(
+                    serial,
+                    par,
+                    "layout {} DOP={dop} changed results (seed {seed}) for {expr:?}",
+                    store.layout_kind()
+                );
+            }
         }
     }
 }
