@@ -45,6 +45,27 @@ pub enum SgqError {
         /// The queue capacity that was exhausted.
         capacity: usize,
     },
+    /// A query materialised more bytes of intermediate state than its
+    /// memory budget allows (the [`crate::governor::ResourceGovernor`]
+    /// aborts the query instead of letting the process OOM).
+    BudgetExceeded {
+        /// Bytes charged when the budget tripped.
+        used: usize,
+        /// The configured ceiling, in bytes.
+        limit: usize,
+    },
+    /// An internal invariant failure (e.g. a worker panic caught by the
+    /// serving layer), carrying the panic payload or diagnostic text.
+    /// Never retryable: it signals a bug, not a transient condition.
+    Internal(String),
+    /// A deterministic injected fault from an armed
+    /// [`crate::fault`] plan. Classified retryable: the chaos harness
+    /// and the service's backoff helper treat it exactly like a
+    /// transient infrastructure hiccup.
+    Transient {
+        /// The fault-point site that fired.
+        site: &'static str,
+    },
 }
 
 impl fmt::Display for SgqError {
@@ -65,8 +86,21 @@ impl fmt::Display for SgqError {
             SgqError::Busy { capacity } => {
                 write!(
                     f,
-                    "service busy: admission queue full (capacity {capacity})"
+                    "service busy: admission queue full (capacity {capacity}); retry with backoff"
                 )
+            }
+            SgqError::BudgetExceeded { used, limit } => {
+                write!(
+                    f,
+                    "memory budget exceeded ({used} bytes materialised, limit {limit}); \
+                     narrow the query or raise its memory budget"
+                )
+            }
+            SgqError::Internal(m) => {
+                write!(f, "internal error (this is a bug, not a caller error): {m}")
+            }
+            SgqError::Transient { site } => {
+                write!(f, "transient fault injected at {site}; safe to retry")
             }
         }
     }
@@ -98,6 +132,39 @@ impl SgqError {
     /// treats it like a timeout: infeasible, not failed).
     pub fn is_row_budget(&self) -> bool {
         matches!(self, SgqError::RowBudget { .. })
+    }
+
+    /// Whether this error is a memory-budget breach (the governor
+    /// aborted the query to protect the process).
+    pub fn is_budget(&self) -> bool {
+        matches!(self, SgqError::BudgetExceeded { .. })
+    }
+
+    /// Whether this error is an internal failure (a contained worker
+    /// panic or broken invariant).
+    pub fn is_internal(&self) -> bool {
+        matches!(self, SgqError::Internal(_))
+    }
+
+    /// Whether this error is an injected transient fault.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SgqError::Transient { .. })
+    }
+
+    /// Whether a caller should retry the same request unchanged.
+    ///
+    /// The classification table:
+    ///
+    /// * **retryable** — [`SgqError::Busy`] (admission back-pressure:
+    ///   the queue drains) and [`SgqError::Transient`] (injected
+    ///   transients vanish on re-execution);
+    /// * **not retryable** — everything else: parse/schema/query errors
+    ///   are caller bugs, [`SgqError::Timeout`] / [`SgqError::RowBudget`]
+    ///   / [`SgqError::BudgetExceeded`] would breach the same limit
+    ///   again, and [`SgqError::Internal`] signals a server-side bug a
+    ///   retry cannot fix.
+    pub fn retryable(&self) -> bool {
+        matches!(self, SgqError::Busy { .. } | SgqError::Transient { .. })
     }
 }
 
@@ -142,7 +209,64 @@ mod tests {
         assert!(!e.is_timeout());
         assert_eq!(
             e.to_string(),
-            "service busy: admission queue full (capacity 8)"
+            "service busy: admission queue full (capacity 8); retry with backoff"
         );
+    }
+
+    #[test]
+    fn budget_exceeded_predicate_and_display() {
+        let e = SgqError::BudgetExceeded {
+            used: 4096,
+            limit: 1024,
+        };
+        assert!(e.is_budget());
+        assert!(!e.is_row_budget());
+        assert!(!e.is_timeout());
+        assert_eq!(
+            e.to_string(),
+            "memory budget exceeded (4096 bytes materialised, limit 1024); \
+             narrow the query or raise its memory budget"
+        );
+    }
+
+    #[test]
+    fn internal_and_transient_display() {
+        let e = SgqError::Internal("worker panicked: boom".into());
+        assert!(e.is_internal());
+        assert_eq!(
+            e.to_string(),
+            "internal error (this is a bug, not a caller error): worker panicked: boom"
+        );
+        let t = SgqError::Transient {
+            site: "exec.hash_build",
+        };
+        assert!(t.is_transient());
+        assert_eq!(
+            t.to_string(),
+            "transient fault injected at exec.hash_build; safe to retry"
+        );
+    }
+
+    #[test]
+    fn retryable_classification_table() {
+        // Every variant, classified. Retryable: back-pressure and
+        // injected transients only.
+        let table: Vec<(SgqError, bool)> = vec![
+            (SgqError::parse("x", 0), false),
+            (SgqError::Schema("x".into()), false),
+            (SgqError::Consistency("x".into()), false),
+            (SgqError::Query("x".into()), false),
+            (SgqError::NotExpressible("x".into()), false),
+            (SgqError::Execution("x".into()), false),
+            (SgqError::RowBudget { rows: 2, budget: 1 }, false),
+            (SgqError::Timeout { limit_ms: 1 }, false),
+            (SgqError::Busy { capacity: 1 }, true),
+            (SgqError::BudgetExceeded { used: 2, limit: 1 }, false),
+            (SgqError::Internal("x".into()), false),
+            (SgqError::Transient { site: "s" }, true),
+        ];
+        for (err, want) in table {
+            assert_eq!(err.retryable(), want, "misclassified: {err}");
+        }
     }
 }

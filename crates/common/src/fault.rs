@@ -1,0 +1,292 @@
+//! Deterministic fault injection for robustness testing.
+//!
+//! A *fault point* is a named site in the engine (`"exec.scan"`,
+//! `"service.dispatch"`, ...) guarded by the [`faultpoint!`](crate::faultpoint) macro.
+//! Disarmed — the default, and the only state production code ever
+//! sees — a fault point is a single relaxed atomic load and a
+//! predicted-not-taken branch: effectively free. Armed via [`arm`], each
+//! visit consults a seeded SplitMix64 stream and, with the configured
+//! probability, either returns [`SgqError::Transient`] (the common case:
+//! a classified, retryable failure) or panics (to exercise the serving
+//! layer's panic containment).
+//!
+//! Determinism: the decision stream is a single seeded generator
+//! consumed in visit order, so a *sequential* workload replays the exact
+//! same fault schedule for the same seed. The chaos harness drives the
+//! catalog with one client for precisely this reason.
+//!
+//! The state is process-global. Tests that arm faults must serialise
+//! against each other (the service crate keeps all of them in one
+//! integration binary behind a mutex) and must [`disarm`] on every exit
+//! path — [`ArmedGuard`] does this on drop.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::error::{Result, SgqError};
+use crate::rng::Rng;
+
+/// What an armed fault point does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return [`SgqError::Transient`] naming the site (retryable).
+    Error,
+    /// Panic with a message naming the site (exercises containment).
+    Panic,
+}
+
+/// A fault-injection plan: which sites fire, how often, and how.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Seed for the SplitMix64 decision stream.
+    pub seed: u64,
+    /// Per-visit fire probability in `[0, 1]`.
+    pub probability: f64,
+    /// Restrict firing to this site (`None` = every site).
+    pub site: Option<&'static str>,
+    /// What firing does.
+    pub kind: FaultKind,
+}
+
+impl FaultConfig {
+    /// A plan firing [`FaultKind::Error`] at every site with the given
+    /// seed and probability.
+    pub fn errors(seed: u64, probability: f64) -> Self {
+        FaultConfig {
+            seed,
+            probability,
+            site: None,
+            kind: FaultKind::Error,
+        }
+    }
+}
+
+/// Fire counts per site from an armed session, returned by [`disarm`].
+pub type FireReport = BTreeMap<&'static str, u64>;
+
+struct FaultState {
+    rng: Rng,
+    probability: f64,
+    site: Option<&'static str>,
+    kind: FaultKind,
+    fired: FireReport,
+    visited: FireReport,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static STATE: Mutex<Option<FaultState>> = Mutex::new(None);
+
+/// Whether any fault plan is armed. This is the fast-path guard the
+/// [`faultpoint!`](crate::faultpoint) macro checks before touching the mutex: one relaxed
+/// load when disarmed.
+#[inline]
+pub fn armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Installs a fault plan. Replaces any previously armed plan (its fire
+/// report is discarded).
+pub fn arm(config: FaultConfig) {
+    let mut guard = STATE.lock().unwrap();
+    *guard = Some(FaultState {
+        rng: Rng::seed_from_u64(config.seed),
+        probability: config.probability.clamp(0.0, 1.0),
+        site: config.site,
+        kind: config.kind,
+        fired: FireReport::new(),
+        visited: FireReport::new(),
+    });
+    ARMED.store(true, Ordering::Relaxed);
+}
+
+/// Removes the armed plan and returns how many times each site fired
+/// (empty if nothing was armed).
+pub fn disarm() -> FireReport {
+    let mut guard = STATE.lock().unwrap();
+    ARMED.store(false, Ordering::Relaxed);
+    guard.take().map(|s| s.fired).unwrap_or_default()
+}
+
+/// Per-site visit counts for the armed plan (how often execution reached
+/// each fault point, fired or not). Empty when disarmed.
+pub fn visit_report() -> FireReport {
+    STATE
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map(|s| s.visited.clone())
+        .unwrap_or_default()
+}
+
+/// Arms a plan and disarms it when the returned guard drops, so a
+/// panicking or early-returning test cannot leak an armed plan into the
+/// next one.
+pub fn armed_scope(config: FaultConfig) -> ArmedGuard {
+    arm(config);
+    ArmedGuard { _private: () }
+}
+
+/// Disarms the global fault plan on drop. See [`armed_scope`].
+pub struct ArmedGuard {
+    _private: (),
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        let _ = disarm();
+    }
+}
+
+/// The slow path behind [`faultpoint!`](crate::faultpoint): consults the armed plan and
+/// fires with the configured probability. Call only when [`armed`] is
+/// true (calling while disarmed is a harmless no-op).
+pub fn check(site: &'static str) -> Result<()> {
+    let mut guard = STATE.lock().unwrap();
+    let Some(state) = guard.as_mut() else {
+        return Ok(());
+    };
+    if let Some(only) = state.site {
+        if only != site {
+            return Ok(());
+        }
+    }
+    *state.visited.entry(site).or_insert(0) += 1;
+    if !state.rng.gen_bool(state.probability) {
+        return Ok(());
+    }
+    *state.fired.entry(site).or_insert(0) += 1;
+    match state.kind {
+        FaultKind::Error => Err(SgqError::Transient { site }),
+        FaultKind::Panic => {
+            // Release the lock before unwinding so the containment layer
+            // (and later tests) can still reach the fault state.
+            drop(guard);
+            panic!("injected fault at {site}");
+        }
+    }
+}
+
+/// Guards a named fault-injection site.
+///
+/// Expands to a relaxed atomic load when disarmed — zero cost on every
+/// production path — and to a [`fault::check`](check) call (which may
+/// return `Err(SgqError::Transient)` via `?`, or panic under a
+/// [`FaultKind::Panic`] plan) when a plan is armed.
+///
+/// ```
+/// # fn scan() -> sgq_common::Result<()> {
+/// sgq_common::faultpoint!("exec.scan");
+/// # Ok(())
+/// # }
+/// ```
+#[macro_export]
+macro_rules! faultpoint {
+    ($site:literal) => {
+        if $crate::fault::armed() {
+            $crate::fault::check($site)?;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Fault state is process-global; serialise the tests in this module.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn visit(site: &'static str) -> Result<()> {
+        faultpoint!("test.a");
+        faultpoint!("test.b");
+        let _ = site;
+        Ok(())
+    }
+
+    #[test]
+    fn disarmed_is_a_no_op() {
+        let _l = locked();
+        let _ = disarm();
+        assert!(!armed());
+        for _ in 0..100 {
+            visit("test.a").unwrap();
+        }
+        assert!(disarm().is_empty());
+    }
+
+    #[test]
+    fn probability_one_fires_every_visit() {
+        let _l = locked();
+        let _guard = armed_scope(FaultConfig::errors(42, 1.0));
+        let err = visit("test.a").unwrap_err();
+        assert_eq!(err, SgqError::Transient { site: "test.a" });
+    }
+
+    #[test]
+    fn site_filter_restricts_firing() {
+        let _l = locked();
+        let _guard = armed_scope(FaultConfig {
+            seed: 7,
+            probability: 1.0,
+            site: Some("test.b"),
+            kind: FaultKind::Error,
+        });
+        // test.a is visited first but filtered out; test.b fires.
+        let err = visit("test.a").unwrap_err();
+        assert_eq!(err, SgqError::Transient { site: "test.b" });
+        let report = disarm();
+        assert_eq!(report.get("test.b"), Some(&1));
+        assert_eq!(report.get("test.a"), None);
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_schedule() {
+        let _l = locked();
+        let run = |seed: u64| -> Vec<bool> {
+            let _guard = armed_scope(FaultConfig::errors(seed, 0.3));
+            (0..64).map(|_| visit("test.a").is_err()).collect()
+        };
+        let a = run(99);
+        let b = run(99);
+        let c = run(100);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_ne!(a, c, "different seed, different schedule");
+        assert!(a.iter().any(|&f| f), "p=0.3 over 64 visits fires");
+        assert!(!a.iter().all(|&f| f), "...but not every time");
+    }
+
+    #[test]
+    fn fire_report_counts_per_site() {
+        let _l = locked();
+        arm(FaultConfig::errors(5, 1.0));
+        for _ in 0..3 {
+            let _ = visit("test.a");
+        }
+        let visits = visit_report();
+        assert_eq!(visits.get("test.a"), Some(&3));
+        let report = disarm();
+        assert_eq!(report.get("test.a"), Some(&3), "fires on first site only");
+        assert!(!armed());
+    }
+
+    #[test]
+    fn panic_kind_panics_with_the_site_name() {
+        let _l = locked();
+        let _guard = armed_scope(FaultConfig {
+            seed: 1,
+            probability: 1.0,
+            site: None,
+            kind: FaultKind::Panic,
+        });
+        let caught = std::panic::catch_unwind(|| {
+            let _ = visit("test.a");
+        })
+        .unwrap_err();
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert_eq!(msg, "injected fault at test.a");
+    }
+}

@@ -8,12 +8,17 @@
 //! * sorted-vector set algebra used by the engines ([`sorted`]),
 //! * the shared error type ([`error`]),
 //! * a minimal JSON writer used by every JSON-exporting component
-//!   ([`json`]).
+//!   ([`json`]),
+//! * lock-free memory accounting with per-query and global ceilings
+//!   ([`governor`]),
+//! * deterministic fault injection for robustness testing ([`fault`]).
 
 #![warn(missing_docs)]
 
 pub mod axes;
 pub mod error;
+pub mod fault;
+pub mod governor;
 pub mod hash;
 pub mod id;
 pub mod intern;
@@ -23,6 +28,8 @@ pub mod sorted;
 
 pub use axes::{Approach, Backend};
 pub use error::{Result, SgqError};
+pub use fault::{FaultConfig, FaultKind, FireReport};
+pub use governor::{relation_bytes, QueryBudget, ResourceGovernor};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{ColId, EdgeId, EdgeLabelId, KeyId, NodeId, NodeLabelId, RecVarId, VarId};
 pub use intern::Interner;

@@ -6,12 +6,13 @@
 //!                 [--out results.json]
 //!                 [--smoke] [--serve-workers 1,2,4] [--serve-clients N]
 //!                 [--serve-iters N] [--serve-sf X] [--est-sf X]
+//!                 [--chaos-sf X] [--chaos-prob P] [--chaos-seeds a,b,c]
 //!
 //! EXPERIMENTS: all (default) | table3 | table5 | table6 | table7 | table8
 //!              | fig12 | fig13 | fig14 | fig15 | fig17 | reverts
 //!              | plans | smoke | serve | estimates | parallel | observe
-//!              | layouts
-//!              (the last seven run explicit only, not as part of `all`)
+//!              | layouts | chaos
+//!              (the last eight run explicit only, not as part of `all`)
 //!
 //! `plans` prints the physical execution plans of Fig. 2 showcase
 //! queries (join strategies, build sides, fixpoint caching counters);
@@ -42,11 +43,18 @@
 //! against the schema-driven advisor's pick; `layouts --smoke` is the
 //! CI gate at smoke scale additionally requiring at least one query to
 //! plan measurably cheaper under a non-default layout.
+//! `chaos` replays the LDBC catalog under seeded deterministic fault
+//! injection (`--chaos-sf`, `--chaos-prob`, `--chaos-seeds`), asserting
+//! every query completes bit-identically to the fault-free reference or
+//! fails with a classified retryable error, with zero worker deaths and
+//! a balanced memory governor; `chaos --smoke` is the CI gate at smoke
+//! scale with a single fixed seed.
 //! ```
 
 use std::io::Write as _;
 
 use sgq_core::RedundancyRule;
+use sgq_harness::chaos::{self, ChaosConfig};
 use sgq_harness::estimates::{self, EstimatesConfig};
 use sgq_harness::experiments::{self, ExperimentConfig, ServeConfig};
 use sgq_harness::layouts::{self, LayoutsConfig};
@@ -63,6 +71,7 @@ fn main() {
     let mut par_cfg = ParallelConfig::default();
     let mut obs_cfg = ObserveConfig::default();
     let mut lay_cfg = LayoutsConfig::default();
+    let mut chaos_cfg = ChaosConfig::default();
     let mut smoke_variant = false;
     let mut out_path: Option<String> = None;
 
@@ -78,6 +87,7 @@ fn main() {
                 par_cfg.timeout_ms = ms;
                 obs_cfg.timeout_ms = ms;
                 lay_cfg.timeout_ms = ms;
+                chaos_cfg.timeout_ms = ms;
             }
             "--reps" => {
                 i += 1;
@@ -140,6 +150,21 @@ fn main() {
                 i += 1;
                 serve_cfg.sf = args[i].parse().expect("--serve-sf takes a number");
             }
+            "--chaos-sf" => {
+                i += 1;
+                chaos_cfg.sf = args[i].parse().expect("--chaos-sf takes a number");
+            }
+            "--chaos-prob" => {
+                i += 1;
+                chaos_cfg.probability = args[i].parse().expect("--chaos-prob takes a number");
+            }
+            "--chaos-seeds" => {
+                i += 1;
+                chaos_cfg.seeds = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--chaos-seeds takes a,b,c"))
+                    .collect();
+            }
             other => wanted.push(other.to_string()),
         }
         i += 1;
@@ -193,6 +218,13 @@ fn main() {
             println!("{}", layouts::layouts_smoke());
         } else {
             println!("{}", layouts::layouts(&lay_cfg));
+        }
+    }
+    if want_exact("chaos") {
+        if smoke_variant {
+            println!("{}", chaos::chaos_smoke());
+        } else {
+            println!("{}", chaos::chaos(&chaos_cfg));
         }
     }
 

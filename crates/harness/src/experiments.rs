@@ -838,10 +838,12 @@ pub struct ServeRun {
 /// Drives `clients` closed-loop client threads over an existing
 /// service: each keeps one query in flight for `passes` passes over
 /// `queries` (offset per client so the loop does not hit the same
-/// statement in lock-step), retrying `Busy` rejections. Returns
-/// `(completed, busy_retries)`; other errors are counted in the service
-/// metrics. Shared by [`closed_loop`] and the `service_throughput`
-/// bench.
+/// statement in lock-step), retrying retryable errors (`Busy`, injected
+/// transients) through [`sgq_service::retry_with_backoff`] with a
+/// jittered exponential backoff instead of a hot spin. Returns
+/// `(completed, retries)`; non-retryable errors are counted in the
+/// service metrics. Shared by [`closed_loop`] and the
+/// `service_throughput` bench.
 pub fn run_clients(
     service: &sgq_service::Service,
     queries: &[String],
@@ -849,6 +851,7 @@ pub fn run_clients(
     passes: usize,
     opts: &sgq_service::QueryOptions,
 ) -> (u64, u64) {
+    use sgq_service::{retry_with_backoff, RetryPolicy};
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..clients)
             .map(|client| {
@@ -856,26 +859,24 @@ pub fn run_clients(
                 let opts = *opts;
                 s.spawn(move || {
                     let mut ok = 0u64;
-                    let mut busy = 0u64;
+                    let mut retries = 0u64;
+                    // Unbounded: a closed-loop client must eventually
+                    // admit every request; the backoff (100 µs doubling
+                    // to a 10 ms cap, jitter seeded per client) keeps
+                    // the waiting off the CPU and decorrelated.
+                    let policy = RetryPolicy::unbounded(0x9e3779b9 ^ client as u64);
                     for pass in 0..passes {
                         for i in 0..queries.len() {
                             let q = &queries[(i + client + pass) % queries.len()];
-                            loop {
-                                match session.execute(q, &opts) {
-                                    Ok(_) => {
-                                        ok += 1;
-                                        break;
-                                    }
-                                    Err(e) if e.is_busy() => {
-                                        busy += 1;
-                                        std::thread::yield_now();
-                                    }
-                                    Err(_) => break, // counted in metrics
-                                }
-                            }
+                            let (result, spent) =
+                                retry_with_backoff(policy, || session.execute(q, &opts));
+                            retries += spent;
+                            if result.is_ok() {
+                                ok += 1;
+                            } // errors are counted in the service metrics
                         }
                     }
-                    (ok, busy)
+                    (ok, retries)
                 })
             })
             .collect();

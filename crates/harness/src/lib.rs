@@ -21,12 +21,18 @@
 //!   replay, Chrome-trace export validation, span-vs-analyze agreement
 //!   and the disabled-tracer overhead budget (CI-gated via
 //!   `observe --smoke`),
+//! * [`chaos`] — deterministic fault injection over the LDBC catalog:
+//!   seeded fault schedules at every `faultpoint!` site, asserting each
+//!   query completes bit-identically to the fault-free reference or
+//!   fails classified-retryable, with zero worker deaths and a balanced
+//!   memory governor (CI-gated via `chaos --smoke`),
 //! * [`records`] — serialisable raw measurements (dumped via
 //!   `sgq-experiments --out results.json` so every number is
 //!   regenerable).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod estimates;
 pub mod experiments;
 pub mod layouts;

@@ -45,7 +45,9 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use sgq_common::{ColId, FxHashMap, NodeId, RecVarId, Result, SgqError};
+use sgq_common::{
+    faultpoint, relation_bytes, ColId, FxHashMap, NodeId, QueryBudget, RecVarId, Result, SgqError,
+};
 use sgq_obs::{OpSpan, OpTraceBuilder, TraceClock};
 
 use crate::parallel::{self, TaskScheduler};
@@ -116,6 +118,10 @@ pub struct ExecContext {
     /// Trips when any morsel breaches the deadline or row budget, so
     /// sibling morsels stop at their next poll.
     cancelled: Arc<AtomicBool>,
+    /// Memory budget charged at every materialisation point (rows ×
+    /// arity × 4 bytes), shared with morsel workers. `None` (the
+    /// default) skips memory accounting entirely.
+    pub budget: Option<Arc<QueryBudget>>,
 }
 
 impl Default for ExecContext {
@@ -139,6 +145,7 @@ impl Default for ExecContext {
             replans: 0,
             scheduler: None,
             cancelled: Arc::new(AtomicBool::new(false)),
+            budget: None,
         }
     }
 }
@@ -192,6 +199,9 @@ impl ExecContext {
                 budget: self.max_rows,
             });
         }
+        if let Some(budget) = &self.budget {
+            budget.charge(relation_bytes(rel.len(), rel.arity()))?;
+        }
         Ok(())
     }
 
@@ -204,6 +214,7 @@ impl ExecContext {
             max_rows: self.max_rows,
             rows: Arc::clone(&self.rows),
             cancelled: Arc::clone(&self.cancelled),
+            budget: self.budget.clone(),
         }
     }
 
@@ -245,6 +256,7 @@ struct Limits {
     max_rows: usize,
     rows: Arc<AtomicUsize>,
     cancelled: Arc<AtomicBool>,
+    budget: Option<Arc<QueryBudget>>,
 }
 
 impl Limits {
@@ -266,10 +278,12 @@ impl Limits {
         Ok(())
     }
 
-    /// Accounts one morsel's output rows against the shared budget; a
-    /// breach trips the cancel flag, so the overshoot is bounded by the
-    /// morsels already in flight (about one per worker).
-    fn record(&self, rows: usize) -> Result<()> {
+    /// Accounts one morsel's output rows against the shared row and
+    /// memory budgets; a breach trips the cancel flag, so the overshoot
+    /// is bounded by the morsels already in flight (about one per
+    /// worker). Budget errors are *real* errors (not cancel sentinels),
+    /// so [`ParSection::execute`] propagates them to the caller.
+    fn record(&self, rows: usize, arity: usize) -> Result<()> {
         let total = self.rows.fetch_add(rows, Ordering::Relaxed) + rows;
         if self.max_rows > 0 && total > self.max_rows {
             self.cancelled.store(true, Ordering::Relaxed);
@@ -277,6 +291,12 @@ impl Limits {
                 rows: total,
                 budget: self.max_rows,
             });
+        }
+        if let Some(budget) = &self.budget {
+            if let Err(e) = budget.charge(relation_bytes(rows, arity)) {
+                self.cancelled.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
         }
         Ok(())
     }
@@ -500,10 +520,12 @@ impl Interp<'_> {
         let out = match &p.op {
             PhysOp::EdgeScan { label } => {
                 self.ctx.scans += 1;
+                faultpoint!("exec.scan");
                 self.store.edge_table(*label).into_cols(p.cols.clone())
             }
             PhysOp::MultiEdgeScan { labels } => {
                 self.ctx.scans += 1;
+                faultpoint!("exec.scan");
                 // One masked pass over the polymorphic table; a layout
                 // without it degrades to the union-all the operator
                 // replaced (same rows by construction).
@@ -521,6 +543,7 @@ impl Interp<'_> {
                 tgt_label,
             } => {
                 self.ctx.scans += 1;
+                faultpoint!("exec.scan");
                 // The precomputed endpoint-label slice; a layout without
                 // it filters the base table through the sorted node sets
                 // (same rows, just not free).
@@ -539,6 +562,7 @@ impl Interp<'_> {
             }
             PhysOp::NodeScan { labels } => {
                 self.ctx.scans += 1;
+                faultpoint!("exec.scan");
                 if labels.is_empty() {
                     Relation::empty(p.cols.clone())
                 } else {
@@ -558,6 +582,7 @@ impl Interp<'_> {
                 merge,
             } => {
                 self.ctx.scans += 1;
+                faultpoint!("exec.scan");
                 let edges = self.store.edge_table(*label).into_cols(p.cols.clone());
                 if *merge {
                     let frel = self.eval(filter, cache.as_deref_mut())?;
@@ -619,6 +644,7 @@ impl Interp<'_> {
                             }
                             std::collections::hash_map::Entry::Vacant(slot) => {
                                 let rel = self.eval(build_plan, None)?;
+                                faultpoint!("exec.hash_build");
                                 let ctx = &mut *self.ctx;
                                 let index =
                                     Arc::new(JoinIndex::build(&rel, &build_key_pos, &mut || {
@@ -661,6 +687,7 @@ impl Interp<'_> {
                 } else {
                     (rel, build_key_pos, probe_rel, probe_key_pos, *build_left)
                 };
+                faultpoint!("exec.hash_build");
                 let ctx = &mut *self.ctx;
                 let index = Arc::new(JoinIndex::build(&build_rel, &build_pos, &mut || {
                     ctx.check()
@@ -687,6 +714,7 @@ impl Interp<'_> {
                 tgt_labels,
             } => {
                 let prel = self.eval(probe, cache)?;
+                faultpoint!("exec.csr_probe");
                 let csr = if *forward {
                     self.store.forward_csr(*label)
                 } else {
@@ -782,7 +810,7 @@ impl Interp<'_> {
                                     if !probe_leading {
                                         normalize_flat(arity, &mut data);
                                     }
-                                    limits.record(data.len() / arity)?;
+                                    limits.record(data.len() / arity, arity)?;
                                     Ok(data)
                                 }
                             })
@@ -848,6 +876,7 @@ impl Interp<'_> {
                 tgt_labels,
             } => {
                 let lrel = self.eval(left, cache)?;
+                faultpoint!("exec.csr_probe");
                 let csr = if *forward {
                     self.store.forward_csr(*label)
                 } else {
@@ -904,7 +933,7 @@ impl Interp<'_> {
                                             data.extend_from_slice(row);
                                         }
                                     }
-                                    limits.record(data.len() / arity)?;
+                                    limits.record(data.len() / arity, arity)?;
                                     Ok(data)
                                 }
                             })
@@ -985,6 +1014,7 @@ impl Interp<'_> {
                 let mut step_cache = StepCache::default();
                 while !delta.is_empty() {
                     self.ctx.check()?;
+                    faultpoint!("exec.fixpoint_round");
                     self.ctx.fixpoint_rounds += 1;
                     self.ctx.env.insert(*var, delta);
                     let round_cache = if self.ctx.no_fixpoint_cache {
@@ -1080,7 +1110,7 @@ impl Interp<'_> {
                             }
                         }
                         normalize_flat(arity, &mut data);
-                        limits.record(data.len() / arity)?;
+                        limits.record(data.len() / arity, arity)?;
                         Ok(data)
                     }
                 })
@@ -1135,6 +1165,7 @@ impl Interp<'_> {
                     }
                     std::collections::hash_map::Entry::Vacant(slot) => {
                         let frel = self.eval(filter_plan, None)?;
+                        faultpoint!("exec.hash_build");
                         let ctx = &mut *self.ctx;
                         let keys =
                             Arc::new(SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?);
@@ -1150,6 +1181,7 @@ impl Interp<'_> {
             }
         }
         let frel = self.eval(filter_plan, cache)?;
+        faultpoint!("exec.hash_build");
         let ctx = &mut *self.ctx;
         let keys = Arc::new(SemiKeys::build(&frel, filter_key_pos, &mut || ctx.check())?);
         self.ctx.hash_builds += 1;
@@ -1194,7 +1226,7 @@ fn filter_by_keys(
                             data.extend_from_slice(row);
                         }
                     }
-                    limits.record(data.len() / arity)?;
+                    limits.record(data.len() / arity, arity)?;
                     Ok(data)
                 }
             })

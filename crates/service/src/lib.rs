@@ -62,12 +62,14 @@ pub mod cache;
 pub mod metrics;
 pub mod pool;
 pub mod prepared;
+pub mod retry;
 pub mod service;
 
 pub use cache::{schema_fingerprint, CacheKey, CacheOutcome, CacheStats, PlanCache};
 pub use metrics::{LatencyHistogram, MetricsRegistry, MetricsSnapshot};
 pub use pool::WorkerPool;
 pub use prepared::{prepare, Approach, Backend, PreparedBody, PreparedQuery};
+pub use retry::{retry_with_backoff, retrying, RetryPolicy};
 pub use service::{
     PendingQuery, QueryOptions, QueryResponse, QueryStats, Service, ServiceConfig, Session,
 };

@@ -102,6 +102,11 @@ pub struct MetricsRegistry {
     completed: AtomicU64,
     errors: AtomicU64,
     row_budget_errors: AtomicU64,
+    memory_budget_errors: AtomicU64,
+    transient_errors: AtomicU64,
+    worker_panics: AtomicU64,
+    degraded_admissions: AtomicU64,
+    pressure_replans: AtomicU64,
     timeouts: AtomicU64,
     rejected: AtomicU64,
     total_micros: AtomicU64,
@@ -131,6 +136,11 @@ impl MetricsRegistry {
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             row_budget_errors: AtomicU64::new(0),
+            memory_budget_errors: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            degraded_admissions: AtomicU64::new(0),
+            pressure_replans: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             total_micros: AtomicU64::new(0),
@@ -153,8 +163,9 @@ impl MetricsRegistry {
 
     /// Records a failed query by kind: timeouts and admission
     /// rejections keep their dedicated counters; everything else counts
-    /// into `errors`, with row-budget breaches additionally tallied so
-    /// snapshots can break the total down.
+    /// into `errors`, with row-budget, memory-budget and injected
+    /// transient failures additionally tallied so snapshots can break
+    /// the total down.
     pub fn record_error(&self, err: &sgq_common::SgqError) {
         if err.is_timeout() {
             self.timeouts.fetch_add(1, Ordering::Relaxed);
@@ -164,6 +175,10 @@ impl MetricsRegistry {
             self.errors.fetch_add(1, Ordering::Relaxed);
             if err.is_row_budget() {
                 self.row_budget_errors.fetch_add(1, Ordering::Relaxed);
+            } else if err.is_budget() {
+                self.memory_budget_errors.fetch_add(1, Ordering::Relaxed);
+            } else if err.is_transient() {
+                self.transient_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -171,6 +186,25 @@ impl MetricsRegistry {
     /// Records an admission rejection ([`sgq_common::SgqError::Busy`]).
     pub fn record_rejected(&self) {
         self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker panic caught and converted to
+    /// [`sgq_common::SgqError::Internal`] (the query also lands in the
+    /// error counters via [`MetricsRegistry::record_error`]).
+    pub fn record_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a submission admitted through the degraded (halved)
+    /// queue because the governor was under memory pressure.
+    pub fn record_degraded_admission(&self) {
+        self.degraded_admissions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cached plan dropped under memory pressure because its
+    /// estimated output would not fit the governor's headroom.
+    pub fn record_pressure_replan(&self) {
+        self.pressure_replans.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a query's morsel-parallel work: `morsels` is the number of
@@ -216,11 +250,21 @@ impl MetricsRegistry {
         let to_ms = |micros: Option<f64>| micros.map_or(0.0, |us| us / 1e3);
         let errors = self.errors.load(Ordering::Relaxed);
         let row_budget = self.row_budget_errors.load(Ordering::Relaxed);
+        let memory_budget = self.memory_budget_errors.load(Ordering::Relaxed);
+        let transient = self.transient_errors.load(Ordering::Relaxed);
         MetricsSnapshot {
             completed,
             errors,
             errors_row_budget: row_budget,
-            errors_other: errors.saturating_sub(row_budget),
+            errors_memory_budget: memory_budget,
+            errors_transient: transient,
+            errors_other: errors
+                .saturating_sub(row_budget)
+                .saturating_sub(memory_budget)
+                .saturating_sub(transient),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            degraded_admissions: self.degraded_admissions.load(Ordering::Relaxed),
+            pressure_replans: self.pressure_replans.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             elapsed_s,
@@ -257,8 +301,20 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Of `errors`: row/pair-budget breaches.
     pub errors_row_budget: u64,
-    /// Of `errors`: everything that is not a budget breach.
+    /// Of `errors`: memory-budget breaches (governor aborts).
+    pub errors_memory_budget: u64,
+    /// Of `errors`: injected transient faults.
+    pub errors_transient: u64,
+    /// Of `errors`: everything not broken out above.
     pub errors_other: u64,
+    /// Worker panics caught and converted to structured errors.
+    pub worker_panics: u64,
+    /// Submissions admitted through the degraded (halved) queue while
+    /// the governor was under memory pressure.
+    pub degraded_admissions: u64,
+    /// Cached plans dropped under memory pressure (estimated output
+    /// exceeded the governor's headroom) and re-prepared.
+    pub pressure_replans: u64,
     /// Queries that exceeded their deadline.
     pub timeouts: u64,
     /// Queries rejected at admission (queue full / busy).
@@ -306,7 +362,18 @@ impl MetricsSnapshot {
             ("errors_timeout", JsonValue::Int(self.timeouts)),
             ("errors_busy", JsonValue::Int(self.rejected)),
             ("errors_row_budget", JsonValue::Int(self.errors_row_budget)),
+            (
+                "errors_memory_budget",
+                JsonValue::Int(self.errors_memory_budget),
+            ),
+            ("errors_transient", JsonValue::Int(self.errors_transient)),
             ("errors_other", JsonValue::Int(self.errors_other)),
+            ("worker_panics", JsonValue::Int(self.worker_panics)),
+            (
+                "degraded_admissions",
+                JsonValue::Int(self.degraded_admissions),
+            ),
+            ("pressure_replans", JsonValue::Int(self.pressure_replans)),
             ("timeouts", JsonValue::Int(self.timeouts)),
             ("rejected", JsonValue::Int(self.rejected)),
             ("elapsed_s", JsonValue::Num(self.elapsed_s)),
@@ -362,17 +429,27 @@ impl std::fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "queries: {} ok, {} errors ({} row-budget, {} other), {} timeouts, \
-             {} rejected ({:.1} qps over {:.2}s)",
+            "queries: {} ok, {} errors ({} row-budget, {} memory-budget, {} transient, \
+             {} other), {} timeouts, {} rejected ({:.1} qps over {:.2}s)",
             self.completed,
             self.errors,
             self.errors_row_budget,
+            self.errors_memory_budget,
+            self.errors_transient,
             self.errors_other,
             self.timeouts,
             self.rejected,
             self.qps,
             self.elapsed_s
         )?;
+        if self.worker_panics + self.degraded_admissions + self.pressure_replans > 0 {
+            writeln!(
+                f,
+                "robustness: {} worker panics contained, {} degraded admissions, \
+                 {} pressure re-prepares",
+                self.worker_panics, self.degraded_admissions, self.pressure_replans
+            )?;
+        }
         writeln!(
             f,
             "latency: mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
@@ -623,19 +700,57 @@ mod tests {
             budget: 20,
         });
         m.record_error(&sgq_common::SgqError::Execution("boom".into()));
+        m.record_error(&sgq_common::SgqError::BudgetExceeded { used: 9, limit: 8 });
+        m.record_error(&sgq_common::SgqError::Transient { site: "exec.scan" });
+        m.record_error(&sgq_common::SgqError::Internal("bug".into()));
         let s = m.snapshot(CacheStats::default());
         assert_eq!(s.timeouts, 1);
         assert_eq!(s.rejected, 1);
-        assert_eq!(s.errors, 3);
+        assert_eq!(s.errors, 6);
         assert_eq!(s.errors_row_budget, 2);
-        assert_eq!(s.errors_other, 1);
+        assert_eq!(s.errors_memory_budget, 1);
+        assert_eq!(s.errors_transient, 1);
+        assert_eq!(s.errors_other, 2, "Execution + Internal");
         let json = s.to_json();
         assert!(json.contains("\"errors_timeout\": 1"), "{json}");
         assert!(json.contains("\"errors_busy\": 1"), "{json}");
         assert!(json.contains("\"errors_row_budget\": 2"), "{json}");
-        assert!(json.contains("\"errors_other\": 1"), "{json}");
+        assert!(json.contains("\"errors_memory_budget\": 1"), "{json}");
+        assert!(json.contains("\"errors_transient\": 1"), "{json}");
+        assert!(json.contains("\"errors_other\": 2"), "{json}");
         let text = s.to_string();
-        assert!(text.contains("3 errors (2 row-budget, 1 other)"), "{text}");
+        assert!(
+            text.contains("6 errors (2 row-budget, 1 memory-budget, 1 transient, 2 other)"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn robustness_counters_pin_text_and_json() {
+        let m = MetricsRegistry::new();
+        // The robustness line only renders when something happened.
+        let quiet = m.snapshot(CacheStats::default());
+        assert!(!quiet.to_string().contains("robustness"), "{quiet}");
+        m.record_worker_panic();
+        m.record_degraded_admission();
+        m.record_degraded_admission();
+        m.record_pressure_replan();
+        let s = m.snapshot(CacheStats::default());
+        assert_eq!(s.worker_panics, 1);
+        assert_eq!(s.degraded_admissions, 2);
+        assert_eq!(s.pressure_replans, 1);
+        let json = s.to_json();
+        assert!(json.contains("\"worker_panics\": 1"), "{json}");
+        assert!(json.contains("\"degraded_admissions\": 2"), "{json}");
+        assert!(json.contains("\"pressure_replans\": 1"), "{json}");
+        let text = s.to_string();
+        assert!(
+            text.contains(
+                "robustness: 1 worker panics contained, 2 degraded admissions, \
+                 1 pressure re-prepares"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

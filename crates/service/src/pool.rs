@@ -12,6 +12,7 @@
 //! threads. Dropping the pool shuts it down the same way.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
@@ -30,6 +31,8 @@ struct Shared {
     /// Signalled when a job is enqueued or shutdown begins.
     available: Condvar,
     capacity: usize,
+    /// Panics caught (and contained) by worker threads.
+    panics: AtomicU64,
 }
 
 impl Shared {
@@ -67,6 +70,7 @@ impl WorkerPool {
             }),
             available: Condvar::new(),
             capacity: queue_capacity.max(1),
+            panics: AtomicU64::new(0),
         });
         let handles = (0..worker_count)
             .map(|i| {
@@ -102,20 +106,37 @@ impl WorkerPool {
     /// Enqueues a job, or rejects it right away: [`SgqError::Busy`] when
     /// the queue is at capacity, an execution error after shutdown.
     pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<()> {
+        self.try_submit_capped(self.shared.capacity, job)
+    }
+
+    /// Like [`WorkerPool::try_submit`] but admitting only while the
+    /// queue is shorter than `min(cap, capacity)` — the degradation
+    /// hook: under memory pressure the service shrinks the *effective*
+    /// queue without reconfiguring the pool. `Busy` reports the
+    /// effective bound the caller actually hit.
+    pub fn try_submit_capped(&self, cap: usize, job: impl FnOnce() + Send + 'static) -> Result<()> {
+        let effective = cap.clamp(1, self.shared.capacity);
         {
             let mut q = self.shared.lock();
             if q.shutdown {
                 return Err(SgqError::Execution("worker pool is shut down".into()));
             }
-            if q.jobs.len() >= self.shared.capacity {
+            if q.jobs.len() >= effective {
                 return Err(SgqError::Busy {
-                    capacity: self.shared.capacity,
+                    capacity: effective,
                 });
             }
             q.jobs.push_back(Box::new(job));
         }
         self.shared.available.notify_one();
         Ok(())
+    }
+
+    /// Panics caught by worker threads since the pool started. Every
+    /// count is a contained failure: the worker survived and kept
+    /// draining the queue.
+    pub fn panic_count(&self) -> u64 {
+        self.shared.panics.load(Ordering::Relaxed)
     }
 
     /// Graceful shutdown: stops admission, drains the queued jobs, joins
@@ -158,10 +179,15 @@ fn worker_loop(shared: &Shared) {
             Some(j) => {
                 // A panicking job must not take the worker down with it:
                 // the thread would silently stop draining and every
-                // later submission would queue forever. The job's
-                // response sender is dropped by the unwind, so the
-                // waiting client sees a disconnect error instead.
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(j));
+                // later submission would queue forever. The service's
+                // jobs catch their own panics and reply with a
+                // structured `SgqError::Internal`; this backstop covers
+                // a panic escaping the job wrapper itself (the response
+                // sender is dropped by the unwind, so the waiting client
+                // sees a disconnect error, not a hang) and counts it.
+                if std::panic::catch_unwind(std::panic::AssertUnwindSafe(j)).is_err() {
+                    shared.panics.fetch_add(1, Ordering::Relaxed);
+                }
             }
             None => return,
         }
@@ -247,6 +273,7 @@ mod tests {
     #[test]
     fn panicking_job_does_not_kill_the_worker() {
         let pool = WorkerPool::new(1, 8);
+        assert_eq!(pool.panic_count(), 0);
         pool.try_submit(|| panic!("job panic must be contained"))
             .unwrap();
         // The single worker must survive and run the next job.
@@ -257,6 +284,63 @@ mod tests {
             Ok(42),
             "worker died on a panicking job"
         );
+        pool.shutdown();
+        assert_eq!(pool.panic_count(), 1, "the contained panic is counted");
+    }
+
+    #[test]
+    fn panicking_job_drops_its_sender_instead_of_hanging() {
+        // The regression for the swallowed-panic bug: a caller waiting
+        // on a panicked job's response channel must get a prompt
+        // disconnect, never a hang.
+        let pool = WorkerPool::new(1, 8);
+        let (tx, rx) = mpsc::channel::<i32>();
+        pool.try_submit(move || {
+            let _keep = tx; // dropped by the unwind
+            panic!("boom");
+        })
+        .unwrap();
+        let err = rx.recv_timeout(std::time::Duration::from_secs(10));
+        assert!(
+            matches!(err, Err(mpsc::RecvTimeoutError::Disconnected)),
+            "expected disconnect, got {err:?}"
+        );
+        // And the worker still serves the next job.
+        let (tx2, rx2) = mpsc::channel();
+        pool.try_submit(move || tx2.send(7).unwrap()).unwrap();
+        assert_eq!(rx2.recv_timeout(std::time::Duration::from_secs(10)), Ok(7));
+        // Checked only after job 2 ran: the sender drops mid-unwind,
+        // strictly before the same worker counts the panic and moves on.
+        assert_eq!(pool.panic_count(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn capped_submit_shrinks_the_effective_queue() {
+        let pool = WorkerPool::new(1, 8);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (running_tx, running_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            running_tx.send(()).unwrap();
+            gate_rx.recv().unwrap();
+        })
+        .unwrap();
+        running_rx.recv().unwrap(); // worker blocked; queue empty
+        pool.try_submit_capped(2, || {}).unwrap();
+        pool.try_submit_capped(2, || {}).unwrap();
+        // Effective bound of 2 trips even though the real capacity is 8,
+        // and Busy reports the bound the caller actually hit.
+        let err = pool.try_submit_capped(2, || {}).unwrap_err();
+        assert!(matches!(err, SgqError::Busy { capacity: 2 }), "got {err}");
+        // The full-capacity path still admits.
+        pool.try_submit(|| {}).unwrap();
+        // A cap above capacity clamps down to the configured bound.
+        for _ in 0..5 {
+            let _ = pool.try_submit_capped(100, || {});
+        }
+        let err = pool.try_submit_capped(100, || {}).unwrap_err();
+        assert!(matches!(err, SgqError::Busy { capacity: 8 }), "got {err}");
+        gate_tx.send(()).unwrap();
         pool.shutdown();
     }
 

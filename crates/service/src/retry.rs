@@ -1,0 +1,168 @@
+//! Bounded retry with jittered exponential backoff.
+//!
+//! The companion to [`sgq_common::SgqError::retryable`]: admission
+//! rejections
+//! (`Busy`) and injected transients vanish on re-execution, so callers
+//! should re-submit — but *not* in a hot spin, which burns a core to
+//! hammer a queue that drains at worker speed. [`retry_with_backoff`]
+//! sleeps `min(cap, base × 2ⁿ)` scaled by a seeded jitter factor in
+//! `[0.5, 1.0]` between attempts, so colliding clients decorrelate
+//! instead of thundering back in lockstep.
+
+use std::time::Duration;
+
+use sgq_common::{Result, Rng};
+
+#[cfg(test)]
+use sgq_common::SgqError;
+
+/// How a caller retries retryable errors: attempt bound, backoff base
+/// and cap, and the jitter seed (deterministic per caller).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Maximum attempts including the first (0 = unbounded: keep
+    /// retrying until a non-retryable outcome).
+    pub max_attempts: usize,
+    /// First backoff sleep; doubles each retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// A sensible default for in-process resubmission: 8 attempts,
+    /// 100 µs base, 10 ms cap.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_micros(100),
+            cap: Duration::from_millis(10),
+            seed,
+        }
+    }
+
+    /// An unbounded policy for closed-loop clients that must eventually
+    /// admit every request (the harness's serve/chaos loops).
+    pub fn unbounded(seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: 0,
+            ..Self::new(seed)
+        }
+    }
+}
+
+/// Runs `op` until it succeeds, fails with a non-retryable error, or
+/// exhausts the policy's attempts. Returns the final outcome and how
+/// many retries (re-invocations after the first attempt) were spent —
+/// the harness reports this in experiment JSON.
+pub fn retry_with_backoff<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut() -> Result<T>,
+) -> (Result<T>, u64) {
+    let mut rng = Rng::seed_from_u64(policy.seed);
+    let mut retries = 0u64;
+    loop {
+        match op() {
+            Err(e) if e.retryable() => {
+                if policy.max_attempts > 0 && (retries + 1) as usize >= policy.max_attempts {
+                    return (Err(e), retries);
+                }
+                let exp = retries.min(20); // 2^20 × base caps the shift well past any real cap
+                let backoff = policy
+                    .base
+                    .saturating_mul(1u32 << exp.min(31) as u32)
+                    .min(policy.cap);
+                let jitter = 0.5 + 0.5 * rng.gen_f64();
+                std::thread::sleep(backoff.mul_f64(jitter));
+                retries += 1;
+            }
+            outcome => return (outcome, retries),
+        }
+    }
+}
+
+/// Convenience wrapper discarding the retry count.
+pub fn retrying<T>(policy: RetryPolicy, op: impl FnMut() -> Result<T>) -> Result<T> {
+    retry_with_backoff(policy, op).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn success_on_first_attempt_spends_no_retries() {
+        let (out, retries) = retry_with_backoff(RetryPolicy::new(1), || Ok(42));
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retryable_errors_are_retried_until_success() {
+        let mut left = 3;
+        let (out, retries) = retry_with_backoff(RetryPolicy::new(2), || {
+            if left > 0 {
+                left -= 1;
+                Err(SgqError::Busy { capacity: 1 })
+            } else {
+                Ok("done")
+            }
+        });
+        assert_eq!(out.unwrap(), "done");
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_return_immediately() {
+        let mut calls = 0;
+        let (out, retries) = retry_with_backoff(RetryPolicy::new(3), || -> Result<()> {
+            calls += 1;
+            Err(SgqError::Timeout { limit_ms: 1 })
+        });
+        assert!(out.unwrap_err().is_timeout());
+        assert_eq!(retries, 0);
+        assert_eq!(calls, 1, "a timeout is not retried");
+    }
+
+    #[test]
+    fn attempt_bound_is_honoured() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_micros(1),
+            cap: Duration::from_micros(10),
+            seed: 9,
+        };
+        let (out, retries) = retry_with_backoff(policy, || -> Result<()> {
+            calls += 1;
+            Err(SgqError::Transient { site: "t" })
+        });
+        assert!(out.unwrap_err().is_transient());
+        assert_eq!(calls, 4, "max_attempts counts the first attempt");
+        assert_eq!(retries, 3);
+    }
+
+    #[test]
+    fn backoff_actually_sleeps_and_respects_the_cap() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            seed: 5,
+        };
+        let start = Instant::now();
+        let (out, retries) = retry_with_backoff(policy, || -> Result<()> {
+            Err(SgqError::Busy { capacity: 1 })
+        });
+        let elapsed = start.elapsed();
+        assert!(out.is_err());
+        assert_eq!(retries, 4);
+        // 4 sleeps, each at least base/2 (jitter floor 0.5): >= 2 ms.
+        assert!(elapsed >= Duration::from_millis(2), "slept {elapsed:?}");
+        // And each at most cap: well under a second in total.
+        assert!(elapsed < Duration::from_millis(500), "slept {elapsed:?}");
+    }
+}

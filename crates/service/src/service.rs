@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 use sgq_algebra::ast::PathExpr;
 use sgq_algebra::parser::parse_path;
-use sgq_common::{Result, SgqError};
+use sgq_common::{faultpoint, relation_bytes, ResourceGovernor, Result, SgqError};
 use sgq_core::pipeline::RewriteOptions;
 use sgq_engine::GraphEngine;
 use sgq_graph::{GraphDatabase, GraphSchema};
@@ -93,6 +93,18 @@ pub struct ServiceConfig {
     /// [`sgq_ra::LayoutAdvisor`] choose at load. Ignored by
     /// [`Service::with_store`], which takes a pre-loaded store.
     pub layout: Option<LayoutKind>,
+    /// Global ceiling on bytes of materialised intermediate state across
+    /// every in-flight query; the query whose charge crosses it aborts
+    /// with [`SgqError::BudgetExceeded`] (0 = unlimited).
+    pub global_memory_limit: usize,
+    /// Per-query memory ceiling applied when a call does not set
+    /// [`QueryOptions::max_memory`] (0 = unlimited).
+    pub query_memory_limit: usize,
+    /// Fraction of `global_memory_limit` at which graceful degradation
+    /// kicks in: the service halves the effective admission queue and
+    /// re-prepares oversized cached plans (see the governor's
+    /// [`ResourceGovernor::under_pressure`]).
+    pub memory_pressure_factor: f64,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +132,9 @@ impl Default for ServiceConfig {
             slow_query_ms: 0,
             slow_query_capacity: 32,
             layout: None,
+            global_memory_limit: 0,
+            query_memory_limit: 0,
+            memory_pressure_factor: 0.75,
         }
     }
 }
@@ -156,6 +171,10 @@ pub struct QueryOptions {
     /// rendered from the *production* execution, not a re-run.
     /// Relational backend only (the graph backend has no plan nodes).
     pub analyze: bool,
+    /// Per-query memory-budget override in bytes
+    /// (`None` = [`ServiceConfig::query_memory_limit`]; `Some(0)` =
+    /// unlimited for this call). Relational backend only.
+    pub max_memory: Option<usize>,
 }
 
 impl Default for QueryOptions {
@@ -168,6 +187,7 @@ impl Default for QueryOptions {
             dop: None,
             use_cache: true,
             analyze: false,
+            max_memory: None,
         }
     }
 }
@@ -227,6 +247,9 @@ struct Core {
     /// on the first `dop > 1` call, sized to `max_dop` so intra-query
     /// threads stay bounded regardless of concurrent queries).
     exec_scheduler: OnceLock<Arc<TaskScheduler>>,
+    /// Memory governor every relational query charges its materialised
+    /// state into (per-query + global ceilings, pressure signal).
+    governor: Arc<ResourceGovernor>,
 }
 
 impl Core {
@@ -286,6 +309,8 @@ impl Service {
             config.slow_query_ms.saturating_mul(1_000),
             config.slow_query_capacity,
         );
+        let governor =
+            ResourceGovernor::new(config.global_memory_limit, config.memory_pressure_factor);
         let core = Arc::new(Core {
             schema,
             db,
@@ -298,6 +323,7 @@ impl Service {
             tracer,
             slow_log,
             exec_scheduler: OnceLock::new(),
+            governor,
         });
         Service { core, pool }
     }
@@ -378,6 +404,21 @@ impl Service {
         &self.core.slow_log
     }
 
+    /// The memory governor: live/peak bytes of materialised state,
+    /// pressure signal, active query count.
+    pub fn governor(&self) -> &Arc<ResourceGovernor> {
+        &self.core.governor
+    }
+
+    /// Panics contained by the worker pool's backstop handler (the
+    /// service-level containment in [`Session::submit_expr`] normally
+    /// converts panics to [`SgqError::Internal`] before they reach it,
+    /// so this staying zero means containment worked at the right
+    /// layer).
+    pub fn pool_panic_count(&self) -> u64 {
+        self.pool.panic_count()
+    }
+
     /// Graceful shutdown: drains queued queries, joins the workers.
     /// Subsequent submissions fail. Idempotent.
     pub fn shutdown(&self) {
@@ -442,8 +483,30 @@ impl Session {
         let timeout_ms = opts.timeout_ms.unwrap_or(core.config.default_timeout_ms);
         let deadline = submitted + Duration::from_millis(timeout_ms);
         let (tx, rx) = mpsc::channel();
-        let submit_result = self.pool.try_submit(move || {
-            let result = run_query(&core, &expr, &opts, submitted, deadline, timeout_ms);
+        // Graceful degradation: under memory pressure the service admits
+        // into a halved effective queue, shedding load before the global
+        // ceiling starts aborting queries outright.
+        let cap = if self.core.governor.under_pressure() {
+            self.core.metrics.record_degraded_admission();
+            (self.core.config.queue_capacity / 2).max(1)
+        } else {
+            self.core.config.queue_capacity
+        };
+        let submit_result = self.pool.try_submit_capped(cap, move || {
+            // Panic containment: a panicking query must reach its caller
+            // as a structured error — never a hung channel or a dead
+            // worker — and must leave the worker healthy for the next
+            // job.
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_query(&core, &expr, &opts, submitted, deadline, timeout_ms)
+            }))
+            .unwrap_or_else(|payload| {
+                core.metrics.record_worker_panic();
+                Err(SgqError::Internal(format!(
+                    "worker panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            });
             match &result {
                 Ok(resp) => core.metrics.record_success(resp.stats.total_micros),
                 Err(e) => core.metrics.record_error(e),
@@ -503,6 +566,7 @@ fn prepare_via_cache(
     expr: &PathExpr,
     opts: &QueryOptions,
 ) -> Result<(Arc<PreparedQuery>, CacheOutcome)> {
+    faultpoint!("service.plan_cache");
     let do_prepare = || {
         prepare(
             &core.schema,
@@ -534,15 +598,29 @@ fn prepare_via_cache(
         &core.config.rewrite,
     );
     let (prepared, outcome) = core.cache.get_or_prepare(key.clone(), do_prepare)?;
-    if outcome == CacheOutcome::Hit && plan_is_stale(core, &prepared) {
-        core.cache.remove(&key);
-        core.metrics.record_replan();
-        let fresh = do_prepare()?;
-        note_feedback(&fresh);
-        return Ok((
-            core.cache.insert(key, Arc::new(fresh)),
-            CacheOutcome::Replan,
-        ));
+    if outcome == CacheOutcome::Hit {
+        let stale = plan_is_stale(core, &prepared);
+        // Graceful degradation, plan-cache half: under memory pressure a
+        // cached plan whose estimated output would not fit the remaining
+        // headroom is dropped and re-prepared — the fresh preparation
+        // estimates from the feedback memo, so it reflects measured
+        // cardinalities and picks the cheaper memory profile the cost
+        // model now justifies.
+        let oversized = plan_is_oversized(core, &prepared);
+        if stale || oversized {
+            core.cache.remove(&key);
+            if oversized {
+                core.metrics.record_pressure_replan();
+            } else {
+                core.metrics.record_replan();
+            }
+            let fresh = do_prepare()?;
+            note_feedback(&fresh);
+            return Ok((
+                core.cache.insert(key, Arc::new(fresh)),
+                CacheOutcome::Replan,
+            ));
+        }
     }
     if outcome != CacheOutcome::Hit {
         note_feedback(&prepared);
@@ -563,6 +641,31 @@ fn plan_is_stale(core: &Core, prepared: &PreparedQuery) -> bool {
     match core.store.feedback.lookup(plan.fp) {
         Some(obs) => sgq_ra::cost::q_error(plan.est.rows, obs.rows) >= factor,
         None => false,
+    }
+}
+
+/// Whether (under memory pressure only) a cached plan's estimated
+/// output bytes exceed the governor's remaining global headroom.
+fn plan_is_oversized(core: &Core, prepared: &PreparedQuery) -> bool {
+    if !core.governor.under_pressure() {
+        return false;
+    }
+    let Some(plan) = prepared.plan() else {
+        return false;
+    };
+    let est_rows = plan.est.rows.max(0.0).min(usize::MAX as f64) as usize;
+    relation_bytes(est_rows, prepared.columns().len().max(1)) > core.governor.headroom()
+}
+
+/// Renders a caught panic payload (the common `&str` / `String` cases;
+/// anything else gets a stable placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -602,6 +705,7 @@ fn run_query(
     deadline: Instant,
     timeout_ms: u64,
 ) -> Result<QueryResponse> {
+    faultpoint!("service.dispatch");
     let queue_micros = submitted.elapsed().as_micros() as u64;
     let traced = opts.analyze || core.tracer.should_trace();
     let cache_start = Instant::now();
@@ -653,6 +757,13 @@ fn run_query(
                 ctx.limit_ms = timeout_ms;
                 ctx.max_rows = max_rows;
                 ctx.replan_factor = core.config.replan_factor;
+                // Every relational query charges its materialised bytes
+                // into the shared governor; the budget handle releases
+                // the balance when this arm returns (success, error or
+                // deadline alike), so the governor reads zero between
+                // queries.
+                let query_limit = opts.max_memory.unwrap_or(core.config.query_memory_limit);
+                ctx.budget = Some(core.governor.begin(query_limit));
                 let dop = opts
                     .dop
                     .unwrap_or(core.config.default_dop)

@@ -1,0 +1,240 @@
+//! Robustness acceptance tests for the query service.
+//!
+//! * Memory budgets: a query exceeding its budget aborts with
+//!   `BudgetExceeded` while a concurrent in-budget query on the same
+//!   service completes, and the governor balances back to zero.
+//! * Deadlines: expiry mid-fixpoint and mid-morsel under every physical
+//!   storage layout yields a prompt timeout error, a zero governor
+//!   balance, and a pool that accepts the next query.
+//! * Panic containment: an injected worker panic surfaces to the caller
+//!   as `SgqError::Internal`, is counted in metrics, and leaves the
+//!   worker healthy.
+//!
+//! Fault-injection state is process-global, so every test that arms a
+//! plan must hold `FAULT_LOCK`. This binary is the only place in the
+//! service crate that arms faults.
+
+use std::sync::{Arc, Mutex};
+
+use sgq_common::fault::{self, FaultConfig, FaultKind};
+use sgq_datasets::yago::{self, YagoConfig};
+use sgq_ra::LayoutKind;
+use sgq_service::{QueryOptions, Service, ServiceConfig};
+
+/// Serialises fault-arming tests (the plan is process-global).
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn service_with(config: ServiceConfig) -> Service {
+    let (schema, db) = yago::generate(YagoConfig::tiny());
+    Service::new(Arc::new(schema), Arc::new(db), config)
+}
+
+/// The directed acceptance test: one query runs under a budget far too
+/// small for its intermediate state and must abort with
+/// `BudgetExceeded`, while an in-budget query racing it on the same
+/// two-worker service completes with the right rows.
+#[test]
+fn over_budget_query_aborts_while_concurrent_in_budget_query_completes() {
+    let service = service_with(ServiceConfig::with_workers(2));
+    let session = service.session();
+    let opts = QueryOptions::default();
+
+    // Fault-free reference for the in-budget query.
+    let expected = session.execute("owns/isLocatedIn+", &opts).unwrap();
+    assert!(
+        expected.stats.rows_materialized > 0,
+        "the reference query must materialise state for the budget to bite"
+    );
+
+    let tight = QueryOptions {
+        max_memory: Some(16), // 16 bytes: one 4-column row already breaches
+        use_cache: false,
+        ..Default::default()
+    };
+    let roomy = QueryOptions {
+        use_cache: false,
+        ..Default::default()
+    };
+    let starved = session.submit("owns/isLocatedIn+", &tight).unwrap();
+    let healthy = session.submit("influences+", &roomy).unwrap();
+
+    let err = starved.wait().unwrap_err();
+    assert!(err.is_budget(), "expected BudgetExceeded, got: {err}");
+    let msg = err.to_string();
+    assert!(msg.contains("memory budget"), "unactionable message: {msg}");
+
+    let ok = healthy.wait().expect("the in-budget query must complete");
+    let reference = session.execute("influences+", &opts).unwrap();
+    assert_eq!(ok.rows, reference.rows);
+
+    // The breached charge was released with the query: nothing leaks.
+    assert_eq!(service.governor().used(), 0);
+    assert_eq!(service.governor().active_queries(), 0);
+    let m = service.metrics();
+    assert!(m.errors_memory_budget >= 1, "metrics: {m}");
+
+    // And the service still serves.
+    assert_eq!(session.execute("influences+", &opts).unwrap().rows, ok.rows);
+    service.shutdown();
+}
+
+#[test]
+fn per_call_override_can_lift_the_configured_budget() {
+    let service = service_with(ServiceConfig {
+        workers: 1,
+        query_memory_limit: 16, // default budget: everything breaches
+        ..Default::default()
+    });
+    let session = service.session();
+    let opts = QueryOptions {
+        use_cache: false,
+        ..Default::default()
+    };
+    let err = session.execute("owns/isLocatedIn+", &opts).unwrap_err();
+    assert!(err.is_budget(), "configured default must apply: {err}");
+
+    // `Some(0)` = unlimited for this call, overriding the config.
+    let lifted = QueryOptions {
+        max_memory: Some(0),
+        use_cache: false,
+        ..Default::default()
+    };
+    session
+        .execute("owns/isLocatedIn+", &lifted)
+        .expect("per-call override lifts the default budget");
+    assert_eq!(service.governor().used(), 0);
+    service.shutdown();
+}
+
+/// Drives one query through a decreasing-timeout loop under the given
+/// config: starting from a deadline the warm query comfortably meets,
+/// halve until expiry strikes mid-execution (timeout 0 deterministically
+/// expires, so the loop always terminates). After every timeout the
+/// governor must read zero and the pool must accept the next query.
+fn assert_deadline_expiry_is_graceful(config: ServiceConfig, query: &str, opts: &QueryOptions) {
+    let service = service_with(config);
+    let session = service.session();
+
+    // Warm pass (also fills the plan cache): the reference rows.
+    let reference = session.execute(query, opts).expect("warm pass");
+    let warm_micros = reference.stats.total_micros.max(1);
+
+    let mut timeout_ms = (warm_micros / 1000).max(2);
+    let mut saw_timeout = false;
+    loop {
+        let attempt = QueryOptions {
+            timeout_ms: Some(timeout_ms),
+            ..*opts
+        };
+        match session.execute(query, &attempt) {
+            Ok(resp) => assert_eq!(resp.rows, reference.rows),
+            Err(e) => {
+                assert!(e.is_timeout(), "deadline expiry must classify: {e}");
+                saw_timeout = true;
+                // Partial state of the cancelled query is fully released.
+                assert_eq!(service.governor().used(), 0, "governor leaked");
+                assert_eq!(service.governor().active_queries(), 0);
+                // The worker survived: the next query is admitted and runs.
+                let next = session.execute(query, opts).expect("pool serves on");
+                assert_eq!(next.rows, reference.rows);
+            }
+        }
+        if timeout_ms == 0 {
+            break;
+        }
+        timeout_ms /= 2;
+    }
+    assert!(saw_timeout, "timeout 0 must expire");
+    service.shutdown();
+}
+
+#[test]
+fn deadline_expiry_mid_fixpoint_is_graceful_under_every_layout() {
+    for layout in LayoutKind::ALL {
+        let config = ServiceConfig {
+            workers: 1,
+            layout: Some(layout),
+            ..Default::default()
+        };
+        // `influences+` is a transitive closure: rounds of a fixpoint.
+        assert_deadline_expiry_is_graceful(config, "influences+", &QueryOptions::default());
+    }
+}
+
+#[test]
+fn deadline_expiry_mid_morsel_is_graceful_under_every_layout() {
+    for layout in LayoutKind::ALL {
+        let config = ServiceConfig {
+            workers: 1,
+            layout: Some(layout),
+            // Force every probe to split into 2-row morsels at DOP 4 so
+            // the deadline lands inside a parallel section.
+            default_dop: 4,
+            max_dop: 4,
+            parallel_row_threshold: 1,
+            morsel_rows: 2,
+            ..Default::default()
+        };
+        let opts = QueryOptions {
+            dop: Some(4),
+            ..Default::default()
+        };
+        assert_deadline_expiry_is_graceful(config, "owns/isLocatedIn+", &opts);
+    }
+}
+
+#[test]
+fn injected_worker_panic_is_contained_as_internal_error() {
+    let _l = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let service = service_with(ServiceConfig::with_workers(1));
+    let session = service.session();
+    let opts = QueryOptions::default();
+    let reference = session.execute("influences+", &opts).unwrap();
+
+    {
+        let _armed = fault::armed_scope(FaultConfig {
+            seed: 1,
+            probability: 1.0,
+            site: Some("service.dispatch"),
+            kind: FaultKind::Panic,
+        });
+        let err = session.execute("influences+", &opts).unwrap_err();
+        assert!(err.is_internal(), "panic must surface as Internal: {err}");
+        let msg = err.to_string();
+        assert!(msg.contains("worker panicked"), "message: {msg}");
+        assert!(msg.contains("service.dispatch"), "payload preserved: {msg}");
+    }
+
+    let m = service.metrics();
+    assert!(m.worker_panics >= 1, "containment is counted: {m}");
+    assert_eq!(service.governor().used(), 0);
+
+    // The same worker serves the next query, disarmed.
+    let after = session.execute("influences+", &opts).unwrap();
+    assert_eq!(after.rows, reference.rows);
+    service.shutdown();
+}
+
+#[test]
+fn injected_transients_are_classified_retryable_and_retried_away() {
+    let _l = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let service = service_with(ServiceConfig::with_workers(1));
+    let session = service.session();
+    let opts = QueryOptions {
+        use_cache: false, // visit every fault site on every attempt
+        ..Default::default()
+    };
+    let reference = session.execute("owns/isLocatedIn+", &opts).unwrap();
+
+    let _armed = fault::armed_scope(FaultConfig::errors(3, 0.2));
+    let policy = sgq_service::RetryPolicy::unbounded(3);
+    let (result, retries) =
+        sgq_service::retry_with_backoff(policy, || session.execute("owns/isLocatedIn+", &opts));
+    assert_eq!(result.unwrap().rows, reference.rows);
+    // p=0.2 across ~10 sites per attempt: some attempt must have failed.
+    assert!(retries > 0, "no transient fired at p=0.2");
+    let m = service.metrics();
+    assert!(m.errors_transient >= 1, "metrics classify transients: {m}");
+    assert_eq!(service.governor().used(), 0);
+    service.shutdown();
+}
